@@ -1,0 +1,13 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Regenerates the corresponding table/figure of the paper's evaluation.
+// Scale via PVDB_SCALE=smoke|laptop|paper (default laptop); see
+// EXPERIMENTS.md for the experiment inventory and recorded results.
+
+#include "src/eval/experiments.h"
+
+int main() {
+  const auto scale = pvdb::eval::ScaleFromEnv();
+  pvdb::eval::RunFig10h(scale);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// google-benchmark micro-kernels for the hot paths that the figure-level
+// experiments are built from: the O(d) spatial-domination test, the
+// domination-count emptiness test, SE itself, R-tree kNN browsing and
+// PNNQ Step 2. Useful for regression-tracking the constants behind the
+// paper-level results.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/eval/workload.h"
+#include "src/geom/domination.h"
+#include "src/geom/region_partition.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/se.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/uncertain/datagen.h"
+
+namespace {
+
+using namespace pvdb;  // NOLINT: benchmark file brevity
+
+geom::Rect RandomRegion(Rng* rng, int dim, double extent) {
+  geom::Point mean(dim), half(dim);
+  for (int i = 0; i < dim; ++i) {
+    mean[i] = rng->NextUniform(extent, 10000.0 - extent);
+    half[i] = rng->NextUniform(0.5, extent);
+  }
+  return geom::Rect::FromCenterHalfWidths(mean, half);
+}
+
+void BM_DominationTest(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<geom::Rect> a, b, r;
+  for (int i = 0; i < 256; ++i) {
+    a.push_back(RandomRegion(&rng, dim, 10));
+    b.push_back(RandomRegion(&rng, dim, 10));
+    r.push_back(RandomRegion(&rng, dim, 200));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geom::Dominates(a[i & 255], b[i & 255], r[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DominationTest)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_DominationCountEmptiness(benchmark::State& state) {
+  const int cset_size = static_cast<int>(state.range(0));
+  Rng rng(11);
+  const geom::Rect o = RandomRegion(&rng, 3, 10);
+  std::vector<geom::Rect> cset;
+  for (int i = 0; i < cset_size; ++i) cset.push_back(RandomRegion(&rng, 3, 10));
+  const geom::Rect slab = RandomRegion(&rng, 3, 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geom::ProvenOutsidePVCell(slab, o, cset, /*max_partitions=*/10));
+  }
+}
+BENCHMARK(BM_DominationCountEmptiness)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SeComputeUbr(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  uncertain::SyntheticOptions synth;
+  synth.dim = dim;
+  synth.count = 500;
+  synth.samples_per_object = 10;  // pdf size is irrelevant to SE
+  auto db = uncertain::GenerateSynthetic(synth);
+  rtree::RStarTree mean_tree(dim);
+  for (const auto& o : db.objects()) {
+    mean_tree.Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+  }
+  pv::SeAlgorithm se(db.domain(), pv::SeOptions{});
+  pv::CSetOptions cset_options;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& o = db.objects()[i % db.size()];
+    const auto cset = pv::ChooseCSet(o, db, mean_tree, cset_options);
+    benchmark::DoNotOptimize(se.ComputeUbr(o, cset.regions));
+    ++i;
+  }
+}
+BENCHMARK(BM_SeComputeUbr)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  rtree::RStarTree tree(3);
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(RandomRegion(&rng, 3, 10), static_cast<uint64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    geom::Point q{rng.NextUniform(0, 10000), rng.NextUniform(0, 10000),
+                  rng.NextUniform(0, 10000)};
+    benchmark::DoNotOptimize(tree.KNearest(q, 20));
+    ++i;
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1000)->Arg(10000);
+
+void BM_PnnStep2(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = static_cast<size_t>(candidates);
+  synth.samples_per_object = 500;
+  auto db = uncertain::GenerateSynthetic(synth);
+  pv::PnnStep2Evaluator step2(&db);
+  const auto ids = db.Ids();
+  const geom::Point q{5000, 5000, 5000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step2.Evaluate(q, ids));
+  }
+}
+BENCHMARK(BM_PnnStep2)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

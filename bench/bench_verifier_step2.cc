@@ -1,0 +1,13 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Footnote-11 study: swaps the exact Step 2 for the probabilistic verifier
+// of [11] and shows how the OR phase comes to dominate query time — the
+// regime motivating the PV-index. Scale via PVDB_SCALE (default laptop).
+
+#include "src/eval/experiments.h"
+
+int main() {
+  const auto scale = pvdb::eval::ScaleFromEnv();
+  pvdb::eval::RunVerifierStudy(scale);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Invariant-checking macros. PVDB_CHECK is always on (cheap sanity checks on
+// boundaries that must never fail in production); PVDB_DCHECK compiles away in
+// release builds and guards hot-path invariants.
+
+#ifndef PVDB_COMMON_CHECK_H_
+#define PVDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pvdb {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "[pvdb] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace pvdb
+
+/// Aborts the process if `cond` is false. Enabled in all build types.
+#define PVDB_CHECK(cond)                                   \
+  do {                                                     \
+    if (!(cond)) ::pvdb::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Debug-only invariant check; compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define PVDB_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PVDB_DCHECK(cond) PVDB_CHECK(cond)
+#endif
+
+#endif  // PVDB_COMMON_CHECK_H_

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Minimal leveled logging to stderr. Default level is kWarn so library users
+// are not spammed; the experiment harness raises it to kInfo for progress.
+
+#ifndef PVDB_COMMON_LOGGING_H_
+#define PVDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pvdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one log line (used by the PVDB_LOG macro).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+
+/// Stream collector that emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pvdb
+
+/// Usage: PVDB_LOG(kInfo) << "built " << n << " UBRs";
+#define PVDB_LOG(level) \
+  ::pvdb::internal::LogLine(::pvdb::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // PVDB_COMMON_LOGGING_H_

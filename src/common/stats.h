@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Lightweight metric counters and summary statistics. The experiment harness
+// snapshots counters (e.g. page reads) around each query to attribute I/O.
+
+#ifndef PVDB_COMMON_STATS_H_
+#define PVDB_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pvdb {
+
+/// Running summary of a sample stream: count / mean / min / max / stddev.
+class Summary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+  /// Sample standard deviation (0 when fewer than two observations).
+  double stddev() const;
+
+  /// Merges another summary into this one.
+  void Merge(const Summary& other);
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named monotonic counters, grouped per component instance.
+///
+/// Not thread-safe by design: pvdb runs experiments single-threaded exactly
+/// like the paper's testbed, and counter deltas around a query must not be
+/// perturbed by other threads.
+class MetricRegistry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Increment(const std::string& name, int64_t delta = 1);
+
+  /// Current value of `name` (0 when absent).
+  int64_t Get(const std::string& name) const;
+
+  /// Resets every counter to zero.
+  void Reset();
+
+  /// Stable snapshot of all counters.
+  std::map<std::string, int64_t> Snapshot() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_STATS_H_

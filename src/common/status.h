@@ -1,0 +1,165 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Status / Result<T>: the library-wide error model (RocksDB/Arrow idiom).
+// pvdb never throws; fallible operations return Status (or Result<T> when a
+// value is produced). Callers either handle the error or propagate it with
+// PVDB_RETURN_NOT_OK.
+
+#ifndef PVDB_COMMON_STATUS_H_
+#define PVDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace pvdb {
+
+/// Machine-readable error category carried by Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotSupported = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK status is cheap to construct and copy (no allocation); error
+/// statuses carry a message describing the failure site.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// Error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error sum type. Holds T on success, Status on failure.
+///
+/// Access to the value of a failed Result is a programming error and aborts
+/// (checked in all build types): call ok() / status() first, or propagate via
+/// PVDB_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status (implicit, enables
+  /// `return Status::NotFound(...)`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PVDB_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; aborts if !ok().
+  const T& value() const& {
+    PVDB_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    PVDB_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PVDB_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pvdb
+
+/// Propagates a non-OK Status to the caller.
+#define PVDB_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::pvdb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error status from the enclosing function.
+#define PVDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PVDB_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!PVDB_CONCAT_(_res_, __LINE__).ok())        \
+    return PVDB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PVDB_CONCAT_(_res_, __LINE__)).value()
+
+#define PVDB_CONCAT_INNER_(a, b) a##b
+#define PVDB_CONCAT_(a, b) PVDB_CONCAT_INNER_(a, b)
+
+#endif  // PVDB_COMMON_STATUS_H_

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Wall-clock timing utilities used by the experiment harness. All figures in
+// the paper report milliseconds or seconds of wall time; StopWatch gives
+// nanosecond resolution and the harness converts.
+
+#ifndef PVDB_COMMON_TIMER_H_
+#define PVDB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pvdb {
+
+/// Monotonic stopwatch. Starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  /// Elapsed time in fractional seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double (milliseconds) over its lifetime.
+/// Used to attribute portions of a query to the OR / PC phases.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* sink) : sink_(sink) {}
+  ~ScopedTimerMs() { *sink_ += watch_.ElapsedMillis(); }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* sink_;
+  StopWatch watch_;
+};
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_TIMER_H_

@@ -1,0 +1,723 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/eval/experiments.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/eval/report.h"
+#include "src/eval/workload.h"
+#include "src/pv/verifier.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::eval {
+namespace {
+
+constexpr uint64_t kDataSeed = 42;
+constexpr uint64_t kQuerySeed = 2013;
+
+pv::PvIndexOptions OptionsFromParams(const TableIParams& p) {
+  pv::PvIndexOptions o;
+  o.se.delta = p.default_delta;
+  o.se.max_partitions = p.default_mmax;
+  o.cset.strategy = pv::CSetStrategy::kIncremental;
+  o.cset.k = p.default_k;
+  o.cset.k_partition = p.default_k_partition;
+  o.cset.k_global = p.k_global;
+  return o;
+}
+
+uncertain::SyntheticOptions SynthOptions(const TableIParams& p, int dim,
+                                         size_t count, double u_size) {
+  uncertain::SyntheticOptions s;
+  s.dim = dim;
+  s.count = count;
+  s.max_region_extent = u_size;
+  s.samples_per_object = p.samples_per_object;
+  s.seed = kDataSeed;
+  return s;
+}
+
+/// Everything one synthetic experiment point needs.
+struct Workbench {
+  uncertain::Dataset db;
+  std::unique_ptr<storage::InMemoryPager> pager;
+  std::unique_ptr<pv::PvIndex> pv;
+  rtree::RStarTree region_tree;
+  pv::BuildStats build_stats;
+};
+
+Workbench MakeWorkbench(const uncertain::SyntheticOptions& synth,
+                        const pv::PvIndexOptions& options) {
+  Workbench wb{uncertain::GenerateSynthetic(synth),
+               std::make_unique<storage::InMemoryPager>(),
+               nullptr,
+               rtree::RStarTree(synth.dim),
+               {}};
+  wb.region_tree = BuildRegionTree(wb.db);
+  auto built = pv::PvIndex::Build(wb.db, wb.pager.get(), options,
+                                  &wb.build_stats);
+  PVDB_CHECK(built.ok());
+  wb.pv = std::move(built).value();
+  return wb;
+}
+
+Workbench MakeWorkbenchFromDb(uncertain::Dataset db,
+                              const pv::PvIndexOptions& options) {
+  Workbench wb{std::move(db), std::make_unique<storage::InMemoryPager>(),
+               nullptr, rtree::RStarTree(2), {}};
+  wb.region_tree = rtree::RStarTree(wb.db.dim());
+  for (const auto& o : wb.db.objects()) {
+    wb.region_tree.Insert(o.region(), o.id());
+  }
+  auto built = pv::PvIndex::Build(wb.db, wb.pager.get(), options,
+                                  &wb.build_stats);
+  PVDB_CHECK(built.ok());
+  wb.pv = std::move(built).value();
+  return wb;
+}
+
+std::string SizeLabel(size_t n) {
+  if (n % 1000 == 0 && n >= 1000) return std::to_string(n / 1000) + "k";
+  return std::to_string(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+void RunTable1(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table("Table I: parameters (scale = " + std::string(ScaleName(scale)) +
+                  "; defaults in effect)",
+              {"parameter", "values", "default"});
+  auto join_sizes = [](const std::vector<size_t>& v) {
+    std::string s;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ", ";
+      s += SizeLabel(v[i]);
+    }
+    return s;
+  };
+  auto join_d = [](const auto& v) {
+    std::string s;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ", ";
+      if constexpr (std::is_same_v<std::decay_t<decltype(v[i])>, double>) {
+        s += Table::Fmt(v[i], v[i] < 1 ? 1 : 0);
+      } else {
+        s += std::to_string(v[i]);
+      }
+    }
+    return s;
+  };
+  table.AddRow({"|S|", join_sizes(p.db_sizes), SizeLabel(p.default_db_size)});
+  table.AddRow({"d", join_d(p.dims), std::to_string(p.default_dim)});
+  table.AddRow({"|u(o)|", join_d(p.u_sizes), Table::Fmt(p.default_u_size, 0)});
+  table.AddRow({"Delta", join_d(p.deltas), Table::Fmt(p.default_delta, 1)});
+  table.AddRow({"m_max", join_d(p.mmaxes), std::to_string(p.default_mmax)});
+  table.AddRow({"k", join_d(p.ks), std::to_string(p.default_k)});
+  table.AddRow({"k_partition", join_d(p.k_partitions),
+                std::to_string(p.default_k_partition)});
+  table.AddRow({"k_global", std::to_string(p.k_global),
+                std::to_string(p.k_global)});
+  table.AddRow({"pdf samples", std::to_string(p.samples_per_object),
+                std::to_string(p.samples_per_object)});
+  table.AddRow({"queries/point", std::to_string(p.queries_per_point),
+                std::to_string(p.queries_per_point)});
+  table.Print();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: query performance
+// ---------------------------------------------------------------------------
+
+void RunFig9a(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table table("Figure 9(a): Tq (ms) vs |S|  [3D synthetic]",
+              {"|S|", "R-tree", "PV-index", "speedup"});
+  for (size_t n : p.db_sizes) {
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, p.default_dim, n, p.default_u_size), options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+    table.AddRow({SizeLabel(n), Table::Fmt(rt_cost.t_query_ms),
+                  Table::Fmt(pv_cost.t_query_ms),
+                  Table::Fmt(rt_cost.t_query_ms /
+                             std::max(pv_cost.t_query_ms, 1e-9)) + "x"});
+  }
+  table.Print();
+}
+
+void RunFig9b(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Workbench wb = MakeWorkbench(
+      SynthOptions(p, p.default_dim, p.default_db_size, p.default_u_size),
+      options);
+  const QueryWorkload queries =
+      MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+  PnnqRunner runner(&wb.db);
+  const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+  const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+
+  Table table("Figure 9(b): Tq decomposition, OR vs PC (ms)",
+              {"method", "T_OR", "T_PC", "Tq"});
+  table.AddRow({"R-tree", Table::Fmt(rt_cost.t_or_ms),
+                Table::Fmt(rt_cost.t_pc_ms), Table::Fmt(rt_cost.t_query_ms)});
+  table.AddRow({"PV-index", Table::Fmt(pv_cost.t_or_ms),
+                Table::Fmt(pv_cost.t_pc_ms), Table::Fmt(pv_cost.t_query_ms)});
+  table.Print();
+}
+
+void RunFig9c(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table table("Figure 9(c): query I/O (leaf pages, OR phase) vs |S|",
+              {"|S|", "R-tree", "PV-index"});
+  for (size_t n : p.db_sizes) {
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, p.default_dim, n, p.default_u_size), options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+    table.AddRow({SizeLabel(n), Table::Fmt(rt_cost.io_or_pages, 1),
+                  Table::Fmt(pv_cost.io_or_pages, 1)});
+  }
+  table.Print();
+}
+
+void RunFig9d(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table table("Figure 9(d): Tq (ms) vs |u(o)|",
+              {"|u(o)|", "R-tree", "PV-index"});
+  for (double u : p.u_sizes) {
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, p.default_dim, p.default_db_size, u), options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+    table.AddRow({Table::Fmt(u, 0), Table::Fmt(rt_cost.t_query_ms),
+                  Table::Fmt(pv_cost.t_query_ms)});
+  }
+  table.Print();
+}
+
+void RunFig9efg(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table tq("Figure 9(e): Tq (ms) vs d", {"d", "R-tree", "PV-index", "UV-index"});
+  Table tor("Figure 9(f): T_OR (ms) vs d",
+            {"d", "R-tree", "PV-index", "UV-index"});
+  Table tio("Figure 9(g): query I/O (leaf pages, OR) vs d",
+            {"d", "R-tree", "PV-index", "UV-index"});
+  for (int d : p.dims) {
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, d, p.default_db_size, p.default_u_size), options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+
+    std::string uv_tq = "-", uv_tor = "-", uv_io = "-";
+    if (d == 2) {
+      storage::InMemoryPager uv_pager;
+      uv::UvIndexOptions uv_options;
+      uv_options.cset = options.cset;
+      uv_options.octree = options.octree;
+      auto uv_index = uv::UvIndex::Build(wb.db, &uv_pager, uv_options);
+      PVDB_CHECK(uv_index.ok());
+      const QueryCost uv_cost = runner.RunUvIndex(*uv_index.value(), queries);
+      uv_tq = Table::Fmt(uv_cost.t_query_ms);
+      uv_tor = Table::Fmt(uv_cost.t_or_ms);
+      uv_io = Table::Fmt(uv_cost.io_or_pages, 1);
+    }
+    tq.AddRow({std::to_string(d), Table::Fmt(rt_cost.t_query_ms),
+               Table::Fmt(pv_cost.t_query_ms), uv_tq});
+    tor.AddRow({std::to_string(d), Table::Fmt(rt_cost.t_or_ms),
+                Table::Fmt(pv_cost.t_or_ms), uv_tor});
+    tio.AddRow({std::to_string(d), Table::Fmt(rt_cost.io_or_pages, 1),
+                Table::Fmt(pv_cost.io_or_pages, 1), uv_io});
+  }
+  tq.Print();
+  tor.Print();
+  tio.Print();
+}
+
+void RunFig9h(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table table("Figure 9(h): Tq (ms) on real-dataset simulacra",
+              {"dataset", "R-tree", "UV-index", "PV-index"});
+  for (auto kind : {uncertain::RealDataset::kRoads,
+                    uncertain::RealDataset::kRRLines,
+                    uncertain::RealDataset::kAirports}) {
+    uncertain::RealDataOptions ropts;
+    ropts.scale = p.real_scale;
+    ropts.samples_per_object = p.samples_per_object;
+    Workbench wb =
+        MakeWorkbenchFromDb(uncertain::GenerateRealLike(kind, ropts), options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    const QueryCost rt_cost = runner.RunRTree(wb.region_tree, queries);
+    std::string uv_tq = "-";
+    if (wb.db.dim() == 2) {
+      storage::InMemoryPager uv_pager;
+      uv::UvIndexOptions uv_options;
+      uv_options.cset = options.cset;
+      uv_options.octree = options.octree;
+      auto uv_index = uv::UvIndex::Build(wb.db, &uv_pager, uv_options);
+      PVDB_CHECK(uv_index.ok());
+      uv_tq = Table::Fmt(runner.RunUvIndex(*uv_index.value(), queries)
+                             .t_query_ms);
+    }
+    table.AddRow({uncertain::RealDatasetName(kind),
+                  Table::Fmt(rt_cost.t_query_ms), uv_tq,
+                  Table::Fmt(pv_cost.t_query_ms)});
+  }
+  table.Print();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: construction and updates
+// ---------------------------------------------------------------------------
+
+void RunFig10a(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table("Figure 10(a): PV-index construction time vs Delta",
+              {"Delta", "Tc (s)", "Tq (ms)"});
+  for (double delta : p.deltas) {
+    pv::PvIndexOptions options = OptionsFromParams(p);
+    options.se.delta = delta;
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, p.default_dim, p.default_db_size, p.default_u_size),
+        options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost pv_cost = runner.RunPvIndex(*wb.pv, queries);
+    table.AddRow({Table::Fmt(delta, delta < 1 ? 1 : 0),
+                  Table::Fmt(wb.build_stats.total_ms / 1000.0, 3),
+                  Table::Fmt(pv_cost.t_query_ms)});
+  }
+  table.Print();
+}
+
+void RunFig10b(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  // ALL is quadratic-with-a-large-constant (the paper measured 103 hours at
+  // |S| = 20k); run the comparison at reduced sizes.
+  std::vector<size_t> sizes;
+  switch (scale) {
+    case Scale::kSmoke:
+      sizes = {50, 100};
+      break;
+    case Scale::kLaptop:
+      sizes = {200, 400};
+      break;
+    case Scale::kPaper:
+      sizes = {500, 1000};
+      break;
+  }
+  Table table("Figure 10(b): construction time Tc (s), ALL vs FS vs IS",
+              {"|S|", "ALL", "FS", "IS"});
+  for (size_t n : sizes) {
+    std::vector<std::string> row{SizeLabel(n)};
+    for (auto strategy : {pv::CSetStrategy::kAll, pv::CSetStrategy::kFixed,
+                          pv::CSetStrategy::kIncremental}) {
+      pv::PvIndexOptions options = OptionsFromParams(p);
+      options.cset.strategy = strategy;
+      Workbench wb = MakeWorkbench(
+          SynthOptions(p, p.default_dim, n, p.default_u_size), options);
+      row.push_back(Table::Fmt(wb.build_stats.total_ms / 1000.0, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void RunFig10c(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table("Figure 10(c): construction time Tc (s) vs |S| (FS vs IS)",
+              {"|S|", "FS", "IS"});
+  for (size_t n : p.db_sizes) {
+    std::vector<std::string> row{SizeLabel(n)};
+    for (auto strategy :
+         {pv::CSetStrategy::kFixed, pv::CSetStrategy::kIncremental}) {
+      pv::PvIndexOptions options = OptionsFromParams(p);
+      options.cset.strategy = strategy;
+      Workbench wb = MakeWorkbench(
+          SynthOptions(p, p.default_dim, n, p.default_u_size), options);
+      row.push_back(Table::Fmt(wb.build_stats.total_ms / 1000.0, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void RunFig10d(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table("Figure 10(d): construction time Tc (s) vs |u(o)| (FS vs IS)",
+              {"|u(o)|", "FS", "IS"});
+  for (double u : p.u_sizes) {
+    std::vector<std::string> row{Table::Fmt(u, 0)};
+    for (auto strategy :
+         {pv::CSetStrategy::kFixed, pv::CSetStrategy::kIncremental}) {
+      pv::PvIndexOptions options = OptionsFromParams(p);
+      options.cset.strategy = strategy;
+      Workbench wb = MakeWorkbench(
+          SynthOptions(p, p.default_dim, p.default_db_size, u), options);
+      row.push_back(Table::Fmt(wb.build_stats.total_ms / 1000.0, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void RunFig10e(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table(
+      "Figure 10(e): SE time components (s) and C-set sizes "
+      "(Section VII-C(b))",
+      {"strategy", "chooseCSet", "compute UBR", "insert", "avg |Cset|"});
+  for (auto strategy :
+       {pv::CSetStrategy::kFixed, pv::CSetStrategy::kIncremental}) {
+    pv::PvIndexOptions options = OptionsFromParams(p);
+    options.cset.strategy = strategy;
+    Workbench wb = MakeWorkbench(
+        SynthOptions(p, p.default_dim, p.default_db_size, p.default_u_size),
+        options);
+    table.AddRow({pv::CSetStrategyName(strategy),
+                  Table::Fmt(wb.build_stats.choose_cset_ms / 1000.0, 3),
+                  Table::Fmt(wb.build_stats.compute_ubr_ms / 1000.0, 3),
+                  Table::Fmt(wb.build_stats.insert_ms / 1000.0, 3),
+                  Table::Fmt(wb.build_stats.cset_size.mean(), 1)});
+  }
+  table.Print();
+}
+
+void RunFig10f(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  Table table("Figure 10(f): construction time Tc (s) on real-dataset "
+              "simulacra (FS vs IS)",
+              {"dataset", "FS", "IS"});
+  for (auto kind : {uncertain::RealDataset::kRoads,
+                    uncertain::RealDataset::kRRLines,
+                    uncertain::RealDataset::kAirports}) {
+    std::vector<std::string> row{uncertain::RealDatasetName(kind)};
+    for (auto strategy :
+         {pv::CSetStrategy::kFixed, pv::CSetStrategy::kIncremental}) {
+      pv::PvIndexOptions options = OptionsFromParams(p);
+      options.cset.strategy = strategy;
+      uncertain::RealDataOptions ropts;
+      ropts.scale = p.real_scale;
+      ropts.samples_per_object = p.samples_per_object;
+      Workbench wb = MakeWorkbenchFromDb(
+          uncertain::GenerateRealLike(kind, ropts), options);
+      row.push_back(Table::Fmt(wb.build_stats.total_ms / 1000.0, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void RunFig10g(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Table table("Figure 10(g): construction time (s) on 2D real-dataset "
+              "simulacra, UV vs PV",
+              {"dataset", "UV-index", "PV-index", "PV speedup"});
+  for (auto kind :
+       {uncertain::RealDataset::kRoads, uncertain::RealDataset::kRRLines}) {
+    uncertain::RealDataOptions ropts;
+    ropts.scale = p.real_scale;
+    ropts.samples_per_object = p.samples_per_object;
+    uncertain::Dataset db = uncertain::GenerateRealLike(kind, ropts);
+
+    storage::InMemoryPager uv_pager;
+    uv::UvIndexOptions uv_options;
+    uv_options.cset = options.cset;
+    uv_options.octree = options.octree;
+    uv::UvBuildStats uv_stats;
+    auto uv_index = uv::UvIndex::Build(db, &uv_pager, uv_options, &uv_stats);
+    PVDB_CHECK(uv_index.ok());
+
+    Workbench wb = MakeWorkbenchFromDb(std::move(db), options);
+    table.AddRow(
+        {uncertain::RealDatasetName(kind),
+         Table::Fmt(uv_stats.total_ms / 1000.0, 3),
+         Table::Fmt(wb.build_stats.total_ms / 1000.0, 3),
+         Table::Fmt(uv_stats.total_ms /
+                    std::max(wb.build_stats.total_ms, 1e-9)) + "x"});
+  }
+  table.Print();
+}
+
+namespace {
+
+/// Shared engine for Figures 10(h)/(i): removes `batch` random objects,
+/// then measures either re-insertion (insert = true) or the removals
+/// themselves (insert = false), incrementally vs by rebuilding.
+void RunUpdateExperiment(Scale scale, bool insert) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  const char* name = insert ? "Figure 10(h): insertion cost per object"
+                            : "Figure 10(i): deletion cost per object";
+  // "Tq delta" follows the paper (Section VII-C(c)); "cand delta" is a
+  // deterministic quality companion (mean relative difference in Step-1
+  // candidate counts), immune to wall-clock noise at sub-ms query times.
+  Table table(name, {"|S|", "Inc Tu (ms)", "Rebuild Tu (ms)", "speedup",
+                     "Tq delta (%)", "cand delta (%)"});
+
+  for (size_t n : p.db_sizes) {
+    uncertain::Dataset db = uncertain::GenerateSynthetic(
+        SynthOptions(p, p.default_dim, n, p.default_u_size));
+    // Pick the update batch deterministically.
+    std::vector<uncertain::ObjectId> batch = db.Ids();
+    Rng rng(kDataSeed ^ n);
+    rng.Shuffle(&batch);
+    batch.resize(std::min<size_t>(batch.size() / 2,
+                                  static_cast<size_t>(p.update_batch)));
+
+    double inc_total_ms = 0.0;
+    storage::InMemoryPager pager;
+    std::unique_ptr<pv::PvIndex> index;
+
+    if (insert) {
+      // Base state: db without the batch; then re-insert incrementally.
+      std::vector<uncertain::UncertainObject> removed;
+      for (auto id : batch) {
+        removed.push_back(*db.Find(id));
+        PVDB_CHECK(db.Remove(id).ok());
+      }
+      auto built = pv::PvIndex::Build(db, &pager, options);
+      PVDB_CHECK(built.ok());
+      index = std::move(built).value();
+      for (auto& obj : removed) {
+        PVDB_CHECK(db.Add(obj).ok());
+        pv::UpdateStats stats;
+        PVDB_CHECK(index->InsertObject(db, obj.id(), &stats).ok());
+        inc_total_ms += stats.total_ms;
+      }
+    } else {
+      // Base state: full db; then delete incrementally.
+      auto built = pv::PvIndex::Build(db, &pager, options);
+      PVDB_CHECK(built.ok());
+      index = std::move(built).value();
+      for (auto id : batch) {
+        const uncertain::UncertainObject removed = *db.Find(id);
+        PVDB_CHECK(db.Remove(id).ok());
+        pv::UpdateStats stats;
+        PVDB_CHECK(index->DeleteObject(db, removed, &stats).ok());
+        inc_total_ms += stats.total_ms;
+      }
+    }
+    const double inc_ms = inc_total_ms / std::max<size_t>(batch.size(), 1);
+
+    // Rebuild cost per object = one full construction over the final state.
+    storage::InMemoryPager rebuild_pager;
+    pv::BuildStats rebuild_stats;
+    auto rebuilt =
+        pv::PvIndex::Build(db, &rebuild_pager, options, &rebuild_stats);
+    PVDB_CHECK(rebuilt.ok());
+    const double rebuild_ms = rebuild_stats.total_ms;
+
+    // Query-quality delta (Section VII-C(c)): Tq of the incrementally
+    // maintained index vs the rebuilt one.
+    const QueryWorkload queries =
+        MakeQueryWorkload(db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&db);
+    const QueryCost cost_inc = runner.RunPvIndex(*index, queries);
+    const QueryCost cost_reb = runner.RunPvIndex(*rebuilt.value(), queries);
+    const double tq_delta_pct =
+        100.0 * std::abs(cost_inc.t_query_ms - cost_reb.t_query_ms) /
+        std::max(cost_reb.t_query_ms, 1e-9);
+    const double cand_delta_pct =
+        100.0 * std::abs(cost_inc.candidates - cost_reb.candidates) /
+        std::max(cost_reb.candidates, 1e-9);
+
+    table.AddRow({SizeLabel(n), Table::Fmt(inc_ms),
+                  Table::Fmt(rebuild_ms),
+                  Table::Fmt(rebuild_ms / std::max(inc_ms, 1e-9)) + "x",
+                  Table::Fmt(tq_delta_pct), Table::Fmt(cand_delta_pct)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+void RunFig10h(Scale scale) { RunUpdateExperiment(scale, /*insert=*/true); }
+
+void RunFig10i(Scale scale) { RunUpdateExperiment(scale, /*insert=*/false); }
+
+// ---------------------------------------------------------------------------
+// Section VII-C(a) parameter testing and the bulk-loading ablation
+// ---------------------------------------------------------------------------
+
+void RunParamSensitivity(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const uncertain::SyntheticOptions synth =
+      SynthOptions(p, p.default_dim, p.default_db_size, p.default_u_size);
+
+  Table mmax_table(
+      "Section VII-C(a): effect of m_max (domination-count budget)",
+      {"m_max", "Tc (s)", "Tq (ms)", "candidates/query"});
+  for (int mmax : p.mmaxes) {
+    pv::PvIndexOptions options = OptionsFromParams(p);
+    options.se.max_partitions = mmax;
+    Workbench wb = MakeWorkbench(synth, options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost cost = runner.RunPvIndex(*wb.pv, queries);
+    mmax_table.AddRow({std::to_string(mmax),
+                       Table::Fmt(wb.build_stats.total_ms / 1000.0, 3),
+                       Table::Fmt(cost.t_query_ms),
+                       Table::Fmt(cost.candidates, 1)});
+  }
+  mmax_table.Print();
+
+  Table kp_table("Section VII-C(a): effect of k_partition (IS strategy)",
+                 {"k_partition", "Tc (s)", "Tq (ms)", "avg |Cset|"});
+  for (int kp : p.k_partitions) {
+    pv::PvIndexOptions options = OptionsFromParams(p);
+    options.cset.k_partition = kp;
+    Workbench wb = MakeWorkbench(synth, options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost cost = runner.RunPvIndex(*wb.pv, queries);
+    kp_table.AddRow({std::to_string(kp),
+                     Table::Fmt(wb.build_stats.total_ms / 1000.0, 3),
+                     Table::Fmt(cost.t_query_ms),
+                     Table::Fmt(wb.build_stats.cset_size.mean(), 1)});
+  }
+  kp_table.Print();
+
+  Table k_table("Section VII-C(a): effect of k (FS strategy)",
+                {"k", "Tc (s)", "Tq (ms)"});
+  for (int k : p.ks) {
+    pv::PvIndexOptions options = OptionsFromParams(p);
+    options.cset.strategy = pv::CSetStrategy::kFixed;
+    options.cset.k = k;
+    Workbench wb = MakeWorkbench(synth, options);
+    const QueryWorkload queries =
+        MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+    PnnqRunner runner(&wb.db);
+    const QueryCost cost = runner.RunPvIndex(*wb.pv, queries);
+    k_table.AddRow({std::to_string(k),
+                    Table::Fmt(wb.build_stats.total_ms / 1000.0, 3),
+                    Table::Fmt(cost.t_query_ms)});
+  }
+  k_table.Print();
+}
+
+void RunBulkLoadAblation(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  // Three construction modes: the paper's incremental insertion, Z-ordered
+  // incremental insertion (arrival-order ablation: octree leaves split at
+  // fixed occupancy, so ordering alone is expected to change little), and
+  // top-down bulk loading (batched leaf writes — the real win).
+  Table table("Ablation: primary-index construction mode",
+              {"|S|", "mode", "insert phase (s)", "primary page writes",
+               "Tq (ms)"});
+  struct Mode {
+    const char* name;
+    pv::BuildOrder order;
+    bool bulk;
+  };
+  const Mode modes[] = {{"insertion", pv::BuildOrder::kInsertion, false},
+                        {"z-order", pv::BuildOrder::kMorton, false},
+                        {"bulk", pv::BuildOrder::kInsertion, true}};
+  for (size_t n : p.db_sizes) {
+    for (const Mode& mode : modes) {
+      pv::PvIndexOptions options = OptionsFromParams(p);
+      options.build_order = mode.order;
+      options.bulk_primary = mode.bulk;
+      Workbench wb = MakeWorkbench(
+          SynthOptions(p, p.default_dim, n, p.default_u_size), options);
+      const QueryWorkload queries =
+          MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+      PnnqRunner runner(&wb.db);
+      const QueryCost cost = runner.RunPvIndex(*wb.pv, queries);
+      table.AddRow(
+          {SizeLabel(n), mode.name,
+           Table::Fmt(wb.build_stats.insert_ms / 1000.0, 3),
+           Table::FmtCount(
+               static_cast<double>(wb.build_stats.primary_page_writes)),
+           Table::Fmt(cost.t_query_ms)});
+    }
+  }
+  table.Print();
+}
+
+void RunVerifierStudy(Scale scale) {
+  const TableIParams p = ParamsForScale(scale);
+  const pv::PvIndexOptions options = OptionsFromParams(p);
+  Workbench wb = MakeWorkbench(
+      SynthOptions(p, p.default_dim, p.default_db_size, p.default_u_size),
+      options);
+  const QueryWorkload queries =
+      MakeQueryWorkload(wb.db.domain(), p.queries_per_point, kQuerySeed);
+
+  // Exact Step 2 (the default pipeline).
+  PnnqRunner runner(&wb.db);
+  const QueryCost exact_cost = runner.RunPvIndex(*wb.pv, queries);
+
+  // Verifier Step 2 at a probability threshold (the [11] setting).
+  pv::ProbabilisticVerifier verifier(&wb.db);
+  const double tau = 0.3;
+  double or_ms = 0, pc_ms = 0, decided = 0, fallbacks = 0, answers = 0;
+  for (const geom::Point& q : queries.points) {
+    StopWatch or_watch;
+    auto step1 = wb.pv->QueryPossibleNN(q);
+    PVDB_CHECK(step1.ok());
+    or_ms += or_watch.ElapsedMillis();
+    StopWatch pc_watch;
+    pv::VerifierStats stats;
+    const auto results =
+        verifier.EvaluateThreshold(q, step1.value(), tau, &stats);
+    pc_ms += pc_watch.ElapsedMillis();
+    decided += stats.accepted_by_bounds + stats.rejected_by_bounds;
+    fallbacks += stats.exact_fallbacks;
+    answers += static_cast<double>(results.size());
+  }
+  const auto n = static_cast<double>(queries.points.size());
+  or_ms /= n;
+  pc_ms /= n;
+
+  Table table("Footnote-11 study: exact Step 2 vs probabilistic verifier "
+              "(tau = 0.3)",
+              {"step-2 method", "T_OR (ms)", "T_PC (ms)",
+               "OR fraction (%)", "decided by bounds", "exact fallbacks"});
+  table.AddRow({"exact [8]", Table::Fmt(exact_cost.t_or_ms),
+                Table::Fmt(exact_cost.t_pc_ms),
+                Table::Fmt(100.0 * exact_cost.t_or_ms /
+                           std::max(exact_cost.t_query_ms, 1e-9), 1),
+                "-", "-"});
+  table.AddRow({"verifier [11]", Table::Fmt(or_ms), Table::Fmt(pc_ms),
+                Table::Fmt(100.0 * or_ms / std::max(or_ms + pc_ms, 1e-9), 1),
+                Table::Fmt(decided / n, 1), Table::Fmt(fallbacks / n, 1)});
+  table.Print();
+}
+
+}  // namespace pvdb::eval

@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// One driver per table/figure of the paper's evaluation (Section VII).
+// Each driver generates its data, builds the competing indexes, runs the
+// measurement and prints a Table whose rows mirror the published series.
+// The bench/ binaries are thin wrappers over these functions so that the
+// whole evaluation is also scriptable from library code.
+
+#ifndef PVDB_EVAL_EXPERIMENTS_H_
+#define PVDB_EVAL_EXPERIMENTS_H_
+
+#include "src/eval/params.h"
+
+namespace pvdb::eval {
+
+/// Table I — parameters and defaults in effect for `scale`.
+void RunTable1(Scale scale);
+
+/// Figure 9(a): query time Tq vs database size |S| (PV-index vs R-tree, 3D).
+void RunFig9a(Scale scale);
+
+/// Figure 9(b): Tq decomposition into object retrieval (OR) and probability
+/// computation (PC) at default parameters.
+void RunFig9b(Scale scale);
+
+/// Figure 9(c): query I/O (leaf pages) vs |S|.
+void RunFig9c(Scale scale);
+
+/// Figure 9(d): Tq vs uncertainty-region size |u(o)|.
+void RunFig9d(Scale scale);
+
+/// Figures 9(e)/(f)/(g): Tq, T_OR and query I/O vs dimensionality d
+/// (R-tree, PV-index; UV-index at d = 2).
+void RunFig9efg(Scale scale);
+
+/// Figure 9(h): Tq on the real-dataset simulacra (roads, rrlines, airports).
+void RunFig9h(Scale scale);
+
+/// Figure 10(a): PV-index construction time vs Δ.
+void RunFig10a(Scale scale);
+
+/// Figure 10(b): construction time of ALL vs FS vs IS (reduced |S| — the
+/// paper reports 103 hours for ALL at 20k).
+void RunFig10b(Scale scale);
+
+/// Figure 10(c): construction time vs |S| (FS vs IS).
+void RunFig10c(Scale scale);
+
+/// Figure 10(d): construction time vs |u(o)| (FS vs IS).
+void RunFig10d(Scale scale);
+
+/// Figure 10(e): SE time split into chooseCSet and UBR computation, plus
+/// mean C-set sizes (Section VII-C(b)).
+void RunFig10e(Scale scale);
+
+/// Figure 10(f): construction time on real-dataset simulacra (FS vs IS).
+void RunFig10f(Scale scale);
+
+/// Figure 10(g): PV- vs UV-index construction on 2D real-dataset simulacra.
+void RunFig10g(Scale scale);
+
+/// Figure 10(h): per-object insertion cost, incremental vs rebuild, plus the
+/// query-quality delta of Section VII-C(c).
+void RunFig10h(Scale scale);
+
+/// Figure 10(i): per-object deletion cost, incremental vs rebuild.
+void RunFig10i(Scale scale);
+
+/// Section VII-C(a) "Parameter Testing": Tq and Tc across m_max,
+/// k_partition and k sweeps (the paper reports the details in its
+/// technical report; the trends are reproduced here).
+void RunParamSensitivity(Scale scale);
+
+/// Ablation (paper-conclusion future work): Z-order bulk-loading vs the
+/// paper's insertion-order construction — insert-phase time, page writes
+/// and query cost.
+void RunBulkLoadAblation(Scale scale);
+
+/// Footnote-11 study: with the probabilistic-verifier Step 2 ([11]) the PC
+/// phase shrinks and the OR phase dominates Tq — exactly the regime where
+/// the PV-index's fast retrieval matters most.
+void RunVerifierStudy(Scale scale);
+
+}  // namespace pvdb::eval
+
+#endif  // PVDB_EVAL_EXPERIMENTS_H_

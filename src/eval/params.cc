@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/eval/params.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pvdb::eval {
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("PVDB_SCALE");
+  if (env == nullptr) return Scale::kLaptop;
+  if (std::strcmp(env, "paper") == 0) return Scale::kPaper;
+  if (std::strcmp(env, "smoke") == 0) return Scale::kSmoke;
+  return Scale::kLaptop;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kLaptop:
+      return "laptop";
+    case Scale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+TableIParams ParamsForScale(Scale scale) {
+  TableIParams p;
+  switch (scale) {
+    case Scale::kPaper:
+      p.db_sizes = {20000, 40000, 60000, 80000, 100000};
+      p.default_db_size = 20000;
+      p.samples_per_object = 500;
+      p.queries_per_point = 50;
+      p.real_scale = 1.0;
+      p.update_batch = 1000;
+      break;
+    case Scale::kLaptop:
+      // 1/10 of the paper's cardinalities: identical trends, minutes not
+      // hours on a laptop. pdfs stay at 500 samples (they dominate Step 2).
+      p.db_sizes = {2000, 4000, 6000, 8000, 10000};
+      p.default_db_size = 2000;
+      p.samples_per_object = 500;
+      p.queries_per_point = 50;
+      p.real_scale = 0.1;
+      p.update_batch = 100;
+      break;
+    case Scale::kSmoke:
+      p.db_sizes = {200, 400, 600};
+      p.default_db_size = 200;
+      p.samples_per_object = 100;
+      p.queries_per_point = 10;
+      p.real_scale = 0.01;
+      p.update_batch = 10;
+      break;
+  }
+  return p;
+}
+
+}  // namespace pvdb::eval

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Experiment parameters: Table I of the paper, plus a scale knob so the
+// benchmark suite runs on a laptop by default. PVDB_SCALE=paper reproduces
+// the published cardinalities (20k–100k objects, 500-sample pdfs);
+// PVDB_SCALE=smoke is a seconds-long CI sweep. EXPERIMENTS.md records which
+// scale produced the checked-in numbers.
+
+#ifndef PVDB_EVAL_PARAMS_H_
+#define PVDB_EVAL_PARAMS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pvdb::eval {
+
+/// Benchmark scale (see file comment).
+enum class Scale { kSmoke, kLaptop, kPaper };
+
+/// Reads PVDB_SCALE from the environment (smoke|laptop|paper; default
+/// laptop).
+Scale ScaleFromEnv();
+
+/// Human-readable scale name.
+const char* ScaleName(Scale scale);
+
+/// Table I: parameters and their default (bold) values, possibly rescaled.
+struct TableIParams {
+  /// |S| sweep and default.
+  std::vector<size_t> db_sizes;
+  size_t default_db_size;
+  /// d sweep and default (2..5, default 3).
+  std::vector<int> dims{2, 3, 4, 5};
+  int default_dim = 3;
+  /// |u(o)| sweep and default.
+  std::vector<double> u_sizes{20, 40, 60, 80, 100};
+  double default_u_size = 20;
+  /// Δ sweep and default.
+  std::vector<double> deltas{0.1, 0.5, 1, 10, 100, 500, 1000};
+  double default_delta = 1;
+  /// m_max sweep and default.
+  std::vector<int> mmaxes{2, 5, 10, 20, 40};
+  int default_mmax = 10;
+  /// k (FS) sweep and default.
+  std::vector<int> ks{20, 40, 100, 200, 400};
+  int default_k = 200;
+  /// k_partition sweep and default.
+  std::vector<int> k_partitions{2, 5, 10, 20, 50};
+  int default_k_partition = 10;
+  /// k_global default.
+  int k_global = 200;
+  /// Discrete pdf size (paper: 500).
+  int samples_per_object = 500;
+  /// Queries averaged per data point (paper: 50 runs).
+  int queries_per_point = 50;
+  /// Fraction applied to real-dataset cardinalities.
+  double real_scale = 1.0;
+  /// Objects removed/re-inserted by the update experiments (paper: 1000).
+  int update_batch = 1000;
+};
+
+/// Table I instantiated for the given scale.
+TableIParams ParamsForScale(Scale scale);
+
+}  // namespace pvdb::eval
+
+#endif  // PVDB_EVAL_PARAMS_H_

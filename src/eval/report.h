@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Plain-text experiment reports: fixed-width tables whose rows mirror the
+// series of the paper's figures, so bench output can be compared to the
+// published plots line by line.
+
+#ifndef PVDB_EVAL_REPORT_H_
+#define PVDB_EVAL_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pvdb::eval {
+
+/// A printable experiment table.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends one data row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a title banner and aligned columns.
+  void Print(std::ostream& os = std::cout) const;
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 2);
+
+  /// Formats an integer-valued count.
+  static std::string FmtCount(double value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pvdb::eval
+
+#endif  // PVDB_EVAL_REPORT_H_

@@ -1,0 +1,159 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/eval/workload.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+
+namespace pvdb::eval {
+
+QueryWorkload MakeQueryWorkload(const geom::Rect& domain, int count,
+                                uint64_t seed) {
+  QueryWorkload out;
+  Rng rng(seed);
+  out.points.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    geom::Point p(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      p[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+QueryCost PnnqRunner::RunPvIndex(const pv::PvIndex& index,
+                                 const QueryWorkload& workload) const {
+  QueryCost cost;
+  const int n = static_cast<int>(workload.points.size());
+  if (n == 0) return cost;
+  MetricRegistry pc_io;
+  auto& pager_metrics = index.pager()->metrics();
+
+  for (const geom::Point& q : workload.points) {
+    const int64_t reads_before =
+        pager_metrics.Get(storage::PagerCounters::kReads);
+    StopWatch or_watch;
+    auto step1 = index.QueryPossibleNN(q);
+    PVDB_CHECK(step1.ok());
+    cost.t_or_ms += or_watch.ElapsedMillis();
+    cost.io_or_pages += static_cast<double>(
+        pager_metrics.Get(storage::PagerCounters::kReads) - reads_before);
+    cost.candidates += static_cast<double>(step1.value().size());
+
+    const int64_t pdf_before = pc_io.Get(pv::PnnCounters::kPdfPagesRead);
+    StopWatch pc_watch;
+    const auto answers = step2_.Evaluate(q, step1.value(), &pc_io);
+    cost.t_pc_ms += pc_watch.ElapsedMillis();
+    cost.io_pc_pages += static_cast<double>(
+        pc_io.Get(pv::PnnCounters::kPdfPagesRead) - pdf_before);
+    cost.answers += static_cast<double>(answers.size());
+  }
+  cost.t_or_ms /= n;
+  cost.t_pc_ms /= n;
+  cost.io_or_pages /= n;
+  cost.io_pc_pages /= n;
+  cost.candidates /= n;
+  cost.answers /= n;
+  cost.t_query_ms = cost.t_or_ms + cost.t_pc_ms;
+  return cost;
+}
+
+QueryCost PnnqRunner::RunRTree(const rtree::RStarTree& tree,
+                               const QueryWorkload& workload) const {
+  QueryCost cost;
+  const int n = static_cast<int>(workload.points.size());
+  if (n == 0) return cost;
+  MetricRegistry pc_io;
+  auto& tree_metrics = tree.metrics();
+
+  for (const geom::Point& q : workload.points) {
+    const int64_t reads_before =
+        tree_metrics.Get(rtree::RTreeCounters::kLeafPagesRead);
+    StopWatch or_watch;
+    const auto step1 = rtree::PnnStep1BranchAndPrune(tree, q);
+    cost.t_or_ms += or_watch.ElapsedMillis();
+    cost.io_or_pages += static_cast<double>(
+        tree_metrics.Get(rtree::RTreeCounters::kLeafPagesRead) - reads_before);
+    cost.candidates += static_cast<double>(step1.size());
+
+    const int64_t pdf_before = pc_io.Get(pv::PnnCounters::kPdfPagesRead);
+    StopWatch pc_watch;
+    const auto answers = step2_.Evaluate(q, step1, &pc_io);
+    cost.t_pc_ms += pc_watch.ElapsedMillis();
+    cost.io_pc_pages += static_cast<double>(
+        pc_io.Get(pv::PnnCounters::kPdfPagesRead) - pdf_before);
+    cost.answers += static_cast<double>(answers.size());
+  }
+  cost.t_or_ms /= n;
+  cost.t_pc_ms /= n;
+  cost.io_or_pages /= n;
+  cost.io_pc_pages /= n;
+  cost.candidates /= n;
+  cost.answers /= n;
+  cost.t_query_ms = cost.t_or_ms + cost.t_pc_ms;
+  return cost;
+}
+
+QueryCost PnnqRunner::RunUvIndex(const uv::UvIndex& index,
+                                 const QueryWorkload& workload) const {
+  QueryCost cost;
+  const int n = static_cast<int>(workload.points.size());
+  if (n == 0) return cost;
+  MetricRegistry pc_io;
+  auto& pager_metrics = index.pager()->metrics();
+
+  for (const geom::Point& q : workload.points) {
+    const int64_t reads_before =
+        pager_metrics.Get(storage::PagerCounters::kReads);
+    StopWatch or_watch;
+    auto step1 = index.QueryPossibleNN(q);
+    PVDB_CHECK(step1.ok());
+    cost.t_or_ms += or_watch.ElapsedMillis();
+    cost.io_or_pages += static_cast<double>(
+        pager_metrics.Get(storage::PagerCounters::kReads) - reads_before);
+    cost.candidates += static_cast<double>(step1.value().size());
+
+    const int64_t pdf_before = pc_io.Get(pv::PnnCounters::kPdfPagesRead);
+    StopWatch pc_watch;
+    const auto answers = step2_.Evaluate(q, step1.value(), &pc_io);
+    cost.t_pc_ms += pc_watch.ElapsedMillis();
+    cost.io_pc_pages += static_cast<double>(
+        pc_io.Get(pv::PnnCounters::kPdfPagesRead) - pdf_before);
+    cost.answers += static_cast<double>(answers.size());
+  }
+  cost.t_or_ms /= n;
+  cost.t_pc_ms /= n;
+  cost.io_or_pages /= n;
+  cost.io_pc_pages /= n;
+  cost.candidates /= n;
+  cost.answers /= n;
+  cost.t_query_ms = cost.t_or_ms + cost.t_pc_ms;
+  return cost;
+}
+
+std::vector<std::vector<uncertain::ObjectId>> PnnqRunner::Step1Answers(
+    const pv::PvIndex& index, const QueryWorkload& workload) const {
+  std::vector<std::vector<uncertain::ObjectId>> out;
+  out.reserve(workload.points.size());
+  for (const geom::Point& q : workload.points) {
+    auto step1 = index.QueryPossibleNN(q);
+    PVDB_CHECK(step1.ok());
+    auto ids = std::move(step1).value();
+    std::sort(ids.begin(), ids.end());
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+rtree::RStarTree BuildRegionTree(const uncertain::Dataset& db) {
+  rtree::RStarTree tree(db.dim());
+  for (const auto& o : db.objects()) {
+    tree.Insert(o.region(), o.id());
+  }
+  return tree;
+}
+
+}  // namespace pvdb::eval

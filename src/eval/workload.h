@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Query workloads and PNNQ measurement (Section VII-A): queries are points
+// drawn uniformly from the domain; every reported data point averages a
+// batch of runs. The runner executes Step 1 through one of the three
+// indexes, Step 2 through the shared evaluator, and splits wall time into
+// the OR and PC components of Figure 9(b), plus leaf-page I/O for
+// Figures 9(c)/(g).
+
+#ifndef PVDB_EVAL_WORKLOAD_H_
+#define PVDB_EVAL_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/rtree/rtree_pnn.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb::eval {
+
+/// A batch of PNNQ query points.
+struct QueryWorkload {
+  std::vector<geom::Point> points;
+};
+
+/// Uniform random query points over `domain`.
+QueryWorkload MakeQueryWorkload(const geom::Rect& domain, int count,
+                                uint64_t seed);
+
+/// Averaged per-query costs of a workload.
+struct QueryCost {
+  /// Total query time Tq = T_OR + T_PC, milliseconds.
+  double t_query_ms = 0.0;
+  /// Step-1 (object retrieval) time, milliseconds.
+  double t_or_ms = 0.0;
+  /// Step-2 (probability computation) time, milliseconds.
+  double t_pc_ms = 0.0;
+  /// Step-1 leaf/page reads per query.
+  double io_or_pages = 0.0;
+  /// Step-2 pdf-record pages per query.
+  double io_pc_pages = 0.0;
+  /// Step-1 candidates per query.
+  double candidates = 0.0;
+  /// Final answers (probability > 0) per query.
+  double answers = 0.0;
+
+  double io_total_pages() const { return io_or_pages + io_pc_pages; }
+};
+
+/// Runs PNNQ batteries against the competing Step-1 indexes.
+class PnnqRunner {
+ public:
+  /// Borrows `db` (must outlive the runner and match the indexes).
+  explicit PnnqRunner(const uncertain::Dataset* db) : db_(db), step2_(db) {}
+
+  /// PNNQ through the PV-index.
+  QueryCost RunPvIndex(const pv::PvIndex& index,
+                       const QueryWorkload& workload) const;
+
+  /// PNNQ through the R-tree branch-and-prune baseline [8].
+  QueryCost RunRTree(const rtree::RStarTree& tree,
+                     const QueryWorkload& workload) const;
+
+  /// PNNQ through the UV-index baseline [9] (2D).
+  QueryCost RunUvIndex(const uv::UvIndex& index,
+                       const QueryWorkload& workload) const;
+
+  /// Step-1 answer sets per query point (correctness comparisons).
+  std::vector<std::vector<uncertain::ObjectId>> Step1Answers(
+      const pv::PvIndex& index, const QueryWorkload& workload) const;
+
+ private:
+  const uncertain::Dataset* db_;
+  pv::PnnStep2Evaluator step2_;
+};
+
+/// Builds an R-tree over the uncertainty regions of `db` (the [8] baseline
+/// and the bootstrap tree of Section VII-A).
+rtree::RStarTree BuildRegionTree(const uncertain::Dataset& db);
+
+}  // namespace pvdb::eval
+
+#endif  // PVDB_EVAL_WORKLOAD_H_

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvdb::geom {
+
+double MinDistSq(const Rect& r, const Point& p) {
+  PVDB_DCHECK(r.dim() == p.dim());
+  double s = 0.0;
+  for (int i = 0; i < r.dim(); ++i) {
+    double d = 0.0;
+    if (p[i] < r.lo(i)) {
+      d = r.lo(i) - p[i];
+    } else if (p[i] > r.hi(i)) {
+      d = p[i] - r.hi(i);
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double MaxDistSq(const Rect& r, const Point& p) {
+  PVDB_DCHECK(r.dim() == p.dim());
+  double s = 0.0;
+  for (int i = 0; i < r.dim(); ++i) {
+    const double dlo = std::abs(p[i] - r.lo(i));
+    const double dhi = std::abs(p[i] - r.hi(i));
+    const double d = std::max(dlo, dhi);
+    s += d * d;
+  }
+  return s;
+}
+
+double MinDist(const Rect& r, const Point& p) { return std::sqrt(MinDistSq(r, p)); }
+
+double MaxDist(const Rect& r, const Point& p) { return std::sqrt(MaxDistSq(r, p)); }
+
+double MinDistSq(const Rect& a, const Rect& b) {
+  PVDB_DCHECK(a.dim() == b.dim());
+  double s = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    double d = 0.0;
+    if (b.hi(i) < a.lo(i)) {
+      d = a.lo(i) - b.hi(i);
+    } else if (b.lo(i) > a.hi(i)) {
+      d = b.lo(i) - a.hi(i);
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double MaxDistSq(const Rect& a, const Rect& b) {
+  PVDB_DCHECK(a.dim() == b.dim());
+  double s = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    const double d =
+        std::max(std::abs(a.hi(i) - b.lo(i)), std::abs(b.hi(i) - a.lo(i)));
+    s += d * d;
+  }
+  return s;
+}
+
+double MinDist(const Rect& a, const Rect& b) { return std::sqrt(MinDistSq(a, b)); }
+
+double MaxDist(const Rect& a, const Rect& b) { return std::sqrt(MaxDistSq(a, b)); }
+
+bool OnBisector(const Rect& a, const Rect& b, const Point& p, double tol) {
+  return std::abs(MaxDist(a, p) - MinDist(b, p)) <= tol;
+}
+
+}  // namespace pvdb::geom

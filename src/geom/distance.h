@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Min/max Euclidean distances between points and rectangles. These realize
+// the paper's distmin(o, p) and distmax(o, p) (Section III-A) for rectangular
+// uncertainty regions, plus the rect-rect bounds used by the R-tree and the
+// Lemma-8 affected-object filters.
+
+#ifndef PVDB_GEOM_DISTANCE_H_
+#define PVDB_GEOM_DISTANCE_H_
+
+#include "src/geom/rect.h"
+
+namespace pvdb::geom {
+
+/// Squared minimum distance from `p` to any point of `r` (0 when inside).
+double MinDistSq(const Rect& r, const Point& p);
+
+/// Squared maximum distance from `p` to any point of `r` (attained at the
+/// farthest corner).
+double MaxDistSq(const Rect& r, const Point& p);
+
+/// distmin(r, p): minimum Euclidean distance from p to r.
+double MinDist(const Rect& r, const Point& p);
+
+/// distmax(r, p): maximum Euclidean distance from p to r.
+double MaxDist(const Rect& r, const Point& p);
+
+/// Squared minimum distance between two rectangles (0 when intersecting).
+double MinDistSq(const Rect& a, const Rect& b);
+
+/// Squared maximum distance between two rectangles (farthest corner pair).
+double MaxDistSq(const Rect& a, const Rect& b);
+
+/// Minimum Euclidean distance between two rectangles.
+double MinDist(const Rect& a, const Rect& b);
+
+/// Maximum Euclidean distance between two rectangles.
+double MaxDist(const Rect& a, const Rect& b);
+
+/// True iff p lies on the bisector surface H_{a,b} = {p : distmax(a, p) =
+/// distmin(b, p)} up to `tol` (used by tests and boundary probing).
+bool OnBisector(const Rect& a, const Rect& b, const Point& p,
+                double tol = 1e-9);
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_DISTANCE_H_

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/domination.h"
+
+#include <algorithm>
+
+namespace pvdb::geom {
+namespace {
+
+// One-dimensional margin term:
+//   g(t) = max((t - a_lo)^2, (t - a_hi)^2) - clampdist(t, [b_lo, b_hi])^2.
+double MarginTerm1D(double a_lo, double a_hi, double b_lo, double b_hi,
+                    double t) {
+  const double dlo = t - a_lo;
+  const double dhi = t - a_hi;
+  const double max_a_sq = std::max(dlo * dlo, dhi * dhi);
+  double db = 0.0;
+  if (t < b_lo) {
+    db = b_lo - t;
+  } else if (t > b_hi) {
+    db = t - b_hi;
+  }
+  return max_a_sq - db * db;
+}
+
+// Maximum of g over [r_lo, r_hi]. The pieces of g change at mid(a) (where the
+// max() in the first term switches branch) and at b_lo/b_hi (where the clamp
+// distance switches branch); on each piece g is linear (coefficients on t^2
+// cancel) or convex (inside [b_lo, b_hi]), so the maximum over the closed
+// interval is attained at r_lo, r_hi, or a breakpoint inside the interval.
+double MaxMarginTerm1D(double a_lo, double a_hi, double b_lo, double b_hi,
+                       double r_lo, double r_hi) {
+  double best = std::max(MarginTerm1D(a_lo, a_hi, b_lo, b_hi, r_lo),
+                         MarginTerm1D(a_lo, a_hi, b_lo, b_hi, r_hi));
+  const double breakpoints[3] = {0.5 * (a_lo + a_hi), b_lo, b_hi};
+  for (double t : breakpoints) {
+    if (t > r_lo && t < r_hi) {
+      best = std::max(best, MarginTerm1D(a_lo, a_hi, b_lo, b_hi, t));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double DominationMarginSq(const Rect& a, const Rect& b, const Rect& r) {
+  PVDB_DCHECK(a.dim() == b.dim() && b.dim() == r.dim());
+  double total = 0.0;
+  for (int i = 0; i < r.dim(); ++i) {
+    total += MaxMarginTerm1D(a.lo(i), a.hi(i), b.lo(i), b.hi(i), r.lo(i),
+                             r.hi(i));
+  }
+  return total;
+}
+
+bool Dominates(const Rect& a, const Rect& b, const Rect& r) {
+  return DominationMarginSq(a, b, r) < 0.0;
+}
+
+bool PointInDom(const Rect& a, const Rect& b, const Point& p) {
+  return MaxDistSq(a, p) < MinDistSq(b, p);
+}
+
+bool DomIsEmpty(const Rect& a, const Rect& b) { return a.Intersects(b); }
+
+bool PointInNonDom(const Rect& a, const Rect& b, const Point& p) {
+  return MaxDistSq(a, p) >= MinDistSq(b, p);
+}
+
+}  // namespace pvdb::geom

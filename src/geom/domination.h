@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Spatial domination (Emrich et al., "Boosting spatial pruning: on optimal
+// pruning of MBRs", SIGMOD 2010), the machinery Section IV of the paper
+// builds on. For rectangles A, B and a region R, `Dominates(A, B, R)`
+// decides whether every point of R is strictly closer to every point of A
+// than to any point of B — equivalently, whether R ⊆ dom(A, B)
+// (Definition 3). The test is exact and runs in O(d).
+
+#ifndef PVDB_GEOM_DOMINATION_H_
+#define PVDB_GEOM_DOMINATION_H_
+
+#include "src/geom/distance.h"
+#include "src/geom/rect.h"
+
+namespace pvdb::geom {
+
+/// max_{p ∈ r} [ MaxDistSq(a, p) − MinDistSq(b, p) ].
+///
+/// Negative iff a dominates b everywhere on r. The maximum decomposes per
+/// dimension; each one-dimensional term is piecewise linear-or-convex, so it
+/// is attained at an endpoint of r's extent or at a clamped breakpoint
+/// (mid(a_i), b.lo_i, b.hi_i) — five candidate evaluations per dimension.
+double DominationMarginSq(const Rect& a, const Rect& b, const Rect& r);
+
+/// True iff ∀x∈a, ∀y∈b, ∀p∈r: dist(x,p) < dist(y,p), i.e. r ⊆ dom(a, b).
+bool Dominates(const Rect& a, const Rect& b, const Rect& r);
+
+/// Point membership p ∈ dom(a, b): distmax(a, p) < distmin(b, p).
+bool PointInDom(const Rect& a, const Rect& b, const Point& p);
+
+/// Lemma 2: dom(a, b) = ∅ iff u(a) intersects u(b).
+bool DomIsEmpty(const Rect& a, const Rect& b);
+
+/// Point membership in the non-dominated region: p ∈ ¬dom(a, b)
+/// ⇔ distmax(a, p) >= distmin(b, p) (Definition 4).
+bool PointInNonDom(const Rect& a, const Rect& b, const Point& p);
+
+/// Oracle form of the PV-cell membership predicate (Lemma 4): p ∈ V(o) over
+/// database objects `others` ⇔ every other region fails to dominate o at p.
+/// Linear scan — used by tests, the UV baseline, and brute-force fallbacks.
+template <typename RectRange>
+bool PointPossiblyNearest(const Rect& o, const RectRange& others,
+                          const Point& p) {
+  const double dmin_o_sq = MinDistSq(o, p);
+  for (const Rect& a : others) {
+    // p ∈ dom(a, o) would certify that o can never be nearest at p.
+    if (MaxDistSq(a, p) < dmin_o_sq) return false;
+  }
+  return true;
+}
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_DOMINATION_H_

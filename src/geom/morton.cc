@@ -1,0 +1,29 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/morton.h"
+
+#include <algorithm>
+
+namespace pvdb::geom {
+
+uint64_t MortonKey(const Point& p, const Rect& domain) {
+  PVDB_DCHECK(p.dim() == domain.dim());
+  const int d = p.dim();
+  const int bits = 64 / d;
+  uint64_t key = 0;
+  for (int i = 0; i < d; ++i) {
+    const double side = domain.Side(i);
+    double t = side > 0 ? (p[i] - domain.lo(i)) / side : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const auto cell = static_cast<uint64_t>(
+        std::min<double>(t * static_cast<double>(1ULL << bits),
+                         static_cast<double>((1ULL << bits) - 1)));
+    // Interleave: bit b of dimension i lands at position b*d + i.
+    for (int b = 0; b < bits; ++b) {
+      key |= ((cell >> b) & 1ULL) << (static_cast<uint64_t>(b) * d + i);
+    }
+  }
+  return key;
+}
+
+}  // namespace pvdb::geom

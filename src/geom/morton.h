@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Morton (Z-order) keys for d-dimensional points. Used by the PV-index's
+// bulk-loading mode (the "bulkloading" precomputation the paper's
+// conclusion proposes as future work): inserting UBRs in Z-order groups
+// spatially adjacent objects, so octree leaves fill before they split and
+// page churn drops.
+
+#ifndef PVDB_GEOM_MORTON_H_
+#define PVDB_GEOM_MORTON_H_
+
+#include <cstdint>
+
+#include "src/geom/rect.h"
+
+namespace pvdb::geom {
+
+/// Z-order key of `p` within `domain`: each coordinate is quantized to
+/// floor(64 / d) bits and bit-interleaved, dimension 0 least significant.
+/// Points outside the domain are clamped.
+uint64_t MortonKey(const Point& p, const Rect& domain);
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_MORTON_H_

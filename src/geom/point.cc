@@ -1,0 +1,21 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/point.h"
+
+#include <cstdio>
+
+namespace pvdb::geom {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (int i = 0; i < dim_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6g", coords_[i]);
+    if (i > 0) out += ", ";
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pvdb::geom

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// d-dimensional points with runtime dimensionality (2..kMaxDim). Storage is a
+// fixed inline array: uncertain-database workloads in the paper use d ≤ 5, so
+// points never touch the heap and copy in a handful of instructions.
+
+#ifndef PVDB_GEOM_POINT_H_
+#define PVDB_GEOM_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <initializer_list>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace pvdb::geom {
+
+/// Maximum supported dimensionality. The paper evaluates d ∈ {2,3,4,5};
+/// eight leaves headroom while keeping Point trivially copyable and compact.
+inline constexpr int kMaxDim = 8;
+
+/// A point in d-dimensional Euclidean space (d fixed at construction).
+class Point {
+ public:
+  /// Origin of the given dimensionality.
+  explicit Point(int dim) : dim_(dim) {
+    PVDB_DCHECK(dim >= 1 && dim <= kMaxDim);
+    coords_.fill(0.0);
+  }
+
+  /// Point from an explicit coordinate list, e.g. Point({1.0, 2.0}).
+  Point(std::initializer_list<double> coords)
+      : dim_(static_cast<int>(coords.size())) {
+    PVDB_DCHECK(dim_ >= 1 && dim_ <= kMaxDim);
+    coords_.fill(0.0);
+    int i = 0;
+    for (double c : coords) coords_[i++] = c;
+  }
+
+  /// Dimensionality d.
+  int dim() const { return dim_; }
+
+  double operator[](int i) const {
+    PVDB_DCHECK(i >= 0 && i < dim_);
+    return coords_[i];
+  }
+  double& operator[](int i) {
+    PVDB_DCHECK(i >= 0 && i < dim_);
+    return coords_[i];
+  }
+
+  bool operator==(const Point& o) const {
+    if (dim_ != o.dim_) return false;
+    for (int i = 0; i < dim_; ++i)
+      if (coords_[i] != o.coords_[i]) return false;
+    return true;
+  }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Squared Euclidean distance to another point of equal dimensionality.
+  double DistanceSqTo(const Point& o) const {
+    PVDB_DCHECK(dim_ == o.dim_);
+    double s = 0.0;
+    for (int i = 0; i < dim_; ++i) {
+      const double d = coords_[i] - o.coords_[i];
+      s += d * d;
+    }
+    return s;
+  }
+
+  /// Euclidean distance to another point.
+  double DistanceTo(const Point& o) const { return std::sqrt(DistanceSqTo(o)); }
+
+  /// "(x0, x1, ...)" with six significant digits.
+  std::string ToString() const;
+
+ private:
+  std::array<double, kMaxDim> coords_;
+  int dim_;
+};
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_POINT_H_

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/rect.h"
+
+#include <algorithm>
+
+namespace pvdb::geom {
+
+Rect Rect::FromCenterHalfWidths(const Point& c, const Point& half) {
+  Point lo(c.dim()), hi(c.dim());
+  for (int i = 0; i < c.dim(); ++i) {
+    PVDB_DCHECK(half[i] >= 0.0);
+    lo[i] = c[i] - half[i];
+    hi[i] = c[i] + half[i];
+  }
+  return Rect(lo, hi);
+}
+
+Rect Rect::Cube(int dim, double lo, double hi) {
+  PVDB_DCHECK(lo <= hi);
+  Point l(dim), h(dim);
+  for (int i = 0; i < dim; ++i) {
+    l[i] = lo;
+    h[i] = hi;
+  }
+  return Rect(l, h);
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  PVDB_DCHECK(a.dim() == b.dim());
+  Point lo(a.dim()), hi(a.dim());
+  for (int i = 0; i < a.dim(); ++i) {
+    lo[i] = std::min(a.lo_[i], b.lo_[i]);
+    hi[i] = std::max(a.hi_[i], b.hi_[i]);
+  }
+  return Rect(lo, hi);
+}
+
+Rect Rect::Intersection(const Rect& a, const Rect& b) {
+  PVDB_DCHECK(a.dim() == b.dim());
+  Rect out(a.dim());
+  Point lo(a.dim()), hi(a.dim());
+  for (int i = 0; i < a.dim(); ++i) {
+    lo[i] = std::max(a.lo_[i], b.lo_[i]);
+    hi[i] = std::min(a.hi_[i], b.hi_[i]);
+    if (lo[i] > hi[i]) return out;  // disjoint: empty marker
+  }
+  return Rect(lo, hi);
+}
+
+Point Rect::Center() const {
+  Point c(dim());
+  for (int i = 0; i < dim(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+double Rect::MaxSide() const {
+  double m = 0.0;
+  for (int i = 0; i < dim(); ++i) m = std::max(m, Side(i));
+  return m;
+}
+
+int Rect::LongestDim() const {
+  int best = 0;
+  double m = Side(0);
+  for (int i = 1; i < dim(); ++i) {
+    if (Side(i) > m) {
+      m = Side(i);
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (int i = 0; i < dim(); ++i) v *= Side(i);
+  return v;
+}
+
+double Rect::Margin() const {
+  double m = 0.0;
+  for (int i = 0; i < dim(); ++i) m += Side(i);
+  return m;
+}
+
+bool Rect::Contains(const Point& p) const {
+  PVDB_DCHECK(p.dim() == dim());
+  for (int i = 0; i < dim(); ++i)
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  return true;
+}
+
+bool Rect::ContainsRect(const Rect& r) const {
+  PVDB_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i)
+    if (r.lo_[i] < lo_[i] || r.hi_[i] > hi_[i]) return false;
+  return true;
+}
+
+bool Rect::Intersects(const Rect& r) const {
+  PVDB_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i)
+    if (r.hi_[i] < lo_[i] || r.lo_[i] > hi_[i]) return false;
+  return true;
+}
+
+bool Rect::InteriorIntersects(const Rect& r) const {
+  PVDB_DCHECK(r.dim() == dim());
+  for (int i = 0; i < dim(); ++i)
+    if (r.hi_[i] <= lo_[i] || r.lo_[i] >= hi_[i]) return false;
+  return true;
+}
+
+Point Rect::Corner(unsigned mask) const {
+  Point c(dim());
+  for (int i = 0; i < dim(); ++i) c[i] = (mask >> i) & 1u ? hi_[i] : lo_[i];
+  return c;
+}
+
+Rect Rect::Inflated(double delta) const {
+  Point lo(dim()), hi(dim());
+  for (int i = 0; i < dim(); ++i) {
+    lo[i] = lo_[i] - delta;
+    hi[i] = hi_[i] + delta;
+    if (lo[i] > hi[i]) lo[i] = hi[i] = 0.5 * (lo[i] + hi[i]);
+  }
+  return Rect(lo, hi);
+}
+
+Point Rect::ClampPoint(const Point& p) const {
+  PVDB_DCHECK(p.dim() == dim());
+  Point c(dim());
+  for (int i = 0; i < dim(); ++i) c[i] = std::clamp(p[i], lo_[i], hi_[i]);
+  return c;
+}
+
+std::string Rect::ToString() const {
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+}  // namespace pvdb::geom

@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Axis-parallel hyper-rectangles. Rectangles are the universal currency of
+// this library: uncertainty regions u(o), UBRs B(o), octree node regions,
+// R-tree MBRs and SE's slabs are all Rect instances.
+
+#ifndef PVDB_GEOM_RECT_H_
+#define PVDB_GEOM_RECT_H_
+
+#include <string>
+
+#include "src/geom/point.h"
+
+namespace pvdb::geom {
+
+/// A (possibly degenerate) axis-parallel hyper-rectangle [lo, hi].
+///
+/// Invariant: lo[i] <= hi[i] in every dimension for non-empty rectangles.
+/// A degenerate rectangle (lo == hi in some dimension) is valid and denotes
+/// a lower-dimensional slab; points are modeled as fully degenerate rects.
+class Rect {
+ public:
+  /// The empty rectangle convention: lo > hi in dimension 0.
+  explicit Rect(int dim) : lo_(dim), hi_(dim) {}
+
+  /// Rectangle from explicit corners. Requires lo[i] <= hi[i] for all i.
+  Rect(const Point& lo, const Point& hi) : lo_(lo), hi_(hi) {
+    PVDB_DCHECK(lo.dim() == hi.dim());
+    for (int i = 0; i < lo.dim(); ++i) PVDB_DCHECK(lo[i] <= hi[i]);
+  }
+
+  /// The degenerate rectangle {p}.
+  static Rect FromPoint(const Point& p) { return Rect(p, p); }
+
+  /// Rectangle centered at `c` with half-width `half[i]` per dimension.
+  static Rect FromCenterHalfWidths(const Point& c, const Point& half);
+
+  /// The d-dimensional cube [lo, hi]^d.
+  static Rect Cube(int dim, double lo, double hi);
+
+  /// Smallest rectangle containing both inputs.
+  static Rect Union(const Rect& a, const Rect& b);
+
+  /// Intersection; returns an empty/degenerate marker when disjoint
+  /// (check with Intersects() first when emptiness matters).
+  static Rect Intersection(const Rect& a, const Rect& b);
+
+  int dim() const { return lo_.dim(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  double lo(int i) const { return lo_[i]; }
+  double hi(int i) const { return hi_[i]; }
+
+  /// Mutable boundary access (used by SE's shrink/expand steps).
+  void set_lo(int i, double v) { lo_[i] = v; }
+  void set_hi(int i, double v) { hi_[i] = v; }
+
+  /// Center point.
+  Point Center() const;
+
+  /// Side length in dimension i.
+  double Side(int i) const { return hi_[i] - lo_[i]; }
+
+  /// Longest side length, and the dimension attaining it.
+  double MaxSide() const;
+  int LongestDim() const;
+
+  /// d-dimensional volume (product of sides).
+  double Volume() const;
+
+  /// Sum of side lengths (the R*-tree "margin" measure).
+  double Margin() const;
+
+  /// True iff `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const;
+
+  /// True iff `r` lies entirely inside or on the boundary.
+  bool ContainsRect(const Rect& r) const;
+
+  /// True iff the closed rectangles share at least one point.
+  bool Intersects(const Rect& r) const;
+
+  /// True iff the open interiors intersect (shared boundary not enough).
+  bool InteriorIntersects(const Rect& r) const;
+
+  /// The corner selected by `mask`: bit i of `mask` picks hi (1) or lo (0)
+  /// in dimension i. There are 2^d corners.
+  Point Corner(unsigned mask) const;
+
+  /// Returns a copy grown by `delta` on every side (shrunk if negative).
+  Rect Inflated(double delta) const;
+
+  /// Nearest point of the rectangle to `p` (clamping).
+  Point ClampPoint(const Point& p) const;
+
+  bool operator==(const Rect& o) const { return lo_ == o.lo_ && hi_ == o.hi_; }
+  bool operator!=(const Rect& o) const { return !(*this == o); }
+
+  /// "[lo .. hi]" human-readable form.
+  std::string ToString() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_RECT_H_

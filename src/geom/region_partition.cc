@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/region_partition.h"
+
+#include <vector>
+
+namespace pvdb::geom {
+namespace {
+
+// Below this edge length, further bisection cannot change the outcome of a
+// floating-point domination test; give up instead of looping.
+constexpr double kMinSplittableSide = 1e-9;
+
+}  // namespace
+
+bool AdaptiveCover(const Rect& region,
+                   const std::function<bool(const Rect&)>& discharged,
+                   int max_partitions, PartitionStats* stats) {
+  PartitionStats local;
+  PartitionStats* st = stats ? stats : &local;
+  *st = PartitionStats{};
+
+  std::vector<Rect> pending;
+  pending.push_back(region);
+  while (!pending.empty()) {
+    const Rect cell = pending.back();
+    pending.pop_back();
+    if (st->cells_examined >= max_partitions) return false;
+    ++st->cells_examined;
+    if (discharged(cell)) continue;
+
+    // Undischarged: bisect if budget and geometry allow, else fail.
+    const int axis = cell.LongestDim();
+    if (cell.Side(axis) < kMinSplittableSide) return false;
+    // Both halves must fit in the remaining examination budget.
+    const int remaining =
+        max_partitions - st->cells_examined - static_cast<int>(pending.size());
+    if (remaining < 2) return false;
+    const double mid = 0.5 * (cell.lo(axis) + cell.hi(axis));
+    Rect left = cell;
+    Rect right = cell;
+    left.set_hi(axis, mid);
+    right.set_lo(axis, mid);
+    ++st->splits;
+    pending.push_back(left);
+    pending.push_back(right);
+  }
+  st->proven = true;
+  return true;
+}
+
+bool ProvenOutsidePVCell(const Rect& region, const Rect& o_region,
+                         std::span<const Rect> cset, int max_partitions,
+                         PartitionStats* stats) {
+  auto discharged = [&](const Rect& cell) {
+    for (const Rect& c : cset) {
+      // Lemma 2: candidates overlapping u(o) have dom(c, o) = ∅.
+      if (c.Intersects(o_region)) continue;
+      if (Dominates(c, o_region, cell)) return true;
+    }
+    return false;
+  };
+  return AdaptiveCover(region, discharged, max_partitions, stats);
+}
+
+}  // namespace pvdb::geom

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Domination-count emptiness test (Section V-B). SE's Step 9 must decide
+// whether a slab R intersects I(Cset, o); equivalently whether R is fully
+// covered by the dominated union U(Cset, o). No single object need dominate
+// all of R (Figure 6(b)), so R is adaptively partitioned: a sub-rectangle is
+// discharged once some candidate dominates it, otherwise it is bisected along
+// its longest edge until a partition budget m_max is exhausted. The test is
+// conservative exactly the way the paper requires: "not proven" answers make
+// SE expand l(o) instead of shrinking h(o), never producing an invalid UBR.
+
+#ifndef PVDB_GEOM_REGION_PARTITION_H_
+#define PVDB_GEOM_REGION_PARTITION_H_
+
+#include <functional>
+#include <span>
+
+#include "src/geom/domination.h"
+#include "src/geom/rect.h"
+
+namespace pvdb::geom {
+
+/// Instrumentation for one emptiness test.
+struct PartitionStats {
+  /// Number of sub-rectangles on which the discharge predicate ran.
+  int cells_examined = 0;
+  /// Number of bisections performed.
+  int splits = 0;
+  /// Whether coverage was proven within budget.
+  bool proven = false;
+};
+
+/// Attempts to prove that every point of `region` satisfies some per-cell
+/// certificate: `discharged(cell)` must certify that the *entire* cell is
+/// covered. Bisects undischarged cells along their longest edge. At most
+/// `max_partitions` cells are examined in total (the paper's |part(R)|
+/// budget, parameter m_max of Table I). Returns true only on proof.
+bool AdaptiveCover(const Rect& region,
+                   const std::function<bool(const Rect&)>& discharged,
+                   int max_partitions, PartitionStats* stats = nullptr);
+
+/// SE Step 9 specialization: true iff proven that
+/// `region` ∩ I(cset, o) = ∅, i.e. every partition of `region` is inside
+/// dom(c, o) for some candidate region c in `cset` (Definition 5/6,
+/// Lemma 3). `cset` holds the uncertainty regions of the C-set objects.
+/// Candidates intersecting u(o) can never discharge a cell (Lemma 2) and are
+/// skipped. Cost O(|part(region)| · |cset| · d) as stated in Section V-B.
+bool ProvenOutsidePVCell(const Rect& region, const Rect& o_region,
+                         std::span<const Rect> cset, int max_partitions,
+                         PartitionStats* stats = nullptr);
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_REGION_PARTITION_H_

@@ -1,0 +1,129 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/cset.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pvdb::pv {
+namespace {
+
+using uncertain::ObjectId;
+using uncertain::UncertainObject;
+
+CSetResult ChooseAll(const UncertainObject& o, const uncertain::Dataset& db) {
+  CSetResult out;
+  out.ids.reserve(db.size());
+  out.regions.reserve(db.size());
+  for (const auto& other : db.objects()) {
+    if (other.id() == o.id()) continue;
+    out.ids.push_back(other.id());
+    out.regions.push_back(other.region());
+  }
+  out.examined = static_cast<int>(db.size());
+  return out;
+}
+
+CSetResult ChooseFixed(const UncertainObject& o, const uncertain::Dataset& db,
+                       const rtree::RStarTree& mean_tree, int k) {
+  CSetResult out;
+  auto it = mean_tree.BrowseNearest(o.MeanPosition());
+  while (static_cast<int>(out.ids.size()) < k && it.HasNext()) {
+    const auto item = it.Next();
+    ++out.examined;
+    if (item.value == o.id()) continue;
+    const UncertainObject* other = db.Find(item.value);
+    PVDB_DCHECK(other != nullptr);
+    // FS keeps overlapping objects too — one of its documented weaknesses
+    // (Section V-A): they can never constrain V(o) yet inflate the C-set.
+    out.ids.push_back(other->id());
+    out.regions.push_back(other->region());
+  }
+  return out;
+}
+
+// Quadrant masks of domain partitions (around o's mean) that `region`
+// intersects: bit i of a mask selects the high (1) or low (0) side of
+// dimension i.
+void ForEachIntersectedQuadrant(const geom::Rect& region,
+                                const geom::Point& pivot,
+                                const std::function<void(unsigned)>& fn) {
+  const int d = region.dim();
+  const unsigned quadrants = 1u << d;
+  for (unsigned mask = 0; mask < quadrants; ++mask) {
+    bool hit = true;
+    for (int i = 0; i < d && hit; ++i) {
+      if ((mask >> i) & 1u) {
+        hit = region.hi(i) >= pivot[i];
+      } else {
+        hit = region.lo(i) <= pivot[i];
+      }
+    }
+    if (hit) fn(mask);
+  }
+}
+
+CSetResult ChooseIncremental(const UncertainObject& o,
+                             const uncertain::Dataset& db,
+                             const rtree::RStarTree& mean_tree,
+                             int k_partition, int k_global) {
+  CSetResult out;
+  const geom::Point pivot = o.MeanPosition();
+  const int d = o.dim();
+  const unsigned quadrants = 1u << d;
+  std::vector<int> counters(quadrants, 0);
+  int satisfied = 0;
+
+  auto it = mean_tree.BrowseNearest(pivot);
+  while (out.examined < k_global && it.HasNext()) {
+    const auto item = it.Next();
+    if (item.value == o.id()) continue;
+    ++out.examined;
+    const UncertainObject* other = db.Find(item.value);
+    PVDB_DCHECK(other != nullptr);
+    // Skip objects overlapping u(o): dom(n, o) = ∅ (Lemma 2), so they can
+    // never shrink h(o).
+    if (other->region().Intersects(o.region())) continue;
+    out.ids.push_back(other->id());
+    out.regions.push_back(other->region());
+    ForEachIntersectedQuadrant(other->region(), pivot, [&](unsigned mask) {
+      if (counters[mask] == k_partition - 1) ++satisfied;
+      ++counters[mask];
+    });
+    if (satisfied == static_cast<int>(quadrants)) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CSetStrategyName(CSetStrategy s) {
+  switch (s) {
+    case CSetStrategy::kAll:
+      return "ALL";
+    case CSetStrategy::kFixed:
+      return "FS";
+    case CSetStrategy::kIncremental:
+      return "IS";
+  }
+  return "?";
+}
+
+CSetResult ChooseCSet(const uncertain::UncertainObject& o,
+                      const uncertain::Dataset& db,
+                      const rtree::RStarTree& mean_tree,
+                      const CSetOptions& options) {
+  switch (options.strategy) {
+    case CSetStrategy::kAll:
+      return ChooseAll(o, db);
+    case CSetStrategy::kFixed:
+      return ChooseFixed(o, db, mean_tree, options.k);
+    case CSetStrategy::kIncremental:
+      return ChooseIncremental(o, db, mean_tree, options.k_partition,
+                               options.k_global);
+  }
+  PVDB_CHECK(false);
+  return CSetResult{};
+}
+
+}  // namespace pvdb::pv

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// chooseCSet (Section V-A): selects the candidate set Cset(o) ⊆ S used by
+// the SE algorithm. By Lemma 7 any non-empty subset of S is a valid C-set —
+// the strategies differ only in how tight the resulting UBR gets and how
+// much Step 9 work each SE iteration costs.
+//
+//   ALL — the whole database (exact V-set by Lemma 4; intractably slow).
+//   FS  — the k objects whose mean positions are nearest to o's.
+//   IS  — incremental NN browsing [39] with 2^d quadrant counters around o:
+//         stop once every quadrant saw k_partition non-overlapping objects
+//         or k_global neighbors were examined; objects whose uncertainty
+//         regions overlap u(o) are skipped (they cannot constrain V(o),
+//         Lemma 2).
+
+#ifndef PVDB_PV_CSET_H_
+#define PVDB_PV_CSET_H_
+
+#include <vector>
+
+#include "src/rtree/rstar_tree.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::pv {
+
+/// Which chooseCSet implementation to run.
+enum class CSetStrategy { kAll, kFixed, kIncremental };
+
+/// Human-readable strategy name ("ALL" / "FS" / "IS").
+const char* CSetStrategyName(CSetStrategy s);
+
+/// Tuning parameters (defaults = Table I bold values).
+struct CSetOptions {
+  CSetStrategy strategy = CSetStrategy::kIncremental;
+  /// FS: number of nearest mean positions returned.
+  int k = 200;
+  /// IS: minimum neighbors per domain quadrant.
+  int k_partition = 10;
+  /// IS: hard cap on examined nearest neighbors.
+  int k_global = 200;
+};
+
+/// A chosen candidate set: ids plus their uncertainty regions, aligned.
+struct CSetResult {
+  std::vector<uncertain::ObjectId> ids;
+  std::vector<geom::Rect> regions;
+  /// Number of NN candidates the strategy examined (IS instrumentation).
+  int examined = 0;
+};
+
+/// Runs the configured strategy for object `o` over database `db`.
+///
+/// `mean_tree` indexes the mean positions of all objects in `db` (degenerate
+/// rectangles keyed by object id); FS and IS browse it with incremental NN
+/// search. `o` itself is never part of the result.
+CSetResult ChooseCSet(const uncertain::UncertainObject& o,
+                      const uncertain::Dataset& db,
+                      const rtree::RStarTree& mean_tree,
+                      const CSetOptions& options);
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_CSET_H_

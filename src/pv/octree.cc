@@ -1,0 +1,473 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/octree.h"
+
+#include <algorithm>
+
+namespace pvdb::pv {
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPageSize;
+using storage::Page;
+using storage::PageId;
+
+// Leaf page layout: [next: PageId (8)] [count: u32 (4)] [pad (4)] [entries].
+constexpr size_t kNextOffset = 0;
+constexpr size_t kCountOffset = 8;
+constexpr size_t kEntriesOffset = 16;
+
+}  // namespace
+
+struct OctreePrimary::Node {
+  bool is_leaf = true;
+  // Leaf state: head of the page list and total entry count.
+  PageId head = kInvalidPageId;
+  uint32_t entry_count = 0;
+  // Internal state: 2^d children (present iff !is_leaf).
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+OctreePrimary::OctreePrimary(geom::Rect domain, storage::Pager* pager,
+                             UbrResolver resolver, OctreeOptions options)
+    : domain_(std::move(domain)),
+      pager_(pager),
+      resolver_(std::move(resolver)),
+      options_(options) {
+  PVDB_CHECK(pager_ != nullptr);
+  PVDB_CHECK(resolver_ != nullptr);
+  root_ = std::make_unique<Node>();
+  node_count_ = 1;
+  leaf_count_ = 1;
+  memory_used_ = NodeBytes(/*internal=*/false);
+}
+
+OctreePrimary::~OctreePrimary() = default;
+OctreePrimary::OctreePrimary(OctreePrimary&&) noexcept = default;
+OctreePrimary& OctreePrimary::operator=(OctreePrimary&&) noexcept = default;
+
+size_t OctreePrimary::EntryBytes() const {
+  return sizeof(uint64_t) + 2 * sizeof(double) * static_cast<size_t>(dim());
+}
+
+size_t OctreePrimary::PageCapacity() const {
+  return (kPageSize - kEntriesOffset) / EntryBytes();
+}
+
+size_t OctreePrimary::NodeBytes(bool internal) const {
+  // Header plus, for internal nodes, 2^d child pointers.
+  return sizeof(Node) +
+         (internal ? (size_t{1} << dim()) * sizeof(std::unique_ptr<Node>) : 0);
+}
+
+bool OctreePrimary::CanAffordSplit() const {
+  // A split turns a leaf into an internal node and adds 2^d leaf children.
+  const size_t cost = (NodeBytes(true) - NodeBytes(false)) +
+                      (size_t{1} << dim()) * NodeBytes(false);
+  return memory_used_ + cost <= options_.memory_budget_bytes;
+}
+
+geom::Rect OctreePrimary::ChildRegion(const geom::Rect& region,
+                                      unsigned child) const {
+  geom::Point lo(dim()), hi(dim());
+  for (int i = 0; i < dim(); ++i) {
+    const double mid = 0.5 * (region.lo(i) + region.hi(i));
+    if ((child >> i) & 1u) {
+      lo[i] = mid;
+      hi[i] = region.hi(i);
+    } else {
+      lo[i] = region.lo(i);
+      hi[i] = mid;
+    }
+  }
+  return geom::Rect(lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Leaf page I/O
+// ---------------------------------------------------------------------------
+
+Result<std::vector<LeafEntry>> OctreePrimary::ReadLeafEntries(
+    const Node* leaf) const {
+  std::vector<LeafEntry> out;
+  out.reserve(leaf->entry_count);
+  PageId id = leaf->head;
+  while (id != kInvalidPageId) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const uint32_t count = page.ReadAt<uint32_t>(kCountOffset);
+    size_t off = kEntriesOffset;
+    for (uint32_t k = 0; k < count; ++k) {
+      LeafEntry entry{0, geom::Rect(dim())};
+      entry.id = page.ReadAt<uint64_t>(off);
+      off += sizeof(uint64_t);
+      geom::Point lo(dim()), hi(dim());
+      for (int i = 0; i < dim(); ++i) {
+        lo[i] = page.ReadAt<double>(off);
+        off += sizeof(double);
+        hi[i] = page.ReadAt<double>(off);
+        off += sizeof(double);
+      }
+      entry.region = geom::Rect(lo, hi);
+      out.push_back(std::move(entry));
+    }
+    id = page.ReadAt<PageId>(kNextOffset);
+  }
+  return out;
+}
+
+Status OctreePrimary::WriteLeafEntries(Node* leaf,
+                                       const std::vector<LeafEntry>& entries) {
+  // Free the old chain, then write a fresh one (head page filled last so
+  // subsequent appends go to a partially filled head).
+  PageId id = leaf->head;
+  while (id != kInvalidPageId) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const PageId next = page.ReadAt<PageId>(kNextOffset);
+    PVDB_RETURN_NOT_OK(pager_->Free(id));
+    id = next;
+  }
+  leaf->head = kInvalidPageId;
+  leaf->entry_count = 0;
+
+  const size_t cap = PageCapacity();
+  size_t pos = 0;
+  while (pos < entries.size()) {
+    const size_t chunk = std::min(cap, entries.size() - pos);
+    PVDB_ASSIGN_OR_RETURN(PageId pid, pager_->Allocate());
+    Page page;
+    page.WriteAt<PageId>(kNextOffset, leaf->head);
+    page.WriteAt<uint32_t>(kCountOffset, static_cast<uint32_t>(chunk));
+    size_t off = kEntriesOffset;
+    for (size_t k = 0; k < chunk; ++k) {
+      const LeafEntry& e = entries[pos + k];
+      page.WriteAt<uint64_t>(off, e.id);
+      off += sizeof(uint64_t);
+      for (int i = 0; i < dim(); ++i) {
+        page.WriteAt<double>(off, e.region.lo(i));
+        off += sizeof(double);
+        page.WriteAt<double>(off, e.region.hi(i));
+        off += sizeof(double);
+      }
+    }
+    PVDB_RETURN_NOT_OK(pager_->Write(pid, page));
+    leaf->head = pid;
+    leaf->entry_count += static_cast<uint32_t>(chunk);
+    pos += chunk;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+Status OctreePrimary::Insert(uncertain::ObjectId id, const geom::Rect& uregion,
+                             const geom::Rect& ubr) {
+  if (!domain_.Intersects(ubr)) {
+    return Status::InvalidArgument("UBR lies outside the domain");
+  }
+  return InsertRec(root_.get(), domain_, 0, id, uregion, ubr, ubr, nullptr);
+}
+
+Status OctreePrimary::InsertDiff(uncertain::ObjectId id,
+                                 const geom::Rect& uregion,
+                                 const geom::Rect& include,
+                                 const geom::Rect& exclude) {
+  return InsertRec(root_.get(), domain_, 0, id, uregion, include, include,
+                   &exclude);
+}
+
+Status OctreePrimary::InsertFiltered(uncertain::ObjectId id,
+                                     const geom::Rect& uregion,
+                                     const geom::Rect& range,
+                                     const LeafFilter& filter) {
+  return InsertFilteredRec(root_.get(), domain_, 0, id, uregion, range,
+                           filter);
+}
+
+Status OctreePrimary::InsertFilteredRec(Node* node, const geom::Rect& region,
+                                        int node_depth,
+                                        uncertain::ObjectId id,
+                                        const geom::Rect& uregion,
+                                        const geom::Rect& range,
+                                        const LeafFilter& filter) {
+  if (!node->is_leaf) {
+    for (unsigned c = 0; c < (1u << dim()); ++c) {
+      const geom::Rect child_region = ChildRegion(region, c);
+      if (!child_region.Intersects(range)) continue;
+      PVDB_RETURN_NOT_OK(InsertFilteredRec(node->children[c].get(),
+                                           child_region, node_depth + 1, id,
+                                           uregion, range, filter));
+    }
+    return Status::OK();
+  }
+  if (!filter(region)) return Status::OK();
+  // After a split triggered below, redistribution falls back to plain
+  // range-overlap dispatch (a conservative superset of the filter).
+  return InsertIntoLeaf(node, region, node_depth, id, uregion, range);
+}
+
+Status OctreePrimary::InsertRec(Node* node, const geom::Rect& region,
+                                int node_depth, uncertain::ObjectId id,
+                                const geom::Rect& uregion,
+                                const geom::Rect& ubr,
+                                const geom::Rect& include,
+                                const geom::Rect* exclude) {
+  if (!node->is_leaf) {
+    for (unsigned c = 0; c < (1u << dim()); ++c) {
+      const geom::Rect child_region = ChildRegion(region, c);
+      if (!child_region.Intersects(include)) continue;
+      PVDB_RETURN_NOT_OK(InsertRec(node->children[c].get(), child_region,
+                                   node_depth + 1, id, uregion, ubr, include,
+                                   exclude));
+    }
+    return Status::OK();
+  }
+  // The exclude test is a leaf-level predicate: leaf regions are disjoint,
+  // so "overlaps exclude" exactly identifies members of the old leaf set N.
+  if (exclude != nullptr && region.Intersects(*exclude)) return Status::OK();
+  return InsertIntoLeaf(node, region, node_depth, id, uregion, ubr);
+}
+
+Status OctreePrimary::InsertIntoLeaf(Node* leaf, const geom::Rect& region,
+                                     int node_depth, uncertain::ObjectId id,
+                                     const geom::Rect& uregion,
+                                     const geom::Rect& ubr) {
+  if (leaf->head == kInvalidPageId) {
+    PVDB_ASSIGN_OR_RETURN(PageId pid, pager_->Allocate());
+    Page page;
+    page.WriteAt<PageId>(kNextOffset, kInvalidPageId);
+    page.WriteAt<uint32_t>(kCountOffset, 0);
+    PVDB_RETURN_NOT_OK(pager_->Write(pid, page));
+    leaf->head = pid;
+  }
+
+  Page head;
+  PVDB_RETURN_NOT_OK(pager_->Read(leaf->head, &head));
+  const uint32_t count = head.ReadAt<uint32_t>(kCountOffset);
+  if (static_cast<size_t>(count) < PageCapacity()) {
+    // Section VI-A step 2: room in the first page of the list.
+    size_t off = kEntriesOffset + count * EntryBytes();
+    head.WriteAt<uint64_t>(off, id);
+    off += sizeof(uint64_t);
+    for (int i = 0; i < dim(); ++i) {
+      head.WriteAt<double>(off, uregion.lo(i));
+      off += sizeof(double);
+      head.WriteAt<double>(off, uregion.hi(i));
+      off += sizeof(double);
+    }
+    head.WriteAt<uint32_t>(kCountOffset, count + 1);
+    PVDB_RETURN_NOT_OK(pager_->Write(leaf->head, head));
+    leaf->entry_count += 1;
+    return Status::OK();
+  }
+
+  // Section VI-A step 3: head page full. Split if memory allows, else chain.
+  if (CanAffordSplit() && node_depth < options_.max_depth) {
+    PVDB_RETURN_NOT_OK(SplitLeaf(leaf, region, node_depth));
+    // The leaf became internal; re-dispatch this insertion to its children.
+    return InsertRec(leaf, region, node_depth, id, uregion, ubr, ubr, nullptr);
+  }
+
+  PVDB_ASSIGN_OR_RETURN(PageId pid, pager_->Allocate());
+  Page page;
+  page.WriteAt<PageId>(kNextOffset, leaf->head);
+  page.WriteAt<uint32_t>(kCountOffset, 1);
+  size_t off = kEntriesOffset;
+  page.WriteAt<uint64_t>(off, id);
+  off += sizeof(uint64_t);
+  for (int i = 0; i < dim(); ++i) {
+    page.WriteAt<double>(off, uregion.lo(i));
+    off += sizeof(double);
+    page.WriteAt<double>(off, uregion.hi(i));
+    off += sizeof(double);
+  }
+  PVDB_RETURN_NOT_OK(pager_->Write(pid, page));
+  leaf->head = pid;
+  leaf->entry_count += 1;
+  return Status::OK();
+}
+
+Status OctreePrimary::SplitLeaf(Node* leaf, const geom::Rect& region,
+                                int node_depth) {
+  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries, ReadLeafEntries(leaf));
+
+  // Release the old chain.
+  PageId id = leaf->head;
+  while (id != kInvalidPageId) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const PageId next = page.ReadAt<PageId>(kNextOffset);
+    PVDB_RETURN_NOT_OK(pager_->Free(id));
+    id = next;
+  }
+
+  // Convert to an internal node with 2^d fresh leaf children.
+  leaf->is_leaf = false;
+  leaf->head = kInvalidPageId;
+  leaf->entry_count = 0;
+  const unsigned fanout = 1u << dim();
+  leaf->children.resize(fanout);
+  for (unsigned c = 0; c < fanout; ++c) {
+    leaf->children[c] = std::make_unique<Node>();
+  }
+  memory_used_ += (NodeBytes(true) - NodeBytes(false)) +
+                  static_cast<size_t>(fanout) * NodeBytes(false);
+  node_count_ += fanout;
+  leaf_count_ += fanout - 1;
+  depth_ = std::max(depth_, node_depth + 1);
+
+  // Redistribute: each entry goes to every child its *UBR* overlaps. The
+  // UBRs are not stored in leaf entries; fetch them from the secondary
+  // index through the resolver (Section VI-A step 3).
+  for (const LeafEntry& e : entries) {
+    PVDB_ASSIGN_OR_RETURN(geom::Rect ubr, resolver_(e.id));
+    PVDB_RETURN_NOT_OK(InsertRec(leaf, region, node_depth, e.id, e.region, ubr,
+                                 ubr, nullptr));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loading
+// ---------------------------------------------------------------------------
+
+Status OctreePrimary::BulkLoad(const std::vector<BulkEntry>& entries) {
+  if (!root_->is_leaf || root_->head != kInvalidPageId) {
+    return Status::InvalidArgument("BulkLoad requires an empty octree");
+  }
+  std::vector<size_t> items(entries.size());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  return BulkBuildRec(root_.get(), domain_, 0, entries, items);
+}
+
+Status OctreePrimary::BulkBuildRec(Node* node, const geom::Rect& region,
+                                   int node_depth,
+                                   const std::vector<BulkEntry>& entries,
+                                   const std::vector<size_t>& items) {
+  // Leaf condition mirrors incremental construction: a leaf keeps at most
+  // one page of entries unless the memory budget (or depth guard) forces
+  // chaining.
+  if (items.size() <= PageCapacity() || !CanAffordSplit() ||
+      node_depth >= options_.max_depth) {
+    std::vector<LeafEntry> leaf_entries;
+    leaf_entries.reserve(items.size());
+    for (size_t i : items) {
+      leaf_entries.push_back(LeafEntry{entries[i].id, entries[i].uregion});
+    }
+    return WriteLeafEntries(node, leaf_entries);
+  }
+
+  const unsigned fanout = 1u << dim();
+  node->is_leaf = false;
+  node->children.resize(fanout);
+  memory_used_ += (NodeBytes(true) - NodeBytes(false)) +
+                  static_cast<size_t>(fanout) * NodeBytes(false);
+  node_count_ += fanout;
+  leaf_count_ += fanout - 1;
+  depth_ = std::max(depth_, node_depth + 1);
+  for (unsigned c = 0; c < fanout; ++c) {
+    node->children[c] = std::make_unique<Node>();
+    const geom::Rect child_region = ChildRegion(region, c);
+    std::vector<size_t> child_items;
+    for (size_t i : items) {
+      if (entries[i].ubr.Intersects(child_region)) child_items.push_back(i);
+    }
+    PVDB_RETURN_NOT_OK(BulkBuildRec(node->children[c].get(), child_region,
+                                    node_depth + 1, entries, child_items));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Removal
+// ---------------------------------------------------------------------------
+
+Status OctreePrimary::Remove(uncertain::ObjectId id,
+                             const geom::Rect& include) {
+  return RemoveRec(root_.get(), domain_, id, include, nullptr);
+}
+
+Status OctreePrimary::RemoveDiff(uncertain::ObjectId id,
+                                 const geom::Rect& include,
+                                 const geom::Rect& exclude) {
+  return RemoveRec(root_.get(), domain_, id, include, &exclude);
+}
+
+Status OctreePrimary::RemoveRec(Node* node, const geom::Rect& region,
+                                uncertain::ObjectId id,
+                                const geom::Rect& include,
+                                const geom::Rect* exclude) {
+  if (!node->is_leaf) {
+    for (unsigned c = 0; c < (1u << dim()); ++c) {
+      const geom::Rect child_region = ChildRegion(region, c);
+      if (!child_region.Intersects(include)) continue;
+      PVDB_RETURN_NOT_OK(
+          RemoveRec(node->children[c].get(), child_region, id, include,
+                    exclude));
+    }
+    return Status::OK();
+  }
+  if (exclude != nullptr && region.Intersects(*exclude)) return Status::OK();
+  if (leaf_count_ == 0 || node->head == kInvalidPageId) return Status::OK();
+
+  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries, ReadLeafEntries(node));
+  const size_t before = entries.size();
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const LeafEntry& e) { return e.id == id; }),
+                entries.end());
+  if (entries.size() == before) return Status::OK();
+  return WriteLeafEntries(node, entries);
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+Result<std::vector<LeafEntry>> OctreePrimary::QueryPoint(
+    const geom::Point& q) const {
+  if (!domain_.Contains(q)) {
+    return Status::InvalidArgument("query point outside the domain");
+  }
+  const Node* node = root_.get();
+  geom::Rect region = domain_;
+  while (!node->is_leaf) {
+    unsigned child = 0;
+    for (int i = 0; i < dim(); ++i) {
+      const double mid = 0.5 * (region.lo(i) + region.hi(i));
+      if (q[i] >= mid) child |= 1u << i;
+    }
+    region = ChildRegion(region, child);
+    node = node->children[child].get();
+  }
+  return ReadLeafEntries(node);
+}
+
+Status OctreePrimary::CollectRec(const Node* node, const geom::Rect& region,
+                                 const geom::Rect& range,
+                                 std::vector<LeafEntry>* out) const {
+  if (node->is_leaf) {
+    PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries,
+                          ReadLeafEntries(node));
+    out->insert(out->end(), entries.begin(), entries.end());
+    return Status::OK();
+  }
+  for (unsigned c = 0; c < (1u << dim()); ++c) {
+    const geom::Rect child_region = ChildRegion(region, c);
+    if (!child_region.Intersects(range)) continue;
+    PVDB_RETURN_NOT_OK(CollectRec(node->children[c].get(), child_region,
+                                  range, out));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LeafEntry>> OctreePrimary::CollectOverlapping(
+    const geom::Rect& range) const {
+  std::vector<LeafEntry> out;
+  PVDB_RETURN_NOT_OK(CollectRec(root_.get(), domain_, range, &out));
+  return out;
+}
+
+}  // namespace pvdb::pv

@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The PV-index's primary index (Section VI-A): a 2^d-way space-partitioning
+// octree (quadtree when d = 2). Non-leaf nodes live in a byte-budgeted
+// main-memory arena and store no regions (each child's region is 1/2^d of
+// its parent's, derived during descent). A leaf is a linked list of disk
+// pages holding (object id, u(o)) entries for every object whose UBR
+// overlaps the leaf's region. When a leaf's head page is full, the leaf is
+// split into 2^d children if memory allows, otherwise a page is chained —
+// exactly the construction procedure of Section VI-A.
+//
+// Octrees were chosen over an R-tree for the primary index because node
+// regions never overlap, so a point query touches exactly one leaf
+// (footnote 3 of the paper); this is what drives the Figure 9(c)/(g) I/O
+// advantage.
+
+#ifndef PVDB_PV_OCTREE_H_
+#define PVDB_PV_OCTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/rect.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::pv {
+
+/// Octree tuning (defaults match the paper's experimental setup).
+struct OctreeOptions {
+  /// Main-memory budget for non-leaf (and leaf) node headers: 5 MiB.
+  size_t memory_budget_bytes = 5u * 1024u * 1024u;
+  /// Depth guard: beyond this, pages are chained instead of splitting.
+  int max_depth = 24;
+};
+
+/// One (object id, uncertainty region) entry stored in a leaf.
+struct LeafEntry {
+  uncertain::ObjectId id;
+  geom::Rect region;
+};
+
+/// The primary index. Pages are owned by the supplied pager; node headers
+/// are owned in memory by this object.
+class OctreePrimary {
+ public:
+  /// Fetches the current UBR of an object; needed when a leaf splits and its
+  /// entries must be redistributed by UBR overlap (the UBRs themselves live
+  /// in the secondary index). Typically bound to SecondaryIndex::GetUbr.
+  using UbrResolver = std::function<Result<geom::Rect>(uncertain::ObjectId)>;
+
+  OctreePrimary(geom::Rect domain, storage::Pager* pager, UbrResolver resolver,
+                OctreeOptions options);
+  ~OctreePrimary();
+
+  OctreePrimary(const OctreePrimary&) = delete;
+  OctreePrimary& operator=(const OctreePrimary&) = delete;
+  OctreePrimary(OctreePrimary&&) noexcept;
+  OctreePrimary& operator=(OctreePrimary&&) noexcept;
+
+  /// Inserts the entry (id, uregion) into every leaf whose region overlaps
+  /// `ubr` (the object's Uncertain Bounding Rectangle).
+  Status Insert(uncertain::ObjectId id, const geom::Rect& uregion,
+                const geom::Rect& ubr);
+
+  /// One object prepared for bulk loading.
+  struct BulkEntry {
+    uncertain::ObjectId id;
+    geom::Rect uregion;
+    geom::Rect ubr;
+  };
+
+  /// Top-down bulk construction (the "bulkloading" precomputation the
+  /// paper's conclusion proposes): recursively partitions the domain until
+  /// each leaf's entry set fits its page budget, then writes every leaf
+  /// chain exactly once — no per-insert head-page rewrites and no
+  /// split-time redistribution. Requires an empty tree; produces the same
+  /// query answers as incremental construction.
+  Status BulkLoad(const std::vector<BulkEntry>& entries);
+
+  /// Inserts into leaves overlapping `include` but NOT overlapping
+  /// `exclude` — the N' − N step of the incremental update (Section VI-B).
+  /// Leaf regions are disjoint, so region tests are exact set difference.
+  Status InsertDiff(uncertain::ObjectId id, const geom::Rect& uregion,
+                    const geom::Rect& include, const geom::Rect& exclude);
+
+  /// Inserts into leaves overlapping `range` for which `filter(leaf_region)`
+  /// also holds — lets callers index non-rectangular conservative regions
+  /// (the UV baseline's cell covers) through the same carrier.
+  using LeafFilter = std::function<bool(const geom::Rect& leaf_region)>;
+  Status InsertFiltered(uncertain::ObjectId id, const geom::Rect& uregion,
+                        const geom::Rect& range, const LeafFilter& filter);
+
+  /// Removes all entries of `id` from leaves overlapping `include`.
+  Status Remove(uncertain::ObjectId id, const geom::Rect& include);
+
+  /// Removes entries of `id` from leaves overlapping `include` but not
+  /// `exclude` (the N − N' step of insertion updates).
+  Status RemoveDiff(uncertain::ObjectId id, const geom::Rect& include,
+                    const geom::Rect& exclude);
+
+  /// PNNQ Step-1 carrier: all entries of the unique leaf containing `q`.
+  /// Every page of the leaf's list is read (and counted by the pager).
+  Result<std::vector<LeafEntry>> QueryPoint(const geom::Point& q) const;
+
+  /// Entries of every leaf overlapping `range`; may contain duplicates when
+  /// an object's UBR spans several leaves (callers dedupe by id).
+  Result<std::vector<LeafEntry>> CollectOverlapping(const geom::Rect& range) const;
+
+  const geom::Rect& domain() const { return domain_; }
+  int dim() const { return domain_.dim(); }
+
+  /// In-memory bytes consumed by node headers (the 5 MiB budget consumer).
+  size_t memory_used() const { return memory_used_; }
+  /// Total node count (leaves + internal).
+  size_t node_count() const { return node_count_; }
+  /// Number of leaf nodes.
+  size_t leaf_count() const { return leaf_count_; }
+  /// Deepest node level created (root = 0).
+  int depth() const { return depth_; }
+
+  /// Entries per 4 KiB leaf page for this dimensionality.
+  size_t PageCapacity() const;
+
+ private:
+  struct Node;
+
+  geom::Rect ChildRegion(const geom::Rect& region, unsigned child) const;
+  Status InsertRec(Node* node, const geom::Rect& region, int node_depth,
+                   uncertain::ObjectId id, const geom::Rect& uregion,
+                   const geom::Rect& ubr, const geom::Rect& include,
+                   const geom::Rect* exclude);
+  Status InsertFilteredRec(Node* node, const geom::Rect& region,
+                           int node_depth, uncertain::ObjectId id,
+                           const geom::Rect& uregion, const geom::Rect& range,
+                           const LeafFilter& filter);
+  Status InsertIntoLeaf(Node* leaf, const geom::Rect& region, int node_depth,
+                        uncertain::ObjectId id, const geom::Rect& uregion,
+                        const geom::Rect& ubr);
+  Status SplitLeaf(Node* leaf, const geom::Rect& region, int node_depth);
+  Status RemoveRec(Node* node, const geom::Rect& region,
+                   uncertain::ObjectId id, const geom::Rect& include,
+                   const geom::Rect* exclude);
+  Result<std::vector<LeafEntry>> ReadLeafEntries(const Node* leaf) const;
+  Status WriteLeafEntries(Node* leaf, const std::vector<LeafEntry>& entries);
+  Status CollectRec(const Node* node, const geom::Rect& region,
+                    const geom::Rect& range,
+                    std::vector<LeafEntry>* out) const;
+  Status BulkBuildRec(Node* node, const geom::Rect& region, int node_depth,
+                      const std::vector<BulkEntry>& entries,
+                      const std::vector<size_t>& items);
+
+  size_t EntryBytes() const;
+  size_t NodeBytes(bool internal) const;
+  bool CanAffordSplit() const;
+
+  geom::Rect domain_;
+  storage::Pager* pager_;
+  UbrResolver resolver_;
+  OctreeOptions options_;
+  std::unique_ptr<Node> root_;
+  size_t memory_used_ = 0;
+  size_t node_count_ = 0;
+  size_t leaf_count_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_OCTREE_H_

@@ -1,0 +1,177 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/pnnq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/storage/record_store.h"
+
+namespace pvdb::pv {
+
+std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
+                                                 const geom::Point& q) {
+  std::vector<uncertain::ObjectId> out;
+  if (db.size() == 0) return out;
+  double tau_sq = std::numeric_limits<double>::infinity();
+  for (const auto& o : db.objects()) {
+    tau_sq = std::min(tau_sq, geom::MaxDistSq(o.region(), q));
+  }
+  for (const auto& o : db.objects()) {
+    if (geom::MinDistSq(o.region(), q) <= tau_sq) out.push_back(o.id());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::Dataset* db) : db_(db) {
+  PVDB_CHECK(db_ != nullptr);
+}
+
+int64_t PnnStep2Evaluator::RecordPages(
+    const uncertain::UncertainObject& o) const {
+  // Secondary-index record: header (dim/pad + 2 rects) + serialized object.
+  const size_t d = static_cast<size_t>(o.dim());
+  const size_t header = 2 * sizeof(uint32_t) + 4 * sizeof(double) * d;
+  const size_t object = sizeof(uint64_t) + 2 * sizeof(uint32_t) +
+                        2 * sizeof(double) * d +
+                        o.pdf().size() * (sizeof(double) * d + sizeof(double));
+  return static_cast<int64_t>(
+      storage::RecordStore::PagesNeeded(header + object));
+}
+
+namespace {
+
+// Per-candidate sorted distance distribution with suffix probability sums:
+// survival(t) = P(dist(o', q) > t) in O(log n).
+struct DistanceTable {
+  std::vector<double> dist;     // ascending
+  std::vector<double> suffix;   // suffix[i] = sum of probs of dist[i..]
+
+  double Survival(double t) const {
+    // First index with dist > t (strict: ties do not count as "farther").
+    const auto it = std::upper_bound(dist.begin(), dist.end(), t);
+    const size_t i = static_cast<size_t>(it - dist.begin());
+    return i < suffix.size() ? suffix[i] : 0.0;
+  }
+};
+
+DistanceTable BuildTable(const uncertain::UncertainObject& o,
+                         const geom::Point& q) {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(o.pdf().size());
+  for (const auto& inst : o.pdf()) {
+    pairs.emplace_back(inst.position.DistanceTo(q), inst.probability);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  DistanceTable table;
+  table.dist.resize(pairs.size());
+  table.suffix.resize(pairs.size());
+  double run = 0.0;
+  for (size_t i = pairs.size(); i-- > 0;) {
+    run += pairs[i].second;
+    table.dist[i] = pairs[i].first;
+    table.suffix[i] = run;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
+    const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+    MetricRegistry* io, double min_probability) const {
+  std::vector<const uncertain::UncertainObject*> objs;
+  objs.reserve(candidates.size());
+  for (uncertain::ObjectId id : candidates) {
+    const uncertain::UncertainObject* o = db_->Find(id);
+    PVDB_CHECK(o != nullptr);
+    objs.push_back(o);
+    if (io != nullptr) {
+      io->Increment(PnnCounters::kPdfPagesRead, RecordPages(*o));
+    }
+  }
+
+  std::vector<DistanceTable> tables;
+  tables.reserve(objs.size());
+  for (const auto* o : objs) tables.push_back(BuildTable(*o, q));
+
+  std::vector<PnnResult> out;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    double prob = 0.0;
+    for (const auto& inst : objs[i]->pdf()) {
+      const double d = inst.position.DistanceTo(q);
+      double world = inst.probability;
+      for (size_t j = 0; j < objs.size() && world > 0.0; ++j) {
+        if (j == i) continue;
+        world *= tables[j].Survival(d);
+      }
+      prob += world;
+    }
+    if (prob > min_probability) {
+      out.push_back(PnnResult{objs[i]->id(), prob});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PnnResult& a, const PnnResult& b) {
+              return a.probability > b.probability;
+            });
+  return out;
+}
+
+std::vector<PnnResult> PnnStep2Evaluator::EstimateByMonteCarlo(
+    const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+    int trials, uint64_t seed) const {
+  PVDB_CHECK(trials > 0);
+  std::vector<const uncertain::UncertainObject*> objs;
+  for (uncertain::ObjectId id : candidates) {
+    const uncertain::UncertainObject* o = db_->Find(id);
+    PVDB_CHECK(o != nullptr);
+    objs.push_back(o);
+  }
+  // Precompute instance distances; sampling then picks one instance per
+  // object per world (instances are uniform-weight in our generators; the
+  // general weighted case uses inverse-CDF sampling).
+  std::vector<std::vector<double>> dists(objs.size());
+  std::vector<std::vector<double>> cdfs(objs.size());
+  for (size_t i = 0; i < objs.size(); ++i) {
+    double run = 0.0;
+    for (const auto& inst : objs[i]->pdf()) {
+      dists[i].push_back(inst.position.DistanceTo(q));
+      run += inst.probability;
+      cdfs[i].push_back(run);
+    }
+  }
+  std::vector<int64_t> wins(objs.size(), 0);
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i < objs.size(); ++i) {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cdfs[i].begin(), cdfs[i].end(), u);
+      const size_t k = std::min<size_t>(
+          static_cast<size_t>(it - cdfs[i].begin()), dists[i].size() - 1);
+      const double d = dists[i][k];
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    ++wins[best_i];
+  }
+  std::vector<PnnResult> out;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    out.push_back(PnnResult{objs[i]->id(),
+                            static_cast<double>(wins[i]) / trials});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PnnResult& a, const PnnResult& b) {
+              return a.probability > b.probability;
+            });
+  return out;
+}
+
+}  // namespace pvdb::pv

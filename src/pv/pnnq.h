@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Probabilistic Nearest Neighbor Query evaluation. Step 1 (candidate
+// retrieval) is pluggable — PV-index, R-tree branch-and-prune, UV-index or
+// the linear-scan oracle below; Step 2 computes qualification probabilities
+// with the method of Cheng et al. [8] instantiated on the discrete pdf model
+// the paper's experiments use (Section VII-A): for each instance x_i of o,
+// P(o = NN | o.a = x_i) = Π_{o' ≠ o} P(dist(o', q) > dist(x_i, q)), read off
+// per-object sorted distance arrays.
+
+#ifndef PVDB_PV_PNNQ_H_
+#define PVDB_PV_PNNQ_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/geom/distance.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::pv {
+
+/// One PNNQ answer: an object and its qualification probability.
+struct PnnResult {
+  uncertain::ObjectId id;
+  double probability;
+};
+
+/// Counter names charged by Step 2.
+struct PnnCounters {
+  /// Pages read to fetch candidate pdf records (secondary-index model; the
+  /// charge is identical whichever Step-1 index produced the candidates,
+  /// matching the equal-PC observation of Figure 9(b)).
+  static constexpr const char* kPdfPagesRead = "pnnq.pdf_pages_read";
+};
+
+/// PNNQ Step 1 oracle: linear-scan minmax filter
+/// {o : MinDist(u(o), q) <= min_{o'} MaxDist(u(o'), q)}. Ground truth for
+/// index correctness tests and the ultimate fallback implementation.
+std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
+                                                 const geom::Point& q);
+
+/// Step 2 evaluator over a database's discrete pdfs.
+class PnnStep2Evaluator {
+ public:
+  /// Borrows `db`; the caller keeps it alive and unmodified per evaluation.
+  explicit PnnStep2Evaluator(const uncertain::Dataset* db);
+
+  /// Computes qualification probabilities for `candidates` at query `q`.
+  /// Results with probability <= `min_probability` are dropped (the paper's
+  /// PNNQ returns objects with probability > 0). Pdf page reads are charged
+  /// to `io` when provided.
+  std::vector<PnnResult> Evaluate(const geom::Point& q,
+                                  std::span<const uncertain::ObjectId> candidates,
+                                  MetricRegistry* io = nullptr,
+                                  double min_probability = 0.0) const;
+
+  /// Monte-Carlo estimator of the same probabilities by joint possible-world
+  /// sampling (test oracle; `trials` independent worlds).
+  std::vector<PnnResult> EstimateByMonteCarlo(
+      const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+      int trials, uint64_t seed) const;
+
+  /// Pages a candidate's pdf record occupies (the Step-2 I/O charge).
+  int64_t RecordPages(const uncertain::UncertainObject& o) const;
+
+ private:
+  const uncertain::Dataset* db_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_PNNQ_H_

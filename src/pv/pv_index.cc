@@ -1,0 +1,291 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/pv_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/geom/distance.h"
+#include "src/geom/morton.h"
+
+namespace pvdb::pv {
+
+PvIndex::PvIndex(geom::Rect domain, storage::Pager* pager,
+                 PvIndexOptions options)
+    : domain_(std::move(domain)),
+      options_(options),
+      pager_(pager),
+      se_(domain_, options.se) {}
+
+Result<std::unique_ptr<PvIndex>> PvIndex::Build(const uncertain::Dataset& db,
+                                                storage::Pager* pager,
+                                                const PvIndexOptions& options,
+                                                BuildStats* stats) {
+  PVDB_CHECK(pager != nullptr);
+  BuildStats local;
+  BuildStats* st = stats ? stats : &local;
+  *st = BuildStats{};
+  StopWatch total;
+
+  auto index = std::unique_ptr<PvIndex>(
+      new PvIndex(db.domain(), pager, options));
+  PVDB_ASSIGN_OR_RETURN(SecondaryIndex secondary,
+                        SecondaryIndex::Create(pager));
+  index->secondary_ = std::make_unique<SecondaryIndex>(std::move(secondary));
+  SecondaryIndex* secondary_ptr = index->secondary_.get();
+  index->primary_ = std::make_unique<OctreePrimary>(
+      db.domain(), pager,
+      [secondary_ptr](uncertain::ObjectId id) {
+        return secondary_ptr->GetUbr(id);
+      },
+      options.octree);
+  index->mean_tree_ = std::make_unique<rtree::RStarTree>(db.dim());
+  for (const auto& o : db.objects()) {
+    index->mean_tree_->Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+  }
+
+  // Bulk-loading mode: process objects in Z-order so that neighboring UBRs
+  // arrive together and octree leaves split once instead of churning.
+  std::vector<size_t> order(db.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.build_order == BuildOrder::kMorton) {
+    std::vector<uint64_t> keys(db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      keys[i] = geom::MortonKey(db.objects()[i].MeanPosition(), db.domain());
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  }
+
+  auto& pager_metrics = pager->metrics();
+  std::vector<OctreePrimary::BulkEntry> bulk_entries;
+  if (options.bulk_primary) bulk_entries.reserve(db.size());
+
+  for (size_t pos : order) {
+    const auto& o = db.objects()[pos];
+    // Phase 1: chooseCSet (Fig 10(e) component 1).
+    StopWatch cset_watch;
+    const CSetResult cset = index->ChooseCSetFor(o, db);
+    st->choose_cset_ms += cset_watch.ElapsedMillis();
+    st->cset_size.Add(static_cast<double>(cset.ids.size()));
+
+    // Phase 2: SE (Fig 10(e) component 2).
+    StopWatch se_watch;
+    SeStats se_stats;
+    const geom::Rect ubr = index->se_.ComputeUbr(o, cset.regions, &se_stats);
+    st->compute_ubr_ms += se_watch.ElapsedMillis();
+    st->se.slab_tests += se_stats.slab_tests;
+    st->se.shrinks += se_stats.shrinks;
+    st->se.expands += se_stats.expands;
+    st->se.cells_examined += se_stats.cells_examined;
+
+    // Phase 3: insert. The secondary record must exist before the primary
+    // insert: leaf splits resolve UBRs through the secondary index.
+    StopWatch insert_watch;
+    PVDB_RETURN_NOT_OK(index->secondary_->Put(o, ubr));
+    if (options.bulk_primary) {
+      bulk_entries.push_back({o.id(), o.region(), ubr});
+    } else {
+      const int64_t writes_before =
+          pager_metrics.Get(storage::PagerCounters::kWrites);
+      PVDB_RETURN_NOT_OK(index->primary_->Insert(o.id(), o.region(), ubr));
+      st->primary_page_writes +=
+          pager_metrics.Get(storage::PagerCounters::kWrites) - writes_before;
+    }
+    st->insert_ms += insert_watch.ElapsedMillis();
+  }
+
+  if (options.bulk_primary) {
+    StopWatch bulk_watch;
+    const int64_t writes_before =
+        pager_metrics.Get(storage::PagerCounters::kWrites);
+    PVDB_RETURN_NOT_OK(index->primary_->BulkLoad(bulk_entries));
+    st->primary_page_writes +=
+        pager_metrics.Get(storage::PagerCounters::kWrites) - writes_before;
+    st->insert_ms += bulk_watch.ElapsedMillis();
+  }
+  st->total_ms = total.ElapsedMillis();
+  return index;
+}
+
+CSetResult PvIndex::ChooseCSetFor(const uncertain::UncertainObject& o,
+                                  const uncertain::Dataset& db) const {
+  return ChooseCSet(o, db, *mean_tree_, options_.cset);
+}
+
+Result<std::vector<uncertain::ObjectId>> PvIndex::QueryPossibleNN(
+    const geom::Point& q) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries,
+                        primary_->QueryPoint(q));
+  if (entries.empty()) return std::vector<uncertain::ObjectId>{};
+
+  // Minmax pruning (Section VI-A): an object whose minimum distance exceeds
+  // some other candidate's maximum distance can never be the NN.
+  double tau_sq = std::numeric_limits<double>::infinity();
+  for (const LeafEntry& e : entries) {
+    tau_sq = std::min(tau_sq, geom::MaxDistSq(e.region, q));
+  }
+  std::vector<uncertain::ObjectId> out;
+  out.reserve(entries.size());
+  for (const LeafEntry& e : entries) {
+    if (geom::MinDistSq(e.region, q) <= tau_sq) out.push_back(e.id);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental updates (Section VI-B)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Deduplicates leaf entries by object id, keeping one region per id.
+std::unordered_map<uncertain::ObjectId, geom::Rect> DedupeCandidates(
+    const std::vector<LeafEntry>& entries, uncertain::ObjectId exclude_id) {
+  std::unordered_map<uncertain::ObjectId, geom::Rect> out;
+  for (const LeafEntry& e : entries) {
+    if (e.id == exclude_id) continue;
+    out.emplace(e.id, e.region);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status PvIndex::DeleteObject(const uncertain::Dataset& db_after,
+                             const uncertain::UncertainObject& removed,
+                             UpdateStats* stats) {
+  UpdateStats local;
+  UpdateStats* st = stats ? stats : &local;
+  *st = UpdateStats{};
+  StopWatch total;
+
+  const uncertain::ObjectId oid = removed.id();
+  if (db_after.Find(oid) != nullptr) {
+    return Status::InvalidArgument("db_after still contains the object");
+  }
+
+  // Step 1: the trigger's old UBR from the secondary index.
+  PVDB_ASSIGN_OR_RETURN(SecondaryIndex::Header trigger,
+                        secondary_->GetHeader(oid));
+  const geom::Rect& trigger_ubr = trigger.ubr;
+
+  // Step 2: candidate objects = entries of leaves overlapping B(S, o').
+  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> leaf_entries,
+                        primary_->CollectOverlapping(trigger_ubr));
+  auto candidates = DedupeCandidates(leaf_entries, oid);
+  st->candidates = static_cast<int>(candidates.size());
+
+  // Lemma 8 filters: (3) intersecting uncertainty regions mean o' never
+  // constrained V(o); (1) disjoint UBRs imply disjoint PV-cells.
+  struct Affected {
+    uncertain::ObjectId id;
+    geom::Rect old_ubr;
+  };
+  std::vector<Affected> affected;
+  for (const auto& [cid, cregion] : candidates) {
+    if (cregion.Intersects(removed.region())) continue;  // condition (3)
+    PVDB_ASSIGN_OR_RETURN(geom::Rect old_ubr, secondary_->GetUbr(cid));
+    if (!old_ubr.Intersects(trigger_ubr)) continue;  // condition (1)
+    affected.push_back({cid, std::move(old_ubr)});
+  }
+  st->affected = static_cast<int>(affected.size());
+
+  // Step 4a: drop the trigger from both index parts and the mean tree.
+  PVDB_RETURN_NOT_OK(primary_->Remove(oid, trigger_ubr));
+  PVDB_RETURN_NOT_OK(secondary_->Remove(oid));
+  mean_tree_->Erase(geom::Rect::FromPoint(removed.MeanPosition()), oid);
+
+  // Steps 3 + 4b: recompute UBRs of affected objects with the warm-started
+  // SE (l = old UBR; Lemma 9 guarantees growth) and patch the leaf sets:
+  // N' ⊇ N, so only leaves overlapping the new UBR but not the old one
+  // receive entries.
+  for (const Affected& a : affected) {
+    const uncertain::UncertainObject* obj = db_after.Find(a.id);
+    if (obj == nullptr) {
+      return Status::Internal("affected object missing from db_after");
+    }
+    const CSetResult cset = ChooseCSetFor(*obj, db_after);
+    StopWatch se_watch;
+    const geom::Rect new_ubr =
+        se_.ComputeUbrAfterDeletion(*obj, a.old_ubr, cset.regions);
+    st->se_ms += se_watch.ElapsedMillis();
+    PVDB_DCHECK(new_ubr.ContainsRect(a.old_ubr));
+    // Secondary first: primary splits resolve UBRs through it.
+    PVDB_RETURN_NOT_OK(secondary_->UpdateUbr(a.id, new_ubr));
+    PVDB_RETURN_NOT_OK(
+        primary_->InsertDiff(a.id, obj->region(), new_ubr, a.old_ubr));
+  }
+  st->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+Status PvIndex::InsertObject(const uncertain::Dataset& db_after,
+                             uncertain::ObjectId new_id, UpdateStats* stats) {
+  UpdateStats local;
+  UpdateStats* st = stats ? stats : &local;
+  *st = UpdateStats{};
+  StopWatch total;
+
+  const uncertain::UncertainObject* inserted = db_after.Find(new_id);
+  if (inserted == nullptr) {
+    return Status::InvalidArgument("db_after does not contain the new object");
+  }
+
+  // Step 1: B(S', o') by a full SE run over the post-insertion database.
+  mean_tree_->Insert(geom::Rect::FromPoint(inserted->MeanPosition()), new_id);
+  const CSetResult trigger_cset = ChooseCSetFor(*inserted, db_after);
+  StopWatch se_watch_trigger;
+  const geom::Rect trigger_ubr =
+      se_.ComputeUbr(*inserted, trigger_cset.regions);
+  st->se_ms += se_watch_trigger.ElapsedMillis();
+
+  // Step 2: candidates from leaves overlapping B(S', o'), filtered by
+  // Lemma 8 conditions (3) and (2).
+  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> leaf_entries,
+                        primary_->CollectOverlapping(trigger_ubr));
+  auto candidates = DedupeCandidates(leaf_entries, new_id);
+  st->candidates = static_cast<int>(candidates.size());
+
+  struct Affected {
+    uncertain::ObjectId id;
+    geom::Rect old_ubr;
+  };
+  std::vector<Affected> affected;
+  for (const auto& [cid, cregion] : candidates) {
+    if (cregion.Intersects(inserted->region())) continue;  // condition (3)
+    PVDB_ASSIGN_OR_RETURN(geom::Rect old_ubr, secondary_->GetUbr(cid));
+    if (!old_ubr.Intersects(trigger_ubr)) continue;  // condition (2)
+    affected.push_back({cid, std::move(old_ubr)});
+  }
+  st->affected = static_cast<int>(affected.size());
+
+  // Step 3 + 4: shrink affected UBRs with warm-started SE (h = old UBR,
+  // Lemma 9) and remove their entries from leaves they no longer reach
+  // (N − N').
+  for (const Affected& a : affected) {
+    const uncertain::UncertainObject* obj = db_after.Find(a.id);
+    if (obj == nullptr) {
+      return Status::Internal("affected object missing from db_after");
+    }
+    const CSetResult cset = ChooseCSetFor(*obj, db_after);
+    StopWatch se_watch;
+    const geom::Rect new_ubr =
+        se_.ComputeUbrAfterInsertion(*obj, a.old_ubr, cset.regions);
+    st->se_ms += se_watch.ElapsedMillis();
+    PVDB_DCHECK(a.old_ubr.ContainsRect(new_ubr));
+    PVDB_RETURN_NOT_OK(secondary_->UpdateUbr(a.id, new_ubr));
+    PVDB_RETURN_NOT_OK(primary_->RemoveDiff(a.id, a.old_ubr, new_ubr));
+  }
+
+  // Finally insert the trigger itself (secondary first; see Build).
+  PVDB_RETURN_NOT_OK(secondary_->Put(*inserted, trigger_ubr));
+  PVDB_RETURN_NOT_OK(
+      primary_->Insert(new_id, inserted->region(), trigger_ubr));
+  st->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace pvdb::pv

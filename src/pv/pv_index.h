@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The PV-index (Section VI): orchestrates the SE algorithm, the octree
+// primary index and the extensible-hash secondary index into the paper's
+// headline structure. Supports:
+//   * construction (one UBR per object, Section VI-A),
+//   * PNNQ Step-1 point queries (leaf lookup + minmax pruning),
+//   * incremental object insertion and deletion (Section VI-B) using the
+//     Lemma-8 affected-object filters and Lemma-9 warm-started SE runs.
+
+#ifndef PVDB_PV_PV_INDEX_H_
+#define PVDB_PV_PV_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/timer.h"
+#include "src/pv/cset.h"
+#include "src/pv/octree.h"
+#include "src/pv/se.h"
+#include "src/pv/secondary_index.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::pv {
+
+/// Construction insertion order.
+enum class BuildOrder {
+  /// Database order (the paper's construction, Section VI-A).
+  kInsertion,
+  /// Z-order of object mean positions: a bulk-loading mode (the
+  /// "bulkloading" precomputation suggested in the paper's conclusion) that
+  /// groups spatially adjacent UBRs so leaves fill before they split.
+  kMorton,
+};
+
+/// All PV-index tunables in one options struct (RocksDB idiom); defaults are
+/// the paper's Table I bold values.
+struct PvIndexOptions {
+  SeOptions se;
+  CSetOptions cset;
+  OctreeOptions octree;
+  BuildOrder build_order = BuildOrder::kInsertion;
+  /// Top-down bulk construction of the primary octree (writes each leaf
+  /// chain once instead of per-insert head-page rewrites). Identical query
+  /// answers; see OctreePrimary::BulkLoad.
+  bool bulk_primary = false;
+};
+
+/// Construction instrumentation (Figures 10(b)–10(f)).
+struct BuildStats {
+  /// Wall time in chooseCSet across all objects (Fig 10(e) left bar).
+  double choose_cset_ms = 0.0;
+  /// Wall time computing UBRs via SE (Fig 10(e) right bar).
+  double compute_ubr_ms = 0.0;
+  /// Wall time inserting UBRs into primary+secondary.
+  double insert_ms = 0.0;
+  /// End-to-end construction wall time.
+  double total_ms = 0.0;
+  /// Distribution of C-set sizes (IS vs FS comparison, Section VII-C(b)).
+  Summary cset_size;
+  /// Aggregated SE counters.
+  SeStats se;
+  /// Pages written while populating the primary octree (bulk-load ablation).
+  int64_t primary_page_writes = 0;
+};
+
+/// Incremental-update instrumentation (Figures 10(h)/(i)).
+struct UpdateStats {
+  /// Objects found in leaves overlapping the trigger UBR.
+  int candidates = 0;
+  /// Objects surviving the Lemma-8 filters (UBRs recomputed).
+  int affected = 0;
+  /// Wall time of the update.
+  double total_ms = 0.0;
+  /// Wall time inside warm-started SE runs.
+  double se_ms = 0.0;
+};
+
+/// The PV-index.
+class PvIndex {
+ public:
+  /// Builds the index over `db`, storing pages on `pager` (borrowed).
+  static Result<std::unique_ptr<PvIndex>> Build(const uncertain::Dataset& db,
+                                                storage::Pager* pager,
+                                                const PvIndexOptions& options,
+                                                BuildStats* stats = nullptr);
+
+  /// PNNQ Step 1: ids of all objects with non-zero probability of being the
+  /// nearest neighbor of `q` (conservative candidate set after minmax
+  /// pruning — identical to the R-tree baseline's answer set).
+  Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
+      const geom::Point& q) const;
+
+  /// Incremental maintenance (Section VI-B). `db_after` is the database
+  /// state *after* the change; for insertion the new object must already be
+  /// in `db_after`, for deletion `removed` is the just-removed object.
+  Status InsertObject(const uncertain::Dataset& db_after,
+                      uncertain::ObjectId new_id, UpdateStats* stats = nullptr);
+  Status DeleteObject(const uncertain::Dataset& db_after,
+                      const uncertain::UncertainObject& removed,
+                      UpdateStats* stats = nullptr);
+
+  /// Current UBR of an object (test/inspection access).
+  Result<geom::Rect> GetUbr(uncertain::ObjectId id) const {
+    return secondary_->GetUbr(id);
+  }
+
+  /// Full stored record of an object.
+  Result<uncertain::UncertainObject> GetObject(uncertain::ObjectId id) const {
+    return secondary_->GetObject(id);
+  }
+
+  const OctreePrimary& primary() const { return *primary_; }
+  const SecondaryIndex& secondary() const { return *secondary_; }
+  storage::Pager* pager() const { return pager_; }
+  const PvIndexOptions& options() const { return options_; }
+  const geom::Rect& domain() const { return domain_; }
+
+ private:
+  PvIndex(geom::Rect domain, storage::Pager* pager, PvIndexOptions options);
+
+  /// Recomputes one object's C-set against `db` (uses the mean-position
+  /// R-tree maintained incrementally across updates).
+  CSetResult ChooseCSetFor(const uncertain::UncertainObject& o,
+                           const uncertain::Dataset& db) const;
+
+  geom::Rect domain_;
+  PvIndexOptions options_;
+  storage::Pager* pager_;
+  SeAlgorithm se_;
+  std::unique_ptr<SecondaryIndex> secondary_;
+  std::unique_ptr<OctreePrimary> primary_;
+  std::unique_ptr<rtree::RStarTree> mean_tree_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_PV_INDEX_H_

@@ -1,0 +1,106 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/se.h"
+
+#include <algorithm>
+
+namespace pvdb::pv {
+namespace {
+
+// Iteration safety valve per direction: 2^64 halvings exceed any double's
+// resolution, so a run that long indicates a logic error.
+constexpr int kMaxRoundsPerDirection = 64;
+
+}  // namespace
+
+geom::Rect SeAlgorithm::ComputeUbr(const uncertain::UncertainObject& o,
+                                   std::span<const geom::Rect> cset,
+                                   SeStats* stats) const {
+  return Run(o, o.region(), domain_, cset, stats);
+}
+
+geom::Rect SeAlgorithm::ComputeUbrAfterDeletion(
+    const uncertain::UncertainObject& o, const geom::Rect& old_ubr,
+    std::span<const geom::Rect> cset, SeStats* stats) const {
+  // l may overshoot M(S', o) (footnote 4); h = D keeps the result sound.
+  return Run(o, old_ubr, domain_, cset, stats);
+}
+
+geom::Rect SeAlgorithm::ComputeUbrAfterInsertion(
+    const uncertain::UncertainObject& o, const geom::Rect& old_ubr,
+    std::span<const geom::Rect> cset, SeStats* stats) const {
+  // V(S', o) ⊆ V(S, o) ⊆ old UBR (Lemma 9), so h can start from it.
+  return Run(o, o.region(), old_ubr, cset, stats);
+}
+
+geom::Rect SeAlgorithm::Run(const uncertain::UncertainObject& o, geom::Rect l,
+                            geom::Rect h, std::span<const geom::Rect> cset,
+                            SeStats* stats) const {
+  SeStats local;
+  SeStats* st = stats ? stats : &local;
+  *st = SeStats{};
+
+  const int d = domain_.dim();
+  PVDB_CHECK(o.dim() == d);
+  PVDB_CHECK(h.ContainsRect(l));
+
+  // With an empty C-set no slab can ever be proven empty; h is the answer.
+  if (cset.empty()) return h;
+
+  // Round-robin over (dimension, direction) pairs until every gap < Δ, as in
+  // Algorithm 1's per-iteration sweep over all 2d directions.
+  for (int round = 0; round < kMaxRoundsPerDirection; ++round) {
+    bool any_gap = false;
+    for (int j = 0; j < d; ++j) {
+      for (int dir = 0; dir < 2; ++dir) {  // 0 = low, 1 = high
+        const bool high = dir == 1;
+        const double h_bound = high ? h.hi(j) : h.lo(j);
+        const double l_bound = high ? l.hi(j) : l.lo(j);
+        const double gap = high ? h_bound - l_bound : l_bound - h_bound;
+        PVDB_DCHECK(gap >= -1e-9);
+        if (gap < options_.delta) continue;
+        any_gap = true;
+
+        // Step 7: mid-plane between h and l in this direction.
+        const double mid = 0.5 * (h_bound + l_bound);
+        // Step 8: slab R between the mid-plane and h's boundary, spanning h
+        // in every other dimension.
+        geom::Rect slab = h;
+        if (high) {
+          slab.set_lo(j, mid);
+        } else {
+          slab.set_hi(j, mid);
+        }
+
+        // Step 9: does the slab provably avoid I(Cset, o)?
+        ++st->slab_tests;
+        geom::PartitionStats pstats;
+        const bool outside = geom::ProvenOutsidePVCell(
+            slab, o.region(), cset, options_.max_partitions, &pstats);
+        st->cells_examined += pstats.cells_examined;
+        if (outside) {
+          // Step 10: shrink h to the mid-plane.
+          ++st->shrinks;
+          if (high) {
+            h.set_hi(j, mid);
+          } else {
+            h.set_lo(j, mid);
+          }
+        } else {
+          // Step 12: expand l to the mid-plane.
+          ++st->expands;
+          if (high) {
+            l.set_hi(j, mid);
+          } else {
+            l.set_lo(j, mid);
+          }
+        }
+      }
+    }
+    if (!any_gap) break;
+  }
+  PVDB_DCHECK(h.ContainsRect(l));
+  return h;
+}
+
+}  // namespace pvdb::pv

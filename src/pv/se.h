@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The Shrink-and-Expand (SE) algorithm (Section V, Algorithm 1): computes an
+// Uncertain Bounding Rectangle B(o) ⊇ V(o) without ever materializing the
+// PV-cell. M(o) is sandwiched between a lower rectangle l(o) (initially
+// u(o), Lemma 5) and an upper rectangle h(o) (initially the domain D,
+// Lemma 4). Each iteration halves the gap in one (dimension, direction):
+// the slab R between the mid-plane and h's boundary is tested against
+// I(Cset, o) with the domination-count machinery; a proven-empty slab
+// shrinks h, otherwise l expands. h is returned once every gap is < Δ.
+//
+// Only h carries correctness: it shrinks exclusively on proofs, so
+// V(o) ⊆ h(o) is invariant — including in the warm-started variants of
+// Section VI-B, where l (deletion) or h (insertion) starts from the
+// pre-update UBR (footnote 4 of the paper).
+
+#ifndef PVDB_PV_SE_H_
+#define PVDB_PV_SE_H_
+
+#include <span>
+
+#include "src/geom/region_partition.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::pv {
+
+/// SE tuning parameters (defaults = Table I bold values).
+struct SeOptions {
+  /// Δ: terminate once every directional gap |h−l| falls below this.
+  double delta = 1.0;
+  /// m_max: partition budget of each Step-9 emptiness test.
+  int max_partitions = 10;
+};
+
+/// Instrumentation of one SE run.
+struct SeStats {
+  /// Slab emptiness tests performed (Step 9 executions).
+  int slab_tests = 0;
+  /// Tests that proved emptiness (h was shrunk).
+  int shrinks = 0;
+  /// Tests that failed to prove emptiness (l was expanded).
+  int expands = 0;
+  /// Total sub-rectangles examined across all domination-count tests.
+  int cells_examined = 0;
+};
+
+/// Shrink-and-Expand UBR computation over a fixed domain D.
+class SeAlgorithm {
+ public:
+  SeAlgorithm(geom::Rect domain, SeOptions options)
+      : domain_(std::move(domain)), options_(options) {
+    PVDB_CHECK(options_.delta > 0.0);
+    PVDB_CHECK(options_.max_partitions >= 1);
+  }
+
+  const geom::Rect& domain() const { return domain_; }
+  const SeOptions& options() const { return options_; }
+
+  /// Computes B(o) from scratch: l = u(o), h = D (Algorithm 1).
+  /// `cset` holds the uncertainty regions of Cset(o) (o excluded).
+  geom::Rect ComputeUbr(const uncertain::UncertainObject& o,
+                        std::span<const geom::Rect> cset,
+                        SeStats* stats = nullptr) const;
+
+  /// Warm start after deleting another object (Section VI-B): V(o) can only
+  /// grow (Lemma 9), so the old UBR seeds l while h restarts from D.
+  geom::Rect ComputeUbrAfterDeletion(const uncertain::UncertainObject& o,
+                                     const geom::Rect& old_ubr,
+                                     std::span<const geom::Rect> cset,
+                                     SeStats* stats = nullptr) const;
+
+  /// Warm start after inserting another object (Section VI-B): V(o) can only
+  /// shrink (Lemma 9), so the old UBR seeds h while l restarts from u(o).
+  geom::Rect ComputeUbrAfterInsertion(const uncertain::UncertainObject& o,
+                                      const geom::Rect& old_ubr,
+                                      std::span<const geom::Rect> cset,
+                                      SeStats* stats = nullptr) const;
+
+ private:
+  geom::Rect Run(const uncertain::UncertainObject& o, geom::Rect l,
+                 geom::Rect h, std::span<const geom::Rect> cset,
+                 SeStats* stats) const;
+
+  geom::Rect domain_;
+  SeOptions options_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_SE_H_

@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/secondary_index.h"
+
+#include <cstring>
+
+namespace pvdb::pv {
+namespace {
+
+// Record layout:
+//   [dim: u32][pad: u32]
+//   [ubr lo/hi interleaved: 2·d doubles]
+//   [uregion lo/hi interleaved: 2·d doubles]
+//   [object payload: UncertainObject::AppendTo]
+
+void AppendRect(std::vector<uint8_t>* out, const geom::Rect& r) {
+  for (int i = 0; i < r.dim(); ++i) {
+    const double lo = r.lo(i), hi = r.hi(i);
+    const auto* plo = reinterpret_cast<const uint8_t*>(&lo);
+    const auto* phi = reinterpret_cast<const uint8_t*>(&hi);
+    out->insert(out->end(), plo, plo + sizeof(double));
+    out->insert(out->end(), phi, phi + sizeof(double));
+  }
+}
+
+Result<geom::Rect> ParseRect(const std::vector<uint8_t>& bytes, size_t* off,
+                             int dim) {
+  if (*off + 2 * sizeof(double) * static_cast<size_t>(dim) > bytes.size()) {
+    return Status::Corruption("secondary record truncated rect");
+  }
+  geom::Point lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    double l, h;
+    std::memcpy(&l, bytes.data() + *off, sizeof(double));
+    *off += sizeof(double);
+    std::memcpy(&h, bytes.data() + *off, sizeof(double));
+    *off += sizeof(double);
+    lo[i] = l;
+    hi[i] = h;
+  }
+  return geom::Rect(lo, hi);
+}
+
+}  // namespace
+
+size_t SecondaryIndex::HeaderBytes(int dim) {
+  return 2 * sizeof(uint32_t) + 4 * sizeof(double) * static_cast<size_t>(dim);
+}
+
+SecondaryIndex::SecondaryIndex(storage::Pager* pager)
+    : pager_(pager),
+      store_(std::make_unique<storage::RecordStore>(pager)) {}
+
+Result<SecondaryIndex> SecondaryIndex::Create(storage::Pager* pager) {
+  PVDB_CHECK(pager != nullptr);
+  SecondaryIndex index(pager);
+  PVDB_ASSIGN_OR_RETURN(storage::ExtendibleHash hash,
+                        storage::ExtendibleHash::Create(pager));
+  index.hash_ = std::make_unique<storage::ExtendibleHash>(std::move(hash));
+  return index;
+}
+
+Status SecondaryIndex::Put(const uncertain::UncertainObject& o,
+                           const geom::Rect& ubr) {
+  std::vector<uint8_t> bytes;
+  const uint32_t dim = static_cast<uint32_t>(o.dim());
+  const uint32_t pad = 0;
+  const auto* pdim = reinterpret_cast<const uint8_t*>(&dim);
+  const auto* ppad = reinterpret_cast<const uint8_t*>(&pad);
+  bytes.insert(bytes.end(), pdim, pdim + sizeof(dim));
+  bytes.insert(bytes.end(), ppad, ppad + sizeof(pad));
+  AppendRect(&bytes, ubr);
+  AppendRect(&bytes, o.region());
+  o.AppendTo(&bytes);
+
+  // Replace semantics: drop any existing record first.
+  auto existing = hash_->Get(o.id());
+  if (existing.ok()) {
+    PVDB_RETURN_NOT_OK(store_->Delete(existing.value()));
+  }
+  PVDB_ASSIGN_OR_RETURN(storage::RecordRef ref, store_->Put(bytes));
+  return hash_->Put(o.id(), ref);
+}
+
+Result<SecondaryIndex::Header> SecondaryIndex::GetHeader(
+    uncertain::ObjectId id) const {
+  PVDB_ASSIGN_OR_RETURN(storage::RecordRef ref, hash_->Get(id));
+  // Read dim first (one page holds the whole header anyway).
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> head,
+                        store_->GetPrefix(ref, std::min<size_t>(
+                                                   ref.length,
+                                                   HeaderBytes(geom::kMaxDim))));
+  if (head.size() < 2 * sizeof(uint32_t)) {
+    return Status::Corruption("secondary record too short");
+  }
+  uint32_t dim;
+  std::memcpy(&dim, head.data(), sizeof(dim));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim) ||
+      head.size() < HeaderBytes(static_cast<int>(dim))) {
+    return Status::Corruption("secondary record bad header");
+  }
+  size_t off = 2 * sizeof(uint32_t);
+  PVDB_ASSIGN_OR_RETURN(geom::Rect ubr,
+                        ParseRect(head, &off, static_cast<int>(dim)));
+  PVDB_ASSIGN_OR_RETURN(geom::Rect ureg,
+                        ParseRect(head, &off, static_cast<int>(dim)));
+  return Header(std::move(ubr), std::move(ureg));
+}
+
+Result<geom::Rect> SecondaryIndex::GetUbr(uncertain::ObjectId id) const {
+  PVDB_ASSIGN_OR_RETURN(Header header, GetHeader(id));
+  return header.ubr;
+}
+
+Result<uncertain::UncertainObject> SecondaryIndex::GetObject(
+    uncertain::ObjectId id) const {
+  PVDB_ASSIGN_OR_RETURN(storage::RecordRef ref, hash_->Get(id));
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Get(ref));
+  if (bytes.size() < 2 * sizeof(uint32_t)) {
+    return Status::Corruption("secondary record too short");
+  }
+  uint32_t dim;
+  std::memcpy(&dim, bytes.data(), sizeof(dim));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("secondary record bad dim");
+  }
+  size_t off = HeaderBytes(static_cast<int>(dim));
+  return uncertain::UncertainObject::ParseFrom(bytes, &off);
+}
+
+Status SecondaryIndex::UpdateUbr(uncertain::ObjectId id,
+                                 const geom::Rect& ubr) {
+  PVDB_ASSIGN_OR_RETURN(storage::RecordRef ref, hash_->Get(id));
+  // Rewrite [dim, pad, ubr] — the leading slice of the header.
+  std::vector<uint8_t> prefix;
+  const uint32_t dim = static_cast<uint32_t>(ubr.dim());
+  const uint32_t pad = 0;
+  const auto* pdim = reinterpret_cast<const uint8_t*>(&dim);
+  const auto* ppad = reinterpret_cast<const uint8_t*>(&pad);
+  prefix.insert(prefix.end(), pdim, pdim + sizeof(dim));
+  prefix.insert(prefix.end(), ppad, ppad + sizeof(pad));
+  AppendRect(&prefix, ubr);
+  return store_->WritePrefix(ref, prefix);
+}
+
+Status SecondaryIndex::Remove(uncertain::ObjectId id) {
+  PVDB_ASSIGN_OR_RETURN(storage::RecordRef ref, hash_->Get(id));
+  PVDB_RETURN_NOT_OK(store_->Delete(ref));
+  return hash_->Delete(id);
+}
+
+}  // namespace pvdb::pv

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The PV-index's secondary index (Section VI-A): an extensible hash table
+// keyed by object id whose records hold the object's UBR B(o), its
+// uncertainty region u(o) and its discrete pdf. Records live in a paged
+// record store (a 500-sample pdf spans several 4 KiB pages); the UBR and
+// region sit in a fixed-size header at the front of each record so that
+// UBR reads and updates touch a single page.
+
+#ifndef PVDB_PV_SECONDARY_INDEX_H_
+#define PVDB_PV_SECONDARY_INDEX_H_
+
+#include <optional>
+
+#include "src/storage/extendible_hash.h"
+#include "src/storage/record_store.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::pv {
+
+/// Disk-backed object catalog: id → (UBR, u(o), pdf).
+class SecondaryIndex {
+ public:
+  /// Fixed-size record header available via one-page reads.
+  struct Header {
+    geom::Rect ubr;
+    geom::Rect uregion;
+    Header(geom::Rect u, geom::Rect r)
+        : ubr(std::move(u)), uregion(std::move(r)) {}
+  };
+
+  /// Creates an empty index on `pager` (which the caller keeps alive).
+  static Result<SecondaryIndex> Create(storage::Pager* pager);
+
+  /// Inserts (or replaces) the record of `o` with UBR `ubr`.
+  Status Put(const uncertain::UncertainObject& o, const geom::Rect& ubr);
+
+  /// Reads only the record header (UBR + uncertainty region): at most two
+  /// page reads (hash bucket + record head page).
+  Result<Header> GetHeader(uncertain::ObjectId id) const;
+
+  /// Reads only the UBR.
+  Result<geom::Rect> GetUbr(uncertain::ObjectId id) const;
+
+  /// Reads the full record including the pdf.
+  Result<uncertain::UncertainObject> GetObject(uncertain::ObjectId id) const;
+
+  /// Overwrites the stored UBR in place (single-page write).
+  Status UpdateUbr(uncertain::ObjectId id, const geom::Rect& ubr);
+
+  /// Removes the record of `id`.
+  Status Remove(uncertain::ObjectId id);
+
+  /// Number of stored objects.
+  uint64_t Size() const { return hash_->Size(); }
+
+ private:
+  SecondaryIndex(storage::Pager* pager);
+
+  static size_t HeaderBytes(int dim);
+
+  storage::Pager* pager_;
+  std::unique_ptr<storage::RecordStore> store_;
+  std::unique_ptr<storage::ExtendibleHash> hash_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_SECONDARY_INDEX_H_

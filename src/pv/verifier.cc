@@ -1,0 +1,159 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvdb::pv {
+namespace {
+
+// Sorted (distance, weight) view of one candidate's pdf w.r.t. the query,
+// with suffix mass sums for O(log n) survival lookups.
+struct SurvivalTable {
+  std::vector<double> dist;
+  std::vector<double> suffix;
+
+  double Survival(double t) const {
+    const auto it = std::upper_bound(dist.begin(), dist.end(), t);
+    const size_t i = static_cast<size_t>(it - dist.begin());
+    return i < suffix.size() ? suffix[i] : 0.0;
+  }
+};
+
+SurvivalTable BuildSurvival(const uncertain::UncertainObject& o,
+                            const geom::Point& q) {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(o.pdf().size());
+  for (const auto& inst : o.pdf()) {
+    pairs.emplace_back(inst.position.DistanceTo(q), inst.probability);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  SurvivalTable table;
+  table.dist.resize(pairs.size());
+  table.suffix.resize(pairs.size());
+  double run = 0.0;
+  for (size_t i = pairs.size(); i-- > 0;) {
+    run += pairs[i].second;
+    table.dist[i] = pairs[i].first;
+    table.suffix[i] = run;
+  }
+  return table;
+}
+
+// One contiguous distance bin of a candidate's sorted samples.
+struct Bin {
+  double lo_dist;
+  double hi_dist;
+  double mass;
+};
+
+std::vector<Bin> MakeBins(const SurvivalTable& table, int bins) {
+  const size_t n = table.dist.size();
+  const size_t b = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(bins), n));
+  std::vector<Bin> out;
+  out.reserve(b);
+  const size_t chunk = (n + b - 1) / b;
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t end = std::min(n, start + chunk);
+    const double mass = table.suffix[start] -
+                        (end < n ? table.suffix[end] : 0.0);
+    out.push_back(Bin{table.dist[start], table.dist[end - 1], mass});
+  }
+  return out;
+}
+
+}  // namespace
+
+ProbabilisticVerifier::ProbabilisticVerifier(const uncertain::Dataset* db,
+                                             VerifierOptions options)
+    : db_(db), options_(options), exact_(db) {
+  PVDB_CHECK(db_ != nullptr);
+  PVDB_CHECK(options_.bins >= 1);
+}
+
+std::vector<ProbabilityBounds> ProbabilisticVerifier::Bounds(
+    const geom::Point& q,
+    std::span<const uncertain::ObjectId> candidates) const {
+  std::vector<const uncertain::UncertainObject*> objs;
+  objs.reserve(candidates.size());
+  for (uncertain::ObjectId id : candidates) {
+    const uncertain::UncertainObject* o = db_->Find(id);
+    PVDB_CHECK(o != nullptr);
+    objs.push_back(o);
+  }
+  std::vector<SurvivalTable> tables;
+  tables.reserve(objs.size());
+  for (const auto* o : objs) tables.push_back(BuildSurvival(*o, q));
+
+  std::vector<ProbabilityBounds> out;
+  out.reserve(objs.size());
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const std::vector<Bin> bins = MakeBins(tables[i], options_.bins);
+    double lower = 0.0, upper = 0.0;
+    for (const Bin& bin : bins) {
+      // Pessimistic: all of the bin's mass at its farthest distance;
+      // optimistic: all of it at its nearest distance. Survival functions
+      // are non-increasing, so these bracket every sample's true factor.
+      double lo_product = bin.mass;
+      double hi_product = bin.mass;
+      for (size_t j = 0; j < objs.size() && (lo_product > 0 || hi_product > 0);
+           ++j) {
+        if (j == i) continue;
+        lo_product *= tables[j].Survival(bin.hi_dist);
+        hi_product *= tables[j].Survival(bin.lo_dist);
+      }
+      lower += lo_product;
+      upper += hi_product;
+    }
+    upper = std::min(upper, 1.0);
+    lower = std::min(lower, upper);
+    out.push_back(ProbabilityBounds{objs[i]->id(), lower, upper});
+  }
+  return out;
+}
+
+std::vector<PnnResult> ProbabilisticVerifier::EvaluateThreshold(
+    const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+    double tau, VerifierStats* stats) const {
+  PVDB_CHECK(tau > 0.0);
+  VerifierStats local;
+  VerifierStats* st = stats ? stats : &local;
+  *st = VerifierStats{};
+
+  const std::vector<ProbabilityBounds> bounds = Bounds(q, candidates);
+  std::vector<PnnResult> out;
+  std::vector<uncertain::ObjectId> undecided;
+  for (const ProbabilityBounds& b : bounds) {
+    if (b.lower >= tau) {
+      ++st->accepted_by_bounds;
+      out.push_back(PnnResult{b.id, b.lower});
+    } else if (b.upper < tau) {
+      ++st->rejected_by_bounds;
+    } else {
+      ++st->exact_fallbacks;
+      undecided.push_back(b.id);
+    }
+  }
+  if (!undecided.empty()) {
+    // One exact pass decides every undecided candidate (the evaluation is
+    // shared across candidates anyway).
+    const auto exact = exact_.Evaluate(q, candidates);
+    for (uncertain::ObjectId id : undecided) {
+      for (const PnnResult& r : exact) {
+        if (r.id == id && r.probability >= tau) {
+          out.push_back(r);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PnnResult& a, const PnnResult& b) {
+              return a.probability > b.probability;
+            });
+  return out;
+}
+
+}  // namespace pvdb::pv

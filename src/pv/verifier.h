@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Probabilistic verifiers for PNNQ Step 2 — the approach of Cheng et al.,
+// "Probabilistic verifiers: evaluating constrained nearest-neighbor queries
+// over uncertain data" (ICDE 2008, reference [11]). For probability-
+// threshold queries ("objects with P(nearest) >= τ"), the verifier computes
+// cheap lower/upper probability bounds from a coarse distance-binned view
+// of each candidate's pdf and classifies candidates as ACCEPT / REJECT
+// without the full product-form evaluation; only undecided candidates fall
+// back to the exact Step 2. The paper's footnote 11 points out that such
+// fast PC implementations *raise* the fraction of query time spent on
+// object retrieval — the very cost the PV-index attacks;
+// bench_verifier_step2 quantifies that shift.
+
+#ifndef PVDB_PV_VERIFIER_H_
+#define PVDB_PV_VERIFIER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/pv/pnnq.h"
+
+namespace pvdb::pv {
+
+/// Verifier tuning.
+struct VerifierOptions {
+  /// Distance bins per candidate pdf; more bins = tighter bounds, more work.
+  int bins = 8;
+};
+
+/// Classification counters for one query.
+struct VerifierStats {
+  /// Candidates accepted purely by their lower bound.
+  int accepted_by_bounds = 0;
+  /// Candidates rejected purely by their upper bound.
+  int rejected_by_bounds = 0;
+  /// Candidates needing the exact evaluation.
+  int exact_fallbacks = 0;
+};
+
+/// Lower/upper bounds on one candidate's qualification probability.
+struct ProbabilityBounds {
+  uncertain::ObjectId id;
+  double lower;
+  double upper;
+};
+
+/// Bound-based Step-2 evaluator.
+class ProbabilisticVerifier {
+ public:
+  /// Borrows `db` (kept alive and unmodified by the caller per evaluation).
+  explicit ProbabilisticVerifier(const uncertain::Dataset* db,
+                                 VerifierOptions options = VerifierOptions());
+
+  /// Probability bounds for every candidate at query `q`. Guarantees
+  /// lower <= exact <= upper for each candidate.
+  std::vector<ProbabilityBounds> Bounds(
+      const geom::Point& q,
+      std::span<const uncertain::ObjectId> candidates) const;
+
+  /// Probability-threshold PNNQ: all candidates with exact probability
+  /// >= `tau`, each with its exact probability when it had to be computed
+  /// (bound-accepted candidates report their lower bound, which already
+  /// certifies the threshold). `tau` must be positive.
+  std::vector<PnnResult> EvaluateThreshold(
+      const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+      double tau, VerifierStats* stats = nullptr) const;
+
+ private:
+  const uncertain::Dataset* db_;
+  VerifierOptions options_;
+  PnnStep2Evaluator exact_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_VERIFIER_H_

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// pvdb — Voronoi-based nearest neighbor search for multi-dimensional
+// uncertain databases (reproduction of Zhang et al., ICDE 2013).
+//
+// Umbrella header: pulls in the full public API. Typical usage:
+//
+//   #include "src/pvdb.h"
+//
+//   auto db = pvdb::uncertain::GenerateSynthetic({.dim = 3, .count = 10000});
+//   pvdb::storage::InMemoryPager pager;
+//   auto index = pvdb::pv::PvIndex::Build(db, &pager, {}).value();
+//   auto step1 = index->QueryPossibleNN(q).value();          // PNNQ Step 1
+//   pvdb::pv::PnnStep2Evaluator step2(&db);
+//   auto answers = step2.Evaluate(q, step1);                 // PNNQ Step 2
+
+#ifndef PVDB_PVDB_H_
+#define PVDB_PVDB_H_
+
+#include "src/common/logging.h"    // IWYU pragma: export
+#include "src/common/random.h"     // IWYU pragma: export
+#include "src/common/stats.h"      // IWYU pragma: export
+#include "src/common/status.h"     // IWYU pragma: export
+#include "src/common/timer.h"      // IWYU pragma: export
+#include "src/eval/experiments.h"  // IWYU pragma: export
+#include "src/eval/params.h"       // IWYU pragma: export
+#include "src/eval/report.h"       // IWYU pragma: export
+#include "src/eval/workload.h"     // IWYU pragma: export
+#include "src/geom/distance.h"     // IWYU pragma: export
+#include "src/geom/domination.h"   // IWYU pragma: export
+#include "src/geom/point.h"        // IWYU pragma: export
+#include "src/geom/rect.h"         // IWYU pragma: export
+#include "src/geom/region_partition.h"  // IWYU pragma: export
+#include "src/pv/cset.h"           // IWYU pragma: export
+#include "src/pv/octree.h"         // IWYU pragma: export
+#include "src/pv/pnnq.h"           // IWYU pragma: export
+#include "src/pv/pv_index.h"       // IWYU pragma: export
+#include "src/pv/se.h"             // IWYU pragma: export
+#include "src/pv/secondary_index.h"  // IWYU pragma: export
+#include "src/pv/verifier.h"       // IWYU pragma: export
+#include "src/rtree/rstar_tree.h"  // IWYU pragma: export
+#include "src/rtree/rtree_pnn.h"   // IWYU pragma: export
+#include "src/storage/extendible_hash.h"  // IWYU pragma: export
+#include "src/storage/pager.h"     // IWYU pragma: export
+#include "src/storage/record_store.h"  // IWYU pragma: export
+#include "src/uncertain/datagen.h"  // IWYU pragma: export
+#include "src/uncertain/dataset.h"  // IWYU pragma: export
+#include "src/uv/uv_cell.h"        // IWYU pragma: export
+#include "src/uv/uv_index.h"       // IWYU pragma: export
+
+#endif  // PVDB_PVDB_H_

@@ -1,0 +1,679 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/rtree/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace pvdb::rtree {
+namespace {
+
+// Page size used for the leaf-I/O charge model (matches storage::kPageSize;
+// kept local so the R-tree has no storage dependency).
+constexpr size_t kIoPageSize = 4096;
+
+// Enough levels for any realistic tree (fanout >= 2 → 2^32 entries).
+constexpr int kMaxLevels = 32;
+
+double Enlargement(const pvdb::geom::Rect& mbr, const pvdb::geom::Rect& key) {
+  return pvdb::geom::Rect::Union(mbr, key).Volume() - mbr.Volume();
+}
+
+double OverlapVolume(const pvdb::geom::Rect& a, const pvdb::geom::Rect& b) {
+  if (!a.Intersects(b)) return 0.0;
+  return pvdb::geom::Rect::Intersection(a, b).Volume();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+struct RStarTree::Node {
+  explicit Node(int dim, int lvl) : level(lvl), mbr(geom::Rect::Cube(dim, 0, 0)) {}
+
+  bool is_leaf() const { return level == 0; }
+  size_t count() const { return is_leaf() ? entries.size() : children.size(); }
+
+  void RecomputeMbr() {
+    if (is_leaf()) {
+      if (entries.empty()) return;
+      geom::Rect box = entries[0].key;
+      for (size_t i = 1; i < entries.size(); ++i) {
+        box = geom::Rect::Union(box, entries[i].key);
+      }
+      mbr = box;
+    } else {
+      if (children.empty()) return;
+      geom::Rect box = children[0]->mbr;
+      for (size_t i = 1; i < children.size(); ++i) {
+        box = geom::Rect::Union(box, children[i]->mbr);
+      }
+      mbr = box;
+    }
+  }
+
+  int level;  // 0 = leaf
+  geom::Rect mbr;
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<Entry> entries;                   // leaves
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+RStarTree::RStarTree(int dim, RStarOptions options)
+    : dim_(dim), options_(options) {
+  PVDB_CHECK(dim >= 1 && dim <= geom::kMaxDim);
+  PVDB_CHECK(options_.max_entries >= 4);
+  PVDB_CHECK(options_.min_entries >= 2 &&
+             options_.min_entries <= options_.max_entries / 2);
+  PVDB_CHECK(options_.reinsert_count >= 1 &&
+             options_.reinsert_count < options_.max_entries);
+  root_ = std::make_unique<Node>(dim_, 0);
+}
+
+RStarTree::~RStarTree() = default;
+RStarTree::RStarTree(RStarTree&&) noexcept = default;
+RStarTree& RStarTree::operator=(RStarTree&&) noexcept = default;
+
+size_t RStarTree::LeafEntryBytes() const {
+  return sizeof(uint64_t) + 2 * sizeof(double) * static_cast<size_t>(dim_);
+}
+
+int RStarTree::height() const { return root_->level + 1; }
+
+void RStarTree::ChargeLeafIo(const Node* leaf) const {
+  metrics_.Increment(RTreeCounters::kLeafAccesses);
+  const size_t bytes = std::max<size_t>(1, leaf->entries.size()) *
+                       LeafEntryBytes();
+  const auto pages =
+      static_cast<int64_t>((bytes + kIoPageSize - 1) / kIoPageSize);
+  metrics_.Increment(RTreeCounters::kLeafPagesRead, pages);
+}
+
+// ---------------------------------------------------------------------------
+// ChooseSubtree (R* heuristics)
+// ---------------------------------------------------------------------------
+
+RStarTree::Node* RStarTree::ChooseSubtree(const geom::Rect& key,
+                                          int target_level) {
+  Node* node = root_.get();
+  PVDB_CHECK(node->level >= target_level);
+  while (node->level > target_level) {
+    auto& kids = node->children;
+    PVDB_DCHECK(!kids.empty());
+    size_t best = 0;
+    if (node->level == 1) {
+      // Children are leaves: minimum overlap enlargement among the
+      // `overlap_candidates` children with least area enlargement.
+      std::vector<size_t> order(kids.size());
+      for (size_t i = 0; i < kids.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return Enlargement(kids[a]->mbr, key) < Enlargement(kids[b]->mbr, key);
+      });
+      const size_t candidates = std::min<size_t>(
+          order.size(), static_cast<size_t>(options_.overlap_candidates));
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t ci = 0; ci < candidates; ++ci) {
+        const size_t i = order[ci];
+        const geom::Rect grown = geom::Rect::Union(kids[i]->mbr, key);
+        double overlap_delta = 0.0;
+        for (size_t j = 0; j < kids.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta += OverlapVolume(grown, kids[j]->mbr) -
+                           OverlapVolume(kids[i]->mbr, kids[j]->mbr);
+        }
+        const double enlarge = Enlargement(kids[i]->mbr, key);
+        const double area = kids[i]->mbr.Volume();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enlarge < best_enlarge ||
+              (enlarge == best_enlarge && area < best_area)))) {
+          best_overlap = overlap_delta;
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    } else {
+      // Children are internal: minimum area enlargement, ties by area.
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        const double enlarge = Enlargement(kids[i]->mbr, key);
+        const double area = kids[i]->mbr.Volume();
+        if (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    node = kids[best].get();
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion with forced reinsertion
+// ---------------------------------------------------------------------------
+
+void RStarTree::Insert(const geom::Rect& key, uint64_t value) {
+  PVDB_CHECK(key.dim() == dim_);
+  bool reinserted_levels[kMaxLevels] = {false};
+  InsertAtLevel(key, value, nullptr, 0, reinserted_levels);
+  ++size_;
+}
+
+void RStarTree::InsertAtLevel(const geom::Rect& key, uint64_t value,
+                              std::unique_ptr<Node> subtree, int level,
+                              bool* reinserted_levels) {
+  const int host_level = subtree ? level + 1 : 0;
+  Node* host = ChooseSubtree(key, host_level);
+  if (subtree) {
+    subtree->parent = host;
+    host->children.push_back(std::move(subtree));
+  } else {
+    host->entries.push_back(Entry{key, value});
+  }
+  if (host->count() == 1) {
+    host->mbr = key;
+  } else {
+    host->mbr = geom::Rect::Union(host->mbr, key);
+  }
+  AdjustUpward(host);
+  if (host->count() > static_cast<size_t>(options_.max_entries)) {
+    OverflowTreatment(host, reinserted_levels);
+  }
+}
+
+void RStarTree::AdjustUpward(Node* node) {
+  for (Node* p = node->parent; p != nullptr; p = p->parent) {
+    p->mbr = geom::Rect::Union(p->mbr, node->mbr);
+    node = p;
+  }
+}
+
+void RStarTree::OverflowTreatment(Node* node, bool* reinserted_levels) {
+  PVDB_DCHECK(node->level < kMaxLevels);
+  if (node != root_.get() && !reinserted_levels[node->level]) {
+    reinserted_levels[node->level] = true;
+    ReinsertEntries(node, reinserted_levels);
+  } else {
+    SplitNode(node, reinserted_levels);
+  }
+}
+
+void RStarTree::ReinsertEntries(Node* node, bool* reinserted_levels) {
+  const geom::Point center = node->mbr.Center();
+  const int p = std::min<int>(options_.reinsert_count,
+                              static_cast<int>(node->count()) -
+                                  options_.min_entries);
+  if (p <= 0) {
+    SplitNode(node, reinserted_levels);
+    return;
+  }
+
+  if (node->is_leaf()) {
+    std::vector<size_t> order(node->entries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return center.DistanceSqTo(node->entries[a].key.Center()) >
+             center.DistanceSqTo(node->entries[b].key.Center());
+    });
+    std::vector<Entry> evicted;
+    std::vector<bool> evict(node->entries.size(), false);
+    for (int i = 0; i < p; ++i) {
+      evict[order[static_cast<size_t>(i)]] = true;
+      evicted.push_back(node->entries[order[static_cast<size_t>(i)]]);
+    }
+    std::vector<Entry> kept;
+    kept.reserve(node->entries.size() - static_cast<size_t>(p));
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (!evict[i]) kept.push_back(node->entries[i]);
+    }
+    node->entries = std::move(kept);
+    node->RecomputeMbr();
+    AdjustUpward(node);
+    // Close reinsert: nearest evicted entries first.
+    std::reverse(evicted.begin(), evicted.end());
+    for (const Entry& e : evicted) {
+      InsertAtLevel(e.key, e.value, nullptr, 0, reinserted_levels);
+    }
+  } else {
+    std::vector<size_t> order(node->children.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return center.DistanceSqTo(node->children[a]->mbr.Center()) >
+             center.DistanceSqTo(node->children[b]->mbr.Center());
+    });
+    std::vector<std::unique_ptr<Node>> evicted;
+    std::vector<bool> evict(node->children.size(), false);
+    for (int i = 0; i < p; ++i) {
+      evict[order[static_cast<size_t>(i)]] = true;
+    }
+    std::vector<std::unique_ptr<Node>> kept;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (evict[i]) {
+        evicted.push_back(std::move(node->children[i]));
+      } else {
+        kept.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(kept);
+    node->RecomputeMbr();
+    AdjustUpward(node);
+    std::reverse(evicted.begin(), evicted.end());
+    for (auto& sub : evicted) {
+      const geom::Rect key = sub->mbr;
+      const int sub_level = sub->level;
+      InsertAtLevel(key, 0, std::move(sub), sub_level, reinserted_levels);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R* split
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One candidate distribution over a sorted item sequence.
+struct SplitChoice {
+  int axis = 0;
+  bool by_upper = false;  // sorted by hi instead of lo
+  size_t split_at = 0;    // first group = items [0, split_at)
+  double overlap = std::numeric_limits<double>::infinity();
+  double area = std::numeric_limits<double>::infinity();
+};
+
+// Evaluates all distributions of `rects` (already sorted) and folds the best
+// into `best`; also accumulates the margin sum for axis selection.
+void EvaluateDistributions(const std::vector<pvdb::geom::Rect>& rects,
+                           size_t min_entries, int axis, bool by_upper,
+                           double* margin_sum, SplitChoice* best) {
+  const size_t n = rects.size();
+  std::vector<pvdb::geom::Rect> prefix(n, rects[0]);
+  std::vector<pvdb::geom::Rect> suffix(n, rects[n - 1]);
+  for (size_t i = 1; i < n; ++i) {
+    prefix[i] = pvdb::geom::Rect::Union(prefix[i - 1], rects[i]);
+  }
+  for (size_t i = n - 1; i-- > 0;) {
+    suffix[i] = pvdb::geom::Rect::Union(suffix[i + 1], rects[i]);
+  }
+  for (size_t k = min_entries; k + min_entries <= n; ++k) {
+    const pvdb::geom::Rect& g1 = prefix[k - 1];
+    const pvdb::geom::Rect& g2 = suffix[k];
+    *margin_sum += g1.Margin() + g2.Margin();
+    const double overlap = OverlapVolume(g1, g2);
+    const double area = g1.Volume() + g2.Volume();
+    if (overlap < best->overlap ||
+        (overlap == best->overlap && area < best->area)) {
+      best->overlap = overlap;
+      best->area = area;
+      best->axis = axis;
+      best->by_upper = by_upper;
+      best->split_at = k;
+    }
+  }
+}
+
+}  // namespace
+
+void RStarTree::SplitNode(Node* node, bool* reinserted_levels) {
+  const size_t n = node->count();
+  const auto m = static_cast<size_t>(options_.min_entries);
+  PVDB_DCHECK(n >= 2 * m);
+
+  // Collect item keys.
+  std::vector<geom::Rect> keys;
+  keys.reserve(n);
+  if (node->is_leaf()) {
+    for (const Entry& e : node->entries) keys.push_back(e.key);
+  } else {
+    for (const auto& c : node->children) keys.push_back(c->mbr);
+  }
+
+  // Choose split axis by minimum total margin, then the distribution with
+  // minimum overlap (ties: minimum combined area) on that axis.
+  SplitChoice best_per_axis[geom::kMaxDim][2];
+  double margins[geom::kMaxDim];
+  std::vector<size_t> orders[geom::kMaxDim][2];
+  for (int axis = 0; axis < dim_; ++axis) {
+    margins[axis] = 0.0;
+    for (int upper = 0; upper < 2; ++upper) {
+      auto& order = orders[axis][upper];
+      order.resize(n);
+      for (size_t i = 0; i < n; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const double ka = upper ? keys[a].hi(axis) : keys[a].lo(axis);
+        const double kb = upper ? keys[b].hi(axis) : keys[b].lo(axis);
+        if (ka != kb) return ka < kb;
+        return upper ? keys[a].lo(axis) < keys[b].lo(axis)
+                     : keys[a].hi(axis) < keys[b].hi(axis);
+      });
+      std::vector<geom::Rect> sorted;
+      sorted.reserve(n);
+      for (size_t i : order) sorted.push_back(keys[i]);
+      EvaluateDistributions(sorted, m, axis, upper == 1, &margins[axis],
+                            &best_per_axis[axis][upper]);
+    }
+  }
+  int split_axis = 0;
+  for (int axis = 1; axis < dim_; ++axis) {
+    if (margins[axis] < margins[split_axis]) split_axis = axis;
+  }
+  const SplitChoice& lo_choice = best_per_axis[split_axis][0];
+  const SplitChoice& hi_choice = best_per_axis[split_axis][1];
+  const SplitChoice& choice =
+      (hi_choice.overlap < lo_choice.overlap ||
+       (hi_choice.overlap == lo_choice.overlap &&
+        hi_choice.area < lo_choice.area))
+          ? hi_choice
+          : lo_choice;
+  const auto& order = orders[split_axis][choice.by_upper ? 1 : 0];
+
+  // Distribute: first group stays in `node`, second moves to `sibling`.
+  auto sibling = std::make_unique<Node>(dim_, node->level);
+  if (node->is_leaf()) {
+    std::vector<Entry> group1, group2;
+    for (size_t i = 0; i < n; ++i) {
+      (i < choice.split_at ? group1 : group2)
+          .push_back(node->entries[order[i]]);
+    }
+    node->entries = std::move(group1);
+    sibling->entries = std::move(group2);
+  } else {
+    std::vector<std::unique_ptr<Node>> group1, group2;
+    for (size_t i = 0; i < n; ++i) {
+      (i < choice.split_at ? group1 : group2)
+          .push_back(std::move(node->children[order[i]]));
+    }
+    node->children = std::move(group1);
+    sibling->children = std::move(group2);
+    for (auto& c : node->children) c->parent = node;
+    for (auto& c : sibling->children) c->parent = sibling.get();
+  }
+  node->RecomputeMbr();
+  sibling->RecomputeMbr();
+
+  if (node == root_.get()) {
+    auto new_root = std::make_unique<Node>(dim_, node->level + 1);
+    PVDB_CHECK(new_root->level < kMaxLevels);
+    new_root->mbr = geom::Rect::Union(node->mbr, sibling->mbr);
+    sibling->parent = new_root.get();
+    root_->parent = new_root.get();
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  sibling->parent = parent;
+  parent->children.push_back(std::move(sibling));
+  parent->RecomputeMbr();
+  AdjustUpward(parent);
+  if (parent->count() > static_cast<size_t>(options_.max_entries)) {
+    OverflowTreatment(parent, reinserted_levels);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Finds the leaf holding (key, value); depth-first over intersecting nodes.
+RStarTree::Node* FindLeafRec(RStarTree::Node* node, const pvdb::geom::Rect& key,
+                             uint64_t value);
+
+}  // namespace
+
+bool RStarTree::Erase(const geom::Rect& key, uint64_t value) {
+  PVDB_CHECK(key.dim() == dim_);
+  if (size_ == 0) return false;
+  Node* leaf = FindLeafRec(root_.get(), key, value);
+  if (leaf == nullptr) return false;
+  auto it = std::find_if(leaf->entries.begin(), leaf->entries.end(),
+                         [&](const Entry& e) {
+                           return e.value == value && e.key == key;
+                         });
+  PVDB_DCHECK(it != leaf->entries.end());
+  leaf->entries.erase(it);
+  --size_;
+  CondenseTree(leaf);
+  return true;
+}
+
+namespace {
+
+RStarTree::Node* FindLeafRec(RStarTree::Node* node, const pvdb::geom::Rect& key,
+                             uint64_t value) {
+  if (node->is_leaf()) {
+    for (const RStarTree::Entry& e : node->entries) {
+      if (e.value == value && e.key == key) return node;
+    }
+    return nullptr;
+  }
+  for (const auto& c : node->children) {
+    if (!c->mbr.ContainsRect(key)) continue;
+    if (RStarTree::Node* found = FindLeafRec(c.get(), key, value)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void RStarTree::CondenseTree(Node* leaf) {
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node != root_.get()) {
+    Node* parent = node->parent;
+    if (node->count() < static_cast<size_t>(options_.min_entries)) {
+      // Detach the under-full node; its contents are reinserted below.
+      auto it = std::find_if(parent->children.begin(), parent->children.end(),
+                             [&](const std::unique_ptr<Node>& c) {
+                               return c.get() == node;
+                             });
+      PVDB_DCHECK(it != parent->children.end());
+      orphans.push_back(std::move(*it));
+      parent->children.erase(it);
+    } else {
+      node->RecomputeMbr();
+    }
+    node = parent;
+  }
+  root_->RecomputeMbr();
+
+  bool reinserted_levels[kMaxLevels] = {false};
+  for (auto& orphan : orphans) {
+    if (orphan->is_leaf()) {
+      for (const Entry& e : orphan->entries) {
+        InsertAtLevel(e.key, e.value, nullptr, 0, reinserted_levels);
+      }
+    } else {
+      for (auto& sub : orphan->children) {
+        const geom::Rect key = sub->mbr;
+        const int sub_level = sub->level;
+        InsertAtLevel(key, 0, std::move(sub), sub_level, reinserted_levels);
+      }
+    }
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf() && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children[0]);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void SearchRec(const RStarTree::Node* node, const pvdb::geom::Rect& range,
+               const RStarTree* tree, MetricRegistry* metrics,
+               const std::function<void(const RStarTree::Entry&)>& emit,
+               const std::function<void(const RStarTree::Node*)>& charge_leaf) {
+  metrics->Increment(RTreeCounters::kNodeAccesses);
+  if (node->is_leaf()) {
+    charge_leaf(node);
+    for (const RStarTree::Entry& e : node->entries) {
+      if (e.key.Intersects(range)) emit(e);
+    }
+    return;
+  }
+  for (const auto& c : node->children) {
+    if (c->mbr.Intersects(range)) {
+      SearchRec(c.get(), range, tree, metrics, emit, charge_leaf);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RStarTree::Entry> RStarTree::SearchEntries(
+    const geom::Rect& range) const {
+  std::vector<Entry> out;
+  if (size_ == 0) return out;
+  SearchRec(
+      root_.get(), range, this, &metrics_,
+      [&](const Entry& e) { out.push_back(e); },
+      [&](const Node* leaf) { ChargeLeafIo(leaf); });
+  return out;
+}
+
+std::vector<uint64_t> RStarTree::Search(const geom::Rect& range) const {
+  std::vector<uint64_t> out;
+  if (size_ == 0) return out;
+  SearchRec(
+      root_.get(), range, this, &metrics_,
+      [&](const Entry& e) { out.push_back(e.value); },
+      [&](const Node* leaf) { ChargeLeafIo(leaf); });
+  return out;
+}
+
+std::vector<uint64_t> RStarTree::SearchPoint(const geom::Point& p) const {
+  return Search(geom::Rect::FromPoint(p));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental nearest-neighbor browsing (Hjaltason & Samet)
+// ---------------------------------------------------------------------------
+
+RStarTree::NearestIterator::NearestIterator(const RStarTree* tree,
+                                            const geom::Point& q)
+    : tree_(tree), query_(q) {
+  if (tree_->size() > 0) {
+    heap_.push(HeapItem{geom::MinDist(tree_->root_->mbr, q), tree_->root_.get(),
+                        tree_->root_->mbr, 0});
+  }
+  Advance();
+}
+
+void RStarTree::NearestIterator::Advance() {
+  while (!heap_.empty() && heap_.top().node != nullptr) {
+    const HeapItem top = heap_.top();
+    heap_.pop();
+    const Node* node = static_cast<const Node*>(top.node);
+    tree_->metrics_.Increment(RTreeCounters::kNodeAccesses);
+    if (node->is_leaf()) {
+      tree_->ChargeLeafIo(node);
+      for (const Entry& e : node->entries) {
+        heap_.push(HeapItem{geom::MinDist(e.key, query_), nullptr, e.key,
+                            e.value});
+      }
+    } else {
+      for (const auto& c : node->children) {
+        heap_.push(HeapItem{geom::MinDist(c->mbr, query_), c.get(), c->mbr, 0});
+      }
+    }
+  }
+}
+
+RStarTree::NearestIterator::Item RStarTree::NearestIterator::Next() {
+  PVDB_CHECK(HasNext());
+  const HeapItem top = heap_.top();
+  heap_.pop();
+  Advance();
+  return Item{top.value, top.dist, top.key};
+}
+
+RStarTree::NearestIterator RStarTree::BrowseNearest(const geom::Point& q) const {
+  PVDB_CHECK(q.dim() == dim_);
+  return NearestIterator(this, q);
+}
+
+std::vector<RStarTree::NearestIterator::Item> RStarTree::KNearest(
+    const geom::Point& q, int k) const {
+  std::vector<NearestIterator::Item> out;
+  NearestIterator it = BrowseNearest(q);
+  while (static_cast<int>(out.size()) < k && it.HasNext()) {
+    out.push_back(it.Next());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool CheckRec(const RStarTree::Node* node, const RStarTree::Node* parent,
+              int min_entries, int max_entries, bool is_root,
+              size_t* entry_count) {
+  if (node->parent != parent) return false;
+  const size_t n = node->count();
+  if (!is_root) {
+    if (n < static_cast<size_t>(min_entries) ||
+        n > static_cast<size_t>(max_entries)) {
+      return false;
+    }
+  } else if (n > static_cast<size_t>(max_entries)) {
+    return false;
+  }
+  if (node->is_leaf()) {
+    *entry_count += node->entries.size();
+    for (const RStarTree::Entry& e : node->entries) {
+      if (!node->mbr.ContainsRect(e.key)) return false;
+    }
+    return true;
+  }
+  for (const auto& c : node->children) {
+    if (c->level != node->level - 1) return false;
+    if (!node->mbr.ContainsRect(c->mbr)) return false;
+    if (!CheckRec(c.get(), node, min_entries, max_entries, false,
+                  entry_count)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RStarTree::CheckInvariants() const {
+  size_t entries = 0;
+  if (!CheckRec(root_.get(), nullptr, options_.min_entries,
+                options_.max_entries, true, &entries)) {
+    return false;
+  }
+  return entries == size_;
+}
+
+}  // namespace pvdb::rtree

@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// In-memory R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990).
+// Three roles in the reproduction, exactly as in the paper's experiments:
+//   1. the retrieval baseline of Cheng et al. [8] for PNNQ Step 1
+//      (rtree_pnn.h drives the branch-and-prune traversal);
+//   2. the incremental nearest-neighbor provider (Hjaltason & Samet [39])
+//      used by the FS/IS chooseCSet strategies (Section V-A);
+//   3. the bootstrap index used while building the PV- and UV-indexes.
+//
+// Leaf accesses are charged as disk-page I/O (ceil(entry bytes / 4 KiB) per
+// visited leaf) to mirror the paper's cost model where non-leaf levels are
+// pinned in main memory.
+
+#ifndef PVDB_RTREE_RSTAR_TREE_H_
+#define PVDB_RTREE_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/geom/distance.h"
+#include "src/geom/rect.h"
+
+namespace pvdb::rtree {
+
+/// R*-tree tuning knobs. Defaults follow the paper (fanout 100) and the
+/// original R* recommendations (40% minimum fill, 30% forced reinsertion).
+struct RStarOptions {
+  int max_entries = 100;
+  int min_entries = 40;
+  int reinsert_count = 30;
+  /// Entries whose area enlargement is considered for the minimum-overlap
+  /// subtree choice (the R* "nearly minimum overlap" bound for large fanout).
+  int overlap_candidates = 32;
+};
+
+/// Counter names exposed through metrics().
+struct RTreeCounters {
+  static constexpr const char* kNodeAccesses = "rtree.node_accesses";
+  static constexpr const char* kLeafAccesses = "rtree.leaf_accesses";
+  static constexpr const char* kLeafPagesRead = "rtree.leaf_pages_read";
+};
+
+/// Dynamic R*-tree keyed by rectangles with uint64 payloads.
+class RStarTree {
+ public:
+  /// One stored (key, value) pair.
+  struct Entry {
+    geom::Rect key;
+    uint64_t value;
+  };
+
+  /// Tree node; definition is an implementation detail (rstar_tree.cc).
+  struct Node;
+
+  explicit RStarTree(int dim, RStarOptions options = RStarOptions());
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+  RStarTree(RStarTree&&) noexcept;
+  RStarTree& operator=(RStarTree&&) noexcept;
+
+  /// Inserts a (key, value) pair. Duplicates are allowed.
+  void Insert(const geom::Rect& key, uint64_t value);
+
+  /// Removes one pair matching both key and value; false if absent.
+  bool Erase(const geom::Rect& key, uint64_t value);
+
+  /// Values whose keys intersect `range`.
+  std::vector<uint64_t> Search(const geom::Rect& range) const;
+
+  /// Entries (key + value) whose keys intersect `range`.
+  std::vector<Entry> SearchEntries(const geom::Rect& range) const;
+
+  /// Values whose keys contain point `p`.
+  std::vector<uint64_t> SearchPoint(const geom::Point& p) const;
+
+  /// Incremental distance browsing [39]: entries in non-decreasing order of
+  /// MinDist(key, q). Valid while the tree is not modified.
+  class NearestIterator {
+   public:
+    struct Item {
+      uint64_t value;
+      double dist;
+      geom::Rect key;
+    };
+
+    /// True iff another entry remains.
+    bool HasNext() const { return !heap_.empty(); }
+
+    /// Pops the next-nearest entry. Requires HasNext().
+    Item Next();
+
+   private:
+    friend class RStarTree;
+    struct HeapItem {
+      double dist;
+      const void* node;  // internal node pointer; nullptr for an entry
+      geom::Rect key;
+      uint64_t value;
+      bool operator>(const HeapItem& o) const { return dist > o.dist; }
+    };
+    NearestIterator(const RStarTree* tree, const geom::Point& q);
+    void Advance();
+
+    const RStarTree* tree_;
+    geom::Point query_;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  };
+
+  /// Begins incremental NN browsing from query point `q`.
+  NearestIterator BrowseNearest(const geom::Point& q) const;
+
+  /// The k entries nearest to `q` by MinDist (fewer if the tree is smaller).
+  std::vector<NearestIterator::Item> KNearest(const geom::Point& q,
+                                              int k) const;
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+
+  /// Tree height (1 = root is a leaf).
+  int height() const;
+
+  /// Bytes one leaf entry occupies on disk (id + 2·d coordinates).
+  size_t LeafEntryBytes() const;
+
+  /// I/O + traversal counters (mutable so const queries can account).
+  MetricRegistry& metrics() const { return metrics_; }
+
+  /// Checks structural invariants (fill factors, MBR containment); test use.
+  bool CheckInvariants() const;
+
+ private:
+  Node* ChooseSubtree(const geom::Rect& key, int target_level);
+  void InsertAtLevel(const geom::Rect& key, uint64_t value,
+                     std::unique_ptr<Node> subtree, int level,
+                     bool* reinserted_levels);
+  void OverflowTreatment(Node* node, bool* reinserted_levels);
+  void ReinsertEntries(Node* node, bool* reinserted_levels);
+  void SplitNode(Node* node, bool* reinserted_levels);
+  void AdjustUpward(Node* node);
+  void CondenseTree(Node* leaf);
+  void ChargeLeafIo(const Node* leaf) const;
+
+  int dim_;
+  RStarOptions options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  mutable MetricRegistry metrics_;
+};
+
+}  // namespace pvdb::rtree
+
+#endif  // PVDB_RTREE_RSTAR_TREE_H_

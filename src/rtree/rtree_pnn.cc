@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/rtree/rtree_pnn.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pvdb::rtree {
+
+std::vector<uint64_t> PnnStep1BranchAndPrune(const RStarTree& tree,
+                                             const geom::Point& q) {
+  std::vector<uint64_t> out;
+  if (tree.size() == 0) return out;
+
+  // Browse entries in MinDist order while tightening τ with entry MaxDists.
+  // Any subtree (hence any entry) with MinDist > τ is pruned by the browse
+  // order: once the next-nearest MinDist exceeds τ, no later entry can
+  // qualify or improve τ (MaxDist >= MinDist).
+  double tau_sq = std::numeric_limits<double>::infinity();
+  struct Candidate {
+    uint64_t id;
+    double min_sq;
+  };
+  std::vector<Candidate> candidates;
+  auto it = tree.BrowseNearest(q);
+  while (it.HasNext()) {
+    const auto item = it.Next();
+    const double min_sq = item.dist * item.dist;
+    if (min_sq > tau_sq) break;
+    tau_sq = std::min(tau_sq, geom::MaxDistSq(item.key, q));
+    candidates.push_back({item.value, min_sq});
+  }
+  for (const Candidate& c : candidates) {
+    if (c.min_sq <= tau_sq) out.push_back(c.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pvdb::rtree

@@ -1,0 +1,27 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// PNNQ Step 1 on an R-tree of uncertainty regions: the branch-and-prune
+// baseline of Cheng et al. [8] that the paper compares the PV-index against
+// (Figures 9(a)–(h)). Best-first traversal by MinDist; the running threshold
+// τ = min over seen objects of MaxDist(u(o), q) prunes every subtree whose
+// MinDist exceeds it.
+
+#ifndef PVDB_RTREE_RTREE_PNN_H_
+#define PVDB_RTREE_RTREE_PNN_H_
+
+#include <vector>
+
+#include "src/rtree/rstar_tree.h"
+
+namespace pvdb::rtree {
+
+/// Ids of all objects with possibly non-zero qualification probability:
+/// {o : MinDist(u(o), q) <= min_{o'} MaxDist(u(o'), q)}. The tree must index
+/// uncertainty regions keyed by object id. Node/leaf accesses are charged to
+/// the tree's metrics.
+std::vector<uint64_t> PnnStep1BranchAndPrune(const RStarTree& tree,
+                                             const geom::Point& q);
+
+}  // namespace pvdb::rtree
+
+#endif  // PVDB_RTREE_RTREE_PNN_H_

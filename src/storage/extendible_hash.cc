@@ -1,0 +1,228 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/extendible_hash.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pvdb::storage {
+namespace {
+
+// Beyond this depth something is structurally wrong (or the key stream is
+// adversarial); fail loudly instead of doubling a multi-gigabyte directory.
+constexpr int kMaxGlobalDepth = 28;
+
+struct BucketView {
+  uint32_t local_depth;
+  uint32_t count;
+};
+
+BucketView ReadHeader(const Page& page) {
+  return {page.ReadAt<uint32_t>(0), page.ReadAt<uint32_t>(4)};
+}
+
+void WriteHeader(Page* page, const BucketView& v) {
+  page->WriteAt<uint32_t>(0, v.local_depth);
+  page->WriteAt<uint32_t>(4, v.count);
+}
+
+size_t EntryOffset(size_t slot) {
+  return ExtendibleHash::kHeaderSize + slot * ExtendibleHash::kEntrySize;
+}
+
+void ReadEntry(const Page& page, size_t slot, uint64_t* key, RecordRef* ref) {
+  const size_t off = EntryOffset(slot);
+  *key = page.ReadAt<uint64_t>(off);
+  ref->head = page.ReadAt<uint64_t>(off + 8);
+  ref->length = page.ReadAt<uint64_t>(off + 16);
+}
+
+void WriteEntry(Page* page, size_t slot, uint64_t key, const RecordRef& ref) {
+  const size_t off = EntryOffset(slot);
+  page->WriteAt<uint64_t>(off, key);
+  page->WriteAt<uint64_t>(off + 8, ref.head);
+  page->WriteAt<uint64_t>(off + 16, ref.length);
+}
+
+}  // namespace
+
+uint64_t ExtendibleHash::HashKey(uint64_t key) {
+  // SplitMix64 finalizer: full avalanche so directory bits are unbiased.
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+size_t ExtendibleHash::DirIndex(uint64_t key) const {
+  const uint64_t h = HashKey(key);
+  return global_depth_ == 0
+             ? 0
+             : static_cast<size_t>(h & ((1ULL << global_depth_) - 1));
+}
+
+Result<ExtendibleHash> ExtendibleHash::Create(Pager* pager) {
+  PVDB_CHECK(pager != nullptr);
+  ExtendibleHash table(pager);
+  PVDB_ASSIGN_OR_RETURN(PageId root, pager->Allocate());
+  Page page;
+  WriteHeader(&page, {0, 0});
+  PVDB_RETURN_NOT_OK(pager->Write(root, page));
+  table.directory_ = {root};
+  table.global_depth_ = 0;
+  return table;
+}
+
+Status ExtendibleHash::Put(uint64_t key, const RecordRef& value) {
+  for (;;) {
+    const size_t dir = DirIndex(key);
+    const PageId bucket_id = directory_[dir];
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(bucket_id, &page));
+    BucketView v = ReadHeader(page);
+
+    // Overwrite in place if present.
+    for (size_t slot = 0; slot < v.count; ++slot) {
+      uint64_t k;
+      RecordRef r;
+      ReadEntry(page, slot, &k, &r);
+      if (k == key) {
+        WriteEntry(&page, slot, key, value);
+        return pager_->Write(bucket_id, page);
+      }
+    }
+
+    if (v.count < kBucketCapacity) {
+      WriteEntry(&page, v.count, key, value);
+      v.count += 1;
+      WriteHeader(&page, v);
+      PVDB_RETURN_NOT_OK(pager_->Write(bucket_id, page));
+      ++size_;
+      return Status::OK();
+    }
+
+    // Bucket full: split and retry. Splitting strictly increases the number
+    // of hash bits distinguishing this bucket, so progress is guaranteed up
+    // to kMaxGlobalDepth.
+    PVDB_RETURN_NOT_OK(SplitBucket(dir));
+  }
+}
+
+Status ExtendibleHash::SplitBucket(size_t dir_index) {
+  const PageId old_id = directory_[dir_index];
+  Page old_page;
+  PVDB_RETURN_NOT_OK(pager_->Read(old_id, &old_page));
+  BucketView v = ReadHeader(old_page);
+  const uint32_t old_depth = v.local_depth;
+
+  if (static_cast<int>(old_depth) == global_depth_) {
+    if (global_depth_ + 1 > kMaxGlobalDepth) {
+      return Status::ResourceExhausted("extendible hash directory too deep");
+    }
+    directory_.reserve(directory_.size() * 2);
+    const size_t half = directory_.size();
+    for (size_t i = 0; i < half; ++i) directory_.push_back(directory_[i]);
+    ++global_depth_;
+  }
+
+  PVDB_ASSIGN_OR_RETURN(PageId new_id, pager_->Allocate());
+  Page new_page;
+
+  // Redistribute by the newly significant hash bit.
+  const uint32_t new_depth = old_depth + 1;
+  uint32_t old_count = 0, new_count = 0;
+  Page rewritten_old;
+  for (size_t slot = 0; slot < v.count; ++slot) {
+    uint64_t k;
+    RecordRef r;
+    ReadEntry(old_page, slot, &k, &r);
+    const bool goes_new = (HashKey(k) >> old_depth) & 1ULL;
+    if (goes_new) {
+      WriteEntry(&new_page, new_count++, k, r);
+    } else {
+      WriteEntry(&rewritten_old, old_count++, k, r);
+    }
+  }
+  WriteHeader(&rewritten_old, {new_depth, old_count});
+  WriteHeader(&new_page, {new_depth, new_count});
+  PVDB_RETURN_NOT_OK(pager_->Write(old_id, rewritten_old));
+  PVDB_RETURN_NOT_OK(pager_->Write(new_id, new_page));
+
+  // Repoint directory entries: among the 2^(gd - old_depth) entries aliasing
+  // the old bucket, those with the new bit set move to the new bucket.
+  const uint64_t stride = 1ULL << new_depth;
+  const uint64_t base = dir_index & ((1ULL << old_depth) - 1);
+  for (uint64_t i = base | (1ULL << old_depth); i < directory_.size();
+       i += stride) {
+    directory_[i] = new_id;
+  }
+  return Status::OK();
+}
+
+Result<RecordRef> ExtendibleHash::Get(uint64_t key) const {
+  const size_t dir = DirIndex(key);
+  Page page;
+  PVDB_RETURN_NOT_OK(pager_->Read(directory_[dir], &page));
+  const BucketView v = ReadHeader(page);
+  for (size_t slot = 0; slot < v.count; ++slot) {
+    uint64_t k;
+    RecordRef r;
+    ReadEntry(page, slot, &k, &r);
+    if (k == key) return r;
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+Status ExtendibleHash::Delete(uint64_t key) {
+  const size_t dir = DirIndex(key);
+  const PageId bucket_id = directory_[dir];
+  Page page;
+  PVDB_RETURN_NOT_OK(pager_->Read(bucket_id, &page));
+  BucketView v = ReadHeader(page);
+  for (size_t slot = 0; slot < v.count; ++slot) {
+    uint64_t k;
+    RecordRef r;
+    ReadEntry(page, slot, &k, &r);
+    if (k == key) {
+      // Swap-with-last keeps the bucket dense.
+      if (slot + 1 < v.count) {
+        uint64_t lk;
+        RecordRef lr;
+        ReadEntry(page, v.count - 1, &lk, &lr);
+        WriteEntry(&page, slot, lk, lr);
+      }
+      v.count -= 1;
+      WriteHeader(&page, v);
+      PVDB_RETURN_NOT_OK(pager_->Write(bucket_id, page));
+      --size_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+size_t ExtendibleHash::BucketCount() const {
+  std::unordered_set<PageId> distinct(directory_.begin(), directory_.end());
+  return distinct.size();
+}
+
+Result<std::vector<uint64_t>> ExtendibleHash::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(size_);
+  std::unordered_set<PageId> seen;
+  for (PageId id : directory_) {
+    if (!seen.insert(id).second) continue;
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const BucketView v = ReadHeader(page);
+    for (size_t slot = 0; slot < v.count; ++slot) {
+      uint64_t k;
+      RecordRef r;
+      ReadEntry(page, slot, &k, &r);
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+}  // namespace pvdb::storage

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Extensible hashing (Fagin et al.), the structure Section VI names for the
+// PV-index's secondary index. An in-memory directory of 2^global_depth
+// entries points at bucket pages on disk; overflowing buckets split by one
+// more hash bit, doubling the directory only when a bucket's local depth
+// exceeds the global depth. Lookups cost exactly one page read.
+
+#ifndef PVDB_STORAGE_EXTENDIBLE_HASH_H_
+#define PVDB_STORAGE_EXTENDIBLE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/pager.h"
+#include "src/storage/record_store.h"
+
+namespace pvdb::storage {
+
+/// Disk-backed hash table mapping uint64 keys to RecordRef values.
+class ExtendibleHash {
+ public:
+  /// Entries per bucket page: [local_depth u32][count u32] then
+  /// (key u64, head u64, length u64) triples.
+  static constexpr size_t kEntrySize = 3 * sizeof(uint64_t);
+  static constexpr size_t kHeaderSize = 2 * sizeof(uint32_t);
+  static constexpr size_t kBucketCapacity =
+      (kPageSize - kHeaderSize) / kEntrySize;
+
+  /// Creates an empty table (one bucket, global depth 0) on `pager`.
+  static Result<ExtendibleHash> Create(Pager* pager);
+
+  /// Inserts or overwrites the value for `key`.
+  Status Put(uint64_t key, const RecordRef& value);
+
+  /// Looks up `key`; NotFound if absent. Exactly one page read.
+  Result<RecordRef> Get(uint64_t key) const;
+
+  /// Removes `key`; NotFound if absent. Buckets are not merged (deletes are
+  /// rare in this workload; space is reclaimed on rebuild).
+  Status Delete(uint64_t key);
+
+  /// Number of stored keys.
+  uint64_t Size() const { return size_; }
+
+  /// Current global depth (directory has 2^GlobalDepth entries).
+  int GlobalDepth() const { return global_depth_; }
+
+  /// Number of distinct bucket pages.
+  size_t BucketCount() const;
+
+  /// All keys, in unspecified order (testing and index rebuild support).
+  Result<std::vector<uint64_t>> Keys() const;
+
+ private:
+  explicit ExtendibleHash(Pager* pager) : pager_(pager) {}
+
+  static uint64_t HashKey(uint64_t key);
+  size_t DirIndex(uint64_t key) const;
+  Status SplitBucket(size_t dir_index);
+
+  Pager* pager_ = nullptr;
+  std::vector<PageId> directory_;
+  int global_depth_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_EXTENDIBLE_HASH_H_

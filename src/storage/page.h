@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Fixed-size disk pages. The paper's experiments use 4 KiB pages for all
+// leaf-level and secondary-index storage; every disk touch in pvdb is a page
+// read or write through a Pager, which is where I/O accounting happens.
+
+#ifndef PVDB_STORAGE_PAGE_H_
+#define PVDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace pvdb::storage {
+
+/// Page size in bytes (matches the paper's 4 KiB experimental setting).
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a Pager; dense, allocated sequentially.
+using PageId = uint64_t;
+
+/// Sentinel for "no page" (end of a chain, unset pointer).
+inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+
+/// One fixed-size page of raw bytes with bounds-checked scalar accessors.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  /// Writes a trivially-copyable value at byte offset `off`.
+  template <typename T>
+  void WriteAt(size_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PVDB_DCHECK(off + sizeof(T) <= kPageSize);
+    std::memcpy(bytes.data() + off, &value, sizeof(T));
+  }
+
+  /// Reads a trivially-copyable value from byte offset `off`.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PVDB_DCHECK(off + sizeof(T) <= kPageSize);
+    T value;
+    std::memcpy(&value, bytes.data() + off, sizeof(T));
+    return value;
+  }
+
+  /// Copies `len` raw bytes into the page at `off`.
+  void WriteBytes(size_t off, const void* src, size_t len) {
+    PVDB_DCHECK(off + len <= kPageSize);
+    std::memcpy(bytes.data() + off, src, len);
+  }
+
+  /// Copies `len` raw bytes out of the page at `off`.
+  void ReadBytes(size_t off, void* dst, size_t len) const {
+    PVDB_DCHECK(off + len <= kPageSize);
+    std::memcpy(dst, bytes.data() + off, len);
+  }
+
+  /// Zeroes the whole page.
+  void Clear() { bytes.fill(0); }
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_PAGE_H_

@@ -1,0 +1,145 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/pager.h"
+
+#include <utility>
+
+namespace pvdb::storage {
+
+// ---------------------------------------------------------------------------
+// InMemoryPager
+// ---------------------------------------------------------------------------
+
+Result<PageId> InMemoryPager::Allocate() {
+  metrics_.Increment(PagerCounters::kAllocs);
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id]->Clear();
+    live_[id] = true;
+    return id;
+  }
+  const PageId id = pages_.size();
+  pages_.push_back(std::make_unique<Page>());
+  live_.push_back(true);
+  return id;
+}
+
+Status InMemoryPager::CheckId(PageId id) const {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::InvalidArgument("invalid or freed page id " +
+                                   std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status InMemoryPager::Read(PageId id, Page* out) {
+  PVDB_RETURN_NOT_OK(CheckId(id));
+  metrics_.Increment(PagerCounters::kReads);
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status InMemoryPager::Write(PageId id, const Page& page) {
+  PVDB_RETURN_NOT_OK(CheckId(id));
+  metrics_.Increment(PagerCounters::kWrites);
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+Status InMemoryPager::Free(PageId id) {
+  PVDB_RETURN_NOT_OK(CheckId(id));
+  metrics_.Increment(PagerCounters::kFrees);
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+size_t InMemoryPager::LivePageCount() const {
+  size_t n = 0;
+  for (bool b : live_) n += b ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// FilePager
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<FilePager>> FilePager::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open pager file: " + path);
+  }
+  return std::unique_ptr<FilePager>(new FilePager(f, path));
+}
+
+FilePager::~FilePager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FilePager::Allocate() {
+  metrics_.Increment(PagerCounters::kAllocs);
+  Page zero;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    PVDB_RETURN_NOT_OK(Write(id, zero));
+    metrics_.Increment(PagerCounters::kWrites, -1);  // allocation, not user I/O
+    return id;
+  }
+  const PageId id = page_count_;
+  ++page_count_;
+  live_.push_back(true);
+  if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
+      std::fwrite(zero.bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("failed to extend pager file " + path_);
+  }
+  return id;
+}
+
+Status FilePager::Read(PageId id, Page* out) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("invalid or freed page id " +
+                                   std::to_string(id));
+  }
+  metrics_.Increment(PagerCounters::kReads);
+  if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
+      std::fread(out->bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Write(PageId id, const Page& page) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("invalid or freed page id " +
+                                   std::to_string(id));
+  }
+  metrics_.Increment(PagerCounters::kWrites);
+  if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
+      std::fwrite(page.bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write on page " + std::to_string(id));
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Status FilePager::Free(PageId id) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("invalid or freed page id " +
+                                   std::to_string(id));
+  }
+  metrics_.Increment(PagerCounters::kFrees);
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+size_t FilePager::LivePageCount() const {
+  size_t n = 0;
+  for (bool b : live_) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace pvdb::storage

@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Pagers: the simulated disk. All paper experiments charge I/O per 4 KiB
+// page access with non-leaf index levels pinned in main memory; the pager
+// counts every read/write so the harness can report the Figure 9(c)/9(g)
+// I/O series. Two implementations: an in-memory pager (fast, default for
+// benchmarks — the counters are the experiment's observable) and a
+// file-backed pager (real disk round-trips for storage tests/durability).
+
+#ifndef PVDB_STORAGE_PAGER_H_
+#define PVDB_STORAGE_PAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/storage/page.h"
+
+namespace pvdb::storage {
+
+/// Counter names exposed by every pager through metrics().
+struct PagerCounters {
+  static constexpr const char* kReads = "pager.page_reads";
+  static constexpr const char* kWrites = "pager.page_writes";
+  static constexpr const char* kAllocs = "pager.pages_allocated";
+  static constexpr const char* kFrees = "pager.pages_freed";
+};
+
+/// Abstract page store with allocation, free-list reuse and I/O accounting.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  /// Allocates a zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `*out`. Counts one page read.
+  virtual Status Read(PageId id, Page* out) = 0;
+
+  /// Writes `page` to `id`. Counts one page write.
+  virtual Status Write(PageId id, const Page& page) = 0;
+
+  /// Returns page `id` to the free list for reuse.
+  virtual Status Free(PageId id) = 0;
+
+  /// Number of live (allocated, not freed) pages.
+  virtual size_t LivePageCount() const = 0;
+
+  /// Mutable I/O counters (reset between measured phases by the harness).
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+ protected:
+  MetricRegistry metrics_;
+};
+
+/// Heap-backed pager. Page content lives in RAM; reads/writes only bump
+/// counters, making it the right substrate for counting-I/O experiments.
+class InMemoryPager : public Pager {
+ public:
+  InMemoryPager() = default;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Status Free(PageId id) override;
+  size_t LivePageCount() const override;
+
+ private:
+  Status CheckId(PageId id) const;
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+};
+
+/// File-backed pager: pages round-trip through a real file with pread/pwrite
+/// semantics. The free list is kept in memory (pvdb indexes are rebuildable
+/// artifacts, not a recovery-grade store; see DESIGN.md §1 row 3).
+class FilePager : public Pager {
+ public:
+  /// Creates (truncates) or opens the backing file.
+  static Result<std::unique_ptr<FilePager>> Create(const std::string& path);
+
+  ~FilePager() override;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Status Free(PageId id) override;
+  size_t LivePageCount() const override;
+
+ private:
+  explicit FilePager(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  size_t page_count_ = 0;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_PAGER_H_

@@ -1,0 +1,153 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/record_store.h"
+
+#include <algorithm>
+
+namespace pvdb::storage {
+namespace {
+
+constexpr size_t kNextOffset = 0;
+constexpr size_t kUsedOffset = sizeof(PageId);
+constexpr size_t kPayloadOffset = sizeof(PageId) + sizeof(uint32_t);
+
+}  // namespace
+
+Result<RecordRef> RecordStore::Put(const std::vector<uint8_t>& bytes) {
+  const uint64_t pages = PagesNeeded(bytes.size());
+  RecordRef ref;
+  ref.length = bytes.size();
+
+  PageId prev = kInvalidPageId;
+  Page prev_page;
+  size_t written = 0;
+  for (uint64_t i = 0; i < pages; ++i) {
+    PVDB_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+    if (i == 0) {
+      ref.head = id;
+    } else {
+      prev_page.WriteAt<PageId>(kNextOffset, id);
+      PVDB_RETURN_NOT_OK(pager_->Write(prev, prev_page));
+    }
+    Page page;
+    page.WriteAt<PageId>(kNextOffset, kInvalidPageId);
+    const size_t chunk =
+        std::min(kPayloadPerPage, bytes.size() - written);
+    page.WriteAt<uint32_t>(kUsedOffset, static_cast<uint32_t>(chunk));
+    if (chunk > 0) page.WriteBytes(kPayloadOffset, bytes.data() + written, chunk);
+    written += chunk;
+    prev = id;
+    prev_page = page;
+  }
+  PVDB_RETURN_NOT_OK(pager_->Write(prev, prev_page));
+  return ref;
+}
+
+Result<std::vector<uint8_t>> RecordStore::Get(const RecordRef& ref) {
+  if (!ref.valid()) {
+    return Status::InvalidArgument("RecordStore::Get on invalid ref");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(ref.length);
+  PageId id = ref.head;
+  while (id != kInvalidPageId) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const uint32_t used = page.ReadAt<uint32_t>(kUsedOffset);
+    if (used > kPayloadPerPage) {
+      return Status::Corruption("record page claims oversized payload");
+    }
+    const size_t old = out.size();
+    out.resize(old + used);
+    page.ReadBytes(kPayloadOffset, out.data() + old, used);
+    id = page.ReadAt<PageId>(kNextOffset);
+  }
+  if (out.size() != ref.length) {
+    return Status::Corruption("record chain length mismatch: expected " +
+                              std::to_string(ref.length) + ", got " +
+                              std::to_string(out.size()));
+  }
+  return out;
+}
+
+Status RecordStore::Delete(const RecordRef& ref) {
+  if (!ref.valid()) {
+    return Status::InvalidArgument("RecordStore::Delete on invalid ref");
+  }
+  PageId id = ref.head;
+  while (id != kInvalidPageId) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const PageId next = page.ReadAt<PageId>(kNextOffset);
+    PVDB_RETURN_NOT_OK(pager_->Free(id));
+    id = next;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecordStore::GetPrefix(const RecordRef& ref,
+                                                    size_t n) {
+  if (!ref.valid() || n > ref.length) {
+    return Status::InvalidArgument("RecordStore::GetPrefix out of range");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(n);
+  PageId id = ref.head;
+  while (id != kInvalidPageId && out.size() < n) {
+    Page page;
+    PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+    const uint32_t used = page.ReadAt<uint32_t>(kUsedOffset);
+    const size_t take = std::min<size_t>(used, n - out.size());
+    const size_t old = out.size();
+    out.resize(old + take);
+    page.ReadBytes(kPayloadOffset, out.data() + old, take);
+    id = page.ReadAt<PageId>(kNextOffset);
+  }
+  if (out.size() != n) {
+    return Status::Corruption("record chain shorter than declared length");
+  }
+  return out;
+}
+
+Status RecordStore::WritePrefix(const RecordRef& ref,
+                                const std::vector<uint8_t>& bytes) {
+  if (!ref.valid() || bytes.size() > ref.length ||
+      bytes.size() > kPayloadPerPage) {
+    return Status::InvalidArgument("RecordStore::WritePrefix out of range");
+  }
+  Page page;
+  PVDB_RETURN_NOT_OK(pager_->Read(ref.head, &page));
+  page.WriteBytes(kPayloadOffset, bytes.data(), bytes.size());
+  return pager_->Write(ref.head, page);
+}
+
+Result<RecordRef> RecordStore::Update(const RecordRef& ref,
+                                      const std::vector<uint8_t>& bytes) {
+  if (!ref.valid()) {
+    return Status::InvalidArgument("RecordStore::Update on invalid ref");
+  }
+  if (PagesNeeded(bytes.size()) == PagesNeeded(ref.length)) {
+    // In-place rewrite of the existing chain.
+    RecordRef out = ref;
+    out.length = bytes.size();
+    PageId id = ref.head;
+    size_t written = 0;
+    while (id != kInvalidPageId) {
+      Page page;
+      PVDB_RETURN_NOT_OK(pager_->Read(id, &page));
+      const size_t chunk = std::min(kPayloadPerPage, bytes.size() - written);
+      page.WriteAt<uint32_t>(kUsedOffset, static_cast<uint32_t>(chunk));
+      if (chunk > 0) {
+        page.WriteBytes(kPayloadOffset, bytes.data() + written, chunk);
+      }
+      written += chunk;
+      PVDB_RETURN_NOT_OK(pager_->Write(id, page));
+      id = page.ReadAt<PageId>(kNextOffset);
+    }
+    return out;
+  }
+  PVDB_RETURN_NOT_OK(Delete(ref));
+  return Put(bytes);
+}
+
+}  // namespace pvdb::storage

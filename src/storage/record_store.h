@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Heap file for variable-length records. The PV-index's secondary index
+// stores one record per object: its UBR, its uncertainty region and its
+// discrete pdf (500 samples ≈ 16 KiB at d = 3), so records routinely span
+// multiple pages. Each record owns a chain of pages:
+//
+//   page layout:  [next: PageId (8)] [used: u32 (4)] [payload ...]
+//
+// The extensible hash table (extendible_hash.h) maps object ids to the
+// RecordRef handles returned here.
+
+#ifndef PVDB_STORAGE_RECORD_STORE_H_
+#define PVDB_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/pager.h"
+
+namespace pvdb::storage {
+
+/// Handle to a stored record: head page of its chain plus total byte length.
+struct RecordRef {
+  PageId head = kInvalidPageId;
+  uint64_t length = 0;
+
+  bool valid() const { return head != kInvalidPageId; }
+  bool operator==(const RecordRef& o) const {
+    return head == o.head && length == o.length;
+  }
+};
+
+/// Byte-payload record storage over a Pager.
+class RecordStore {
+ public:
+  /// Payload bytes available per page after the chain header.
+  static constexpr size_t kPayloadPerPage = kPageSize - sizeof(PageId) -
+                                            sizeof(uint32_t);
+
+  /// The store borrows the pager; the caller keeps it alive.
+  explicit RecordStore(Pager* pager) : pager_(pager) { PVDB_CHECK(pager); }
+
+  /// Writes `bytes` as a new record and returns its handle.
+  Result<RecordRef> Put(const std::vector<uint8_t>& bytes);
+
+  /// Reads the full payload of `ref`.
+  Result<std::vector<uint8_t>> Get(const RecordRef& ref);
+
+  /// Frees the record's page chain.
+  Status Delete(const RecordRef& ref);
+
+  /// Replaces the record contents; reuses the existing chain when the new
+  /// payload needs the same number of pages, else reallocates.
+  Result<RecordRef> Update(const RecordRef& ref,
+                           const std::vector<uint8_t>& bytes);
+
+  /// Reads only the first `n` bytes of the record — cheap header access for
+  /// records whose tail (e.g. a pdf) spans many pages. `n` must not exceed
+  /// the record length.
+  Result<std::vector<uint8_t>> GetPrefix(const RecordRef& ref, size_t n);
+
+  /// Overwrites the first `bytes.size()` bytes of the record in place.
+  /// The prefix must fit in the first page of the chain.
+  Status WritePrefix(const RecordRef& ref, const std::vector<uint8_t>& bytes);
+
+  /// Number of pages a payload of `length` bytes occupies.
+  static uint64_t PagesNeeded(uint64_t length) {
+    return length == 0 ? 1 : (length + kPayloadPerPage - 1) / kPayloadPerPage;
+  }
+
+ private:
+  Pager* pager_;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_RECORD_STORE_H_

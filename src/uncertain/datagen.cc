@@ -1,0 +1,189 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uncertain/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvdb::uncertain {
+namespace {
+
+// Builds a region of the given per-dimension extents centered at `mean`,
+// shifted (not clipped) so it lies fully inside `domain` — clipping would
+// bias extent statistics near the border.
+geom::Rect RegionAround(const geom::Point& mean, const geom::Point& extents,
+                        const geom::Rect& domain) {
+  geom::Point lo(mean.dim()), hi(mean.dim());
+  for (int i = 0; i < mean.dim(); ++i) {
+    double l = mean[i] - 0.5 * extents[i];
+    double h = mean[i] + 0.5 * extents[i];
+    if (l < domain.lo(i)) {
+      h += domain.lo(i) - l;
+      l = domain.lo(i);
+    }
+    if (h > domain.hi(i)) {
+      l -= h - domain.hi(i);
+      h = domain.hi(i);
+    }
+    lo[i] = std::max(l, domain.lo(i));
+    hi[i] = std::min(h, domain.hi(i));
+  }
+  return geom::Rect(lo, hi);
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticOptions& options) {
+  PVDB_CHECK(options.dim >= 1 && options.dim <= geom::kMaxDim);
+  PVDB_CHECK(options.domain_lo < options.domain_hi);
+  const geom::Rect domain =
+      geom::Rect::Cube(options.dim, options.domain_lo, options.domain_hi);
+  Dataset db(domain);
+  Rng rng(options.seed);
+  for (size_t k = 0; k < options.count; ++k) {
+    geom::Point mean(options.dim), extents(options.dim);
+    for (int i = 0; i < options.dim; ++i) {
+      mean[i] = rng.NextUniform(options.domain_lo, options.domain_hi);
+      extents[i] = rng.NextUniform(1.0, std::max(1.0, options.max_region_extent));
+    }
+    const geom::Rect region = RegionAround(mean, extents, domain);
+    auto obj = UncertainObject::UniformSampled(
+        static_cast<ObjectId>(k), region, options.samples_per_object, &rng);
+    PVDB_CHECK(db.Add(std::move(obj)).ok());
+  }
+  return db;
+}
+
+const char* RealDatasetName(RealDataset kind) {
+  switch (kind) {
+    case RealDataset::kRoads:
+      return "roads";
+    case RealDataset::kRRLines:
+      return "rrlines";
+    case RealDataset::kAirports:
+      return "airports";
+  }
+  return "?";
+}
+
+namespace {
+
+// 2D polyline-derived rectangles: `count` thin MBRs of consecutive segments
+// of random walks seeded at cluster centers — the shape signature of road /
+// railroad datasets (spatial skew + elongated, small rectangles).
+Dataset GeneratePolylines2D(size_t count, double mean_segment_len,
+                            double heading_jitter, int samples, Rng* rng) {
+  const geom::Rect domain = geom::Rect::Cube(2, 0.0, 10000.0);
+  Dataset db(domain);
+  // ~sqrt(count)/2 clusters keeps skew comparable across scales.
+  const int clusters = std::max<int>(8, static_cast<int>(std::sqrt(count) / 2));
+  std::vector<geom::Point> centers;
+  centers.reserve(clusters);
+  for (int c = 0; c < clusters; ++c) {
+    centers.push_back(geom::Point{rng->NextUniform(500, 9500),
+                                  rng->NextUniform(500, 9500)});
+  }
+  ObjectId next_id = 0;
+  while (db.size() < count) {
+    // Start a polyline near a random cluster center.
+    const geom::Point& c = centers[static_cast<size_t>(
+        rng->NextInt(0, clusters - 1))];
+    double x = std::clamp(c[0] + rng->NextGaussian(0.0, 400.0), 1.0, 9999.0);
+    double y = std::clamp(c[1] + rng->NextGaussian(0.0, 400.0), 1.0, 9999.0);
+    double heading = rng->NextUniform(0.0, 2.0 * M_PI);
+    const int segments = rng->NextInt(5, 40);
+    for (int s = 0; s < segments && db.size() < count; ++s) {
+      const double len = std::max(2.0, rng->NextGaussian(mean_segment_len,
+                                                         mean_segment_len / 3));
+      double nx = x + len * std::cos(heading);
+      double ny = y + len * std::sin(heading);
+      nx = std::clamp(nx, 1.0, 9999.0);
+      ny = std::clamp(ny, 1.0, 9999.0);
+      geom::Point lo{std::min(x, nx), std::min(y, ny)};
+      geom::Point hi{std::max(x, nx), std::max(y, ny)};
+      // Thin MBR: give degenerate sides a small width.
+      for (int i = 0; i < 2; ++i) {
+        if (hi[i] - lo[i] < 1.0) {
+          const double mid = 0.5 * (lo[i] + hi[i]);
+          lo[i] = std::max(0.0, mid - 0.5);
+          hi[i] = std::min(10000.0, mid + 0.5);
+        }
+      }
+      auto obj = UncertainObject::UniformSampled(
+          next_id++, geom::Rect(lo, hi), samples, rng);
+      PVDB_CHECK(db.Add(std::move(obj)).ok());
+      x = nx;
+      y = ny;
+      heading += rng->NextGaussian(0.0, heading_jitter);
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+Dataset GenerateRealLike(RealDataset kind, const RealDataOptions& options) {
+  PVDB_CHECK(options.scale > 0.0 && options.scale <= 1.0);
+  Rng rng(options.seed);
+  switch (kind) {
+    case RealDataset::kRoads: {
+      const auto count = static_cast<size_t>(30000 * options.scale);
+      // Roads: short wiggly segments.
+      return GeneratePolylines2D(std::max<size_t>(count, 64), 25.0, 0.5,
+                                 options.samples_per_object, &rng);
+    }
+    case RealDataset::kRRLines: {
+      const auto count = static_cast<size_t>(36000 * options.scale);
+      // Railroads: longer, straighter segments.
+      return GeneratePolylines2D(std::max<size_t>(count, 64), 60.0, 0.15,
+                                 options.samples_per_object, &rng);
+    }
+    case RealDataset::kAirports: {
+      const auto count = std::max<size_t>(
+          static_cast<size_t>(20000 * options.scale), 64);
+      // 3D coordinates clustered around metro areas; GPS error modeled per
+      // the paper: spherical error bound (MBR-ized) with Gaussian pdf of
+      // variance 1 (domain units).
+      const geom::Rect domain = geom::Rect::Cube(3, 0.0, 10000.0);
+      Dataset db(domain);
+      const int clusters = 128;
+      std::vector<geom::Point> centers;
+      centers.reserve(clusters);
+      for (int c = 0; c < clusters; ++c) {
+        centers.push_back(geom::Point{rng.NextUniform(300, 9700),
+                                      rng.NextUniform(300, 9700),
+                                      rng.NextUniform(0, 1500)});
+      }
+      const double error_radius = 5.0;  // the 10 m GPS sphere, domain units
+      for (size_t k = 0; k < count; ++k) {
+        geom::Point center(3);
+        if (rng.NextBool(0.85)) {
+          const geom::Point& c = centers[static_cast<size_t>(
+              rng.NextInt(0, clusters - 1))];
+          for (int i = 0; i < 3; ++i) {
+            center[i] = c[i] + rng.NextGaussian(0.0, 120.0);
+          }
+        } else {
+          center = geom::Point{rng.NextUniform(0, 10000),
+                               rng.NextUniform(0, 10000),
+                               rng.NextUniform(0, 2000)};
+        }
+        geom::Point half{error_radius, error_radius, error_radius};
+        for (int i = 0; i < 3; ++i) {
+          center[i] = std::clamp(center[i], error_radius,
+                                 10000.0 - error_radius);
+        }
+        const geom::Rect region = geom::Rect::FromCenterHalfWidths(center, half);
+        auto obj = UncertainObject::GaussianSampled(
+            static_cast<ObjectId>(k), center, 1.0, region,
+            options.samples_per_object, &rng);
+        PVDB_CHECK(db.Add(std::move(obj)).ok());
+      }
+      return db;
+    }
+  }
+  PVDB_CHECK(false);
+  return Dataset(geom::Rect::Cube(2, 0, 1));
+}
+
+}  // namespace pvdb::uncertain

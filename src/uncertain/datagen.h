@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Workload data generators (Section VII-A).
+//
+// Synthetic data re-implements the published parameterization of Theodoridis
+// et al.'s generator: object means uniform in D = [0, 10k]^d, per-dimension
+// uncertainty extents uniform in [1, |u(o)|], discrete pdfs of 500 uniform
+// samples.
+//
+// The three real datasets (roads 30k / rrlines 36k, 2D; airports 20k, 3D)
+// are not redistributable offline, so we generate *simulacra* matching their
+// published cardinality, dimensionality, spatial skew and uncertainty model
+// (clustered/polyline-shaped 2D MBRs; clustered 3D points with small
+// spherical GPS error and Gaussian pdf). See DESIGN.md §4 for the
+// substitution rationale.
+
+#ifndef PVDB_UNCERTAIN_DATAGEN_H_
+#define PVDB_UNCERTAIN_DATAGEN_H_
+
+#include <cstdint>
+
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::uncertain {
+
+/// Parameters of the synthetic generator (defaults = Table I bold values).
+struct SyntheticOptions {
+  /// Dimensionality d (paper default 3).
+  int dim = 3;
+  /// Database cardinality |S| (paper default 20k; benchmarks scale this).
+  size_t count = 20000;
+  /// Domain is [domain_lo, domain_hi]^d = [0, 10k]^d.
+  double domain_lo = 0.0;
+  double domain_hi = 10000.0;
+  /// |u(o)|: maximum uncertainty-region extent per dimension; actual extents
+  /// are uniform in [1, max_region_extent].
+  double max_region_extent = 20.0;
+  /// Instances per discrete pdf (paper: 500).
+  int samples_per_object = 500;
+  /// RNG seed; equal seeds give identical databases.
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic uncertain database.
+Dataset GenerateSynthetic(const SyntheticOptions& options);
+
+/// Which real-dataset simulacrum to generate.
+enum class RealDataset {
+  kRoads,     ///< 30k 2D thin rectangles along clustered polylines.
+  kRRLines,   ///< 36k 2D rectangles along longer, straighter polylines.
+  kAirports,  ///< 20k 3D GPS points, 10 m-sphere MBRs, Gaussian pdf.
+};
+
+/// Human-readable dataset name ("roads", "rrlines", "airports").
+const char* RealDatasetName(RealDataset kind);
+
+/// Options for real-data simulacra.
+struct RealDataOptions {
+  /// Scales the published cardinality (1.0 = full size; benchmarks often use
+  /// a fraction to keep laptop runtimes sane — the harness reports it).
+  double scale = 1.0;
+  /// Instances per pdf (paper: 500).
+  int samples_per_object = 500;
+  uint64_t seed = 7;
+};
+
+/// Generates the chosen real-dataset simulacrum.
+Dataset GenerateRealLike(RealDataset kind, const RealDataOptions& options);
+
+}  // namespace pvdb::uncertain
+
+#endif  // PVDB_UNCERTAIN_DATAGEN_H_

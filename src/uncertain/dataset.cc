@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::uncertain {
+
+Status Dataset::Add(UncertainObject object) {
+  if (object.dim() != dim()) {
+    return Status::InvalidArgument("object dimensionality mismatch");
+  }
+  if (!domain_.ContainsRect(object.region())) {
+    return Status::InvalidArgument("object region escapes the domain");
+  }
+  if (index_.contains(object.id())) {
+    return Status::AlreadyExists("object id " + std::to_string(object.id()));
+  }
+  index_.emplace(object.id(), objects_.size());
+  objects_.push_back(std::move(object));
+  return Status::OK();
+}
+
+Status Dataset::Remove(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("object id " + std::to_string(id));
+  }
+  const size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != objects_.size()) {
+    objects_[pos] = std::move(objects_.back());
+    index_[objects_[pos].id()] = pos;
+  }
+  objects_.pop_back();
+  return Status::OK();
+}
+
+const UncertainObject* Dataset::Find(ObjectId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &objects_[it->second];
+}
+
+std::vector<geom::Rect> Dataset::Regions() const {
+  std::vector<geom::Rect> out;
+  out.reserve(objects_.size());
+  for (const auto& o : objects_) out.push_back(o.region());
+  return out;
+}
+
+std::vector<ObjectId> Dataset::Ids() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& o : objects_) out.push_back(o.id());
+  return out;
+}
+
+}  // namespace pvdb::uncertain

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The uncertain database S: a set of uncertain objects over a common domain
+// D ⊆ R^d, with id-based lookup and insert/delete (the update workload of
+// Section VI-B operates on this container).
+
+#ifndef PVDB_UNCERTAIN_DATASET_H_
+#define PVDB_UNCERTAIN_DATASET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::uncertain {
+
+/// An uncertain database over domain D.
+class Dataset {
+ public:
+  /// Empty database over `domain`.
+  explicit Dataset(geom::Rect domain) : domain_(std::move(domain)) {}
+
+  int dim() const { return domain_.dim(); }
+  const geom::Rect& domain() const { return domain_; }
+  size_t size() const { return objects_.size(); }
+
+  /// Adds an object. Its region must lie inside the domain and its id must
+  /// be fresh.
+  Status Add(UncertainObject object);
+
+  /// Removes the object with `id` (swap-with-last; order not preserved).
+  Status Remove(ObjectId id);
+
+  /// Pointer to the object with `id`, or nullptr. The pointer is invalidated
+  /// by Add/Remove.
+  const UncertainObject* Find(ObjectId id) const;
+
+  /// All objects, in storage order.
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+  /// Uncertainty regions of all objects, aligned with objects().
+  std::vector<geom::Rect> Regions() const;
+
+  /// Ids of all objects, aligned with objects().
+  std::vector<ObjectId> Ids() const;
+
+ private:
+  geom::Rect domain_;
+  std::vector<UncertainObject> objects_;
+  std::unordered_map<ObjectId, size_t> index_;
+};
+
+}  // namespace pvdb::uncertain
+
+#endif  // PVDB_UNCERTAIN_DATASET_H_

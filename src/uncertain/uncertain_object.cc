@@ -1,0 +1,138 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uncertain/uncertain_object.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pvdb::uncertain {
+
+UncertainObject::UncertainObject(ObjectId id, geom::Rect region,
+                                 std::vector<Instance> pdf)
+    : id_(id), region_(std::move(region)), pdf_(std::move(pdf)) {
+#ifndef NDEBUG
+  double total = 0.0;
+  for (const Instance& inst : pdf_) {
+    PVDB_DCHECK(inst.position.dim() == region_.dim());
+    PVDB_DCHECK(region_.Inflated(1e-9).Contains(inst.position));
+    PVDB_DCHECK(inst.probability >= 0.0);
+    total += inst.probability;
+  }
+  PVDB_DCHECK(pdf_.empty() || std::abs(total - 1.0) < 1e-6);
+#endif
+}
+
+UncertainObject UncertainObject::UniformSampled(ObjectId id,
+                                                const geom::Rect& region,
+                                                int n, Rng* rng) {
+  PVDB_CHECK(n > 0 && rng != nullptr);
+  std::vector<Instance> pdf;
+  pdf.reserve(n);
+  const double p = 1.0 / n;
+  for (int k = 0; k < n; ++k) {
+    geom::Point x(region.dim());
+    for (int i = 0; i < region.dim(); ++i) {
+      x[i] = rng->NextUniform(region.lo(i), region.hi(i));
+    }
+    pdf.push_back({x, p});
+  }
+  return UncertainObject(id, region, std::move(pdf));
+}
+
+UncertainObject UncertainObject::GaussianSampled(ObjectId id,
+                                                 const geom::Point& center,
+                                                 double stddev,
+                                                 const geom::Rect& region,
+                                                 int n, Rng* rng) {
+  PVDB_CHECK(n > 0 && rng != nullptr);
+  std::vector<Instance> pdf;
+  pdf.reserve(n);
+  const double p = 1.0 / n;
+  constexpr int kMaxRejections = 16;
+  for (int k = 0; k < n; ++k) {
+    geom::Point x(center.dim());
+    bool inside = false;
+    for (int attempt = 0; attempt < kMaxRejections && !inside; ++attempt) {
+      for (int i = 0; i < center.dim(); ++i) {
+        x[i] = rng->NextGaussian(center[i], stddev);
+      }
+      inside = region.Contains(x);
+    }
+    if (!inside) x = region.ClampPoint(x);
+    pdf.push_back({x, p});
+  }
+  return UncertainObject(id, region, std::move(pdf));
+}
+
+void UncertainObject::AppendTo(std::vector<uint8_t>* out) const {
+  auto push = [&](const void* src, size_t len) {
+    const auto* b = static_cast<const uint8_t*>(src);
+    out->insert(out->end(), b, b + len);
+  };
+  const uint64_t id = id_;
+  const uint32_t dim = static_cast<uint32_t>(region_.dim());
+  const uint32_t n = static_cast<uint32_t>(pdf_.size());
+  push(&id, sizeof(id));
+  push(&dim, sizeof(dim));
+  push(&n, sizeof(n));
+  for (int i = 0; i < region_.dim(); ++i) {
+    const double lo = region_.lo(i), hi = region_.hi(i);
+    push(&lo, sizeof(lo));
+    push(&hi, sizeof(hi));
+  }
+  for (const Instance& inst : pdf_) {
+    for (int i = 0; i < region_.dim(); ++i) {
+      const double c = inst.position[i];
+      push(&c, sizeof(c));
+    }
+    push(&inst.probability, sizeof(inst.probability));
+  }
+}
+
+Result<UncertainObject> UncertainObject::ParseFrom(
+    const std::vector<uint8_t>& bytes, size_t* offset) {
+  auto pull = [&](void* dst, size_t len) -> bool {
+    if (*offset + len > bytes.size()) return false;
+    std::memcpy(dst, bytes.data() + *offset, len);
+    *offset += len;
+    return true;
+  };
+  uint64_t id;
+  uint32_t dim, n;
+  if (!pull(&id, sizeof(id)) || !pull(&dim, sizeof(dim)) ||
+      !pull(&n, sizeof(n))) {
+    return Status::Corruption("uncertain object header truncated");
+  }
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("uncertain object has invalid dimension");
+  }
+  geom::Point lo(static_cast<int>(dim)), hi(static_cast<int>(dim));
+  for (uint32_t i = 0; i < dim; ++i) {
+    double l, h;
+    if (!pull(&l, sizeof(l)) || !pull(&h, sizeof(h))) {
+      return Status::Corruption("uncertain object region truncated");
+    }
+    lo[static_cast<int>(i)] = l;
+    hi[static_cast<int>(i)] = h;
+  }
+  std::vector<Instance> pdf;
+  pdf.reserve(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    geom::Point x(static_cast<int>(dim));
+    for (uint32_t i = 0; i < dim; ++i) {
+      double c;
+      if (!pull(&c, sizeof(c))) {
+        return Status::Corruption("uncertain object pdf truncated");
+      }
+      x[static_cast<int>(i)] = c;
+    }
+    double p;
+    if (!pull(&p, sizeof(p))) {
+      return Status::Corruption("uncertain object pdf truncated");
+    }
+    pdf.push_back({x, p});
+  }
+  return UncertainObject(id, geom::Rect(lo, hi), std::move(pdf));
+}
+
+}  // namespace pvdb::uncertain

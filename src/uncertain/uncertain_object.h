@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The attribute-uncertainty model (Section I/III, following [8][13][14]):
+// an uncertain object's d-dimensional attribute is a random variable whose
+// support is minimally bounded by an axis-parallel uncertainty region u(o),
+// with a discrete pdf — a set of weighted instances (500 samples in the
+// paper's experiments).
+
+#ifndef PVDB_UNCERTAIN_UNCERTAIN_OBJECT_H_
+#define PVDB_UNCERTAIN_UNCERTAIN_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/geom/rect.h"
+
+namespace pvdb::uncertain {
+
+/// Stable identifier of an uncertain object within a database.
+using ObjectId = uint64_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObjectId = ~static_cast<ObjectId>(0);
+
+/// One weighted instance of the discrete uncertainty pdf.
+struct Instance {
+  geom::Point position;
+  double probability;
+};
+
+/// An uncertain object: id, rectangular uncertainty region, discrete pdf.
+class UncertainObject {
+ public:
+  /// Constructs with an explicit instance set. The instances must lie inside
+  /// `region` and their probabilities should sum to ~1 (checked in debug).
+  UncertainObject(ObjectId id, geom::Rect region, std::vector<Instance> pdf);
+
+  /// Object with `n` instances drawn uniformly from `region`, each carrying
+  /// probability 1/n (the paper's synthetic-data model, Section VII-A).
+  static UncertainObject UniformSampled(ObjectId id, const geom::Rect& region,
+                                        int n, Rng* rng);
+
+  /// Object with `n` instances from an isotropic Gaussian centered at
+  /// `center` with standard deviation `stddev`, truncated (by rejection,
+  /// falling back to clamping) to `region`; probability 1/n each (the
+  /// paper's real-data model: GPS error, Section VII-A).
+  static UncertainObject GaussianSampled(ObjectId id, const geom::Point& center,
+                                         double stddev,
+                                         const geom::Rect& region, int n,
+                                         Rng* rng);
+
+  ObjectId id() const { return id_; }
+  int dim() const { return region_.dim(); }
+
+  /// The uncertainty region u(o): minimal axis-parallel bound of the pdf
+  /// support.
+  const geom::Rect& region() const { return region_; }
+
+  /// The discrete pdf instances.
+  const std::vector<Instance>& pdf() const { return pdf_; }
+
+  /// Representative "mean position" used by the FS / IS C-set strategies:
+  /// the center of u(o).
+  geom::Point MeanPosition() const { return region_.Center(); }
+
+  /// Flat binary serialization (secondary-index record payload).
+  void AppendTo(std::vector<uint8_t>* out) const;
+
+  /// Inverse of AppendTo; advances `*offset` past the consumed bytes.
+  static Result<UncertainObject> ParseFrom(const std::vector<uint8_t>& bytes,
+                                           size_t* offset);
+
+ private:
+  ObjectId id_;
+  geom::Rect region_;
+  std::vector<Instance> pdf_;
+};
+
+}  // namespace pvdb::uncertain
+
+#endif  // PVDB_UNCERTAIN_UNCERTAIN_OBJECT_H_

@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uv/uv_cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/geom/distance.h"
+
+namespace pvdb::uv {
+
+Circle Circumscribe(const geom::Rect& region) {
+  PVDB_CHECK(region.dim() == 2);
+  const geom::Point c = region.Center();
+  const double hx = 0.5 * region.Side(0);
+  const double hy = 0.5 * region.Side(1);
+  return Circle{c, std::sqrt(hx * hx + hy * hy)};
+}
+
+bool CirclePointPossiblyNearest(const Circle& o,
+                                std::span<const Circle> others,
+                                const geom::Point& p) {
+  const double dmin_o = std::max(0.0, p.DistanceTo(o.center) - o.radius);
+  for (const Circle& a : others) {
+    const double dmax_a = p.DistanceTo(a.center) + a.radius;
+    if (dmax_a < dmin_o) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Circle-distance domination of candidate `a` over object `b` on all of
+// `cell`: max_p (|p−c_a| + r_a) < min_p (|p−c_b| − r_b). Sufficient (hence
+// conservative for cover construction).
+bool CircleDominatesCell(const Circle& a, const Circle& b,
+                         const geom::Rect& cell) {
+  const double max_a = geom::MaxDist(cell, a.center) + a.radius;
+  const double min_b = geom::MinDist(cell, b.center) - b.radius;
+  return max_a < min_b;
+}
+
+}  // namespace
+
+UvCover ComputeUvCover(const uncertain::UncertainObject& o,
+                       std::span<const geom::Rect> cset,
+                       const geom::Rect& domain,
+                       const UvCellOptions& options) {
+  PVDB_CHECK(o.dim() == 2 && domain.dim() == 2);
+  UvCover cover;
+
+  const Circle oc = Circumscribe(o.region());
+  std::vector<Circle> candidates;
+  candidates.reserve(cset.size());
+  for (const geom::Rect& r : cset) {
+    // Candidates overlapping o's circle cannot constrain the cell (the
+    // circle analogue of Lemma 2).
+    const Circle c = Circumscribe(r);
+    if (c.center.DistanceTo(oc.center) <= c.radius + oc.radius) continue;
+    candidates.push_back(c);
+  }
+
+  // Phase 1 — high-precision boundary probe ([9]'s curve-geometry analogue).
+  // For each direction, bisect the largest radius at which o may still be
+  // the nearest object. The probes dominate construction cost by design;
+  // their output feeds the diagnostic radius (the cover below is what the
+  // index relies on for correctness).
+  const double domain_diag =
+      std::sqrt(domain.Side(0) * domain.Side(0) +
+                domain.Side(1) * domain.Side(1));
+  for (int k = 0; k < options.rays; ++k) {
+    const double theta = (2.0 * M_PI * k) / options.rays;
+    const double dx = std::cos(theta);
+    const double dy = std::sin(theta);
+    double lo = 0.0;
+    double hi = domain_diag;
+    while (hi - lo > options.ray_tolerance) {
+      const double mid = 0.5 * (lo + hi);
+      geom::Point p{oc.center[0] + mid * dx, oc.center[1] + mid * dy};
+      // Clamp the probe into the domain; beyond it the cell cannot extend.
+      if (!domain.Contains(p)) {
+        hi = mid;
+        continue;
+      }
+      if (CirclePointPossiblyNearest(oc, candidates, p)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    cover.max_boundary_radius = std::max(cover.max_boundary_radius, hi);
+  }
+
+  // Phase 2 — conservative cover by adaptive refinement.
+  std::vector<geom::Rect> pending{domain};
+  while (!pending.empty() && cover.cells_examined < options.max_cells) {
+    const geom::Rect cell = pending.back();
+    pending.pop_back();
+    ++cover.cells_examined;
+    bool dominated = false;
+    for (const Circle& a : candidates) {
+      if (CircleDominatesCell(a, oc, cell)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (cell.MaxSide() <= options.resolution) {
+      cover.cells.push_back(cell);
+      continue;
+    }
+    const int axis = cell.LongestDim();
+    const double mid = 0.5 * (cell.lo(axis) + cell.hi(axis));
+    geom::Rect left = cell;
+    geom::Rect right = cell;
+    left.set_hi(axis, mid);
+    right.set_lo(axis, mid);
+    pending.push_back(left);
+    pending.push_back(right);
+  }
+  // Budget exhausted: keep the unprocessed cells (conservative).
+  for (const geom::Rect& cell : pending) cover.cells.push_back(cell);
+
+  if (cover.cells.empty()) {
+    // Degenerate (should not happen: u(o) is always inside its own cell);
+    // fall back to the uncertainty region itself.
+    cover.cells.push_back(o.region());
+  }
+  cover.mbr = cover.cells[0];
+  for (size_t i = 1; i < cover.cells.size(); ++i) {
+    cover.mbr = geom::Rect::Union(cover.mbr, cover.cells[i]);
+  }
+  return cover;
+}
+
+}  // namespace pvdb::uv

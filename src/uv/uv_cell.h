@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// UV-cell computation — the 2D baseline of Cheng et al., "UV-diagram: a
+// Voronoi diagram for uncertain data" (ICDE 2010, reference [9]). The
+// original derives each cell's boundary from hyperbolic curve intersections
+// of circular uncertainty regions; that code is not available, so this
+// module reproduces both the *semantics* (a conservative region where the
+// object may be the NN, built on circumscribed circles) and the *cost
+// structure* (fine-grained per-object boundary geometry, an order of
+// magnitude more work than SE's O(2d·log(|D|/Δ)) slab tests):
+//
+//   1. a high-precision boundary probe: `rays` directions from the circle
+//      center, each bisected to `ray_tolerance` against exact point-level
+//      domination predicates — the analogue of [9]'s curve computations;
+//   2. a conservative cell cover: adaptive refinement of the domain where a
+//      cell is discarded only when provably dominated under circle-distance
+//      bounds — this is what the UV-index actually stores.
+//
+// See DESIGN.md §4(2) for the substitution rationale.
+
+#ifndef PVDB_UV_UV_CELL_H_
+#define PVDB_UV_UV_CELL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/geom/rect.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::uv {
+
+/// A circle: circumscribed bound of a 2D uncertainty region ([9] assumes
+/// circular regions; rectangles are wrapped, matching Section II's account
+/// of the UV/PV comparison).
+struct Circle {
+  geom::Point center;
+  double radius;
+};
+
+/// Circumscribed circle of a 2D rectangle.
+Circle Circumscribe(const geom::Rect& region);
+
+/// UV-cell construction parameters.
+struct UvCellOptions {
+  /// Boundary probe directions (the high-precision geometry workload).
+  int rays = 360;
+  /// Bisection tolerance of each boundary probe, domain units.
+  double ray_tolerance = 0.1;
+  /// Cover refinement: cells at most this wide are accepted without proof.
+  double resolution = 40.0;
+  /// Refinement budget per object.
+  int max_cells = 16384;
+};
+
+/// Result of one UV-cell computation.
+struct UvCover {
+  /// Conservative cover: V(o) ⊆ ∪ cells (disjoint rectangles).
+  std::vector<geom::Rect> cells;
+  /// MBR of the cover (stored as the object's bounding rectangle).
+  geom::Rect mbr{2};
+  /// Max boundary radius seen by the probe (diagnostic).
+  double max_boundary_radius = 0.0;
+  /// Number of refinement cells examined (cost diagnostic).
+  int cells_examined = 0;
+};
+
+/// Computes the conservative UV-cell cover of `o` against candidate regions
+/// `cset` (uncertainty rectangles of other objects) within `domain`.
+/// 2D only.
+UvCover ComputeUvCover(const uncertain::UncertainObject& o,
+                       std::span<const geom::Rect> cset,
+                       const geom::Rect& domain, const UvCellOptions& options);
+
+/// Point-level predicate under circle distances: may `o` be the nearest
+/// object at `p`, given candidate circles? Exact for circles.
+bool CirclePointPossiblyNearest(const Circle& o,
+                                std::span<const Circle> others,
+                                const geom::Point& p);
+
+}  // namespace pvdb::uv
+
+#endif  // PVDB_UV_UV_CELL_H_

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uv/uv_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/geom/distance.h"
+
+namespace pvdb::uv {
+
+UvIndex::UvIndex(geom::Rect domain, storage::Pager* pager,
+                 UvIndexOptions options)
+    : domain_(std::move(domain)), options_(options), pager_(pager) {}
+
+Result<std::unique_ptr<UvIndex>> UvIndex::Build(const uncertain::Dataset& db,
+                                                storage::Pager* pager,
+                                                const UvIndexOptions& options,
+                                                UvBuildStats* stats) {
+  PVDB_CHECK(pager != nullptr);
+  if (db.dim() != 2) {
+    return Status::NotSupported(
+        "the UV-index supports 2D data only (see Section II)");
+  }
+  UvBuildStats local;
+  UvBuildStats* st = stats ? stats : &local;
+  *st = UvBuildStats{};
+  StopWatch total;
+
+  auto index = std::unique_ptr<UvIndex>(
+      new UvIndex(db.domain(), pager, options));
+  PVDB_ASSIGN_OR_RETURN(pv::SecondaryIndex secondary,
+                        pv::SecondaryIndex::Create(pager));
+  index->secondary_ =
+      std::make_unique<pv::SecondaryIndex>(std::move(secondary));
+  pv::SecondaryIndex* secondary_ptr = index->secondary_.get();
+  index->primary_ = std::make_unique<pv::OctreePrimary>(
+      db.domain(), pager,
+      [secondary_ptr](uncertain::ObjectId id) {
+        return secondary_ptr->GetUbr(id);
+      },
+      options.octree);
+
+  rtree::RStarTree mean_tree(2);
+  for (const auto& o : db.objects()) {
+    mean_tree.Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+  }
+
+  for (const auto& o : db.objects()) {
+    StopWatch cset_watch;
+    const pv::CSetResult cset =
+        pv::ChooseCSet(o, db, mean_tree, options.cset);
+    st->choose_cset_ms += cset_watch.ElapsedMillis();
+
+    StopWatch cell_watch;
+    const UvCover cover =
+        ComputeUvCover(o, cset.regions, db.domain(), options.cell);
+    st->compute_cell_ms += cell_watch.ElapsedMillis();
+    st->cover_cells.Add(static_cast<double>(cover.cells.size()));
+
+    StopWatch insert_watch;
+    PVDB_RETURN_NOT_OK(index->secondary_->Put(o, cover.mbr));
+    const auto& cells = cover.cells;
+    PVDB_RETURN_NOT_OK(index->primary_->InsertFiltered(
+        o.id(), o.region(), cover.mbr, [&cells](const geom::Rect& leaf) {
+          for (const geom::Rect& cell : cells) {
+            if (cell.Intersects(leaf)) return true;
+          }
+          return false;
+        }));
+    st->insert_ms += insert_watch.ElapsedMillis();
+  }
+  st->total_ms = total.ElapsedMillis();
+  return index;
+}
+
+Result<std::vector<uncertain::ObjectId>> UvIndex::QueryPossibleNN(
+    const geom::Point& q) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<pv::LeafEntry> entries,
+                        primary_->QueryPoint(q));
+  if (entries.empty()) return std::vector<uncertain::ObjectId>{};
+  double tau_sq = std::numeric_limits<double>::infinity();
+  for (const pv::LeafEntry& e : entries) {
+    tau_sq = std::min(tau_sq, geom::MaxDistSq(e.region, q));
+  }
+  std::vector<uncertain::ObjectId> out;
+  for (const pv::LeafEntry& e : entries) {
+    if (geom::MinDistSq(e.region, q) <= tau_sq) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pvdb::uv

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The UV-index baseline ([9], 2D only): UV-cell covers stored in the same
+// octree + extensible-hash carrier as the PV-index, with identical query
+// semantics (leaf lookup + minmax pruning). Used by Figures 9(e), 9(h) and
+// 10(g). Construction cost is dominated by the per-object boundary geometry
+// in uv_cell.cc — the property the paper's 15–25× construction-time gap
+// (Fig 10(g)) rests on.
+
+#ifndef PVDB_UV_UV_INDEX_H_
+#define PVDB_UV_UV_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/timer.h"
+#include "src/pv/cset.h"
+#include "src/pv/octree.h"
+#include "src/pv/secondary_index.h"
+#include "src/uv/uv_cell.h"
+
+namespace pvdb::uv {
+
+/// UV-index tunables.
+struct UvIndexOptions {
+  UvCellOptions cell;
+  pv::CSetOptions cset;
+  pv::OctreeOptions octree;
+};
+
+/// Construction instrumentation (mirrors pv::BuildStats).
+struct UvBuildStats {
+  double choose_cset_ms = 0.0;
+  double compute_cell_ms = 0.0;
+  double insert_ms = 0.0;
+  double total_ms = 0.0;
+  Summary cover_cells;
+};
+
+/// The UV-index.
+class UvIndex {
+ public:
+  /// Builds over a 2D database; pages go to `pager` (borrowed).
+  static Result<std::unique_ptr<UvIndex>> Build(const uncertain::Dataset& db,
+                                                storage::Pager* pager,
+                                                const UvIndexOptions& options,
+                                                UvBuildStats* stats = nullptr);
+
+  /// PNNQ Step 1 — same contract as PvIndex::QueryPossibleNN.
+  Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
+      const geom::Point& q) const;
+
+  const pv::OctreePrimary& primary() const { return *primary_; }
+  storage::Pager* pager() const { return pager_; }
+
+ private:
+  UvIndex(geom::Rect domain, storage::Pager* pager, UvIndexOptions options);
+
+  geom::Rect domain_;
+  UvIndexOptions options_;
+  storage::Pager* pager_;
+  std::unique_ptr<pv::SecondaryIndex> secondary_;
+  std::unique_ptr<pv::OctreePrimary> primary_;
+};
+
+}  // namespace pvdb::uv
+
+#endif  // PVDB_UV_UV_INDEX_H_

@@ -1,0 +1,267 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Unit tests for the common substrate: Status/Result, Rng, Summary,
+// MetricRegistry, StopWatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace pvdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("object 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "object 42");
+  EXPECT_EQ(s.ToString(), "NotFound: object 42");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  std::set<StatusCode> codes{
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
+      Status::ResourceExhausted("x").code(), Status::IOError("x").code(),
+      Status::Corruption("x").code(),      Status::NotSupported("x").code(),
+      Status::Internal("x").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+namespace {
+
+Result<int> FailingOp() { return Status::IOError("disk"); }
+
+Result<int> Chained() {
+  PVDB_ASSIGN_OR_RETURN(int x, FailingOp());
+  return x + 1;
+}
+
+Status PropagatingOp() {
+  PVDB_RETURN_NOT_OK(Status::Corruption("bits"));
+  return Status::OK();
+}
+
+}  // namespace
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> r = Chained();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(PropagatingOp().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextUniform(-5.0, 11.5);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 11.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(10);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int x = rng.NextInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= x == 3;
+    saw_hi |= x == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BoundedStaysBelowBound) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---------------------------------------------------------------------------
+// Summary / MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, MergeMatchesCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(i);
+    all.Add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.Add(i * 0.5);
+    all.Add(i * 0.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(MetricRegistryTest, IncrementAndSnapshot) {
+  MetricRegistry m;
+  EXPECT_EQ(m.Get("x"), 0);
+  m.Increment("x");
+  m.Increment("x", 4);
+  m.Increment("y", 2);
+  EXPECT_EQ(m.Get("x"), 5);
+  EXPECT_EQ(m.Get("y"), 2);
+  auto snap = m.Snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  m.Reset();
+  EXPECT_EQ(m.Get("x"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// StopWatch
+// ---------------------------------------------------------------------------
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(w.ElapsedNanos(), 0);
+  EXPECT_GE(w.ElapsedMillis(), 0.0);
+}
+
+TEST(StopWatchTest, ScopedTimerAccumulates) {
+  double bucket = 0.0;
+  {
+    ScopedTimerMs t(&bucket);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  EXPECT_GT(bucket, 0.0);
+}
+
+}  // namespace
+}  // namespace pvdb

@@ -1,0 +1,199 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Tests for the chooseCSet strategies (Section V-A): ALL / FS / IS
+// semantics, the FS weaknesses the paper documents, IS quadrant counters
+// and overlap skipping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/pv/cset.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct CSetFixture {
+  explicit CSetFixture(int dim, size_t count, uint64_t seed = 7,
+                       double extent = 30.0) {
+    uncertain::SyntheticOptions options;
+    options.dim = dim;
+    options.count = count;
+    options.samples_per_object = 4;  // pdf irrelevant here
+    options.max_region_extent = extent;
+    options.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(options));
+    mean_tree = std::make_unique<rtree::RStarTree>(dim);
+    for (const auto& o : db->objects()) {
+      mean_tree->Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+    }
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  std::unique_ptr<rtree::RStarTree> mean_tree;
+};
+
+TEST(CSetTest, AllReturnsEverythingButSelf) {
+  CSetFixture fx(2, 100);
+  const auto& o = fx.db->objects()[5];
+  CSetOptions options;
+  options.strategy = CSetStrategy::kAll;
+  const CSetResult cs = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+  EXPECT_EQ(cs.ids.size(), 99u);
+  EXPECT_EQ(cs.regions.size(), 99u);
+  EXPECT_EQ(std::count(cs.ids.begin(), cs.ids.end(), o.id()), 0);
+}
+
+TEST(CSetTest, FixedReturnsKNearestMeans) {
+  CSetFixture fx(2, 300);
+  const auto& o = fx.db->objects()[0];
+  CSetOptions options;
+  options.strategy = CSetStrategy::kFixed;
+  options.k = 25;
+  const CSetResult cs = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+  ASSERT_EQ(cs.ids.size(), 25u);
+
+  // Brute-force k nearest mean positions.
+  std::vector<std::pair<double, uncertain::ObjectId>> oracle;
+  for (const auto& other : fx.db->objects()) {
+    if (other.id() == o.id()) continue;
+    oracle.emplace_back(
+        other.MeanPosition().DistanceTo(o.MeanPosition()), other.id());
+  }
+  std::sort(oracle.begin(), oracle.end());
+  std::set<uncertain::ObjectId> expected;
+  for (int i = 0; i < 25; ++i) expected.insert(oracle[static_cast<size_t>(i)].second);
+  std::set<uncertain::ObjectId> got(cs.ids.begin(), cs.ids.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(CSetTest, FixedKeepsOverlappingNeighbors) {
+  // Paper (Section V-A): FS does not discard objects overlapping u(o).
+  Rng rng(3);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect(geom::Point{100, 100},
+                                      geom::Point{120, 120}),
+                        3, &rng))
+                  .ok());
+  // Overlapping neighbor.
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect(geom::Point{110, 110},
+                                      geom::Point{130, 130}),
+                        3, &rng))
+                  .ok());
+  // Distant neighbor.
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        2, geom::Rect(geom::Point{800, 800},
+                                      geom::Point{805, 805}),
+                        3, &rng))
+                  .ok());
+  rtree::RStarTree mean_tree(2);
+  for (const auto& o : db.objects()) {
+    mean_tree.Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+  }
+  CSetOptions options;
+  options.strategy = CSetStrategy::kFixed;
+  options.k = 1;
+  const CSetResult cs = ChooseCSet(*db.Find(0), db, mean_tree, options);
+  ASSERT_EQ(cs.ids.size(), 1u);
+  EXPECT_EQ(cs.ids[0], 1u) << "FS keeps the overlapping nearest neighbor";
+
+  // IS skips it and returns the useful distant one instead.
+  options.strategy = CSetStrategy::kIncremental;
+  options.k_partition = 1;
+  options.k_global = 10;
+  const CSetResult is = ChooseCSet(*db.Find(0), db, mean_tree, options);
+  EXPECT_EQ(std::count(is.ids.begin(), is.ids.end(), 1u), 0)
+      << "IS must skip neighbors overlapping u(o) (Lemma 2)";
+  EXPECT_EQ(std::count(is.ids.begin(), is.ids.end(), 2u), 1);
+}
+
+TEST(CSetTest, IncrementalRespectsGlobalCap) {
+  CSetFixture fx(2, 500);
+  const auto& o = fx.db->objects()[10];
+  CSetOptions options;
+  options.strategy = CSetStrategy::kIncremental;
+  options.k_partition = 1000;  // unreachable
+  options.k_global = 60;
+  const CSetResult cs = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+  EXPECT_LE(cs.examined, 60);
+  EXPECT_LE(cs.ids.size(), 60u);
+  EXPECT_GT(cs.ids.size(), 0u);
+}
+
+TEST(CSetTest, IncrementalSatisfiesQuadrantCounters) {
+  CSetFixture fx(2, 2000, /*seed=*/11, /*extent=*/5.0);
+  const auto& o = fx.db->objects()[100];
+  CSetOptions options;
+  options.strategy = CSetStrategy::kIncremental;
+  options.k_partition = 3;
+  options.k_global = 2000;
+  const CSetResult cs = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+
+  // Recount per quadrant: each of the 4 quadrants around o's mean must have
+  // seen at least k_partition selected regions (the domain is dense and
+  // uniform, so the counters are satisfiable).
+  const geom::Point pivot = o.MeanPosition();
+  int counters[4] = {0, 0, 0, 0};
+  for (const auto& region : cs.regions) {
+    for (unsigned mask = 0; mask < 4; ++mask) {
+      bool hit = true;
+      for (int i = 0; i < 2 && hit; ++i) {
+        hit = (mask >> i) & 1u ? region.hi(i) >= pivot[i]
+                               : region.lo(i) <= pivot[i];
+      }
+      if (hit) ++counters[mask];
+    }
+  }
+  for (int c : counters) EXPECT_GE(c, 3);
+  // And IS should have stopped well before exhausting the database.
+  EXPECT_LT(cs.examined, 1000);
+}
+
+TEST(CSetTest, IncrementalNoDuplicatesNoSelf) {
+  CSetFixture fx(3, 400);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& o = fx.db->objects()[i * 13];
+    CSetOptions options;
+    const CSetResult cs = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+    std::set<uncertain::ObjectId> unique(cs.ids.begin(), cs.ids.end());
+    EXPECT_EQ(unique.size(), cs.ids.size());
+    EXPECT_EQ(unique.count(o.id()), 0u);
+    EXPECT_EQ(cs.ids.size(), cs.regions.size());
+  }
+}
+
+TEST(CSetTest, IncrementalSmallerThanFixedOnAverage) {
+  // Section VII-C(b): IS returns smaller C-sets than FS at defaults.
+  CSetFixture fx(3, 1500);
+  CSetOptions fs;
+  fs.strategy = CSetStrategy::kFixed;
+  fs.k = 200;
+  CSetOptions is;
+  is.strategy = CSetStrategy::kIncremental;
+  is.k_partition = 10;
+  is.k_global = 200;
+  double fs_total = 0, is_total = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    const auto& o = fx.db->objects()[i * 17];
+    fs_total += static_cast<double>(
+        ChooseCSet(o, *fx.db, *fx.mean_tree, fs).ids.size());
+    is_total += static_cast<double>(
+        ChooseCSet(o, *fx.db, *fx.mean_tree, is).ids.size());
+  }
+  EXPECT_LT(is_total, fs_total);
+}
+
+TEST(CSetTest, StrategyNames) {
+  EXPECT_STREQ(CSetStrategyName(CSetStrategy::kAll), "ALL");
+  EXPECT_STREQ(CSetStrategyName(CSetStrategy::kFixed), "FS");
+  EXPECT_STREQ(CSetStrategyName(CSetStrategy::kIncremental), "IS");
+}
+
+}  // namespace
+}  // namespace pvdb::pv

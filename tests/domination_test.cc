@@ -1,0 +1,294 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Property tests for the spatial-domination machinery (Section IV and
+// Emrich et al. [17]): the O(d) Dominates(A,B,R) test is cross-checked
+// against a dense-sampling oracle, Lemma 2 is verified, and the
+// domination-count emptiness test (SE Step 9) is validated for
+// conservativeness and usefulness.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/geom/domination.h"
+#include "src/geom/region_partition.h"
+
+namespace pvdb::geom {
+namespace {
+
+Rect RandomRect(Rng* rng, int dim, double lo, double hi, double max_side) {
+  Point a(dim), b(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double c = rng->NextUniform(lo + max_side, hi - max_side);
+    const double s = rng->NextUniform(0.1, max_side);
+    a[i] = c - s;
+    b[i] = c + s;
+  }
+  return Rect(a, b);
+}
+
+Point RandomPointIn(Rng* rng, const Rect& r) {
+  Point p(r.dim());
+  for (int i = 0; i < r.dim(); ++i) p[i] = rng->NextUniform(r.lo(i), r.hi(i));
+  return p;
+}
+
+// Sampling oracle: does a dominate b on all sampled points of r?
+bool DominatesBySampling(const Rect& a, const Rect& b, const Rect& r,
+                         Rng* rng, int samples) {
+  // Corners first (extrema live there for the per-dimension terms), then
+  // random interior points.
+  for (unsigned mask = 0; mask < (1u << r.dim()); ++mask) {
+    if (!PointInDom(a, b, r.Corner(mask))) return false;
+  }
+  for (int s = 0; s < samples; ++s) {
+    if (!PointInDom(a, b, RandomPointIn(rng, r))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exact 2D cases
+// ---------------------------------------------------------------------------
+
+TEST(DominationTest, FarApartRegionsDominate) {
+  // a near origin, b far away, r near a: a dominates b on r.
+  Rect a(Point{0, 0}, Point{1, 1});
+  Rect b(Point{50, 50}, Point{51, 51});
+  Rect r(Point{0, 0}, Point{5, 5});
+  EXPECT_TRUE(Dominates(a, b, r));
+  EXPECT_FALSE(Dominates(b, a, r));
+}
+
+TEST(DominationTest, RegionSpanningBisectorNotDominated) {
+  Rect a = Rect::FromPoint(Point{0, 0});
+  Rect b = Rect::FromPoint(Point{10, 0});
+  // r straddles the bisector x = 5.
+  Rect r(Point{4, -1}, Point{6, 1});
+  EXPECT_FALSE(Dominates(a, b, r));
+  // r strictly on a's side.
+  Rect r2(Point{0, -1}, Point{4.9, 1});
+  EXPECT_TRUE(Dominates(a, b, r2));
+}
+
+TEST(DominationTest, PointPredicatesConsistent) {
+  Rect a(Point{0, 0}, Point{2, 2});
+  Rect b(Point{10, 10}, Point{12, 12});
+  Point p{1, 1};
+  EXPECT_TRUE(PointInDom(a, b, p));
+  EXPECT_FALSE(PointInNonDom(a, b, p));
+  Point far{11, 11};
+  EXPECT_FALSE(PointInDom(a, b, far));
+  EXPECT_TRUE(PointInNonDom(a, b, far));
+}
+
+TEST(DominationTest, StrictInequalityOnBoundary) {
+  // Two points equidistant from the bisector point: no strict domination.
+  Rect a = Rect::FromPoint(Point{0, 0});
+  Rect b = Rect::FromPoint(Point{4, 0});
+  Rect r = Rect::FromPoint(Point{2, 0});  // exactly on H_{a,b}
+  EXPECT_FALSE(Dominates(a, b, r));
+}
+
+TEST(DominationTest, Lemma2IntersectingRegionsEmptyDom) {
+  Rect a(Point{0, 0}, Point{4, 4});
+  Rect b(Point{3, 3}, Point{6, 6});
+  EXPECT_TRUE(DomIsEmpty(a, b));
+  Rect c(Point{5, 5}, Point{6, 6});
+  EXPECT_FALSE(DomIsEmpty(a, c));
+}
+
+// When u(a) intersects u(b), no point anywhere is strictly dominated
+// (Lemma 2: dom(a, b) = ∅).
+TEST(DominationTest, Lemma2NoPointDominatedWhenOverlapping) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rect a = RandomRect(&rng, 2, 0, 100, 10);
+    // Force overlap: b shares a's center.
+    Rect b = Rect::FromCenterHalfWidths(a.Center(), Point{3, 3});
+    ASSERT_TRUE(a.Intersects(b));
+    for (int s = 0; s < 300; ++s) {
+      const Point p = RandomPointIn(&rng, Rect::Cube(2, -50, 150));
+      EXPECT_FALSE(PointInDom(a, b, p))
+          << "dom(a,b) must be empty for intersecting regions";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence with the sampling oracle (per dimension)
+// ---------------------------------------------------------------------------
+
+class DominationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominationPropertyTest, MatchesSamplingOracle) {
+  const int dim = GetParam();
+  Rng rng(1000 + dim);
+  int positives = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect a = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect b = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect r = RandomRect(&rng, dim, 0, 100, 15);
+    const bool exact = Dominates(a, b, r);
+    positives += exact ? 1 : 0;
+    if (exact) {
+      // Exact positive ⇒ every sampled point dominated.
+      EXPECT_TRUE(DominatesBySampling(a, b, r, &rng, 400))
+          << "a=" << a.ToString() << " b=" << b.ToString()
+          << " r=" << r.ToString();
+    }
+  }
+  // The trial distribution must exercise both outcomes.
+  EXPECT_GT(positives, 5);
+  EXPECT_LT(positives, 295);
+}
+
+TEST_P(DominationPropertyTest, NegativeHasWitness) {
+  // When Dominates says no, the margin is attained: a fine grid search
+  // along the candidate coordinates finds a point that is not dominated.
+  const int dim = GetParam();
+  Rng rng(2000 + dim);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rect a = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect b = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect r = RandomRect(&rng, dim, 0, 100, 15);
+    if (Dominates(a, b, r)) continue;
+    // Build the candidate point per dimension by maximizing the 1D term.
+    Point witness(dim);
+    for (int i = 0; i < dim; ++i) {
+      double best_t = r.lo(i);
+      double best_g = -1e300;
+      auto g = [&](double t) {
+        const double dlo = t - a.lo(i), dhi = t - a.hi(i);
+        const double max_a = std::max(dlo * dlo, dhi * dhi);
+        double db = 0;
+        if (t < b.lo(i)) db = b.lo(i) - t;
+        if (t > b.hi(i)) db = t - b.hi(i);
+        return max_a - db * db;
+      };
+      for (double t : {r.lo(i), r.hi(i), 0.5 * (a.lo(i) + a.hi(i)), b.lo(i),
+                       b.hi(i)}) {
+        if (t < r.lo(i) || t > r.hi(i)) continue;
+        if (g(t) > best_g) {
+          best_g = g(t);
+          best_t = t;
+        }
+      }
+      witness[i] = best_t;
+    }
+    EXPECT_FALSE(PointInDom(a, b, witness))
+        << "negative test must have an undominated witness point";
+  }
+}
+
+TEST_P(DominationPropertyTest, MarginSignMatchesPointSweep) {
+  // DominationMarginSq must equal the max of the pointwise margin over the
+  // candidate grid (validates the per-dimension decomposition).
+  const int dim = GetParam();
+  Rng rng(3000 + dim);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rect a = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect b = RandomRect(&rng, dim, 0, 100, 6);
+    const Rect r = RandomRect(&rng, dim, 0, 100, 12);
+    const double margin = DominationMarginSq(a, b, r);
+    double sampled = -1e300;
+    for (int s = 0; s < 500; ++s) {
+      const Point p = RandomPointIn(&rng, r);
+      sampled = std::max(sampled, MaxDistSq(a, p) - MinDistSq(b, p));
+    }
+    // Sampling can only under-estimate the true maximum.
+    EXPECT_GE(margin, sampled - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DominationPropertyTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Domination-count emptiness test (SE Step 9)
+// ---------------------------------------------------------------------------
+
+TEST(RegionPartitionTest, SingleDominatorDischargesWholeRegion) {
+  Rect o(Point{50, 50}, Point{52, 52});
+  std::vector<Rect> cset{Rect(Point{10, 10}, Point{12, 12})};
+  // Region near the candidate, far from o: dominated outright.
+  Rect region(Point{8, 8}, Point{14, 14});
+  PartitionStats stats;
+  EXPECT_TRUE(ProvenOutsidePVCell(region, o, cset, 10, &stats));
+  EXPECT_EQ(stats.cells_examined, 1);
+  EXPECT_TRUE(stats.proven);
+}
+
+TEST(RegionPartitionTest, Figure6bNeedsPartitioning) {
+  // Figure 6(b): R is not contained in dom(a1, b) nor dom(a2, b), but every
+  // point of R is in one of them — partitioning detects it. Geometry: a
+  // tall strip R with a1 below, a2 above, and b to the right at a distance
+  // where each candidate only wins on its own half of the strip.
+  Rect b(Point{65, 49}, Point{67, 51});
+  std::vector<Rect> cset{Rect(Point{49, 39}, Point{51, 41}),   // a1 (south)
+                         Rect(Point{49, 59}, Point{51, 61})};  // a2 (north)
+  Rect region(Point{50, 40}, Point{52, 60});
+  // No single candidate dominates the whole strip...
+  EXPECT_FALSE(Dominates(cset[0], b, region));
+  EXPECT_FALSE(Dominates(cset[1], b, region));
+  // ...but each dominates its half.
+  Rect south = region, north = region;
+  south.set_hi(1, 50);
+  north.set_lo(1, 50);
+  EXPECT_TRUE(Dominates(cset[0], b, south));
+  EXPECT_TRUE(Dominates(cset[1], b, north));
+  // The adaptive cover proves coverage after one split.
+  PartitionStats stats;
+  EXPECT_TRUE(ProvenOutsidePVCell(region, b, cset, 16, &stats));
+  EXPECT_GT(stats.splits, 0);
+}
+
+TEST(RegionPartitionTest, BudgetExhaustionIsConservative) {
+  Rect b(Point{65, 49}, Point{67, 51});
+  std::vector<Rect> cset{Rect(Point{49, 39}, Point{51, 41}),
+                         Rect(Point{49, 59}, Point{51, 61})};
+  Rect region(Point{50, 40}, Point{52, 60});
+  // Budget 1: cannot split, must fail (conservatively).
+  EXPECT_FALSE(ProvenOutsidePVCell(region, b, cset, 1));
+}
+
+TEST(RegionPartitionTest, RegionTouchingCellNeverProvenOutside) {
+  // The region contains u(o) itself, which is always inside V(o) (Lemma 5):
+  // no budget can prove it outside.
+  Rect o(Point{50, 50}, Point{52, 52});
+  std::vector<Rect> cset{Rect(Point{10, 10}, Point{12, 12}),
+                         Rect(Point{90, 90}, Point{92, 92})};
+  Rect region(Point{45, 45}, Point{55, 55});
+  EXPECT_FALSE(ProvenOutsidePVCell(region, o, cset, 4096));
+}
+
+TEST(RegionPartitionTest, OverlappingCandidatesAreSkipped) {
+  // A candidate overlapping u(o) must not discharge anything (Lemma 2).
+  Rect o(Point{50, 50}, Point{52, 52});
+  std::vector<Rect> cset{Rect(Point{49, 49}, Point{53, 53})};  // overlaps o
+  Rect region(Point{0, 0}, Point{10, 10});
+  EXPECT_FALSE(ProvenOutsidePVCell(region, o, cset, 64));
+}
+
+// Conservativeness under randomization: whenever the test proves a region
+// outside, no sampled point of the region may satisfy PointPossiblyNearest.
+TEST(RegionPartitionTest, ProvenOutsideImpliesNoPossiblyNearestPoint) {
+  Rng rng(77);
+  const int dim = 3;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Rect o = RandomRect(&rng, dim, 0, 100, 3);
+    std::vector<Rect> cset;
+    for (int i = 0; i < 25; ++i) cset.push_back(RandomRect(&rng, dim, 0, 100, 3));
+    const Rect region = RandomRect(&rng, dim, 0, 100, 12);
+    if (!ProvenOutsidePVCell(region, o, cset, 32)) continue;
+    for (int s = 0; s < 300; ++s) {
+      const Point p = RandomPointIn(&rng, region);
+      EXPECT_FALSE(PointPossiblyNearest(o, cset, p))
+          << "proven-outside region contained a possibly-nearest point";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::geom

@@ -1,0 +1,129 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Tests for the experiment harness: Table I parameter scaling, workload
+// generation, report formatting, and the PNNQ runner's accounting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/eval/params.h"
+#include "src/eval/report.h"
+#include "src/eval/workload.h"
+#include "src/pv/pv_index.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::eval {
+namespace {
+
+TEST(ParamsTest, PaperScaleMatchesTable1) {
+  const TableIParams p = ParamsForScale(Scale::kPaper);
+  EXPECT_EQ(p.db_sizes,
+            (std::vector<size_t>{20000, 40000, 60000, 80000, 100000}));
+  EXPECT_EQ(p.default_db_size, 20000u);
+  EXPECT_EQ(p.dims, (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(p.default_dim, 3);
+  EXPECT_EQ(p.default_u_size, 20);
+  EXPECT_EQ(p.default_delta, 1);
+  EXPECT_EQ(p.default_mmax, 10);
+  EXPECT_EQ(p.default_k, 200);
+  EXPECT_EQ(p.default_k_partition, 10);
+  EXPECT_EQ(p.k_global, 200);
+  EXPECT_EQ(p.samples_per_object, 500);
+  EXPECT_EQ(p.queries_per_point, 50);
+}
+
+TEST(ParamsTest, ScalesAreOrdered) {
+  const auto smoke = ParamsForScale(Scale::kSmoke);
+  const auto laptop = ParamsForScale(Scale::kLaptop);
+  const auto paper = ParamsForScale(Scale::kPaper);
+  EXPECT_LT(smoke.default_db_size, laptop.default_db_size);
+  EXPECT_LT(laptop.default_db_size, paper.default_db_size);
+  EXPECT_LT(smoke.real_scale, paper.real_scale);
+}
+
+TEST(ParamsTest, ScaleNames) {
+  EXPECT_STREQ(ScaleName(Scale::kSmoke), "smoke");
+  EXPECT_STREQ(ScaleName(Scale::kLaptop), "laptop");
+  EXPECT_STREQ(ScaleName(Scale::kPaper), "paper");
+}
+
+TEST(ReportTest, TableFormatsAligned) {
+  Table t("Demo", {"col", "value"});
+  t.AddRow({"a", "1.00"});
+  t.AddRow({"long-name", "2.50"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::FmtCount(1234.0), "1234");
+}
+
+TEST(WorkloadTest, DeterministicAndInDomain) {
+  const geom::Rect domain = geom::Rect::Cube(3, 0, 500);
+  const QueryWorkload a = MakeQueryWorkload(domain, 100, 9);
+  const QueryWorkload b = MakeQueryWorkload(domain, 100, 9);
+  ASSERT_EQ(a.points.size(), 100u);
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+    EXPECT_TRUE(domain.Contains(a.points[i]));
+  }
+  const QueryWorkload c = MakeQueryWorkload(domain, 100, 10);
+  int same = 0;
+  for (size_t i = 0; i < c.points.size(); ++i) same += a.points[i] == c.points[i];
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunnerTest, CostsAccountedAndConsistent) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = 300;
+  synth.samples_per_object = 50;
+  synth.seed = 77;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  storage::InMemoryPager pager;
+  auto index = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(index.ok());
+  rtree::RStarTree region_tree = BuildRegionTree(db);
+
+  const QueryWorkload workload = MakeQueryWorkload(db.domain(), 30, 5);
+  PnnqRunner runner(&db);
+  const QueryCost pv_cost = runner.RunPvIndex(*index.value(), workload);
+  const QueryCost rt_cost = runner.RunRTree(region_tree, workload);
+
+  for (const QueryCost& c : {pv_cost, rt_cost}) {
+    EXPECT_GT(c.t_query_ms, 0.0);
+    EXPECT_NEAR(c.t_query_ms, c.t_or_ms + c.t_pc_ms, 1e-9);
+    EXPECT_GE(c.candidates, c.answers);
+    EXPECT_GE(c.candidates, 1.0);
+    EXPECT_GT(c.io_or_pages, 0.0);
+    EXPECT_GT(c.io_pc_pages, 0.0);
+  }
+  // Identical candidate/answer counts: both Step-1 methods return the same
+  // pruned set, and Step 2 is shared.
+  EXPECT_DOUBLE_EQ(pv_cost.candidates, rt_cost.candidates);
+  EXPECT_DOUBLE_EQ(pv_cost.answers, rt_cost.answers);
+  // PC I/O charge identical by construction (Figure 9(b) equality).
+  EXPECT_DOUBLE_EQ(pv_cost.io_pc_pages, rt_cost.io_pc_pages);
+}
+
+TEST(RunnerTest, BuildRegionTreeIndexesAllObjects) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 120;
+  synth.samples_per_object = 3;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  const rtree::RStarTree tree = BuildRegionTree(db);
+  EXPECT_EQ(tree.size(), db.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace pvdb::eval

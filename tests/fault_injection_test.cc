@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Fault-injection tests: a wrapper pager that starts failing after a
+// configurable number of operations. Every storage-touching layer (record
+// store, extensible hash, octree, secondary index, PV-index build/query/
+// update) must surface the failure as a non-OK Status — never crash,
+// never silently succeed.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/pv/pv_index.h"
+#include "src/storage/extendible_hash.h"
+#include "src/storage/pager.h"
+#include "src/storage/record_store.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb {
+namespace {
+
+using storage::Page;
+using storage::PageId;
+using storage::Pager;
+
+/// Delegating pager that fails every operation once `budget` ops have run.
+class FlakyPager : public Pager {
+ public:
+  explicit FlakyPager(int64_t budget) : budget_(budget) {}
+
+  Result<PageId> Allocate() override {
+    if (!Spend()) return Status::IOError("injected allocate failure");
+    return inner_.Allocate();
+  }
+  Status Read(PageId id, Page* out) override {
+    if (!Spend()) return Status::IOError("injected read failure");
+    return inner_.Read(id, out);
+  }
+  Status Write(PageId id, const Page& page) override {
+    if (!Spend()) return Status::IOError("injected write failure");
+    return inner_.Write(id, page);
+  }
+  Status Free(PageId id) override {
+    if (!Spend()) return Status::IOError("injected free failure");
+    return inner_.Free(id);
+  }
+  size_t LivePageCount() const override { return inner_.LivePageCount(); }
+
+  /// Ops performed so far (to size budgets in tests).
+  int64_t used() const { return used_; }
+  void set_budget(int64_t budget) { budget_ = budget; }
+
+ private:
+  bool Spend() {
+    ++used_;
+    return used_ <= budget_;
+  }
+
+  storage::InMemoryPager inner_;
+  int64_t budget_;
+  int64_t used_ = 0;
+};
+
+TEST(FaultInjectionTest, RecordStoreSurfacesIoErrors) {
+  FlakyPager pager(2);  // enough for one small Put, not for more
+  storage::RecordStore store(&pager);
+  auto first = store.Put(std::vector<uint8_t>(100, 7));
+  ASSERT_TRUE(first.ok());
+  auto second = store.Put(std::vector<uint8_t>(100, 8));
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjectionTest, ExtendibleHashSurfacesIoErrors) {
+  FlakyPager pager(1 << 30);
+  auto table = storage::ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(table.value().Put(k, storage::RecordRef{k, 1}).ok());
+  }
+  pager.set_budget(pager.used());  // every further op fails
+  EXPECT_EQ(table.value().Get(5).status().code(), StatusCode::kIOError);
+  EXPECT_EQ(table.value().Put(1000, storage::RecordRef{1, 1}).code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(table.value().Delete(5).code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjectionTest, PvIndexBuildFailsCleanly) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 60;
+  synth.samples_per_object = 20;
+  synth.seed = 1;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  // Reference run: count the page operations a successful build needs.
+  FlakyPager probe(1LL << 60);
+  ASSERT_TRUE(pv::PvIndex::Build(db, &probe, pv::PvIndexOptions{}).ok());
+  const int64_t full = probe.used();
+  ASSERT_GT(full, 10);
+
+  // Sweep budgets below that so the failure lands in different build phases
+  // (hash creation, record puts, octree page writes, splits).
+  for (int64_t budget : {int64_t{0}, int64_t{1}, int64_t{5}, full / 10,
+                         full / 2, full - 1}) {
+    FlakyPager pager(budget);
+    auto built = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+    EXPECT_FALSE(built.ok()) << "budget " << budget << " of " << full;
+    EXPECT_EQ(built.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(FaultInjectionTest, QueriesAndUpdatesSurfaceLateFailures) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 80;
+  synth.samples_per_object = 10;
+  synth.seed = 2;
+  auto db = uncertain::GenerateSynthetic(synth);
+  FlakyPager pager(1 << 30);
+  auto built = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(built.ok());
+
+  // Disk dies after the build: queries and updates must report it.
+  pager.set_budget(pager.used());
+  auto query = built.value()->QueryPossibleNN(geom::Point{5000, 5000});
+  EXPECT_FALSE(query.ok());
+  EXPECT_EQ(query.status().code(), StatusCode::kIOError);
+
+  const auto& victim = db.objects()[0];
+  const uncertain::UncertainObject removed = victim;
+  ASSERT_TRUE(db.Remove(victim.id()).ok());
+  EXPECT_EQ(built.value()->DeleteObject(db, removed).code(),
+            StatusCode::kIOError);
+}
+
+TEST(FaultInjectionTest, RecoveryAfterTransientFault) {
+  // After a failed query the index is read-only intact: restoring the disk
+  // budget must make the same query succeed (reads have no side effects).
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 50;
+  synth.samples_per_object = 10;
+  synth.seed = 3;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  FlakyPager pager(1 << 30);
+  auto built = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(built.ok());
+
+  pager.set_budget(pager.used());
+  EXPECT_FALSE(built.value()->QueryPossibleNN(geom::Point{100, 100}).ok());
+  pager.set_budget(1 << 30);
+  auto retry = built.value()->QueryPossibleNN(geom::Point{100, 100});
+  ASSERT_TRUE(retry.ok());
+  EXPECT_FALSE(retry.value().empty());
+}
+
+}  // namespace
+}  // namespace pvdb

@@ -1,0 +1,321 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Unit and property tests for points, rectangles and min/max distances,
+// including randomized cross-checks of the closed-form distance bounds
+// against dense sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/geom/distance.h"
+#include "src/geom/morton.h"
+#include "src/geom/point.h"
+#include "src/geom/rect.h"
+
+namespace pvdb::geom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Point
+// ---------------------------------------------------------------------------
+
+TEST(PointTest, ConstructsAtOrigin) {
+  Point p(3);
+  EXPECT_EQ(p.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, InitializerListAndAccess) {
+  Point p{1.0, -2.5, 3.25};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[1], -2.5);
+  EXPECT_EQ(p[2], 3.25);
+  p[1] = 7.0;
+  EXPECT_EQ(p[1], 7.0);
+}
+
+TEST(PointTest, EqualityRequiresSameDimAndCoords) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 3}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 2, 0}));
+}
+
+TEST(PointTest, DistanceIsEuclidean) {
+  Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(a.DistanceSqTo(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo(a), 5.0);
+}
+
+TEST(PointTest, ToStringRoundTripReadable) {
+  Point p{1.5, 2.0};
+  EXPECT_EQ(p.ToString(), "(1.5, 2)");
+}
+
+// ---------------------------------------------------------------------------
+// Rect
+// ---------------------------------------------------------------------------
+
+TEST(RectTest, BasicAccessors) {
+  Rect r(Point{0, 1}, Point{4, 5});
+  EXPECT_EQ(r.dim(), 2);
+  EXPECT_EQ(r.lo(0), 0.0);
+  EXPECT_EQ(r.hi(1), 5.0);
+  EXPECT_EQ(r.Side(0), 4.0);
+  EXPECT_EQ(r.Center(), (Point{2, 3}));
+  EXPECT_DOUBLE_EQ(r.Volume(), 16.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 8.0);
+}
+
+TEST(RectTest, CubeAndFromPoint) {
+  Rect c = Rect::Cube(3, -1, 1);
+  EXPECT_DOUBLE_EQ(c.Volume(), 8.0);
+  Rect p = Rect::FromPoint(Point{2, 2, 2});
+  EXPECT_DOUBLE_EQ(p.Volume(), 0.0);
+  EXPECT_TRUE(c.Intersects(Rect::FromPoint(Point{0, 0, 0})));
+}
+
+TEST(RectTest, FromCenterHalfWidths) {
+  Rect r = Rect::FromCenterHalfWidths(Point{5, 5}, Point{2, 3});
+  EXPECT_EQ(r.lo(0), 3.0);
+  EXPECT_EQ(r.hi(0), 7.0);
+  EXPECT_EQ(r.lo(1), 2.0);
+  EXPECT_EQ(r.hi(1), 8.0);
+}
+
+TEST(RectTest, ContainsIsClosed) {
+  Rect r(Point{0, 0}, Point{2, 2});
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{2, 2}));
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_FALSE(r.Contains(Point{2.0001, 1}));
+}
+
+TEST(RectTest, IntersectsIsClosedInteriorIsOpen) {
+  Rect a(Point{0, 0}, Point{1, 1});
+  Rect b(Point{1, 0}, Point{2, 1});  // shares an edge
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.InteriorIntersects(b));
+  Rect c(Point{0.5, 0.5}, Point{2, 2});
+  EXPECT_TRUE(a.InteriorIntersects(c));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  Rect a(Point{0, 0}, Point{2, 2});
+  Rect b(Point{1, 1}, Point{3, 4});
+  Rect u = Rect::Union(a, b);
+  EXPECT_EQ(u, Rect(Point{0, 0}, Point{3, 4}));
+  Rect i = Rect::Intersection(a, b);
+  EXPECT_EQ(i, Rect(Point{1, 1}, Point{2, 2}));
+}
+
+TEST(RectTest, CornersEnumerate) {
+  Rect r(Point{0, 0, 0}, Point{1, 2, 3});
+  EXPECT_EQ(r.Corner(0), (Point{0, 0, 0}));
+  EXPECT_EQ(r.Corner(0b111), (Point{1, 2, 3}));
+  EXPECT_EQ(r.Corner(0b010), (Point{0, 2, 0}));
+}
+
+TEST(RectTest, LongestDimAndMaxSide) {
+  Rect r(Point{0, 0, 0}, Point{1, 5, 3});
+  EXPECT_EQ(r.LongestDim(), 1);
+  EXPECT_DOUBLE_EQ(r.MaxSide(), 5.0);
+}
+
+TEST(RectTest, ClampPoint) {
+  Rect r(Point{0, 0}, Point{2, 2});
+  EXPECT_EQ(r.ClampPoint(Point{-1, 1}), (Point{0, 1}));
+  EXPECT_EQ(r.ClampPoint(Point{3, 3}), (Point{2, 2}));
+  EXPECT_EQ(r.ClampPoint(Point{1, 1}), (Point{1, 1}));
+}
+
+TEST(RectTest, InflatedGrowsAndShrinksSafely) {
+  Rect r(Point{0, 0}, Point{2, 2});
+  Rect grown = r.Inflated(1.0);
+  EXPECT_EQ(grown, Rect(Point{-1, -1}, Point{3, 3}));
+  Rect collapsed = r.Inflated(-2.0);  // over-shrink collapses to center
+  EXPECT_DOUBLE_EQ(collapsed.Volume(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Distances: exact cases
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, PointInsideHasZeroMinDist) {
+  Rect r(Point{0, 0}, Point{4, 4});
+  EXPECT_DOUBLE_EQ(MinDist(r, Point{2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxDist(r, Point{2, 2}), std::sqrt(8.0));
+}
+
+TEST(DistanceTest, PointOutsideAxisAligned) {
+  Rect r(Point{0, 0}, Point{4, 4});
+  EXPECT_DOUBLE_EQ(MinDist(r, Point{6, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDist(r, Point{6, 2}), std::sqrt(36 + 4));
+}
+
+TEST(DistanceTest, RectRectDisjointAndOverlap) {
+  Rect a(Point{0, 0}, Point{1, 1});
+  Rect b(Point{3, 0}, Point{4, 1});
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDist(a, b), std::sqrt(16 + 1));
+  Rect c(Point{0.5, 0.5}, Point{2, 2});
+  EXPECT_DOUBLE_EQ(MinDist(a, c), 0.0);
+}
+
+TEST(DistanceTest, OnBisectorDetectsEquality) {
+  // Point object at (0,0), point object at (4,0): bisector at x = 2.
+  Rect a = Rect::FromPoint(Point{0, 0});
+  Rect b = Rect::FromPoint(Point{4, 0});
+  EXPECT_TRUE(OnBisector(a, b, Point{2, 0}));
+  EXPECT_FALSE(OnBisector(a, b, Point{1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Distances: sampling properties (parameterized over dimension)
+// ---------------------------------------------------------------------------
+
+class DistanceSamplingTest : public ::testing::TestWithParam<int> {};
+
+Rect RandomRect(Rng* rng, int dim, double lo, double hi, double max_side) {
+  Point a(dim), b(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double c = rng->NextUniform(lo + max_side, hi - max_side);
+    const double s = rng->NextUniform(0.1, max_side);
+    a[i] = c - s;
+    b[i] = c + s;
+  }
+  return Rect(a, b);
+}
+
+Point RandomPointIn(Rng* rng, const Rect& r) {
+  Point p(r.dim());
+  for (int i = 0; i < r.dim(); ++i) {
+    p[i] = rng->NextUniform(r.lo(i), r.hi(i));
+  }
+  return p;
+}
+
+TEST_P(DistanceSamplingTest, MinMaxDistBoundAllInteriorPoints) {
+  const int dim = GetParam();
+  Rng rng(100 + dim);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect r = RandomRect(&rng, dim, 0, 100, 10);
+    const Point q = RandomPointIn(&rng, Rect::Cube(dim, 0, 100));
+    const double min_d = MinDist(r, q);
+    const double max_d = MaxDist(r, q);
+    EXPECT_LE(min_d, max_d);
+    for (int s = 0; s < 200; ++s) {
+      const Point x = RandomPointIn(&rng, r);
+      const double d = x.DistanceTo(q);
+      EXPECT_LE(min_d, d + 1e-9);
+      EXPECT_GE(max_d, d - 1e-9);
+    }
+  }
+}
+
+TEST_P(DistanceSamplingTest, RectRectBoundsAllPointPairs) {
+  const int dim = GetParam();
+  Rng rng(200 + dim);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Rect a = RandomRect(&rng, dim, 0, 100, 8);
+    const Rect b = RandomRect(&rng, dim, 0, 100, 8);
+    const double min_d = MinDist(a, b);
+    const double max_d = MaxDist(a, b);
+    for (int s = 0; s < 200; ++s) {
+      const Point x = RandomPointIn(&rng, a);
+      const Point y = RandomPointIn(&rng, b);
+      const double d = x.DistanceTo(y);
+      EXPECT_LE(min_d, d + 1e-9);
+      EXPECT_GE(max_d, d - 1e-9);
+    }
+  }
+}
+
+TEST_P(DistanceSamplingTest, MaxDistAttainedAtSomeCorner) {
+  const int dim = GetParam();
+  Rng rng(300 + dim);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect r = RandomRect(&rng, dim, 0, 100, 10);
+    const Point q = RandomPointIn(&rng, Rect::Cube(dim, 0, 100));
+    double best = 0;
+    for (unsigned mask = 0; mask < (1u << dim); ++mask) {
+      best = std::max(best, r.Corner(mask).DistanceTo(q));
+    }
+    EXPECT_NEAR(best, MaxDist(r, q), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceSamplingTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Morton keys
+// ---------------------------------------------------------------------------
+
+TEST(MortonTest, Simple2DInterleaving) {
+  const Rect domain = Rect::Cube(2, 0, 1024);
+  // Origin maps to key 0; the far corner maps to the max key.
+  EXPECT_EQ(MortonKey(Point{0, 0}, domain), 0u);
+  const uint64_t far_key = MortonKey(Point{1024, 1024}, domain);
+  EXPECT_EQ(far_key, ~0ULL) << "2x32-bit interleave saturates";
+}
+
+TEST(MortonTest, QuadrantOrdering2D) {
+  const Rect domain = Rect::Cube(2, 0, 100);
+  // Z-order visits quadrants in (low,low) < (high,low) < (low,high) <
+  // (high,high) order for dimension-0-least-significant interleaving.
+  const uint64_t ll = MortonKey(Point{10, 10}, domain);
+  const uint64_t hl = MortonKey(Point{90, 10}, domain);
+  const uint64_t lh = MortonKey(Point{10, 90}, domain);
+  const uint64_t hh = MortonKey(Point{90, 90}, domain);
+  EXPECT_LT(ll, hl);
+  EXPECT_LT(hl, lh);
+  EXPECT_LT(lh, hh);
+}
+
+TEST(MortonTest, ClampsOutOfDomainPoints) {
+  const Rect domain = Rect::Cube(2, 0, 100);
+  EXPECT_EQ(MortonKey(Point{-50, -50}, domain),
+            MortonKey(Point{0, 0}, domain));
+  EXPECT_EQ(MortonKey(Point{500, 500}, domain),
+            MortonKey(Point{100, 100}, domain));
+}
+
+TEST(MortonTest, LocalityBeatsRandomOrder) {
+  // Mean Z-key distance of spatially close pairs must be far below that of
+  // random pairs (the property bulk loading exploits).
+  const Rect domain = Rect::Cube(3, 0, 1000);
+  Rng rng(4242);
+  double near_sum = 0, far_sum = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Point a(3), near(3), far(3);
+    for (int i = 0; i < 3; ++i) {
+      a[i] = rng.NextUniform(50, 950);
+      near[i] = a[i] + rng.NextUniform(-5, 5);
+      far[i] = rng.NextUniform(0, 1000);
+    }
+    const auto ka = static_cast<double>(MortonKey(a, domain));
+    near_sum += std::abs(ka - static_cast<double>(MortonKey(near, domain)));
+    far_sum += std::abs(ka - static_cast<double>(MortonKey(far, domain)));
+  }
+  EXPECT_LT(near_sum * 5, far_sum);
+}
+
+TEST(MortonTest, AllDimensionsProduceKeys) {
+  Rng rng(11);
+  for (int d = 2; d <= 8; ++d) {
+    const Rect domain = Rect::Cube(d, 0, 10);
+    Point p(d);
+    for (int i = 0; i < d; ++i) p[i] = rng.NextUniform(0, 10);
+    const uint64_t k1 = MortonKey(p, domain);
+    const uint64_t k2 = MortonKey(p, domain);
+    EXPECT_EQ(k1, k2);
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::geom

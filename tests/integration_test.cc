@@ -1,0 +1,181 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// End-to-end integration: full PNNQ pipelines over synthetic and
+// real-simulacrum data, all three Step-1 indexes cross-checked against each
+// other and the oracle, with updates interleaved — the whole system
+// exercised the way the paper's experiments use it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/eval/workload.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rtree_pnn.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb {
+namespace {
+
+std::vector<uncertain::ObjectId> SortedIds(
+    std::vector<uncertain::ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntegrationTest, FullPipelineAllIndexesAgree2D) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 350;
+  synth.samples_per_object = 60;
+  synth.seed = 1;
+  const auto db = uncertain::GenerateSynthetic(synth);
+
+  storage::InMemoryPager pv_pager, uv_pager;
+  auto pv_index = pv::PvIndex::Build(db, &pv_pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(pv_index.ok());
+  uv::UvIndexOptions uv_options;
+  uv_options.cell.rays = 32;
+  auto uv_index = uv::UvIndex::Build(db, &uv_pager, uv_options);
+  ASSERT_TRUE(uv_index.ok());
+  const rtree::RStarTree region_tree = eval::BuildRegionTree(db);
+  pv::PnnStep2Evaluator step2(&db);
+
+  Rng rng(2);
+  for (int q = 0; q < 40; ++q) {
+    const geom::Point query{rng.NextUniform(0, 10000),
+                            rng.NextUniform(0, 10000)};
+    const auto oracle = pv::Step1BruteForce(db, query);
+    auto via_pv = pv_index.value()->QueryPossibleNN(query);
+    auto via_uv = uv_index.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(via_pv.ok());
+    ASSERT_TRUE(via_uv.ok());
+    EXPECT_EQ(SortedIds(via_pv.value()), oracle);
+    EXPECT_EQ(via_uv.value(), oracle);
+    EXPECT_EQ(rtree::PnnStep1BranchAndPrune(region_tree, query), oracle);
+
+    // Step 2 on the shared candidates: a probability distribution.
+    const auto answers = step2.Evaluate(query, oracle);
+    double total = 0;
+    for (const auto& a : answers) total += a.probability;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_LE(answers.size(), oracle.size());
+  }
+}
+
+TEST(IntegrationTest, RealSimulacraPipelines) {
+  uncertain::RealDataOptions options;
+  options.scale = 0.01;  // 300 / 360 / 200 objects
+  options.samples_per_object = 30;
+  for (auto kind : {uncertain::RealDataset::kRoads,
+                    uncertain::RealDataset::kRRLines,
+                    uncertain::RealDataset::kAirports}) {
+    const auto db = uncertain::GenerateRealLike(kind, options);
+    storage::InMemoryPager pager;
+    auto index = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+    ASSERT_TRUE(index.ok()) << uncertain::RealDatasetName(kind);
+    Rng rng(3);
+    for (int q = 0; q < 25; ++q) {
+      geom::Point query(db.dim());
+      for (int i = 0; i < db.dim(); ++i) {
+        query[i] = rng.NextUniform(db.domain().lo(i), db.domain().hi(i));
+      }
+      auto got = index.value()->QueryPossibleNN(query);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(SortedIds(got.value()), pv::Step1BruteForce(db, query))
+          << uncertain::RealDatasetName(kind) << " query "
+          << query.ToString();
+    }
+  }
+}
+
+TEST(IntegrationTest, LifecycleBuildQueryChurnQuery) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = 180;
+  synth.samples_per_object = 20;
+  synth.seed = 4;
+  auto db = uncertain::GenerateSynthetic(synth);
+  storage::InMemoryPager pager;
+  auto index = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(index.ok());
+
+  Rng rng(5);
+  auto verify = [&](uint64_t seed) {
+    Rng qrng(seed);
+    for (int q = 0; q < 20; ++q) {
+      geom::Point query(3);
+      for (int i = 0; i < 3; ++i) query[i] = qrng.NextUniform(0, 10000);
+      auto got = index.value()->QueryPossibleNN(query);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(SortedIds(got.value()), pv::Step1BruteForce(db, query));
+    }
+  };
+  verify(100);
+
+  // Churn: 20 deletes, 20 inserts, verify between phases.
+  auto ids = db.Ids();
+  rng.Shuffle(&ids);
+  for (int k = 0; k < 20; ++k) {
+    const auto victim = ids[static_cast<size_t>(k)];
+    const uncertain::UncertainObject removed = *db.Find(victim);
+    ASSERT_TRUE(db.Remove(victim).ok());
+    ASSERT_TRUE(index.value()->DeleteObject(db, removed).ok());
+  }
+  verify(101);
+  for (int k = 0; k < 20; ++k) {
+    const auto id = static_cast<uncertain::ObjectId>(900000 + k);
+    geom::Point c(3);
+    for (int i = 0; i < 3; ++i) c[i] = rng.NextUniform(200, 9800);
+    ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                          id,
+                          geom::Rect::FromCenterHalfWidths(
+                              c, geom::Point{10, 10, 10}),
+                          20, &rng))
+                    .ok());
+    ASSERT_TRUE(index.value()->InsertObject(db, id).ok());
+  }
+  verify(102);
+
+  // Probabilities still form a distribution after churn.
+  pv::PnnStep2Evaluator step2(&db);
+  const geom::Point query{5000, 5000, 5000};
+  auto step1 = index.value()->QueryPossibleNN(query);
+  ASSERT_TRUE(step1.ok());
+  const auto answers = step2.Evaluate(query, step1.value());
+  double total = 0;
+  for (const auto& a : answers) total += a.probability;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(IntegrationTest, FilePagerBackedIndexWorks) {
+  // The whole index also runs on a real file-backed pager.
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 80;
+  synth.samples_per_object = 10;
+  synth.seed = 6;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  const std::string path = ::testing::TempDir() + "/pvdb_integration.pages";
+  auto pager = storage::FilePager::Create(path);
+  ASSERT_TRUE(pager.ok());
+  auto index = pv::PvIndex::Build(db, pager.value().get(),
+                                  pv::PvIndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Rng rng(7);
+  for (int q = 0; q < 15; ++q) {
+    const geom::Point query{rng.NextUniform(0, 10000),
+                            rng.NextUniform(0, 10000)};
+    auto got = index.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(SortedIds(got.value()), pv::Step1BruteForce(db, query));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pvdb

@@ -1,0 +1,291 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Tests for the octree primary index (Section VI-A): point queries, leaf
+// splitting vs page chaining under the memory budget, UBR-overlap
+// redistribution through the resolver, diff-based insert/remove used by the
+// incremental update, and leaf-region disjointness.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/pv/octree.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct OctreeFixture {
+  explicit OctreeFixture(int dim, size_t memory_budget = 5u << 20) {
+    domain = geom::Rect::Cube(dim, 0, 1000);
+    pager = std::make_unique<storage::InMemoryPager>();
+    OctreeOptions options;
+    options.memory_budget_bytes = memory_budget;
+    tree = std::make_unique<OctreePrimary>(
+        domain, pager.get(),
+        [this](uncertain::ObjectId id) -> Result<geom::Rect> {
+          auto it = ubrs.find(id);
+          if (it == ubrs.end()) return Status::NotFound("ubr");
+          return it->second;
+        },
+        options);
+  }
+
+  void Insert(uncertain::ObjectId id, const geom::Rect& uregion,
+              const geom::Rect& ubr) {
+    ubrs.insert_or_assign(id, ubr);
+    ASSERT_TRUE(tree->Insert(id, uregion, ubr).ok());
+  }
+
+  geom::Rect domain{2};
+  std::unique_ptr<storage::InMemoryPager> pager;
+  std::map<uncertain::ObjectId, geom::Rect> ubrs;
+  std::unique_ptr<OctreePrimary> tree;
+};
+
+geom::Rect BoxAt(double x, double y, double half) {
+  return geom::Rect(geom::Point{x - half, y - half},
+                    geom::Point{x + half, y + half});
+}
+
+TEST(OctreeTest, EmptyLeafQueryReturnsNothing) {
+  OctreeFixture fx(2);
+  auto out = fx.tree->QueryPoint(geom::Point{500, 500});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(OctreeTest, QueryOutsideDomainRejected) {
+  OctreeFixture fx(2);
+  EXPECT_FALSE(fx.tree->QueryPoint(geom::Point{-1, 500}).ok());
+}
+
+TEST(OctreeTest, InsertedEntryFoundAtCoveredPoints) {
+  OctreeFixture fx(2);
+  const geom::Rect ureg = BoxAt(300, 300, 5);
+  const geom::Rect ubr = BoxAt(300, 300, 50);
+  fx.Insert(1, ureg, ubr);
+  auto inside = fx.tree->QueryPoint(geom::Point{310, 310});
+  ASSERT_TRUE(inside.ok());
+  ASSERT_EQ(inside.value().size(), 1u);
+  EXPECT_EQ(inside.value()[0].id, 1u);
+  EXPECT_EQ(inside.value()[0].region, ureg)
+      << "leaf entries carry the uncertainty region";
+}
+
+TEST(OctreeTest, SplitsWhenHeadPageFullAndMemoryAllows) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(5);
+  // Fill past one page with tiny UBRs in one quadrant → forces splits.
+  for (uint64_t i = 0; i < cap + 20; ++i) {
+    const double x = rng.NextUniform(10, 480);
+    const double y = rng.NextUniform(10, 480);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 4));
+  }
+  EXPECT_GT(fx.tree->node_count(), 1u) << "the root leaf must have split";
+  EXPECT_GT(fx.tree->depth(), 0);
+  // All entries still reachable from their UBR interiors.
+  for (uint64_t i = 0; i < cap + 20; ++i) {
+    const geom::Rect& ubr = fx.ubrs.at(i);
+    auto out = fx.tree->QueryPoint(ubr.Center());
+    ASSERT_TRUE(out.ok());
+    bool found = false;
+    for (const auto& e : out.value()) found |= e.id == i;
+    EXPECT_TRUE(found) << "entry " << i << " lost after splits";
+  }
+}
+
+TEST(OctreeTest, ChainsPagesWhenMemoryBudgetExhausted) {
+  // Budget below one split's cost: the tree must stay a single leaf and
+  // chain pages instead (Section VI-A step 3).
+  OctreeFixture fx(2, /*memory_budget=*/1);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(6);
+  for (uint64_t i = 0; i < 3 * cap; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 4));
+  }
+  EXPECT_EQ(fx.tree->node_count(), 1u);
+  EXPECT_EQ(fx.tree->leaf_count(), 1u);
+  auto out = fx.tree->QueryPoint(geom::Point{500, 500});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 3 * cap) << "single leaf holds everything";
+}
+
+TEST(OctreeTest, EntrySpansMultipleLeavesAfterSplit) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(7);
+  // One mid-sized-UBR object plus enough small ones to split every quadrant
+  // down to depth >= 2 (leaf side <= 250).
+  fx.Insert(1000, BoxAt(500, 500, 5), BoxAt(500, 500, 200));
+  for (uint64_t i = 0; i < 8 * cap; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 3));
+  }
+  ASSERT_GE(fx.tree->depth(), 2);
+  // The big object must be present at probe points inside its UBR
+  // ([300,700]^2)...
+  for (const auto& probe :
+       {geom::Point{350, 350}, geom::Point{650, 350}, geom::Point{350, 650},
+        geom::Point{650, 650}, geom::Point{500, 500}}) {
+    auto out = fx.tree->QueryPoint(probe);
+    ASSERT_TRUE(out.ok());
+    bool found = false;
+    for (const auto& e : out.value()) found |= e.id == 1000u;
+    EXPECT_TRUE(found) << "big UBR lost at " << probe.ToString();
+  }
+  // ...and absent from a leaf provably disjoint from it: (990,990) lies in
+  // a depth-2 (or deeper) leaf within [750,1000]^2, disjoint from the UBR.
+  auto out = fx.tree->QueryPoint(geom::Point{990, 990});
+  ASSERT_TRUE(out.ok());
+  for (const auto& e : out.value()) EXPECT_NE(e.id, 1000u);
+}
+
+TEST(OctreeTest, RemoveErasesFromAllLeaves) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(8);
+  fx.Insert(1000, BoxAt(500, 500, 5), BoxAt(500, 500, 400));
+  for (uint64_t i = 0; i < cap + 10; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 3));
+  }
+  ASSERT_TRUE(fx.tree->Remove(1000, fx.ubrs.at(1000)).ok());
+  for (const auto& probe :
+       {geom::Point{150, 150}, geom::Point{850, 850}, geom::Point{500, 500}}) {
+    auto out = fx.tree->QueryPoint(probe);
+    ASSERT_TRUE(out.ok());
+    for (const auto& e : out.value()) EXPECT_NE(e.id, 1000u);
+  }
+}
+
+TEST(OctreeTest, InsertDiffOnlyTouchesNewLeaves) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(9);
+  // Split every quadrant down to depth >= 2 so probe leaves are <= 250 wide.
+  for (uint64_t i = 0; i < 8 * cap; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 3));
+  }
+  ASSERT_GE(fx.tree->depth(), 2);
+
+  // Simulate an update: object 500 grows from old UBR (left box) to new
+  // UBR ([160,640]x[240,720]). InsertDiff must add entries only where the
+  // old UBR did not reach.
+  const geom::Rect old_ubr = BoxAt(250, 500, 100);
+  const geom::Rect new_ubr(geom::Point{160, 240}, geom::Point{640, 720});
+  fx.ubrs.insert_or_assign(500, old_ubr);
+  ASSERT_TRUE(fx.tree->Insert(500, BoxAt(250, 500, 2), old_ubr).ok());
+  fx.ubrs.insert_or_assign(500, new_ubr);
+  ASSERT_TRUE(
+      fx.tree->InsertDiff(500, BoxAt(250, 500, 2), new_ubr, old_ubr).ok());
+
+  // Probe points: inside old (was covered), inside new-only (needs the diff
+  // insert), and in a depth-2 leaf ([750,1000]^2) disjoint from both.
+  auto contains500 = [&](const geom::Point& p) {
+    auto out = fx.tree->QueryPoint(p);
+    EXPECT_TRUE(out.ok());
+    for (const auto& e : out.value()) {
+      if (e.id == 500u) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains500(geom::Point{250, 500}));   // old region
+  EXPECT_TRUE(contains500(geom::Point{600, 300}));   // new-only region
+  EXPECT_FALSE(contains500(geom::Point{990, 990}));  // outside both
+}
+
+TEST(OctreeTest, RemoveDiffKeepsEntriesInExcludedLeaves) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(10);
+  for (uint64_t i = 0; i < cap + 10; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 3));
+  }
+  ASSERT_GT(fx.tree->leaf_count(), 1u);
+
+  // Object 600 shrinks from a wide UBR to a smaller one: entries must
+  // disappear from leaves outside the new UBR but stay inside it.
+  const geom::Rect old_ubr = BoxAt(500, 500, 400);
+  const geom::Rect new_ubr = BoxAt(300, 300, 120);
+  fx.Insert(600, BoxAt(300, 300, 2), old_ubr);
+  ASSERT_TRUE(fx.tree->RemoveDiff(600, old_ubr, new_ubr).ok());
+
+  auto contains600 = [&](const geom::Point& p) {
+    auto out = fx.tree->QueryPoint(p);
+    EXPECT_TRUE(out.ok());
+    for (const auto& e : out.value()) {
+      if (e.id == 600u) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains600(geom::Point{300, 300}));
+  EXPECT_FALSE(contains600(geom::Point{850, 850}));
+}
+
+TEST(OctreeTest, CollectOverlappingIsSupersetOfPointQueries) {
+  OctreeFixture fx(3);
+  Rng rng(11);
+  for (uint64_t i = 0; i < 300; ++i) {
+    geom::Point c(3);
+    for (int k = 0; k < 3; ++k) c[k] = rng.NextUniform(20, 980);
+    const geom::Rect ureg = geom::Rect::FromCenterHalfWidths(
+        c, geom::Point{2, 2, 2});
+    const geom::Rect ubr = geom::Rect::FromCenterHalfWidths(
+        c, geom::Point{15, 15, 15});
+    fx.ubrs.insert_or_assign(i, ubr);
+    ASSERT_TRUE(fx.tree->Insert(i, ureg, ubr).ok());
+  }
+  const geom::Rect range = geom::Rect::Cube(3, 200, 600);
+  auto collected = fx.tree->CollectOverlapping(range);
+  ASSERT_TRUE(collected.ok());
+  std::set<uint64_t> ids;
+  for (const auto& e : collected.value()) ids.insert(e.id);
+  // Any object whose UBR overlaps the range must be collected.
+  for (const auto& [id, ubr] : fx.ubrs) {
+    if (ubr.Intersects(range)) {
+      EXPECT_EQ(ids.count(id), 1u) << "object " << id << " missed";
+    }
+  }
+}
+
+TEST(OctreeTest, PageCapacityMatchesEntryLayout) {
+  OctreeFixture fx2(2), fx5(5);
+  // Entry = 8 (id) + 2·d·8 (region); page payload = 4096 − 16.
+  EXPECT_EQ(fx2.tree->PageCapacity(), (4096u - 16) / (8 + 32));
+  EXPECT_EQ(fx5.tree->PageCapacity(), (4096u - 16) / (8 + 80));
+}
+
+TEST(OctreeTest, QueryIoCountsPagesOfOneLeafOnly) {
+  OctreeFixture fx(2);
+  const size_t cap = fx.tree->PageCapacity();
+  Rng rng(12);
+  for (uint64_t i = 0; i < 4 * cap; ++i) {
+    const double x = rng.NextUniform(10, 990);
+    const double y = rng.NextUniform(10, 990);
+    fx.Insert(i, BoxAt(x, y, 1), BoxAt(x, y, 3));
+  }
+  const int64_t before =
+      fx.pager->metrics().Get(storage::PagerCounters::kReads);
+  auto out = fx.tree->QueryPoint(geom::Point{500, 500});
+  ASSERT_TRUE(out.ok());
+  const int64_t reads =
+      fx.pager->metrics().Get(storage::PagerCounters::kReads) - before;
+  // One leaf's chain only: far fewer pages than the whole index.
+  EXPECT_GE(reads, 1);
+  EXPECT_LE(reads, static_cast<int64_t>(
+                       (out.value().size() + cap - 1) / cap + 1));
+}
+
+}  // namespace
+}  // namespace pvdb::pv

@@ -1,0 +1,219 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// PNNQ Step-2 tests (the method of [8] on the discrete model): probability
+// axioms (sum to one, membership in [0,1]), agreement with an independent
+// possible-worlds Monte-Carlo estimator, symmetry, and the Step-1 oracle.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+TEST(Step1BruteForceTest, MinMaxSemantics) {
+  Rng rng(1);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  // a: near the query; b: clearly farther than a's farthest corner;
+  // c: overlapping a's distance range.
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect(geom::Point{10, 10}, geom::Point{20, 20}),
+                        5, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect(geom::Point{500, 500},
+                                      geom::Point{510, 510}),
+                        5, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        2, geom::Rect(geom::Point{15, 15}, geom::Point{40, 40}),
+                        5, &rng))
+                  .ok());
+  const auto out = Step1BruteForce(db, geom::Point{0, 0});
+  EXPECT_EQ(out, (std::vector<uncertain::ObjectId>{0, 2}));
+}
+
+TEST(Step1BruteForceTest, EmptyDatabase) {
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  EXPECT_TRUE(Step1BruteForce(db, geom::Point{1, 1}).empty());
+}
+
+struct Step2Fixture {
+  Step2Fixture(int dim, size_t count, uint64_t seed, int samples = 200) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = dim;
+    synth.count = count;
+    synth.samples_per_object = samples;
+    synth.max_region_extent = 400;  // big regions: overlapping candidates
+    synth.domain_hi = 1000;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+  }
+  std::unique_ptr<uncertain::Dataset> db;
+};
+
+TEST(PnnStep2Test, ProbabilitiesAreADistributionOverCandidates) {
+  Step2Fixture fx(2, 40, /*seed=*/5);
+  PnnStep2Evaluator step2(fx.db.get());
+  Rng rng(6);
+  for (int q = 0; q < 25; ++q) {
+    const geom::Point query{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
+    const auto candidates = Step1BruteForce(*fx.db, query);
+    ASSERT_FALSE(candidates.empty());
+    const auto results = step2.Evaluate(query, candidates);
+    double total = 0;
+    for (const auto& r : results) {
+      EXPECT_GT(r.probability, 0.0);
+      EXPECT_LE(r.probability, 1.0 + 1e-9);
+      total += r.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6)
+        << "qualification probabilities must sum to one";
+  }
+}
+
+TEST(PnnStep2Test, ResultsSortedByProbability) {
+  Step2Fixture fx(2, 30, /*seed=*/7);
+  PnnStep2Evaluator step2(fx.db.get());
+  const geom::Point query{500, 500};
+  const auto results =
+      step2.Evaluate(query, Step1BruteForce(*fx.db, query));
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].probability, results[i].probability);
+  }
+}
+
+TEST(PnnStep2Test, SingletonCandidateHasProbabilityOne) {
+  Rng rng(8);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        3, geom::Rect::Cube(2, 100, 110), 50, &rng))
+                  .ok());
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> cands{3};
+  const auto results = step2.Evaluate(geom::Point{0, 0}, cands);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].probability, 1.0);
+}
+
+TEST(PnnStep2Test, SymmetricTwinsSplitEvenly) {
+  // Two objects whose regions are mirror images w.r.t. the query: each must
+  // win about half the probability mass.
+  Rng rng(9);
+  uncertain::Dataset db(geom::Rect::Cube(1, 0, 1000));
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect(geom::Point{100}, geom::Point{200}),
+                        2000, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect(geom::Point{800}, geom::Point{900}),
+                        2000, &rng))
+                  .ok());
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> cands{0, 1};
+  const auto results = step2.Evaluate(geom::Point{500}, cands);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NEAR(results[0].probability, 0.5, 0.05);
+  EXPECT_NEAR(results[1].probability, 0.5, 0.05);
+}
+
+TEST(PnnStep2Test, DominatedCandidateGetsZeroAndIsDropped) {
+  Rng rng(10);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  // Object 0 strictly dominates object 1 w.r.t. the query at the origin.
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect::Cube(2, 10, 20), 100, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect::Cube(2, 500, 510), 100, &rng))
+                  .ok());
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> cands{0, 1};
+  const auto results = step2.Evaluate(geom::Point{0, 0}, cands);
+  ASSERT_EQ(results.size(), 1u) << "zero-probability answers are dropped";
+  EXPECT_EQ(results[0].id, 0u);
+  EXPECT_DOUBLE_EQ(results[0].probability, 1.0);
+}
+
+TEST(PnnStep2Test, MatchesMonteCarloEstimator) {
+  Step2Fixture fx(2, 12, /*seed=*/11, /*samples=*/300);
+  PnnStep2Evaluator step2(fx.db.get());
+  Rng rng(12);
+  for (int q = 0; q < 8; ++q) {
+    const geom::Point query{rng.NextUniform(200, 800),
+                            rng.NextUniform(200, 800)};
+    const auto candidates = Step1BruteForce(*fx.db, query);
+    const auto exact = step2.Evaluate(query, candidates);
+    const auto mc = step2.EstimateByMonteCarlo(query, candidates,
+                                               /*trials=*/20000, /*seed=*/q);
+    for (const auto& e : exact) {
+      double mc_p = 0;
+      for (const auto& m : mc) {
+        if (m.id == e.id) mc_p = m.probability;
+      }
+      EXPECT_NEAR(e.probability, mc_p, 0.02)
+          << "object " << e.id << " at query " << query.ToString();
+    }
+  }
+}
+
+TEST(PnnStep2Test, ChargesPdfPages) {
+  Step2Fixture fx(3, 10, /*seed=*/13, /*samples=*/500);
+  PnnStep2Evaluator step2(fx.db.get());
+  MetricRegistry io;
+  const geom::Point query{500, 500, 500};
+  const auto candidates = Step1BruteForce(*fx.db, query);
+  step2.Evaluate(query, candidates, &io);
+  // A 500-sample 3D record spans ≥ 4 pages; total charge scales with the
+  // candidate count.
+  EXPECT_GE(io.Get(PnnCounters::kPdfPagesRead),
+            static_cast<int64_t>(4 * candidates.size()));
+}
+
+TEST(PnnStep2Test, WeightedPdfsHandledExactly) {
+  // Hand-built non-uniform pdfs: o0 is near the query with mass 0.9 at
+  // distance 1 and 0.1 at distance 10; o1 has mass 0.5 at distance 5 and
+  // 0.5 at distance 20. P(o0 NN) = 0.9·1 + 0.1·P(d1 > 10) = 0.9 + 0.1·0.5.
+  uncertain::Dataset db(geom::Rect::Cube(1, 0, 100));
+  const geom::Point q{0};
+  ASSERT_TRUE(
+      db.Add(uncertain::UncertainObject(
+                 0, geom::Rect(geom::Point{1}, geom::Point{10}),
+                 {uncertain::Instance{geom::Point{1}, 0.9},
+                  uncertain::Instance{geom::Point{10}, 0.1}}))
+          .ok());
+  ASSERT_TRUE(
+      db.Add(uncertain::UncertainObject(
+                 1, geom::Rect(geom::Point{5}, geom::Point{20}),
+                 {uncertain::Instance{geom::Point{5}, 0.5},
+                  uncertain::Instance{geom::Point{20}, 0.5}}))
+          .ok());
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> cands{0, 1};
+  const auto results = step2.Evaluate(q, cands);
+  ASSERT_EQ(results.size(), 2u);
+  double p0 = 0, p1 = 0;
+  for (const auto& r : results) (r.id == 0 ? p0 : p1) = r.probability;
+  EXPECT_DOUBLE_EQ(p0, 0.9 + 0.1 * 0.5);  // = 0.95
+  EXPECT_DOUBLE_EQ(p1, 0.5 * 0.1);        // 5 beats only o0's far sample
+  EXPECT_DOUBLE_EQ(p0 + p1, 1.0);
+}
+
+TEST(PnnStep2Test, MinProbabilityFilters) {
+  Step2Fixture fx(2, 30, /*seed=*/14);
+  PnnStep2Evaluator step2(fx.db.get());
+  const geom::Point query{500, 500};
+  const auto candidates = Step1BruteForce(*fx.db, query);
+  const auto all = step2.Evaluate(query, candidates);
+  const auto filtered = step2.Evaluate(query, candidates, nullptr, 0.2);
+  EXPECT_LE(filtered.size(), all.size());
+  for (const auto& r : filtered) EXPECT_GT(r.probability, 0.2);
+}
+
+}  // namespace
+}  // namespace pvdb::pv

@@ -1,0 +1,276 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// PV-index correctness (Section VI-A): Step-1 answer sets must equal the
+// linear-scan oracle (and hence the R-tree baseline) on every query; every
+// query point must see at least one candidate (the PV-cells of a non-empty
+// database cover the domain); stored UBRs must contain their objects'
+// uncertainty regions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/eval/workload.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rtree_pnn.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct IndexFixture {
+  IndexFixture(int dim, size_t count, uint64_t seed,
+               PvIndexOptions options = PvIndexOptions()) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = dim;
+    synth.count = count;
+    synth.samples_per_object = 8;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+    pager = std::make_unique<storage::InMemoryPager>();
+    auto built = PvIndex::Build(*db, pager.get(), options, &stats);
+    PVDB_CHECK(built.ok());
+    index = std::move(built).value();
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  std::unique_ptr<storage::InMemoryPager> pager;
+  std::unique_ptr<PvIndex> index;
+  BuildStats stats;
+};
+
+std::vector<uncertain::ObjectId> SortedIds(
+    std::vector<uncertain::ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class PvIndexDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PvIndexDimTest, Step1MatchesBruteForceOracle) {
+  const int dim = GetParam();
+  IndexFixture fx(dim, 400, /*seed=*/1000 + static_cast<uint64_t>(dim));
+  Rng rng(17);
+  for (int q = 0; q < 100; ++q) {
+    geom::Point query(dim);
+    for (int i = 0; i < dim; ++i) {
+      query[i] = rng.NextUniform(0, 10000);
+    }
+    auto got = fx.index->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    const auto expected = Step1BruteForce(*fx.db, query);
+    EXPECT_EQ(SortedIds(got.value()), expected)
+        << "query " << query.ToString();
+  }
+}
+
+TEST_P(PvIndexDimTest, Step1MatchesRTreeBaseline) {
+  const int dim = GetParam();
+  IndexFixture fx(dim, 300, /*seed=*/2000 + static_cast<uint64_t>(dim));
+  const rtree::RStarTree region_tree = eval::BuildRegionTree(*fx.db);
+  Rng rng(18);
+  for (int q = 0; q < 60; ++q) {
+    geom::Point query(dim);
+    for (int i = 0; i < dim; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto pv_ids = fx.index->QueryPossibleNN(query);
+    ASSERT_TRUE(pv_ids.ok());
+    EXPECT_EQ(SortedIds(pv_ids.value()),
+              rtree::PnnStep1BranchAndPrune(region_tree, query));
+  }
+}
+
+TEST_P(PvIndexDimTest, EveryQueryPointHasACandidate) {
+  // PV-cells tile the domain: every point has some possible NN, so its leaf
+  // must hold at least one entry.
+  const int dim = GetParam();
+  IndexFixture fx(dim, 150, /*seed=*/3000 + static_cast<uint64_t>(dim));
+  Rng rng(19);
+  for (int q = 0; q < 200; ++q) {
+    geom::Point query(dim);
+    for (int i = 0; i < dim; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto got = fx.index->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_GE(got.value().size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PvIndexDimTest, ::testing::Values(2, 3, 4));
+
+TEST(PvIndexTest, StoredUbrsContainUncertaintyRegions) {
+  IndexFixture fx(3, 200, /*seed=*/5);
+  for (const auto& o : fx.db->objects()) {
+    auto ubr = fx.index->GetUbr(o.id());
+    ASSERT_TRUE(ubr.ok());
+    EXPECT_TRUE(ubr.value().ContainsRect(o.region()))
+        << "Lemma 5: u(o) inside B(o)";
+    EXPECT_TRUE(fx.db->domain().ContainsRect(ubr.value()));
+  }
+}
+
+TEST(PvIndexTest, SecondaryRecordsRoundTrip) {
+  IndexFixture fx(2, 100, /*seed=*/6);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& o = fx.db->objects()[i * 9];
+    auto back = fx.index->GetObject(o.id());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().region(), o.region());
+    EXPECT_EQ(back.value().pdf().size(), o.pdf().size());
+  }
+}
+
+TEST(PvIndexTest, BuildStatsPopulated) {
+  IndexFixture fx(3, 150, /*seed=*/7);
+  EXPECT_EQ(fx.stats.cset_size.count(), 150);
+  EXPECT_GT(fx.stats.cset_size.mean(), 0.0);
+  EXPECT_GT(fx.stats.compute_ubr_ms, 0.0);
+  EXPECT_GT(fx.stats.total_ms, 0.0);
+  EXPECT_GT(fx.stats.se.slab_tests, 0);
+  EXPECT_EQ(fx.stats.se.slab_tests,
+            fx.stats.se.shrinks + fx.stats.se.expands);
+}
+
+TEST(PvIndexTest, QueryChargesIo) {
+  IndexFixture fx(3, 400, /*seed=*/8);
+  auto& metrics = fx.pager->metrics();
+  const int64_t before = metrics.Get(storage::PagerCounters::kReads);
+  geom::Point q{5000, 5000, 5000};
+  ASSERT_TRUE(fx.index->QueryPossibleNN(q).ok());
+  EXPECT_GT(metrics.Get(storage::PagerCounters::kReads), before)
+      << "leaf pages must be read through the pager";
+}
+
+TEST(PvIndexTest, FsStrategyAlsoCorrect) {
+  PvIndexOptions options;
+  options.cset.strategy = CSetStrategy::kFixed;
+  options.cset.k = 60;
+  IndexFixture fx(3, 250, /*seed=*/9, options);
+  Rng rng(20);
+  for (int q = 0; q < 50; ++q) {
+    geom::Point query(3);
+    for (int i = 0; i < 3; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto got = fx.index->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(SortedIds(got.value()), Step1BruteForce(*fx.db, query));
+  }
+}
+
+TEST(PvIndexTest, CoarseDeltaStillCorrectJustSlower) {
+  // A huge Δ gives loose UBRs: answers stay exact (minmax pruning removes
+  // the extra candidates), only candidate counts grow.
+  PvIndexOptions loose;
+  loose.se.delta = 2000.0;
+  IndexFixture fx_loose(2, 200, /*seed=*/10, loose);
+  PvIndexOptions tight;
+  tight.se.delta = 1.0;
+  IndexFixture fx_tight(2, 200, /*seed=*/10, tight);
+
+  Rng rng(21);
+  double loose_candidates = 0, tight_candidates = 0;
+  for (int q = 0; q < 50; ++q) {
+    geom::Point query(2);
+    for (int i = 0; i < 2; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto a = fx_loose.index->QueryPossibleNN(query);
+    auto b = fx_tight.index->QueryPossibleNN(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    const auto oracle = Step1BruteForce(*fx_loose.db, query);
+    EXPECT_EQ(SortedIds(a.value()), oracle);
+    EXPECT_EQ(SortedIds(b.value()), oracle);
+    loose_candidates += static_cast<double>(a.value().size());
+    tight_candidates += static_cast<double>(b.value().size());
+  }
+  // Equal answers; the only difference can be leaf occupancy/IO, which the
+  // benchmarks measure. (Candidate sets after pruning are identical.)
+  EXPECT_DOUBLE_EQ(loose_candidates, tight_candidates);
+}
+
+TEST(PvIndexTest, MortonBulkLoadGivesIdenticalAnswers) {
+  PvIndexOptions morton;
+  morton.build_order = BuildOrder::kMorton;
+  IndexFixture fx_bulk(3, 300, /*seed=*/44, morton);
+  IndexFixture fx_plain(3, 300, /*seed=*/44);
+  Rng rng(45);
+  for (int q = 0; q < 60; ++q) {
+    geom::Point query(3);
+    for (int i = 0; i < 3; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto a = fx_bulk.index->QueryPossibleNN(query);
+    auto b = fx_plain.index->QueryPossibleNN(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(SortedIds(a.value()), SortedIds(b.value()));
+    EXPECT_EQ(SortedIds(a.value()), Step1BruteForce(*fx_bulk.db, query));
+  }
+}
+
+TEST(PvIndexTest, BulkPrimaryGivesIdenticalAnswers) {
+  PvIndexOptions bulk;
+  bulk.bulk_primary = true;
+  IndexFixture fx_bulk(3, 300, /*seed=*/46, bulk);
+  IndexFixture fx_plain(3, 300, /*seed=*/46);
+  Rng rng(47);
+  for (int q = 0; q < 60; ++q) {
+    geom::Point query(3);
+    for (int i = 0; i < 3; ++i) query[i] = rng.NextUniform(0, 10000);
+    auto a = fx_bulk.index->QueryPossibleNN(query);
+    auto b = fx_plain.index->QueryPossibleNN(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(SortedIds(a.value()), SortedIds(b.value()));
+  }
+}
+
+TEST(PvIndexTest, BulkPrimaryReducesPrimaryPageWrites) {
+  // The bulk-loading ablation's headline property: batched leaf writes cut
+  // primary-index page writes by roughly the page capacity factor.
+  PvIndexOptions bulk;
+  bulk.bulk_primary = true;
+  IndexFixture fx_bulk(2, 1500, /*seed=*/48, bulk);
+  IndexFixture fx_plain(2, 1500, /*seed=*/48);
+  EXPECT_LT(fx_bulk.stats.primary_page_writes * 5,
+            fx_plain.stats.primary_page_writes)
+      << "bulk=" << fx_bulk.stats.primary_page_writes
+      << " incremental=" << fx_plain.stats.primary_page_writes;
+}
+
+TEST(PvIndexTest, BulkPrimaryIndexSupportsUpdatesAfterwards) {
+  PvIndexOptions bulk;
+  bulk.bulk_primary = true;
+  IndexFixture fx(2, 150, /*seed=*/49, bulk);
+  // Delete then insert through the incremental path; answers stay exact.
+  Rng rng(50);
+  auto ids = fx.db->Ids();
+  const auto victim = ids[5];
+  const uncertain::UncertainObject removed = *fx.db->Find(victim);
+  ASSERT_TRUE(fx.db->Remove(victim).ok());
+  ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed).ok());
+  const auto id = static_cast<uncertain::ObjectId>(777);
+  ASSERT_TRUE(fx.db
+                  ->Add(uncertain::UncertainObject::UniformSampled(
+                      id, geom::Rect::Cube(2, 4000, 4020), 8, &rng))
+                  .ok());
+  ASSERT_TRUE(fx.index->InsertObject(*fx.db, id).ok());
+  for (int q = 0; q < 40; ++q) {
+    geom::Point query{rng.NextUniform(0, 10000), rng.NextUniform(0, 10000)};
+    auto got = fx.index->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(SortedIds(got.value()), Step1BruteForce(*fx.db, query));
+  }
+}
+
+TEST(PvIndexTest, SingleObjectDatabase) {
+  IndexFixture fx(2, 1, /*seed=*/11);
+  auto got = fx.index->QueryPossibleNN(geom::Point{1.0, 9999.0});
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), 1u);
+  auto ubr = fx.index->GetUbr(fx.db->objects()[0].id());
+  ASSERT_TRUE(ubr.ok());
+  EXPECT_EQ(ubr.value(), fx.db->domain())
+      << "a lone object's PV-cell is the whole domain";
+}
+
+}  // namespace
+}  // namespace pvdb::pv

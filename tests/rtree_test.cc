@@ -1,0 +1,267 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// R*-tree tests: structural invariants under insert/erase churn, range and
+// point queries vs a linear-scan oracle, incremental NN browsing order, kNN
+// correctness, and the branch-and-prune PNNQ Step-1 baseline vs brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/rtree/rtree_pnn.h"
+
+namespace pvdb::rtree {
+namespace {
+
+geom::Rect RandomRect(Rng* rng, int dim, double max_side = 10.0) {
+  geom::Point lo(dim), hi(dim);
+  for (int i = 0; i < dim; ++i) {
+    const double c = rng->NextUniform(max_side, 1000 - max_side);
+    const double s = rng->NextUniform(0.1, max_side);
+    lo[i] = c - s;
+    hi[i] = c + s;
+  }
+  return geom::Rect(lo, hi);
+}
+
+geom::Point RandomPoint(Rng* rng, int dim, double lo = 0, double hi = 1000) {
+  geom::Point p(dim);
+  for (int i = 0; i < dim; ++i) p[i] = rng->NextUniform(lo, hi);
+  return p;
+}
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Basic operations
+// ---------------------------------------------------------------------------
+
+TEST(RStarTreeTest, EmptyTreeBehaves) {
+  RStarTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Search(geom::Rect::Cube(2, 0, 1000)).empty());
+  EXPECT_TRUE(tree.KNearest(geom::Point{1, 1}, 5).empty());
+  EXPECT_FALSE(tree.Erase(geom::Rect::Cube(2, 0, 1), 0));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, SmallFanoutForcesSplits) {
+  RStarOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  options.reinsert_count = 2;
+  RStarTree tree(2, options);
+  Rng rng(1);
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(RandomRect(&rng, 2), i);
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+class RStarTreeDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RStarTreeDimTest, RangeQueryMatchesLinearScan) {
+  const int dim = GetParam();
+  RStarOptions options;
+  options.max_entries = 16;
+  options.min_entries = 6;
+  options.reinsert_count = 4;
+  RStarTree tree(dim, options);
+  Rng rng(10 + dim);
+  std::vector<geom::Rect> keys;
+  for (uint64_t i = 0; i < 800; ++i) {
+    keys.push_back(RandomRect(&rng, dim));
+    tree.Insert(keys.back(), i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int q = 0; q < 50; ++q) {
+    const geom::Rect range = RandomRect(&rng, dim, 80.0);
+    std::vector<uint64_t> expected;
+    for (uint64_t i = 0; i < keys.size(); ++i) {
+      if (keys[i].Intersects(range)) expected.push_back(i);
+    }
+    EXPECT_EQ(Sorted(tree.Search(range)), expected);
+  }
+}
+
+TEST_P(RStarTreeDimTest, KnnMatchesLinearScan) {
+  const int dim = GetParam();
+  RStarTree tree(dim);
+  Rng rng(20 + dim);
+  std::vector<geom::Rect> keys;
+  for (uint64_t i = 0; i < 600; ++i) {
+    keys.push_back(RandomRect(&rng, dim));
+    tree.Insert(keys.back(), i);
+  }
+  for (int q = 0; q < 30; ++q) {
+    const geom::Point query = RandomPoint(&rng, dim);
+    // Oracle: sort by MinDist.
+    std::vector<std::pair<double, uint64_t>> oracle;
+    for (uint64_t i = 0; i < keys.size(); ++i) {
+      oracle.emplace_back(geom::MinDist(keys[i], query), i);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    const auto knn = tree.KNearest(query, 10);
+    ASSERT_EQ(knn.size(), 10u);
+    for (size_t i = 0; i < knn.size(); ++i) {
+      // Distances must match the oracle (ids may differ under ties).
+      EXPECT_NEAR(knn[i].dist, oracle[i].first, 1e-9);
+    }
+  }
+}
+
+TEST_P(RStarTreeDimTest, BrowseNearestIsNonDecreasing) {
+  const int dim = GetParam();
+  RStarTree tree(dim);
+  Rng rng(30 + dim);
+  for (uint64_t i = 0; i < 400; ++i) tree.Insert(RandomRect(&rng, dim), i);
+  const geom::Point query = RandomPoint(&rng, dim);
+  auto it = tree.BrowseNearest(query);
+  double prev = -1;
+  size_t count = 0;
+  while (it.HasNext()) {
+    const auto item = it.Next();
+    EXPECT_GE(item.dist, prev - 1e-12);
+    prev = item.dist;
+    ++count;
+  }
+  EXPECT_EQ(count, 400u) << "browse must enumerate every entry exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RStarTreeDimTest, ::testing::Values(2, 3, 5));
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+TEST(RStarTreeTest, EraseRemovesExactlyOneMatch) {
+  RStarTree tree(2);
+  Rng rng(40);
+  const geom::Rect key = RandomRect(&rng, 2);
+  tree.Insert(key, 1);
+  tree.Insert(key, 1);  // duplicate
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.Erase(key, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Erase(key, 1));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Erase(key, 1));
+}
+
+TEST(RStarTreeTest, ChurnKeepsInvariantsAndAnswers) {
+  RStarOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  options.reinsert_count = 3;
+  RStarTree tree(3, options);
+  Rng rng(50);
+  std::vector<std::pair<geom::Rect, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      geom::Rect key = RandomRect(&rng, 3);
+      tree.Insert(key, next_id);
+      live.emplace_back(key, next_id);
+      ++next_id;
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.NextBounded(live.size()));
+      ASSERT_TRUE(tree.Erase(live[pick].first, live[pick].second));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (round % 250 == 0) ASSERT_TRUE(tree.CheckInvariants());
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), live.size());
+  // Final answer check.
+  const geom::Rect range = geom::Rect::Cube(3, 200, 600);
+  std::vector<uint64_t> expected;
+  for (const auto& [key, id] : live) {
+    if (key.Intersects(range)) expected.push_back(id);
+  }
+  EXPECT_EQ(Sorted(tree.Search(range)), Sorted(expected));
+}
+
+// ---------------------------------------------------------------------------
+// PNNQ Step-1 baseline
+// ---------------------------------------------------------------------------
+
+TEST(RTreePnnTest, MatchesBruteForceMinMaxFilter) {
+  for (int dim : {2, 3, 4}) {
+    RStarTree tree(dim);
+    Rng rng(60 + dim);
+    std::vector<geom::Rect> regions;
+    for (uint64_t i = 0; i < 500; ++i) {
+      regions.push_back(RandomRect(&rng, dim));
+      tree.Insert(regions.back(), i);
+    }
+    for (int q = 0; q < 50; ++q) {
+      const geom::Point query = RandomPoint(&rng, dim);
+      // Oracle.
+      double tau_sq = std::numeric_limits<double>::infinity();
+      for (const auto& r : regions) {
+        tau_sq = std::min(tau_sq, geom::MaxDistSq(r, query));
+      }
+      std::vector<uint64_t> expected;
+      for (uint64_t i = 0; i < regions.size(); ++i) {
+        if (geom::MinDistSq(regions[i], query) <= tau_sq) expected.push_back(i);
+      }
+      EXPECT_EQ(PnnStep1BranchAndPrune(tree, query), expected);
+    }
+  }
+}
+
+TEST(RTreePnnTest, SingleObjectAlwaysCandidate) {
+  RStarTree tree(2);
+  tree.Insert(geom::Rect::Cube(2, 400, 410), 7);
+  const auto out = PnnStep1BranchAndPrune(tree, geom::Point{0, 0});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(RTreePnnTest, ChargesLeafIo) {
+  RStarTree tree(3);
+  Rng rng(70);
+  for (uint64_t i = 0; i < 2000; ++i) tree.Insert(RandomRect(&rng, 3), i);
+  const int64_t before =
+      tree.metrics().Get(RTreeCounters::kLeafPagesRead);
+  PnnStep1BranchAndPrune(tree, RandomPoint(&rng, 3));
+  EXPECT_GT(tree.metrics().Get(RTreeCounters::kLeafPagesRead), before);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate keys (points) — the mean-position tree of chooseCSet
+// ---------------------------------------------------------------------------
+
+TEST(RStarTreeTest, DegeneratePointKeysWork) {
+  RStarTree tree(2);
+  Rng rng(80);
+  std::vector<geom::Point> points;
+  for (uint64_t i = 0; i < 300; ++i) {
+    points.push_back(RandomPoint(&rng, 2));
+    tree.Insert(geom::Rect::FromPoint(points.back()), i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  const geom::Point q = RandomPoint(&rng, 2);
+  std::vector<std::pair<double, uint64_t>> oracle;
+  for (uint64_t i = 0; i < points.size(); ++i) {
+    oracle.emplace_back(points[i].DistanceTo(q), i);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  auto it = tree.BrowseNearest(q);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(it.HasNext());
+    EXPECT_NEAR(it.Next().dist, oracle[static_cast<size_t>(i)].first, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::rtree

@@ -1,0 +1,180 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Additional SE / chooseCSet property suites beyond se_test.cc: clustered
+// data, boundary-hugging objects, budget accounting, and determinism —
+// the adversarial inputs a production index meets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/geom/domination.h"
+#include "src/pv/cset.h"
+#include "src/pv/se.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct ClusteredFixture {
+  ClusteredFixture(int dim, int clusters, int per_cluster, uint64_t seed)
+      : db(std::make_unique<uncertain::Dataset>(
+            geom::Rect::Cube(dim, 0, 1000))) {
+    Rng rng(seed);
+    uncertain::ObjectId next = 0;
+    for (int c = 0; c < clusters; ++c) {
+      geom::Point center(dim);
+      for (int i = 0; i < dim; ++i) center[i] = rng.NextUniform(100, 900);
+      for (int k = 0; k < per_cluster; ++k) {
+        geom::Point p(dim);
+        for (int i = 0; i < dim; ++i) {
+          p[i] = std::clamp(center[i] + rng.NextGaussian(0, 25.0), 5.0,
+                            995.0);
+        }
+        geom::Point half(dim);
+        for (int i = 0; i < dim; ++i) half[i] = rng.NextUniform(0.5, 4.0);
+        geom::Rect region = geom::Rect::FromCenterHalfWidths(p, half);
+        region = geom::Rect::Intersection(region,
+                                          geom::Rect::Cube(dim, 0, 1000));
+        PVDB_CHECK(db->Add(uncertain::UncertainObject::UniformSampled(
+                               next++, region, 3, &rng))
+                       .ok());
+      }
+    }
+    mean_tree = std::make_unique<rtree::RStarTree>(dim);
+    for (const auto& o : db->objects()) {
+      mean_tree->Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+    }
+  }
+
+  std::vector<geom::Rect> OthersOf(uncertain::ObjectId self) const {
+    std::vector<geom::Rect> out;
+    for (const auto& o : db->objects()) {
+      if (o.id() != self) out.push_back(o.region());
+    }
+    return out;
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  std::unique_ptr<rtree::RStarTree> mean_tree;
+};
+
+TEST(SePropertyTest, ClusteredDataUbrsStaySound) {
+  // Clusters are the adversarial case for FS/IS: far-away cluster members
+  // can belong to the minimum V-set (the o5 example of Figure 5).
+  ClusteredFixture fx(2, 5, 20, /*seed=*/1);
+  SeOptions options;
+  options.delta = 2.0;
+  options.max_partitions = 10;
+  SeAlgorithm se(fx.db->domain(), options);
+  CSetOptions cset_options;  // IS defaults
+  Rng rng(2);
+  for (size_t pick = 0; pick < 10; ++pick) {
+    const auto& o = fx.db->objects()[pick * 9];
+    const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+    const geom::Rect ubr = se.ComputeUbr(o, cset.regions);
+    const auto others = fx.OthersOf(o.id());
+    for (int s = 0; s < 2500; ++s) {
+      geom::Point p{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
+      if (geom::PointPossiblyNearest(o.region(), others, p)) {
+        EXPECT_TRUE(ubr.Contains(p));
+      }
+    }
+  }
+}
+
+TEST(SePropertyTest, DomainCornerObjectKeepsCornerInUbr) {
+  // An object hugging the domain corner owns that corner of space.
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  Rng rng(3);
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect(geom::Point{0, 0}, geom::Point{5, 5}),
+                        3, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect(geom::Point{500, 500},
+                                      geom::Point{505, 505}),
+                        3, &rng))
+                  .ok());
+  SeAlgorithm se(db.domain(), SeOptions{});
+  const std::vector<geom::Rect> cset{db.objects()[1].region()};
+  const geom::Rect ubr = se.ComputeUbr(db.objects()[0], cset);
+  EXPECT_TRUE(ubr.Contains(geom::Point{0, 0}));
+  // And the far corner (clearly owned by object 1) is excluded.
+  EXPECT_FALSE(ubr.Contains(geom::Point{1000, 1000}));
+}
+
+TEST(SePropertyTest, CellBudgetAccountingConsistent) {
+  ClusteredFixture fx(3, 4, 25, /*seed=*/4);
+  SeOptions options;
+  options.delta = 1.0;
+  options.max_partitions = 10;
+  SeAlgorithm se(fx.db->domain(), options);
+  CSetOptions cset_options;
+  for (size_t pick = 0; pick < 8; ++pick) {
+    const auto& o = fx.db->objects()[pick * 11];
+    const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+    SeStats stats;
+    se.ComputeUbr(o, cset.regions, &stats);
+    EXPECT_EQ(stats.slab_tests, stats.shrinks + stats.expands);
+    // Every slab test examines at least one and at most m_max cells.
+    EXPECT_GE(stats.cells_examined, stats.slab_tests);
+    EXPECT_LE(stats.cells_examined,
+              stats.slab_tests * options.max_partitions);
+  }
+}
+
+TEST(SePropertyTest, DeterministicAcrossRuns) {
+  ClusteredFixture fx(2, 3, 15, /*seed=*/5);
+  SeAlgorithm se(fx.db->domain(), SeOptions{});
+  CSetOptions cset_options;
+  for (const auto& o : fx.db->objects()) {
+    const auto cset1 = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+    const auto cset2 = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+    ASSERT_EQ(cset1.ids, cset2.ids);
+    EXPECT_EQ(se.ComputeUbr(o, cset1.regions),
+              se.ComputeUbr(o, cset2.regions));
+  }
+}
+
+TEST(SePropertyTest, HigherDimQuadrantCountersCovered) {
+  // d = 4 → 16 quadrants; IS must still terminate and produce a sound
+  // C-set even when some quadrants can never be satisfied.
+  ClusteredFixture fx(4, 3, 30, /*seed=*/6);
+  CSetOptions options;
+  options.k_partition = 3;
+  options.k_global = 60;
+  for (size_t pick = 0; pick < 5; ++pick) {
+    const auto& o = fx.db->objects()[pick * 7];
+    const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, options);
+    EXPECT_LE(cset.examined, 60);
+    EXPECT_FALSE(cset.ids.empty());
+  }
+}
+
+TEST(SePropertyTest, AllObjectsOverlappingGivesDomainUbrs) {
+  // Everything overlaps everything: no object constrains any other
+  // (Lemma 2), so every UBR must be the whole domain.
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 100));
+  Rng rng(7);
+  for (uncertain::ObjectId i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                          i,
+                          geom::Rect(geom::Point{40.0 + i, 40.0 + i},
+                                     geom::Point{60.0 + i, 60.0 + i}),
+                          3, &rng))
+                    .ok());
+  }
+  SeAlgorithm se(db.domain(), SeOptions{});
+  for (const auto& o : db.objects()) {
+    std::vector<geom::Rect> others;
+    for (const auto& other : db.objects()) {
+      if (other.id() != o.id()) others.push_back(other.region());
+    }
+    EXPECT_EQ(se.ComputeUbr(o, others), db.domain());
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::pv

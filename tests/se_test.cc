@@ -1,0 +1,376 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Property tests for the Shrink-and-Expand algorithm (Section V): the
+// returned UBR must always contain the true PV-cell (checked against the
+// Lemma-4 sampling oracle), must contain u(o) (Lemma 5), should be close to
+// the sampled MBR of V(o) when Δ is small, and the warm-started variants
+// must satisfy the Lemma-9 monotonicity used by the incremental update.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/geom/domination.h"
+#include "src/pv/cset.h"
+#include "src/pv/se.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct SeFixture {
+  SeFixture(int dim, size_t count, uint64_t seed, double extent = 40.0) {
+    uncertain::SyntheticOptions options;
+    options.dim = dim;
+    options.count = count;
+    options.samples_per_object = 4;
+    options.max_region_extent = extent;
+    options.domain_hi = 1000.0;  // smaller domain: denser sampling oracle
+    options.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(options));
+    mean_tree = std::make_unique<rtree::RStarTree>(dim);
+    for (const auto& o : db->objects()) {
+      mean_tree->Insert(geom::Rect::FromPoint(o.MeanPosition()), o.id());
+    }
+  }
+
+  // Uncertainty regions of everything except `self`.
+  std::vector<geom::Rect> OthersOf(uncertain::ObjectId self) const {
+    std::vector<geom::Rect> out;
+    for (const auto& o : db->objects()) {
+      if (o.id() != self) out.push_back(o.region());
+    }
+    return out;
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  std::unique_ptr<rtree::RStarTree> mean_tree;
+};
+
+// Sampled oracle MBR of V(o): bounding box of grid points where o is a
+// possible NN (Lemma 4 predicate). Returns nullopt-like flag via volume 0
+// when no point qualifies (cannot happen: u(o) qualifies).
+geom::Rect SampledCellMbr(const SeFixture& fx,
+                          const uncertain::UncertainObject& o,
+                          int grid_per_dim) {
+  const std::vector<geom::Rect> others = fx.OthersOf(o.id());
+  const geom::Rect& domain = fx.db->domain();
+  const int d = domain.dim();
+  geom::Point lo(d), hi(d);
+  bool any = false;
+  std::vector<int> idx(static_cast<size_t>(d), 0);
+  const double step = domain.Side(0) / grid_per_dim;
+  // Iterate the d-dimensional grid with an odometer.
+  for (;;) {
+    geom::Point p(d);
+    for (int i = 0; i < d; ++i) {
+      p[i] = domain.lo(i) + (idx[static_cast<size_t>(i)] + 0.5) * step;
+    }
+    if (geom::PointPossiblyNearest(o.region(), others, p)) {
+      if (!any) {
+        lo = hi = p;
+        any = true;
+      } else {
+        for (int i = 0; i < d; ++i) {
+          lo[i] = std::min(lo[i], p[i]);
+          hi[i] = std::max(hi[i], p[i]);
+        }
+      }
+    }
+    int carry = 0;
+    while (carry < d && ++idx[static_cast<size_t>(carry)] == grid_per_dim) {
+      idx[static_cast<size_t>(carry)] = 0;
+      ++carry;
+    }
+    if (carry == d) break;
+  }
+  EXPECT_TRUE(any) << "V(o) contains u(o), some grid point must qualify";
+  return geom::Rect(lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Conservativeness (the core soundness property)
+// ---------------------------------------------------------------------------
+
+class SeConservativenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SeConservativenessTest, UbrContainsEveryPossiblyNearestPoint) {
+  const int dim = std::get<0>(GetParam());
+  const int mmax = std::get<1>(GetParam());
+  SeFixture fx(dim, 60, /*seed=*/500 + static_cast<uint64_t>(dim));
+  SeOptions options;
+  options.delta = 5.0;
+  options.max_partitions = mmax;
+  SeAlgorithm se(fx.db->domain(), options);
+  CSetOptions cset_options;
+  cset_options.k_partition = 4;
+  cset_options.k_global = 40;
+
+  Rng rng(900);
+  for (size_t pick = 0; pick < 8; ++pick) {
+    const auto& o = fx.db->objects()[pick * 7];
+    const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+    const geom::Rect ubr = se.ComputeUbr(o, cset.regions);
+    const auto others = fx.OthersOf(o.id());
+
+    // Lemma 5: u(o) ⊆ V(o) ⊆ B(o).
+    EXPECT_TRUE(ubr.ContainsRect(o.region()));
+
+    // Every sampled possibly-nearest point must be inside the UBR.
+    for (int s = 0; s < 4000; ++s) {
+      geom::Point p(dim);
+      for (int i = 0; i < dim; ++i) {
+        p[i] = rng.NextUniform(fx.db->domain().lo(i), fx.db->domain().hi(i));
+      }
+      if (geom::PointPossiblyNearest(o.region(), others, p)) {
+        EXPECT_TRUE(ubr.Contains(p))
+            << "possibly-nearest point " << p.ToString()
+            << " escaped UBR " << ubr.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndBudgets, SeConservativenessTest,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(2, 10, 40)));
+
+// ---------------------------------------------------------------------------
+// Tightness
+// ---------------------------------------------------------------------------
+
+TEST(SeTest, UbrCloseToSampledMbrWithAllCSet2D) {
+  SeFixture fx(2, 40, /*seed=*/31);
+  SeOptions options;
+  options.delta = 1.0;
+  options.max_partitions = 40;
+  SeAlgorithm se(fx.db->domain(), options);
+
+  for (size_t pick = 0; pick < 6; ++pick) {
+    const auto& o = fx.db->objects()[pick * 5];
+    const auto others = fx.OthersOf(o.id());
+    const geom::Rect ubr = se.ComputeUbr(o, others);  // Cset = S (Lemma 4)
+    const geom::Rect sampled = SampledCellMbr(fx, o, /*grid_per_dim=*/200);
+    // Conservative: UBR contains the sampled MBR.
+    EXPECT_TRUE(ubr.Inflated(1e-9).ContainsRect(sampled));
+    // Tight: each face within Δ + grid resolution + partition-budget slack.
+    const double grid_step = fx.db->domain().Side(0) / 200.0;
+    const double slack = options.delta + 4 * grid_step + 25.0;
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_LE(sampled.lo(i) - ubr.lo(i), slack);
+      EXPECT_LE(ubr.hi(i) - sampled.hi(i), slack);
+    }
+  }
+}
+
+TEST(SeTest, SmallerDeltaNeverLoosensUbr) {
+  SeFixture fx(3, 80, /*seed=*/77);
+  CSetOptions cset_options;
+  const auto& o = fx.db->objects()[11];
+  const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+  double prev_volume = std::numeric_limits<double>::infinity();
+  for (double delta : {200.0, 50.0, 10.0, 1.0}) {
+    SeOptions options;
+    options.delta = delta;
+    options.max_partitions = 20;
+    SeAlgorithm se(fx.db->domain(), options);
+    const geom::Rect ubr = se.ComputeUbr(o, cset.regions);
+    // Volumes shrink (or stay) as Δ decreases: more halving rounds only
+    // remove proven-empty slabs.
+    EXPECT_LE(ubr.Volume(), prev_volume * (1 + 1e-12));
+    prev_volume = ubr.Volume();
+  }
+}
+
+TEST(SeTest, LargerPartitionBudgetNeverLoosensUbr) {
+  SeFixture fx(3, 80, /*seed=*/78);
+  CSetOptions cset_options;
+  const auto& o = fx.db->objects()[23];
+  const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+  double prev_volume = std::numeric_limits<double>::infinity();
+  for (int mmax : {2, 5, 10, 40}) {
+    SeOptions options;
+    options.delta = 2.0;
+    options.max_partitions = mmax;
+    SeAlgorithm se(fx.db->domain(), options);
+    const geom::Rect ubr = se.ComputeUbr(o, cset.regions);
+    EXPECT_LE(ubr.Volume(), prev_volume * (1 + 1e-12));
+    prev_volume = ubr.Volume();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iteration bound and edge cases
+// ---------------------------------------------------------------------------
+
+TEST(SeTest, SlabTestCountWithinAnalyticalBound) {
+  SeFixture fx(3, 100, /*seed=*/79);
+  SeOptions options;
+  options.delta = 1.0;
+  options.max_partitions = 10;
+  SeAlgorithm se(fx.db->domain(), options);
+  CSetOptions cset_options;
+  const auto& o = fx.db->objects()[42];
+  const auto cset = ChooseCSet(o, *fx.db, *fx.mean_tree, cset_options);
+  SeStats stats;
+  se.ComputeUbr(o, cset.regions, &stats);
+  // Section V: at most 2d · log2(|D|_max / Δ) slab tests (+2d rounding).
+  const double bound =
+      2.0 * 3 * (std::log2(fx.db->domain().MaxSide() / options.delta) + 1);
+  EXPECT_LE(stats.slab_tests, static_cast<int>(bound));
+  EXPECT_EQ(stats.slab_tests, stats.shrinks + stats.expands);
+  EXPECT_GT(stats.shrinks, 0) << "a 100-object db must shrink somewhere";
+}
+
+TEST(SeTest, EmptyCsetReturnsDomain) {
+  const geom::Rect domain = geom::Rect::Cube(2, 0, 1000);
+  SeAlgorithm se(domain, SeOptions{});
+  Rng rng(1);
+  const auto o = uncertain::UncertainObject::UniformSampled(
+      0, geom::Rect::Cube(2, 500, 510), 3, &rng);
+  EXPECT_EQ(se.ComputeUbr(o, {}), domain);
+}
+
+TEST(SeTest, SingleFarCandidateHalvesDomain) {
+  // o near the left edge, candidate near the right: B(o) must exclude the
+  // region around the candidate but keep everything on o's side.
+  const geom::Rect domain = geom::Rect::Cube(2, 0, 1000);
+  SeOptions options;
+  options.delta = 1.0;
+  options.max_partitions = 10;
+  SeAlgorithm se(domain, options);
+  Rng rng(2);
+  const auto o = uncertain::UncertainObject::UniformSampled(
+      0, geom::Rect(geom::Point{100, 495}, geom::Point{110, 505}), 3, &rng);
+  const std::vector<geom::Rect> cset{
+      geom::Rect(geom::Point{900, 495}, geom::Point{910, 505})};
+  const geom::Rect ubr = se.ComputeUbr(o, cset);
+  // The bisector along x sits near (110+900)/2 = 505 at y = 500; with
+  // maxdist-vs-mindist semantics it bulges, but 900 must be excluded and
+  // 400 must remain inside.
+  EXPECT_LT(ubr.hi(0), 900.0);
+  EXPECT_GT(ubr.hi(0), 400.0);
+  EXPECT_EQ(ubr.lo(0), 0.0) << "nothing bounds o from the left";
+  EXPECT_EQ(ubr.lo(1), 0.0);
+  EXPECT_EQ(ubr.hi(1), 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts (Section VI-B, Lemma 9)
+// ---------------------------------------------------------------------------
+
+TEST(SeTest, WarmDeletionGrowsFromOldUbrAndStaysSound) {
+  SeFixture fx(2, 50, /*seed=*/90);
+  SeOptions options;
+  options.delta = 2.0;
+  options.max_partitions = 20;
+  SeAlgorithm se(fx.db->domain(), options);
+
+  const auto& o = fx.db->objects()[7];
+  const auto all_before = fx.OthersOf(o.id());
+  const geom::Rect old_ubr = se.ComputeUbr(o, all_before);
+
+  // Delete one other object (the nearest — most likely to matter).
+  uncertain::ObjectId victim = uncertain::kInvalidObjectId;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& other : fx.db->objects()) {
+    if (other.id() == o.id()) continue;
+    const double d = other.MeanPosition().DistanceTo(o.MeanPosition());
+    if (d < best) {
+      best = d;
+      victim = other.id();
+    }
+  }
+  ASSERT_TRUE(fx.db->Remove(victim).ok());
+  const auto all_after = fx.OthersOf(o.id());
+
+  const geom::Rect new_ubr = se.ComputeUbrAfterDeletion(o, old_ubr, all_after);
+  // Lemma 9 (deletion): the cell can only grow; warm start keeps old ⊆ new.
+  EXPECT_TRUE(new_ubr.ContainsRect(old_ubr));
+
+  // Soundness against the post-deletion oracle.
+  Rng rng(91);
+  for (int s = 0; s < 3000; ++s) {
+    geom::Point p(2);
+    for (int i = 0; i < 2; ++i) {
+      p[i] = rng.NextUniform(fx.db->domain().lo(i), fx.db->domain().hi(i));
+    }
+    if (geom::PointPossiblyNearest(o.region(), all_after, p)) {
+      EXPECT_TRUE(new_ubr.Contains(p));
+    }
+  }
+}
+
+TEST(SeTest, WarmInsertionShrinksWithinOldUbrAndStaysSound) {
+  SeFixture fx(2, 50, /*seed=*/92);
+  SeOptions options;
+  options.delta = 2.0;
+  options.max_partitions = 20;
+  SeAlgorithm se(fx.db->domain(), options);
+
+  const auto& o = fx.db->objects()[9];
+  const auto all_before = fx.OthersOf(o.id());
+  const geom::Rect old_ubr = se.ComputeUbr(o, all_before);
+
+  // Insert a new object near o (but not overlapping).
+  Rng rng(93);
+  geom::Point c = o.MeanPosition();
+  c[0] = std::min(c[0] + 120.0, fx.db->domain().hi(0) - 10);
+  const auto inserted = uncertain::UncertainObject::UniformSampled(
+      99999, geom::Rect::FromCenterHalfWidths(c, geom::Point{5, 5}), 3, &rng);
+  ASSERT_TRUE(fx.db->Add(inserted).ok());
+  const auto all_after = fx.OthersOf(o.id());
+
+  const geom::Rect new_ubr =
+      se.ComputeUbrAfterInsertion(o, old_ubr, all_after);
+  // Lemma 9 (insertion): the cell can only shrink; h starts from old UBR.
+  EXPECT_TRUE(old_ubr.ContainsRect(new_ubr));
+
+  for (int s = 0; s < 3000; ++s) {
+    geom::Point p(2);
+    for (int i = 0; i < 2; ++i) {
+      p[i] = rng.NextUniform(fx.db->domain().lo(i), fx.db->domain().hi(i));
+    }
+    if (geom::PointPossiblyNearest(o.region(), all_after, p)) {
+      EXPECT_TRUE(new_ubr.Contains(p));
+    }
+  }
+}
+
+TEST(SeTest, AnySubsetCsetIsSound) {
+  // Lemma 7: every non-empty subset is a valid C-set — the UBR stays
+  // conservative no matter how bad the subset is.
+  SeFixture fx(2, 60, /*seed=*/94);
+  SeOptions options;
+  options.delta = 5.0;
+  options.max_partitions = 10;
+  SeAlgorithm se(fx.db->domain(), options);
+  const auto& o = fx.db->objects()[3];
+  const auto others = fx.OthersOf(o.id());
+
+  Rng rng(95);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random subset of ~20%.
+    std::vector<geom::Rect> subset;
+    for (const auto& r : others) {
+      if (rng.NextBool(0.2)) subset.push_back(r);
+    }
+    const geom::Rect ubr = se.ComputeUbr(o, subset);
+    for (int s = 0; s < 1500; ++s) {
+      geom::Point p(2);
+      for (int i = 0; i < 2; ++i) {
+        p[i] = rng.NextUniform(fx.db->domain().lo(i), fx.db->domain().hi(i));
+      }
+      if (geom::PointPossiblyNearest(o.region(), others, p)) {
+        EXPECT_TRUE(ubr.Contains(p));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::pv

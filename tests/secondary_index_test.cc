@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Tests for the secondary index (Section VI-A): record round-trips (UBR,
+// uncertainty region, pdf), cheap header reads, in-place UBR updates, and
+// removal.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/pv/secondary_index.h"
+#include "src/storage/pager.h"
+
+namespace pvdb::pv {
+namespace {
+
+uncertain::UncertainObject MakeObject(uncertain::ObjectId id, int dim,
+                                      int samples, Rng* rng) {
+  geom::Point c(dim);
+  for (int i = 0; i < dim; ++i) c[i] = rng->NextUniform(100, 900);
+  geom::Point half(dim);
+  for (int i = 0; i < dim; ++i) half[i] = rng->NextUniform(1, 10);
+  return uncertain::UncertainObject::UniformSampled(
+      id, geom::Rect::FromCenterHalfWidths(c, half), samples, rng);
+}
+
+TEST(SecondaryIndexTest, PutGetRoundTrip) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(1);
+  const auto o = MakeObject(42, 3, 500, &rng);
+  const geom::Rect ubr = o.region().Inflated(50.0);
+  ASSERT_TRUE(index.value().Put(o, ubr).ok());
+  EXPECT_EQ(index.value().Size(), 1u);
+
+  auto header = index.value().GetHeader(42);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().ubr, ubr);
+  EXPECT_EQ(header.value().uregion, o.region());
+
+  auto back = index.value().GetObject(42);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().id(), 42u);
+  EXPECT_EQ(back.value().region(), o.region());
+  ASSERT_EQ(back.value().pdf().size(), 500u);
+  EXPECT_EQ(back.value().pdf()[123].position, o.pdf()[123].position);
+}
+
+TEST(SecondaryIndexTest, GetUbrIsCheap) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(2);
+  for (uint64_t i = 0; i < 50; ++i) {
+    const auto o = MakeObject(i, 3, 500, &rng);  // multi-page records
+    ASSERT_TRUE(index.value().Put(o, o.region().Inflated(20)).ok());
+  }
+  const int64_t before = pager.metrics().Get(storage::PagerCounters::kReads);
+  ASSERT_TRUE(index.value().GetUbr(25).ok());
+  const int64_t reads =
+      pager.metrics().Get(storage::PagerCounters::kReads) - before;
+  EXPECT_LE(reads, 2) << "UBR read = 1 hash-bucket page + 1 record head page";
+}
+
+TEST(SecondaryIndexTest, UpdateUbrInPlace) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(3);
+  const auto o = MakeObject(7, 2, 300, &rng);
+  ASSERT_TRUE(index.value().Put(o, o.region()).ok());
+
+  const geom::Rect new_ubr = o.region().Inflated(123.0);
+  ASSERT_TRUE(index.value().UpdateUbr(7, new_ubr).ok());
+  auto header = index.value().GetHeader(7);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().ubr, new_ubr);
+  EXPECT_EQ(header.value().uregion, o.region()) << "region untouched";
+  // The pdf must be intact.
+  auto back = index.value().GetObject(7);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().pdf().size(), 300u);
+  EXPECT_EQ(back.value().pdf()[200].position, o.pdf()[200].position);
+}
+
+TEST(SecondaryIndexTest, PutReplacesExistingRecord) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(4);
+  const auto o1 = MakeObject(5, 2, 100, &rng);
+  const auto o2 = MakeObject(5, 2, 200, &rng);
+  ASSERT_TRUE(index.value().Put(o1, o1.region()).ok());
+  const size_t live_after_first = pager.LivePageCount();
+  ASSERT_TRUE(index.value().Put(o2, o2.region()).ok());
+  EXPECT_EQ(index.value().Size(), 1u);
+  auto back = index.value().GetObject(5);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().pdf().size(), 200u);
+  // The first record's chain must have been freed (allowing some slack for
+  // the larger second record).
+  EXPECT_LE(pager.LivePageCount(), live_after_first + 4);
+}
+
+TEST(SecondaryIndexTest, RemoveFreesAndForgets) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(5);
+  const auto o = MakeObject(9, 3, 400, &rng);
+  ASSERT_TRUE(index.value().Put(o, o.region()).ok());
+  const size_t live_with_record = pager.LivePageCount();
+  ASSERT_TRUE(index.value().Remove(9).ok());
+  EXPECT_EQ(index.value().Size(), 0u);
+  EXPECT_FALSE(index.value().GetHeader(9).ok());
+  EXPECT_LT(pager.LivePageCount(), live_with_record);
+}
+
+TEST(SecondaryIndexTest, MissingKeyIsNotFound) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().GetHeader(404).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(index.value().Remove(404).code(), StatusCode::kNotFound);
+}
+
+TEST(SecondaryIndexTest, ManyObjectsAllDimensions) {
+  storage::InMemoryPager pager;
+  auto index = SecondaryIndex::Create(&pager);
+  ASSERT_TRUE(index.ok());
+  Rng rng(6);
+  for (int dim = 2; dim <= 5; ++dim) {
+    for (uint64_t i = 0; i < 40; ++i) {
+      const uint64_t id = static_cast<uint64_t>(dim) * 1000 + i;
+      const auto o = MakeObject(id, dim, 50, &rng);
+      ASSERT_TRUE(index.value().Put(o, o.region().Inflated(5)).ok());
+    }
+  }
+  EXPECT_EQ(index.value().Size(), 160u);
+  for (int dim = 2; dim <= 5; ++dim) {
+    for (uint64_t i = 0; i < 40; ++i) {
+      const uint64_t id = static_cast<uint64_t>(dim) * 1000 + i;
+      auto header = index.value().GetHeader(id);
+      ASSERT_TRUE(header.ok());
+      EXPECT_EQ(header.value().ubr.dim(), dim);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::pv

@@ -1,0 +1,315 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Storage engine tests: pagers (allocation, free-list reuse, I/O counters,
+// file round-trips), the record store (multi-page chains, prefix access)
+// and extensible hashing (splits, directory doubling, deletes) under load.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/storage/extendible_hash.h"
+#include "src/storage/pager.h"
+#include "src/storage/record_store.h"
+
+namespace pvdb::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pagers
+// ---------------------------------------------------------------------------
+
+TEST(InMemoryPagerTest, AllocateReadWriteRoundTrip) {
+  InMemoryPager pager;
+  auto id = pager.Allocate();
+  ASSERT_TRUE(id.ok());
+  Page w;
+  w.WriteAt<uint64_t>(0, 0xDEADBEEFULL);
+  w.WriteAt<double>(100, 3.25);
+  ASSERT_TRUE(pager.Write(id.value(), w).ok());
+  Page r;
+  ASSERT_TRUE(pager.Read(id.value(), &r).ok());
+  EXPECT_EQ(r.ReadAt<uint64_t>(0), 0xDEADBEEFULL);
+  EXPECT_EQ(r.ReadAt<double>(100), 3.25);
+}
+
+TEST(InMemoryPagerTest, CountersTrackOperations) {
+  InMemoryPager pager;
+  auto id = pager.Allocate();
+  ASSERT_TRUE(id.ok());
+  Page p;
+  ASSERT_TRUE(pager.Write(id.value(), p).ok());
+  ASSERT_TRUE(pager.Read(id.value(), &p).ok());
+  ASSERT_TRUE(pager.Read(id.value(), &p).ok());
+  EXPECT_EQ(pager.metrics().Get(PagerCounters::kAllocs), 1);
+  EXPECT_EQ(pager.metrics().Get(PagerCounters::kWrites), 1);
+  EXPECT_EQ(pager.metrics().Get(PagerCounters::kReads), 2);
+}
+
+TEST(InMemoryPagerTest, FreeReusesPages) {
+  InMemoryPager pager;
+  auto a = pager.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(pager.Free(a.value()).ok());
+  EXPECT_EQ(pager.LivePageCount(), 0u);
+  auto b = pager.Allocate();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value()) << "freed page id must be reused";
+  // Reused page must come back zeroed.
+  Page p;
+  ASSERT_TRUE(pager.Read(b.value(), &p).ok());
+  EXPECT_EQ(p.ReadAt<uint64_t>(0), 0u);
+}
+
+TEST(InMemoryPagerTest, InvalidAccessRejected) {
+  InMemoryPager pager;
+  Page p;
+  EXPECT_FALSE(pager.Read(3, &p).ok());
+  auto id = pager.Allocate();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(pager.Free(id.value()).ok());
+  EXPECT_FALSE(pager.Read(id.value(), &p).ok());
+  EXPECT_FALSE(pager.Free(id.value()).ok());
+}
+
+TEST(FilePagerTest, PersistsAcrossPages) {
+  const std::string path = ::testing::TempDir() + "/pvdb_filepager_test.bin";
+  auto pager = FilePager::Create(path);
+  ASSERT_TRUE(pager.ok());
+  std::vector<PageId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto id = pager.value()->Allocate();
+    ASSERT_TRUE(id.ok());
+    Page p;
+    p.WriteAt<int>(0, i * 31);
+    ASSERT_TRUE(pager.value()->Write(id.value(), p).ok());
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < 10; ++i) {
+    Page p;
+    ASSERT_TRUE(pager.value()->Read(ids[static_cast<size_t>(i)], &p).ok());
+    EXPECT_EQ(p.ReadAt<int>(0), i * 31);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// RecordStore
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> MakeBlob(size_t n, uint8_t seed) {
+  std::vector<uint8_t> blob(n);
+  for (size_t i = 0; i < n; ++i) {
+    blob[i] = static_cast<uint8_t>((i * 131 + seed) & 0xFF);
+  }
+  return blob;
+}
+
+TEST(RecordStoreTest, SmallRecordRoundTrip) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  const auto blob = MakeBlob(100, 1);
+  auto ref = store.Put(blob);
+  ASSERT_TRUE(ref.ok());
+  auto back = store.Get(ref.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), blob);
+}
+
+TEST(RecordStoreTest, MultiPageRecordRoundTrip) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  // A ~16 KB record spans 4 pages of 4084-byte payloads.
+  const auto blob = MakeBlob(16000, 2);
+  auto ref = store.Put(blob);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(RecordStore::PagesNeeded(blob.size()), 4u);
+  auto back = store.Get(ref.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), blob);
+}
+
+TEST(RecordStoreTest, EmptyRecordSupported) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto ref = store.Put({});
+  ASSERT_TRUE(ref.ok());
+  auto back = store.Get(ref.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(RecordStoreTest, DeleteFreesAllPages) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto ref = store.Put(MakeBlob(20000, 3));
+  ASSERT_TRUE(ref.ok());
+  const size_t live = pager.LivePageCount();
+  EXPECT_GE(live, 5u);
+  ASSERT_TRUE(store.Delete(ref.value()).ok());
+  EXPECT_EQ(pager.LivePageCount(), 0u);
+  EXPECT_FALSE(store.Get(ref.value()).ok());
+}
+
+TEST(RecordStoreTest, UpdateInPlaceWhenSameSize) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto ref = store.Put(MakeBlob(9000, 4));
+  ASSERT_TRUE(ref.ok());
+  const auto new_blob = MakeBlob(9100, 5);  // same page count
+  ASSERT_EQ(RecordStore::PagesNeeded(9000), RecordStore::PagesNeeded(9100));
+  auto ref2 = store.Update(ref.value(), new_blob);
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_EQ(ref2.value().head, ref.value().head) << "chain must be reused";
+  auto back = store.Get(ref2.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), new_blob);
+}
+
+TEST(RecordStoreTest, UpdateReallocatesWhenGrowing) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto ref = store.Put(MakeBlob(100, 6));
+  ASSERT_TRUE(ref.ok());
+  const auto big = MakeBlob(30000, 7);
+  auto ref2 = store.Update(ref.value(), big);
+  ASSERT_TRUE(ref2.ok());
+  auto back = store.Get(ref2.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), big);
+}
+
+TEST(RecordStoreTest, PrefixReadAndWrite) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto blob = MakeBlob(12000, 8);
+  auto ref = store.Put(blob);
+  ASSERT_TRUE(ref.ok());
+
+  auto prefix = store.GetPrefix(ref.value(), 64);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.value(),
+            std::vector<uint8_t>(blob.begin(), blob.begin() + 64));
+
+  // Overwrite the prefix and confirm the tail is untouched.
+  const auto patch = MakeBlob(64, 9);
+  ASSERT_TRUE(store.WritePrefix(ref.value(), patch).ok());
+  auto back = store.Get(ref.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::equal(patch.begin(), patch.end(), back.value().begin()));
+  EXPECT_TRUE(std::equal(blob.begin() + 64, blob.end(),
+                         back.value().begin() + 64));
+}
+
+TEST(RecordStoreTest, PrefixBoundsChecked) {
+  InMemoryPager pager;
+  RecordStore store(&pager);
+  auto ref = store.Put(MakeBlob(50, 10));
+  ASSERT_TRUE(ref.ok());
+  EXPECT_FALSE(store.GetPrefix(ref.value(), 51).ok());
+  EXPECT_FALSE(store.WritePrefix(ref.value(), MakeBlob(51, 1)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ExtendibleHash
+// ---------------------------------------------------------------------------
+
+TEST(ExtendibleHashTest, PutGetDelete) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  RecordRef ref{42, 100};
+  ASSERT_TRUE(table.value().Put(7, ref).ok());
+  auto got = table.value().Get(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ref);
+  EXPECT_EQ(table.value().Size(), 1u);
+  ASSERT_TRUE(table.value().Delete(7).ok());
+  EXPECT_FALSE(table.value().Get(7).ok());
+  EXPECT_EQ(table.value().Size(), 0u);
+}
+
+TEST(ExtendibleHashTest, OverwriteKeepsSize) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table.value().Put(1, RecordRef{10, 1}).ok());
+  ASSERT_TRUE(table.value().Put(1, RecordRef{20, 2}).ok());
+  EXPECT_EQ(table.value().Size(), 1u);
+  auto got = table.value().Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().head, 20u);
+}
+
+TEST(ExtendibleHashTest, GrowsThroughSplitsAndStaysConsistent) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  std::map<uint64_t, RecordRef> model;
+  Rng rng(55);
+  const int n = 5000;  // >> bucket capacity (170), forces many splits
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key = rng.NextU64() % 100000;
+    const RecordRef ref{static_cast<PageId>(i), static_cast<uint64_t>(i * 3)};
+    ASSERT_TRUE(table.value().Put(key, ref).ok());
+    model[key] = ref;
+  }
+  EXPECT_EQ(table.value().Size(), model.size());
+  EXPECT_GT(table.value().GlobalDepth(), 3);
+  EXPECT_GT(table.value().BucketCount(), 8u);
+  for (const auto& [key, ref] : model) {
+    auto got = table.value().Get(key);
+    ASSERT_TRUE(got.ok()) << "missing key " << key;
+    EXPECT_EQ(got.value(), ref);
+  }
+  // Absent keys must be NotFound.
+  EXPECT_FALSE(table.value().Get(100001).ok());
+}
+
+TEST(ExtendibleHashTest, KeysEnumeratesEverything) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(table.value().Put(k, RecordRef{k, k}).ok());
+  }
+  auto keys = table.value().Keys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value().size(), 1000u);
+  std::sort(keys.value().begin(), keys.value().end());
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(keys.value()[k], k);
+}
+
+TEST(ExtendibleHashTest, DeleteUnderLoad) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(table.value().Put(k, RecordRef{k, 1}).ok());
+  }
+  for (uint64_t k = 0; k < 2000; k += 2) {
+    ASSERT_TRUE(table.value().Delete(k).ok());
+  }
+  EXPECT_EQ(table.value().Size(), 1000u);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    EXPECT_EQ(table.value().Get(k).ok(), k % 2 == 1);
+  }
+}
+
+TEST(ExtendibleHashTest, LookupIsSinglePageRead) {
+  InMemoryPager pager;
+  auto table = ExtendibleHash::Create(&pager);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(table.value().Put(k, RecordRef{k, 1}).ok());
+  }
+  const int64_t before = pager.metrics().Get(PagerCounters::kReads);
+  ASSERT_TRUE(table.value().Get(1234).ok());
+  EXPECT_EQ(pager.metrics().Get(PagerCounters::kReads) - before, 1)
+      << "extensible hashing must answer lookups with one bucket read";
+}
+
+}  // namespace
+}  // namespace pvdb::storage

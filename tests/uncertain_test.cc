@@ -1,0 +1,256 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Tests for the uncertain data model and the data generators: pdf
+// construction, serialization round-trips, dataset bookkeeping, and the
+// statistical/shape properties of the synthetic and real-simulacrum
+// generators (Section VII-A parameterization).
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/uncertain/datagen.h"
+#include "src/uncertain/dataset.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::uncertain {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UncertainObject
+// ---------------------------------------------------------------------------
+
+TEST(UncertainObjectTest, UniformSampledStaysInRegionAndNormalizes) {
+  Rng rng(1);
+  const geom::Rect region(geom::Point{10, 20}, geom::Point{14, 26});
+  const auto o = UncertainObject::UniformSampled(7, region, 500, &rng);
+  EXPECT_EQ(o.id(), 7u);
+  EXPECT_EQ(o.dim(), 2);
+  EXPECT_EQ(o.pdf().size(), 500u);
+  double total = 0;
+  for (const auto& inst : o.pdf()) {
+    EXPECT_TRUE(region.Contains(inst.position));
+    total += inst.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(UncertainObjectTest, GaussianSampledTruncatedToRegion) {
+  Rng rng(2);
+  const geom::Point center{50, 50, 50};
+  const geom::Rect region =
+      geom::Rect::FromCenterHalfWidths(center, geom::Point{5, 5, 5});
+  const auto o = UncertainObject::GaussianSampled(9, center, 2.0, region, 400,
+                                                  &rng);
+  double total = 0;
+  geom::Point mean(3);
+  for (const auto& inst : o.pdf()) {
+    EXPECT_TRUE(region.Contains(inst.position));
+    total += inst.probability;
+    for (int i = 0; i < 3; ++i) mean[i] += inst.position[i] / 400.0;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Sample mean close to the Gaussian center.
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(mean[i], 50.0, 0.5);
+}
+
+TEST(UncertainObjectTest, MeanPositionIsRegionCenter) {
+  Rng rng(3);
+  const geom::Rect region(geom::Point{0, 0}, geom::Point{4, 8});
+  const auto o = UncertainObject::UniformSampled(1, region, 10, &rng);
+  EXPECT_EQ(o.MeanPosition(), (geom::Point{2, 4}));
+}
+
+TEST(UncertainObjectTest, SerializationRoundTrip) {
+  Rng rng(4);
+  for (int dim = 2; dim <= 5; ++dim) {
+    const geom::Rect region = geom::Rect::Cube(dim, 10, 20);
+    const auto o = UncertainObject::UniformSampled(123, region, 50, &rng);
+    std::vector<uint8_t> bytes;
+    o.AppendTo(&bytes);
+    size_t offset = 0;
+    auto back = UncertainObject::ParseFrom(bytes, &offset);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(offset, bytes.size());
+    EXPECT_EQ(back.value().id(), o.id());
+    EXPECT_EQ(back.value().region(), o.region());
+    ASSERT_EQ(back.value().pdf().size(), o.pdf().size());
+    for (size_t i = 0; i < o.pdf().size(); ++i) {
+      EXPECT_EQ(back.value().pdf()[i].position, o.pdf()[i].position);
+      EXPECT_EQ(back.value().pdf()[i].probability, o.pdf()[i].probability);
+    }
+  }
+}
+
+TEST(UncertainObjectTest, ParseRejectsTruncation) {
+  Rng rng(5);
+  const auto o = UncertainObject::UniformSampled(
+      1, geom::Rect::Cube(3, 0, 1), 10, &rng);
+  std::vector<uint8_t> bytes;
+  o.AppendTo(&bytes);
+  bytes.resize(bytes.size() / 2);
+  size_t offset = 0;
+  EXPECT_FALSE(UncertainObject::ParseFrom(bytes, &offset).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, AddFindRemove) {
+  Rng rng(6);
+  Dataset db(geom::Rect::Cube(2, 0, 100));
+  ASSERT_TRUE(db.Add(UncertainObject::UniformSampled(
+                        1, geom::Rect::Cube(2, 10, 12), 5, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(UncertainObject::UniformSampled(
+                        2, geom::Rect::Cube(2, 20, 22), 5, &rng))
+                  .ok());
+  EXPECT_EQ(db.size(), 2u);
+  ASSERT_NE(db.Find(1), nullptr);
+  EXPECT_EQ(db.Find(1)->id(), 1u);
+  EXPECT_EQ(db.Find(3), nullptr);
+  ASSERT_TRUE(db.Remove(1).ok());
+  EXPECT_EQ(db.Find(1), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_FALSE(db.Remove(1).ok());
+}
+
+TEST(DatasetTest, RejectsDuplicatesAndEscapees) {
+  Rng rng(7);
+  Dataset db(geom::Rect::Cube(2, 0, 100));
+  ASSERT_TRUE(db.Add(UncertainObject::UniformSampled(
+                        1, geom::Rect::Cube(2, 10, 12), 5, &rng))
+                  .ok());
+  EXPECT_EQ(db.Add(UncertainObject::UniformSampled(
+                      1, geom::Rect::Cube(2, 20, 22), 5, &rng))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.Add(UncertainObject::UniformSampled(
+                      9, geom::Rect::Cube(2, 90, 120), 5, &rng))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Dimension mismatch.
+  EXPECT_EQ(db.Add(UncertainObject::UniformSampled(
+                      10, geom::Rect::Cube(3, 10, 12), 5, &rng))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, SwapRemoveKeepsIndexConsistent) {
+  Rng rng(8);
+  Dataset db(geom::Rect::Cube(2, 0, 1000));
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db.Add(UncertainObject::UniformSampled(
+                  i, geom::Rect::Cube(2, 10.0 * i, 10.0 * i + 5), 3, &rng))
+            .ok());
+  }
+  // Remove every third object and verify the rest are still findable.
+  for (uint64_t i = 0; i < 50; i += 3) ASSERT_TRUE(db.Remove(i).ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(db.Find(i), nullptr);
+    } else {
+      ASSERT_NE(db.Find(i), nullptr);
+      EXPECT_EQ(db.Find(i)->id(), i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(DatagenTest, SyntheticMatchesParameterization) {
+  SyntheticOptions options;
+  options.dim = 3;
+  options.count = 500;
+  options.max_region_extent = 40;
+  options.samples_per_object = 20;
+  options.seed = 99;
+  const Dataset db = GenerateSynthetic(options);
+  EXPECT_EQ(db.size(), 500u);
+  EXPECT_EQ(db.dim(), 3);
+  EXPECT_EQ(db.domain(), geom::Rect::Cube(3, 0, 10000));
+  for (const auto& o : db.objects()) {
+    EXPECT_TRUE(db.domain().ContainsRect(o.region()));
+    EXPECT_EQ(o.pdf().size(), 20u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_LE(o.region().Side(i), 40.0 + 1e-9);
+    }
+  }
+}
+
+TEST(DatagenTest, SyntheticIsDeterministicPerSeed) {
+  SyntheticOptions options;
+  options.count = 50;
+  options.samples_per_object = 5;
+  const Dataset a = GenerateSynthetic(options);
+  const Dataset b = GenerateSynthetic(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.objects()[i].region(), b.objects()[i].region());
+  }
+  options.seed += 1;
+  const Dataset c = GenerateSynthetic(options);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    same += a.objects()[i].region() == c.objects()[i].region();
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(DatagenTest, RealSimulacraCardinalitiesAndDims) {
+  RealDataOptions options;
+  options.scale = 0.01;
+  options.samples_per_object = 10;
+  const Dataset roads = GenerateRealLike(RealDataset::kRoads, options);
+  EXPECT_EQ(roads.dim(), 2);
+  EXPECT_NEAR(static_cast<double>(roads.size()), 300.0, 16.0);
+  const Dataset rrlines = GenerateRealLike(RealDataset::kRRLines, options);
+  EXPECT_EQ(rrlines.dim(), 2);
+  EXPECT_NEAR(static_cast<double>(rrlines.size()), 360.0, 16.0);
+  const Dataset airports = GenerateRealLike(RealDataset::kAirports, options);
+  EXPECT_EQ(airports.dim(), 3);
+  EXPECT_EQ(airports.size(), 200u);
+}
+
+TEST(DatagenTest, RoadsAreSpatiallySkewed) {
+  // Clustered data: the variance of object counts over a coarse grid must
+  // clearly exceed a uniform layout's (index of dispersion >> 1).
+  RealDataOptions options;
+  options.scale = 0.05;
+  options.samples_per_object = 5;
+  const Dataset roads = GenerateRealLike(RealDataset::kRoads, options);
+  constexpr int kGrid = 8;
+  double counts[kGrid][kGrid] = {};
+  for (const auto& o : roads.objects()) {
+    const auto c = o.MeanPosition();
+    const int gx = std::min(kGrid - 1, static_cast<int>(c[0] / (10000.0 / kGrid)));
+    const int gy = std::min(kGrid - 1, static_cast<int>(c[1] / (10000.0 / kGrid)));
+    counts[gx][gy] += 1;
+  }
+  const double mean = static_cast<double>(roads.size()) / (kGrid * kGrid);
+  double var = 0;
+  for (auto& row : counts) {
+    for (double c : row) var += (c - mean) * (c - mean);
+  }
+  var /= kGrid * kGrid;
+  EXPECT_GT(var / mean, 3.0) << "roads simulacrum should be clustered";
+}
+
+TEST(DatagenTest, AirportsRegionsAreGpsSpheresMbrs) {
+  RealDataOptions options;
+  options.scale = 0.01;
+  options.samples_per_object = 5;
+  const Dataset airports = GenerateRealLike(RealDataset::kAirports, options);
+  for (const auto& o : airports.objects()) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(o.region().Side(i), 10.0, 1e-9)
+          << "10m-radius GPS sphere MBR";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvdb::uncertain

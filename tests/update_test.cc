@@ -1,0 +1,248 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Incremental PV-index maintenance (Section VI-B): after any sequence of
+// insertions and deletions, query answers must equal both the brute-force
+// oracle and a from-scratch rebuild; UBRs must respect the Lemma-9
+// monotonicity; Lemma-8 filtering must keep the affected set a subset of
+// the candidates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+std::vector<uncertain::ObjectId> SortedIds(
+    std::vector<uncertain::ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void ExpectAnswersMatchOracle(const PvIndex& index,
+                              const uncertain::Dataset& db, int queries,
+                              uint64_t seed) {
+  Rng rng(seed);
+  const int dim = db.dim();
+  for (int q = 0; q < queries; ++q) {
+    geom::Point query(dim);
+    for (int i = 0; i < dim; ++i) {
+      query[i] = rng.NextUniform(db.domain().lo(i), db.domain().hi(i));
+    }
+    auto got = index.QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(SortedIds(got.value()), Step1BruteForce(db, query))
+        << "query " << query.ToString();
+  }
+}
+
+struct UpdateFixture {
+  UpdateFixture(int dim, size_t count, uint64_t seed) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = dim;
+    synth.count = count;
+    synth.samples_per_object = 6;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+    pager = std::make_unique<storage::InMemoryPager>();
+    auto built = PvIndex::Build(*db, pager.get(), PvIndexOptions{});
+    PVDB_CHECK(built.ok());
+    index = std::move(built).value();
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  std::unique_ptr<storage::InMemoryPager> pager;
+  std::unique_ptr<PvIndex> index;
+};
+
+TEST(UpdateTest, DeletionKeepsAnswersExact) {
+  UpdateFixture fx(3, 250, /*seed=*/1);
+  Rng rng(2);
+  std::vector<uncertain::ObjectId> ids = fx.db->Ids();
+  rng.Shuffle(&ids);
+  for (int k = 0; k < 30; ++k) {
+    const uncertain::ObjectId victim = ids[static_cast<size_t>(k)];
+    const uncertain::UncertainObject removed = *fx.db->Find(victim);
+    ASSERT_TRUE(fx.db->Remove(victim).ok());
+    UpdateStats stats;
+    ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed, &stats).ok());
+    EXPECT_LE(stats.affected, stats.candidates);
+    if (k % 10 == 9) {
+      ExpectAnswersMatchOracle(*fx.index, *fx.db, 25,
+                               100 + static_cast<uint64_t>(k));
+    }
+  }
+  ExpectAnswersMatchOracle(*fx.index, *fx.db, 50, 999);
+}
+
+TEST(UpdateTest, InsertionKeepsAnswersExact) {
+  UpdateFixture fx(3, 200, /*seed=*/3);
+  Rng rng(4);
+  for (int k = 0; k < 30; ++k) {
+    const auto id = static_cast<uncertain::ObjectId>(10000 + k);
+    geom::Point c(3);
+    for (int i = 0; i < 3; ++i) c[i] = rng.NextUniform(100, 9900);
+    const auto obj = uncertain::UncertainObject::UniformSampled(
+        id, geom::Rect::FromCenterHalfWidths(c, geom::Point{8, 8, 8}), 6,
+        &rng);
+    ASSERT_TRUE(fx.db->Add(obj).ok());
+    UpdateStats stats;
+    ASSERT_TRUE(fx.index->InsertObject(*fx.db, id, &stats).ok());
+    EXPECT_LE(stats.affected, stats.candidates);
+    if (k % 10 == 9) {
+      ExpectAnswersMatchOracle(*fx.index, *fx.db, 25,
+                               200 + static_cast<uint64_t>(k));
+    }
+  }
+  ExpectAnswersMatchOracle(*fx.index, *fx.db, 50, 998);
+}
+
+TEST(UpdateTest, MixedChurnMatchesRebuild) {
+  UpdateFixture fx(2, 150, /*seed=*/5);
+  Rng rng(6);
+  uint64_t next_id = 100000;
+  for (int round = 0; round < 60; ++round) {
+    if (fx.db->size() > 20 && rng.NextBool(0.5)) {
+      const auto ids = fx.db->Ids();
+      const auto victim =
+          ids[static_cast<size_t>(rng.NextBounded(ids.size()))];
+      const uncertain::UncertainObject removed = *fx.db->Find(victim);
+      ASSERT_TRUE(fx.db->Remove(victim).ok());
+      ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed).ok());
+    } else {
+      geom::Point c(2);
+      for (int i = 0; i < 2; ++i) c[i] = rng.NextUniform(100, 9900);
+      const auto obj = uncertain::UncertainObject::UniformSampled(
+          next_id, geom::Rect::FromCenterHalfWidths(c, geom::Point{10, 10}),
+          6, &rng);
+      ASSERT_TRUE(fx.db->Add(obj).ok());
+      ASSERT_TRUE(fx.index->InsertObject(*fx.db, next_id).ok());
+      ++next_id;
+    }
+  }
+
+  // Compare against a from-scratch rebuild on the final database.
+  storage::InMemoryPager rebuild_pager;
+  auto rebuilt = PvIndex::Build(*fx.db, &rebuild_pager, PvIndexOptions{});
+  ASSERT_TRUE(rebuilt.ok());
+  Rng rng2(7);
+  for (int q = 0; q < 60; ++q) {
+    geom::Point query{rng2.NextUniform(0, 10000), rng2.NextUniform(0, 10000)};
+    auto inc = fx.index->QueryPossibleNN(query);
+    auto reb = rebuilt.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(inc.ok());
+    ASSERT_TRUE(reb.ok());
+    EXPECT_EQ(SortedIds(inc.value()), SortedIds(reb.value()));
+    EXPECT_EQ(SortedIds(inc.value()), Step1BruteForce(*fx.db, query));
+  }
+}
+
+TEST(UpdateTest, DeletionGrowsUbrsMonotonically) {
+  UpdateFixture fx(2, 120, /*seed=*/8);
+  // Snapshot UBRs.
+  std::vector<std::pair<uncertain::ObjectId, geom::Rect>> before;
+  for (const auto& o : fx.db->objects()) {
+    auto ubr = fx.index->GetUbr(o.id());
+    ASSERT_TRUE(ubr.ok());
+    before.emplace_back(o.id(), ubr.value());
+  }
+  // Delete a few objects.
+  Rng rng(9);
+  auto ids = fx.db->Ids();
+  rng.Shuffle(&ids);
+  for (int k = 0; k < 10; ++k) {
+    const auto victim = ids[static_cast<size_t>(k)];
+    const uncertain::UncertainObject removed = *fx.db->Find(victim);
+    ASSERT_TRUE(fx.db->Remove(victim).ok());
+    ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed).ok());
+  }
+  // Lemma 9: every surviving UBR is a superset of its old self.
+  for (const auto& [id, old_ubr] : before) {
+    if (fx.db->Find(id) == nullptr) continue;
+    auto now = fx.index->GetUbr(id);
+    ASSERT_TRUE(now.ok());
+    EXPECT_TRUE(now.value().Inflated(1e-9).ContainsRect(old_ubr))
+        << "object " << id << " UBR shrank after deletions";
+  }
+}
+
+TEST(UpdateTest, InsertionShrinksUbrsMonotonically) {
+  UpdateFixture fx(2, 120, /*seed=*/10);
+  std::vector<std::pair<uncertain::ObjectId, geom::Rect>> before;
+  for (const auto& o : fx.db->objects()) {
+    auto ubr = fx.index->GetUbr(o.id());
+    ASSERT_TRUE(ubr.ok());
+    before.emplace_back(o.id(), ubr.value());
+  }
+  Rng rng(11);
+  for (int k = 0; k < 10; ++k) {
+    const auto id = static_cast<uncertain::ObjectId>(50000 + k);
+    geom::Point c(2);
+    for (int i = 0; i < 2; ++i) c[i] = rng.NextUniform(500, 9500);
+    ASSERT_TRUE(fx.db
+                    ->Add(uncertain::UncertainObject::UniformSampled(
+                        id,
+                        geom::Rect::FromCenterHalfWidths(c,
+                                                         geom::Point{10, 10}),
+                        6, &rng))
+                    .ok());
+    ASSERT_TRUE(fx.index->InsertObject(*fx.db, id).ok());
+  }
+  for (const auto& [id, old_ubr] : before) {
+    auto now = fx.index->GetUbr(id);
+    ASSERT_TRUE(now.ok());
+    EXPECT_TRUE(old_ubr.Inflated(1e-9).ContainsRect(now.value()))
+        << "object " << id << " UBR grew after insertions";
+  }
+}
+
+TEST(UpdateTest, DeleteDownToOneObject) {
+  UpdateFixture fx(2, 10, /*seed=*/12);
+  auto ids = fx.db->Ids();
+  for (size_t k = 0; k + 1 < ids.size(); ++k) {
+    const uncertain::UncertainObject removed = *fx.db->Find(ids[k]);
+    ASSERT_TRUE(fx.db->Remove(ids[k]).ok());
+    ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed).ok());
+  }
+  ASSERT_EQ(fx.db->size(), 1u);
+  // The survivor's PV-cell is the whole domain again.
+  auto got = fx.index->QueryPossibleNN(geom::Point{9999, 1});
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), 1u);
+  EXPECT_EQ(got.value()[0], ids.back());
+}
+
+TEST(UpdateTest, ApiMisuseRejected) {
+  UpdateFixture fx(2, 20, /*seed=*/13);
+  // InsertObject without the object in db_after.
+  EXPECT_EQ(fx.index->InsertObject(*fx.db, 777777).code(),
+            StatusCode::kInvalidArgument);
+  // DeleteObject while db_after still contains the object.
+  const auto& o = fx.db->objects()[0];
+  EXPECT_EQ(fx.index->DeleteObject(*fx.db, o).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(UpdateTest, UpdateStatsTimingsPopulated) {
+  UpdateFixture fx(3, 150, /*seed=*/14);
+  Rng rng(15);
+  const auto ids = fx.db->Ids();
+  const auto victim = ids[3];
+  const uncertain::UncertainObject removed = *fx.db->Find(victim);
+  ASSERT_TRUE(fx.db->Remove(victim).ok());
+  UpdateStats stats;
+  ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed, &stats).ok());
+  EXPECT_GT(stats.total_ms, 0.0);
+  EXPECT_GE(stats.candidates, stats.affected);
+  EXPECT_GE(stats.total_ms, stats.se_ms);
+}
+
+}  // namespace
+}  // namespace pvdb::pv

@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// UV baseline tests ([9] substitute, see DESIGN.md §4): circle geometry,
+// conservative cell covers, index answer-set equality with the brute-force
+// oracle on 2D data, 2D-only enforcement, and the construction-cost
+// relationship vs the PV-index that Figure 10(g) relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+#include "src/uv/uv_cell.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb::uv {
+namespace {
+
+TEST(UvCellTest, CircumscribeCoversRectangle) {
+  const geom::Rect r(geom::Point{0, 0}, geom::Point{6, 8});
+  const Circle c = Circumscribe(r);
+  EXPECT_EQ(c.center, (geom::Point{3, 4}));
+  EXPECT_DOUBLE_EQ(c.radius, 5.0);
+  // Every corner lies on/in the circle.
+  for (unsigned mask = 0; mask < 4; ++mask) {
+    EXPECT_LE(r.Corner(mask).DistanceTo(c.center), c.radius + 1e-12);
+  }
+}
+
+TEST(UvCellTest, CirclePointPredicateMatchesDistances) {
+  const Circle o{geom::Point{100, 100}, 10};
+  const std::vector<Circle> others{{geom::Point{300, 100}, 5}};
+  // Near o: possible. Past the midline (shifted by the radii): impossible.
+  EXPECT_TRUE(CirclePointPossiblyNearest(o, others, geom::Point{120, 100}));
+  EXPECT_FALSE(CirclePointPossiblyNearest(o, others, geom::Point{290, 100}));
+}
+
+struct UvFixture {
+  explicit UvFixture(size_t count, uint64_t seed, int samples = 6) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = 2;
+    synth.count = count;
+    synth.samples_per_object = samples;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+  }
+  std::unique_ptr<uncertain::Dataset> db;
+};
+
+TEST(UvCellTest, CoverContainsRectSemanticsCell) {
+  // The circle-based cover must contain every point where o is possibly
+  // nearest under the *rectangle* semantics (circles only loosen bounds).
+  UvFixture fx(50, /*seed=*/21);
+  UvCellOptions options;
+  options.rays = 16;  // cheap probe; correctness comes from the cover
+  for (size_t pick = 0; pick < 5; ++pick) {
+    const auto& o = fx.db->objects()[pick * 9];
+    std::vector<geom::Rect> others;
+    for (const auto& other : fx.db->objects()) {
+      if (other.id() != o.id()) others.push_back(other.region());
+    }
+    const UvCover cover =
+        ComputeUvCover(o, others, fx.db->domain(), options);
+    ASSERT_FALSE(cover.cells.empty());
+    EXPECT_TRUE(cover.mbr.ContainsRect(o.region()));
+
+    Rng rng(22);
+    auto covered = [&](const geom::Point& p) {
+      for (const auto& cell : cover.cells) {
+        if (cell.Contains(p)) return true;
+      }
+      return false;
+    };
+    for (int s = 0; s < 3000; ++s) {
+      const geom::Point p{rng.NextUniform(0, 10000),
+                          rng.NextUniform(0, 10000)};
+      if (geom::PointPossiblyNearest(o.region(), others, p)) {
+        EXPECT_TRUE(covered(p))
+            << "possibly-nearest point escaped the UV cover";
+      }
+    }
+  }
+}
+
+TEST(UvCellTest, CoverCellsAreDisjointAndWithinDomain) {
+  UvFixture fx(40, /*seed=*/23);
+  const auto& o = fx.db->objects()[0];
+  std::vector<geom::Rect> others;
+  for (const auto& other : fx.db->objects()) {
+    if (other.id() != o.id()) others.push_back(other.region());
+  }
+  UvCellOptions options;
+  options.rays = 8;
+  const UvCover cover = ComputeUvCover(o, others, fx.db->domain(), options);
+  for (size_t i = 0; i < cover.cells.size(); ++i) {
+    EXPECT_TRUE(fx.db->domain().ContainsRect(cover.cells[i]));
+    for (size_t j = i + 1; j < cover.cells.size(); ++j) {
+      EXPECT_FALSE(cover.cells[i].InteriorIntersects(cover.cells[j]));
+    }
+  }
+}
+
+TEST(UvIndexTest, RejectsNon2D) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = 10;
+  synth.samples_per_object = 3;
+  const auto db = uncertain::GenerateSynthetic(synth);
+  storage::InMemoryPager pager;
+  EXPECT_EQ(UvIndex::Build(db, &pager, UvIndexOptions{}).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(UvIndexTest, Step1MatchesBruteForce) {
+  UvFixture fx(250, /*seed=*/24);
+  storage::InMemoryPager pager;
+  UvIndexOptions options;
+  options.cell.rays = 32;  // keep the test fast
+  auto index = UvIndex::Build(*fx.db, &pager, options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(25);
+  for (int q = 0; q < 80; ++q) {
+    const geom::Point query{rng.NextUniform(0, 10000),
+                            rng.NextUniform(0, 10000)};
+    auto got = index.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), pv::Step1BruteForce(*fx.db, query))
+        << "query " << query.ToString();
+  }
+}
+
+TEST(UvIndexTest, AgreesWithPvIndex) {
+  UvFixture fx(200, /*seed=*/26);
+  storage::InMemoryPager uv_pager, pv_pager;
+  UvIndexOptions uv_options;
+  uv_options.cell.rays = 32;
+  auto uv_index = UvIndex::Build(*fx.db, &uv_pager, uv_options);
+  ASSERT_TRUE(uv_index.ok());
+  auto pv_index = pv::PvIndex::Build(*fx.db, &pv_pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(pv_index.ok());
+  Rng rng(27);
+  for (int q = 0; q < 60; ++q) {
+    const geom::Point query{rng.NextUniform(0, 10000),
+                            rng.NextUniform(0, 10000)};
+    auto a = uv_index.value()->QueryPossibleNN(query);
+    auto b = pv_index.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto ids = b.value();
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(a.value(), ids);
+  }
+}
+
+TEST(UvIndexTest, ConstructionCostlierThanPv) {
+  // The cost-structure property behind Figure 10(g): per-object boundary
+  // geometry (UV) is an order of magnitude above SE's slab tests (PV).
+  UvFixture fx(150, /*seed=*/28);
+  storage::InMemoryPager uv_pager, pv_pager;
+  UvBuildStats uv_stats;
+  auto uv_index =
+      UvIndex::Build(*fx.db, &uv_pager, UvIndexOptions{}, &uv_stats);
+  ASSERT_TRUE(uv_index.ok());
+  pv::BuildStats pv_stats;
+  auto pv_index = pv::PvIndex::Build(*fx.db, &pv_pager, pv::PvIndexOptions{},
+                                     &pv_stats);
+  ASSERT_TRUE(pv_index.ok());
+  EXPECT_GT(uv_stats.total_ms, 2.0 * pv_stats.total_ms)
+      << "UV construction should be clearly slower (paper: 15-25x)";
+}
+
+}  // namespace
+}  // namespace pvdb::uv

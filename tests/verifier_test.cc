@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Probabilistic-verifier tests ([11] Step-2 accelerator): bounds must
+// bracket the exact probabilities, threshold answers must match exact
+// evaluation for every τ, and the bounds must actually decide most
+// candidates (the point of the verifier).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/verifier.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+struct VerifierFixture {
+  VerifierFixture(size_t count, uint64_t seed, int samples = 300) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = 2;
+    synth.count = count;
+    synth.samples_per_object = samples;
+    synth.max_region_extent = 400;  // overlapping candidates
+    synth.domain_hi = 1000;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+  }
+  std::unique_ptr<uncertain::Dataset> db;
+};
+
+TEST(VerifierTest, BoundsBracketExactProbabilities) {
+  VerifierFixture fx(40, /*seed=*/1);
+  PnnStep2Evaluator exact(fx.db.get());
+  for (int bins : {1, 4, 8, 32}) {
+    ProbabilisticVerifier verifier(fx.db.get(), VerifierOptions{bins});
+    Rng rng(2);
+    for (int q = 0; q < 15; ++q) {
+      const geom::Point query{rng.NextUniform(0, 1000),
+                              rng.NextUniform(0, 1000)};
+      const auto candidates = Step1BruteForce(*fx.db, query);
+      const auto bounds = verifier.Bounds(query, candidates);
+      const auto exact_results = exact.Evaluate(query, candidates);
+      for (const auto& b : bounds) {
+        double p = 0.0;  // dropped results have exact probability 0
+        for (const auto& r : exact_results) {
+          if (r.id == b.id) p = r.probability;
+        }
+        EXPECT_LE(b.lower, p + 1e-9)
+            << "bins=" << bins << " object " << b.id;
+        EXPECT_GE(b.upper, p - 1e-9)
+            << "bins=" << bins << " object " << b.id;
+      }
+    }
+  }
+}
+
+TEST(VerifierTest, MoreBinsTightenBounds) {
+  VerifierFixture fx(25, /*seed=*/3);
+  const geom::Point query{500, 500};
+  const auto candidates = Step1BruteForce(*fx.db, query);
+  double prev_gap = std::numeric_limits<double>::infinity();
+  for (int bins : {1, 4, 16, 64}) {
+    ProbabilisticVerifier verifier(fx.db.get(), VerifierOptions{bins});
+    const auto bounds = verifier.Bounds(query, candidates);
+    double gap = 0.0;
+    for (const auto& b : bounds) gap += b.upper - b.lower;
+    EXPECT_LE(gap, prev_gap + 1e-9) << "bins=" << bins;
+    prev_gap = gap;
+  }
+}
+
+TEST(VerifierTest, ThresholdAnswersMatchExact) {
+  VerifierFixture fx(35, /*seed=*/4);
+  PnnStep2Evaluator exact(fx.db.get());
+  ProbabilisticVerifier verifier(fx.db.get());
+  Rng rng(5);
+  for (double tau : {0.05, 0.2, 0.5, 0.9}) {
+    for (int q = 0; q < 10; ++q) {
+      const geom::Point query{rng.NextUniform(0, 1000),
+                              rng.NextUniform(0, 1000)};
+      const auto candidates = Step1BruteForce(*fx.db, query);
+      const auto via_verifier =
+          verifier.EvaluateThreshold(query, candidates, tau);
+      std::set<uncertain::ObjectId> expected;
+      for (const auto& r : exact.Evaluate(query, candidates)) {
+        if (r.probability >= tau) expected.insert(r.id);
+      }
+      std::set<uncertain::ObjectId> got;
+      for (const auto& r : via_verifier) got.insert(r.id);
+      EXPECT_EQ(got, expected) << "tau=" << tau;
+    }
+  }
+}
+
+TEST(VerifierTest, BoundsDecideMostCandidates) {
+  VerifierFixture fx(40, /*seed=*/6);
+  ProbabilisticVerifier verifier(fx.db.get(),
+                                 VerifierOptions{/*bins=*/16});
+  Rng rng(7);
+  int decided = 0, total = 0;
+  for (int q = 0; q < 20; ++q) {
+    const geom::Point query{rng.NextUniform(0, 1000),
+                            rng.NextUniform(0, 1000)};
+    const auto candidates = Step1BruteForce(*fx.db, query);
+    VerifierStats stats;
+    verifier.EvaluateThreshold(query, candidates, 0.3, &stats);
+    decided += stats.accepted_by_bounds + stats.rejected_by_bounds;
+    total += static_cast<int>(candidates.size());
+  }
+  EXPECT_GT(decided * 2, total)
+      << "verifier bounds should decide the majority of candidates";
+}
+
+TEST(VerifierTest, AcceptedBoundCertifiesThreshold) {
+  VerifierFixture fx(30, /*seed=*/8);
+  PnnStep2Evaluator exact(fx.db.get());
+  ProbabilisticVerifier verifier(fx.db.get());
+  const geom::Point query{400, 600};
+  const auto candidates = Step1BruteForce(*fx.db, query);
+  const double tau = 0.25;
+  const auto results = verifier.EvaluateThreshold(query, candidates, tau);
+  const auto exact_results = exact.Evaluate(query, candidates);
+  for (const auto& r : results) {
+    double p = 0.0;
+    for (const auto& e : exact_results) {
+      if (e.id == r.id) p = e.probability;
+    }
+    // Reported value never exceeds the true probability (lower bound or
+    // exact), and the true probability meets the threshold.
+    EXPECT_LE(r.probability, p + 1e-9);
+    EXPECT_GE(p, tau - 1e-9);
+  }
+}
+
+TEST(VerifierTest, SingleCandidateTrivial) {
+  VerifierFixture fx(1, /*seed=*/9);
+  ProbabilisticVerifier verifier(fx.db.get());
+  const auto id = fx.db->objects()[0].id();
+  const std::vector<uncertain::ObjectId> candidates{id};
+  const auto bounds = verifier.Bounds(geom::Point{1, 1}, candidates);
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_NEAR(bounds[0].lower, 1.0, 1e-9);
+  EXPECT_NEAR(bounds[0].upper, 1.0, 1e-9);
+  VerifierStats stats;
+  const auto results =
+      verifier.EvaluateThreshold(geom::Point{1, 1}, candidates, 0.99, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(stats.accepted_by_bounds, 1);
+  EXPECT_EQ(stats.exact_fallbacks, 0);
+}
+
+}  // namespace
+}  // namespace pvdb::pv

@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Figure 1(a) reduction: "when the objects in S are certain points, V(o)
+// reduces to a Voronoi cell of o". With degenerate (point) uncertainty
+// regions the whole PV machinery must behave as an exact nearest-neighbor
+// index: UBRs bound classical Voronoi cells, Step 1 returns exactly the
+// nearest neighbor, and qualification probabilities collapse to 1.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/pv/se.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb {
+namespace {
+
+// A certain object: point region, single instance with probability 1.
+uncertain::UncertainObject MakeCertain(uncertain::ObjectId id,
+                                       const geom::Point& p) {
+  return uncertain::UncertainObject(id, geom::Rect::FromPoint(p),
+                                    {uncertain::Instance{p, 1.0}});
+}
+
+struct PointFixture {
+  PointFixture(int dim, size_t count, uint64_t seed)
+      : db(geom::Rect::Cube(dim, 0, 1000)) {
+    Rng rng(seed);
+    for (uncertain::ObjectId i = 0; i < count; ++i) {
+      geom::Point p(dim);
+      for (int k = 0; k < dim; ++k) p[k] = rng.NextUniform(5, 995);
+      points.push_back(p);
+      PVDB_CHECK(db.Add(MakeCertain(i, p)).ok());
+    }
+  }
+
+  uncertain::ObjectId TrueNearest(const geom::Point& q) const {
+    uncertain::ObjectId best = uncertain::kInvalidObjectId;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double d = points[i].DistanceSqTo(q);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<uncertain::ObjectId>(i);
+      }
+    }
+    return best;
+  }
+
+  uncertain::Dataset db;
+  std::vector<geom::Point> points;
+};
+
+class VoronoiReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoronoiReductionTest, Step1ReturnsExactNearestNeighbor) {
+  const int dim = GetParam();
+  PointFixture fx(dim, 200, /*seed=*/60 + static_cast<uint64_t>(dim));
+  storage::InMemoryPager pager;
+  auto index = pv::PvIndex::Build(fx.db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(index.ok());
+  Rng rng(61);
+  for (int q = 0; q < 150; ++q) {
+    geom::Point query(dim);
+    for (int k = 0; k < dim; ++k) query[k] = rng.NextUniform(0, 1000);
+    auto got = index.value()->QueryPossibleNN(query);
+    ASSERT_TRUE(got.ok());
+    // For certain points minmax pruning keeps exactly the true NN
+    // (general position: ties are measure-zero under random draws).
+    ASSERT_EQ(got.value().size(), 1u);
+    EXPECT_EQ(got.value()[0], fx.TrueNearest(query));
+  }
+}
+
+TEST_P(VoronoiReductionTest, UbrContainsSampledVoronoiCell) {
+  const int dim = GetParam();
+  PointFixture fx(dim, 60, /*seed=*/70 + static_cast<uint64_t>(dim));
+  pv::SeAlgorithm se(fx.db.domain(), pv::SeOptions{});
+  // Build each object's UBR against the full database (C-set = S).
+  Rng rng(71);
+  for (size_t pick = 0; pick < 6; ++pick) {
+    const auto& o = fx.db.objects()[pick * 9];
+    std::vector<geom::Rect> others;
+    for (const auto& other : fx.db.objects()) {
+      if (other.id() != o.id()) others.push_back(other.region());
+    }
+    const geom::Rect ubr = se.ComputeUbr(o, others);
+    // Sample the classical Voronoi cell of o's point.
+    for (int s = 0; s < 4000; ++s) {
+      geom::Point p(dim);
+      for (int k = 0; k < dim; ++k) p[k] = rng.NextUniform(0, 1000);
+      if (fx.TrueNearest(p) == o.id()) {
+        EXPECT_TRUE(ubr.Contains(p))
+            << "Voronoi-cell point escaped the UBR (dim " << dim << ")";
+      }
+    }
+  }
+}
+
+TEST_P(VoronoiReductionTest, ProbabilitiesCollapseToCertainty) {
+  const int dim = GetParam();
+  PointFixture fx(dim, 100, /*seed=*/80 + static_cast<uint64_t>(dim));
+  pv::PnnStep2Evaluator step2(&fx.db);
+  Rng rng(81);
+  for (int q = 0; q < 40; ++q) {
+    geom::Point query(dim);
+    for (int k = 0; k < dim; ++k) query[k] = rng.NextUniform(0, 1000);
+    const auto candidates = pv::Step1BruteForce(fx.db, query);
+    const auto results = step2.Evaluate(query, candidates);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].id, fx.TrueNearest(query));
+    EXPECT_DOUBLE_EQ(results[0].probability, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VoronoiReductionTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(VoronoiReductionTest, CoLocatedPointsShareTheCell) {
+  // Two identical certain points: regions intersect, so neither constrains
+  // the other (Lemma 2) — both PV-cells stay domain-wide and both are
+  // candidates everywhere, splitting probability evenly.
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 100));
+  const geom::Point p{40, 40};
+  ASSERT_TRUE(db.Add(MakeCertain(0, p)).ok());
+  ASSERT_TRUE(db.Add(MakeCertain(1, p)).ok());
+  storage::InMemoryPager pager;
+  auto index = pv::PvIndex::Build(db, &pager, pv::PvIndexOptions{});
+  ASSERT_TRUE(index.ok());
+  for (uncertain::ObjectId id : {0u, 1u}) {
+    auto ubr = index.value()->GetUbr(id);
+    ASSERT_TRUE(ubr.ok());
+    EXPECT_EQ(ubr.value(), db.domain());
+  }
+  auto got = index.value()->QueryPossibleNN(geom::Point{90, 10});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pvdb
