@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Serving-path throughput: batched PNNQ over the PV-index through the
+// QueryEngine, swept over batch size {1, 64, 1024} × thread count {1, 4, 8}
+// on a 10k-object synthetic database. Emits a JSON array of
+// {batch, threads, qps, p50_ms, p99_ms, cache_hit_rate} so later PRs have a
+// serving-path trajectory to beat; the closing summary reports the
+// 8-thread / 1-thread speedup at the largest batch (expected > 2× on
+// machines with >= 8 hardware threads; ~1× on single-core containers,
+// where no wall-clock parallelism exists — see the hardware-threads line).
+//
+//   $ ./bench_service_throughput [--smoke]
+//
+// --smoke shrinks the dataset and query count for CI bitrot checks.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/pv/pv_index.h"
+#include "src/service/query_engine.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+
+namespace {
+
+using namespace pvdb;
+
+struct ConfigResult {
+  size_t batch;
+  int threads;
+  double qps;
+  double p50_ms;
+  double p99_ms;
+  double cache_hit_rate;
+};
+
+ConfigResult RunConfig(uncertain::Dataset* db, pv::PvIndex* index,
+                       const std::vector<geom::Point>& queries, size_t batch,
+                       int threads) {
+  service::QueryEngineOptions options;
+  options.threads = threads;
+  options.backend_override = service::BackendKind::kPvIndex;
+  service::EngineBackends backends;
+  backends.pv = index;
+  auto engine = service::QueryEngine::Create(db, backends, options).value();
+
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  int64_t hits = 0;
+  int64_t misses = 0;
+  StopWatch wall;
+  for (size_t pos = 0; pos < queries.size(); pos += batch) {
+    const size_t n = std::min(batch, queries.size() - pos);
+    service::ServiceStats stats;
+    const auto answers = engine->ExecuteBatch(
+        std::span<const geom::Point>(queries.data() + pos, n), &stats);
+    for (const auto& a : answers) {
+      if (!a.status.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", a.status.ToString().c_str());
+        std::exit(1);
+      }
+      latencies.push_back(a.latency_ms);
+    }
+    hits += stats.cache_hits;
+    misses += stats.cache_misses;
+  }
+  const double wall_s = wall.ElapsedSeconds();
+
+  ConfigResult r;
+  r.batch = batch;
+  r.threads = threads;
+  r.qps = wall_s > 0 ? static_cast<double>(queries.size()) / wall_s : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_ms = PercentileSorted(latencies, 50.0);
+  r.p99_ms = PercentileSorted(latencies, 99.0);
+  const int64_t lookups = hits + misses;
+  r.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = smoke ? 2000 : 10000;
+  synth.samples_per_object = smoke ? 50 : 200;
+  synth.seed = 42;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+
+  storage::InMemoryPager pager;
+  pv::PvIndexOptions index_options;
+  index_options.build_order = pv::BuildOrder::kMorton;
+  index_options.bulk_primary = true;
+  StopWatch build_watch;
+  auto index = pv::PvIndex::Build(db, &pager, index_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# PV-index over %zu objects built in %.0f ms\n",
+               db.size(), build_watch.ElapsedMillis());
+  std::fprintf(stderr, "# hardware threads: %u\n",
+               std::thread::hardware_concurrency());
+
+  const size_t query_count = smoke ? 512 : 4096;
+  Rng rng(7);
+  std::vector<geom::Point> queries;
+  queries.reserve(query_count);
+  for (size_t i = 0; i < query_count; ++i) {
+    geom::Point q(synth.dim);
+    for (int d = 0; d < synth.dim; ++d) {
+      q[d] = rng.NextUniform(synth.domain_lo, synth.domain_hi);
+    }
+    queries.push_back(q);
+  }
+
+  const size_t batches[] = {1, 64, 1024};
+  const int threads[] = {1, 4, 8};
+  double qps_1t_big = 0.0;
+  double qps_8t_big = 0.0;
+
+  std::printf("[\n");
+  bool first = true;
+  for (size_t batch : batches) {
+    for (int t : threads) {
+      const ConfigResult r =
+          RunConfig(&db, index.value().get(), queries, batch, t);
+      if (batch == 1024 && t == 1) qps_1t_big = r.qps;
+      if (batch == 1024 && t == 8) qps_8t_big = r.qps;
+      std::printf(
+          "%s  {\"batch\": %zu, \"threads\": %d, \"queries\": %zu, "
+          "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"cache_hit_rate\": %.4f}",
+          first ? "" : ",\n", r.batch, r.threads, queries.size(), r.qps,
+          r.p50_ms, r.p99_ms, r.cache_hit_rate);
+      first = false;
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n]\n");
+
+  if (qps_1t_big > 0.0) {
+    const double speedup = qps_8t_big / qps_1t_big;
+    std::fprintf(stderr, "# speedup batch=1024: 8 threads = %.2fx 1 thread\n",
+                 speedup);
+  }
+  return 0;
+}

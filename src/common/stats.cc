@@ -39,21 +39,53 @@ void Summary::Merge(const Summary& other) {
   sum_sq_ += other.sum_sq_;
 }
 
+MetricRegistry::MetricRegistry(MetricRegistry&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = std::move(other.counters_);
+}
+
+MetricRegistry& MetricRegistry::operator=(MetricRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  counters_ = std::move(other.counters_);
+  return *this;
+}
+
 void MetricRegistry::Increment(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 int64_t MetricRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [_, v] : counters_) v = 0;
 }
 
 std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+double PercentileSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, p);
 }
 
 }  // namespace pvdb

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,11 +42,17 @@ class Summary {
 
 /// Named monotonic counters, grouped per component instance.
 ///
-/// Not thread-safe by design: pvdb runs experiments single-threaded exactly
-/// like the paper's testbed, and counter deltas around a query must not be
-/// perturbed by other threads.
+/// Increments are guarded by an internal mutex so that the serving path
+/// (src/service/) can run concurrent queries against a shared pager or
+/// R-tree. Single-threaded experiments keep the paper's semantics: counter
+/// deltas around a query are exact when no other thread touches the same
+/// component instance.
 class MetricRegistry {
  public:
+  MetricRegistry() = default;
+  MetricRegistry(MetricRegistry&& other) noexcept;
+  MetricRegistry& operator=(MetricRegistry&& other) noexcept;
+
   /// Adds `delta` to counter `name` (creating it at zero).
   void Increment(const std::string& name, int64_t delta = 1);
 
@@ -58,8 +66,18 @@ class MetricRegistry {
   std::map<std::string, int64_t> Snapshot() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
 };
+
+/// The p-th percentile (p in [0, 100]) of an ascending-sorted sample span
+/// by linear interpolation between closest ranks; 0 when empty. Callers
+/// extracting several percentiles sort once and call this repeatedly.
+double PercentileSorted(std::span<const double> sorted, double p);
+
+/// Convenience over unsorted samples: copies, sorts, delegates. Used by the
+/// serving path for p50/p99 latency reporting.
+double Percentile(std::vector<double> samples, double p);
 
 }  // namespace pvdb
 

@@ -21,6 +21,9 @@ constexpr size_t kEntriesOffset = 16;
 
 struct OctreePrimary::Node {
   bool is_leaf = true;
+  // Stable leaf identity for the service layer's leaf-result cache; assigned
+  // at creation, retired (never reused) when the leaf splits.
+  uint64_t leaf_id = 0;
   // Leaf state: head of the page list and total entry count.
   PageId head = kInvalidPageId;
   uint32_t entry_count = 0;
@@ -37,6 +40,7 @@ OctreePrimary::OctreePrimary(geom::Rect domain, storage::Pager* pager,
   PVDB_CHECK(pager_ != nullptr);
   PVDB_CHECK(resolver_ != nullptr);
   root_ = std::make_unique<Node>();
+  root_->leaf_id = next_leaf_id_++;
   node_count_ = 1;
   leaf_count_ = 1;
   memory_used_ = NodeBytes(/*internal=*/false);
@@ -312,6 +316,7 @@ Status OctreePrimary::SplitLeaf(Node* leaf, const geom::Rect& region,
   leaf->children.resize(fanout);
   for (unsigned c = 0; c < fanout; ++c) {
     leaf->children[c] = std::make_unique<Node>();
+    leaf->children[c]->leaf_id = next_leaf_id_++;
   }
   memory_used_ += (NodeBytes(true) - NodeBytes(false)) +
                   static_cast<size_t>(fanout) * NodeBytes(false);
@@ -370,6 +375,7 @@ Status OctreePrimary::BulkBuildRec(Node* node, const geom::Rect& region,
   depth_ = std::max(depth_, node_depth + 1);
   for (unsigned c = 0; c < fanout; ++c) {
     node->children[c] = std::make_unique<Node>();
+    node->children[c]->leaf_id = next_leaf_id_++;
     const geom::Rect child_region = ChildRegion(region, c);
     std::vector<size_t> child_items;
     for (size_t i : items) {
@@ -426,7 +432,7 @@ Status OctreePrimary::RemoveRec(Node* node, const geom::Rect& region,
 // Queries
 // ---------------------------------------------------------------------------
 
-Result<std::vector<LeafEntry>> OctreePrimary::QueryPoint(
+Result<OctreePrimary::LeafRef> OctreePrimary::FindLeaf(
     const geom::Point& q) const {
   if (!domain_.Contains(q)) {
     return Status::InvalidArgument("query point outside the domain");
@@ -442,7 +448,19 @@ Result<std::vector<LeafEntry>> OctreePrimary::QueryPoint(
     region = ChildRegion(region, child);
     node = node->children[child].get();
   }
-  return ReadLeafEntries(node);
+  return LeafRef{node->leaf_id, node};
+}
+
+Result<std::vector<LeafEntry>> OctreePrimary::ReadLeaf(
+    const LeafRef& ref) const {
+  PVDB_CHECK(ref.node != nullptr && ref.node->is_leaf);
+  return ReadLeafEntries(ref.node);
+}
+
+Result<std::vector<LeafEntry>> OctreePrimary::QueryPoint(
+    const geom::Point& q) const {
+  PVDB_ASSIGN_OR_RETURN(LeafRef ref, FindLeaf(q));
+  return ReadLeafEntries(ref.node);
 }
 
 Status OctreePrimary::CollectRec(const Node* node, const geom::Rect& region,

@@ -46,6 +46,8 @@ struct LeafEntry {
 /// are owned in memory by this object.
 class OctreePrimary {
  public:
+  struct Node;
+
   /// Fetches the current UBR of an object; needed when a leaf splits and its
   /// entries must be redistributed by UBR overlap (the UBRs themselves live
   /// in the secondary index). Typically bound to SecondaryIndex::GetUbr.
@@ -105,6 +107,24 @@ class OctreePrimary {
   /// Every page of the leaf's list is read (and counted by the pager).
   Result<std::vector<LeafEntry>> QueryPoint(const geom::Point& q) const;
 
+  /// Handle to the unique leaf containing a query point: a stable id (never
+  /// reused, retired when the leaf splits) plus the node for page reads.
+  /// Invalidated by any mutation of the tree — the serving path holds a
+  /// reader lock across FindLeaf + ReadLeaf, and its leaf cache is flushed
+  /// on every index update.
+  struct LeafRef {
+    uint64_t id = 0;
+    const Node* node = nullptr;
+  };
+
+  /// Locates the leaf containing `q` by in-memory descent, reading no pages.
+  /// The returned id keys the service layer's leaf-result cache.
+  Result<LeafRef> FindLeaf(const geom::Point& q) const;
+
+  /// Reads all entries of a leaf previously located with FindLeaf (counted
+  /// by the pager, same as QueryPoint).
+  Result<std::vector<LeafEntry>> ReadLeaf(const LeafRef& ref) const;
+
   /// Entries of every leaf overlapping `range`; may contain duplicates when
   /// an object's UBR spans several leaves (callers dedupe by id).
   Result<std::vector<LeafEntry>> CollectOverlapping(const geom::Rect& range) const;
@@ -125,8 +145,6 @@ class OctreePrimary {
   size_t PageCapacity() const;
 
  private:
-  struct Node;
-
   geom::Rect ChildRegion(const geom::Rect& region, unsigned child) const;
   Status InsertRec(Node* node, const geom::Rect& region, int node_depth,
                    uncertain::ObjectId id, const geom::Rect& uregion,
@@ -161,6 +179,7 @@ class OctreePrimary {
   UbrResolver resolver_;
   OctreeOptions options_;
   std::unique_ptr<Node> root_;
+  uint64_t next_leaf_id_ = 1;
   size_t memory_used_ = 0;
   size_t node_count_ = 0;
   size_t leaf_count_ = 0;

@@ -26,6 +26,21 @@ std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
   return out;
 }
 
+std::vector<uncertain::ObjectId> Step1PruneMinMax(
+    std::span<const LeafEntry> entries, const geom::Point& q) {
+  std::vector<uncertain::ObjectId> out;
+  if (entries.empty()) return out;
+  double tau_sq = std::numeric_limits<double>::infinity();
+  for (const LeafEntry& e : entries) {
+    tau_sq = std::min(tau_sq, geom::MaxDistSq(e.region, q));
+  }
+  out.reserve(entries.size());
+  for (const LeafEntry& e : entries) {
+    if (geom::MinDistSq(e.region, q) <= tau_sq) out.push_back(e.id);
+  }
+  return out;
+}
+
 PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::Dataset* db) : db_(db) {
   PVDB_CHECK(db_ != nullptr);
 }

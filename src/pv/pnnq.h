@@ -16,6 +16,7 @@
 
 #include "src/common/stats.h"
 #include "src/geom/distance.h"
+#include "src/pv/octree.h"
 #include "src/uncertain/dataset.h"
 
 namespace pvdb::pv {
@@ -39,6 +40,14 @@ struct PnnCounters {
 /// index correctness tests and the ultimate fallback implementation.
 std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
                                                  const geom::Point& q);
+
+/// Minmax pruning over one leaf's raw entries (Section VI-A): drops every
+/// object whose MinDist to `q` exceeds the smallest MaxDist among the
+/// entries. Shared by the octree-carrier Step-1 paths (PV-index, UV-index)
+/// and the service layer's leaf-result cache, so that pruning cached entries
+/// is bit-identical to the index's own query. Preserves entry order.
+std::vector<uncertain::ObjectId> Step1PruneMinMax(
+    std::span<const LeafEntry> entries, const geom::Point& q);
 
 /// Step 2 evaluator over a database's discrete pdfs.
 class PnnStep2Evaluator {

@@ -3,7 +3,6 @@
 #include "src/pv/pv_index.h"
 
 #include <algorithm>
-#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -119,20 +118,25 @@ Result<std::vector<uncertain::ObjectId>> PvIndex::QueryPossibleNN(
     const geom::Point& q) const {
   PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries,
                         primary_->QueryPoint(q));
-  if (entries.empty()) return std::vector<uncertain::ObjectId>{};
-
   // Minmax pruning (Section VI-A): an object whose minimum distance exceeds
   // some other candidate's maximum distance can never be the NN.
-  double tau_sq = std::numeric_limits<double>::infinity();
-  for (const LeafEntry& e : entries) {
-    tau_sq = std::min(tau_sq, geom::MaxDistSq(e.region, q));
-  }
-  std::vector<uncertain::ObjectId> out;
-  out.reserve(entries.size());
-  for (const LeafEntry& e : entries) {
-    if (geom::MinDistSq(e.region, q) <= tau_sq) out.push_back(e.id);
-  }
-  return out;
+  return Step1PruneMinMax(entries, q);
+}
+
+int PvIndex::AddUpdateListener(std::function<void()> listener) {
+  PVDB_CHECK(listener != nullptr);
+  const int id = next_listener_id_++;
+  update_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void PvIndex::RemoveUpdateListener(int id) {
+  std::erase_if(update_listeners_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void PvIndex::NotifyUpdateListeners() const {
+  for (const auto& [_, listener] : update_listeners_) listener();
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +161,16 @@ std::unordered_map<uncertain::ObjectId, geom::Rect> DedupeCandidates(
 Status PvIndex::DeleteObject(const uncertain::Dataset& db_after,
                              const uncertain::UncertainObject& removed,
                              UpdateStats* stats) {
+  const Status st = DeleteObjectImpl(db_after, removed, stats);
+  // Notify even on failure: the update may have rewritten leaves before the
+  // error, and stale memoized state is worse than a spurious cache flush.
+  NotifyUpdateListeners();
+  return st;
+}
+
+Status PvIndex::DeleteObjectImpl(const uncertain::Dataset& db_after,
+                                 const uncertain::UncertainObject& removed,
+                                 UpdateStats* stats) {
   UpdateStats local;
   UpdateStats* st = stats ? stats : &local;
   *st = UpdateStats{};
@@ -224,6 +238,14 @@ Status PvIndex::DeleteObject(const uncertain::Dataset& db_after,
 
 Status PvIndex::InsertObject(const uncertain::Dataset& db_after,
                              uncertain::ObjectId new_id, UpdateStats* stats) {
+  const Status st = InsertObjectImpl(db_after, new_id, stats);
+  NotifyUpdateListeners();  // see DeleteObject
+  return st;
+}
+
+Status PvIndex::InsertObjectImpl(const uncertain::Dataset& db_after,
+                                 uncertain::ObjectId new_id,
+                                 UpdateStats* stats) {
   UpdateStats local;
   UpdateStats* st = stats ? stats : &local;
   *st = UpdateStats{};

@@ -11,13 +11,16 @@
 #ifndef PVDB_PV_PV_INDEX_H_
 #define PVDB_PV_PV_INDEX_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/timer.h"
 #include "src/pv/cset.h"
 #include "src/pv/octree.h"
+#include "src/pv/pnnq.h"
 #include "src/pv/se.h"
 #include "src/pv/secondary_index.h"
 #include "src/rtree/rstar_tree.h"
@@ -102,6 +105,16 @@ class PvIndex {
                       const uncertain::UncertainObject& removed,
                       UpdateStats* stats = nullptr);
 
+  /// Registers a callback invoked after every successful InsertObject /
+  /// DeleteObject — the invalidation hook for layered components that
+  /// memoize query state (the service layer's leaf-result cache). Returns a
+  /// handle for RemoveUpdateListener; callers whose lifetime is shorter than
+  /// the index's must deregister. Listener management is not synchronized:
+  /// register/deregister while no concurrent mutation runs (the service
+  /// layer's writer lock already guarantees this for updates).
+  int AddUpdateListener(std::function<void()> listener);
+  void RemoveUpdateListener(int id);
+
   /// Current UBR of an object (test/inspection access).
   Result<geom::Rect> GetUbr(uncertain::ObjectId id) const {
     return secondary_->GetUbr(id);
@@ -126,6 +139,13 @@ class PvIndex {
   CSetResult ChooseCSetFor(const uncertain::UncertainObject& o,
                            const uncertain::Dataset& db) const;
 
+  Status InsertObjectImpl(const uncertain::Dataset& db_after,
+                          uncertain::ObjectId new_id, UpdateStats* stats);
+  Status DeleteObjectImpl(const uncertain::Dataset& db_after,
+                          const uncertain::UncertainObject& removed,
+                          UpdateStats* stats);
+  void NotifyUpdateListeners() const;
+
   geom::Rect domain_;
   PvIndexOptions options_;
   storage::Pager* pager_;
@@ -133,6 +153,8 @@ class PvIndex {
   std::unique_ptr<SecondaryIndex> secondary_;
   std::unique_ptr<OctreePrimary> primary_;
   std::unique_ptr<rtree::RStarTree> mean_tree_;
+  std::vector<std::pair<int, std::function<void()>>> update_listeners_;
+  int next_listener_id_ = 0;
 };
 
 }  // namespace pvdb::pv

@@ -13,6 +13,18 @@
 //   auto step1 = index->QueryPossibleNN(q).value();          // PNNQ Step 1
 //   pvdb::pv::PnnStep2Evaluator step2(&db);
 //   auto answers = step2.Evaluate(q, step1);                 // PNNQ Step 2
+//
+// Serving path (src/service/): batched, thread-pooled PNNQ over a planned
+// backend with leaf-result caching — answers bit-identical to the library
+// calls above:
+//
+//   pvdb::service::EngineBackends backends;
+//   backends.pv = index.value().get();
+//   auto engine = pvdb::service::QueryEngine::Create(
+//       &db, backends, {.threads = 8}).value();
+//   auto answers = engine->ExecuteBatch(queries, &stats);    // batched
+//   auto future = engine->Submit(q);                         // async
+//   engine->Insert(obj);   // safe to interleave with queries
 
 #ifndef PVDB_PVDB_H_
 #define PVDB_PVDB_H_
@@ -40,6 +52,11 @@
 #include "src/pv/verifier.h"       // IWYU pragma: export
 #include "src/rtree/rstar_tree.h"  // IWYU pragma: export
 #include "src/rtree/rtree_pnn.h"   // IWYU pragma: export
+#include "src/service/backend.h"   // IWYU pragma: export
+#include "src/service/planner.h"   // IWYU pragma: export
+#include "src/service/query_engine.h"  // IWYU pragma: export
+#include "src/service/result_cache.h"  // IWYU pragma: export
+#include "src/service/thread_pool.h"   // IWYU pragma: export
 #include "src/storage/extendible_hash.h"  // IWYU pragma: export
 #include "src/storage/pager.h"     // IWYU pragma: export
 #include "src/storage/record_store.h"  // IWYU pragma: export

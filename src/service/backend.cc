@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/backend.h"
+
+#include <algorithm>
+
+#include "src/pv/pnnq.h"
+#include "src/rtree/rtree_pnn.h"
+
+namespace pvdb::service {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPvIndex:
+      return "pv";
+    case BackendKind::kUvIndex:
+      return "uv";
+    case BackendKind::kRtree:
+      return "rtree";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class PvBackend final : public Backend {
+ public:
+  explicit PvBackend(pv::PvIndex* index) : index_(index) {
+    PVDB_CHECK(index_ != nullptr);
+  }
+
+  BackendKind kind() const override { return BackendKind::kPvIndex; }
+
+  Result<std::vector<uncertain::ObjectId>> Step1(
+      const geom::Point& q) const override {
+    return index_->QueryPossibleNN(q);
+  }
+
+  Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
+      const geom::Point& q) const override {
+    PVDB_ASSIGN_OR_RETURN(pv::OctreePrimary::LeafRef ref,
+                          index_->primary().FindLeaf(q));
+    return std::optional<pv::OctreePrimary::LeafRef>{ref};
+  }
+
+  Result<std::vector<pv::LeafEntry>> ReadLeaf(
+      const pv::OctreePrimary::LeafRef& ref) const override {
+    return index_->primary().ReadLeaf(ref);
+  }
+
+  std::vector<uncertain::ObjectId> PruneLeafEntries(
+      std::span<const pv::LeafEntry> entries,
+      const geom::Point& q) const override {
+    return pv::Step1PruneMinMax(entries, q);
+  }
+
+ private:
+  pv::PvIndex* index_;
+};
+
+class UvBackend final : public Backend {
+ public:
+  explicit UvBackend(const uv::UvIndex* index) : index_(index) {
+    PVDB_CHECK(index_ != nullptr);
+  }
+
+  BackendKind kind() const override { return BackendKind::kUvIndex; }
+
+  Result<std::vector<uncertain::ObjectId>> Step1(
+      const geom::Point& q) const override {
+    return index_->QueryPossibleNN(q);
+  }
+
+  Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
+      const geom::Point& q) const override {
+    PVDB_ASSIGN_OR_RETURN(pv::OctreePrimary::LeafRef ref,
+                          index_->primary().FindLeaf(q));
+    return std::optional<pv::OctreePrimary::LeafRef>{ref};
+  }
+
+  Result<std::vector<pv::LeafEntry>> ReadLeaf(
+      const pv::OctreePrimary::LeafRef& ref) const override {
+    return index_->primary().ReadLeaf(ref);
+  }
+
+  std::vector<uncertain::ObjectId> PruneLeafEntries(
+      std::span<const pv::LeafEntry> entries,
+      const geom::Point& q) const override {
+    // Mirror UvIndex::QueryPossibleNN exactly: prune, then dedupe.
+    std::vector<uncertain::ObjectId> out = pv::Step1PruneMinMax(entries, q);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  const uv::UvIndex* index_;
+};
+
+class RtreeBackend final : public Backend {
+ public:
+  explicit RtreeBackend(const rtree::RStarTree* tree) : tree_(tree) {
+    PVDB_CHECK(tree_ != nullptr);
+  }
+
+  BackendKind kind() const override { return BackendKind::kRtree; }
+
+  Result<std::vector<uncertain::ObjectId>> Step1(
+      const geom::Point& q) const override {
+    return rtree::PnnStep1BranchAndPrune(*tree_, q);
+  }
+
+ private:
+  const rtree::RStarTree* tree_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> MakePvBackend(pv::PvIndex* index) {
+  return std::make_unique<PvBackend>(index);
+}
+
+std::unique_ptr<Backend> MakeUvBackend(const uv::UvIndex* index) {
+  return std::make_unique<UvBackend>(index);
+}
+
+std::unique_ptr<Backend> MakeRtreeBackend(const rtree::RStarTree* tree) {
+  return std::make_unique<RtreeBackend>(tree);
+}
+
+std::unique_ptr<rtree::RStarTree> BuildUncertaintyRtree(
+    const uncertain::Dataset& db) {
+  auto tree = std::make_unique<rtree::RStarTree>(db.dim());
+  for (const auto& o : db.objects()) {
+    tree->Insert(o.region(), o.id());
+  }
+  return tree;
+}
+
+}  // namespace pvdb::service

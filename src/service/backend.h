@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The serving-path Step-1 abstraction: one interface over the three
+// candidate-retrieval indexes the paper evaluates (PV-index, the 2D-only
+// UV-index baseline, and the R-tree branch-and-prune baseline). All three
+// return the same answer set for a query point; the octree-carried backends
+// additionally expose leaf-granular access so the engine's leaf-result
+// cache can memoize raw candidate entries and re-prune them per query.
+
+#ifndef PVDB_SERVICE_BACKEND_H_
+#define PVDB_SERVICE_BACKEND_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pv/octree.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/uncertain/uncertain_object.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb::service {
+
+/// Which index implementation answers Step 1.
+enum class BackendKind : int {
+  kPvIndex = 0,
+  kUvIndex = 1,
+  kRtree = 2,
+};
+
+/// Stable lowercase name ("pv", "uv", "rtree").
+const char* BackendKindName(BackendKind kind);
+
+/// PNNQ Step-1 provider. Implementations borrow their index; the caller
+/// keeps it alive for the backend's lifetime. All methods are safe under
+/// concurrent calls as long as the underlying index is not mutated (the
+/// QueryEngine enforces this with a reader/writer lock).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Step 1: ids of all objects with non-zero probability of being the NN
+  /// of `q` — exactly the underlying index's answer (same values, same
+  /// order), so serving-path results are bit-identical to library calls.
+  virtual Result<std::vector<uncertain::ObjectId>> Step1(
+      const geom::Point& q) const = 0;
+
+  /// Leaf-cache protocol. Backends with a point-addressable leaf structure
+  /// (PV, UV: one octree leaf per query point) locate the leaf without page
+  /// I/O; the R-tree has no such structure and returns nullopt, bypassing
+  /// the cache.
+  virtual Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
+      const geom::Point& q) const {
+    (void)q;
+    return std::optional<pv::OctreePrimary::LeafRef>{};
+  }
+
+  /// Reads the raw entries of a leaf located by FindLeaf (page reads are
+  /// charged to the index's pager, same as an uncached query).
+  virtual Result<std::vector<pv::LeafEntry>> ReadLeaf(
+      const pv::OctreePrimary::LeafRef& ref) const {
+    (void)ref;
+    return Status::NotSupported("backend has no leaf structure");
+  }
+
+  /// Derives the Step-1 answer from (possibly cached) leaf entries. Must
+  /// equal Step1(q) for the leaf containing q.
+  virtual std::vector<uncertain::ObjectId> PruneLeafEntries(
+      std::span<const pv::LeafEntry> entries, const geom::Point& q) const {
+    (void)entries;
+    (void)q;
+    return {};
+  }
+};
+
+/// PV-index backend. Non-const: PvIndex mutations route through the engine,
+/// which also registers the cache-invalidation hook on this index.
+std::unique_ptr<Backend> MakePvBackend(pv::PvIndex* index);
+
+/// UV-index backend (2D only; immutable after build).
+std::unique_ptr<Backend> MakeUvBackend(const uv::UvIndex* index);
+
+/// R-tree branch-and-prune backend over a tree of uncertainty regions keyed
+/// by object id (see BuildUncertaintyRtree).
+std::unique_ptr<Backend> MakeRtreeBackend(const rtree::RStarTree* tree);
+
+/// Convenience: the R-tree the branch-and-prune baseline expects — one
+/// (uncertainty region, object id) entry per object.
+std::unique_ptr<rtree::RStarTree> BuildUncertaintyRtree(
+    const uncertain::Dataset& db);
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_BACKEND_H_

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/planner.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pvdb::service {
+
+namespace {
+
+bool Has(const PlanInput& input, BackendKind kind) {
+  return std::find(input.available.begin(), input.available.end(), kind) !=
+         input.available.end();
+}
+
+}  // namespace
+
+Result<Plan> PlanBackend(const PlanInput& input) {
+  if (input.available.empty()) {
+    return Status::InvalidArgument("no backends available to plan over");
+  }
+  if (input.override.has_value()) {
+    const BackendKind kind = *input.override;
+    if (!Has(input, kind)) {
+      return Status::InvalidArgument(
+          std::string("override backend not available: ") +
+          BackendKindName(kind));
+    }
+    if (kind == BackendKind::kUvIndex && input.dim != 2) {
+      return Status::NotSupported(
+          "the UV-index supports 2D data only (see Section II)");
+    }
+    return Plan{kind, std::string("operator override: ") +
+                          BackendKindName(kind)};
+  }
+  if (input.dataset_size < kSmallDatasetRtreeThreshold &&
+      Has(input, BackendKind::kRtree)) {
+    return Plan{BackendKind::kRtree,
+                "small dataset (|S| = " + std::to_string(input.dataset_size) +
+                    " < " + std::to_string(kSmallDatasetRtreeThreshold) +
+                    "): branch-and-prune beats leaf page chains"};
+  }
+  if (Has(input, BackendKind::kPvIndex)) {
+    return Plan{BackendKind::kPvIndex,
+                "PV-index: fastest Step-1 at d = " +
+                    std::to_string(input.dim) + " (Figures 9(a)-(h))"};
+  }
+  if (input.dim == 2 && Has(input, BackendKind::kUvIndex)) {
+    return Plan{BackendKind::kUvIndex,
+                "UV-index: 2D workload and no PV-index built"};
+  }
+  if (Has(input, BackendKind::kRtree)) {
+    return Plan{BackendKind::kRtree, "R-tree fallback: no octree-carried "
+                                     "backend fits this workload"};
+  }
+  return Status::InvalidArgument(
+      "no available backend supports this workload (UV-index requires d = 2)");
+}
+
+}  // namespace pvdb::service

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Backend planning: picks which Step-1 index serves a workload, from
+// dimensionality and dataset-size heuristics grounded in the paper's
+// experiments (Figures 9(a)–(h)), with an explicit operator override.
+
+#ifndef PVDB_SERVICE_PLANNER_H_
+#define PVDB_SERVICE_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/service/backend.h"
+
+namespace pvdb::service {
+
+/// Below this cardinality the R-tree baseline is preferred when available:
+/// branch-and-prune visits a handful of nodes on tiny trees, while the
+/// octree carriers pay fixed leaf page-chain costs (and their construction
+/// is not worth amortizing for small data).
+inline constexpr size_t kSmallDatasetRtreeThreshold = 256;
+
+/// Workload facts the planner decides on.
+struct PlanInput {
+  /// Data dimensionality d.
+  int dim = 0;
+  /// Database cardinality |S|.
+  size_t dataset_size = 0;
+  /// Backends the caller actually built (in preference-independent order).
+  std::vector<BackendKind> available;
+  /// Forces a specific backend; planning fails if it is unavailable or
+  /// unsupported for the workload (UV with d != 2).
+  std::optional<BackendKind> override;
+};
+
+/// A planning decision and its human-readable justification.
+struct Plan {
+  BackendKind backend;
+  std::string reason;
+};
+
+/// Chooses a Step-1 backend:
+///   1. the override, when set (validated);
+///   2. the R-tree for datasets below kSmallDatasetRtreeThreshold;
+///   3. the PV-index (the paper's headline structure, any d);
+///   4. the UV-index when d == 2;
+///   5. the R-tree as final fallback.
+/// Fails with InvalidArgument when no available backend fits.
+Result<Plan> PlanBackend(const PlanInput& input);
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_PLANNER_H_

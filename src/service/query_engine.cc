@@ -1,0 +1,210 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "src/common/timer.h"
+
+namespace pvdb::service {
+
+QueryEngine::QueryEngine(uncertain::Dataset* db,
+                         const QueryEngineOptions& options)
+    : db_(db), options_(options), step2_(db) {}
+
+QueryEngine::~QueryEngine() {
+  // Join workers first so no task touches the engine during teardown, then
+  // unhook from the (caller-owned, possibly longer-lived) PV-index.
+  pool_.reset();
+  if (pv_index_ != nullptr && pv_listener_id_ >= 0) {
+    pv_index_->RemoveUpdateListener(pv_listener_id_);
+  }
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    uncertain::Dataset* db, const EngineBackends& backends,
+    const QueryEngineOptions& options) {
+  PVDB_CHECK(db != nullptr);
+  if (options.threads < 1) {
+    return Status::InvalidArgument("engine needs at least one thread");
+  }
+  auto engine =
+      std::unique_ptr<QueryEngine>(new QueryEngine(db, options));
+  if (backends.pv != nullptr) {
+    engine->backends_.push_back(MakePvBackend(backends.pv));
+  }
+  if (backends.uv != nullptr) {
+    engine->backends_.push_back(MakeUvBackend(backends.uv));
+  }
+  if (backends.rtree != nullptr) {
+    engine->backends_.push_back(MakeRtreeBackend(backends.rtree));
+  }
+
+  PlanInput input;
+  input.dim = db->dim();
+  input.dataset_size = db->size();
+  for (const auto& b : engine->backends_) input.available.push_back(b->kind());
+  input.override = options.backend_override;
+  PVDB_ASSIGN_OR_RETURN(Plan plan, PlanBackend(input));
+  for (const auto& b : engine->backends_) {
+    if (b->kind() == plan.backend) engine->active_ = b.get();
+  }
+  PVDB_CHECK(engine->active_ != nullptr);
+  engine->plan_reason_ = std::move(plan.reason);
+
+  if (options.cache_capacity > 0) {
+    engine->cache_ = std::make_unique<ResultCache>(options.cache_capacity);
+  }
+  if (backends.pv != nullptr) {
+    engine->pv_index_ = backends.pv;
+    // Invalidation hook: any PV-index mutation flushes its cached leaves
+    // (leaf ids survive in-place page rewrites, so contents must go).
+    QueryEngine* raw = engine.get();
+    engine->pv_listener_id_ = backends.pv->AddUpdateListener([raw] {
+      if (raw->cache_ != nullptr) {
+        raw->cache_->Invalidate(BackendKind::kPvIndex);
+      }
+    });
+  }
+  engine->pool_ = std::make_unique<ThreadPool>(options.threads);
+  return engine;
+}
+
+PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
+  PnnAnswer ans;
+  StopWatch watch;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+
+  std::vector<uncertain::ObjectId> candidates;
+  bool served_from_leaf = false;
+  if (cache_ != nullptr) {
+    auto ref_or = active_->FindLeaf(q);
+    if (!ref_or.ok()) {
+      ans.status = ref_or.status();
+      ans.latency_ms = watch.ElapsedMillis();
+      return ans;
+    }
+    if (ref_or.value().has_value()) {
+      const pv::OctreePrimary::LeafRef ref = *ref_or.value();
+      ResultCache::EntriesPtr entries = cache_->Lookup(active_->kind(), ref.id);
+      if (entries != nullptr) {
+        ans.cache_hit = true;
+      } else {
+        auto read = active_->ReadLeaf(ref);
+        if (!read.ok()) {
+          ans.status = read.status();
+          ans.latency_ms = watch.ElapsedMillis();
+          return ans;
+        }
+        entries = cache_->Insert(active_->kind(), ref.id,
+                                 std::move(read).value());
+      }
+      candidates = active_->PruneLeafEntries(*entries, q);
+      served_from_leaf = true;
+    }
+  }
+  if (!served_from_leaf) {
+    auto step1 = active_->Step1(q);
+    if (!step1.ok()) {
+      ans.status = step1.status();
+      ans.latency_ms = watch.ElapsedMillis();
+      return ans;
+    }
+    candidates = std::move(step1).value();
+  }
+
+  ans.results =
+      step2_.Evaluate(q, candidates,
+                      options_.charge_step2_io ? &metrics_ : nullptr,
+                      options_.min_probability);
+  ans.latency_ms = watch.ElapsedMillis();
+  return ans;
+}
+
+std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
+    std::span<const geom::Point> queries, ServiceStats* stats) {
+  std::vector<PnnAnswer> answers(queries.size());
+  const int64_t hits_before = cache_ != nullptr ? cache_->hits() : 0;
+  const int64_t misses_before = cache_ != nullptr ? cache_->misses() : 0;
+
+  StopWatch wall;
+  pool_->ParallelFor(queries.size(), [this, &queries, &answers](size_t i) {
+    answers[i] = AnswerOne(queries[i]);
+  });
+  const double wall_ms = wall.ElapsedMillis();
+
+  if (stats != nullptr) {
+    *stats = ServiceStats{};
+    stats->queries = static_cast<int64_t>(queries.size());
+    stats->threads = pool_->size();
+    stats->wall_ms = wall_ms;
+    stats->throughput_qps =
+        wall_ms > 0.0 ? static_cast<double>(queries.size()) / (wall_ms / 1e3)
+                      : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(answers.size());
+    for (const PnnAnswer& a : answers) {
+      latencies.push_back(a.latency_ms);
+      stats->latency_ms.Add(a.latency_ms);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    stats->p50_latency_ms = PercentileSorted(latencies, 50.0);
+    stats->p99_latency_ms = PercentileSorted(latencies, 99.0);
+    if (cache_ != nullptr) {
+      stats->cache_hits = cache_->hits() - hits_before;
+      stats->cache_misses = cache_->misses() - misses_before;
+    }
+  }
+  return answers;
+}
+
+std::future<PnnAnswer> QueryEngine::Submit(const geom::Point& q) {
+  auto task = std::make_shared<std::packaged_task<PnnAnswer()>>(
+      [this, q] { return AnswerOne(q); });
+  std::future<PnnAnswer> future = task->get_future();
+  pool_->Submit([task] { (*task)(); });
+  return future;
+}
+
+Status QueryEngine::Insert(uncertain::UncertainObject object) {
+  if (pv_index_ == nullptr || active_->kind() != BackendKind::kPvIndex) {
+    return Status::NotSupported(
+        "mutations require the engine to serve from the PV-index");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uncertain::ObjectId id = object.id();
+  PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
+  const Status st = pv_index_->InsertObject(*db_, id);
+  if (!st.ok()) {
+    // Keep dataset and index membership consistent: an object present in
+    // the dataset but not the index would skew Step-2 silently.
+    (void)db_->Remove(id);
+  }
+  return st;
+}
+
+Status QueryEngine::Delete(uncertain::ObjectId id) {
+  if (pv_index_ == nullptr || active_->kind() != BackendKind::kPvIndex) {
+    return Status::NotSupported(
+        "mutations require the engine to serve from the PV-index");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uncertain::UncertainObject* found = db_->Find(id);
+  if (found == nullptr) {
+    return Status::NotFound("object not in the dataset");
+  }
+  const uncertain::UncertainObject removed = *found;
+  PVDB_RETURN_NOT_OK(db_->Remove(id));
+  const Status st = pv_index_->DeleteObject(*db_, removed);
+  if (!st.ok()) {
+    // Re-add on failure: the index may still hold entries for `id`, and a
+    // query resolving them against a dataset without the object aborts in
+    // Step 2. Membership consistency beats a half-rolled-back index.
+    (void)db_->Add(removed);
+  }
+  return st;
+}
+
+}  // namespace pvdb::service

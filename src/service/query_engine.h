@@ -1,0 +1,163 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The concurrent query-serving engine: turns the pvdb library into a
+// serving path. Batches of PNNQ points are sharded across a fixed thread
+// pool; each query runs Step 1 through a planned backend (PV-index /
+// UV-index / R-tree behind one interface), optionally through an LRU cache
+// of leaf candidate sets, then Step 2 probability evaluation — producing
+// exactly the answers of the sequential QueryPossibleNN + PnnStep2Evaluator
+// pipeline. A reader/writer lock makes PV-index insert/delete safe to
+// interleave with in-flight queries.
+
+#ifndef PVDB_SERVICE_QUERY_ENGINE_H_
+#define PVDB_SERVICE_QUERY_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/service/backend.h"
+#include "src/service/planner.h"
+#include "src/service/result_cache.h"
+#include "src/service/thread_pool.h"
+#include "src/uncertain/dataset.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb::service {
+
+/// Engine tunables.
+struct QueryEngineOptions {
+  /// Worker threads in the pool.
+  int threads = 4;
+  /// Leaf-result cache capacity in leaves; 0 disables caching.
+  size_t cache_capacity = 4096;
+  /// Forces a Step-1 backend instead of the planner's heuristic choice.
+  std::optional<BackendKind> backend_override;
+  /// Step-2 answers with probability <= this are dropped (paper: > 0).
+  double min_probability = 0.0;
+  /// Charge Step-2 pdf page reads to the engine's MetricRegistry. Off by
+  /// default: the registry is a string-keyed map behind one mutex, and a
+  /// per-candidate charge from every worker serializes the hot path. Turn
+  /// on for I/O-accounting experiments, not for throughput serving.
+  bool charge_step2_io = false;
+};
+
+/// One served query's outcome.
+struct PnnAnswer {
+  /// Per-query status; results are meaningful only when ok().
+  Status status = Status::OK();
+  /// Qualification probabilities, sorted descending (Step-2 output).
+  std::vector<pv::PnnResult> results;
+  /// True when Step-1 candidates came from the leaf cache.
+  bool cache_hit = false;
+  /// End-to-end latency of this query in milliseconds.
+  double latency_ms = 0.0;
+};
+
+/// Aggregate statistics of one ExecuteBatch call.
+struct ServiceStats {
+  int64_t queries = 0;
+  int threads = 0;
+  double wall_ms = 0.0;
+  double throughput_qps = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Per-query latency distribution.
+  Summary latency_ms;
+  /// Leaf-cache hit/miss deltas over the batch (0/0 when caching is off or
+  /// the backend has no leaf structure).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+};
+
+/// The indexes an engine may serve from; all borrowed, any subset present.
+/// The PV-index pointer is non-const because Insert/Delete route through it.
+struct EngineBackends {
+  pv::PvIndex* pv = nullptr;
+  const uv::UvIndex* uv = nullptr;
+  const rtree::RStarTree* rtree = nullptr;
+};
+
+/// The serving engine. Thread-safe: ExecuteBatch / Submit may be called
+/// from any thread and overlap with Insert / Delete (readers share, writers
+/// exclude). The borrowed dataset and indexes must only be mutated through
+/// the engine while it is live.
+class QueryEngine {
+ public:
+  /// Plans a backend over whatever `backends` provides and builds the
+  /// engine. `db` is borrowed and must stay alive; it is mutated only by
+  /// Insert/Delete below.
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      uncertain::Dataset* db, const EngineBackends& backends,
+      const QueryEngineOptions& options);
+
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Answers every query in `queries`, sharded across the pool. Answer i
+  /// corresponds to queries[i]; no answers are lost, duplicated or
+  /// reordered. Per-query failures (e.g. out-of-domain points) land in the
+  /// answer's status, never abort the batch.
+  std::vector<PnnAnswer> ExecuteBatch(std::span<const geom::Point> queries,
+                                      ServiceStats* stats = nullptr);
+
+  /// Async single-query API: enqueues `q` on the pool and returns a future
+  /// for its answer.
+  std::future<PnnAnswer> Submit(const geom::Point& q);
+
+  /// Adds `object` to the dataset and the PV-index under the writer lock
+  /// (queries in flight finish first; the leaf cache is invalidated via the
+  /// index's update hook). Requires the engine to serve from the PV-index —
+  /// other backends would go stale.
+  Status Insert(uncertain::UncertainObject object);
+
+  /// Removes object `id` from the dataset and the PV-index (same contract
+  /// as Insert).
+  Status Delete(uncertain::ObjectId id);
+
+  /// The planner's decision for this engine.
+  BackendKind active_backend() const { return active_->kind(); }
+  const std::string& plan_reason() const { return plan_reason_; }
+
+  int threads() const { return pool_->size(); }
+
+  /// The leaf cache, or nullptr when disabled.
+  const ResultCache* cache() const { return cache_.get(); }
+
+  /// Engine-level counters (Step-2 pdf page charges).
+  const MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  QueryEngine(uncertain::Dataset* db, const QueryEngineOptions& options);
+
+  /// Serves one query end to end (takes the shared lock itself).
+  PnnAnswer AnswerOne(const geom::Point& q) const;
+
+  uncertain::Dataset* db_;
+  QueryEngineOptions options_;
+  pv::PnnStep2Evaluator step2_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  Backend* active_ = nullptr;
+  std::string plan_reason_;
+  pv::PvIndex* pv_index_ = nullptr;
+  int pv_listener_id_ = -1;
+  std::unique_ptr<ResultCache> cache_;
+  mutable MetricRegistry metrics_;
+  mutable std::shared_mutex mu_;
+  // Last member: destroyed (joined) first, while the state above is alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_QUERY_ENGINE_H_

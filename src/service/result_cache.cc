@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/result_cache.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pvdb::service {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
+  PVDB_CHECK(capacity >= 1);
+}
+
+uint64_t ResultCache::PackKey(BackendKind backend, uint64_t leaf_id) {
+  // Octree leaf ids are monotonically assigned counters; 2^56 leaves is far
+  // beyond the 5 MiB node-memory budget.
+  PVDB_DCHECK(leaf_id < (uint64_t{1} << 56));
+  return (static_cast<uint64_t>(backend) << 56) | leaf_id;
+}
+
+ResultCache::EntriesPtr ResultCache::Lookup(BackendKind backend,
+                                            uint64_t leaf_id) {
+  const uint64_t key = PackKey(backend, leaf_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.entries;
+}
+
+ResultCache::EntriesPtr ResultCache::Insert(BackendKind backend,
+                                            uint64_t leaf_id,
+                                            std::vector<pv::LeafEntry> entries) {
+  const uint64_t key = PackKey(backend, leaf_id);
+  auto snapshot = std::make_shared<const std::vector<pv::LeafEntry>>(
+      std::move(entries));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entries = snapshot;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return snapshot;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{snapshot, lru_.begin()});
+  return snapshot;
+}
+
+void ResultCache::Invalidate(BackendKind backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if ((it->first >> 56) == static_cast<uint64_t>(backend)) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace pvdb::service

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// LRU cache of raw leaf candidate sets, keyed by (backend, octree leaf id).
+// Point queries landing in the same leaf skip the leaf's page-chain reads
+// and re-run only the in-memory minmax pruning, which is query-specific.
+// Entries are shared_ptr snapshots, so a hit handed to one worker stays
+// valid while another worker evicts it. Invalidation is wired to PvIndex
+// insert/delete through the engine (leaf ids survive in-place leaf rewrites,
+// so content changes must flush the cache).
+
+#ifndef PVDB_SERVICE_RESULT_CACHE_H_
+#define PVDB_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pv/octree.h"
+#include "src/service/backend.h"
+
+namespace pvdb::service {
+
+/// Thread-safe LRU over leaf entry vectors. All methods lock internally;
+/// concurrent readers under the engine's shared lock are supported.
+class ResultCache {
+ public:
+  using EntriesPtr = std::shared_ptr<const std::vector<pv::LeafEntry>>;
+
+  /// Cache holding at most `capacity` leaves (capacity >= 1).
+  explicit ResultCache(size_t capacity);
+
+  /// The cached entries of (backend, leaf), or nullptr on miss. Counts one
+  /// hit or miss and refreshes recency on hit.
+  EntriesPtr Lookup(BackendKind backend, uint64_t leaf_id);
+
+  /// Inserts (or replaces) the entries of (backend, leaf), evicting the
+  /// least-recently-used leaf when full. Returns the stored snapshot.
+  EntriesPtr Insert(BackendKind backend, uint64_t leaf_id,
+                    std::vector<pv::LeafEntry> entries);
+
+  /// Drops every entry of one backend (index-mutation invalidation hook).
+  void Invalidate(BackendKind backend);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  // (backend, leaf id) packed into one key; leaf ids are small counters.
+  static uint64_t PackKey(BackendKind backend, uint64_t leaf_id);
+
+  struct Entry {
+    EntriesPtr entries;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace pvdb::service {
+
+ThreadPool::ThreadPool(int threads) {
+  PVDB_CHECK(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PVDB_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PVDB_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  // Shared shard state; `body` outlives the call because we block below.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t live = 0;
+  };
+  auto state = std::make_shared<State>();
+  const size_t shards = std::min(static_cast<size_t>(size()), n);
+  state->live = shards;
+  for (size_t s = 0; s < shards; ++s) {
+    Submit([state, n, &body] {
+      for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->live == 0) state->done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->live == 0; });
+}
+
+}  // namespace pvdb::service

@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// A small fixed-size worker pool (std::thread + condition-variable work
+// queue, no external dependencies) for the query-serving engine. Tasks are
+// opaque closures; ParallelFor adds the engine's sharding pattern — a shared
+// atomic cursor so workers self-balance across uneven per-query costs
+// (Step-2 time varies with candidate-set size).
+
+#ifndef PVDB_SERVICE_THREAD_POOL_H_
+#define PVDB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pvdb::service {
+
+/// Fixed-size thread pool. Destruction drains the queue: queued tasks run
+/// to completion before the workers join.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), sharded across the pool with an
+  /// atomic cursor; blocks until all n calls returned. The calling thread
+  /// does not participate, so a pool of k threads uses exactly k workers.
+  /// Must not be called from inside a pool task (the barrier would wait on
+  /// the queue slot it occupies).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_THREAD_POOL_H_

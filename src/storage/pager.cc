@@ -78,19 +78,20 @@ FilePager::~FilePager() {
 }
 
 Result<PageId> FilePager::Allocate() {
+  std::lock_guard<std::mutex> lock(io_mu_);
   metrics_.Increment(PagerCounters::kAllocs);
   Page zero;
+  PageId id;
   if (!free_list_.empty()) {
-    const PageId id = free_list_.back();
+    id = free_list_.back();
     free_list_.pop_back();
     live_[id] = true;
-    PVDB_RETURN_NOT_OK(Write(id, zero));
-    metrics_.Increment(PagerCounters::kWrites, -1);  // allocation, not user I/O
-    return id;
+  } else {
+    id = page_count_;
+    ++page_count_;
+    live_.push_back(true);
   }
-  const PageId id = page_count_;
-  ++page_count_;
-  live_.push_back(true);
+  // Zeroing is part of allocation, not user I/O: no write counter charge.
   if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
       std::fwrite(zero.bytes.data(), 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("failed to extend pager file " + path_);
@@ -99,6 +100,7 @@ Result<PageId> FilePager::Allocate() {
 }
 
 Status FilePager::Read(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (id >= page_count_ || !live_[id]) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
@@ -112,6 +114,7 @@ Status FilePager::Read(PageId id, Page* out) {
 }
 
 Status FilePager::Write(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (id >= page_count_ || !live_[id]) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
@@ -126,6 +129,7 @@ Status FilePager::Write(PageId id, const Page& page) {
 }
 
 Status FilePager::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (id >= page_count_ || !live_[id]) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
@@ -137,6 +141,7 @@ Status FilePager::Free(PageId id) {
 }
 
 size_t FilePager::LivePageCount() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
   size_t n = 0;
   for (bool b : live_) n += b ? 1 : 0;
   return n;

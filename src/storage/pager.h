@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -79,7 +80,9 @@ class InMemoryPager : public Pager {
 
 /// File-backed pager: pages round-trip through a real file with pread/pwrite
 /// semantics. The free list is kept in memory (pvdb indexes are rebuildable
-/// artifacts, not a recovery-grade store; see DESIGN.md §1 row 3).
+/// artifacts, not a recovery-grade store; see DESIGN.md §1 row 3). All page
+/// operations serialize on an internal mutex: the seek+read pair on the
+/// shared FILE* is not atomic, and the serving path issues concurrent reads.
 class FilePager : public Pager {
  public:
   /// Creates (truncates) or opens the backing file.
@@ -97,6 +100,7 @@ class FilePager : public Pager {
   explicit FilePager(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}
 
+  mutable std::mutex io_mu_;
   std::FILE* file_;
   std::string path_;
   size_t page_count_ = 0;

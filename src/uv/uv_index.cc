@@ -3,9 +3,9 @@
 #include "src/uv/uv_index.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "src/geom/distance.h"
+#include "src/pv/pnnq.h"
 
 namespace pvdb::uv {
 
@@ -78,15 +78,9 @@ Result<std::vector<uncertain::ObjectId>> UvIndex::QueryPossibleNN(
     const geom::Point& q) const {
   PVDB_ASSIGN_OR_RETURN(std::vector<pv::LeafEntry> entries,
                         primary_->QueryPoint(q));
-  if (entries.empty()) return std::vector<uncertain::ObjectId>{};
-  double tau_sq = std::numeric_limits<double>::infinity();
-  for (const pv::LeafEntry& e : entries) {
-    tau_sq = std::min(tau_sq, geom::MaxDistSq(e.region, q));
-  }
-  std::vector<uncertain::ObjectId> out;
-  for (const pv::LeafEntry& e : entries) {
-    if (geom::MinDistSq(e.region, q) <= tau_sq) out.push_back(e.id);
-  }
+  std::vector<uncertain::ObjectId> out = pv::Step1PruneMinMax(entries, q);
+  // A UV cover may index one object into several leaves of the same region;
+  // dedupe (the PV-index has exactly one entry per (object, leaf) pair).
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

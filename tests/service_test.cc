@@ -1,0 +1,518 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Serving-path tests: thread pool, LRU leaf cache, backend planner, and the
+// QueryEngine — batched parallel answers bit-identical to the sequential
+// QueryPossibleNN + Step-2 pipeline on all three backends, cache hit and
+// invalidation correctness across insert/delete, and a multi-thread stress
+// test asserting no lost or duplicated answers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rtree_pnn.h"
+#include "src/service/planner.h"
+#include "src/service/query_engine.h"
+#include "src/service/result_cache.h"
+#include "src/service/thread_pool.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(),
+                   [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(3);
+  pool.ParallelFor(counts.size(),
+                   [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no items, no calls"; });
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::promise<int> done;
+  pool.Submit([&done] { done.set_value(7); });
+  EXPECT_EQ(done.get_future().get(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+pv::LeafEntry MakeEntry(uint64_t id) {
+  return pv::LeafEntry{id, geom::Rect::Cube(2, 0, 1)};
+}
+
+TEST(ResultCacheTest, HitMissAndCounters) {
+  ResultCache cache(8);
+  EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
+  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(10), MakeEntry(11)});
+  auto hit = cache.Lookup(BackendKind::kPvIndex, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  // Same leaf id under a different backend is a distinct key.
+  EXPECT_EQ(cache.Lookup(BackendKind::kUvIndex, 1), nullptr);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(1)});
+  cache.Insert(BackendKind::kPvIndex, 2, {MakeEntry(2)});
+  // Touch leaf 1 so leaf 2 is the LRU victim.
+  ASSERT_NE(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
+  cache.Insert(BackendKind::kPvIndex, 3, {MakeEntry(3)});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 2), nullptr);
+  EXPECT_NE(cache.Lookup(BackendKind::kPvIndex, 3), nullptr);
+}
+
+TEST(ResultCacheTest, SnapshotSurvivesEviction) {
+  ResultCache cache(1);
+  auto snapshot = cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(42)});
+  cache.Insert(BackendKind::kPvIndex, 2, {MakeEntry(43)});  // evicts leaf 1
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ((*snapshot)[0].id, 42u);
+}
+
+TEST(ResultCacheTest, InvalidateIsPerBackend) {
+  ResultCache cache(8);
+  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(1)});
+  cache.Insert(BackendKind::kUvIndex, 1, {MakeEntry(2)});
+  cache.Invalidate(BackendKind::kPvIndex);
+  EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
+  EXPECT_NE(cache.Lookup(BackendKind::kUvIndex, 1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, PrefersPvIndexForLargeDatasets) {
+  PlanInput input;
+  input.dim = 3;
+  input.dataset_size = 20000;
+  input.available = {BackendKind::kPvIndex, BackendKind::kRtree};
+  auto plan = PlanBackend(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().backend, BackendKind::kPvIndex);
+}
+
+TEST(PlannerTest, SmallDatasetsGoToTheRtree) {
+  PlanInput input;
+  input.dim = 3;
+  input.dataset_size = kSmallDatasetRtreeThreshold - 1;
+  input.available = {BackendKind::kPvIndex, BackendKind::kRtree};
+  auto plan = PlanBackend(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().backend, BackendKind::kRtree);
+}
+
+TEST(PlannerTest, UvIndexServes2DWhenNoPv) {
+  PlanInput input;
+  input.dim = 2;
+  input.dataset_size = 20000;
+  input.available = {BackendKind::kUvIndex, BackendKind::kRtree};
+  auto plan = PlanBackend(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().backend, BackendKind::kUvIndex);
+}
+
+TEST(PlannerTest, OverrideWinsAndIsValidated) {
+  PlanInput input;
+  input.dim = 2;
+  input.dataset_size = 20000;
+  input.available = {BackendKind::kPvIndex, BackendKind::kUvIndex};
+  input.override = BackendKind::kUvIndex;
+  auto plan = PlanBackend(input);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().backend, BackendKind::kUvIndex);
+
+  input.override = BackendKind::kRtree;  // not built
+  EXPECT_EQ(PlanBackend(input).status().code(), StatusCode::kInvalidArgument);
+
+  input.dim = 3;
+  input.override = BackendKind::kUvIndex;  // UV is 2D-only
+  EXPECT_EQ(PlanBackend(input).status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PlannerTest, FailsWithNoUsableBackend) {
+  PlanInput input;
+  input.dim = 3;
+  input.dataset_size = 1000;
+  input.available = {BackendKind::kUvIndex};
+  EXPECT_FALSE(PlanBackend(input).ok());
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: equivalence with the sequential pipeline
+// ---------------------------------------------------------------------------
+
+/// A 2D world where all three backends are buildable, plus the sequential
+/// reference pipeline the engine must reproduce bit-for-bit. Index
+/// construction is the expensive part; read-only tests share one world via
+/// SharedWorld(), mutation tests build their own.
+struct EngineWorld {
+  explicit EngineWorld(uint64_t seed = 21, size_t count = 400) {
+    uncertain::SyntheticOptions synth;
+    synth.dim = 2;
+    synth.count = count;
+    synth.samples_per_object = 40;
+    synth.max_region_extent = 150;
+    synth.domain_hi = 1000;
+    synth.seed = seed;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+    pv = pv::PvIndex::Build(*db, &pv_pager, {}).value();
+    uv = uv::UvIndex::Build(*db, &uv_pager, {}).value();
+    rtree = BuildUncertaintyRtree(*db);
+  }
+
+  EngineBackends All() {
+    EngineBackends b;
+    b.pv = pv.get();
+    b.uv = uv.get();
+    b.rtree = rtree.get();
+    return b;
+  }
+
+  std::vector<geom::Point> RandomQueries(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<geom::Point> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(
+          geom::Point{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)});
+    }
+    return out;
+  }
+
+  /// The sequential library pipeline for one backend kind.
+  std::vector<pv::PnnResult> Sequential(BackendKind kind,
+                                        const geom::Point& q) const {
+    std::vector<uncertain::ObjectId> step1;
+    switch (kind) {
+      case BackendKind::kPvIndex:
+        step1 = pv->QueryPossibleNN(q).value();
+        break;
+      case BackendKind::kUvIndex:
+        step1 = uv->QueryPossibleNN(q).value();
+        break;
+      case BackendKind::kRtree:
+        step1 = rtree::PnnStep1BranchAndPrune(*rtree, q);
+        break;
+    }
+    pv::PnnStep2Evaluator step2(db.get());
+    return step2.Evaluate(q, step1);
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  storage::InMemoryPager pv_pager;
+  storage::InMemoryPager uv_pager;
+  std::unique_ptr<pv::PvIndex> pv;
+  std::unique_ptr<uv::UvIndex> uv;
+  std::unique_ptr<rtree::RStarTree> rtree;
+};
+
+/// One world shared by all tests that never mutate the dataset/indexes.
+EngineWorld& SharedWorld() {
+  static EngineWorld* world = new EngineWorld();
+  return *world;
+}
+
+void ExpectAnswersEqual(const std::vector<pv::PnnResult>& expected,
+                        const PnnAnswer& actual) {
+  ASSERT_TRUE(actual.status.ok()) << actual.status.ToString();
+  ASSERT_EQ(actual.results.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.results[i].id, expected[i].id);
+    // Bit-identical: the engine runs the same code over the same candidate
+    // order, cached or not.
+    EXPECT_EQ(actual.results[i].probability, expected[i].probability);
+  }
+}
+
+/// Near-compare for answers across an index round-trip (insert then delete):
+/// the leaf rewrite may reorder candidates, which reorders Step-2's
+/// survival-product multiplications — same values up to FP associativity.
+void ExpectAnswersClose(const std::vector<pv::PnnResult>& expected,
+                        const PnnAnswer& actual) {
+  ASSERT_TRUE(actual.status.ok()) << actual.status.ToString();
+  ASSERT_EQ(actual.results.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.results[i].id, expected[i].id);
+    EXPECT_NEAR(actual.results[i].probability, expected[i].probability, 1e-9);
+  }
+}
+
+class QueryEngineBackendTest
+    : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(QueryEngineBackendTest, BatchedParallelMatchesSequential) {
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions options;
+  options.threads = 4;
+  options.backend_override = GetParam();
+  auto engine = QueryEngine::Create(world.db.get(), world.All(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine.value()->active_backend(), GetParam());
+
+  const auto queries = world.RandomQueries(64, 99);
+  // Two rounds: the second is served from warm cache on leaf-structured
+  // backends and must still be identical.
+  for (int round = 0; round < 2; ++round) {
+    ServiceStats stats;
+    const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+    ASSERT_EQ(answers.size(), queries.size());
+    EXPECT_EQ(stats.queries, static_cast<int64_t>(queries.size()));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectAnswersEqual(world.Sequential(GetParam(), queries[i]), answers[i]);
+    }
+  }
+  if (GetParam() != BackendKind::kRtree) {
+    EXPECT_GT(engine.value()->cache()->hits(), 0)
+        << "second round should hit the leaf cache";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, QueryEngineBackendTest,
+                         ::testing::Values(BackendKind::kPvIndex,
+                                           BackendKind::kUvIndex,
+                                           BackendKind::kRtree),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+TEST(QueryEngineTest, AsyncSubmitMatchesSequential) {
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions options;
+  options.threads = 2;
+  options.backend_override = BackendKind::kPvIndex;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+
+  const auto queries = world.RandomQueries(16, 5);
+  std::vector<std::future<PnnAnswer>> futures;
+  for (const auto& q : queries) futures.push_back(engine->Submit(q));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectAnswersEqual(world.Sequential(BackendKind::kPvIndex, queries[i]),
+                       futures[i].get());
+  }
+}
+
+TEST(QueryEngineTest, PlannerPicksPvWithoutOverride) {
+  EngineWorld& world = SharedWorld();
+  auto engine = QueryEngine::Create(world.db.get(), world.All(), {}).value();
+  EXPECT_EQ(engine->active_backend(), BackendKind::kPvIndex);
+  EXPECT_FALSE(engine->plan_reason().empty());
+}
+
+TEST(QueryEngineTest, OutOfDomainQueryFailsOnlyThatAnswer) {
+  EngineWorld& world = SharedWorld();
+  auto engine = QueryEngine::Create(world.db.get(), world.All(), {}).value();
+  std::vector<geom::Point> queries{geom::Point{500, 500},
+                                   geom::Point{5000, 5000}};  // outside
+  const auto answers = engine->ExecuteBatch(queries);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers[0].status.ok());
+  EXPECT_FALSE(answers[1].status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: cache hits and invalidation across insert/delete
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngineTest, CacheHitThenInvalidationOnInsertAndDelete) {
+  EngineWorld world;
+  QueryEngineOptions options;
+  options.threads = 2;
+  options.backend_override = BackendKind::kPvIndex;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+
+  const std::vector<geom::Point> queries{geom::Point{500, 500}};
+  auto first = engine->ExecuteBatch(queries);
+  ASSERT_TRUE(first[0].status.ok());
+  EXPECT_FALSE(first[0].cache_hit);
+  auto second = engine->ExecuteBatch(queries);
+  EXPECT_TRUE(second[0].cache_hit);
+  {
+    SCOPED_TRACE("second-vs-first");
+    ExpectAnswersEqual(first[0].results, second[0]);
+  }
+  EXPECT_GE(engine->cache()->size(), 1u);
+
+  // Insert near the query: the hook must flush the PV cache so the next
+  // answer reflects the new object.
+  Rng rng(77);
+  const uncertain::ObjectId new_id = 1000000;
+  ASSERT_TRUE(engine
+                  ->Insert(uncertain::UncertainObject::UniformSampled(
+                      new_id,
+                      geom::Rect(geom::Point{495, 495}, geom::Point{505, 505}),
+                      40, &rng))
+                  .ok());
+  EXPECT_EQ(engine->cache()->size(), 0u) << "insert must invalidate the cache";
+
+  auto third = engine->ExecuteBatch(queries);
+  ASSERT_TRUE(third[0].status.ok());
+  EXPECT_FALSE(third[0].cache_hit);
+  {
+    SCOPED_TRACE("third-vs-sequential");
+    ExpectAnswersEqual(world.Sequential(BackendKind::kPvIndex, queries[0]),
+                       third[0]);  // same index state: exact
+  }
+  const bool new_object_answers =
+      std::any_of(third[0].results.begin(), third[0].results.end(),
+                  [&](const pv::PnnResult& r) { return r.id == new_id; });
+  EXPECT_TRUE(new_object_answers)
+      << "an object overlapping the query point must be a PNNQ answer";
+
+  // Delete it again: cache flushed, answers return to the original set.
+  engine->ExecuteBatch(queries);  // warm the cache once more
+  ASSERT_TRUE(engine->Delete(new_id).ok());
+  EXPECT_EQ(engine->cache()->size(), 0u) << "delete must invalidate the cache";
+  auto fourth = engine->ExecuteBatch(queries);
+  ExpectAnswersClose(first[0].results, fourth[0]);
+}
+
+TEST(QueryEngineTest, MutationsRequirePvBackend) {
+  EngineWorld& world = SharedWorld();  // mutation is rejected before any write
+  QueryEngineOptions options;
+  options.backend_override = BackendKind::kRtree;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+  Rng rng(3);
+  EXPECT_EQ(engine
+                ->Insert(uncertain::UncertainObject::UniformSampled(
+                    999999, geom::Rect::Cube(2, 10, 20), 10, &rng))
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: concurrency stress
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngineTest, StressNoLostOrDuplicatedAnswers) {
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions options;
+  options.threads = 4;
+  options.backend_override = BackendKind::kPvIndex;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+
+  const auto queries = world.RandomQueries(2000, 13);
+  std::vector<std::vector<pv::PnnResult>> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) {
+    expected.push_back(world.Sequential(BackendKind::kPvIndex, q));
+  }
+
+  // Four external threads hammer the same engine with the full batch each;
+  // every caller must get its complete, correctly-ordered answer vector.
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      const auto answers = engine->ExecuteBatch(queries);
+      if (answers.size() != queries.size()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (!answers[i].status.ok() ||
+            answers[i].results.size() != expected[i].size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t j = 0; j < expected[i].size(); ++j) {
+          if (answers[i].results[j].id != expected[i][j].id ||
+              answers[i].results[j].probability !=
+                  expected[i][j].probability) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(QueryEngineTest, MutationsInterleaveSafelyWithQueries) {
+  EngineWorld world;
+  QueryEngineOptions options;
+  options.threads = 4;
+  options.backend_override = BackendKind::kPvIndex;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+
+  // One external thread streams async queries while this thread runs
+  // insert/delete cycles. Probabilities must always form a distribution
+  // (the engine never serves a half-updated index).
+  std::atomic<bool> stop{false};
+  std::thread querier([&] {
+    Rng rng(55);
+    while (!stop.load()) {
+      const geom::Point q{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
+      const PnnAnswer ans = engine->Submit(q).get();
+      if (!ans.status.ok()) {
+        ADD_FAILURE() << ans.status.ToString();
+        return;
+      }
+      if (!ans.results.empty()) {
+        double total = 0;
+        for (const auto& r : ans.results) total += r.probability;
+        if (std::abs(total - 1.0) > 1e-6) {
+          ADD_FAILURE() << "probabilities sum to " << total;
+          return;
+        }
+      }
+    }
+  });
+
+  Rng rng(66);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const uncertain::ObjectId id = 2000000 + static_cast<uint64_t>(cycle);
+    geom::Point lo{rng.NextUniform(0, 980), rng.NextUniform(0, 980)};
+    geom::Point hi{lo[0] + 15, lo[1] + 15};
+    ASSERT_TRUE(engine
+                    ->Insert(uncertain::UncertainObject::UniformSampled(
+                        id, geom::Rect(lo, hi), 20, &rng))
+                    .ok());
+    ASSERT_TRUE(engine->Delete(id).ok());
+  }
+  stop.store(true);
+  querier.join();
+}
+
+}  // namespace
+}  // namespace pvdb::service
