@@ -2,14 +2,28 @@
 //
 // google-benchmark micro-kernels for the hot paths that the figure-level
 // experiments are built from: the O(d) spatial-domination test, the
-// domination-count emptiness test, SE itself, R-tree kNN browsing and
-// PNNQ Step 2. Useful for regression-tracking the constants behind the
+// domination-count emptiness test, SE itself, R-tree kNN browsing, PNNQ
+// Step 2 (allocating and scratch-pooled), and scalar-vs-block Step-1 minmax
+// pruning. Useful for regression-tracking the constants behind the
 // paper-level results.
+//
+//   $ ./bench_micro_kernels                  # google-benchmark suite
+//   $ ./bench_micro_kernels --hotpath_json   # scalar-vs-batched JSON only
+//
+// --hotpath_json prints a machine-readable comparison of the scalar
+// Step1PruneMinMax baseline against the SoA block kernel (the
+// BENCH_hotpath.json source of truth) and exits.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
 #include "src/common/random.h"
+#include "src/common/timer.h"
 #include "src/eval/workload.h"
+#include "src/geom/distance_batch.h"
 #include "src/geom/domination.h"
 #include "src/geom/region_partition.h"
 #include "src/pv/pnnq.h"
@@ -118,6 +132,129 @@ void BM_PnnStep2(benchmark::State& state) {
 }
 BENCHMARK(BM_PnnStep2)->Arg(4)->Arg(16)->Arg(64);
 
+void BM_PnnStep2Scratch(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = static_cast<size_t>(candidates);
+  synth.samples_per_object = 500;
+  auto db = uncertain::GenerateSynthetic(synth);
+  pv::PnnStep2Evaluator step2(&db);
+  const auto ids = db.Ids();
+  const geom::Point q{5000, 5000, 5000};
+  pv::QueryScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step2.Evaluate(q, ids, &scratch));
+  }
+}
+BENCHMARK(BM_PnnStep2Scratch)->Arg(4)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Step-1 minmax pruning: scalar entry-list baseline vs. SoA block kernel
+// ---------------------------------------------------------------------------
+
+struct Step1Fixture {
+  std::vector<pv::LeafEntry> entries;
+  pv::LeafBlock block;
+  std::vector<geom::Point> queries;
+
+  Step1Fixture(int dim, size_t leaf_entries) {
+    Rng rng(71);
+    entries.reserve(leaf_entries);
+    for (size_t i = 0; i < leaf_entries; ++i) {
+      entries.push_back(pv::LeafEntry{i, RandomRegion(&rng, dim, 50)});
+    }
+    block = pv::LeafBlock::FromEntries(entries, dim);
+    for (int i = 0; i < 64; ++i) {
+      geom::Point q(dim);
+      for (int d = 0; d < dim; ++d) q[d] = rng.NextUniform(0, 10000);
+      queries.push_back(q);
+    }
+  }
+};
+
+void BM_Step1PruneScalar(benchmark::State& state) {
+  Step1Fixture fx(3, static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pv::Step1PruneMinMax(fx.entries, fx.queries[i++ & 63]));
+  }
+}
+BENCHMARK(BM_Step1PruneScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Step1PruneBlock(benchmark::State& state) {
+  Step1Fixture fx(3, static_cast<size_t>(state.range(0)));
+  pv::QueryScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pv::Step1PruneMinMax(fx.block, fx.queries[i++ & 63], &scratch));
+  }
+}
+BENCHMARK(BM_Step1PruneBlock)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// --hotpath_json: manual scalar-vs-batched timing in machine-readable form
+// ---------------------------------------------------------------------------
+
+double TimeNsPerOp(const std::function<void()>& op, int reps) {
+  // One warmup pass, then the timed run.
+  op();
+  StopWatch watch;
+  for (int r = 0; r < reps; ++r) op();
+  return watch.ElapsedMillis() * 1e6 / reps;
+}
+
+int RunHotpathJson() {
+  const int dim = 3;
+  const size_t sizes[] = {64, 256, 1024};
+  std::printf("[\n");
+  bool first = true;
+  for (size_t n : sizes) {
+    Step1Fixture fx(dim, n);
+    // Scale reps so each side runs a few milliseconds at every size.
+    const int reps = static_cast<int>(4u * 1024u * 1024u / n);
+    size_t qi = 0;
+    const double scalar_ns = TimeNsPerOp(
+        [&] {
+          benchmark::DoNotOptimize(
+              pv::Step1PruneMinMax(fx.entries, fx.queries[qi++ & 63]));
+        },
+        reps);
+    pv::QueryScratch scratch;
+    const double block_ns = TimeNsPerOp(
+        [&] {
+          benchmark::DoNotOptimize(
+              pv::Step1PruneMinMax(fx.block, fx.queries[qi++ & 63], &scratch));
+        },
+        reps);
+    const double convert_ns = TimeNsPerOp(
+        [&] {
+          benchmark::DoNotOptimize(pv::LeafBlock::FromEntries(fx.entries, dim));
+        },
+        reps / 4);
+    std::printf("%s  {\"kernel\": \"step1_prune_minmax\", \"dim\": %d, "
+                "\"leaf_entries\": %zu, \"scalar_ns_per_query\": %.1f, "
+                "\"block_ns_per_query\": %.1f, \"block_build_ns\": %.1f, "
+                "\"speedup\": %.2f}",
+                first ? "" : ",\n", dim, n, scalar_ns, block_ns, convert_ns,
+                scalar_ns / block_ns);
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hotpath_json") == 0) return RunHotpathJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,12 +2,18 @@
 //
 // Serving-path throughput: batched PNNQ over the PV-index through the
 // QueryEngine, swept over batch size {1, 64, 1024} × thread count {1, 4, 8}
-// on a 10k-object synthetic database. Emits a JSON array of
-// {batch, threads, qps, p50_ms, p99_ms, cache_hit_rate} so later PRs have a
-// serving-path trajectory to beat; the closing summary reports the
-// 8-thread / 1-thread speedup at the largest batch (expected > 2× on
-// machines with >= 8 hardware threads; ~1× on single-core containers,
-// where no wall-clock parallelism exists — see the hardware-threads line).
+// on a 10k-object synthetic database. Emits one JSON object:
+//   "configs"  — [{batch, threads, qps, p50_ms, p99_ms, cache_hit_rate}]
+//     so later PRs have a serving-path trajectory to beat; the closing
+//     stderr summary reports the 8-thread / 1-thread speedup at the largest
+//     batch (expected > 2× on machines with >= 8 hardware threads; ~1× on
+//     single-core containers, where no wall-clock parallelism exists — see
+//     the hardware-threads line).
+//   "hotpath_single_thread" — the scalar/allocating library pipeline
+//     (row-wise QueryPoint + scalar Step1PruneMinMax + allocating Evaluate)
+//     vs the block/scratch pipeline the engine now serves from
+//     (QueryPointBlock + batched block prune + QueryScratch Evaluate), one
+//     thread, same queries, with the end-to-end speedup.
 //
 //   $ ./bench_service_throughput [--smoke]
 //
@@ -88,6 +94,47 @@ ConfigResult RunConfig(uncertain::Dataset* db, pv::PvIndex* index,
   return r;
 }
 
+struct HotpathResult {
+  double scalar_qps;
+  double block_qps;
+  double speedup;
+};
+
+/// Single-thread before/after of the library hot path itself, outside the
+/// engine: the pre-refactor pipeline (row-wise leaf read, scalar minmax
+/// prune, allocating Step 2) against the block/scratch pipeline. Both sides
+/// produce bit-identical answers (asserted by tests); only the data layout
+/// and allocation behavior differ.
+HotpathResult RunHotpathComparison(uncertain::Dataset* db, pv::PvIndex* index,
+                                   const std::vector<geom::Point>& queries) {
+  pv::PnnStep2Evaluator step2(db);
+  size_t sink = 0;
+
+  StopWatch scalar_watch;
+  for (const geom::Point& q : queries) {
+    const auto entries = index->primary().QueryPoint(q).value();
+    const auto candidates = pv::Step1PruneMinMax(entries, q);
+    sink += step2.Evaluate(q, candidates).size();
+  }
+  const double scalar_s = scalar_watch.ElapsedSeconds();
+
+  pv::QueryScratch scratch;
+  StopWatch block_watch;
+  for (const geom::Point& q : queries) {
+    const auto block = index->primary().QueryPointBlock(q).value();
+    const auto candidates = pv::Step1PruneMinMax(block, q, &scratch);
+    sink += step2.Evaluate(q, candidates, &scratch).size();
+  }
+  const double block_s = block_watch.ElapsedSeconds();
+
+  std::fprintf(stderr, "# hotpath answers sink: %zu\n", sink);
+  HotpathResult r;
+  r.scalar_qps = scalar_s > 0 ? queries.size() / scalar_s : 0.0;
+  r.block_qps = block_s > 0 ? queries.size() / block_s : 0.0;
+  r.speedup = r.scalar_qps > 0 ? r.block_qps / r.scalar_qps : 0.0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,7 +180,7 @@ int main(int argc, char** argv) {
   double qps_1t_big = 0.0;
   double qps_8t_big = 0.0;
 
-  std::printf("[\n");
+  std::printf("{\n  \"configs\": [\n");
   bool first = true;
   for (size_t batch : batches) {
     for (int t : threads) {
@@ -142,7 +189,7 @@ int main(int argc, char** argv) {
       if (batch == 1024 && t == 1) qps_1t_big = r.qps;
       if (batch == 1024 && t == 8) qps_8t_big = r.qps;
       std::printf(
-          "%s  {\"batch\": %zu, \"threads\": %d, \"queries\": %zu, "
+          "%s    {\"batch\": %zu, \"threads\": %d, \"queries\": %zu, "
           "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
           "\"cache_hit_rate\": %.4f}",
           first ? "" : ",\n", r.batch, r.threads, queries.size(), r.qps,
@@ -151,12 +198,21 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  std::printf("\n]\n");
+  std::printf("\n  ],\n");
+
+  const HotpathResult hp =
+      RunHotpathComparison(&db, index.value().get(), queries);
+  std::printf("  \"hotpath_single_thread\": {\"scalar_qps\": %.1f, "
+              "\"block_qps\": %.1f, \"speedup\": %.2f}\n}\n",
+              hp.scalar_qps, hp.block_qps, hp.speedup);
 
   if (qps_1t_big > 0.0) {
     const double speedup = qps_8t_big / qps_1t_big;
     std::fprintf(stderr, "# speedup batch=1024: 8 threads = %.2fx 1 thread\n",
                  speedup);
   }
+  std::fprintf(stderr,
+               "# hotpath single-thread: block/scratch = %.2fx scalar\n",
+               hp.speedup);
   return 0;
 }

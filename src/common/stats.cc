@@ -51,25 +51,44 @@ MetricRegistry& MetricRegistry::operator=(MetricRegistry&& other) noexcept {
   return *this;
 }
 
+MetricRegistry::Counter* MetricRegistry::FindOrCreateLocked(
+    const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricRegistry::Counter* MetricRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreateLocked(name);
+}
+
 void MetricRegistry::Increment(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  FindOrCreateLocked(name)->Increment(delta);
 }
 
 int64_t MetricRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second->value();
 }
 
 void MetricRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [_, v] : counters_) v = 0;
+  for (auto& [_, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
 }
 
 double PercentileSorted(std::span<const double> sorted, double p) {

@@ -6,8 +6,10 @@
 #ifndef PVDB_COMMON_STATS_H_
 #define PVDB_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -42,16 +44,38 @@ class Summary {
 
 /// Named monotonic counters, grouped per component instance.
 ///
-/// Increments are guarded by an internal mutex so that the serving path
-/// (src/service/) can run concurrent queries against a shared pager or
-/// R-tree. Single-threaded experiments keep the paper's semantics: counter
-/// deltas around a query are exact when no other thread touches the same
-/// component instance.
+/// Counter values are atomics. By-name Increment takes the registry mutex to
+/// find (or create) the counter; hot paths pre-resolve a Counter* handle
+/// with Register() once and then increment lock-free, so concurrent workers
+/// charging the same counter never serialize on the registry. Name lookups
+/// and handle increments address the same underlying value.
+/// Single-threaded experiments keep the paper's semantics: counter deltas
+/// around a query are exact when no other thread touches the same component
+/// instance.
 class MetricRegistry {
  public:
+  /// A pre-registered counter: wait-free increments, no name lookup. Handles
+  /// stay valid for the registry's lifetime (counters are never removed).
+  class Counter {
+   public:
+    void Increment(int64_t delta = 1) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class MetricRegistry;
+    Counter() = default;
+    std::atomic<int64_t> value_{0};
+  };
+
   MetricRegistry() = default;
   MetricRegistry(MetricRegistry&& other) noexcept;
   MetricRegistry& operator=(MetricRegistry&& other) noexcept;
+
+  /// The handle for counter `name`, creating it at zero. The same name
+  /// always yields the same handle.
+  Counter* Register(const std::string& name);
 
   /// Adds `delta` to counter `name` (creating it at zero).
   void Increment(const std::string& name, int64_t delta = 1);
@@ -66,8 +90,12 @@ class MetricRegistry {
   std::map<std::string, int64_t> Snapshot() const;
 
  private:
+  Counter* FindOrCreateLocked(const std::string& name);
+
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
+  // unique_ptr values: Counter addresses survive map growth, so Register()'d
+  // handles (and moves of the whole registry) never dangle.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
 };
 
 /// The p-th percentile (p in [0, 100]) of an ascending-sorted sample span

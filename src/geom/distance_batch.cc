@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/distance_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvdb::geom {
+
+// Both kernels accumulate out[i] across dimensions in ascending dimension
+// order — the same sequence of partial sums the scalar functions produce for
+// one rectangle — so results match bit for bit. The inner loops are
+// branch-free (max/abs select instead of compare-and-jump) and read nothing
+// but the two contiguous bound arrays of the current dimension.
+
+void MinDistSqBatch(const RectSoA& rects, const Point& q,
+                    std::span<double> out) {
+  PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
+  const size_t n = rects.size();
+  PVDB_DCHECK(out.size() >= n);
+  double* o = out.data();
+  for (int d = 0; d < rects.dim(); ++d) {
+    const double* lo = rects.lo(d).data();
+    const double* hi = rects.hi(d).data();
+    const double p = q[d];
+    if (d == 0) {
+      // First dimension writes instead of accumulating — saves a zeroing
+      // pass over the output without changing the partial-sum sequence.
+      for (size_t i = 0; i < n; ++i) {
+        // max(lo - p, p - hi, 0): equals the scalar kernel's three-way
+        // branch exactly (lo <= hi, so at most one difference is positive).
+        // Plain ternaries (not std::max's reference form) so GCC
+        // if-converts and vectorizes.
+        const double below = lo[i] - p;
+        const double above = p - hi[i];
+        const double big = below > above ? below : above;
+        const double dist = big > 0.0 ? big : 0.0;
+        o[i] = dist * dist;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double below = lo[i] - p;
+        const double above = p - hi[i];
+        const double big = below > above ? below : above;
+        const double dist = big > 0.0 ? big : 0.0;
+        o[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MaxDistSqBatch(const RectSoA& rects, const Point& q,
+                    std::span<double> out) {
+  PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
+  const size_t n = rects.size();
+  PVDB_DCHECK(out.size() >= n);
+  double* o = out.data();
+  for (int d = 0; d < rects.dim(); ++d) {
+    const double* lo = rects.lo(d).data();
+    const double* hi = rects.hi(d).data();
+    const double p = q[d];
+    if (d == 0) {
+      for (size_t i = 0; i < n; ++i) {
+        const double dlo = std::abs(p - lo[i]);
+        const double dhi = std::abs(p - hi[i]);
+        const double dist = std::max(dlo, dhi);
+        o[i] = dist * dist;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double dlo = std::abs(p - lo[i]);
+        const double dhi = std::abs(p - hi[i]);
+        const double dist = std::max(dlo, dhi);
+        o[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
+                       std::span<double> min_out, std::span<double> max_out) {
+  PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
+  const size_t n = rects.size();
+  PVDB_DCHECK(min_out.size() >= n && max_out.size() >= n);
+  // restrict: every array is a distinct vector allocation, so the
+  // vectorizer can skip runtime alias-check versioning.
+  double* __restrict__ mn = min_out.data();
+  double* __restrict__ mx = max_out.data();
+  for (int d = 0; d < rects.dim(); ++d) {
+    const double* __restrict__ lo = rects.lo(d).data();
+    const double* __restrict__ hi = rects.hi(d).data();
+    const double p = q[d];
+    if (d == 0) {
+      for (size_t i = 0; i < n; ++i) {
+        const double below = lo[i] - p;
+        const double above = p - hi[i];
+        const double big = below > above ? below : above;
+        const double min_d = big > 0.0 ? big : 0.0;
+        const double dlo = std::abs(p - lo[i]);
+        const double dhi = std::abs(p - hi[i]);
+        const double max_d = dlo > dhi ? dlo : dhi;
+        mn[i] = min_d * min_d;
+        mx[i] = max_d * max_d;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double below = lo[i] - p;
+        const double above = p - hi[i];
+        const double big = below > above ? below : above;
+        const double min_d = big > 0.0 ? big : 0.0;
+        const double dlo = std::abs(p - lo[i]);
+        const double dhi = std::abs(p - hi[i]);
+        const double max_d = dlo > dhi ? dlo : dhi;
+        mn[i] += min_d * min_d;
+        mx[i] += max_d * max_d;
+      }
+    }
+  }
+}
+
+}  // namespace pvdb::geom

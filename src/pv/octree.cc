@@ -91,10 +91,11 @@ geom::Rect OctreePrimary::ChildRegion(const geom::Rect& region,
 // Leaf page I/O
 // ---------------------------------------------------------------------------
 
-Result<std::vector<LeafEntry>> OctreePrimary::ReadLeafEntries(
-    const Node* leaf) const {
-  std::vector<LeafEntry> out;
-  out.reserve(leaf->entry_count);
+template <typename Visitor>
+Status OctreePrimary::VisitLeafEntries(const Node* leaf,
+                                       Visitor&& visit) const {
+  double lo[geom::kMaxDim];
+  double hi[geom::kMaxDim];
   PageId id = leaf->head;
   while (id != kInvalidPageId) {
     Page page;
@@ -102,21 +103,48 @@ Result<std::vector<LeafEntry>> OctreePrimary::ReadLeafEntries(
     const uint32_t count = page.ReadAt<uint32_t>(kCountOffset);
     size_t off = kEntriesOffset;
     for (uint32_t k = 0; k < count; ++k) {
-      LeafEntry entry{0, geom::Rect(dim())};
-      entry.id = page.ReadAt<uint64_t>(off);
+      const uint64_t entry_id = page.ReadAt<uint64_t>(off);
       off += sizeof(uint64_t);
-      geom::Point lo(dim()), hi(dim());
       for (int i = 0; i < dim(); ++i) {
         lo[i] = page.ReadAt<double>(off);
         off += sizeof(double);
         hi[i] = page.ReadAt<double>(off);
         off += sizeof(double);
       }
-      entry.region = geom::Rect(lo, hi);
-      out.push_back(std::move(entry));
+      visit(entry_id, lo, hi);
     }
     id = page.ReadAt<PageId>(kNextOffset);
   }
+  return Status::OK();
+}
+
+Result<std::vector<LeafEntry>> OctreePrimary::ReadLeafEntries(
+    const Node* leaf) const {
+  std::vector<LeafEntry> out;
+  out.reserve(leaf->entry_count);
+  PVDB_RETURN_NOT_OK(VisitLeafEntries(
+      leaf, [&](uint64_t id, const double* lo, const double* hi) {
+        geom::Point plo(dim()), phi(dim());
+        for (int i = 0; i < dim(); ++i) {
+          plo[i] = lo[i];
+          phi[i] = hi[i];
+        }
+        out.push_back(LeafEntry{id, geom::Rect(plo, phi)});
+      }));
+  return out;
+}
+
+Result<LeafBlock> OctreePrimary::ReadLeafEntriesBlock(const Node* leaf) const {
+  // Same page walk, decoding each entry's interleaved (lo, hi) pairs into
+  // the per-dimension SoA arrays instead of a Rect.
+  LeafBlock out;
+  out.Reset(dim());
+  out.Reserve(leaf->entry_count);
+  PVDB_RETURN_NOT_OK(VisitLeafEntries(
+      leaf, [&](uint64_t id, const double* lo, const double* hi) {
+        out.ids.push_back(id);
+        out.rects.PushBackBounds(lo, hi);
+      }));
   return out;
 }
 
@@ -457,10 +485,20 @@ Result<std::vector<LeafEntry>> OctreePrimary::ReadLeaf(
   return ReadLeafEntries(ref.node);
 }
 
+Result<LeafBlock> OctreePrimary::ReadLeafBlock(const LeafRef& ref) const {
+  PVDB_CHECK(ref.node != nullptr && ref.node->is_leaf);
+  return ReadLeafEntriesBlock(ref.node);
+}
+
 Result<std::vector<LeafEntry>> OctreePrimary::QueryPoint(
     const geom::Point& q) const {
   PVDB_ASSIGN_OR_RETURN(LeafRef ref, FindLeaf(q));
   return ReadLeafEntries(ref.node);
+}
+
+Result<LeafBlock> OctreePrimary::QueryPointBlock(const geom::Point& q) const {
+  PVDB_ASSIGN_OR_RETURN(LeafRef ref, FindLeaf(q));
+  return ReadLeafEntriesBlock(ref.node);
 }
 
 Status OctreePrimary::CollectRec(const Node* node, const geom::Rect& region,

@@ -19,9 +19,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/geom/distance_batch.h"
 #include "src/geom/rect.h"
 #include "src/storage/pager.h"
 #include "src/uncertain/uncertain_object.h"
@@ -40,6 +42,50 @@ struct OctreeOptions {
 struct LeafEntry {
   uncertain::ObjectId id;
   geom::Rect region;
+};
+
+/// Structure-of-arrays mirror of a leaf's entry list: ids plus per-dimension
+/// contiguous lo/hi spans, the input format of the batched distance kernels
+/// (geom::MinDistSqBatch / MaxDistSqBatch). Position i is the same entry in
+/// both views — block order is the page-chain order, identical to the
+/// std::vector<LeafEntry> the row-wise readers return. This is the serving
+/// path's leaf currency: leaf reads decode pages straight into a LeafBlock,
+/// the service layer caches LeafBlock snapshots, and Step-1 pruning runs the
+/// two-pass block kernel over it.
+struct LeafBlock {
+  std::vector<uncertain::ObjectId> ids;
+  geom::RectSoA rects;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  /// Drops all entries and fixes the dimensionality.
+  void Reset(int dim) {
+    ids.clear();
+    rects.Reset(dim);
+  }
+
+  void Reserve(size_t n) {
+    ids.reserve(n);
+    rects.Reserve(n);
+  }
+
+  void PushBack(uncertain::ObjectId id, const geom::Rect& region) {
+    ids.push_back(id);
+    rects.PushBack(region);
+  }
+
+  /// Row-wise view of entry i (tests and slow paths).
+  LeafEntry At(size_t i) const { return LeafEntry{ids[i], rects.At(i)}; }
+
+  /// Converts a row-wise entry list, preserving order.
+  static LeafBlock FromEntries(std::span<const LeafEntry> entries, int dim) {
+    LeafBlock block;
+    block.Reset(dim);
+    block.Reserve(entries.size());
+    for (const LeafEntry& e : entries) block.PushBack(e.id, e.region);
+    return block;
+  }
 };
 
 /// The primary index. Pages are owned by the supplied pager; node headers
@@ -107,6 +153,10 @@ class OctreePrimary {
   /// Every page of the leaf's list is read (and counted by the pager).
   Result<std::vector<LeafEntry>> QueryPoint(const geom::Point& q) const;
 
+  /// Same leaf, same page reads, same entry order — decoded straight into
+  /// the SoA block the batched Step-1 kernels consume.
+  Result<LeafBlock> QueryPointBlock(const geom::Point& q) const;
+
   /// Handle to the unique leaf containing a query point: a stable id (never
   /// reused, retired when the leaf splits) plus the node for page reads.
   /// Invalidated by any mutation of the tree — the serving path holds a
@@ -124,6 +174,9 @@ class OctreePrimary {
   /// Reads all entries of a leaf previously located with FindLeaf (counted
   /// by the pager, same as QueryPoint).
   Result<std::vector<LeafEntry>> ReadLeaf(const LeafRef& ref) const;
+
+  /// Block variant of ReadLeaf: identical page reads and entry order.
+  Result<LeafBlock> ReadLeafBlock(const LeafRef& ref) const;
 
   /// Entries of every leaf overlapping `range`; may contain duplicates when
   /// an object's UBR spans several leaves (callers dedupe by id).
@@ -161,7 +214,14 @@ class OctreePrimary {
   Status RemoveRec(Node* node, const geom::Rect& region,
                    uncertain::ObjectId id, const geom::Rect& include,
                    const geom::Rect* exclude);
+  /// Walks every entry of a leaf's page chain in storage order, invoking
+  /// visit(id, lo, hi) with the decoded per-dimension bounds — the single
+  /// copy of the on-page entry layout, shared by the row-wise and block
+  /// readers below.
+  template <typename Visitor>
+  Status VisitLeafEntries(const Node* leaf, Visitor&& visit) const;
   Result<std::vector<LeafEntry>> ReadLeafEntries(const Node* leaf) const;
+  Result<LeafBlock> ReadLeafEntriesBlock(const Node* leaf) const;
   Status WriteLeafEntries(Node* leaf, const std::vector<LeafEntry>& entries);
   Status CollectRec(const Node* node, const geom::Rect& region,
                     const geom::Rect& range,

@@ -41,6 +41,49 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(
   return out;
 }
 
+std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlock& block,
+                                                  const geom::Point& q,
+                                                  QueryScratch* scratch) {
+  std::vector<uncertain::ObjectId> out;
+  const size_t n = block.size();
+  if (n == 0) return out;
+  QueryScratch local;
+  QueryScratch* s = scratch != nullptr ? scratch : &local;
+  s->min_dist_sq.resize(n);
+  s->max_dist_sq.resize(n);
+  const std::span<double> min_d(s->min_dist_sq.data(), n);
+  const std::span<double> max_d(s->max_dist_sq.data(), n);
+  geom::MinMaxDistSqBatch(block.rects, q, min_d, max_d);
+
+  // Pass 1: τ² = min over entries of MaxDistSq. min is order-insensitive,
+  // so four independent accumulator chains (ILP) give the exact value the
+  // scalar loop's sequential reduce produces.
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = t0, t2 = t0, t3 = t0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 = std::min(t0, max_d[i]);
+    t1 = std::min(t1, max_d[i + 1]);
+    t2 = std::min(t2, max_d[i + 2]);
+    t3 = std::min(t3, max_d[i + 3]);
+  }
+  for (; i < n; ++i) t0 = std::min(t0, max_d[i]);
+  const double tau_sq = std::min(std::min(t0, t1), std::min(t2, t3));
+
+  // Pass 2: keep entries with MinDistSq <= τ², preserving block order.
+  // Branchless compaction into the scratch staging buffer (unconditional
+  // store + predicated advance), then one exact-size copy out.
+  s->candidate_ids.resize(n);
+  uncertain::ObjectId* staged = s->candidate_ids.data();
+  size_t count = 0;
+  for (size_t k = 0; k < n; ++k) {
+    staged[count] = block.ids[k];
+    count += min_d[k] <= tau_sq ? 1 : 0;
+  }
+  out.assign(staged, staged + count);
+  return out;
+}
+
 PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::Dataset* db) : db_(db) {
   PVDB_CHECK(db_ != nullptr);
 }
@@ -57,71 +100,93 @@ int64_t PnnStep2Evaluator::RecordPages(
       storage::RecordStore::PagesNeeded(header + object));
 }
 
-namespace {
-
-// Per-candidate sorted distance distribution with suffix probability sums:
-// survival(t) = P(dist(o', q) > t) in O(log n).
-struct DistanceTable {
-  std::vector<double> dist;     // ascending
-  std::vector<double> suffix;   // suffix[i] = sum of probs of dist[i..]
-
-  double Survival(double t) const {
-    // First index with dist > t (strict: ties do not count as "farther").
-    const auto it = std::upper_bound(dist.begin(), dist.end(), t);
-    const size_t i = static_cast<size_t>(it - dist.begin());
-    return i < suffix.size() ? suffix[i] : 0.0;
-  }
-};
-
-DistanceTable BuildTable(const uncertain::UncertainObject& o,
-                         const geom::Point& q) {
-  std::vector<std::pair<double, double>> pairs;
-  pairs.reserve(o.pdf().size());
-  for (const auto& inst : o.pdf()) {
-    pairs.emplace_back(inst.position.DistanceTo(q), inst.probability);
-  }
-  std::sort(pairs.begin(), pairs.end());
-  DistanceTable table;
-  table.dist.resize(pairs.size());
-  table.suffix.resize(pairs.size());
-  double run = 0.0;
-  for (size_t i = pairs.size(); i-- > 0;) {
-    run += pairs[i].second;
-    table.dist[i] = pairs[i].first;
-    table.suffix[i] = run;
-  }
-  return table;
-}
-
-}  // namespace
-
 std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
     const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
     MetricRegistry* io, double min_probability) const {
-  std::vector<const uncertain::UncertainObject*> objs;
+  QueryScratch scratch;
+  MetricRegistry::Counter* counter =
+      io != nullptr ? io->Register(PnnCounters::kPdfPagesRead) : nullptr;
+  return Evaluate(q, candidates, &scratch, counter, min_probability);
+}
+
+std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
+    const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+    QueryScratch* scratch, MetricRegistry::Counter* io,
+    double min_probability) const {
+  PVDB_CHECK(scratch != nullptr);
+
+  auto& objs = scratch->objs;
+  objs.clear();
   objs.reserve(candidates.size());
   for (uncertain::ObjectId id : candidates) {
     const uncertain::UncertainObject* o = db_->Find(id);
     PVDB_CHECK(o != nullptr);
     objs.push_back(o);
     if (io != nullptr) {
-      io->Increment(PnnCounters::kPdfPagesRead, RecordPages(*o));
+      io->Increment(RecordPages(*o));
     }
   }
 
-  std::vector<DistanceTable> tables;
-  tables.reserve(objs.size());
-  for (const auto* o : objs) tables.push_back(BuildTable(*o, q));
+  // Per-candidate sorted distance distributions with suffix probability
+  // sums — survival(t) = P(dist(o', q) > t) in O(log n) — built into the
+  // scratch arena's flat arrays: candidate i occupies
+  // [offsets[i], offsets[i+1]) of inst_dist / dist / suffix.
+  auto& offsets = scratch->offsets;
+  offsets.clear();
+  offsets.reserve(objs.size() + 1);
+  size_t total = 0;
+  offsets.push_back(0);
+  for (const auto* o : objs) {
+    total += o->pdf().size();
+    offsets.push_back(total);
+  }
+  auto& inst_dist = scratch->inst_dist;
+  auto& dist = scratch->dist;
+  auto& suffix = scratch->suffix;
+  inst_dist.resize(total);
+  dist.resize(total);
+  suffix.resize(total);
+
+  auto& pairs = scratch->pairs;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t base = offsets[i];
+    pairs.clear();
+    pairs.reserve(pdf.size());
+    for (size_t k = 0; k < pdf.size(); ++k) {
+      const double d = pdf[k].position.DistanceTo(q);
+      inst_dist[base + k] = d;
+      pairs.emplace_back(d, pdf[k].probability);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    double run = 0.0;
+    for (size_t k = pairs.size(); k-- > 0;) {
+      run += pairs[k].second;
+      dist[base + k] = pairs[k].first;
+      suffix[base + k] = run;
+    }
+  }
+
+  // First sorted index with dist > t (strict: ties do not count as
+  // "farther"), read off candidate j's slice.
+  const auto survival = [&](size_t j, double t) {
+    const double* begin = dist.data() + offsets[j];
+    const double* end = dist.data() + offsets[j + 1];
+    const double* it = std::upper_bound(begin, end, t);
+    return it == end ? 0.0 : suffix[offsets[j] + static_cast<size_t>(it - begin)];
+  };
 
   std::vector<PnnResult> out;
   for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t base = offsets[i];
     double prob = 0.0;
-    for (const auto& inst : objs[i]->pdf()) {
-      const double d = inst.position.DistanceTo(q);
-      double world = inst.probability;
+    for (size_t k = 0; k < pdf.size(); ++k) {
+      const double d = inst_dist[base + k];
+      double world = pdf[k].probability;
       for (size_t j = 0; j < objs.size() && world > 0.0; ++j) {
         if (j == i) continue;
-        world *= tables[j].Survival(d);
+        world *= survival(j, d);
       }
       prob += world;
     }

@@ -11,15 +11,48 @@
 #ifndef PVDB_PV_PNNQ_H_
 #define PVDB_PV_PNNQ_H_
 
+#include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/geom/distance.h"
+#include "src/geom/distance_batch.h"
 #include "src/pv/octree.h"
 #include "src/uncertain/dataset.h"
 
 namespace pvdb::pv {
+
+/// Reusable per-query working memory for the PNNQ hot path. Step-1 block
+/// pruning writes its batched distance values here, and Step-2 builds every
+/// per-object sorted-distance table into the pooled flat arrays instead of
+/// fresh heap allocations per query. One scratch serves one query at a time;
+/// the service layer keeps one per worker thread, so steady-state serving
+/// does no per-query allocation beyond the answer vectors themselves.
+/// Contents carry no state between queries — every user overwrites what it
+/// reads — so reuse is safe and bit-transparent.
+struct QueryScratch {
+  /// Step 1: batched MinDistSq / MaxDistSq values, one slot per leaf entry.
+  std::vector<double> min_dist_sq;
+  std::vector<double> max_dist_sq;
+  /// Step 1: branchless-compaction staging buffer for surviving ids.
+  std::vector<uncertain::ObjectId> candidate_ids;
+
+  /// Step 2: borrowed candidate records, in candidate order.
+  std::vector<const uncertain::UncertainObject*> objs;
+  /// Step 2: (distance, probability) sort buffer for one object's pdf.
+  std::vector<std::pair<double, double>> pairs;
+  /// Step 2: per-candidate instance distances in pdf order, concatenated;
+  /// candidate i spans [offsets[i], offsets[i+1]).
+  std::vector<double> inst_dist;
+  /// Step 2: per-candidate ascending distances (same layout as inst_dist).
+  std::vector<double> dist;
+  /// Step 2: suffix probability sums aligned with `dist`.
+  std::vector<double> suffix;
+  /// Step 2: candidate slice boundaries into the flat arrays (size n + 1).
+  std::vector<size_t> offsets;
+};
 
 /// One PNNQ answer: an object and its qualification probability.
 struct PnnResult {
@@ -49,6 +82,16 @@ std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
 std::vector<uncertain::ObjectId> Step1PruneMinMax(
     std::span<const LeafEntry> entries, const geom::Point& q);
 
+/// Block form of the same pruning: two passes of the batched kernels (min
+/// over MaxDistSq fixes the threshold, then a MinDistSq filter) over the SoA
+/// leaf block. Candidate set and order are bit-identical to the scalar
+/// entry-list overload above, which remains the reference implementation.
+/// `scratch` pools the batched distance buffer; pass nullptr to allocate
+/// locally.
+std::vector<uncertain::ObjectId> Step1PruneMinMax(
+    const LeafBlock& block, const geom::Point& q,
+    QueryScratch* scratch = nullptr);
+
 /// Step 2 evaluator over a database's discrete pdfs.
 class PnnStep2Evaluator {
  public:
@@ -58,10 +101,21 @@ class PnnStep2Evaluator {
   /// Computes qualification probabilities for `candidates` at query `q`.
   /// Results with probability <= `min_probability` are dropped (the paper's
   /// PNNQ returns objects with probability > 0). Pdf page reads are charged
-  /// to `io` when provided.
+  /// to `io` when provided. Allocates a fresh QueryScratch per call;
+  /// probabilities are bit-identical to the scratch overload below.
   std::vector<PnnResult> Evaluate(const geom::Point& q,
                                   std::span<const uncertain::ObjectId> candidates,
                                   MetricRegistry* io = nullptr,
+                                  double min_probability = 0.0) const;
+
+  /// Hot-path overload: builds the per-object sorted-distance tables into
+  /// `scratch`'s pooled buffers (no per-query heap allocation at steady
+  /// state) and charges pdf page reads to the pre-registered `io` handle
+  /// lock-free. Same math, same order, bit-identical results.
+  std::vector<PnnResult> Evaluate(const geom::Point& q,
+                                  std::span<const uncertain::ObjectId> candidates,
+                                  QueryScratch* scratch,
+                                  MetricRegistry::Counter* io = nullptr,
                                   double min_probability = 0.0) const;
 
   /// Monte-Carlo estimator of the same probabilities by joint possible-world

@@ -115,28 +115,39 @@ CSetResult PvIndex::ChooseCSetFor(const uncertain::UncertainObject& o,
 }
 
 Result<std::vector<uncertain::ObjectId>> PvIndex::QueryPossibleNN(
-    const geom::Point& q) const {
-  PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> entries,
-                        primary_->QueryPoint(q));
+    const geom::Point& q, QueryScratch* scratch) const {
+  PVDB_ASSIGN_OR_RETURN(LeafBlock block, primary_->QueryPointBlock(q));
   // Minmax pruning (Section VI-A): an object whose minimum distance exceeds
   // some other candidate's maximum distance can never be the NN.
-  return Step1PruneMinMax(entries, q);
+  return Step1PruneMinMax(block, q, scratch);
 }
 
 int PvIndex::AddUpdateListener(std::function<void()> listener) {
   PVDB_CHECK(listener != nullptr);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   const int id = next_listener_id_++;
   update_listeners_.emplace_back(id, std::move(listener));
   return id;
 }
 
 void PvIndex::RemoveUpdateListener(int id) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   std::erase_if(update_listeners_,
                 [id](const auto& entry) { return entry.first == id; });
 }
 
 void PvIndex::NotifyUpdateListeners() const {
-  for (const auto& [_, listener] : update_listeners_) listener();
+  // Snapshot under the lock, invoke outside it: a listener is free to call
+  // Add/RemoveUpdateListener re-entrantly without deadlocking.
+  std::vector<std::function<void()>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    listeners.reserve(update_listeners_.size());
+    for (const auto& [_, listener] : update_listeners_) {
+      listeners.push_back(listener);
+    }
+  }
+  for (const auto& listener : listeners) listener();
 }
 
 // ---------------------------------------------------------------------------

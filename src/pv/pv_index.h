@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -92,9 +93,11 @@ class PvIndex {
 
   /// PNNQ Step 1: ids of all objects with non-zero probability of being the
   /// nearest neighbor of `q` (conservative candidate set after minmax
-  /// pruning — identical to the R-tree baseline's answer set).
+  /// pruning — identical to the R-tree baseline's answer set). Runs the
+  /// batched block kernel over the leaf's SoA view; `scratch` pools the
+  /// per-query distance buffer (nullptr allocates locally).
   Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
-      const geom::Point& q) const;
+      const geom::Point& q, QueryScratch* scratch = nullptr) const;
 
   /// Incremental maintenance (Section VI-B). `db_after` is the database
   /// state *after* the change; for insertion the new object must already be
@@ -109,9 +112,15 @@ class PvIndex {
   /// DeleteObject — the invalidation hook for layered components that
   /// memoize query state (the service layer's leaf-result cache). Returns a
   /// handle for RemoveUpdateListener; callers whose lifetime is shorter than
-  /// the index's must deregister. Listener management is not synchronized:
-  /// register/deregister while no concurrent mutation runs (the service
-  /// layer's writer lock already guarantees this for updates).
+  /// the index's must deregister. Registration, deregistration and
+  /// notification are internally synchronized (a small mutex taken only on
+  /// these mutation-time calls, never on the query path), so listeners may
+  /// be added or removed from any thread. Caveat: notification snapshots the
+  /// listener list and invokes outside the lock, so RemoveUpdateListener
+  /// does NOT wait for an in-flight notification — a removed listener may
+  /// fire once more. Don't destroy state a callback captures while a
+  /// mutation can be running (the engine joins its workers and holds no
+  /// mutation when it deregisters).
   int AddUpdateListener(std::function<void()> listener);
   void RemoveUpdateListener(int id);
 
@@ -153,6 +162,7 @@ class PvIndex {
   std::unique_ptr<SecondaryIndex> secondary_;
   std::unique_ptr<OctreePrimary> primary_;
   std::unique_ptr<rtree::RStarTree> mean_tree_;
+  mutable std::mutex listeners_mu_;  // guards the two members below
   std::vector<std::pair<int, std::function<void()>>> update_listeners_;
   int next_listener_id_ = 0;
 };

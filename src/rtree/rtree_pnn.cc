@@ -22,6 +22,8 @@ std::vector<uint64_t> PnnStep1BranchAndPrune(const RStarTree& tree,
     double min_sq;
   };
   std::vector<Candidate> candidates;
+  candidates.reserve(32);  // typical post-prune browse depth; avoids the
+                           // first few regrowths on the serving path
   auto it = tree.BrowseNearest(q);
   while (it.HasNext()) {
     const auto item = it.Next();

@@ -19,6 +19,12 @@ namespace pvdb::rtree {
 /// {o : MinDist(u(o), q) <= min_{o'} MaxDist(u(o'), q)}. The tree must index
 /// uncertainty regions keyed by object id. Node/leaf accesses are charged to
 /// the tree's metrics.
+///
+/// Step-1 parity contract: the returned set equals (as a set of ids) the
+/// PV-index's and UV-index's minmax-pruned answers and the linear-scan
+/// oracle pv::Step1BruteForce for every query point — the block-kernel
+/// rewrite of the octree backends must not disturb this. Asserted across
+/// all backends by tests/hotpath_test.cc.
 std::vector<uint64_t> PnnStep1BranchAndPrune(const RStarTree& tree,
                                              const geom::Point& q);
 

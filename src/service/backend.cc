@@ -32,8 +32,8 @@ class PvBackend final : public Backend {
   BackendKind kind() const override { return BackendKind::kPvIndex; }
 
   Result<std::vector<uncertain::ObjectId>> Step1(
-      const geom::Point& q) const override {
-    return index_->QueryPossibleNN(q);
+      const geom::Point& q, pv::QueryScratch* scratch) const override {
+    return index_->QueryPossibleNN(q, scratch);
   }
 
   Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
@@ -43,15 +43,15 @@ class PvBackend final : public Backend {
     return std::optional<pv::OctreePrimary::LeafRef>{ref};
   }
 
-  Result<std::vector<pv::LeafEntry>> ReadLeaf(
+  Result<pv::LeafBlock> ReadLeafBlock(
       const pv::OctreePrimary::LeafRef& ref) const override {
-    return index_->primary().ReadLeaf(ref);
+    return index_->primary().ReadLeafBlock(ref);
   }
 
-  std::vector<uncertain::ObjectId> PruneLeafEntries(
-      std::span<const pv::LeafEntry> entries,
-      const geom::Point& q) const override {
-    return pv::Step1PruneMinMax(entries, q);
+  std::vector<uncertain::ObjectId> PruneLeafBlock(
+      const pv::LeafBlock& block, const geom::Point& q,
+      pv::QueryScratch* scratch) const override {
+    return pv::Step1PruneMinMax(block, q, scratch);
   }
 
  private:
@@ -67,8 +67,8 @@ class UvBackend final : public Backend {
   BackendKind kind() const override { return BackendKind::kUvIndex; }
 
   Result<std::vector<uncertain::ObjectId>> Step1(
-      const geom::Point& q) const override {
-    return index_->QueryPossibleNN(q);
+      const geom::Point& q, pv::QueryScratch* scratch) const override {
+    return index_->QueryPossibleNN(q, scratch);
   }
 
   Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
@@ -78,16 +78,17 @@ class UvBackend final : public Backend {
     return std::optional<pv::OctreePrimary::LeafRef>{ref};
   }
 
-  Result<std::vector<pv::LeafEntry>> ReadLeaf(
+  Result<pv::LeafBlock> ReadLeafBlock(
       const pv::OctreePrimary::LeafRef& ref) const override {
-    return index_->primary().ReadLeaf(ref);
+    return index_->primary().ReadLeafBlock(ref);
   }
 
-  std::vector<uncertain::ObjectId> PruneLeafEntries(
-      std::span<const pv::LeafEntry> entries,
-      const geom::Point& q) const override {
+  std::vector<uncertain::ObjectId> PruneLeafBlock(
+      const pv::LeafBlock& block, const geom::Point& q,
+      pv::QueryScratch* scratch) const override {
     // Mirror UvIndex::QueryPossibleNN exactly: prune, then dedupe.
-    std::vector<uncertain::ObjectId> out = pv::Step1PruneMinMax(entries, q);
+    std::vector<uncertain::ObjectId> out =
+        pv::Step1PruneMinMax(block, q, scratch);
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
@@ -106,7 +107,8 @@ class RtreeBackend final : public Backend {
   BackendKind kind() const override { return BackendKind::kRtree; }
 
   Result<std::vector<uncertain::ObjectId>> Step1(
-      const geom::Point& q) const override {
+      const geom::Point& q, pv::QueryScratch* scratch) const override {
+    (void)scratch;  // branch-and-prune is inherently sequential; no batching
     return rtree::PnnStep1BranchAndPrune(*tree_, q);
   }
 

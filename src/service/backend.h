@@ -12,11 +12,11 @@
 
 #include <memory>
 #include <optional>
-#include <span>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/pv/octree.h"
+#include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
 #include "src/rtree/rstar_tree.h"
 #include "src/uncertain/uncertain_object.h"
@@ -47,8 +47,12 @@ class Backend {
   /// Step 1: ids of all objects with non-zero probability of being the NN
   /// of `q` — exactly the underlying index's answer (same values, same
   /// order), so serving-path results are bit-identical to library calls.
+  /// `scratch` pools per-query buffers (may be nullptr; implementations
+  /// that do not batch ignore it). Deliberately no default argument:
+  /// defaults on virtuals bind to the static type and invite divergence
+  /// between overrides.
   virtual Result<std::vector<uncertain::ObjectId>> Step1(
-      const geom::Point& q) const = 0;
+      const geom::Point& q, pv::QueryScratch* scratch) const = 0;
 
   /// Leaf-cache protocol. Backends with a point-addressable leaf structure
   /// (PV, UV: one octree leaf per query point) locate the leaf without page
@@ -60,20 +64,23 @@ class Backend {
     return std::optional<pv::OctreePrimary::LeafRef>{};
   }
 
-  /// Reads the raw entries of a leaf located by FindLeaf (page reads are
-  /// charged to the index's pager, same as an uncached query).
-  virtual Result<std::vector<pv::LeafEntry>> ReadLeaf(
+  /// Reads a leaf located by FindLeaf as an SoA block (page reads are
+  /// charged to the index's pager, same as an uncached query). The block is
+  /// what the engine's leaf-result cache memoizes.
+  virtual Result<pv::LeafBlock> ReadLeafBlock(
       const pv::OctreePrimary::LeafRef& ref) const {
     (void)ref;
     return Status::NotSupported("backend has no leaf structure");
   }
 
-  /// Derives the Step-1 answer from (possibly cached) leaf entries. Must
-  /// equal Step1(q) for the leaf containing q.
-  virtual std::vector<uncertain::ObjectId> PruneLeafEntries(
-      std::span<const pv::LeafEntry> entries, const geom::Point& q) const {
-    (void)entries;
+  /// Derives the Step-1 answer from a (possibly cached) leaf block via the
+  /// batched minmax kernels. Must equal Step1(q) for the leaf containing q.
+  virtual std::vector<uncertain::ObjectId> PruneLeafBlock(
+      const pv::LeafBlock& block, const geom::Point& q,
+      pv::QueryScratch* scratch) const {
+    (void)block;
     (void)q;
+    (void)scratch;
     return {};
   }
 };

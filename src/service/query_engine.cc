@@ -54,6 +54,8 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   PVDB_CHECK(engine->active_ != nullptr);
   engine->plan_reason_ = std::move(plan.reason);
 
+  engine->step2_pages_ =
+      engine->metrics_.Register(pv::PnnCounters::kPdfPagesRead);
   if (options.cache_capacity > 0) {
     engine->cache_ = std::make_unique<ResultCache>(options.cache_capacity);
   }
@@ -77,6 +79,12 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
   StopWatch watch;
   std::shared_lock<std::shared_mutex> lock(mu_);
 
+  // One scratch arena per worker thread (and per external caller thread):
+  // Step-1 block pruning and Step-2 table building reuse its buffers across
+  // every query this thread serves, so the steady-state hot path performs
+  // no per-query heap allocation beyond the answer vectors.
+  static thread_local pv::QueryScratch scratch;
+
   std::vector<uncertain::ObjectId> candidates;
   bool served_from_leaf = false;
   if (cache_ != nullptr) {
@@ -88,25 +96,25 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
     }
     if (ref_or.value().has_value()) {
       const pv::OctreePrimary::LeafRef ref = *ref_or.value();
-      ResultCache::EntriesPtr entries = cache_->Lookup(active_->kind(), ref.id);
-      if (entries != nullptr) {
+      ResultCache::BlockPtr block = cache_->Lookup(active_->kind(), ref.id);
+      if (block != nullptr) {
         ans.cache_hit = true;
       } else {
-        auto read = active_->ReadLeaf(ref);
+        auto read = active_->ReadLeafBlock(ref);
         if (!read.ok()) {
           ans.status = read.status();
           ans.latency_ms = watch.ElapsedMillis();
           return ans;
         }
-        entries = cache_->Insert(active_->kind(), ref.id,
-                                 std::move(read).value());
+        block = cache_->Insert(active_->kind(), ref.id,
+                               std::move(read).value());
       }
-      candidates = active_->PruneLeafEntries(*entries, q);
+      candidates = active_->PruneLeafBlock(*block, q, &scratch);
       served_from_leaf = true;
     }
   }
   if (!served_from_leaf) {
-    auto step1 = active_->Step1(q);
+    auto step1 = active_->Step1(q, &scratch);
     if (!step1.ok()) {
       ans.status = step1.status();
       ans.latency_ms = watch.ElapsedMillis();
@@ -116,8 +124,8 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
   }
 
   ans.results =
-      step2_.Evaluate(q, candidates,
-                      options_.charge_step2_io ? &metrics_ : nullptr,
+      step2_.Evaluate(q, candidates, &scratch,
+                      options_.charge_step2_io ? step2_pages_ : nullptr,
                       options_.min_probability);
   ans.latency_ms = watch.ElapsedMillis();
   return ans;

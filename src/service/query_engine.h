@@ -43,11 +43,11 @@ struct QueryEngineOptions {
   std::optional<BackendKind> backend_override;
   /// Step-2 answers with probability <= this are dropped (paper: > 0).
   double min_probability = 0.0;
-  /// Charge Step-2 pdf page reads to the engine's MetricRegistry. Off by
-  /// default: the registry is a string-keyed map behind one mutex, and a
-  /// per-candidate charge from every worker serializes the hot path. Turn
-  /// on for I/O-accounting experiments, not for throughput serving.
-  bool charge_step2_io = false;
+  /// Charge Step-2 pdf page reads to the engine's MetricRegistry. The
+  /// charge goes through a pre-registered atomic counter handle (wait-free,
+  /// no name lookup), so it costs one relaxed fetch_add per candidate and
+  /// is safe to leave on for throughput serving.
+  bool charge_step2_io = true;
 };
 
 /// One served query's outcome.
@@ -153,6 +153,9 @@ class QueryEngine {
   int pv_listener_id_ = -1;
   std::unique_ptr<ResultCache> cache_;
   mutable MetricRegistry metrics_;
+  // Pre-registered Step-2 I/O counter: workers charge it lock-free instead
+  // of taking the registry mutex per candidate.
+  MetricRegistry::Counter* step2_pages_ = nullptr;
   mutable std::shared_mutex mu_;
   // Last member: destroyed (joined) first, while the state above is alive.
   std::unique_ptr<ThreadPool> pool_;

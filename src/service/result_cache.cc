@@ -19,8 +19,8 @@ uint64_t ResultCache::PackKey(BackendKind backend, uint64_t leaf_id) {
   return (static_cast<uint64_t>(backend) << 56) | leaf_id;
 }
 
-ResultCache::EntriesPtr ResultCache::Lookup(BackendKind backend,
-                                            uint64_t leaf_id) {
+ResultCache::BlockPtr ResultCache::Lookup(BackendKind backend,
+                                          uint64_t leaf_id) {
   const uint64_t key = PackKey(backend, leaf_id);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
@@ -30,19 +30,18 @@ ResultCache::EntriesPtr ResultCache::Lookup(BackendKind backend,
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return it->second.entries;
+  return it->second.block;
 }
 
-ResultCache::EntriesPtr ResultCache::Insert(BackendKind backend,
-                                            uint64_t leaf_id,
-                                            std::vector<pv::LeafEntry> entries) {
+ResultCache::BlockPtr ResultCache::Insert(BackendKind backend,
+                                          uint64_t leaf_id,
+                                          pv::LeafBlock block) {
   const uint64_t key = PackKey(backend, leaf_id);
-  auto snapshot = std::make_shared<const std::vector<pv::LeafEntry>>(
-      std::move(entries));
+  auto snapshot = std::make_shared<const pv::LeafBlock>(std::move(block));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
-    it->second.entries = snapshot;
+    it->second.block = snapshot;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return snapshot;
   }

@@ -1,12 +1,14 @@
 // Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
 //
-// LRU cache of raw leaf candidate sets, keyed by (backend, octree leaf id).
-// Point queries landing in the same leaf skip the leaf's page-chain reads
-// and re-run only the in-memory minmax pruning, which is query-specific.
-// Entries are shared_ptr snapshots, so a hit handed to one worker stays
-// valid while another worker evicts it. Invalidation is wired to PvIndex
-// insert/delete through the engine (leaf ids survive in-place leaf rewrites,
-// so content changes must flush the cache).
+// LRU cache of raw leaf candidate blocks, keyed by (backend, octree leaf
+// id). Point queries landing in the same leaf skip the leaf's page-chain
+// reads and re-run only the in-memory minmax pruning, which is
+// query-specific. Cached leaves are SoA LeafBlocks — the exact input format
+// of the batched Step-1 kernels — so a hit feeds the block prune with zero
+// conversion. Entries are shared_ptr snapshots, so a hit handed to one
+// worker stays valid while another worker evicts it. Invalidation is wired
+// to PvIndex insert/delete through the engine (leaf ids survive in-place
+// leaf rewrites, so content changes must flush the cache).
 
 #ifndef PVDB_SERVICE_RESULT_CACHE_H_
 #define PVDB_SERVICE_RESULT_CACHE_H_
@@ -23,23 +25,22 @@
 
 namespace pvdb::service {
 
-/// Thread-safe LRU over leaf entry vectors. All methods lock internally;
+/// Thread-safe LRU over leaf blocks. All methods lock internally;
 /// concurrent readers under the engine's shared lock are supported.
 class ResultCache {
  public:
-  using EntriesPtr = std::shared_ptr<const std::vector<pv::LeafEntry>>;
+  using BlockPtr = std::shared_ptr<const pv::LeafBlock>;
 
   /// Cache holding at most `capacity` leaves (capacity >= 1).
   explicit ResultCache(size_t capacity);
 
-  /// The cached entries of (backend, leaf), or nullptr on miss. Counts one
+  /// The cached block of (backend, leaf), or nullptr on miss. Counts one
   /// hit or miss and refreshes recency on hit.
-  EntriesPtr Lookup(BackendKind backend, uint64_t leaf_id);
+  BlockPtr Lookup(BackendKind backend, uint64_t leaf_id);
 
-  /// Inserts (or replaces) the entries of (backend, leaf), evicting the
+  /// Inserts (or replaces) the block of (backend, leaf), evicting the
   /// least-recently-used leaf when full. Returns the stored snapshot.
-  EntriesPtr Insert(BackendKind backend, uint64_t leaf_id,
-                    std::vector<pv::LeafEntry> entries);
+  BlockPtr Insert(BackendKind backend, uint64_t leaf_id, pv::LeafBlock block);
 
   /// Drops every entry of one backend (index-mutation invalidation hook).
   void Invalidate(BackendKind backend);
@@ -57,7 +58,7 @@ class ResultCache {
   static uint64_t PackKey(BackendKind backend, uint64_t leaf_id);
 
   struct Entry {
-    EntriesPtr entries;
+    BlockPtr block;
     std::list<uint64_t>::iterator lru_it;
   };
 

@@ -75,10 +75,10 @@ Result<std::unique_ptr<UvIndex>> UvIndex::Build(const uncertain::Dataset& db,
 }
 
 Result<std::vector<uncertain::ObjectId>> UvIndex::QueryPossibleNN(
-    const geom::Point& q) const {
-  PVDB_ASSIGN_OR_RETURN(std::vector<pv::LeafEntry> entries,
-                        primary_->QueryPoint(q));
-  std::vector<uncertain::ObjectId> out = pv::Step1PruneMinMax(entries, q);
+    const geom::Point& q, pv::QueryScratch* scratch) const {
+  PVDB_ASSIGN_OR_RETURN(pv::LeafBlock block, primary_->QueryPointBlock(q));
+  std::vector<uncertain::ObjectId> out =
+      pv::Step1PruneMinMax(block, q, scratch);
   // A UV cover may index one object into several leaves of the same region;
   // dedupe (the PV-index has exactly one entry per (object, leaf) pair).
   std::sort(out.begin(), out.end());

@@ -17,6 +17,7 @@
 #include "src/common/timer.h"
 #include "src/pv/cset.h"
 #include "src/pv/octree.h"
+#include "src/pv/pnnq.h"
 #include "src/pv/secondary_index.h"
 #include "src/uv/uv_cell.h"
 
@@ -47,9 +48,10 @@ class UvIndex {
                                                 const UvIndexOptions& options,
                                                 UvBuildStats* stats = nullptr);
 
-  /// PNNQ Step 1 — same contract as PvIndex::QueryPossibleNN.
+  /// PNNQ Step 1 — same contract as PvIndex::QueryPossibleNN (block-kernel
+  /// pruning; `scratch` pools the batched distance buffer).
   Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
-      const geom::Point& q) const;
+      const geom::Point& q, pv::QueryScratch* scratch = nullptr) const;
 
   const pv::OctreePrimary& primary() const { return *primary_; }
   storage::Pager* pager() const { return pager_; }

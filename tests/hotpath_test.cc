@@ -1,0 +1,366 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Hot-path refactor safety net: property tests pinning the batched SoA
+// kernels (geom::MinDistSqBatch / MaxDistSqBatch), the block form of
+// Step1PruneMinMax and the QueryScratch Step-2 path to their scalar /
+// allocating reference implementations — bit-identical, not approximately
+// equal — plus octree leaf-block decode consistency, cross-backend Step-1
+// parity (PV = UV = R-tree = brute force) and the MetricRegistry counter
+// handles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/geom/distance.h"
+#include "src/geom/distance_batch.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index.h"
+#include "src/rtree/rstar_tree.h"
+#include "src/rtree/rtree_pnn.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+#include "src/uv/uv_index.h"
+
+namespace pvdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized and degenerate rect generators
+// ---------------------------------------------------------------------------
+
+geom::Rect RandomRect(Rng* rng, int dim, double domain, double max_extent) {
+  geom::Point lo(dim), hi(dim);
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = rng->NextUniform(0.0, domain - max_extent);
+    hi[d] = lo[d] + rng->NextUniform(0.0, max_extent);
+  }
+  return geom::Rect(lo, hi);
+}
+
+/// Zero extent in every `flat_dims` randomly chosen dimensions (a
+/// lower-dimensional slab; all dims flat = a point).
+geom::Rect DegenerateRect(Rng* rng, int dim, double domain, int flat_dims) {
+  geom::Rect r = RandomRect(rng, dim, domain, domain / 10.0);
+  for (int k = 0; k < flat_dims; ++k) {
+    const int d = static_cast<int>(rng->NextUniform(0, dim)) % dim;
+    r.set_hi(d, r.lo(d));
+  }
+  return r;
+}
+
+geom::Point RandomPoint(Rng* rng, int dim, double domain) {
+  geom::Point p(dim);
+  for (int d = 0; d < dim; ++d) p[d] = rng->NextUniform(0.0, domain);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Batched kernels vs. scalar reference
+// ---------------------------------------------------------------------------
+
+void ExpectBatchMatchesScalar(const std::vector<geom::Rect>& rects,
+                              const geom::Point& q) {
+  ASSERT_FALSE(rects.empty());
+  geom::RectSoA soa(rects[0].dim());
+  soa.Reserve(rects.size());
+  for (const geom::Rect& r : rects) soa.PushBack(r);
+
+  std::vector<double> min_out(rects.size()), max_out(rects.size());
+  geom::MinDistSqBatch(soa, q, min_out);
+  geom::MaxDistSqBatch(soa, q, max_out);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    // Bit-identical, not EXPECT_NEAR: both sides perform the same
+    // per-dimension operations in the same accumulation order.
+    EXPECT_EQ(min_out[i], geom::MinDistSq(rects[i], q)) << "rect " << i;
+    EXPECT_EQ(max_out[i], geom::MaxDistSq(rects[i], q)) << "rect " << i;
+  }
+}
+
+TEST(DistanceBatchTest, MatchesScalarOnRandomRects) {
+  Rng rng(17);
+  for (int dim : {2, 3, 5, geom::kMaxDim}) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<geom::Rect> rects;
+      for (int i = 0; i < 64; ++i) {
+        rects.push_back(RandomRect(&rng, dim, 1000.0, 120.0));
+      }
+      ExpectBatchMatchesScalar(rects, RandomPoint(&rng, dim, 1000.0));
+    }
+  }
+}
+
+TEST(DistanceBatchTest, MatchesScalarOnDegenerateRects) {
+  Rng rng(23);
+  for (int dim : {2, 3, 5}) {
+    std::vector<geom::Rect> rects;
+    for (int flat = 0; flat <= dim; ++flat) {
+      for (int i = 0; i < 16; ++i) {
+        rects.push_back(DegenerateRect(&rng, dim, 1000.0, flat));
+      }
+    }
+    // Random probes plus adversarial ones: inside a rect, and exactly on
+    // rect boundaries (distmin must be exactly 0 there).
+    std::vector<geom::Point> probes;
+    for (int i = 0; i < 8; ++i) probes.push_back(RandomPoint(&rng, dim, 1000.0));
+    probes.push_back(rects[0].Center());               // strictly inside
+    probes.push_back(rects[1].lo());                   // lo corner
+    probes.push_back(rects[2].hi());                   // hi corner
+    {
+      geom::Point edge = rects[3].Center();            // on one face
+      edge[0] = rects[3].lo(0);
+      probes.push_back(edge);
+    }
+    for (const geom::Point& q : probes) ExpectBatchMatchesScalar(rects, q);
+  }
+}
+
+TEST(DistanceBatchTest, QueryInsideRectHasZeroMinDist) {
+  Rng rng(29);
+  for (int round = 0; round < 50; ++round) {
+    const geom::Rect r = RandomRect(&rng, 3, 1000.0, 200.0);
+    geom::Point q(3);
+    for (int d = 0; d < 3; ++d) q[d] = rng.NextUniform(r.lo(d), r.hi(d));
+    geom::RectSoA soa(3);
+    soa.PushBack(r);
+    double out[1];
+    geom::MinDistSqBatch(soa, q, std::span<double>(out, 1));
+    EXPECT_EQ(out[0], 0.0);
+  }
+}
+
+TEST(RectSoATest, RoundTripsRects) {
+  Rng rng(31);
+  geom::RectSoA soa(4);
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < 32; ++i) {
+    rects.push_back(RandomRect(&rng, 4, 100.0, 10.0));
+    soa.PushBack(rects.back());
+  }
+  ASSERT_EQ(soa.size(), rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) EXPECT_EQ(soa.At(i), rects[i]);
+  soa.Reset(2);
+  EXPECT_TRUE(soa.empty());
+  EXPECT_EQ(soa.dim(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Block Step-1 pruning vs. scalar reference
+// ---------------------------------------------------------------------------
+
+std::vector<pv::LeafEntry> RandomLeaf(Rng* rng, int dim, size_t n) {
+  std::vector<pv::LeafEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back(pv::LeafEntry{1000 + i, RandomRect(rng, dim, 1000.0,
+                                                         80.0)});
+  }
+  return entries;
+}
+
+TEST(Step1BlockTest, MatchesScalarOnRandomLeaves) {
+  Rng rng(37);
+  pv::QueryScratch scratch;  // deliberately reused across every iteration
+  for (int dim : {2, 3, 5}) {
+    for (size_t n : {1u, 2u, 7u, 64u, 257u}) {
+      for (int round = 0; round < 10; ++round) {
+        const auto entries = RandomLeaf(&rng, dim, n);
+        const auto block =
+            pv::LeafBlock::FromEntries(entries, dim);
+        const geom::Point q = RandomPoint(&rng, dim, 1000.0);
+        const auto scalar = pv::Step1PruneMinMax(entries, q);
+        const auto batched = pv::Step1PruneMinMax(block, q, &scratch);
+        EXPECT_EQ(batched, scalar) << "dim=" << dim << " n=" << n;
+        // Null scratch allocates locally; same answer.
+        EXPECT_EQ(pv::Step1PruneMinMax(block, q, nullptr), scalar);
+      }
+    }
+  }
+}
+
+TEST(Step1BlockTest, MatchesScalarOnDegenerateLeaves) {
+  Rng rng(41);
+  pv::QueryScratch scratch;
+  // Zero-extent regions (points), identical regions, query on boundaries.
+  std::vector<pv::LeafEntry> entries;
+  for (size_t i = 0; i < 20; ++i) {
+    entries.push_back(pv::LeafEntry{i, DegenerateRect(&rng, 2, 1000.0, 2)});
+  }
+  const geom::Rect shared = RandomRect(&rng, 2, 1000.0, 50.0);
+  for (size_t i = 20; i < 30; ++i) {
+    entries.push_back(pv::LeafEntry{i, shared});
+  }
+  const auto block = pv::LeafBlock::FromEntries(entries, 2);
+  std::vector<geom::Point> probes{shared.Center(), shared.lo(), shared.hi(),
+                                  entries[0].region.lo()};
+  for (int i = 0; i < 16; ++i) probes.push_back(RandomPoint(&rng, 2, 1000.0));
+  for (const geom::Point& q : probes) {
+    EXPECT_EQ(pv::Step1PruneMinMax(block, q, &scratch),
+              pv::Step1PruneMinMax(entries, q));
+  }
+}
+
+TEST(Step1BlockTest, EmptyLeaf) {
+  pv::LeafBlock block;
+  block.Reset(3);
+  pv::QueryScratch scratch;
+  EXPECT_TRUE(pv::Step1PruneMinMax(block, geom::Point{1, 2, 3}, &scratch)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Octree leaf-block decode and cross-backend Step-1 parity
+// ---------------------------------------------------------------------------
+
+struct ParityWorld {
+  ParityWorld() : db(MakeDb()) {
+    pv_index = pv::PvIndex::Build(db, &pv_pager, {}).value();
+    uv_index = uv::UvIndex::Build(db, &uv_pager, {}).value();
+    rtree = std::make_unique<rtree::RStarTree>(2);
+    for (const auto& o : db.objects()) rtree->Insert(o.region(), o.id());
+  }
+
+  static uncertain::Dataset MakeDb() {
+    uncertain::SyntheticOptions synth;
+    synth.dim = 2;
+    synth.count = 300;
+    synth.samples_per_object = 30;
+    synth.max_region_extent = 120;
+    synth.domain_hi = 1000;
+    synth.seed = 93;
+    return uncertain::GenerateSynthetic(synth);
+  }
+
+  uncertain::Dataset db;
+  storage::InMemoryPager pv_pager;
+  storage::InMemoryPager uv_pager;
+  std::unique_ptr<pv::PvIndex> pv_index;
+  std::unique_ptr<uv::UvIndex> uv_index;
+  std::unique_ptr<rtree::RStarTree> rtree;
+};
+
+TEST(LeafBlockTest, OctreeBlockReadsMatchRowReads) {
+  ParityWorld world;
+  const auto& primary = world.pv_index->primary();
+  Rng rng(47);
+  for (int round = 0; round < 50; ++round) {
+    const geom::Point q = RandomPoint(&rng, 2, 1000.0);
+    const auto entries = primary.QueryPoint(q).value();
+    const auto block = primary.QueryPointBlock(q).value();
+    ASSERT_EQ(block.size(), entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(block.ids[i], entries[i].id);
+      EXPECT_EQ(block.rects.At(i), entries[i].region);
+    }
+    // FindLeaf + ReadLeafBlock is the serving path's split form.
+    const auto ref = primary.FindLeaf(q).value();
+    const auto block2 = primary.ReadLeafBlock(ref).value();
+    ASSERT_EQ(block2.size(), block.size());
+    for (size_t i = 0; i < block.size(); ++i) {
+      EXPECT_EQ(block2.ids[i], block.ids[i]);
+    }
+  }
+}
+
+std::vector<uncertain::ObjectId> Sorted(std::vector<uncertain::ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Step1ParityTest, AllBackendsAgreeWithBruteForce) {
+  ParityWorld world;
+  Rng rng(53);
+  pv::QueryScratch scratch;
+  for (int round = 0; round < 40; ++round) {
+    const geom::Point q = RandomPoint(&rng, 2, 1000.0);
+    const auto oracle = pv::Step1BruteForce(world.db, q);
+    EXPECT_EQ(Sorted(world.pv_index->QueryPossibleNN(q, &scratch).value()),
+              oracle);
+    EXPECT_EQ(world.uv_index->QueryPossibleNN(q, &scratch).value(), oracle);
+    EXPECT_EQ(Sorted(rtree::PnnStep1BranchAndPrune(*world.rtree, q)), oracle);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step-2 scratch path vs. allocating path
+// ---------------------------------------------------------------------------
+
+TEST(QueryScratchTest, Step2BitIdenticalAcrossScratchReuse) {
+  ParityWorld world;
+  pv::PnnStep2Evaluator step2(&world.db);
+  pv::QueryScratch scratch;  // one arena for the whole query stream
+  Rng rng(59);
+  for (int round = 0; round < 30; ++round) {
+    const geom::Point q = RandomPoint(&rng, 2, 1000.0);
+    const auto candidates = world.pv_index->QueryPossibleNN(q).value();
+    const auto allocating = step2.Evaluate(q, candidates);
+    const auto pooled = step2.Evaluate(q, candidates, &scratch);
+    ASSERT_EQ(pooled.size(), allocating.size());
+    for (size_t i = 0; i < pooled.size(); ++i) {
+      EXPECT_EQ(pooled[i].id, allocating[i].id);
+      EXPECT_EQ(pooled[i].probability, allocating[i].probability);
+    }
+  }
+}
+
+TEST(QueryScratchTest, Step2ChargesPreRegisteredCounter) {
+  ParityWorld world;
+  pv::PnnStep2Evaluator step2(&world.db);
+  pv::QueryScratch scratch;
+  MetricRegistry registry;
+  MetricRegistry::Counter* pages =
+      registry.Register(pv::PnnCounters::kPdfPagesRead);
+  const geom::Point q{500, 500};
+  const auto candidates = world.pv_index->QueryPossibleNN(q).value();
+  ASSERT_FALSE(candidates.empty());
+
+  MetricRegistry legacy;
+  step2.Evaluate(q, candidates, &legacy);  // string-keyed charge
+  step2.Evaluate(q, candidates, &scratch, pages);
+  EXPECT_GT(pages->value(), 0);
+  EXPECT_EQ(pages->value(), legacy.Get(pv::PnnCounters::kPdfPagesRead));
+  EXPECT_EQ(registry.Get(pv::PnnCounters::kPdfPagesRead), pages->value());
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry counter handles
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, HandleAndNameAddressTheSameCounter) {
+  MetricRegistry registry;
+  MetricRegistry::Counter* c = registry.Register("x");
+  EXPECT_EQ(registry.Register("x"), c) << "same name, same handle";
+  c->Increment(5);
+  registry.Increment("x", 2);
+  EXPECT_EQ(registry.Get("x"), 7);
+  EXPECT_EQ(c->value(), 7);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.at("x"), 7);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(registry.Get("x"), 0);
+}
+
+TEST(MetricRegistryTest, ConcurrentHandleIncrementsDoNotSerializeOrDrop) {
+  MetricRegistry registry;
+  MetricRegistry::Counter* c = registry.Register("hot");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(registry.Get("hot"), int64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace pvdb

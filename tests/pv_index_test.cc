@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "src/common/random.h"
 #include "src/eval/workload.h"
@@ -270,6 +272,38 @@ TEST(PvIndexTest, SingleObjectDatabase) {
   ASSERT_TRUE(ubr.ok());
   EXPECT_EQ(ubr.value(), fx.db->domain())
       << "a lone object's PV-cell is the whole domain";
+}
+
+TEST(PvIndexTest, ListenerRegistrationIsThreadSafe) {
+  // Add/RemoveUpdateListener are internally synchronized: hammering them
+  // from several threads must neither corrupt the listener list nor lose a
+  // registration that survives to the next mutation's notification.
+  IndexFixture fx(2, 50, /*seed=*/31);
+  std::atomic<int> churn_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const int id = fx.index->AddUpdateListener(
+            [&churn_fires] { churn_fires.fetch_add(1); });
+        if ((i + t) % 2 == 0) fx.index->RemoveUpdateListener(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // A listener registered after the churn still fires exactly once per
+  // mutation.
+  std::atomic<int> fires{0};
+  const int id = fx.index->AddUpdateListener([&fires] { fires.fetch_add(1); });
+  const uncertain::UncertainObject removed = fx.db->objects()[0];
+  ASSERT_TRUE(fx.db->Remove(removed.id()).ok());
+  ASSERT_TRUE(fx.index->DeleteObject(*fx.db, removed).ok());
+  EXPECT_EQ(fires.load(), 1);
+  fx.index->RemoveUpdateListener(id);
+  // Each thread removes the (i + t) % 2 == 0 half of its 200 registrations,
+  // so exactly 4 * 100 churn listeners survive and fire once on the delete.
+  EXPECT_EQ(churn_fires.load(), 400);
 }
 
 }  // namespace

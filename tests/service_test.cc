@@ -63,14 +63,17 @@ TEST(ThreadPoolTest, SubmitRunsTask) {
 // ResultCache
 // ---------------------------------------------------------------------------
 
-pv::LeafEntry MakeEntry(uint64_t id) {
-  return pv::LeafEntry{id, geom::Rect::Cube(2, 0, 1)};
+pv::LeafBlock MakeBlock(std::initializer_list<uint64_t> ids) {
+  pv::LeafBlock block;
+  block.Reset(2);
+  for (uint64_t id : ids) block.PushBack(id, geom::Rect::Cube(2, 0, 1));
+  return block;
 }
 
 TEST(ResultCacheTest, HitMissAndCounters) {
   ResultCache cache(8);
   EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
-  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(10), MakeEntry(11)});
+  cache.Insert(BackendKind::kPvIndex, 1, MakeBlock({10, 11}));
   auto hit = cache.Lookup(BackendKind::kPvIndex, 1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->size(), 2u);
@@ -82,11 +85,11 @@ TEST(ResultCacheTest, HitMissAndCounters) {
 
 TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   ResultCache cache(2);
-  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(1)});
-  cache.Insert(BackendKind::kPvIndex, 2, {MakeEntry(2)});
+  cache.Insert(BackendKind::kPvIndex, 1, MakeBlock({1}));
+  cache.Insert(BackendKind::kPvIndex, 2, MakeBlock({2}));
   // Touch leaf 1 so leaf 2 is the LRU victim.
   ASSERT_NE(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
-  cache.Insert(BackendKind::kPvIndex, 3, {MakeEntry(3)});
+  cache.Insert(BackendKind::kPvIndex, 3, MakeBlock({3}));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_NE(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
   EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 2), nullptr);
@@ -95,16 +98,16 @@ TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
 
 TEST(ResultCacheTest, SnapshotSurvivesEviction) {
   ResultCache cache(1);
-  auto snapshot = cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(42)});
-  cache.Insert(BackendKind::kPvIndex, 2, {MakeEntry(43)});  // evicts leaf 1
+  auto snapshot = cache.Insert(BackendKind::kPvIndex, 1, MakeBlock({42}));
+  cache.Insert(BackendKind::kPvIndex, 2, MakeBlock({43}));  // evicts leaf 1
   ASSERT_NE(snapshot, nullptr);
-  EXPECT_EQ((*snapshot)[0].id, 42u);
+  EXPECT_EQ(snapshot->ids[0], 42u);
 }
 
 TEST(ResultCacheTest, InvalidateIsPerBackend) {
   ResultCache cache(8);
-  cache.Insert(BackendKind::kPvIndex, 1, {MakeEntry(1)});
-  cache.Insert(BackendKind::kUvIndex, 1, {MakeEntry(2)});
+  cache.Insert(BackendKind::kPvIndex, 1, MakeBlock({1}));
+  cache.Insert(BackendKind::kUvIndex, 1, MakeBlock({2}));
   cache.Invalidate(BackendKind::kPvIndex);
   EXPECT_EQ(cache.Lookup(BackendKind::kPvIndex, 1), nullptr);
   EXPECT_NE(cache.Lookup(BackendKind::kUvIndex, 1), nullptr);
@@ -298,6 +301,28 @@ TEST_P(QueryEngineBackendTest, BatchedParallelMatchesSequential) {
   if (GetParam() != BackendKind::kRtree) {
     EXPECT_GT(engine.value()->cache()->hits(), 0)
         << "second round should hit the leaf cache";
+  }
+}
+
+TEST_P(QueryEngineBackendTest, ScratchPathBitIdenticalToAllocatingPath) {
+  // The engine's Step 2 runs through a per-worker QueryScratch reused across
+  // every query; the reference pipeline allocates fresh buffers per call.
+  // One worker thread forces every answer through the SAME scratch arena, so
+  // any state leaking between queries would surface as a probability
+  // mismatch somewhere in the stream.
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions options;
+  options.threads = 1;
+  options.backend_override = GetParam();
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+
+  const auto queries = world.RandomQueries(128, 1234);
+  const auto answers = engine->ExecuteBatch(queries);
+  ASSERT_EQ(answers.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ExpectAnswersEqual(world.Sequential(GetParam(), queries[i]), answers[i]);
   }
 }
 
