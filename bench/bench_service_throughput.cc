@@ -15,16 +15,21 @@
 //     (QueryPointBlock + batched block prune + QueryScratch Evaluate), one
 //     thread, same queries, with the end-to-end speedup.
 //
-//   $ ./bench_service_throughput [--smoke]
+//   $ ./bench_service_throughput [--smoke] [--step2_json]
 //
 // --smoke shrinks the dataset and query count for CI bitrot checks.
+// --step2_json switches to the Step-2-only scalar-vs-batched comparison on
+// the 10k shared-leaf workload and emits BENCH_step2.json-shaped output
+// (schema matching BENCH_hotpath.json) instead of the serving sweep.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -135,10 +140,245 @@ HotpathResult RunHotpathComparison(uncertain::Dataset* db, pv::PvIndex* index,
   return r;
 }
 
+/// The batched-Step-2 before/after on a shared-leaf workload: clusters of
+/// queries jittered around common anchors, so whole clusters survive Step 1
+/// with identical candidate sets. Step 1 runs once outside both timers;
+/// the scalar side then evaluates per query through the scratch path, the
+/// batched side plans a Step2Batch (plan construction inside the timer) and
+/// sweeps each group via EvaluateGroup. Answers are bit-identical
+/// (tests/step2_batch_test.cc); only evaluation order and locality differ.
+struct Step2Result {
+  size_t queries = 0;
+  size_t cluster_size = 0;
+  size_t groups = 0;
+  size_t grouped_queries = 0;  // queries in groups of >= 2
+  int64_t pairs_pruned = 0;
+  double scalar_qps = 0.0;
+  double batched_qps = 0.0;
+  double speedup = 0.0;
+};
+
+/// 64-query clusters jittered around random anchors: whole clusters land in
+/// the same octree leaf and (almost always) survive Step 1 with identical
+/// candidate sets. One generator feeds both the Step-2-only comparison and
+/// the end-to-end engine section, so both measure the same workload.
+constexpr size_t kSharedLeafClusterSize = 64;
+
+std::vector<geom::Point> SharedLeafQueries(size_t clusters, int dim,
+                                           double domain_lo,
+                                           double domain_hi) {
+  Rng rng(19);
+  std::vector<geom::Point> queries;
+  queries.reserve(clusters * kSharedLeafClusterSize);
+  for (size_t c = 0; c < clusters; ++c) {
+    geom::Point anchor(dim);
+    for (int d = 0; d < dim; ++d) {
+      anchor[d] = rng.NextUniform(domain_lo, domain_hi);
+    }
+    for (size_t i = 0; i < kSharedLeafClusterSize; ++i) {
+      geom::Point q = anchor;
+      const double jitter = (domain_hi - domain_lo) * 1e-5;
+      for (int d = 0; d < dim; ++d) {
+        // Clamp: an anchor at the domain edge must not jitter outside it
+        // (out-of-domain points fail Step 1 by design).
+        q[d] = std::clamp(q[d] + rng.NextUniform(-jitter, jitter), domain_lo,
+                          domain_hi);
+      }
+      queries.push_back(q);
+    }
+  }
+  return queries;
+}
+
+Step2Result RunStep2Comparison(uncertain::Dataset* db, pv::PvIndex* index,
+                               const std::vector<geom::Point>& queries) {
+  Step2Result r;
+  r.cluster_size = kSharedLeafClusterSize;
+  r.queries = queries.size();
+
+  // Step 1 once, outside both timers: the comparison is Step 2 only.
+  pv::QueryScratch scratch;
+  std::vector<uint64_t> leaf_keys(queries.size(), pv::kNoLeafId);
+  std::vector<std::vector<uncertain::ObjectId>> candidates(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto ref = index->primary().FindLeaf(queries[i]).value();
+    leaf_keys[i] = ref.id;
+    candidates[i] = index->QueryPossibleNN(queries[i], &scratch).value();
+  }
+
+  pv::PnnStep2Evaluator step2(db);
+  size_t sink = 0;
+
+  StopWatch scalar_watch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sink += step2.Evaluate(queries[i], candidates[i], &scratch).size();
+  }
+  const double scalar_s = scalar_watch.ElapsedSeconds();
+
+  pv::Step2BatchStats bstats;
+  StopWatch batched_watch;
+  pv::Step2Batch plan;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    plan.Add(static_cast<uint32_t>(i), leaf_keys[i],
+             std::move(candidates[i]));
+  }
+  for (const auto& g : plan.groups()) {
+    std::vector<geom::Point> group_queries;
+    group_queries.reserve(g.queries.size());
+    for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
+    const auto results = step2.EvaluateGroup(group_queries, g.candidates,
+                                             &scratch, nullptr, {}, &bstats);
+    for (const auto& res : results) sink += res.size();
+  }
+  const double batched_s = batched_watch.ElapsedSeconds();
+
+  r.groups = plan.groups().size();
+  for (const auto& g : plan.groups()) {
+    if (g.queries.size() >= 2) r.grouped_queries += g.queries.size();
+  }
+  r.pairs_pruned = bstats.pairs_pruned;
+  std::fprintf(stderr, "# step2 answers sink: %zu\n", sink);
+  r.scalar_qps = scalar_s > 0 ? queries.size() / scalar_s : 0.0;
+  r.batched_qps = batched_s > 0 ? queries.size() / batched_s : 0.0;
+  r.speedup = r.scalar_qps > 0 ? r.batched_qps / r.scalar_qps : 0.0;
+  return r;
+}
+
+/// End-to-end single-thread engine run over the shared-leaf workload, batch
+/// 64, with batched Step 2 on or off — the serving-path view of the same
+/// change.
+double RunEngineSharedLeaf(uncertain::Dataset* db, pv::PvIndex* index,
+                           const std::vector<geom::Point>& queries,
+                           bool batch_step2) {
+  service::QueryEngineOptions options;
+  options.threads = 1;
+  options.backend_override = service::BackendKind::kPvIndex;
+  options.batch_step2 = batch_step2;
+  service::EngineBackends backends;
+  backends.pv = index;
+  auto engine = service::QueryEngine::Create(db, backends, options).value();
+  const size_t batch = 64;
+  StopWatch wall;
+  for (size_t pos = 0; pos < queries.size(); pos += batch) {
+    const size_t n = std::min(batch, queries.size() - pos);
+    const auto answers = engine->ExecuteBatch(
+        std::span<const geom::Point>(queries.data() + pos, n));
+    for (const auto& a : answers) {
+      if (!a.status.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     a.status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  const double wall_s = wall.ElapsedSeconds();
+  return wall_s > 0 ? static_cast<double>(queries.size()) / wall_s : 0.0;
+}
+
+int RunStep2Json(bool smoke) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = smoke ? 2000 : 10000;
+  synth.samples_per_object = smoke ? 50 : 200;
+  synth.seed = 42;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+
+  storage::InMemoryPager pager;
+  pv::PvIndexOptions index_options;
+  index_options.build_order = pv::BuildOrder::kMorton;
+  index_options.bulk_primary = true;
+  auto index = pv::PvIndex::Build(db, &pager, index_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<geom::Point> queries = SharedLeafQueries(
+      smoke ? 8 : 64, synth.dim, synth.domain_lo, synth.domain_hi);
+  const Step2Result r =
+      RunStep2Comparison(&db, index.value().get(), queries);
+
+  // The same shared-leaf queries through the single-thread engine, batch 64.
+  const double engine_off_qps =
+      RunEngineSharedLeaf(&db, index.value().get(), queries, false);
+  const double engine_on_qps =
+      RunEngineSharedLeaf(&db, index.value().get(), queries, true);
+  const double engine_speedup =
+      engine_off_qps > 0 ? engine_on_qps / engine_off_qps : 0.0;
+
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"step2_batch\",\n");
+  std::printf(
+      "  \"description\": \"Before/after of the batched Step-2 engine: "
+      "per-query scratch Evaluate (before) vs Step2Batch grouping + "
+      "candidate-outer EvaluateGroup sweep with threshold early-exit "
+      "(after). Same inputs, bit-identical answers "
+      "(tests/step2_batch_test.cc).\",\n");
+  std::printf("  \"date\": \"%s\",\n", date);
+  std::printf("  \"machine\": {\n");
+  std::printf("    \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("    \"compiler\": \"%s\",\n", __VERSION__);
+  std::printf("    \"build\": \"Release/RelWithDebInfo (kernels -O3)\",\n");
+  std::printf("    \"note\": \"all speedups single-thread\"\n  },\n");
+  std::printf("  \"step2_shared_leaf\": {\n");
+  std::printf("    \"source\": \"bench_service_throughput --step2_json\",\n");
+  std::printf(
+      "    \"before_metric\": \"scalar_qps (per-query QueryScratch "
+      "Evaluate)\",\n");
+  std::printf(
+      "    \"after_metric\": \"batched_qps (Step2Batch plan + EvaluateGroup "
+      "candidate-outer sweep, plan build included)\",\n");
+  std::printf("    \"results\": [\n      {\n");
+  std::printf("        \"workload\": \"%s-shared-leaf\",\n",
+              smoke ? "2k" : "10k");
+  std::printf("        \"dim\": %d,\n", synth.dim);
+  std::printf("        \"objects\": %zu,\n", db.size());
+  std::printf("        \"samples_per_object\": %d,\n",
+              synth.samples_per_object);
+  std::printf("        \"queries\": %zu,\n", r.queries);
+  std::printf("        \"cluster_size\": %zu,\n", r.cluster_size);
+  std::printf("        \"groups\": %zu,\n", r.groups);
+  std::printf("        \"grouped_queries\": %zu,\n", r.grouped_queries);
+  std::printf("        \"pairs_pruned\": %lld,\n",
+              static_cast<long long>(r.pairs_pruned));
+  std::printf("        \"scalar_qps\": %.1f,\n", r.scalar_qps);
+  std::printf("        \"batched_qps\": %.1f,\n", r.batched_qps);
+  std::printf("        \"speedup\": %.2f\n      }\n    ]\n  },\n", r.speedup);
+  std::printf("  \"service_end_to_end_single_thread\": {\n");
+  std::printf(
+      "    \"source\": \"QueryEngine ExecuteBatch, 1 thread, batch 64, "
+      "same shared-leaf queries\",\n");
+  std::printf("    \"before\": {\"pipeline\": \"batch_step2 off (per-query "
+              "AnswerOne)\", \"qps\": %.1f},\n",
+              engine_off_qps);
+  std::printf("    \"after\": {\"pipeline\": \"batch_step2 on (group-then-"
+              "sweep)\", \"qps\": %.1f},\n",
+              engine_on_qps);
+  std::printf("    \"speedup\": %.2f\n  }\n}\n", engine_speedup);
+
+  std::fprintf(stderr,
+               "# step2 single-thread: batched = %.2fx scalar; engine "
+               "end-to-end = %.2fx\n",
+               r.speedup, engine_speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool step2_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--step2_json") == 0) step2_json = true;
+  }
+  if (step2_json) return RunStep2Json(smoke);
 
   uncertain::SyntheticOptions synth;
   synth.dim = 3;

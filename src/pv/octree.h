@@ -44,6 +44,12 @@ struct LeafEntry {
   geom::Rect region;
 };
 
+/// Leaf ids are assigned from 1 and never reused, so 0 never names a leaf.
+/// Layers that key query state off leaf ids — the service leaf-result cache
+/// and the batched-Step-2 query grouping (Step2Batch) — use this sentinel
+/// for "no leaf" (backends without a point-addressable leaf structure).
+inline constexpr uint64_t kNoLeafId = 0;
+
 /// Structure-of-arrays mirror of a leaf's entry list: ids plus per-dimension
 /// contiguous lo/hi spans, the input format of the batched distance kernels
 /// (geom::MinDistSqBatch / MaxDistSqBatch). Position i is the same entry in

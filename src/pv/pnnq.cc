@@ -5,11 +5,38 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "src/common/random.h"
 #include "src/storage/record_store.h"
 
 namespace pvdb::pv {
+
+namespace {
+
+template <typename T>
+size_t CapacityBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+size_t QueryScratch::ApproxBytes() const {
+  return CapacityBytes(min_dist_sq) + CapacityBytes(max_dist_sq) +
+         CapacityBytes(candidate_ids) + CapacityBytes(objs) +
+         CapacityBytes(pairs) + CapacityBytes(inst_dist) + CapacityBytes(dist) +
+         CapacityBytes(suffix) + CapacityBytes(offsets) +
+         CapacityBytes(batch_dist) + CapacityBytes(batch_suffix) +
+         CapacityBytes(batch_perm) + CapacityBytes(batch_w) +
+         CapacityBytes(batch_alive) + CapacityBytes(batch_alive_left);
+}
+
+void QueryScratch::ShrinkToFit(size_t max_bytes) {
+  if (ApproxBytes() <= max_bytes) return;
+  // Move-assigning a fresh scratch releases every buffer at once; the next
+  // query re-grows only what it touches.
+  *this = QueryScratch();
+}
 
 std::vector<uncertain::ObjectId> Step1BruteForce(const uncertain::Dataset& db,
                                                  const geom::Point& q) {
@@ -82,6 +109,35 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlock& block,
   }
   out.assign(staged, staged + count);
   return out;
+}
+
+uint64_t Step2Batch::HashCandidates(
+    std::span<const uncertain::ObjectId> candidates) {
+  // FNV-1a over the id sequence; order-sensitive on purpose (groups must
+  // share the exact Step-1 order for bit-identical evaluation).
+  uint64_t h = 14695981039346656037ull;
+  for (uncertain::ObjectId id : candidates) {
+    h ^= id;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void Step2Batch::Add(uint32_t query_index, uint64_t leaf_key,
+                     std::vector<uncertain::ObjectId> candidates) {
+  const uint64_t h = HashCandidates(candidates);
+  for (size_t idx : by_hash_[h]) {
+    if (groups_[idx].candidates == candidates) {
+      groups_[idx].queries.push_back(query_index);
+      return;
+    }
+  }
+  by_hash_[h].push_back(groups_.size());
+  Group g;
+  g.leaf_key = leaf_key;
+  g.candidates = std::move(candidates);
+  g.queries.push_back(query_index);
+  groups_.push_back(std::move(g));
 }
 
 PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::Dataset* db) : db_(db) {
@@ -199,6 +255,213 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
               return a.probability > b.probability;
             });
   return out;
+}
+
+std::vector<std::vector<PnnResult>> PnnStep2Evaluator::EvaluateGroup(
+    std::span<const geom::Point> queries,
+    std::span<const uncertain::ObjectId> candidates, QueryScratch* scratch,
+    MetricRegistry::Counter* io, const Step2GroupOptions& options,
+    Step2BatchStats* stats) const {
+  PVDB_CHECK(scratch != nullptr);
+  const size_t nq = queries.size();
+  const size_t nc = candidates.size();
+  std::vector<std::vector<PnnResult>> out(nq);
+
+  auto& objs = scratch->objs;
+  objs.clear();
+  objs.reserve(nc);
+  if (!options.resolved.empty()) {
+    PVDB_CHECK(options.resolved.size() == nc);
+    objs.assign(options.resolved.begin(), options.resolved.end());
+  } else {
+    for (uncertain::ObjectId id : candidates) {
+      const uncertain::UncertainObject* o = db_->Find(id);
+      PVDB_CHECK(o != nullptr);
+      objs.push_back(o);
+    }
+  }
+  if (nq == 0 || nc == 0) return out;
+  // One page charge per candidate for the whole group: every member query
+  // evaluates the same records, so the batch path fetches each record once.
+  if (io != nullptr) {
+    for (const auto* o : objs) io->Increment(RecordPages(*o));
+  }
+
+  size_t total = 0;
+  for (const auto* o : objs) total += o->pdf().size();
+  // Query-chunking keeps the per-(query, candidate) tables inside the caller
+  // bound; queries are independent, so re-slicing the query axis changes
+  // nothing but arena size.
+  const size_t bytes_per_query =
+      total * (3 * sizeof(double) + sizeof(uint32_t)) + nc;
+  size_t chunk = nq;
+  if (options.max_scratch_bytes > 0 && bytes_per_query > 0) {
+    chunk = std::max<size_t>(1, options.max_scratch_bytes / bytes_per_query);
+    chunk = std::min(chunk, nq);
+  }
+  for (size_t begin = 0; begin < nq; begin += chunk) {
+    const size_t n = std::min(chunk, nq - begin);
+    EvaluateGroupChunk(queries.subspan(begin, n), candidates, scratch,
+                       options.min_probability,
+                       std::span<std::vector<PnnResult>>(out.data() + begin, n),
+                       stats);
+  }
+  return out;
+}
+
+void PnnStep2Evaluator::EvaluateGroupChunk(
+    std::span<const geom::Point> queries,
+    std::span<const uncertain::ObjectId> candidates, QueryScratch* scratch,
+    double min_probability, std::span<std::vector<PnnResult>> out,
+    Step2BatchStats* stats) const {
+  const size_t nq = queries.size();
+  const size_t nc = candidates.size();
+  const auto& objs = scratch->objs;  // resolved by EvaluateGroup
+
+  auto& offsets = scratch->offsets;
+  offsets.clear();
+  offsets.reserve(nc + 1);
+  size_t total = 0;
+  offsets.push_back(0);
+  for (const auto* o : objs) {
+    total += o->pdf().size();
+    offsets.push_back(total);
+  }
+
+  scratch->batch_dist.resize(nq * total);
+  scratch->batch_suffix.resize(nq * total);
+  scratch->batch_perm.resize(nq * total);
+  scratch->batch_w.resize(nq * total);
+  scratch->batch_alive.assign(nq * nc, 1);
+  scratch->batch_alive_left.assign(nq, static_cast<uint32_t>(nc));
+
+  // Build phase, candidate-outer: candidate i's pdf (positions and weights)
+  // streams through cache once while its sorted-distance table is built for
+  // every query in the chunk. The sort runs on a permutation with the same
+  // (distance, probability) order as the per-query path's pair sort — equal
+  // pairs are interchangeable — so dist/suffix come out bit-identical.
+  auto& inst = scratch->inst_dist;
+  for (size_t i = 0; i < nc; ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t m = pdf.size();
+    const size_t base = offsets[i];
+    inst.resize(m);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const geom::Point& q = queries[qi];
+      const size_t off = qi * total + base;
+      double* w = scratch->batch_w.data() + off;
+      for (size_t k = 0; k < m; ++k) {
+        inst[k] = pdf[k].position.DistanceTo(q);
+        w[k] = pdf[k].probability;
+      }
+      uint32_t* perm = scratch->batch_perm.data() + off;
+      // Group members are near each other, so the previous query's sort
+      // order usually still holds — seed from it and verify in O(m),
+      // falling back to a fresh sort. Any non-decreasing (distance,
+      // probability) arrangement yields the same dist/suffix arrays (equal
+      // pairs are interchangeable), so reuse stays bit-identical.
+      const auto less = [&](uint32_t a, uint32_t b) {
+        if (inst[a] != inst[b]) return inst[a] < inst[b];
+        return pdf[a].probability < pdf[b].probability;
+      };
+      bool seeded = false;
+      if (qi > 0) {
+        const uint32_t* prev = scratch->batch_perm.data() + off - total;
+        std::copy(prev, prev + m, perm);
+        seeded = std::is_sorted(perm, perm + m, less);
+      }
+      if (!seeded) {
+        std::iota(perm, perm + m, 0u);
+        std::sort(perm, perm + m, less);
+      }
+      double* dist = scratch->batch_dist.data() + off;
+      double* suffix = scratch->batch_suffix.data() + off;
+      for (size_t s = 0; s < m; ++s) dist[s] = inst[perm[s]];
+      double run = 0.0;
+      for (size_t s = m; s-- > 0;) {
+        run += pdf[perm[s]].probability;
+        suffix[s] = run;
+      }
+    }
+  }
+
+  // Sweep phase, candidate-outer / query-inner: candidate j's table streams
+  // against every other candidate's instances of every query before the
+  // next table is touched. Because j's table and i's probe distances are
+  // both ascending, survival(j, t) — the first suffix entry past t, exactly
+  // the per-query path's upper_bound — falls out of a linear merge instead
+  // of a binary search per instance. Products accumulate in ascending j,
+  // the same multiplication order as the per-query path, so every surviving
+  // probability is bit-identical.
+  int64_t pruned = 0;
+  uint8_t* alive = scratch->batch_alive.data();
+  uint32_t* alive_left = scratch->batch_alive_left.data();
+  for (size_t j = 0; j < nc; ++j) {
+    const size_t jbase = offsets[j];
+    const size_t mj = offsets[j + 1] - jbase;
+    for (size_t qi = 0; qi < nq; ++qi) {
+      // Nothing left for j's table to discount? (j's own probability is
+      // updated by the other candidates' sweeps, never its own.)
+      const uint32_t others = alive_left[qi] - (alive[qi * nc + j] ? 1u : 0u);
+      if (others == 0) continue;
+      const double* dj = scratch->batch_dist.data() + qi * total + jbase;
+      const double* sj = scratch->batch_suffix.data() + qi * total + jbase;
+      for (size_t i = 0; i < nc; ++i) {
+        if (i == j || !alive[qi * nc + i]) continue;
+        const size_t ibase = offsets[i];
+        const size_t mi = offsets[i + 1] - ibase;
+        const double* probes = scratch->batch_dist.data() + qi * total + ibase;
+        const uint32_t* perm = scratch->batch_perm.data() + qi * total + ibase;
+        double* w = scratch->batch_w.data() + qi * total + ibase;
+        size_t ptr = 0;
+        double bound = 0.0;
+        for (size_t s = 0; s < mi; ++s) {
+          while (ptr < mj && dj[ptr] <= probes[s]) ++ptr;
+          const double surv = ptr == mj ? 0.0 : sj[ptr];
+          const double wv = w[perm[s]] * surv;
+          w[perm[s]] = wv;
+          bound += wv;
+        }
+        // `bound` sums i's partial products — an upper bound on its final
+        // qualification probability, since the remaining survival factors
+        // are all <= 1. The final gather sums the same non-negative terms
+        // in pdf order, so it can exceed this s-order sum by rounding; the
+        // slack factor absorbs that (relative reorder error is < m·eps,
+        // and suffix heads round above 1 by at most m·eps) — a pruned pair
+        // is guaranteed at or below the threshold in the per-query path
+        // too, keeping the filtered answer sets identical. bound == 0 is
+        // exact: every product is exactly zero, and so is their sum in any
+        // order.
+        constexpr double kBoundSlack = 1e-9;
+        if (bound == 0.0 ? 0.0 <= min_probability
+                         : bound * (1.0 + kBoundSlack) <= min_probability) {
+          alive[qi * nc + i] = 0;
+          --alive_left[qi];
+          ++pruned;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->pairs_pruned += pruned;
+
+  // Gather: finished products summed in pdf order — the per-query path's
+  // accumulation order — then the same filter and sort.
+  for (size_t qi = 0; qi < nq; ++qi) {
+    auto& res = out[qi];
+    res.clear();
+    for (size_t i = 0; i < nc; ++i) {
+      if (!alive[qi * nc + i]) continue;
+      const double* w = scratch->batch_w.data() + qi * total + offsets[i];
+      const size_t m = offsets[i + 1] - offsets[i];
+      double prob = 0.0;
+      for (size_t k = 0; k < m; ++k) prob += w[k];
+      if (prob > min_probability) res.push_back(PnnResult{candidates[i], prob});
+    }
+    std::sort(res.begin(), res.end(),
+              [](const PnnResult& a, const PnnResult& b) {
+                return a.probability > b.probability;
+              });
+  }
 }
 
 std::vector<PnnResult> PnnStep2Evaluator::EstimateByMonteCarlo(

@@ -12,7 +12,9 @@
 #define PVDB_PV_PNNQ_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +54,33 @@ struct QueryScratch {
   std::vector<double> suffix;
   /// Step 2: candidate slice boundaries into the flat arrays (size n + 1).
   std::vector<size_t> offsets;
+
+  /// Batched Step 2 (EvaluateGroup): per-(query, candidate) tables, flat.
+  /// With `total` = sum of candidate pdf sizes, query qi owns
+  /// [qi * total, (qi + 1) * total) of each array, and candidate i the
+  /// sub-slice [offsets[i], offsets[i + 1]) within it.
+  /// Ascending instance distances (the per-candidate sorted table).
+  std::vector<double> batch_dist;
+  /// Suffix probability sums aligned with `batch_dist`.
+  std::vector<double> batch_suffix;
+  /// Sort permutation: batch_perm[s] is the pdf position of sorted slot s.
+  std::vector<uint32_t> batch_perm;
+  /// Running survival products per instance, in pdf order.
+  std::vector<double> batch_w;
+  /// Early-exit flags per (query, candidate), row-major by query.
+  std::vector<uint8_t> batch_alive;
+  /// Alive candidates left per query.
+  std::vector<uint32_t> batch_alive_left;
+
+  /// Heap bytes currently reserved across every pooled buffer (capacities,
+  /// not sizes — the number ShrinkToFit compares against its bound).
+  size_t ApproxBytes() const;
+
+  /// Releases every buffer when ApproxBytes() exceeds `max_bytes`, so one
+  /// pathological query (a huge leaf, an oversized batch group) doesn't pin
+  /// arena memory for the owning worker's lifetime. Below the bound this is
+  /// a no-op and the arenas stay warm.
+  void ShrinkToFit(size_t max_bytes);
 };
 
 /// One PNNQ answer: an object and its qualification probability.
@@ -92,6 +121,66 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(
     const LeafBlock& block, const geom::Point& q,
     QueryScratch* scratch = nullptr);
 
+/// Batched-Step-2 plan: an engine batch's queries grouped by identical
+/// surviving candidate sets. Queries landing in the same octree leaf tend to
+/// survive the same minmax prune, so a serving batch collapses into few
+/// groups; each group is evaluated by one EvaluateGroup sweep that builds
+/// every candidate table once per (candidate, query) with the candidate's
+/// pdf streaming through cache across the whole group. Groups are identified
+/// by the exact candidate vector (same ids, same order) — the leaf id that
+/// located the candidates upstream (ResultCache's key) seeds the Group for
+/// bookkeeping, but equal candidate sets group even across leaves. Hash
+/// collisions are resolved by full-vector comparison, never by trust.
+class Step2Batch {
+ public:
+  struct Group {
+    /// Octree leaf id of the first member's Step-1 carrier (kNoLeafId when
+    /// the backend has no leaf structure).
+    uint64_t leaf_key = kNoLeafId;
+    /// The shared candidate set, in Step-1 order.
+    std::vector<uncertain::ObjectId> candidates;
+    /// Batch positions of the member queries, in Add order.
+    std::vector<uint32_t> queries;
+  };
+
+  /// Files batch position `query_index` under its candidate set, creating a
+  /// new group on first sight of the vector.
+  void Add(uint32_t query_index, uint64_t leaf_key,
+           std::vector<uncertain::ObjectId> candidates);
+
+  const std::vector<Group>& groups() const { return groups_; }
+
+ private:
+  static uint64_t HashCandidates(
+      std::span<const uncertain::ObjectId> candidates);
+
+  std::vector<Group> groups_;
+  /// Candidate-vector hash -> indexes into groups_ (collision chain).
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash_;
+};
+
+/// Introspection counters of EvaluateGroup calls (accumulating).
+struct Step2BatchStats {
+  /// (query, candidate) pairs retired early because the running survival
+  /// upper bound fell to or below min_probability.
+  int64_t pairs_pruned = 0;
+};
+
+/// Knobs of one EvaluateGroup call.
+struct Step2GroupOptions {
+  /// Results with probability <= this are dropped, and a (query, candidate)
+  /// pair leaves the sweep as soon as its survival upper bound sinks to or
+  /// below it.
+  double min_probability = 0.0;
+  /// Soft cap on the batch arenas: the group is processed in query chunks
+  /// whose tables fit this many bytes (0 = one chunk). Chunking only
+  /// re-slices the query axis; per-query results are unaffected.
+  size_t max_scratch_bytes = 0;
+  /// Pre-resolved candidate records aligned with the candidate list (e.g.
+  /// from a cached per-leaf plan); empty means resolve via dataset lookup.
+  std::span<const uncertain::UncertainObject* const> resolved = {};
+};
+
 /// Step 2 evaluator over a database's discrete pdfs.
 class PnnStep2Evaluator {
  public:
@@ -118,6 +207,26 @@ class PnnStep2Evaluator {
                                   MetricRegistry::Counter* io = nullptr,
                                   double min_probability = 0.0) const;
 
+  /// Batched Step 2 over one plan group: every query shares `candidates`,
+  /// and result slot t answers queries[t]. Probabilities are bit-identical
+  /// to per-query Evaluate(queries[t], candidates, ...): the sweep runs
+  /// candidate-outer / query-inner — one candidate's sorted-distance table
+  /// is built and streamed against all queries before the next — with the
+  /// per-instance survival products multiplied in the same candidate order
+  /// and summed in the same pdf order as the per-query path. Early exit
+  /// drops a (query, candidate) pair once the sum of its partial products
+  /// (a true upper bound on its qualification probability, since every
+  /// remaining survival factor is <= 1) reaches min_probability — only
+  /// answers the per-query path would filter anyway. Pdf page reads are
+  /// charged to `io` once per candidate for the whole group (the batch path
+  /// fetches each record once, not once per query).
+  std::vector<std::vector<PnnResult>> EvaluateGroup(
+      std::span<const geom::Point> queries,
+      std::span<const uncertain::ObjectId> candidates, QueryScratch* scratch,
+      MetricRegistry::Counter* io = nullptr,
+      const Step2GroupOptions& options = Step2GroupOptions(),
+      Step2BatchStats* stats = nullptr) const;
+
   /// Monte-Carlo estimator of the same probabilities by joint possible-world
   /// sampling (test oracle; `trials` independent worlds).
   std::vector<PnnResult> EstimateByMonteCarlo(
@@ -128,6 +237,14 @@ class PnnStep2Evaluator {
   int64_t RecordPages(const uncertain::UncertainObject& o) const;
 
  private:
+  /// One query chunk of EvaluateGroup: builds the per-(query, candidate)
+  /// tables into `scratch` and runs the candidate-outer sweep.
+  void EvaluateGroupChunk(std::span<const geom::Point> queries,
+                          std::span<const uncertain::ObjectId> candidates,
+                          QueryScratch* scratch, double min_probability,
+                          std::span<std::vector<PnnResult>> out,
+                          Step2BatchStats* stats) const;
+
   const uncertain::Dataset* db_;
 };
 

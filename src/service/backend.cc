@@ -31,6 +31,11 @@ class PvBackend final : public Backend {
 
   BackendKind kind() const override { return BackendKind::kPvIndex; }
 
+  bool SupportsLeafGrouping() const override { return true; }
+
+  // Step1PruneMinMax keeps entries in page-chain order.
+  bool PruneKeepsLeafOrder() const override { return true; }
+
   Result<std::vector<uncertain::ObjectId>> Step1(
       const geom::Point& q, pv::QueryScratch* scratch) const override {
     return index_->QueryPossibleNN(q, scratch);
@@ -65,6 +70,12 @@ class UvBackend final : public Backend {
   }
 
   BackendKind kind() const override { return BackendKind::kUvIndex; }
+
+  bool SupportsLeafGrouping() const override { return true; }
+
+  // PruneLeafBlock sorts and dedupes, losing leaf order: candidate records
+  // resolve through the dataset instead of the cached per-leaf plan.
+  bool PruneKeepsLeafOrder() const override { return false; }
 
   Result<std::vector<uncertain::ObjectId>> Step1(
       const geom::Point& q, pv::QueryScratch* scratch) const override {

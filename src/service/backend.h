@@ -54,6 +54,18 @@ class Backend {
   virtual Result<std::vector<uncertain::ObjectId>> Step1(
       const geom::Point& q, pv::QueryScratch* scratch) const = 0;
 
+  /// True when FindLeaf locates a point-addressable leaf whose stable id
+  /// can key batched-Step-2 query grouping (Step2Batch) — worth calling even
+  /// when the leaf-result cache is disabled. False backends group only by
+  /// candidate-set equality.
+  virtual bool SupportsLeafGrouping() const { return false; }
+
+  /// True when PruneLeafBlock preserves the block's entry order, so a
+  /// surviving candidate list maps onto a cached per-leaf object plan
+  /// (ResultCache::Step2LeafPlan) by one lockstep walk instead of dataset
+  /// hash lookups.
+  virtual bool PruneKeepsLeafOrder() const { return false; }
+
   /// Leaf-cache protocol. Backends with a point-addressable leaf structure
   /// (PV, UV: one octree leaf per query point) locate the leaf without page
   /// I/O; the R-tree has no such structure and returns nullopt, bypassing

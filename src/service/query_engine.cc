@@ -74,77 +74,260 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   return engine;
 }
 
-PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
-  PnnAnswer ans;
-  StopWatch watch;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+namespace {
 
-  // One scratch arena per worker thread (and per external caller thread):
-  // Step-1 block pruning and Step-2 table building reuse its buffers across
-  // every query this thread serves, so the steady-state hot path performs
-  // no per-query heap allocation beyond the answer vectors.
+/// One scratch arena per worker thread (and per external caller thread):
+/// Step-1 block pruning and Step-2 table building reuse its buffers across
+/// every query this thread serves, so the steady-state hot path performs
+/// no per-query heap allocation beyond the answer vectors.
+pv::QueryScratch& WorkerScratch() {
   static thread_local pv::QueryScratch scratch;
+  return scratch;
+}
 
-  std::vector<uncertain::ObjectId> candidates;
-  bool served_from_leaf = false;
-  if (cache_ != nullptr) {
+}  // namespace
+
+QueryEngine::Step1Outcome QueryEngine::Step1One(
+    const geom::Point& q, pv::QueryScratch* scratch,
+    bool want_grouping) const {
+  Step1Outcome out;
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  // Leaf location feeds the result cache and, on the grouped batch path,
+  // the grouping key — there it is worth a (page-free) FindLeaf even when
+  // the cache is off.
+  const bool want_leaf =
+      cache_ != nullptr ||
+      (want_grouping && options_.batch_step2 &&
+       active_->SupportsLeafGrouping());
+  if (want_leaf) {
     auto ref_or = active_->FindLeaf(q);
     if (!ref_or.ok()) {
-      ans.status = ref_or.status();
-      ans.latency_ms = watch.ElapsedMillis();
-      return ans;
+      out.status = ref_or.status();
+      return out;
     }
     if (ref_or.value().has_value()) {
       const pv::OctreePrimary::LeafRef ref = *ref_or.value();
-      ResultCache::BlockPtr block = cache_->Lookup(active_->kind(), ref.id);
-      if (block != nullptr) {
-        ans.cache_hit = true;
-      } else {
-        auto read = active_->ReadLeafBlock(ref);
-        if (!read.ok()) {
-          ans.status = read.status();
-          ans.latency_ms = watch.ElapsedMillis();
-          return ans;
+      out.leaf_key = ref.id;
+      // With the cache off there is no snapshot to fill or reuse: keep the
+      // grouping key and fall through to Step1, which prunes straight from
+      // the worker scratch (same page reads, no per-query block copy).
+      if (cache_ != nullptr) {
+        ResultCache::BlockPtr block = cache_->Lookup(active_->kind(), ref.id);
+        if (block != nullptr) {
+          out.cache_hit = true;
+          if (want_grouping) {
+            out.plan = cache_->LookupPlan(active_->kind(), ref.id);
+          }
+        } else {
+          auto read = active_->ReadLeafBlock(ref);
+          if (!read.ok()) {
+            out.status = read.status();
+            return out;
+          }
+          block =
+              cache_->Insert(active_->kind(), ref.id, std::move(read).value());
         }
-        block = cache_->Insert(active_->kind(), ref.id,
-                               std::move(read).value());
+        out.candidates = active_->PruneLeafBlock(*block, q, scratch);
+        out.block = std::move(block);
+        return out;
       }
-      candidates = active_->PruneLeafBlock(*block, q, &scratch);
-      served_from_leaf = true;
     }
   }
-  if (!served_from_leaf) {
-    auto step1 = active_->Step1(q, &scratch);
-    if (!step1.ok()) {
-      ans.status = step1.status();
-      ans.latency_ms = watch.ElapsedMillis();
-      return ans;
-    }
-    candidates = std::move(step1).value();
+  auto step1 = active_->Step1(q, scratch);
+  if (!step1.ok()) {
+    out.status = step1.status();
+    return out;
   }
+  out.candidates = std::move(step1).value();
+  return out;
+}
 
-  ans.results =
-      step2_.Evaluate(q, candidates, &scratch,
-                      options_.charge_step2_io ? step2_pages_ : nullptr,
-                      options_.min_probability);
+PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
+  StopWatch watch;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  PnnAnswer ans = AnswerOneLocked(q);
+  // Latency includes the wait for the shared lock (a writer may hold it).
   ans.latency_ms = watch.ElapsedMillis();
   return ans;
 }
 
-std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
+PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
+  PnnAnswer ans;
+  StopWatch watch;
+  pv::QueryScratch& scratch = WorkerScratch();
+  Step1Outcome s1 = Step1One(q, &scratch, /*want_grouping=*/false);
+  ans.cache_hit = s1.cache_hit;
+  if (!s1.status.ok()) {
+    ans.status = s1.status;
+    ans.latency_ms = watch.ElapsedMillis();
+    return ans;
+  }
+  ans.results =
+      step2_.Evaluate(q, s1.candidates, &scratch,
+                      options_.charge_step2_io ? step2_pages_ : nullptr,
+                      options_.min_probability);
+  ans.latency_ms = watch.ElapsedMillis();
+  if (options_.scratch_max_bytes > 0) {
+    scratch.ShrinkToFit(options_.scratch_max_bytes);
+  }
+  return ans;
+}
+
+std::vector<PnnAnswer> QueryEngine::ExecutePerQuery(
+    std::span<const geom::Point> queries) {
+  std::vector<PnnAnswer> answers(queries.size());
+  pool_->ParallelFor(queries.size(), [this, &queries, &answers](size_t i) {
+    answers[i] = AnswerOne(queries[i]);
+  });
+  return answers;
+}
+
+std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
     std::span<const geom::Point> queries, ServiceStats* stats) {
   std::vector<PnnAnswer> answers(queries.size());
+  std::vector<Step1Outcome> s1(queries.size());
+
+  // Phase 1 — Step 1 for every query, sharded across the pool. Each task
+  // holds the shared lock only for its own duration (never across the
+  // barrier), and records the mutation epoch it observed.
+  pool_->ParallelFor(queries.size(), [this, &queries, &answers, &s1](size_t i) {
+    StopWatch watch;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    s1[i] = Step1One(queries[i], &WorkerScratch(), /*want_grouping=*/true);
+    answers[i].status = s1[i].status;
+    answers[i].cache_hit = s1[i].cache_hit;
+    answers[i].latency_ms = watch.ElapsedMillis();
+  });
+
+  // Plan — group successful queries by identical surviving candidate sets.
+  pv::Step2Batch plan;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!s1[i].status.ok()) continue;
+    plan.Add(static_cast<uint32_t>(i), s1[i].leaf_key,
+             std::move(s1[i].candidates));
+  }
+
+  // Phase 2 — one candidate-outer sweep per group, groups sharded across
+  // the pool. A group whose epoch went stale (a writer slipped between the
+  // phases) redoes its members per-query under the current lock, so every
+  // answer is computed against one consistent index state.
+  std::atomic<int64_t> groups_swept{0};
+  std::atomic<int64_t> queries_swept{0};
+  std::atomic<int64_t> pairs_pruned{0};
+  const auto& groups = plan.groups();
+  pool_->ParallelFor(groups.size(), [&](size_t gi) {
+    const pv::Step2Batch::Group& g = groups[gi];
+    pv::QueryScratch& scratch = WorkerScratch();
+    StopWatch group_watch;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const uint64_t now = epoch_.load(std::memory_order_relaxed);
+    bool stale = false;
+    for (uint32_t qi : g.queries) stale |= s1[qi].epoch != now;
+    if (stale) {
+      for (uint32_t qi : g.queries) {
+        const double step1_ms = answers[qi].latency_ms;
+        answers[qi] = AnswerOneLocked(queries[qi]);
+        // Keep the phase-1 work (and inter-phase wait) in the total.
+        answers[qi].latency_ms += step1_ms;
+      }
+      return;
+    }
+    MetricRegistry::Counter* io =
+        options_.charge_step2_io ? step2_pages_ : nullptr;
+    if (g.queries.size() >= options_.step2_min_group_size &&
+        !g.candidates.empty()) {
+      const std::vector<const uncertain::UncertainObject*> resolved =
+          ResolveGroup(g, s1[g.queries.front()]);
+      pv::Step2GroupOptions gopts;
+      gopts.min_probability = options_.min_probability;
+      gopts.max_scratch_bytes = options_.scratch_max_bytes;
+      gopts.resolved = resolved;
+      pv::Step2BatchStats bstats;
+      std::vector<geom::Point> group_queries;
+      group_queries.reserve(g.queries.size());
+      for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
+      auto results = step2_.EvaluateGroup(group_queries, g.candidates,
+                                          &scratch, io, gopts, &bstats);
+      const double group_ms = group_watch.ElapsedMillis();
+      for (size_t t = 0; t < g.queries.size(); ++t) {
+        answers[g.queries[t]].results = std::move(results[t]);
+        // The answer was not ready until its whole group swept.
+        answers[g.queries[t]].latency_ms += group_ms;
+      }
+      groups_swept.fetch_add(1, std::memory_order_relaxed);
+      queries_swept.fetch_add(static_cast<int64_t>(g.queries.size()),
+                              std::memory_order_relaxed);
+      pairs_pruned.fetch_add(bstats.pairs_pruned, std::memory_order_relaxed);
+    } else {
+      for (uint32_t qi : g.queries) {
+        StopWatch watch;
+        answers[qi].results =
+            step2_.Evaluate(queries[qi], g.candidates, &scratch, io,
+                            options_.min_probability);
+        answers[qi].latency_ms += watch.ElapsedMillis();
+      }
+    }
+    if (options_.scratch_max_bytes > 0) {
+      scratch.ShrinkToFit(options_.scratch_max_bytes);
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->step2_groups = groups_swept.load();
+    stats->step2_grouped_queries = queries_swept.load();
+    stats->step2_pairs_pruned = pairs_pruned.load();
+  }
+  return answers;
+}
+
+std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
+    const pv::Step2Batch::Group& group, const Step1Outcome& first) const {
+  std::vector<const uncertain::UncertainObject*> resolved;
+  if (cache_ == nullptr || first.block == nullptr ||
+      first.leaf_key == pv::kNoLeafId || !active_->PruneKeepsLeafOrder()) {
+    return resolved;
+  }
+  ResultCache::PlanPtr plan = first.plan;
+  if (plan == nullptr) {
+    ResultCache::Step2LeafPlan fresh;
+    fresh.objs.reserve(first.block->size());
+    for (uncertain::ObjectId id : first.block->ids) {
+      const uncertain::UncertainObject* o = db_->Find(id);
+      if (o == nullptr) return resolved;  // fall back to per-id lookup
+      fresh.objs.push_back(o);
+    }
+    plan = cache_->AttachPlan(active_->kind(), first.leaf_key,
+                              std::move(fresh));
+  }
+  // Pruning preserved leaf order, so the candidates map onto the plan with
+  // one lockstep walk.
+  resolved.reserve(group.candidates.size());
+  size_t bi = 0;
+  const auto& ids = first.block->ids;
+  for (uncertain::ObjectId id : group.candidates) {
+    while (bi < ids.size() && ids[bi] != id) ++bi;
+    if (bi == ids.size()) {
+      resolved.clear();  // order mismatch; fall back to per-id lookup
+      return resolved;
+    }
+    resolved.push_back(plan->objs[bi++]);
+  }
+  return resolved;
+}
+
+std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
+    std::span<const geom::Point> queries, ServiceStats* stats) {
   const int64_t hits_before = cache_ != nullptr ? cache_->hits() : 0;
   const int64_t misses_before = cache_ != nullptr ? cache_->misses() : 0;
 
   StopWatch wall;
-  pool_->ParallelFor(queries.size(), [this, &queries, &answers](size_t i) {
-    answers[i] = AnswerOne(queries[i]);
-  });
+  if (stats != nullptr) *stats = ServiceStats{};
+  std::vector<PnnAnswer> answers = options_.batch_step2
+                                       ? ExecuteGrouped(queries, stats)
+                                       : ExecutePerQuery(queries);
   const double wall_ms = wall.ElapsedMillis();
 
   if (stats != nullptr) {
-    *stats = ServiceStats{};
     stats->queries = static_cast<int64_t>(queries.size());
     stats->threads = pool_->size();
     stats->wall_ms = wall_ms;
@@ -182,6 +365,12 @@ Status QueryEngine::Insert(uncertain::UncertainObject object) {
         "mutations require the engine to serve from the PV-index");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Any dataset mutation attempt invalidates record pointers (cached
+  // per-leaf Step-2 plans) and strands in-flight grouped batches between
+  // their phases: bump the epoch and flush the cache outright — the
+  // PV-index listener only fires on success and only covers its own leaves.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_ != nullptr) cache_->Clear();
   const uncertain::ObjectId id = object.id();
   PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
   const Status st = pv_index_->InsertObject(*db_, id);
@@ -201,8 +390,12 @@ Status QueryEngine::Delete(uncertain::ObjectId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   const uncertain::UncertainObject* found = db_->Find(id);
   if (found == nullptr) {
+    // Nothing mutated: keep the warm cache.
     return Status::NotFound("object not in the dataset");
   }
+  // Same epoch/flush discipline as Insert, for the same reasons.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_ != nullptr) cache_->Clear();
   const uncertain::UncertainObject removed = *found;
   PVDB_RETURN_NOT_OK(db_->Remove(id));
   const Status st = pv_index_->DeleteObject(*db_, removed);

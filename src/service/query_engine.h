@@ -12,6 +12,7 @@
 #ifndef PVDB_SERVICE_QUERY_ENGINE_H_
 #define PVDB_SERVICE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <optional>
@@ -48,6 +49,23 @@ struct QueryEngineOptions {
   /// no name lookup), so it costs one relaxed fetch_add per candidate and
   /// is safe to leave on for throughput serving.
   bool charge_step2_io = true;
+  /// Batched Step 2: ExecuteBatch groups its queries by identical surviving
+  /// candidate sets (pv::Step2Batch, keyed off the octree leaf id Step 1
+  /// already located) and evaluates each group with one candidate-outer
+  /// sweep (PnnStep2Evaluator::EvaluateGroup). Answers are bit-identical to
+  /// the per-query path; pdf page reads are charged once per candidate per
+  /// group instead of per query. Submit() and groups below
+  /// step2_min_group_size always take the per-query path.
+  bool batch_step2 = true;
+  /// Smallest group routed through the batched evaluator; smaller groups
+  /// fall back to per-query Evaluate.
+  size_t step2_min_group_size = 2;
+  /// Bound on a worker's pooled QueryScratch arena: after any query or
+  /// group that grew it past this, the worker releases the arena
+  /// (QueryScratch::ShrinkToFit) so one pathological leaf doesn't pin the
+  /// memory for the worker's lifetime. Also caps the batch-table chunk size
+  /// inside EvaluateGroup. 0 never shrinks.
+  size_t scratch_max_bytes = 64u << 20;
 };
 
 /// One served query's outcome.
@@ -76,6 +94,12 @@ struct ServiceStats {
   /// the backend has no leaf structure).
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// Batched-Step-2 plan shape (all 0 when batch_step2 is off): groups that
+  /// went through the candidate-outer sweep, queries they served, and
+  /// (query, candidate) pairs the threshold bound retired early.
+  int64_t step2_groups = 0;
+  int64_t step2_grouped_queries = 0;
+  int64_t step2_pairs_pruned = 0;
 };
 
 /// The indexes an engine may serve from; all borrowed, any subset present.
@@ -140,8 +164,46 @@ class QueryEngine {
  private:
   QueryEngine(uncertain::Dataset* db, const QueryEngineOptions& options);
 
+  /// Step-1 output of one query, carried from the batch's candidate phase
+  /// to its grouped Step-2 phase.
+  struct Step1Outcome {
+    Status status = Status::OK();
+    std::vector<uncertain::ObjectId> candidates;
+    uint64_t leaf_key = pv::kNoLeafId;
+    /// Leaf block the candidates were pruned from (nullptr off-leaf).
+    ResultCache::BlockPtr block;
+    /// Cached per-leaf object plan, when one already existed.
+    ResultCache::PlanPtr plan;
+    bool cache_hit = false;
+    /// Engine mutation epoch the outcome was computed under.
+    uint64_t epoch = 0;
+  };
+
   /// Serves one query end to end (takes the shared lock itself).
   PnnAnswer AnswerOne(const geom::Point& q) const;
+
+  /// AnswerOne's body; the caller holds the shared lock.
+  PnnAnswer AnswerOneLocked(const geom::Point& q) const;
+
+  /// Step 1 of one query (leaf location, cache, pruning); the caller holds
+  /// the shared lock. `want_grouping` is true only on the grouped batch
+  /// path, which consumes the leaf key / block / plan — the per-query path
+  /// skips that extra work (no off-cache block snapshot, no plan lookup).
+  Step1Outcome Step1One(const geom::Point& q, pv::QueryScratch* scratch,
+                        bool want_grouping) const;
+
+  /// Candidate records of `group` via the cached per-leaf plan (building
+  /// and attaching it on first use); empty when the backend's pruning does
+  /// not preserve leaf order or the group was not served from a leaf.
+  std::vector<const uncertain::UncertainObject*> ResolveGroup(
+      const pv::Step2Batch::Group& group, const Step1Outcome& first) const;
+
+  /// Legacy per-query ExecuteBatch body (batch_step2 off).
+  std::vector<PnnAnswer> ExecutePerQuery(std::span<const geom::Point> queries);
+
+  /// Group-then-sweep ExecuteBatch body.
+  std::vector<PnnAnswer> ExecuteGrouped(std::span<const geom::Point> queries,
+                                        ServiceStats* stats);
 
   uncertain::Dataset* db_;
   QueryEngineOptions options_;
@@ -156,6 +218,12 @@ class QueryEngine {
   // Pre-registered Step-2 I/O counter: workers charge it lock-free instead
   // of taking the registry mutex per candidate.
   MetricRegistry::Counter* step2_pages_ = nullptr;
+  // Bumped by every Insert/Delete (under the writer lock). The grouped
+  // batch path snapshots it during Step 1 and re-checks per group during
+  // Step 2, so a mutation landing between the phases triggers a consistent
+  // per-query redo instead of evaluating stale candidates — no lock is ever
+  // held across a pool barrier.
+  std::atomic<uint64_t> epoch_{0};
   mutable std::shared_mutex mu_;
   // Last member: destroyed (joined) first, while the state above is alive.
   std::unique_ptr<ThreadPool> pool_;

@@ -42,6 +42,7 @@ ResultCache::BlockPtr ResultCache::Insert(BackendKind backend,
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second.block = snapshot;
+    it->second.plan = nullptr;  // new entries invalidate the resolved plan
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return snapshot;
   }
@@ -50,7 +51,26 @@ ResultCache::BlockPtr ResultCache::Insert(BackendKind backend,
     lru_.pop_back();
   }
   lru_.push_front(key);
-  map_.emplace(key, Entry{snapshot, lru_.begin()});
+  map_.emplace(key, Entry{snapshot, nullptr, lru_.begin()});
+  return snapshot;
+}
+
+ResultCache::PlanPtr ResultCache::LookupPlan(BackendKind backend,
+                                             uint64_t leaf_id) {
+  const uint64_t key = PackKey(backend, leaf_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second.plan;
+}
+
+ResultCache::PlanPtr ResultCache::AttachPlan(BackendKind backend,
+                                             uint64_t leaf_id,
+                                             Step2LeafPlan plan) {
+  const uint64_t key = PackKey(backend, leaf_id);
+  auto snapshot = std::make_shared<const Step2LeafPlan>(std::move(plan));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) it->second.plan = snapshot;
   return snapshot;
 }
 

@@ -22,6 +22,7 @@
 
 #include "src/pv/octree.h"
 #include "src/service/backend.h"
+#include "src/uncertain/uncertain_object.h"
 
 namespace pvdb::service {
 
@@ -30,6 +31,22 @@ namespace pvdb::service {
 class ResultCache {
  public:
   using BlockPtr = std::shared_ptr<const pv::LeafBlock>;
+
+  /// The query-independent half of a leaf's Step-2 state, cached alongside
+  /// its block. The sorted-distance tables themselves depend on the query
+  /// point and cannot be memoized, but resolving the leaf's entries to
+  /// dataset records can: objs[i] is the record of block.ids[i], so a
+  /// batched-Step-2 group whose pruning preserved leaf order maps its
+  /// candidates onto records with one lockstep walk, no hash lookups.
+  /// Pointers go stale on any dataset mutation — the engine clears the
+  /// cache around Insert/Delete, and plans never outlive their block entry.
+  /// This assumes mutations route through the engine owning this cache (the
+  /// engine contract); engines sharing one dataset with another mutating
+  /// engine already race on the dataset itself and are unsupported.
+  struct Step2LeafPlan {
+    std::vector<const uncertain::UncertainObject*> objs;
+  };
+  using PlanPtr = std::shared_ptr<const Step2LeafPlan>;
 
   /// Cache holding at most `capacity` leaves (capacity >= 1).
   explicit ResultCache(size_t capacity);
@@ -40,7 +57,19 @@ class ResultCache {
 
   /// Inserts (or replaces) the block of (backend, leaf), evicting the
   /// least-recently-used leaf when full. Returns the stored snapshot.
+  /// Replacement drops any attached Step-2 plan (new entries, stale plan).
   BlockPtr Insert(BackendKind backend, uint64_t leaf_id, pv::LeafBlock block);
+
+  /// The Step-2 plan attached to (backend, leaf), or nullptr. Does not
+  /// count hits/misses or refresh recency — the block lookup that precedes
+  /// it already did.
+  PlanPtr LookupPlan(BackendKind backend, uint64_t leaf_id);
+
+  /// Attaches a Step-2 plan to the cached (backend, leaf) entry. Returns
+  /// the stored snapshot; when the leaf is no longer cached the plan is
+  /// returned un-stored, still usable for the caller's current group.
+  PlanPtr AttachPlan(BackendKind backend, uint64_t leaf_id,
+                     Step2LeafPlan plan);
 
   /// Drops every entry of one backend (index-mutation invalidation hook).
   void Invalidate(BackendKind backend);
@@ -59,6 +88,7 @@ class ResultCache {
 
   struct Entry {
     BlockPtr block;
+    PlanPtr plan;
     std::list<uint64_t>::iterator lru_it;
   };
 

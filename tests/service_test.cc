@@ -370,6 +370,112 @@ TEST(QueryEngineTest, OutOfDomainQueryFailsOnlyThatAnswer) {
 }
 
 // ---------------------------------------------------------------------------
+// QueryEngine: batched Step 2 (group-then-sweep) vs per-query serving
+// ---------------------------------------------------------------------------
+
+TEST_P(QueryEngineBackendTest, BatchedStep2BitIdenticalToPerQueryEngine) {
+  // The same clustered batch through a grouped engine and a per-query
+  // engine: answers must match bit-for-bit, and the clusters must actually
+  // exercise the candidate-outer sweep (not the singleton fallback).
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions grouped_options;
+  grouped_options.threads = 4;
+  grouped_options.backend_override = GetParam();
+  grouped_options.batch_step2 = true;
+  auto grouped =
+      QueryEngine::Create(world.db.get(), world.All(), grouped_options)
+          .value();
+  QueryEngineOptions per_query_options = grouped_options;
+  per_query_options.batch_step2 = false;
+  auto per_query =
+      QueryEngine::Create(world.db.get(), world.All(), per_query_options)
+          .value();
+
+  // Clusters of queries jittered around shared anchors land in shared
+  // leaves with (mostly) identical surviving candidate sets.
+  Rng rng(4242);
+  std::vector<geom::Point> queries;
+  for (int c = 0; c < 8; ++c) {
+    const geom::Point anchor{rng.NextUniform(50, 950),
+                             rng.NextUniform(50, 950)};
+    for (int i = 0; i < 16; ++i) {
+      queries.push_back(geom::Point{anchor[0] + rng.NextUniform(-1, 1),
+                                    anchor[1] + rng.NextUniform(-1, 1)});
+    }
+  }
+
+  ServiceStats stats;
+  const auto batched_answers = grouped->ExecuteBatch(queries, &stats);
+  const auto per_query_answers = per_query->ExecuteBatch(queries);
+  ASSERT_EQ(batched_answers.size(), per_query_answers.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_TRUE(per_query_answers[i].status.ok());
+    ExpectAnswersEqual(per_query_answers[i].results, batched_answers[i]);
+  }
+  EXPECT_GT(stats.step2_groups, 0)
+      << "clustered queries must reach the batched sweep";
+  EXPECT_GT(stats.step2_grouped_queries, stats.step2_groups)
+      << "groups must hold more than one query each on average";
+}
+
+TEST(QueryEngineTest, BatchedStep2WorksWithoutLeafCache) {
+  // Grouping keys off the leaf id even when the leaf-result cache is
+  // disabled; answers stay identical to the sequential pipeline.
+  EngineWorld& world = SharedWorld();
+  QueryEngineOptions options;
+  options.threads = 2;
+  options.backend_override = BackendKind::kPvIndex;
+  options.cache_capacity = 0;
+  auto engine =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+  std::vector<geom::Point> queries(24, geom::Point{500, 500});
+  ServiceStats stats;
+  const auto answers = engine->ExecuteBatch(queries, &stats);
+  EXPECT_GT(stats.step2_groups, 0);
+  const auto expected = world.Sequential(BackendKind::kPvIndex, queries[0]);
+  for (size_t i = 0; i < answers.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ExpectAnswersEqual(expected, answers[i]);
+  }
+}
+
+TEST(QueryEngineTest, BatchedStep2DedupsPdfPageCharges) {
+  // Identical queries form one group: the batched engine charges each
+  // candidate's record once for the whole group, where the per-query engine
+  // charges it once per query. Regression test for the batch-path I/O
+  // accounting.
+  EngineWorld& world = SharedWorld();
+  const geom::Point q{500, 500};
+  const size_t repeats = 32;
+  const std::vector<geom::Point> queries(repeats, q);
+
+  pv::PnnStep2Evaluator step2(world.db.get());
+  const std::vector<uncertain::ObjectId> step1 =
+      world.pv->QueryPossibleNN(q).value();
+  int64_t per_group = 0;
+  for (uncertain::ObjectId id : step1) {
+    per_group += step2.RecordPages(*world.db->Find(id));
+  }
+  ASSERT_GT(per_group, 0);
+
+  QueryEngineOptions options;
+  options.threads = 2;
+  options.backend_override = BackendKind::kPvIndex;
+  auto batched =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+  batched->ExecuteBatch(queries);
+  EXPECT_EQ(batched->metrics().Get(pv::PnnCounters::kPdfPagesRead), per_group);
+
+  options.batch_step2 = false;
+  auto per_query =
+      QueryEngine::Create(world.db.get(), world.All(), options).value();
+  per_query->ExecuteBatch(queries);
+  EXPECT_EQ(per_query->metrics().Get(pv::PnnCounters::kPdfPagesRead),
+            per_group * static_cast<int64_t>(repeats));
+}
+
+// ---------------------------------------------------------------------------
 // QueryEngine: cache hits and invalidation across insert/delete
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,352 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Batched-Step-2 tests: Step2Batch grouping semantics, randomized
+// property tests asserting EvaluateGroup probabilities are bit-identical to
+// per-query Evaluate (shared-leaf query batches, degenerate pdfs,
+// min_probability in {0, 0.1, 0.5}), Monte-Carlo agreement on the batch
+// path, threshold early-exit behavior, per-group pdf I/O accounting against
+// the sequential path, and the QueryScratch::ShrinkToFit bound.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/pv/pnnq.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::pv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Step2Batch plan
+// ---------------------------------------------------------------------------
+
+TEST(Step2BatchTest, GroupsIdenticalCandidateSets) {
+  Step2Batch plan;
+  plan.Add(0, 7, {1, 2, 3});
+  plan.Add(1, 7, {1, 2, 3});
+  plan.Add(2, 9, {4, 5});
+  plan.Add(3, 7, {1, 2, 3});
+  plan.Add(4, 9, {5, 4});  // same ids, different order: distinct group
+  ASSERT_EQ(plan.groups().size(), 3u);
+  EXPECT_EQ(plan.groups()[0].queries, (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_EQ(plan.groups()[0].leaf_key, 7u);
+  EXPECT_EQ(plan.groups()[1].queries, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(plan.groups()[2].candidates,
+            (std::vector<uncertain::ObjectId>{5, 4}));
+}
+
+TEST(Step2BatchTest, EqualSetsGroupAcrossLeaves) {
+  // The leaf id locates candidates upstream; group identity is the exact
+  // candidate vector, so neighboring leaves with equal survivors share a
+  // sweep.
+  Step2Batch plan;
+  plan.Add(0, 1, {10, 20});
+  plan.Add(1, 2, {10, 20});
+  ASSERT_EQ(plan.groups().size(), 1u);
+  EXPECT_EQ(plan.groups()[0].queries, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(Step2BatchTest, EmptyCandidateSetsGroupTogether) {
+  Step2Batch plan;
+  plan.Add(0, kNoLeafId, {});
+  plan.Add(1, kNoLeafId, {});
+  ASSERT_EQ(plan.groups().size(), 1u);
+  EXPECT_TRUE(plan.groups()[0].candidates.empty());
+}
+
+// ---------------------------------------------------------------------------
+// EvaluateGroup vs per-query Evaluate: bit-identity
+// ---------------------------------------------------------------------------
+
+void ExpectBitIdentical(const std::vector<PnnResult>& expected,
+                        const std::vector<PnnResult>& actual) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << "slot " << i;
+    EXPECT_EQ(actual[i].probability, expected[i].probability) << "slot " << i;
+  }
+}
+
+/// Runs one randomized round: a synthetic database, a random candidate
+/// subset shared by a jittered query cluster, and one bit-identity check of
+/// the batch path against the per-query path at `min_probability`.
+void RunPropertyRound(uint64_t seed, double min_probability) {
+  Rng rng(seed);
+  uncertain::SyntheticOptions synth;
+  synth.dim = 1 + static_cast<int>(rng.NextU64() % 3);
+  synth.count = 10 + static_cast<size_t>(rng.NextU64() % 30);
+  synth.samples_per_object = 5 + static_cast<int>(rng.NextU64() % 40);
+  synth.max_region_extent = 400;  // big regions: overlapping candidates
+  synth.domain_hi = 1000;
+  synth.seed = seed * 31 + 1;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  PnnStep2Evaluator step2(&db);
+
+  // Random candidate subset (EvaluateGroup's contract holds for any
+  // candidate list, not only true Step-1 answers), in random order.
+  std::vector<uncertain::ObjectId> candidates;
+  for (const auto& o : db.objects()) {
+    if (rng.NextU64() % 3 != 0) candidates.push_back(o.id());
+  }
+  if (candidates.empty()) candidates.push_back(db.objects().front().id());
+
+  // A shared-leaf-style cluster: queries jittered around one anchor.
+  geom::Point anchor(synth.dim);
+  for (int d = 0; d < synth.dim; ++d) {
+    anchor[d] = rng.NextUniform(0, 1000);
+  }
+  const size_t nq = 1 + rng.NextU64() % 9;
+  std::vector<geom::Point> queries;
+  for (size_t i = 0; i < nq; ++i) {
+    geom::Point q = anchor;
+    for (int d = 0; d < synth.dim; ++d) {
+      q[d] += rng.NextUniform(-5, 5);
+    }
+    queries.push_back(q);
+  }
+
+  QueryScratch batch_scratch;
+  Step2GroupOptions opts;
+  opts.min_probability = min_probability;
+  // Exercise query chunking on some rounds.
+  opts.max_scratch_bytes = seed % 2 == 0 ? 4096 : 0;
+  const auto grouped =
+      step2.EvaluateGroup(queries, candidates, &batch_scratch, nullptr, opts);
+  ASSERT_EQ(grouped.size(), queries.size());
+  QueryScratch scratch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " query " +
+                 std::to_string(i));
+    const auto expected = step2.Evaluate(queries[i], candidates, &scratch,
+                                         nullptr, min_probability);
+    ExpectBitIdentical(expected, grouped[i]);
+  }
+}
+
+TEST(EvaluateGroupTest, BitIdenticalToPerQueryEvaluateNoThreshold) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) RunPropertyRound(seed, 0.0);
+}
+
+TEST(EvaluateGroupTest, BitIdenticalUnderThresholds) {
+  for (uint64_t seed = 21; seed <= 35; ++seed) {
+    RunPropertyRound(seed, 0.1);
+    RunPropertyRound(seed + 100, 0.5);
+  }
+}
+
+TEST(EvaluateGroupTest, DegeneratePdfsBitIdentical) {
+  // Point-mass objects (zero-extent regions: every instance at the same
+  // position, maximal distance ties), a two-instance weighted pdf, and two
+  // objects sharing a position — the tie-handling worst case.
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 100));
+  Rng rng(3);
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect::Cube(2, 10, 10), 20, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        1, geom::Rect::Cube(2, 10, 10), 20, &rng))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject(
+                        2, geom::Rect(geom::Point{5, 5}, geom::Point{40, 40}),
+                        {uncertain::Instance{geom::Point{5, 5}, 0.9},
+                         uncertain::Instance{geom::Point{40, 40}, 0.1}}))
+                  .ok());
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        3, geom::Rect::Cube(2, 60, 60), 1, &rng))
+                  .ok());
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> candidates{0, 1, 2, 3};
+  const std::vector<geom::Point> queries{
+      geom::Point{10, 10}, geom::Point{0, 0}, geom::Point{60, 60},
+      geom::Point{25, 25}};
+  for (const double min_probability : {0.0, 0.1, 0.5}) {
+    QueryScratch batch_scratch;
+    Step2GroupOptions opts;
+    opts.min_probability = min_probability;
+    const auto grouped =
+        step2.EvaluateGroup(queries, candidates, &batch_scratch, nullptr, opts);
+    QueryScratch scratch;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SCOPED_TRACE("min_probability " + std::to_string(min_probability) +
+                   " query " + std::to_string(i));
+      ExpectBitIdentical(step2.Evaluate(queries[i], candidates, &scratch,
+                                        nullptr, min_probability),
+                         grouped[i]);
+    }
+  }
+}
+
+TEST(EvaluateGroupTest, EmptyQueriesAndCandidates) {
+  Rng rng(4);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 100));
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                        0, geom::Rect::Cube(2, 10, 20), 5, &rng))
+                  .ok());
+  PnnStep2Evaluator step2(&db);
+  QueryScratch scratch;
+  EXPECT_TRUE(step2
+                  .EvaluateGroup({}, std::vector<uncertain::ObjectId>{0},
+                                 &scratch)
+                  .empty());
+  const std::vector<geom::Point> queries{geom::Point{1, 1}};
+  const auto out = step2.EvaluateGroup(queries, {}, &scratch);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo agreement on the batch path
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateGroupTest, MatchesMonteCarloEstimator) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 12;
+  synth.samples_per_object = 300;
+  synth.max_region_extent = 400;
+  synth.domain_hi = 1000;
+  synth.seed = 11;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> candidates = db.Ids();
+  Rng rng(12);
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(geom::Point{rng.NextUniform(200, 800),
+                                  rng.NextUniform(200, 800)});
+  }
+  QueryScratch scratch;
+  const auto grouped = step2.EvaluateGroup(queries, candidates, &scratch);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto mc = step2.EstimateByMonteCarlo(queries[i], candidates,
+                                               /*trials=*/20000, /*seed=*/i);
+    for (const auto& e : grouped[i]) {
+      double mc_p = 0;
+      for (const auto& m : mc) {
+        if (m.id == e.id) mc_p = m.probability;
+      }
+      EXPECT_NEAR(e.probability, mc_p, 0.02)
+          << "object " << e.id << " at query " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold early-exit
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateGroupTest, EarlyExitPrunesDominatedPairsAndAnswersMatch) {
+  // One cluster of near candidates and several clearly dominated far ones:
+  // the far candidates' survival bounds collapse to zero and must be
+  // retired by the sweep, without touching the surviving probabilities.
+  Rng rng(5);
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 1000));
+  for (uint64_t id = 0; id < 3; ++id) {
+    ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                          id, geom::Rect::Cube(2, 10 + 5 * id, 30 + 5 * id),
+                          40, &rng))
+                    .ok());
+  }
+  for (uint64_t id = 3; id < 8; ++id) {
+    ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                          id, geom::Rect::Cube(2, 800 + 10 * id,
+                                               810 + 10 * id),
+                          40, &rng))
+                    .ok());
+  }
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> candidates = db.Ids();
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(geom::Point{rng.NextUniform(0, 40),
+                                  rng.NextUniform(0, 40)});
+  }
+  QueryScratch batch_scratch;
+  Step2BatchStats stats;
+  const auto grouped = step2.EvaluateGroup(queries, candidates, &batch_scratch,
+                                           nullptr, {}, &stats);
+  EXPECT_GT(stats.pairs_pruned, 0) << "dominated candidates must exit early";
+  QueryScratch scratch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ExpectBitIdentical(step2.Evaluate(queries[i], candidates, &scratch),
+                       grouped[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pdf page charges: once per candidate per group
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateGroupTest, ChargesPdfPagesOncePerCandidatePerGroup) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = 10;
+  synth.samples_per_object = 500;
+  synth.seed = 13;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  PnnStep2Evaluator step2(&db);
+  const std::vector<uncertain::ObjectId> candidates = db.Ids();
+  std::vector<geom::Point> queries(
+      7, geom::Point{500, 500, 500});
+
+  int64_t per_group = 0;
+  for (uncertain::ObjectId id : candidates) {
+    per_group += step2.RecordPages(*db.Find(id));
+  }
+
+  MetricRegistry batch_io;
+  QueryScratch scratch;
+  step2.EvaluateGroup(queries, candidates, &scratch,
+                      batch_io.Register(PnnCounters::kPdfPagesRead));
+  EXPECT_EQ(batch_io.Get(PnnCounters::kPdfPagesRead), per_group)
+      << "the batch path fetches each candidate record once per group";
+
+  // Regression comparison: the sequential path charges the same records
+  // once per query — group size times the batch charge.
+  MetricRegistry seq_io;
+  for (const auto& q : queries) {
+    step2.Evaluate(q, candidates, &seq_io);
+  }
+  EXPECT_EQ(seq_io.Get(PnnCounters::kPdfPagesRead),
+            per_group * static_cast<int64_t>(queries.size()));
+}
+
+// ---------------------------------------------------------------------------
+// QueryScratch::ShrinkToFit
+// ---------------------------------------------------------------------------
+
+TEST(QueryScratchTest, ShrinkToFitEnforcesBound) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 20;
+  synth.samples_per_object = 100;
+  synth.seed = 17;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  PnnStep2Evaluator step2(&db);
+  QueryScratch scratch;
+  const std::vector<geom::Point> queries(8, geom::Point{500, 500});
+  step2.EvaluateGroup(queries, db.Ids(), &scratch);
+  const size_t grown = scratch.ApproxBytes();
+  ASSERT_GT(grown, 0u);
+
+  // Under the bound: a no-op, arenas stay warm.
+  scratch.ShrinkToFit(grown);
+  EXPECT_EQ(scratch.ApproxBytes(), grown);
+
+  // Over the bound: everything is released, so the arena respects the cap.
+  scratch.ShrinkToFit(grown - 1);
+  EXPECT_LE(scratch.ApproxBytes(), grown - 1);
+  EXPECT_EQ(scratch.ApproxBytes(), 0u);
+
+  // The emptied scratch still serves queries (and regrows on demand).
+  const auto again = step2.EvaluateGroup(queries, db.Ids(), &scratch);
+  ASSERT_EQ(again.size(), queries.size());
+  EXPECT_GT(scratch.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pvdb::pv
