@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Snapshot lifecycle benchmark: what a serving process pays to come up from
+// a saved snapshot versus rebuilding the PV-index from the raw dataset, on
+// the standard 10k synthetic workload. Emits one JSON object
+// (BENCH_snapshot.json schema):
+//   build_ms        PvIndexBuilder::Build from the dataset (the rebuild a
+//                   snapshot saves every serving process)
+//   seal_save_ms    serialize + write the snapshot file
+//   open_ms         IndexSnapshot::Open — mmap + header/structure
+//                   validation, no octree rebuild, records untouched
+//   open_speedup    build_ms / open_ms (acceptance bar: >= 10x)
+//   first_query_ms  first PNNQ through a CreateFromSnapshot engine (faults
+//                   the touched leaf + records in from the mapping)
+//   warm_qps        single-thread engine throughput over the snapshot
+//
+//   $ ./bench_snapshot [--smoke]
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pvdb.h"
+
+namespace {
+
+using namespace pvdb;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = smoke ? 2000 : 10000;
+  synth.samples_per_object = smoke ? 50 : 200;
+  synth.seed = 42;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+
+  pv::PvIndexOptions index_options;
+  index_options.build_order = pv::BuildOrder::kMorton;
+  index_options.bulk_primary = true;
+
+  StopWatch build_watch;
+  auto builder = pv::PvIndexBuilder::Build(db, index_options);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 builder.status().ToString().c_str());
+    return 1;
+  }
+  const double build_ms = build_watch.ElapsedMillis();
+
+  const std::string path = smoke ? "/tmp/pvdb_bench_snapshot_smoke.snap"
+                                 : "/tmp/pvdb_bench_snapshot.snap";
+  StopWatch save_watch;
+  const Status saved = builder.value()->Save(path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const double seal_save_ms = save_watch.ElapsedMillis();
+
+  StopWatch open_watch;
+  auto snapshot = pv::IndexSnapshot::Open(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const double open_ms = open_watch.ElapsedMillis();
+
+  service::QueryEngineOptions engine_options;
+  engine_options.threads = 1;
+  auto engine = service::QueryEngine::CreateFromSnapshot(snapshot.value(),
+                                                         engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(7);
+  const geom::Rect& domain = snapshot.value()->domain();
+  auto random_query = [&] {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    return q;
+  };
+
+  // First query: cold mapping — the leaf pages and candidate records fault
+  // in here. This is the serving process's true time-to-first-answer after
+  // Open.
+  StopWatch first_watch;
+  const service::PnnAnswer first = engine.value()->Submit(random_query()).get();
+  const double first_query_ms = first_watch.ElapsedMillis();
+  if (!first.status.ok()) {
+    std::fprintf(stderr, "first query failed: %s\n",
+                 first.status.ToString().c_str());
+    return 1;
+  }
+
+  const size_t query_count = smoke ? 256 : 2048;
+  std::vector<geom::Point> queries;
+  queries.reserve(query_count);
+  for (size_t i = 0; i < query_count; ++i) queries.push_back(random_query());
+  service::ServiceStats stats;
+  const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+  for (const auto& a : answers) {
+    if (!a.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", a.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+
+  const double open_speedup = open_ms > 0 ? build_ms / open_ms : 0.0;
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"snapshot_lifecycle\",\n");
+  std::printf(
+      "  \"description\": \"Cost to bring up a serving process: rebuild the "
+      "PV-index from the raw dataset (before) vs IndexSnapshot::Open of a "
+      "saved snapshot (after: mmap + structural validation, no octree "
+      "rebuild, pdf records faulted lazily). Answers off the snapshot are "
+      "bit-identical to the built index (tests/snapshot_test.cc).\",\n");
+  std::printf("  \"date\": \"%s\",\n", date);
+  std::printf("  \"machine\": {\n");
+  std::printf("    \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("    \"compiler\": \"%s\"\n  },\n", __VERSION__);
+  std::printf("  \"workload\": {\n");
+  std::printf("    \"objects\": %zu,\n", db.size());
+  std::printf("    \"dim\": %d,\n", synth.dim);
+  std::printf("    \"samples_per_object\": %d,\n", synth.samples_per_object);
+  std::printf("    \"snapshot_bytes\": %zu\n  },\n",
+              snapshot.value()->file_bytes());
+  std::printf("  \"results\": {\n");
+  std::printf("    \"build_ms\": %.2f,\n", build_ms);
+  std::printf("    \"seal_save_ms\": %.2f,\n", seal_save_ms);
+  std::printf("    \"open_ms\": %.3f,\n", open_ms);
+  std::printf("    \"open_speedup_vs_build\": %.1f,\n", open_speedup);
+  std::printf("    \"first_query_ms\": %.3f,\n", first_query_ms);
+  std::printf("    \"warm_single_thread_qps\": %.1f\n  }\n}\n",
+              stats.throughput_qps);
+
+  std::fprintf(stderr, "# snapshot open = %.1fx faster than rebuild (%.2f ms "
+                       "vs %.2f ms); first query %.3f ms\n",
+               open_speedup, open_ms, build_ms, first_query_ms);
+  std::remove(path.c_str());
+  return 0;
+}

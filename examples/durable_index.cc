@@ -4,6 +4,11 @@
 // leaf page, hash bucket and pdf record round-trips through a real file —
 // the configuration closest to the paper's disk-resident experiments.
 // Reports the index's on-disk footprint and per-query I/O.
+//
+// Note this persists the *mutable* index's page store (and still rebuilds
+// the octree node headers on start-up); for restartable serving, the sealed
+// snapshot lifecycle (examples/snapshot_serving.cc: PvIndexBuilder::Save →
+// IndexSnapshot::Open) mmaps a complete immutable image instead.
 
 #include <cstdio>
 #include <string>

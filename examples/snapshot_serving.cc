@@ -1,0 +1,129 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Snapshot lifecycle walkthrough: Build → Seal → Save on the writer side,
+// Open(mmap) → serve on the reader side. Run without arguments it plays
+// both roles against a temp file; with a mode flag it plays one role, so
+// two separate processes (e.g. two CI steps) exercise the cross-process
+// path:
+//
+//   $ ./snapshot_serving                      # build + save + open + serve
+//   $ ./snapshot_serving --save  pv.snap      # writer process
+//   $ ./snapshot_serving --serve pv.snap      # fresh serving process
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/pvdb.h"
+
+namespace {
+
+using namespace pvdb;
+
+uncertain::Dataset MakeDatabase() {
+  uncertain::SyntheticOptions options;
+  options.dim = 3;
+  options.count = 5000;
+  options.samples_per_object = 100;
+  options.seed = 1;
+  return uncertain::GenerateSynthetic(options);
+}
+
+int SaveSnapshot(const std::string& path) {
+  // Writer side: the mutable half of the lifecycle. The builder owns the
+  // pager and the live PV-index; the dataset is only needed here.
+  const uncertain::Dataset db = MakeDatabase();
+  StopWatch build_watch;
+  auto builder = pv::PvIndexBuilder::Build(db);
+  if (!builder.ok()) {
+    std::printf("build failed: %s\n", builder.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built PV-index over %zu objects in %.0f ms\n", db.size(),
+              build_watch.ElapsedMillis());
+
+  const Status saved = builder.value()->Save(path);
+  if (!saved.ok()) {
+    std::printf("save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("sealed snapshot saved to %s\n", path.c_str());
+  return 0;
+}
+
+int ServeSnapshot(const std::string& path) {
+  // Serving side: no dataset, no rebuild — the snapshot is mmap'd and is
+  // both the Step-1 index and the Step-2 record source.
+  StopWatch open_watch;
+  auto snapshot = pv::IndexSnapshot::Open(path);
+  if (!snapshot.ok()) {
+    std::printf("open failed: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "opened snapshot in %.2f ms: %llu objects, %llu leaves, %.1f MiB, "
+      "mmap=%s\n",
+      open_watch.ElapsedMillis(),
+      static_cast<unsigned long long>(snapshot.value()->object_count()),
+      static_cast<unsigned long long>(snapshot.value()->leaf_count()),
+      static_cast<double>(snapshot.value()->file_bytes()) / (1024.0 * 1024.0),
+      snapshot.value()->mapped() ? "yes" : "no");
+
+  service::QueryEngineOptions engine_options;
+  engine_options.threads = 4;
+  auto engine =
+      service::QueryEngine::CreateFromSnapshot(snapshot.value(),
+                                               engine_options);
+  if (!engine.ok()) {
+    std::printf("engine failed: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine: backend=%s (%s)\n",
+              service::BackendKindName(engine.value()->active_backend()),
+              engine.value()->plan_reason().c_str());
+
+  Rng rng(9);
+  std::vector<geom::Point> queries;
+  const geom::Rect& domain = snapshot.value()->domain();
+  for (int i = 0; i < 256; ++i) {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    queries.push_back(q);
+  }
+  service::ServiceStats stats;
+  const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+  size_t answered = 0;
+  for (const auto& a : answers) {
+    if (!a.status.ok()) {
+      std::printf("query failed: %s\n", a.status.ToString().c_str());
+      return 1;
+    }
+    answered += a.results.size();
+  }
+  std::printf(
+      "served %lld queries from the mapping: %.0f q/s, p50 %.3f ms, "
+      "p99 %.3f ms, %zu answers\n",
+      static_cast<long long>(stats.queries), stats.throughput_qps,
+      stats.p50_latency_ms, stats.p99_latency_ms, answered);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string save_path;
+  std::string serve_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--save") == 0) save_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--serve") == 0) serve_path = argv[i + 1];
+  }
+  if (!save_path.empty()) return SaveSnapshot(save_path);
+  if (!serve_path.empty()) return ServeSnapshot(serve_path);
+  const std::string path = "/tmp/pvdb_snapshot_example.snap";
+  const int saved = SaveSnapshot(path);
+  if (saved != 0) return saved;
+  return ServeSnapshot(path);
+}

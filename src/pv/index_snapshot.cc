@@ -1,0 +1,389 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/index_snapshot.h"
+
+#include <cstring>
+#include <limits>
+
+namespace pvdb::pv {
+
+namespace {
+
+// Fixed record sizes of the snapshot sections (all little-endian).
+constexpr size_t kMetaBytes = 40;
+constexpr size_t kNodeBytes = 32;
+constexpr size_t kDirEntryBytes = 24;
+
+constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+
+template <typename T>
+T ReadField(std::span<const uint8_t> bytes, size_t off) {
+  T v;
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;
+}
+
+/// Decoded view of one flat node record.
+struct NodeView {
+  uint64_t leaf_id;
+  uint64_t first_child;
+  uint64_t entry_begin;
+  uint32_t entry_count;
+  uint32_t is_leaf;
+};
+
+NodeView ReadNode(std::span<const uint8_t> nodes, uint64_t index) {
+  const size_t off = static_cast<size_t>(index) * kNodeBytes;
+  NodeView n;
+  n.leaf_id = ReadField<uint64_t>(nodes, off);
+  n.first_child = ReadField<uint64_t>(nodes, off + 8);
+  n.entry_begin = ReadField<uint64_t>(nodes, off + 16);
+  n.entry_count = ReadField<uint32_t>(nodes, off + 24);
+  n.is_leaf = ReadField<uint32_t>(nodes, off + 28);
+  return n;
+}
+
+uint64_t ReadDirId(std::span<const uint8_t> dir, size_t slot) {
+  return ReadField<uint64_t>(dir, slot * kDirEntryBytes);
+}
+
+}  // namespace
+
+IndexSnapshot::~IndexSnapshot() {
+  if (objects_ == nullptr) return;
+  for (uint64_t i = 0; i < object_count_; ++i) {
+    delete objects_[i].load(std::memory_order_relaxed);
+  }
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Open(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  PVDB_ASSIGN_OR_RETURN(std::shared_ptr<const storage::SnapshotReader> reader,
+                        storage::SnapshotReader::OpenFile(path));
+  return Build(std::move(reader), options);
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::FromImage(
+    std::vector<uint8_t> image, const SnapshotOpenOptions& options) {
+  PVDB_ASSIGN_OR_RETURN(std::shared_ptr<const storage::SnapshotReader> reader,
+                        storage::SnapshotReader::FromImage(std::move(image)));
+  return Build(std::move(reader), options);
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
+    std::shared_ptr<const storage::SnapshotReader> reader,
+    const SnapshotOpenOptions& options) {
+  auto snap = std::shared_ptr<IndexSnapshot>(new IndexSnapshot());
+  snap->reader_ = std::move(reader);
+  const storage::SnapshotReader& r = *snap->reader_;
+
+  // Structural sections are always checksum-verified: Open touches them
+  // anyway (descent structure, directory) and they are small next to the
+  // records payload, which stays lazy unless verify_payload asks.
+  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kMeta));
+  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kDomain));
+  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kNodes));
+  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kLeafEntries));
+  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kObjectDir));
+  if (options.verify_payload) {
+    PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kObjectRecords));
+  }
+
+  PVDB_ASSIGN_OR_RETURN(std::span<const uint8_t> meta,
+                        r.Section(SnapshotSections::kMeta));
+  if (meta.size() != kMetaBytes) {
+    return Status::Corruption("snapshot meta section has wrong size");
+  }
+  const uint32_t dim = ReadField<uint32_t>(meta, 0);
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("snapshot dimensionality out of range: " +
+                              std::to_string(dim));
+  }
+  snap->dim_ = static_cast<int>(dim);
+  snap->object_count_ = ReadField<uint64_t>(meta, 8);
+  snap->node_count_ = ReadField<uint64_t>(meta, 16);
+  snap->leaf_count_ = ReadField<uint64_t>(meta, 24);
+  snap->entry_count_ = ReadField<uint64_t>(meta, 32);
+
+  PVDB_ASSIGN_OR_RETURN(std::span<const uint8_t> domain,
+                        r.Section(SnapshotSections::kDomain));
+  if (domain.size() != 2 * sizeof(double) * dim) {
+    return Status::Corruption("snapshot domain section has wrong size");
+  }
+  geom::Point lo(snap->dim_), hi(snap->dim_);
+  for (uint32_t i = 0; i < dim; ++i) {
+    lo[static_cast<int>(i)] = ReadField<double>(domain, i * 16);
+    hi[static_cast<int>(i)] = ReadField<double>(domain, i * 16 + 8);
+    if (!(lo[static_cast<int>(i)] <= hi[static_cast<int>(i)])) {
+      return Status::Corruption("snapshot domain is not a valid rectangle");
+    }
+  }
+  snap->domain_ = geom::Rect(lo, hi);
+
+  // Counts are validated by division against the section sizes, never by
+  // count * stride: a crafted 64-bit count must not be able to wrap the
+  // multiplication into a passing check (and then drive out-of-bounds
+  // reads or absurd allocations).
+  PVDB_ASSIGN_OR_RETURN(snap->nodes_, r.Section(SnapshotSections::kNodes));
+  if (snap->node_count_ == 0 || snap->nodes_.size() % kNodeBytes != 0 ||
+      snap->node_count_ != snap->nodes_.size() / kNodeBytes) {
+    return Status::Corruption("snapshot node section size mismatch");
+  }
+  PVDB_ASSIGN_OR_RETURN(snap->entries_,
+                        r.Section(SnapshotSections::kLeafEntries));
+  const size_t entry_stride = 8 + 2 * sizeof(double) * dim;
+  if (snap->entries_.size() % entry_stride != 0 ||
+      snap->entry_count_ != snap->entries_.size() / entry_stride) {
+    return Status::Corruption("snapshot leaf-entry section size mismatch");
+  }
+
+  // Structural validation of the flat tree: child ranges in bounds and
+  // strictly forward (descent terminates), entry slices in bounds, leaf
+  // ids unique and nonzero. A snapshot passing this cannot send a query
+  // into a cycle or out of the arrays.
+  const uint64_t fanout = uint64_t{1} << snap->dim_;
+  // Bound the declared leaf count before sizing anything from it: a
+  // crafted meta section must fail with Corruption, not bad_alloc.
+  if (snap->leaf_count_ > snap->node_count_) {
+    return Status::Corruption("snapshot declares more leaves than nodes");
+  }
+  uint64_t leaves_seen = 0;
+  snap->leaf_index_.reserve(snap->leaf_count_);
+  for (uint64_t i = 0; i < snap->node_count_; ++i) {
+    const NodeView n = ReadNode(snap->nodes_, i);
+    if (n.is_leaf != 0) {
+      ++leaves_seen;
+      if (n.leaf_id == kNoLeafId) {
+        return Status::Corruption("snapshot leaf has the reserved id 0");
+      }
+      if (n.entry_begin > snap->entry_count_ ||
+          n.entry_count > snap->entry_count_ - n.entry_begin) {
+        return Status::Corruption(
+            "snapshot leaf entry slice lies outside the entry array");
+      }
+      if (!snap->leaf_index_.emplace(n.leaf_id, i).second) {
+        return Status::Corruption("duplicate snapshot leaf id " +
+                                  std::to_string(n.leaf_id));
+      }
+    } else {
+      if (n.first_child <= i || fanout > snap->node_count_ ||
+          n.first_child > snap->node_count_ - fanout) {
+        return Status::Corruption(
+            "snapshot internal node has out-of-range children");
+      }
+    }
+  }
+  if (leaves_seen != snap->leaf_count_) {
+    return Status::Corruption("snapshot leaf count mismatch");
+  }
+
+  PVDB_ASSIGN_OR_RETURN(snap->dir_, r.Section(SnapshotSections::kObjectDir));
+  if (snap->dir_.size() % kDirEntryBytes != 0 ||
+      snap->object_count_ != snap->dir_.size() / kDirEntryBytes) {
+    return Status::Corruption("snapshot object directory size mismatch");
+  }
+  PVDB_ASSIGN_OR_RETURN(snap->records_,
+                        r.Section(SnapshotSections::kObjectRecords));
+  const size_t ubr_bytes = 2 * sizeof(double) * dim;
+  for (uint64_t i = 0; i < snap->object_count_; ++i) {
+    const size_t off = static_cast<size_t>(i) * kDirEntryBytes;
+    const uint64_t rec_off = ReadField<uint64_t>(snap->dir_, off + 8);
+    const uint64_t rec_bytes = ReadField<uint64_t>(snap->dir_, off + 16);
+    if (rec_bytes < ubr_bytes || rec_off > snap->records_.size() ||
+        rec_bytes > snap->records_.size() - rec_off) {
+      return Status::Corruption(
+          "snapshot object record lies outside the records section");
+    }
+    if (i > 0 && ReadDirId(snap->dir_, i - 1) >= ReadDirId(snap->dir_, i)) {
+      return Status::Corruption(
+          "snapshot object directory is not sorted by id");
+    }
+  }
+
+  if (snap->object_count_ > 0) {
+    snap->objects_ =
+        std::make_unique<std::atomic<const uncertain::UncertainObject*>[]>(
+            snap->object_count_);
+    for (uint64_t i = 0; i < snap->object_count_; ++i) {
+      snap->objects_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  return std::shared_ptr<const IndexSnapshot>(std::move(snap));
+}
+
+// ---------------------------------------------------------------------------
+// Step 1 off the mapping
+// ---------------------------------------------------------------------------
+
+Result<OctreePrimary::LeafRef> IndexSnapshot::FindLeaf(
+    const geom::Point& q) const {
+  if (!domain_.Contains(q)) {
+    return Status::InvalidArgument("query point outside the domain");
+  }
+  // Same descent arithmetic as OctreePrimary::FindLeaf, over the flat
+  // image: midpoint split per dimension, child code from the >= tests.
+  geom::Rect region = domain_;
+  uint64_t index = 0;
+  NodeView node = ReadNode(nodes_, index);
+  while (node.is_leaf == 0) {
+    unsigned child = 0;
+    geom::Point lo(dim_), hi(dim_);
+    for (int i = 0; i < dim_; ++i) {
+      const double mid = 0.5 * (region.lo(i) + region.hi(i));
+      if (q[i] >= mid) {
+        child |= 1u << i;
+        lo[i] = mid;
+        hi[i] = region.hi(i);
+      } else {
+        lo[i] = region.lo(i);
+        hi[i] = mid;
+      }
+    }
+    region = geom::Rect(lo, hi);
+    index = node.first_child + child;
+    node = ReadNode(nodes_, index);
+  }
+  return OctreePrimary::LeafRef{node.leaf_id, nullptr};
+}
+
+Result<LeafBlock> IndexSnapshot::ReadLeafBlock(uint64_t leaf_id) const {
+  const auto it = leaf_index_.find(leaf_id);
+  if (it == leaf_index_.end()) {
+    return Status::NotFound("snapshot has no leaf with id " +
+                            std::to_string(leaf_id));
+  }
+  const NodeView node = ReadNode(nodes_, it->second);
+  LeafBlock block;
+  block.Reset(dim_);
+  block.Reserve(node.entry_count);
+  const size_t entry_stride = 8 + 2 * sizeof(double) * dim_;
+  size_t off = static_cast<size_t>(node.entry_begin) * entry_stride;
+  double lo[geom::kMaxDim];
+  double hi[geom::kMaxDim];
+  for (uint32_t k = 0; k < node.entry_count; ++k) {
+    block.ids.push_back(ReadField<uint64_t>(entries_, off));
+    off += sizeof(uint64_t);
+    for (int i = 0; i < dim_; ++i) {
+      lo[i] = ReadField<double>(entries_, off);
+      off += sizeof(double);
+      hi[i] = ReadField<double>(entries_, off);
+      off += sizeof(double);
+    }
+    block.rects.PushBackBounds(lo, hi);
+  }
+  return block;
+}
+
+Result<std::vector<uncertain::ObjectId>> IndexSnapshot::QueryPossibleNN(
+    const geom::Point& q, QueryScratch* scratch) const {
+  PVDB_ASSIGN_OR_RETURN(OctreePrimary::LeafRef ref, FindLeaf(q));
+  PVDB_ASSIGN_OR_RETURN(LeafBlock block, ReadLeafBlock(ref.id));
+  return Step1PruneMinMax(block, q, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// Step 2 record resolution
+// ---------------------------------------------------------------------------
+
+size_t IndexSnapshot::FindDirSlot(uncertain::ObjectId id) const {
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(object_count_);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t mid_id = ReadDirId(dir_, mid);
+    if (mid_id == id) return mid;
+    if (mid_id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return kNpos;
+}
+
+std::span<const uint8_t> IndexSnapshot::RecordAt(size_t slot) const {
+  const size_t off = slot * kDirEntryBytes;
+  const uint64_t rec_off = ReadField<uint64_t>(dir_, off + 8);
+  const uint64_t rec_bytes = ReadField<uint64_t>(dir_, off + 16);
+  return records_.subspan(static_cast<size_t>(rec_off),
+                          static_cast<size_t>(rec_bytes));
+}
+
+Result<uncertain::UncertainObject> IndexSnapshot::ParseRecord(
+    size_t slot) const {
+  const std::span<const uint8_t> record = RecordAt(slot);
+  // Record layout: UBR doubles first (GetUbr's one-field read), then the
+  // serialized object.
+  size_t offset = 2 * sizeof(double) * static_cast<size_t>(dim_);
+  PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
+                        uncertain::UncertainObject::ParseFrom(record, &offset));
+  if (object.id() != ReadDirId(dir_, slot) || object.dim() != dim_) {
+    return Status::Corruption("snapshot object record does not match its "
+                              "directory entry");
+  }
+  return object;
+}
+
+const uncertain::UncertainObject* IndexSnapshot::FindObject(
+    uncertain::ObjectId id) const {
+  const size_t slot = FindDirSlot(id);
+  if (slot == kNpos) return nullptr;
+  const uncertain::UncertainObject* cached =
+      objects_[slot].load(std::memory_order_acquire);
+  if (cached != nullptr) return cached;
+  Result<uncertain::UncertainObject> parsed = ParseRecord(slot);
+  if (!parsed.ok()) return nullptr;
+  auto* fresh = new uncertain::UncertainObject(std::move(parsed).value());
+  const uncertain::UncertainObject* expected = nullptr;
+  if (objects_[slot].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_release,
+                                             std::memory_order_acquire)) {
+    return fresh;
+  }
+  // Another thread published first; its copy is identical.
+  delete fresh;
+  return expected;
+}
+
+Result<uncertain::UncertainObject> IndexSnapshot::GetObject(
+    uncertain::ObjectId id) const {
+  const size_t slot = FindDirSlot(id);
+  if (slot == kNpos) {
+    return Status::NotFound("snapshot has no object with id " +
+                            std::to_string(id));
+  }
+  return ParseRecord(slot);
+}
+
+Result<geom::Rect> IndexSnapshot::GetUbr(uncertain::ObjectId id) const {
+  const size_t slot = FindDirSlot(id);
+  if (slot == kNpos) {
+    return Status::NotFound("snapshot has no object with id " +
+                            std::to_string(id));
+  }
+  const std::span<const uint8_t> record = RecordAt(slot);
+  geom::Point lo(dim_), hi(dim_);
+  for (int i = 0; i < dim_; ++i) {
+    lo[i] = ReadField<double>(record, static_cast<size_t>(i) * 16);
+    hi[i] = ReadField<double>(record, static_cast<size_t>(i) * 16 + 8);
+    if (!(lo[i] <= hi[i])) {
+      return Status::Corruption("snapshot UBR is not a valid rectangle");
+    }
+  }
+  return geom::Rect(lo, hi);
+}
+
+std::vector<uncertain::ObjectId> IndexSnapshot::ObjectIds() const {
+  std::vector<uncertain::ObjectId> ids;
+  ids.reserve(object_count_);
+  for (uint64_t i = 0; i < object_count_; ++i) {
+    ids.push_back(ReadDirId(dir_, i));
+  }
+  return ids;
+}
+
+Status IndexSnapshot::VerifyPayload() const {
+  return reader_->VerifySection(SnapshotSections::kObjectRecords);
+}
+
+}  // namespace pvdb::pv

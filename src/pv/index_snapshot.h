@@ -1,0 +1,165 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// IndexSnapshot: the sealed, read-only serving surface of a PV-index. A
+// snapshot is produced by PvIndexBuilder::Seal() (in-memory image) or
+// opened from a file saved by PvIndexBuilder::Save() — Open() mmaps the
+// file and serves PNNQ Step 1 (octree descent + leaf-block decode + minmax
+// prune) and Step 2 (pdf records via the ObjectSource seam) straight from
+// the mapping: no octree rebuild, no full-file read, pdf pages faulted in
+// on first touch. Answers are bit-identical to the builder's live index —
+// the flat image preserves leaf entry order (page-chain order) and the
+// descent arithmetic, and pruning/evaluation run the exact same kernels.
+//
+// The type is deeply immutable: every method is const and thread-safe, so
+// the service layer shares one snapshot across all workers through a
+// shared_ptr and hot-swaps it atomically (QueryEngine::AdoptSnapshot)
+// without draining in-flight queries.
+//
+// Snapshot section kinds (inside the storage::SnapshotReader container):
+//   meta           dim + object/node/leaf/entry counts
+//   domain         per-dimension (lo, hi) doubles
+//   nodes          flattened BFS octree (OctreePrimary::ExportFlat image)
+//   leaf entries   (object id, per-dim lo/hi) per entry, page-chain order
+//   object dir     sorted (id, offset, bytes) into the records section
+//   object records per object: UBR doubles + UncertainObject::AppendTo
+//
+// Open always verifies the header plus the structural sections it descends
+// through (meta, domain, nodes, directory, leaf entries). The bulk pdf
+// records section — typically >90% of the file — is verified only with
+// verify_payload, preserving lazy mmap semantics by default.
+
+#ifndef PVDB_PV_INDEX_SNAPSHOT_H_
+#define PVDB_PV_INDEX_SNAPSHOT_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/pv/octree.h"
+#include "src/pv/pnnq.h"
+#include "src/storage/snapshot_file.h"
+#include "src/uncertain/object_source.h"
+
+namespace pvdb::pv {
+
+/// Section kinds of the PV snapshot format.
+struct SnapshotSections {
+  static constexpr uint32_t kMeta = 1;
+  static constexpr uint32_t kDomain = 2;
+  static constexpr uint32_t kNodes = 3;
+  static constexpr uint32_t kLeafEntries = 4;
+  static constexpr uint32_t kObjectDir = 5;
+  static constexpr uint32_t kObjectRecords = 6;
+};
+
+struct SnapshotOpenOptions {
+  /// Also verify the pdf-records checksum at open: a full-file read, for
+  /// integrity-first deployments. Off by default so Open stays O(structure)
+  /// and record pages are faulted lazily by queries.
+  ///
+  /// Integrity contract of the lazy default: the header and every
+  /// structural section (descent, leaf entries, directory) are always
+  /// verified, so Step 1 never reads unchecked bytes. Record payloads are
+  /// not — a bit flip there is caught per record only if it breaks the
+  /// record's framing (FindObject returns nullptr and the serving path
+  /// fails that query with a Corruption status); value-level flips inside
+  /// doubles are undetectable without the checksum. Open files from
+  /// untrusted or unreliable storage with verify_payload = true.
+  bool verify_payload = false;
+};
+
+/// An immutable, queryable PV-index image.
+class IndexSnapshot final : public uncertain::ObjectSource {
+ public:
+  /// mmaps `path` and validates it; every failure mode (missing file,
+  /// truncation, foreign magic, wrong format version, checksum mismatch,
+  /// inconsistent structure) is a descriptive Status, never a crash.
+  static Result<std::shared_ptr<const IndexSnapshot>> Open(
+      const std::string& path, const SnapshotOpenOptions& options = {});
+
+  /// Same validation over a sealed in-memory image (the Seal() path).
+  static Result<std::shared_ptr<const IndexSnapshot>> FromImage(
+      std::vector<uint8_t> image, const SnapshotOpenOptions& options = {});
+
+  ~IndexSnapshot() override;
+
+  int dim() const { return dim_; }
+  const geom::Rect& domain() const { return domain_; }
+  uint64_t object_count() const { return object_count_; }
+  uint64_t node_count() const { return node_count_; }
+  uint64_t leaf_count() const { return leaf_count_; }
+  /// True when served from an mmap'd file (false for FromImage).
+  bool mapped() const { return reader_->mapped(); }
+  size_t file_bytes() const { return reader_->file_bytes(); }
+
+  /// Locates the unique leaf containing `q` by descending the flat node
+  /// image — same arithmetic as OctreePrimary::FindLeaf, no page access.
+  /// The returned LeafRef carries the stable leaf id with a null node
+  /// pointer (snapshot leaves are addressed by id, not by octree node).
+  Result<OctreePrimary::LeafRef> FindLeaf(const geom::Point& q) const;
+
+  /// Decodes one leaf's entries into the SoA block the Step-1 kernels
+  /// consume; entry order is the original page-chain order.
+  Result<LeafBlock> ReadLeafBlock(uint64_t leaf_id) const;
+
+  /// PNNQ Step 1, bit-identical to PvIndex::QueryPossibleNN on the sealed
+  /// state: descent + block decode + batched minmax prune.
+  Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
+      const geom::Point& q, QueryScratch* scratch = nullptr) const;
+
+  /// ObjectSource: the record of `id`, parsed lazily out of the mapping on
+  /// first access and cached for the snapshot's lifetime (lock-free CAS
+  /// publication; concurrent first touches are safe). nullptr when the id
+  /// is absent or its record fails to decode.
+  const uncertain::UncertainObject* FindObject(
+      uncertain::ObjectId id) const override;
+
+  /// Parsing copy of the record of `id` (tests/tools; no caching).
+  Result<uncertain::UncertainObject> GetObject(uncertain::ObjectId id) const;
+
+  /// The stored UBR of `id`.
+  Result<geom::Rect> GetUbr(uncertain::ObjectId id) const;
+
+  /// All object ids in the snapshot, ascending.
+  std::vector<uncertain::ObjectId> ObjectIds() const;
+
+  /// Verifies the pdf-records checksum (the part Open skips by default).
+  Status VerifyPayload() const;
+
+ private:
+  IndexSnapshot() = default;
+
+  static Result<std::shared_ptr<const IndexSnapshot>> Build(
+      std::shared_ptr<const storage::SnapshotReader> reader,
+      const SnapshotOpenOptions& options);
+
+  /// Directory slot of `id`, or npos.
+  size_t FindDirSlot(uncertain::ObjectId id) const;
+  /// Record payload (UBR + serialized object) of directory slot `slot`.
+  std::span<const uint8_t> RecordAt(size_t slot) const;
+  Result<uncertain::UncertainObject> ParseRecord(size_t slot) const;
+
+  std::shared_ptr<const storage::SnapshotReader> reader_;
+  int dim_ = 0;
+  geom::Rect domain_{1};
+  uint64_t object_count_ = 0;
+  uint64_t node_count_ = 0;
+  uint64_t leaf_count_ = 0;
+  uint64_t entry_count_ = 0;
+  std::span<const uint8_t> nodes_;
+  std::span<const uint8_t> entries_;
+  std::span<const uint8_t> dir_;
+  std::span<const uint8_t> records_;
+  /// leaf id -> flat node index, built once at open.
+  std::unordered_map<uint64_t, uint64_t> leaf_index_;
+  /// Lazily parsed records, one slot per directory entry.
+  std::unique_ptr<std::atomic<const uncertain::UncertainObject*>[]> objects_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_INDEX_SNAPSHOT_H_

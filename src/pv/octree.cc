@@ -526,4 +526,36 @@ Result<std::vector<LeafEntry>> OctreePrimary::CollectOverlapping(
   return out;
 }
 
+Status OctreePrimary::ExportFlat(std::vector<FlatNode>* nodes,
+                                 std::vector<LeafEntry>* entries) const {
+  PVDB_CHECK(nodes != nullptr && entries != nullptr);
+  nodes->clear();
+  entries->clear();
+  nodes->reserve(node_count_);
+  // BFS: the worklist index i is also the flat index of the node it names,
+  // so children enqueued while visiting i land contiguously after it.
+  std::vector<const Node*> order;
+  order.reserve(node_count_);
+  order.push_back(root_.get());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Node* node = order[i];
+    FlatNode flat;
+    flat.is_leaf = node->is_leaf ? 1 : 0;
+    if (node->is_leaf) {
+      flat.leaf_id = node->leaf_id;
+      flat.entry_begin = entries->size();
+      PVDB_ASSIGN_OR_RETURN(std::vector<LeafEntry> leaf_entries,
+                            ReadLeafEntries(node));
+      flat.entry_count = static_cast<uint32_t>(leaf_entries.size());
+      entries->insert(entries->end(), leaf_entries.begin(),
+                      leaf_entries.end());
+    } else {
+      flat.first_child = order.size();
+      for (const auto& child : node->children) order.push_back(child.get());
+    }
+    nodes->push_back(flat);
+  }
+  return Status::OK();
+}
+
 }  // namespace pvdb::pv

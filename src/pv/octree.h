@@ -188,6 +188,27 @@ class OctreePrimary {
   /// an object's UBR spans several leaves (callers dedupe by id).
   Result<std::vector<LeafEntry>> CollectOverlapping(const geom::Rect& range) const;
 
+  /// One node of the flattened tree image (snapshot serialization). The
+  /// flat form is BFS order: children of an internal node are 2^d
+  /// contiguous slots (child code c at first_child + c) strictly after the
+  /// node itself, so a point descent walks monotonically increasing
+  /// indices. Leaves carry a slice [entry_begin, entry_begin + entry_count)
+  /// of the flat entry array, in page-chain order — the exact order
+  /// ReadLeafBlock decodes, so Step-1 answers off the flat image are
+  /// bit-identical to answers off the page chains.
+  struct FlatNode {
+    uint64_t leaf_id = 0;      // 0 for internal nodes
+    uint64_t first_child = 0;  // internal nodes only
+    uint64_t entry_begin = 0;  // leaves only
+    uint32_t entry_count = 0;  // leaves only
+    uint32_t is_leaf = 0;
+  };
+
+  /// Flattens the tree: every node in BFS order plus all leaf entries
+  /// concatenated. Reads every leaf page once (counted by the pager).
+  Status ExportFlat(std::vector<FlatNode>* nodes,
+                    std::vector<LeafEntry>* entries) const;
+
   const geom::Rect& domain() const { return domain_; }
   int dim() const { return domain_.dim(); }
 

@@ -140,8 +140,9 @@ void Step2Batch::Add(uint32_t query_index, uint64_t leaf_key,
   groups_.push_back(std::move(g));
 }
 
-PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::Dataset* db) : db_(db) {
-  PVDB_CHECK(db_ != nullptr);
+PnnStep2Evaluator::PnnStep2Evaluator(const uncertain::ObjectSource* objects)
+    : objects_(objects) {
+  PVDB_CHECK(objects_ != nullptr);
 }
 
 int64_t PnnStep2Evaluator::RecordPages(
@@ -165,18 +166,41 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
   return Evaluate(q, candidates, &scratch, counter, min_probability);
 }
 
+namespace {
+
+/// Shared miss handling for candidate-record resolution: with a status
+/// channel the miss becomes a Corruption (damaged snapshot record); without
+/// one it is a caller bug and aborts.
+bool ReportMissingRecord(uncertain::ObjectId id, Status* status) {
+  if (status != nullptr) {
+    *status = Status::Corruption(
+        "candidate record " + std::to_string(id) +
+        " is missing or undecodable (damaged snapshot payload? open with "
+        "verify_payload to check integrity up front)");
+    return true;
+  }
+  PVDB_CHECK(false && "Step-2 candidate missing from the object source");
+  return false;
+}
+
+}  // namespace
+
 std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
     const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
     QueryScratch* scratch, MetricRegistry::Counter* io,
-    double min_probability) const {
+    double min_probability, Status* status) const {
   PVDB_CHECK(scratch != nullptr);
+  if (status != nullptr) *status = Status::OK();
 
   auto& objs = scratch->objs;
   objs.clear();
   objs.reserve(candidates.size());
   for (uncertain::ObjectId id : candidates) {
-    const uncertain::UncertainObject* o = db_->Find(id);
-    PVDB_CHECK(o != nullptr);
+    const uncertain::UncertainObject* o = objects_->FindObject(id);
+    if (o == nullptr) {
+      ReportMissingRecord(id, status);
+      return {};
+    }
     objs.push_back(o);
     if (io != nullptr) {
       io->Increment(RecordPages(*o));
@@ -261,8 +285,9 @@ std::vector<std::vector<PnnResult>> PnnStep2Evaluator::EvaluateGroup(
     std::span<const geom::Point> queries,
     std::span<const uncertain::ObjectId> candidates, QueryScratch* scratch,
     MetricRegistry::Counter* io, const Step2GroupOptions& options,
-    Step2BatchStats* stats) const {
+    Step2BatchStats* stats, Status* status) const {
   PVDB_CHECK(scratch != nullptr);
+  if (status != nullptr) *status = Status::OK();
   const size_t nq = queries.size();
   const size_t nc = candidates.size();
   std::vector<std::vector<PnnResult>> out(nq);
@@ -275,8 +300,11 @@ std::vector<std::vector<PnnResult>> PnnStep2Evaluator::EvaluateGroup(
     objs.assign(options.resolved.begin(), options.resolved.end());
   } else {
     for (uncertain::ObjectId id : candidates) {
-      const uncertain::UncertainObject* o = db_->Find(id);
-      PVDB_CHECK(o != nullptr);
+      const uncertain::UncertainObject* o = objects_->FindObject(id);
+      if (o == nullptr) {
+        ReportMissingRecord(id, status);
+        return out;
+      }
       objs.push_back(o);
     }
   }
@@ -470,7 +498,7 @@ std::vector<PnnResult> PnnStep2Evaluator::EstimateByMonteCarlo(
   PVDB_CHECK(trials > 0);
   std::vector<const uncertain::UncertainObject*> objs;
   for (uncertain::ObjectId id : candidates) {
-    const uncertain::UncertainObject* o = db_->Find(id);
+    const uncertain::UncertainObject* o = objects_->FindObject(id);
     PVDB_CHECK(o != nullptr);
     objs.push_back(o);
   }

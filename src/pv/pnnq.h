@@ -181,11 +181,14 @@ struct Step2GroupOptions {
   std::span<const uncertain::UncertainObject* const> resolved = {};
 };
 
-/// Step 2 evaluator over a database's discrete pdfs.
+/// Step 2 evaluator over a database's discrete pdfs. Candidate records
+/// resolve through the ObjectSource seam, so the same evaluator serves from
+/// the in-memory Dataset or from a sealed IndexSnapshot's mmap'd records.
 class PnnStep2Evaluator {
  public:
-  /// Borrows `db`; the caller keeps it alive and unmodified per evaluation.
-  explicit PnnStep2Evaluator(const uncertain::Dataset* db);
+  /// Borrows `objects` (a Dataset, an IndexSnapshot, ...); the caller keeps
+  /// it alive and unmodified per evaluation.
+  explicit PnnStep2Evaluator(const uncertain::ObjectSource* objects);
 
   /// Computes qualification probabilities for `candidates` at query `q`.
   /// Results with probability <= `min_probability` are dropped (the paper's
@@ -201,11 +204,18 @@ class PnnStep2Evaluator {
   /// `scratch`'s pooled buffers (no per-query heap allocation at steady
   /// state) and charges pdf page reads to the pre-registered `io` handle
   /// lock-free. Same math, same order, bit-identical results.
+  ///
+  /// `status`, when supplied, turns an unresolvable candidate record into a
+  /// per-call Corruption status with an empty result — the serving path's
+  /// contract for snapshots whose lazily-read records turn out damaged.
+  /// Without it, a missing record is treated as a caller bug and aborts
+  /// (the Dataset invariant: Step-1 candidates exist in the database).
   std::vector<PnnResult> Evaluate(const geom::Point& q,
                                   std::span<const uncertain::ObjectId> candidates,
                                   QueryScratch* scratch,
                                   MetricRegistry::Counter* io = nullptr,
-                                  double min_probability = 0.0) const;
+                                  double min_probability = 0.0,
+                                  Status* status = nullptr) const;
 
   /// Batched Step 2 over one plan group: every query shares `candidates`,
   /// and result slot t answers queries[t]. Probabilities are bit-identical
@@ -220,12 +230,14 @@ class PnnStep2Evaluator {
   /// answers the per-query path would filter anyway. Pdf page reads are
   /// charged to `io` once per candidate for the whole group (the batch path
   /// fetches each record once, not once per query).
+  /// `status` follows the Evaluate contract above (group-wide: one damaged
+  /// record fails the whole group's call, results come back empty).
   std::vector<std::vector<PnnResult>> EvaluateGroup(
       std::span<const geom::Point> queries,
       std::span<const uncertain::ObjectId> candidates, QueryScratch* scratch,
       MetricRegistry::Counter* io = nullptr,
       const Step2GroupOptions& options = Step2GroupOptions(),
-      Step2BatchStats* stats = nullptr) const;
+      Step2BatchStats* stats = nullptr, Status* status = nullptr) const;
 
   /// Monte-Carlo estimator of the same probabilities by joint possible-world
   /// sampling (test oracle; `trials` independent worlds).
@@ -245,7 +257,7 @@ class PnnStep2Evaluator {
                           std::span<std::vector<PnnResult>> out,
                           Step2BatchStats* stats) const;
 
-  const uncertain::Dataset* db_;
+  const uncertain::ObjectSource* objects_;
 };
 
 }  // namespace pvdb::pv

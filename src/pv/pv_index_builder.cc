@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/pv_index_builder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvdb::pv {
+
+namespace {
+
+void AppendRaw(std::vector<uint8_t>* out, const void* src, size_t len) {
+  const auto* b = static_cast<const uint8_t*>(src);
+  out->insert(out->end(), b, b + len);
+}
+
+template <typename T>
+void Append(std::vector<uint8_t>* out, T v) {
+  AppendRaw(out, &v, sizeof(T));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PvIndexBuilder>> PvIndexBuilder::Build(
+    const uncertain::Dataset& db, const PvIndexOptions& options,
+    BuildStats* stats) {
+  auto builder = std::unique_ptr<PvIndexBuilder>(new PvIndexBuilder());
+  builder->pager_ = std::make_unique<storage::InMemoryPager>();
+  PVDB_ASSIGN_OR_RETURN(
+      builder->index_,
+      PvIndex::Build(db, builder->pager_.get(), options, stats));
+  return builder;
+}
+
+Status PvIndexBuilder::Insert(const uncertain::Dataset& db_after,
+                              uncertain::ObjectId new_id, UpdateStats* stats) {
+  return index_->InsertObject(db_after, new_id, stats);
+}
+
+Status PvIndexBuilder::Delete(const uncertain::Dataset& db_after,
+                              const uncertain::UncertainObject& removed,
+                              UpdateStats* stats) {
+  return index_->DeleteObject(db_after, removed, stats);
+}
+
+Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
+  const int dim = index_->primary().dim();
+
+  // Flatten the octree: BFS nodes + every leaf's entries in page-chain
+  // order (the order that makes snapshot Step-1 answers bit-identical).
+  std::vector<OctreePrimary::FlatNode> nodes;
+  std::vector<LeafEntry> entries;
+  PVDB_RETURN_NOT_OK(index_->primary().ExportFlat(&nodes, &entries));
+  uint64_t leaf_count = 0;
+  for (const auto& n : nodes) leaf_count += n.is_leaf;
+
+  // The object catalog: every id indexed by the primary (each object's UBR
+  // overlaps at least one leaf, so the leaf entries enumerate the whole
+  // secondary index), deduplicated and sorted for the directory.
+  std::vector<uncertain::ObjectId> ids;
+  ids.reserve(entries.size());
+  for (const LeafEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::vector<uint8_t> meta;
+  Append<uint32_t>(&meta, static_cast<uint32_t>(dim));
+  Append<uint32_t>(&meta, 0);  // reserved
+  Append<uint64_t>(&meta, ids.size());
+  Append<uint64_t>(&meta, nodes.size());
+  Append<uint64_t>(&meta, leaf_count);
+  Append<uint64_t>(&meta, entries.size());
+
+  std::vector<uint8_t> domain;
+  for (int i = 0; i < dim; ++i) {
+    Append<double>(&domain, index_->domain().lo(i));
+    Append<double>(&domain, index_->domain().hi(i));
+  }
+
+  std::vector<uint8_t> node_bytes;
+  node_bytes.reserve(nodes.size() * 32);
+  for (const auto& n : nodes) {
+    Append<uint64_t>(&node_bytes, n.leaf_id);
+    Append<uint64_t>(&node_bytes, n.first_child);
+    Append<uint64_t>(&node_bytes, n.entry_begin);
+    Append<uint32_t>(&node_bytes, n.entry_count);
+    Append<uint32_t>(&node_bytes, n.is_leaf);
+  }
+
+  std::vector<uint8_t> entry_bytes;
+  entry_bytes.reserve(entries.size() * (8 + 2 * sizeof(double) * dim));
+  for (const LeafEntry& e : entries) {
+    Append<uint64_t>(&entry_bytes, e.id);
+    for (int i = 0; i < dim; ++i) {
+      Append<double>(&entry_bytes, e.region.lo(i));
+      Append<double>(&entry_bytes, e.region.hi(i));
+    }
+  }
+
+  std::vector<uint8_t> dir_bytes;
+  std::vector<uint8_t> record_bytes;
+  dir_bytes.reserve(ids.size() * 24);
+  for (uncertain::ObjectId id : ids) {
+    PVDB_ASSIGN_OR_RETURN(geom::Rect ubr, index_->GetUbr(id));
+    PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
+                          index_->GetObject(id));
+    const uint64_t offset = record_bytes.size();
+    for (int i = 0; i < dim; ++i) {
+      Append<double>(&record_bytes, ubr.lo(i));
+      Append<double>(&record_bytes, ubr.hi(i));
+    }
+    object.AppendTo(&record_bytes);
+    Append<uint64_t>(&dir_bytes, id);
+    Append<uint64_t>(&dir_bytes, offset);
+    Append<uint64_t>(&dir_bytes, record_bytes.size() - offset);
+  }
+
+  storage::SnapshotWriter writer;
+  writer.AddSection(SnapshotSections::kMeta, std::move(meta));
+  writer.AddSection(SnapshotSections::kDomain, std::move(domain));
+  writer.AddSection(SnapshotSections::kNodes, std::move(node_bytes));
+  writer.AddSection(SnapshotSections::kLeafEntries, std::move(entry_bytes));
+  writer.AddSection(SnapshotSections::kObjectDir, std::move(dir_bytes));
+  writer.AddSection(SnapshotSections::kObjectRecords,
+                    std::move(record_bytes));
+  return writer.Finish();
+}
+
+Result<std::shared_ptr<const IndexSnapshot>> PvIndexBuilder::Seal() const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage());
+  return IndexSnapshot::FromImage(std::move(image));
+}
+
+Status PvIndexBuilder::Save(const std::string& path) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage());
+  return storage::SnapshotWriter::WriteFile(
+      path, std::span<const uint8_t>(image.data(), image.size()));
+}
+
+}  // namespace pvdb::pv

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// PvIndexBuilder: the mutable half of the snapshot lifecycle. The builder
+// owns its pager and wraps the live PvIndex with the full mutation API
+// (Build / Insert / Delete); Seal() freezes the current state into an
+// immutable IndexSnapshot and Save() writes the same image to disk, where
+// IndexSnapshot::Open() mmaps it back in another process. The lifecycle in
+// types:
+//
+//   builder (writer process)                 server (serving process)
+//   ─────────────────────────                ────────────────────────
+//   PvIndexBuilder::Build(db)
+//   builder->Insert/Delete(...)
+//   builder->Save("pv.snap")        ──────►  IndexSnapshot::Open("pv.snap")
+//   builder->Seal()  (same process)          engine->AdoptSnapshot(snap)
+//
+// Sealing does not disturb the builder: the image is serialized from the
+// octree's flat export plus the secondary index's records, and the builder
+// keeps accepting updates afterwards (seal again for a newer snapshot).
+
+#ifndef PVDB_PV_PV_INDEX_BUILDER_H_
+#define PVDB_PV_PV_INDEX_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pv/index_snapshot.h"
+#include "src/pv/pv_index.h"
+#include "src/storage/pager.h"
+
+namespace pvdb::pv {
+
+/// Owns pager + live PV-index; produces sealed snapshots.
+class PvIndexBuilder {
+ public:
+  /// Builds the index over `db` on a builder-owned in-memory pager.
+  static Result<std::unique_ptr<PvIndexBuilder>> Build(
+      const uncertain::Dataset& db, const PvIndexOptions& options = {},
+      BuildStats* stats = nullptr);
+
+  /// Incremental maintenance, same contracts as PvIndex::InsertObject /
+  /// DeleteObject (db_after is the dataset state after the change).
+  Status Insert(const uncertain::Dataset& db_after, uncertain::ObjectId new_id,
+                UpdateStats* stats = nullptr);
+  Status Delete(const uncertain::Dataset& db_after,
+                const uncertain::UncertainObject& removed,
+                UpdateStats* stats = nullptr);
+
+  /// Serializes the current state into a snapshot image (the on-disk byte
+  /// layout, checksums included).
+  Result<std::vector<uint8_t>> SealImage() const;
+
+  /// Seals the current state into an immutable in-memory snapshot.
+  Result<std::shared_ptr<const IndexSnapshot>> Seal() const;
+
+  /// Writes the sealed image to `path` (temp file + rename).
+  Status Save(const std::string& path) const;
+
+  /// The live index (library-level queries, tests, benchmarks).
+  PvIndex& index() { return *index_; }
+  const PvIndex& index() const { return *index_; }
+  storage::Pager& pager() { return *pager_; }
+
+ private:
+  PvIndexBuilder() = default;
+
+  std::unique_ptr<storage::InMemoryPager> pager_;
+  std::unique_ptr<PvIndex> index_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_PV_INDEX_BUILDER_H_

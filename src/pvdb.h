@@ -44,9 +44,11 @@
 #include "src/geom/rect.h"         // IWYU pragma: export
 #include "src/geom/region_partition.h"  // IWYU pragma: export
 #include "src/pv/cset.h"           // IWYU pragma: export
+#include "src/pv/index_snapshot.h"  // IWYU pragma: export
 #include "src/pv/octree.h"         // IWYU pragma: export
 #include "src/pv/pnnq.h"           // IWYU pragma: export
 #include "src/pv/pv_index.h"       // IWYU pragma: export
+#include "src/pv/pv_index_builder.h"  // IWYU pragma: export
 #include "src/pv/se.h"             // IWYU pragma: export
 #include "src/pv/secondary_index.h"  // IWYU pragma: export
 #include "src/pv/verifier.h"       // IWYU pragma: export
@@ -60,6 +62,7 @@
 #include "src/storage/extendible_hash.h"  // IWYU pragma: export
 #include "src/storage/pager.h"     // IWYU pragma: export
 #include "src/storage/record_store.h"  // IWYU pragma: export
+#include "src/storage/snapshot_file.h"  // IWYU pragma: export
 #include "src/uncertain/datagen.h"  // IWYU pragma: export
 #include "src/uncertain/dataset.h"  // IWYU pragma: export
 #include "src/uv/uv_cell.h"        // IWYU pragma: export

@@ -17,6 +17,8 @@ const char* BackendKindName(BackendKind kind) {
       return "uv";
     case BackendKind::kRtree:
       return "rtree";
+    case BackendKind::kSnapshot:
+      return "snapshot";
   }
   return "unknown";
 }
@@ -109,6 +111,50 @@ class UvBackend final : public Backend {
   const uv::UvIndex* index_;
 };
 
+class SnapshotBackend final : public Backend {
+ public:
+  explicit SnapshotBackend(std::shared_ptr<const pv::IndexSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {
+    PVDB_CHECK(snapshot_ != nullptr);
+  }
+
+  BackendKind kind() const override { return BackendKind::kSnapshot; }
+
+  bool SupportsLeafGrouping() const override { return true; }
+
+  // Same prune as the PV-index: entry order (page-chain order at seal time)
+  // is preserved.
+  bool PruneKeepsLeafOrder() const override { return true; }
+
+  Result<std::vector<uncertain::ObjectId>> Step1(
+      const geom::Point& q, pv::QueryScratch* scratch) const override {
+    return snapshot_->QueryPossibleNN(q, scratch);
+  }
+
+  Result<std::optional<pv::OctreePrimary::LeafRef>> FindLeaf(
+      const geom::Point& q) const override {
+    PVDB_ASSIGN_OR_RETURN(pv::OctreePrimary::LeafRef ref,
+                          snapshot_->FindLeaf(q));
+    return std::optional<pv::OctreePrimary::LeafRef>{ref};
+  }
+
+  Result<pv::LeafBlock> ReadLeafBlock(
+      const pv::OctreePrimary::LeafRef& ref) const override {
+    // Snapshot leaves are addressed by stable id; the ref's node pointer is
+    // meaningless here (and null by construction).
+    return snapshot_->ReadLeafBlock(ref.id);
+  }
+
+  std::vector<uncertain::ObjectId> PruneLeafBlock(
+      const pv::LeafBlock& block, const geom::Point& q,
+      pv::QueryScratch* scratch) const override {
+    return pv::Step1PruneMinMax(block, q, scratch);
+  }
+
+ private:
+  std::shared_ptr<const pv::IndexSnapshot> snapshot_;
+};
+
 class RtreeBackend final : public Backend {
  public:
   explicit RtreeBackend(const rtree::RStarTree* tree) : tree_(tree) {
@@ -139,6 +185,11 @@ std::unique_ptr<Backend> MakeUvBackend(const uv::UvIndex* index) {
 
 std::unique_ptr<Backend> MakeRtreeBackend(const rtree::RStarTree* tree) {
   return std::make_unique<RtreeBackend>(tree);
+}
+
+std::unique_ptr<Backend> MakeSnapshotBackend(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot) {
+  return std::make_unique<SnapshotBackend>(std::move(snapshot));
 }
 
 std::unique_ptr<rtree::RStarTree> BuildUncertaintyRtree(

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/pv/index_snapshot.h"
 #include "src/pv/octree.h"
 #include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
@@ -29,9 +30,12 @@ enum class BackendKind : int {
   kPvIndex = 0,
   kUvIndex = 1,
   kRtree = 2,
+  /// A sealed pv::IndexSnapshot: the immutable serving surface (mmap'd file
+  /// or in-memory seal), hot-swappable via QueryEngine::AdoptSnapshot.
+  kSnapshot = 3,
 };
 
-/// Stable lowercase name ("pv", "uv", "rtree").
+/// Stable lowercase name ("pv", "uv", "rtree", "snapshot").
 const char* BackendKindName(BackendKind kind);
 
 /// PNNQ Step-1 provider. Implementations borrow their index; the caller
@@ -107,6 +111,13 @@ std::unique_ptr<Backend> MakeUvBackend(const uv::UvIndex* index);
 /// R-tree branch-and-prune backend over a tree of uncertainty regions keyed
 /// by object id (see BuildUncertaintyRtree).
 std::unique_ptr<Backend> MakeRtreeBackend(const rtree::RStarTree* tree);
+
+/// Sealed-snapshot backend: Step 1 served straight from the snapshot's
+/// mapping, with the same leaf-cache and batched-Step-2 grouping protocol
+/// as the live PV-index (stable leaf ids key both). Shares ownership of the
+/// snapshot, so an adopted snapshot outlives any in-flight query using it.
+std::unique_ptr<Backend> MakeSnapshotBackend(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot);
 
 /// Convenience: the R-tree the branch-and-prune baseline expects — one
 /// (uncertainty region, object id) entry per object.

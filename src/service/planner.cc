@@ -34,6 +34,11 @@ Result<Plan> PlanBackend(const PlanInput& input) {
     return Plan{kind, std::string("operator override: ") +
                           BackendKindName(kind)};
   }
+  if (Has(input, BackendKind::kSnapshot)) {
+    return Plan{BackendKind::kSnapshot,
+                "sealed snapshot: immutable serving surface, hot-swappable "
+                "without draining queries"};
+  }
   if (input.dataset_size < kSmallDatasetRtreeThreshold &&
       Has(input, BackendKind::kRtree)) {
     return Plan{BackendKind::kRtree,

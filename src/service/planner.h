@@ -43,10 +43,12 @@ struct Plan {
 
 /// Chooses a Step-1 backend:
 ///   1. the override, when set (validated);
-///   2. the R-tree for datasets below kSmallDatasetRtreeThreshold;
-///   3. the PV-index (the paper's headline structure, any d);
-///   4. the UV-index when d == 2;
-///   5. the R-tree as final fallback.
+///   2. a sealed IndexSnapshot when one was supplied — the immutable
+///      serving surface always wins over rebuilding-from-raw backends;
+///   3. the R-tree for datasets below kSmallDatasetRtreeThreshold;
+///   4. the PV-index (the paper's headline structure, any d);
+///   5. the UV-index when d == 2;
+///   6. the R-tree as final fallback.
 /// Fails with InvalidArgument when no available backend fits.
 Result<Plan> PlanBackend(const PlanInput& input);
 

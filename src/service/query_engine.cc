@@ -10,9 +10,33 @@
 
 namespace pvdb::service {
 
+Status ValidateQueryEngineOptions(const QueryEngineOptions& options) {
+  if (options.threads < 1) {
+    return Status::InvalidArgument("engine needs at least one thread");
+  }
+  // A pool this size is a typo'd config, not a deployment: spawning it
+  // would exhaust process limits long before serving a query.
+  if (options.threads > 4096) {
+    return Status::InvalidArgument(
+        "engine thread count implausible: " +
+        std::to_string(options.threads) + " (max 4096)");
+  }
+  if (options.batch_step2 && options.step2_min_group_size < 1) {
+    return Status::InvalidArgument(
+        "step2_min_group_size must be >= 1 (a zero group bound would batch "
+        "empty groups)");
+  }
+  if (!(options.min_probability >= 0.0) || options.min_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "min_probability must lie in [0, 1); qualification probabilities "
+        "never exceed 1");
+  }
+  return Status::OK();
+}
+
 QueryEngine::QueryEngine(uncertain::Dataset* db,
                          const QueryEngineOptions& options)
-    : db_(db), options_(options), step2_(db) {}
+    : db_(db), options_(options) {}
 
 QueryEngine::~QueryEngine() {
   // Join workers first so no task touches the engine during teardown, then
@@ -23,15 +47,28 @@ QueryEngine::~QueryEngine() {
   }
 }
 
+QueryEngine::StatePtr QueryEngine::MakeSnapshotState(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot) const {
+  auto state = std::make_shared<ServingState>();
+  state->objects = snapshot.get();
+  state->step2 = std::make_unique<pv::PnnStep2Evaluator>(snapshot.get());
+  state->snapshot = std::move(snapshot);
+  state->owned_backend = MakeSnapshotBackend(state->snapshot);
+  state->active = state->owned_backend.get();
+  if (options_.cache_capacity > 0) {
+    // A fresh cache per adopted snapshot: entries of the old snapshot die
+    // with its state, so an in-flight query on the old state can never
+    // publish a stale leaf into the new serving surface.
+    state->cache = std::make_unique<ResultCache>(options_.cache_capacity);
+  }
+  return state;
+}
+
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     uncertain::Dataset* db, const EngineBackends& backends,
     const QueryEngineOptions& options) {
-  PVDB_CHECK(db != nullptr);
-  if (options.threads < 1) {
-    return Status::InvalidArgument("engine needs at least one thread");
-  }
-  auto engine =
-      std::unique_ptr<QueryEngine>(new QueryEngine(db, options));
+  PVDB_RETURN_NOT_OK(ValidateQueryEngineOptions(options));
+  auto engine = std::unique_ptr<QueryEngine>(new QueryEngine(db, options));
   if (backends.pv != nullptr) {
     engine->backends_.push_back(MakePvBackend(backends.pv));
   }
@@ -43,35 +80,70 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   }
 
   PlanInput input;
-  input.dim = db->dim();
-  input.dataset_size = db->size();
+  if (db != nullptr) {
+    input.dim = db->dim();
+    input.dataset_size = db->size();
+  } else if (backends.snapshot != nullptr) {
+    input.dim = backends.snapshot->dim();
+    input.dataset_size = static_cast<size_t>(backends.snapshot->object_count());
+  }
   for (const auto& b : engine->backends_) input.available.push_back(b->kind());
+  if (backends.snapshot != nullptr) {
+    input.available.push_back(BackendKind::kSnapshot);
+  }
   input.override = options.backend_override;
   PVDB_ASSIGN_OR_RETURN(Plan plan, PlanBackend(input));
-  for (const auto& b : engine->backends_) {
-    if (b->kind() == plan.backend) engine->active_ = b.get();
-  }
-  PVDB_CHECK(engine->active_ != nullptr);
   engine->plan_reason_ = std::move(plan.reason);
+
+  if (plan.backend == BackendKind::kSnapshot) {
+    engine->state_.store(engine->MakeSnapshotState(backends.snapshot),
+                         std::memory_order_release);
+  } else {
+    if (db == nullptr) {
+      return Status::InvalidArgument(
+          "borrowed-index serving needs the dataset for Step 2; only "
+          "snapshot serving is self-contained");
+    }
+    auto state = std::make_shared<ServingState>();
+    for (const auto& b : engine->backends_) {
+      if (b->kind() == plan.backend) state->active = b.get();
+    }
+    PVDB_CHECK(state->active != nullptr);
+    state->objects = db;
+    state->step2 = std::make_unique<pv::PnnStep2Evaluator>(db);
+    if (options.cache_capacity > 0) {
+      state->cache = std::make_unique<ResultCache>(options.cache_capacity);
+    }
+    engine->state_.store(std::move(state), std::memory_order_release);
+  }
 
   engine->step2_pages_ =
       engine->metrics_.Register(pv::PnnCounters::kPdfPagesRead);
-  if (options.cache_capacity > 0) {
-    engine->cache_ = std::make_unique<ResultCache>(options.cache_capacity);
-  }
   if (backends.pv != nullptr) {
     engine->pv_index_ = backends.pv;
     // Invalidation hook: any PV-index mutation flushes its cached leaves
     // (leaf ids survive in-place page rewrites, so contents must go).
     QueryEngine* raw = engine.get();
     engine->pv_listener_id_ = backends.pv->AddUpdateListener([raw] {
-      if (raw->cache_ != nullptr) {
-        raw->cache_->Invalidate(BackendKind::kPvIndex);
+      const StatePtr state = raw->CurrentState();
+      if (state != nullptr && state->cache != nullptr) {
+        state->cache->Invalidate(BackendKind::kPvIndex);
       }
     });
   }
   engine->pool_ = std::make_unique<ThreadPool>(options.threads);
   return engine;
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::CreateFromSnapshot(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot,
+    const QueryEngineOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("CreateFromSnapshot needs a snapshot");
+  }
+  EngineBackends backends;
+  backends.snapshot = std::move(snapshot);
+  return Create(nullptr, backends, options);
 }
 
 namespace {
@@ -87,20 +159,24 @@ pv::QueryScratch& WorkerScratch() {
 
 }  // namespace
 
-QueryEngine::Step1Outcome QueryEngine::Step1One(
-    const geom::Point& q, pv::QueryScratch* scratch,
-    bool want_grouping) const {
+QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
+                                                const geom::Point& q,
+                                                pv::QueryScratch* scratch,
+                                                bool want_grouping) const {
   Step1Outcome out;
+  out.state = state;
   out.epoch = epoch_.load(std::memory_order_relaxed);
+  ResultCache* cache = state->cache.get();
+  const Backend* active = state->active;
   // Leaf location feeds the result cache and, on the grouped batch path,
   // the grouping key — there it is worth a (page-free) FindLeaf even when
   // the cache is off.
   const bool want_leaf =
-      cache_ != nullptr ||
+      cache != nullptr ||
       (want_grouping && options_.batch_step2 &&
-       active_->SupportsLeafGrouping());
+       active->SupportsLeafGrouping());
   if (want_leaf) {
-    auto ref_or = active_->FindLeaf(q);
+    auto ref_or = active->FindLeaf(q);
     if (!ref_or.ok()) {
       out.status = ref_or.status();
       return out;
@@ -111,29 +187,29 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(
       // With the cache off there is no snapshot to fill or reuse: keep the
       // grouping key and fall through to Step1, which prunes straight from
       // the worker scratch (same page reads, no per-query block copy).
-      if (cache_ != nullptr) {
-        ResultCache::BlockPtr block = cache_->Lookup(active_->kind(), ref.id);
+      if (cache != nullptr) {
+        ResultCache::BlockPtr block = cache->Lookup(active->kind(), ref.id);
         if (block != nullptr) {
           out.cache_hit = true;
           if (want_grouping) {
-            out.plan = cache_->LookupPlan(active_->kind(), ref.id);
+            out.plan = cache->LookupPlan(active->kind(), ref.id);
           }
         } else {
-          auto read = active_->ReadLeafBlock(ref);
+          auto read = active->ReadLeafBlock(ref);
           if (!read.ok()) {
             out.status = read.status();
             return out;
           }
-          block =
-              cache_->Insert(active_->kind(), ref.id, std::move(read).value());
+          block = cache->Insert(active->kind(), ref.id,
+                                std::move(read).value());
         }
-        out.candidates = active_->PruneLeafBlock(*block, q, scratch);
+        out.candidates = active->PruneLeafBlock(*block, q, scratch);
         out.block = std::move(block);
         return out;
       }
     }
   }
-  auto step1 = active_->Step1(q, scratch);
+  auto step1 = active->Step1(q, scratch);
   if (!step1.ok()) {
     out.status = step1.status();
     return out;
@@ -154,8 +230,9 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
 PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
   PnnAnswer ans;
   StopWatch watch;
+  const StatePtr state = CurrentState();
   pv::QueryScratch& scratch = WorkerScratch();
-  Step1Outcome s1 = Step1One(q, &scratch, /*want_grouping=*/false);
+  Step1Outcome s1 = Step1One(state, q, &scratch, /*want_grouping=*/false);
   ans.cache_hit = s1.cache_hit;
   if (!s1.status.ok()) {
     ans.status = s1.status;
@@ -163,9 +240,9 @@ PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
     return ans;
   }
   ans.results =
-      step2_.Evaluate(q, s1.candidates, &scratch,
-                      options_.charge_step2_io ? step2_pages_ : nullptr,
-                      options_.min_probability);
+      state->step2->Evaluate(q, s1.candidates, &scratch,
+                             options_.charge_step2_io ? step2_pages_ : nullptr,
+                             options_.min_probability, &ans.status);
   ans.latency_ms = watch.ElapsedMillis();
   if (options_.scratch_max_bytes > 0) {
     scratch.ShrinkToFit(options_.scratch_max_bytes);
@@ -189,11 +266,12 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
 
   // Phase 1 — Step 1 for every query, sharded across the pool. Each task
   // holds the shared lock only for its own duration (never across the
-  // barrier), and records the mutation epoch it observed.
+  // barrier), and records the serving state and mutation epoch it observed.
   pool_->ParallelFor(queries.size(), [this, &queries, &answers, &s1](size_t i) {
     StopWatch watch;
     std::shared_lock<std::shared_mutex> lock(mu_);
-    s1[i] = Step1One(queries[i], &WorkerScratch(), /*want_grouping=*/true);
+    s1[i] = Step1One(CurrentState(), queries[i], &WorkerScratch(),
+                     /*want_grouping=*/true);
     answers[i].status = s1[i].status;
     answers[i].cache_hit = s1[i].cache_hit;
     answers[i].latency_ms = watch.ElapsedMillis();
@@ -208,9 +286,13 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
   }
 
   // Phase 2 — one candidate-outer sweep per group, groups sharded across
-  // the pool. A group whose epoch went stale (a writer slipped between the
-  // phases) redoes its members per-query under the current lock, so every
-  // answer is computed against one consistent index state.
+  // the pool. A group is swept only when every member saw the same serving
+  // state (and, for the mutable borrowed-index state, the epoch is still
+  // current — a writer may have slipped between the phases). Stale or
+  // mixed groups redo their members per-query against the live state, so
+  // every answer is computed against one consistent index state. A group
+  // uniformly on an older *snapshot* state is still swept — the snapshot
+  // is immutable and its state bundle alive via the members' shared_ptr.
   std::atomic<int64_t> groups_swept{0};
   std::atomic<int64_t> queries_swept{0};
   std::atomic<int64_t> pairs_pruned{0};
@@ -220,9 +302,14 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
     pv::QueryScratch& scratch = WorkerScratch();
     StopWatch group_watch;
     std::shared_lock<std::shared_mutex> lock(mu_);
-    const uint64_t now = epoch_.load(std::memory_order_relaxed);
+    const Step1Outcome& first = s1[g.queries.front()];
     bool stale = false;
-    for (uint32_t qi : g.queries) stale |= s1[qi].epoch != now;
+    for (uint32_t qi : g.queries) {
+      stale |= s1[qi].state != first.state || s1[qi].epoch != first.epoch;
+    }
+    if (!stale && first.state->snapshot == nullptr) {
+      stale |= first.epoch != epoch_.load(std::memory_order_relaxed);
+    }
     if (stale) {
       for (uint32_t qi : g.queries) {
         const double step1_ms = answers[qi].latency_ms;
@@ -232,12 +319,13 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
       }
       return;
     }
+    const ServingState& gstate = *first.state;
     MetricRegistry::Counter* io =
         options_.charge_step2_io ? step2_pages_ : nullptr;
     if (g.queries.size() >= options_.step2_min_group_size &&
         !g.candidates.empty()) {
       const std::vector<const uncertain::UncertainObject*> resolved =
-          ResolveGroup(g, s1[g.queries.front()]);
+          ResolveGroup(g, first);
       pv::Step2GroupOptions gopts;
       gopts.min_probability = options_.min_probability;
       gopts.max_scratch_bytes = options_.scratch_max_bytes;
@@ -246,10 +334,13 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
       std::vector<geom::Point> group_queries;
       group_queries.reserve(g.queries.size());
       for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
-      auto results = step2_.EvaluateGroup(group_queries, g.candidates,
-                                          &scratch, io, gopts, &bstats);
+      Status group_status;
+      auto results =
+          gstate.step2->EvaluateGroup(group_queries, g.candidates, &scratch,
+                                      io, gopts, &bstats, &group_status);
       const double group_ms = group_watch.ElapsedMillis();
       for (size_t t = 0; t < g.queries.size(); ++t) {
+        answers[g.queries[t]].status = group_status;
         answers[g.queries[t]].results = std::move(results[t]);
         // The answer was not ready until its whole group swept.
         answers[g.queries[t]].latency_ms += group_ms;
@@ -262,8 +353,9 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
       for (uint32_t qi : g.queries) {
         StopWatch watch;
         answers[qi].results =
-            step2_.Evaluate(queries[qi], g.candidates, &scratch, io,
-                            options_.min_probability);
+            gstate.step2->Evaluate(queries[qi], g.candidates, &scratch, io,
+                                   options_.min_probability,
+                                   &answers[qi].status);
         answers[qi].latency_ms += watch.ElapsedMillis();
       }
     }
@@ -283,8 +375,9 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
 std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
     const pv::Step2Batch::Group& group, const Step1Outcome& first) const {
   std::vector<const uncertain::UncertainObject*> resolved;
-  if (cache_ == nullptr || first.block == nullptr ||
-      first.leaf_key == pv::kNoLeafId || !active_->PruneKeepsLeafOrder()) {
+  const ServingState& state = *first.state;
+  if (state.cache == nullptr || first.block == nullptr ||
+      first.leaf_key == pv::kNoLeafId || !state.active->PruneKeepsLeafOrder()) {
     return resolved;
   }
   ResultCache::PlanPtr plan = first.plan;
@@ -292,12 +385,12 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
     ResultCache::Step2LeafPlan fresh;
     fresh.objs.reserve(first.block->size());
     for (uncertain::ObjectId id : first.block->ids) {
-      const uncertain::UncertainObject* o = db_->Find(id);
+      const uncertain::UncertainObject* o = state.objects->FindObject(id);
       if (o == nullptr) return resolved;  // fall back to per-id lookup
       fresh.objs.push_back(o);
     }
-    plan = cache_->AttachPlan(active_->kind(), first.leaf_key,
-                              std::move(fresh));
+    plan = state.cache->AttachPlan(state.active->kind(), first.leaf_key,
+                                   std::move(fresh));
   }
   // Pruning preserved leaf order, so the candidates map onto the plan with
   // one lockstep walk.
@@ -317,8 +410,14 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
 
 std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
     std::span<const geom::Point> queries, ServiceStats* stats) {
-  const int64_t hits_before = cache_ != nullptr ? cache_->hits() : 0;
-  const int64_t misses_before = cache_ != nullptr ? cache_->misses() : 0;
+  // Pin the entry state for the batch's cache bookkeeping: a concurrent
+  // AdoptSnapshot may retire it mid-batch, and only this shared_ptr keeps
+  // the sampled cache alive until the closing reads below.
+  const StatePtr entry_state = CurrentState();
+  const ResultCache* entry_cache = entry_state->cache.get();
+  const int64_t hits_before = entry_cache != nullptr ? entry_cache->hits() : 0;
+  const int64_t misses_before =
+      entry_cache != nullptr ? entry_cache->misses() : 0;
 
   StopWatch wall;
   if (stats != nullptr) *stats = ServiceStats{};
@@ -343,9 +442,13 @@ std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
     std::sort(latencies.begin(), latencies.end());
     stats->p50_latency_ms = PercentileSorted(latencies, 50.0);
     stats->p99_latency_ms = PercentileSorted(latencies, 99.0);
-    if (cache_ != nullptr) {
-      stats->cache_hits = cache_->hits() - hits_before;
-      stats->cache_misses = cache_->misses() - misses_before;
+    // Hit/miss deltas over the entry state's cache. A snapshot swap landing
+    // mid-batch moves later queries onto the new state's fresh cache; the
+    // deltas then cover only the pre-swap portion, which is the best
+    // consistent number available without blocking the swap.
+    if (entry_cache != nullptr) {
+      stats->cache_hits = entry_cache->hits() - hits_before;
+      stats->cache_misses = entry_cache->misses() - misses_before;
     }
   }
   return answers;
@@ -360,7 +463,8 @@ std::future<PnnAnswer> QueryEngine::Submit(const geom::Point& q) {
 }
 
 Status QueryEngine::Insert(uncertain::UncertainObject object) {
-  if (pv_index_ == nullptr || active_->kind() != BackendKind::kPvIndex) {
+  if (pv_index_ == nullptr ||
+      CurrentState()->active->kind() != BackendKind::kPvIndex) {
     return Status::NotSupported(
         "mutations require the engine to serve from the PV-index");
   }
@@ -370,7 +474,8 @@ Status QueryEngine::Insert(uncertain::UncertainObject object) {
   // their phases: bump the epoch and flush the cache outright — the
   // PV-index listener only fires on success and only covers its own leaves.
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  if (cache_ != nullptr) cache_->Clear();
+  const StatePtr state = CurrentState();
+  if (state->cache != nullptr) state->cache->Clear();
   const uncertain::ObjectId id = object.id();
   PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
   const Status st = pv_index_->InsertObject(*db_, id);
@@ -383,7 +488,8 @@ Status QueryEngine::Insert(uncertain::UncertainObject object) {
 }
 
 Status QueryEngine::Delete(uncertain::ObjectId id) {
-  if (pv_index_ == nullptr || active_->kind() != BackendKind::kPvIndex) {
+  if (pv_index_ == nullptr ||
+      CurrentState()->active->kind() != BackendKind::kPvIndex) {
     return Status::NotSupported(
         "mutations require the engine to serve from the PV-index");
   }
@@ -395,7 +501,8 @@ Status QueryEngine::Delete(uncertain::ObjectId id) {
   }
   // Same epoch/flush discipline as Insert, for the same reasons.
   epoch_.fetch_add(1, std::memory_order_relaxed);
-  if (cache_ != nullptr) cache_->Clear();
+  const StatePtr state = CurrentState();
+  if (state->cache != nullptr) state->cache->Clear();
   const uncertain::UncertainObject removed = *found;
   PVDB_RETURN_NOT_OK(db_->Remove(id));
   const Status st = pv_index_->DeleteObject(*db_, removed);
@@ -406,6 +513,43 @@ Status QueryEngine::Delete(uncertain::ObjectId id) {
     (void)db_->Add(removed);
   }
   return st;
+}
+
+Status QueryEngine::AdoptSnapshot(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null snapshot");
+  }
+  const StatePtr current = CurrentState();
+  if (current->snapshot == nullptr) {
+    return Status::NotSupported(
+        "AdoptSnapshot requires snapshot serving (create the engine with a "
+        "sealed snapshot); borrowed-index engines mutate through "
+        "Insert/Delete instead");
+  }
+  if (snapshot->dim() != current->snapshot->dim()) {
+    return Status::InvalidArgument(
+        "adopted snapshot dimensionality " + std::to_string(snapshot->dim()) +
+        " does not match the serving dimensionality " +
+        std::to_string(current->snapshot->dim()));
+  }
+  // The swap itself: wait-free for queries — loads before it serve the old
+  // bundle (alive via their shared_ptr), loads after it serve the new one.
+  state_.store(MakeSnapshotState(std::move(snapshot)),
+               std::memory_order_release);
+  return Status::OK();
+}
+
+std::shared_ptr<const pv::IndexSnapshot> QueryEngine::snapshot() const {
+  return CurrentState()->snapshot;
+}
+
+BackendKind QueryEngine::active_backend() const {
+  return CurrentState()->active->kind();
+}
+
+const ResultCache* QueryEngine::cache() const {
+  return CurrentState()->cache.get();
 }
 
 }  // namespace pvdb::service

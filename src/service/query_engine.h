@@ -3,11 +3,26 @@
 // The concurrent query-serving engine: turns the pvdb library into a
 // serving path. Batches of PNNQ points are sharded across a fixed thread
 // pool; each query runs Step 1 through a planned backend (PV-index /
-// UV-index / R-tree behind one interface), optionally through an LRU cache
-// of leaf candidate sets, then Step 2 probability evaluation — producing
-// exactly the answers of the sequential QueryPossibleNN + PnnStep2Evaluator
-// pipeline. A reader/writer lock makes PV-index insert/delete safe to
-// interleave with in-flight queries.
+// UV-index / R-tree / sealed IndexSnapshot behind one interface),
+// optionally through an LRU cache of leaf candidate sets, then Step 2
+// probability evaluation — producing exactly the answers of the sequential
+// QueryPossibleNN + PnnStep2Evaluator pipeline.
+//
+// Two serving modes share the code path:
+//   * Borrowed-index mode (legacy): the engine serves from live indexes
+//     owned by the caller; Insert/Delete mutate the PV-index under a
+//     reader/writer lock that excludes in-flight queries.
+//   * Snapshot mode: the engine serves from an immutable
+//     pv::IndexSnapshot. There is no write path — a writer process builds
+//     and seals a new snapshot off to the side and flips traffic with
+//     AdoptSnapshot(), an atomic pointer swap that never blocks or drains
+//     in-flight queries (they finish on the snapshot they started on,
+//     which their ServingState shared_ptr keeps alive).
+//
+// All per-snapshot serving state (backend, Step-2 evaluator, leaf-result
+// cache) lives in one immutable ServingState bundle so a swap can never
+// mix, say, an old snapshot's candidates with a new snapshot's records —
+// and a stale in-flight query can never poison the new state's cache.
 
 #ifndef PVDB_SERVICE_QUERY_ENGINE_H_
 #define PVDB_SERVICE_QUERY_ENGINE_H_
@@ -22,6 +37,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/pv/index_snapshot.h"
 #include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
 #include "src/rtree/rstar_tree.h"
@@ -58,15 +74,21 @@ struct QueryEngineOptions {
   /// step2_min_group_size always take the per-query path.
   bool batch_step2 = true;
   /// Smallest group routed through the batched evaluator; smaller groups
-  /// fall back to per-query Evaluate.
+  /// fall back to per-query Evaluate. Must be >= 1.
   size_t step2_min_group_size = 2;
   /// Bound on a worker's pooled QueryScratch arena: after any query or
   /// group that grew it past this, the worker releases the arena
   /// (QueryScratch::ShrinkToFit) so one pathological leaf doesn't pin the
   /// memory for the worker's lifetime. Also caps the batch-table chunk size
-  /// inside EvaluateGroup. 0 never shrinks.
+  /// inside EvaluateGroup. 0 never shrinks (and leaves groups unchunked).
   size_t scratch_max_bytes = 64u << 20;
 };
+
+/// Validates engine tunables at construction time: non-positive (or absurd)
+/// thread counts, a zero batching group bound and an out-of-range
+/// probability threshold all surface as InvalidArgument here instead of
+/// undefined behavior deep in the pool or the sweep.
+Status ValidateQueryEngineOptions(const QueryEngineOptions& options);
 
 /// One served query's outcome.
 struct PnnAnswer {
@@ -102,25 +124,40 @@ struct ServiceStats {
   int64_t step2_pairs_pruned = 0;
 };
 
-/// The indexes an engine may serve from; all borrowed, any subset present.
-/// The PV-index pointer is non-const because Insert/Delete route through it.
+/// The indexes an engine may serve from. The borrowed pointers (pv/uv/
+/// rtree) must outlive the engine; the snapshot is shared. Any subset may
+/// be present. The PV-index pointer is non-const because Insert/Delete
+/// route through it.
 struct EngineBackends {
   pv::PvIndex* pv = nullptr;
   const uv::UvIndex* uv = nullptr;
   const rtree::RStarTree* rtree = nullptr;
+  /// A sealed serving surface; when present the planner prefers it, and
+  /// AdoptSnapshot() can hot-swap it later.
+  std::shared_ptr<const pv::IndexSnapshot> snapshot;
 };
 
 /// The serving engine. Thread-safe: ExecuteBatch / Submit may be called
-/// from any thread and overlap with Insert / Delete (readers share, writers
-/// exclude). The borrowed dataset and indexes must only be mutated through
+/// from any thread and overlap with Insert / Delete (borrowed-index mode;
+/// readers share, writers exclude) or with AdoptSnapshot (snapshot mode;
+/// wait-free swap). Borrowed datasets/indexes must only be mutated through
 /// the engine while it is live.
 class QueryEngine {
  public:
   /// Plans a backend over whatever `backends` provides and builds the
   /// engine. `db` is borrowed and must stay alive; it is mutated only by
-  /// Insert/Delete below.
+  /// Insert/Delete below. `db` may be nullptr only when a snapshot is the
+  /// planned backend — snapshot serving resolves Step-2 records from the
+  /// snapshot itself.
   static Result<std::unique_ptr<QueryEngine>> Create(
       uncertain::Dataset* db, const EngineBackends& backends,
+      const QueryEngineOptions& options);
+
+  /// Convenience: a self-contained engine over a sealed snapshot (no
+  /// dataset, no live indexes — e.g. a fresh process after
+  /// IndexSnapshot::Open).
+  static Result<std::unique_ptr<QueryEngine>> CreateFromSnapshot(
+      std::shared_ptr<const pv::IndexSnapshot> snapshot,
       const QueryEngineOptions& options);
 
   ~QueryEngine();
@@ -149,19 +186,56 @@ class QueryEngine {
   /// as Insert).
   Status Delete(uncertain::ObjectId id);
 
+  /// Atomically flips serving traffic to `snapshot` without blocking or
+  /// draining in-flight queries: calls already past their state load finish
+  /// against the old snapshot (kept alive by their shared_ptr, including
+  /// its leaf cache), later calls serve the new one. Grouped batches that
+  /// straddle the swap detect the state change between their phases and
+  /// re-answer the affected queries consistently. Requires the engine to be
+  /// serving from a snapshot (Create with one, or CreateFromSnapshot) —
+  /// this is the bulk-update path that replaces the writer lock.
+  Status AdoptSnapshot(std::shared_ptr<const pv::IndexSnapshot> snapshot);
+
+  /// The currently served snapshot; nullptr in borrowed-index mode.
+  std::shared_ptr<const pv::IndexSnapshot> snapshot() const;
+
   /// The planner's decision for this engine.
-  BackendKind active_backend() const { return active_->kind(); }
+  BackendKind active_backend() const;
   const std::string& plan_reason() const { return plan_reason_; }
 
   int threads() const { return pool_->size(); }
 
-  /// The leaf cache, or nullptr when disabled.
-  const ResultCache* cache() const { return cache_.get(); }
+  /// The current serving state's leaf cache, or nullptr when disabled.
+  /// Snapshot mode: each adopted snapshot starts a fresh cache, so hit/miss
+  /// counters reset on AdoptSnapshot — and the returned pointer lives only
+  /// as long as that snapshot's serving state, so do not hold it across a
+  /// possible AdoptSnapshot (introspection accessor, not a serving API).
+  const ResultCache* cache() const;
 
   /// Engine-level counters (Step-2 pdf page charges).
   const MetricRegistry& metrics() const { return metrics_; }
 
  private:
+  /// Everything one query needs to be answered consistently, bundled and
+  /// immutable-after-publication. Borrowed-index mode creates exactly one
+  /// for the engine's lifetime; snapshot mode creates one per adopted
+  /// snapshot. The cache object is internally synchronized (mutable through
+  /// the const bundle by design).
+  struct ServingState {
+    /// Owned snapshot, or nullptr in borrowed-index mode.
+    std::shared_ptr<const pv::IndexSnapshot> snapshot;
+    /// Snapshot mode: the backend owned by this state.
+    std::unique_ptr<Backend> owned_backend;
+    /// The Step-1 backend serving queries (owned_backend.get() or a
+    /// pointer into the engine's borrowed-backend list).
+    Backend* active = nullptr;
+    /// Step-2 record resolution: the dataset or the snapshot.
+    const uncertain::ObjectSource* objects = nullptr;
+    std::unique_ptr<pv::PnnStep2Evaluator> step2;
+    std::unique_ptr<ResultCache> cache;
+  };
+  using StatePtr = std::shared_ptr<const ServingState>;
+
   QueryEngine(uncertain::Dataset* db, const QueryEngineOptions& options);
 
   /// Step-1 output of one query, carried from the batch's candidate phase
@@ -175,22 +249,35 @@ class QueryEngine {
     /// Cached per-leaf object plan, when one already existed.
     ResultCache::PlanPtr plan;
     bool cache_hit = false;
+    /// Serving state the outcome was computed against.
+    StatePtr state;
     /// Engine mutation epoch the outcome was computed under.
     uint64_t epoch = 0;
   };
 
+  /// The state queries serve from right now (wait-free load).
+  StatePtr CurrentState() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// Builds the per-snapshot state bundle (backend + evaluator + cache).
+  StatePtr MakeSnapshotState(
+      std::shared_ptr<const pv::IndexSnapshot> snapshot) const;
+
   /// Serves one query end to end (takes the shared lock itself).
   PnnAnswer AnswerOne(const geom::Point& q) const;
 
-  /// AnswerOne's body; the caller holds the shared lock.
+  /// AnswerOne's body; the caller holds the shared lock. Loads the current
+  /// state and answers against it.
   PnnAnswer AnswerOneLocked(const geom::Point& q) const;
 
-  /// Step 1 of one query (leaf location, cache, pruning); the caller holds
-  /// the shared lock. `want_grouping` is true only on the grouped batch
-  /// path, which consumes the leaf key / block / plan — the per-query path
-  /// skips that extra work (no off-cache block snapshot, no plan lookup).
-  Step1Outcome Step1One(const geom::Point& q, pv::QueryScratch* scratch,
-                        bool want_grouping) const;
+  /// Step 1 of one query (leaf location, cache, pruning) against `state`;
+  /// the caller holds the shared lock. `want_grouping` is true only on the
+  /// grouped batch path, which consumes the leaf key / block / plan — the
+  /// per-query path skips that extra work (no off-cache block snapshot, no
+  /// plan lookup).
+  Step1Outcome Step1One(const StatePtr& state, const geom::Point& q,
+                        pv::QueryScratch* scratch, bool want_grouping) const;
 
   /// Candidate records of `group` via the cached per-leaf plan (building
   /// and attaching it on first use); empty when the backend's pruning does
@@ -207,22 +294,24 @@ class QueryEngine {
 
   uncertain::Dataset* db_;
   QueryEngineOptions options_;
-  pv::PnnStep2Evaluator step2_;
-  std::vector<std::unique_ptr<Backend>> backends_;
-  Backend* active_ = nullptr;
+  std::vector<std::unique_ptr<Backend>> backends_;  // borrowed-index mode
   std::string plan_reason_;
   pv::PvIndex* pv_index_ = nullptr;
   int pv_listener_id_ = -1;
-  std::unique_ptr<ResultCache> cache_;
   mutable MetricRegistry metrics_;
   // Pre-registered Step-2 I/O counter: workers charge it lock-free instead
   // of taking the registry mutex per candidate.
   MetricRegistry::Counter* step2_pages_ = nullptr;
+  // The serving state, swapped atomically by AdoptSnapshot. Queries load it
+  // once and serve consistently from the loaded bundle.
+  std::atomic<StatePtr> state_;
   // Bumped by every Insert/Delete (under the writer lock). The grouped
   // batch path snapshots it during Step 1 and re-checks per group during
-  // Step 2, so a mutation landing between the phases triggers a consistent
-  // per-query redo instead of evaluating stale candidates — no lock is ever
-  // held across a pool barrier.
+  // Step 2, so a borrowed-index mutation landing between the phases
+  // triggers a consistent per-query redo instead of evaluating stale
+  // candidates — no lock is ever held across a pool barrier. Snapshot
+  // swaps are detected by ServingState identity instead (immutable states
+  // need no epoch).
   std::atomic<uint64_t> epoch_{0};
   mutable std::shared_mutex mu_;
   // Last member: destroyed (joined) first, while the state above is alive.

@@ -1,0 +1,297 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/snapshot_file.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pvdb::storage {
+
+// The format is defined little-endian; pvdb's supported targets are LE, so
+// field access is a plain memcpy. A big-endian port would byte-swap here.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot files are little-endian; add byte swapping to port");
+
+namespace {
+
+// Superblock layout (32 bytes).
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kSectionCountOffset = 12;
+constexpr size_t kFileBytesOffset = 16;
+constexpr size_t kHeaderChecksumOffset = 24;
+constexpr size_t kSuperblockBytes = 32;
+// Section table entry layout (32 bytes).
+constexpr size_t kTableEntryBytes = 32;
+// Payload sections start 8-byte aligned and are padded to 8 bytes.
+constexpr size_t kSectionAlign = 8;
+
+// Bound on section_count: the table must fit a sane header. Generous — the
+// pv snapshot uses six sections.
+constexpr uint32_t kMaxSections = 1024;
+
+template <typename T>
+T ReadField(const uint8_t* base, size_t off) {
+  T v;
+  std::memcpy(&v, base + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void WriteField(uint8_t* base, size_t off, T v) {
+  std::memcpy(base + off, &v, sizeof(T));
+}
+
+size_t AlignUp(size_t n) {
+  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// The one FNV-1a mixing loop; SnapshotChecksum and HeaderChecksum are
+/// both compositions of it.
+uint64_t FnvMix(uint64_t h, const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Checksum of the header region (superblock + table) with the
+/// header_checksum field treated as zero.
+uint64_t HeaderChecksum(const uint8_t* data, size_t header_bytes) {
+  const uint8_t zeros[sizeof(uint64_t)] = {0};
+  uint64_t h = FnvMix(kFnvOffsetBasis, data, kHeaderChecksumOffset);
+  h = FnvMix(h, zeros, sizeof(zeros));
+  return FnvMix(h, data + kSuperblockBytes,
+                header_bytes - kSuperblockBytes);
+}
+
+}  // namespace
+
+uint64_t SnapshotChecksum(const void* data, size_t len) {
+  return FnvMix(kFnvOffsetBasis, static_cast<const uint8_t*>(data), len);
+}
+
+void SnapshotWriter::AddSection(uint32_t kind, std::vector<uint8_t> bytes) {
+  for (const PendingSection& s : sections_) PVDB_CHECK(s.kind != kind);
+  sections_.push_back(PendingSection{kind, std::move(bytes)});
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() const {
+  const size_t header_bytes =
+      kSuperblockBytes + sections_.size() * kTableEntryBytes;
+  size_t total = AlignUp(header_bytes);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(sections_.size());
+  for (const PendingSection& s : sections_) {
+    offsets.push_back(total);
+    total = AlignUp(total + s.bytes.size());
+  }
+
+  std::vector<uint8_t> image(total, 0);
+  std::memcpy(image.data() + kMagicOffset, kSnapshotMagic,
+              sizeof(kSnapshotMagic));
+  WriteField<uint32_t>(image.data(), kVersionOffset, kSnapshotFormatVersion);
+  WriteField<uint32_t>(image.data(), kSectionCountOffset,
+                       static_cast<uint32_t>(sections_.size()));
+  WriteField<uint64_t>(image.data(), kFileBytesOffset, total);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const PendingSection& s = sections_[i];
+    uint8_t* entry = image.data() + kSuperblockBytes + i * kTableEntryBytes;
+    WriteField<uint32_t>(entry, 0, s.kind);
+    WriteField<uint32_t>(entry, 4, 0);  // pad
+    WriteField<uint64_t>(entry, 8, offsets[i]);
+    WriteField<uint64_t>(entry, 16, s.bytes.size());
+    WriteField<uint64_t>(entry, 24,
+                         SnapshotChecksum(s.bytes.data(), s.bytes.size()));
+    if (!s.bytes.empty()) {
+      std::memcpy(image.data() + offsets[i], s.bytes.data(), s.bytes.size());
+    }
+  }
+  WriteField<uint64_t>(image.data(), kHeaderChecksumOffset,
+                       HeaderChecksum(image.data(), header_bytes));
+  return image;
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path,
+                                 std::span<const uint8_t> image) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create snapshot file: " + tmp);
+  }
+  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  // fflush pushes stdio buffers to the kernel; fsync pushes the kernel's
+  // to the device — without it, a crash after the rename below could leave
+  // a torn file at the final path, the exact outcome rename is there to
+  // prevent.
+  const bool flushed =
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write saving snapshot to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+SnapshotReader::~SnapshotReader() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::OpenFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open snapshot file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat snapshot file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kSuperblockBytes) {
+    ::close(fd);
+    return Status::Corruption(
+        "snapshot file truncated: " + std::to_string(size) +
+        " bytes, a snapshot superblock needs " +
+        std::to_string(kSuperblockBytes));
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap failed for snapshot file: " + path);
+  }
+  auto reader = std::shared_ptr<SnapshotReader>(new SnapshotReader());
+  reader->data_ = static_cast<const uint8_t*>(map);
+  reader->size_ = size;
+  reader->mapped_ = true;
+  PVDB_RETURN_NOT_OK(reader->Init());
+  return std::shared_ptr<const SnapshotReader>(std::move(reader));
+}
+
+Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::FromImage(
+    std::vector<uint8_t> image) {
+  if (image.size() < kSuperblockBytes) {
+    return Status::Corruption(
+        "snapshot image truncated: " + std::to_string(image.size()) +
+        " bytes, a snapshot superblock needs " +
+        std::to_string(kSuperblockBytes));
+  }
+  auto reader = std::shared_ptr<SnapshotReader>(new SnapshotReader());
+  reader->owned_ = std::move(image);
+  reader->data_ = reader->owned_.data();
+  reader->size_ = reader->owned_.size();
+  reader->mapped_ = false;
+  PVDB_RETURN_NOT_OK(reader->Init());
+  return std::shared_ptr<const SnapshotReader>(std::move(reader));
+}
+
+Status SnapshotReader::Init() {
+  if (std::memcmp(data_ + kMagicOffset, kSnapshotMagic,
+                  sizeof(kSnapshotMagic)) != 0) {
+    return Status::Corruption("bad snapshot magic: not a pvdb snapshot file");
+  }
+  version_ = ReadField<uint32_t>(data_, kVersionOffset);
+  if (version_ != kSnapshotFormatVersion) {
+    return Status::NotSupported(
+        "unsupported snapshot format version " + std::to_string(version_) +
+        "; this build reads version " +
+        std::to_string(kSnapshotFormatVersion) +
+        " (re-seal the snapshot from the builder)");
+  }
+  const uint32_t section_count =
+      ReadField<uint32_t>(data_, kSectionCountOffset);
+  if (section_count > kMaxSections) {
+    return Status::Corruption("snapshot section count implausible: " +
+                              std::to_string(section_count));
+  }
+  const uint64_t declared = ReadField<uint64_t>(data_, kFileBytesOffset);
+  if (declared != size_) {
+    return Status::Corruption(
+        "snapshot file truncated: superblock declares " +
+        std::to_string(declared) + " bytes, file holds " +
+        std::to_string(size_));
+  }
+  const size_t header_bytes =
+      kSuperblockBytes + static_cast<size_t>(section_count) * kTableEntryBytes;
+  if (header_bytes > size_) {
+    return Status::Corruption(
+        "snapshot file truncated inside the section table");
+  }
+  if (HeaderChecksum(data_, header_bytes) !=
+      ReadField<uint64_t>(data_, kHeaderChecksumOffset)) {
+    return Status::Corruption("snapshot header checksum mismatch");
+  }
+  table_.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* entry = data_ + kSuperblockBytes + i * kTableEntryBytes;
+    SectionEntry s;
+    s.kind = ReadField<uint32_t>(entry, 0);
+    s.offset = ReadField<uint64_t>(entry, 8);
+    s.bytes = ReadField<uint64_t>(entry, 16);
+    s.checksum = ReadField<uint64_t>(entry, 24);
+    if (s.offset % kSectionAlign != 0 || s.offset < header_bytes ||
+        s.bytes > size_ || s.offset > size_ - s.bytes) {
+      return Status::Corruption("snapshot section " + std::to_string(s.kind) +
+                                " lies outside the file");
+    }
+    for (const SectionEntry& prev : table_) {
+      if (prev.kind == s.kind) {
+        return Status::Corruption("duplicate snapshot section kind " +
+                                  std::to_string(s.kind));
+      }
+    }
+    table_.push_back(s);
+  }
+  return Status::OK();
+}
+
+Result<std::span<const uint8_t>> SnapshotReader::Section(
+    uint32_t kind) const {
+  for (const SectionEntry& s : table_) {
+    if (s.kind == kind) {
+      return std::span<const uint8_t>(data_ + s.offset, s.bytes);
+    }
+  }
+  return Status::NotFound("snapshot has no section of kind " +
+                          std::to_string(kind));
+}
+
+Status SnapshotReader::VerifySection(uint32_t kind) const {
+  for (const SectionEntry& s : table_) {
+    if (s.kind != kind) continue;
+    if (SnapshotChecksum(data_ + s.offset, s.bytes) != s.checksum) {
+      return Status::Corruption("snapshot checksum mismatch in section " +
+                                std::to_string(kind));
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("snapshot has no section of kind " +
+                          std::to_string(kind));
+}
+
+Status SnapshotReader::VerifyAllSections() const {
+  for (const SectionEntry& s : table_) {
+    PVDB_RETURN_NOT_OK(VerifySection(s.kind));
+  }
+  return Status::OK();
+}
+
+}  // namespace pvdb::storage

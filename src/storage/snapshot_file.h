@@ -1,0 +1,132 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The snapshot file container: a versioned, checksummed, little-endian
+// section file that sealed indexes serialize into and serving processes
+// mmap back. The container layer knows nothing about octrees or pdfs — it
+// provides a superblock (magic, format version, file size), a section table
+// ({kind, offset, bytes, checksum} per section, 8-byte aligned payloads)
+// and integrity verification; pv::IndexSnapshot defines the section kinds
+// and their contents.
+//
+// Layout (all fields little-endian, offsets from byte 0):
+//
+//   [0]  superblock   magic[8] "PVDBSNAP", version u32, section_count u32,
+//                     file_bytes u64, header_checksum u64
+//   [32] section table section_count x {kind u32, pad u32, offset u64,
+//                     bytes u64, checksum u64}
+//   [..] sections     each padded to 8-byte alignment
+//
+// header_checksum covers the superblock (with the checksum field zeroed)
+// plus the whole section table, and is always verified at open — a
+// truncated, foreign or bit-flipped header never gets past OpenFile.
+// Per-section checksums are verified selectively by the layer above, so an
+// open can validate the structural sections it will descend through while
+// leaving bulk payload (pdf records) to be faulted in lazily by the mmap.
+
+#ifndef PVDB_STORAGE_SNAPSHOT_FILE_H_
+#define PVDB_STORAGE_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pvdb::storage {
+
+/// First 8 bytes of every pvdb snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'P', 'V', 'D', 'B',
+                                           'S', 'N', 'A', 'P'};
+
+/// Current container format version. Readers reject any other value with a
+/// descriptive NotSupported status (versioning policy: bump on any layout
+/// change; no in-place migration — re-seal from the builder).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// FNV-1a 64-bit over a byte range (the container's checksum function).
+uint64_t SnapshotChecksum(const void* data, size_t len);
+
+/// Accumulates named sections and emits the complete file image.
+class SnapshotWriter {
+ public:
+  /// Appends one section; kinds must be unique within a file.
+  void AddSection(uint32_t kind, std::vector<uint8_t> bytes);
+
+  /// Assembles superblock + table + payloads with all checksums filled in.
+  std::vector<uint8_t> Finish() const;
+
+  /// Writes `image` to `path` via a temp file + rename, so a crashed save
+  /// never leaves a half-written snapshot at the target path.
+  static Status WriteFile(const std::string& path,
+                          std::span<const uint8_t> image);
+
+ private:
+  struct PendingSection {
+    uint32_t kind;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+/// Immutable view over a validated snapshot image — either an mmap'd file
+/// (zero-copy, pages faulted on demand) or an owned in-memory buffer (the
+/// Seal() path). Open validates the superblock and section table; section
+/// payloads are verified by VerifySection / VerifyAllSections on the
+/// caller's schedule.
+class SnapshotReader {
+ public:
+  /// mmaps `path` read-only and validates the header. The mapping lives
+  /// until the reader is destroyed; no page of the payload is read here.
+  static Result<std::shared_ptr<const SnapshotReader>> OpenFile(
+      const std::string& path);
+
+  /// Same validation over an owned buffer (no file involved).
+  static Result<std::shared_ptr<const SnapshotReader>> FromImage(
+      std::vector<uint8_t> image);
+
+  ~SnapshotReader();
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// The payload of the section with `kind`; NotFound when absent.
+  Result<std::span<const uint8_t>> Section(uint32_t kind) const;
+
+  /// Recomputes one section's checksum; Corruption on mismatch, NotFound
+  /// when the section is absent.
+  Status VerifySection(uint32_t kind) const;
+
+  /// Verifies every section (a full-file read; the integrity-first open).
+  Status VerifyAllSections() const;
+
+  /// True when the bytes come from an mmap (false for FromImage).
+  bool mapped() const { return mapped_; }
+  size_t file_bytes() const { return size_; }
+  uint32_t version() const { return version_; }
+
+ private:
+  SnapshotReader() = default;
+
+  /// Shared validation: superblock, table bounds, header checksum.
+  Status Init();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> owned_;  // FromImage storage
+
+  struct SectionEntry {
+    uint32_t kind;
+    uint64_t offset;
+    uint64_t bytes;
+    uint64_t checksum;
+  };
+  std::vector<SectionEntry> table_;
+  uint32_t version_ = 0;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_SNAPSHOT_FILE_H_

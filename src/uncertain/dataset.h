@@ -11,12 +11,15 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/uncertain/object_source.h"
 #include "src/uncertain/uncertain_object.h"
 
 namespace pvdb::uncertain {
 
-/// An uncertain database over domain D.
-class Dataset {
+/// An uncertain database over domain D. Implements ObjectSource so PNNQ
+/// Step 2 resolves candidate records through the same seam whether they
+/// live here or in a sealed pv::IndexSnapshot.
+class Dataset : public ObjectSource {
  public:
   /// Empty database over `domain`.
   explicit Dataset(geom::Rect domain) : domain_(std::move(domain)) {}
@@ -35,6 +38,11 @@ class Dataset {
   /// Pointer to the object with `id`, or nullptr. The pointer is invalidated
   /// by Add/Remove.
   const UncertainObject* Find(ObjectId id) const;
+
+  /// ObjectSource: same lookup, interface form.
+  const UncertainObject* FindObject(ObjectId id) const override {
+    return Find(id);
+  }
 
   /// All objects, in storage order.
   const std::vector<UncertainObject>& objects() const { return objects_; }

@@ -1,0 +1,31 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// ObjectSource: the record-resolution seam between PNNQ Step 2 and whatever
+// owns the uncertain objects. The in-memory Dataset implements it directly;
+// pv::IndexSnapshot implements it over a sealed on-disk snapshot (records
+// parsed lazily out of the mmap), so a serving process can evaluate
+// qualification probabilities without ever materializing the raw database.
+
+#ifndef PVDB_UNCERTAIN_OBJECT_SOURCE_H_
+#define PVDB_UNCERTAIN_OBJECT_SOURCE_H_
+
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::uncertain {
+
+/// Read-only id → object resolution.
+class ObjectSource {
+ public:
+  virtual ~ObjectSource() = default;
+
+  /// Borrowed pointer to the object with `id`, or nullptr when the source
+  /// has no such object (or cannot decode it). The pointer stays valid for
+  /// the source's lifetime; mutable sources (Dataset) additionally
+  /// invalidate it on Add/Remove, which callers serialize externally (the
+  /// QueryEngine's writer lock).
+  virtual const UncertainObject* FindObject(ObjectId id) const = 0;
+};
+
+}  // namespace pvdb::uncertain
+
+#endif  // PVDB_UNCERTAIN_OBJECT_SOURCE_H_

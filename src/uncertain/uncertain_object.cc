@@ -90,7 +90,7 @@ void UncertainObject::AppendTo(std::vector<uint8_t>* out) const {
 }
 
 Result<UncertainObject> UncertainObject::ParseFrom(
-    const std::vector<uint8_t>& bytes, size_t* offset) {
+    std::span<const uint8_t> bytes, size_t* offset) {
   auto pull = [&](void* dst, size_t len) -> bool {
     if (*offset + len > bytes.size()) return false;
     std::memcpy(dst, bytes.data() + *offset, len);

@@ -10,6 +10,7 @@
 #define PVDB_UNCERTAIN_UNCERTAIN_OBJECT_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/random.h"
@@ -68,8 +69,12 @@ class UncertainObject {
   /// Flat binary serialization (secondary-index record payload).
   void AppendTo(std::vector<uint8_t>* out) const;
 
-  /// Inverse of AppendTo; advances `*offset` past the consumed bytes.
-  static Result<UncertainObject> ParseFrom(const std::vector<uint8_t>& bytes,
+  /// Inverse of AppendTo; advances `*offset` past the consumed bytes. All
+  /// reads are bounds-checked against `bytes` — truncated or malformed
+  /// input returns a Corruption status, never crashes. Takes a span (which
+  /// vectors convert to implicitly) so snapshot records decode straight out
+  /// of an mmap'd file without an intermediate copy.
+  static Result<UncertainObject> ParseFrom(std::span<const uint8_t> bytes,
                                            size_t* offset);
 
  private:

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <string>
@@ -17,8 +18,10 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/pv/index_snapshot.h"
 #include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
+#include "src/pv/pv_index_builder.h"
 #include "src/rtree/rtree_pnn.h"
 #include "src/service/planner.h"
 #include "src/service/query_engine.h"
@@ -643,6 +646,181 @@ TEST(QueryEngineTest, MutationsInterleaveSafelyWithQueries) {
   }
   stop.store(true);
   querier.join();
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngineOptions validation (construction-time, instead of UB in the
+// pool or the batch sweep)
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngineOptionsTest, InvalidTunablesAreRejectedAtCreate) {
+  EngineWorld& world = SharedWorld();
+
+  QueryEngineOptions zero_threads;
+  zero_threads.threads = 0;
+  EXPECT_EQ(QueryEngine::Create(world.db.get(), world.All(), zero_threads)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  QueryEngineOptions negative_threads;
+  negative_threads.threads = -4;
+  EXPECT_EQ(ValidateQueryEngineOptions(negative_threads).code(),
+            StatusCode::kInvalidArgument);
+
+  QueryEngineOptions absurd_threads;
+  absurd_threads.threads = 1 << 20;
+  EXPECT_EQ(ValidateQueryEngineOptions(absurd_threads).code(),
+            StatusCode::kInvalidArgument);
+
+  QueryEngineOptions zero_group;
+  zero_group.batch_step2 = true;
+  zero_group.step2_min_group_size = 0;
+  EXPECT_EQ(QueryEngine::Create(world.db.get(), world.All(), zero_group)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  QueryEngineOptions bad_probability;
+  bad_probability.min_probability = 1.5;
+  EXPECT_EQ(ValidateQueryEngineOptions(bad_probability).code(),
+            StatusCode::kInvalidArgument);
+  bad_probability.min_probability = -0.25;
+  EXPECT_EQ(ValidateQueryEngineOptions(bad_probability).code(),
+            StatusCode::kInvalidArgument);
+
+  // The defaults (and a 1-thread config) stay valid.
+  EXPECT_TRUE(ValidateQueryEngineOptions(QueryEngineOptions{}).ok());
+  QueryEngineOptions one_thread;
+  one_thread.threads = 1;
+  EXPECT_TRUE(ValidateQueryEngineOptions(one_thread).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot hot-swap under concurrent serving
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngineTest, AdoptSnapshotHotSwapsUnderConcurrentQueries) {
+  // Two sealed generations of the same 2D world: generation B has one extra
+  // object near the probe point, so answers tell the generations apart.
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 300;
+  synth.samples_per_object = 20;
+  synth.max_region_extent = 150;
+  synth.domain_hi = 1000;
+  synth.seed = 31;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  auto builder = pv::PvIndexBuilder::Build(db).value();
+  auto snap_a = builder->Seal().value();
+
+  Rng rng(41);
+  const uncertain::ObjectId extra_id = 3000000;
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                         extra_id,
+                         geom::Rect(geom::Point{490, 490},
+                                    geom::Point{510, 510}),
+                         20, &rng))
+                  .ok());
+  ASSERT_TRUE(builder->Insert(db, extra_id).ok());
+  auto snap_b = builder->Seal().value();
+
+  QueryEngineOptions options;
+  options.threads = 4;
+  auto engine = QueryEngine::CreateFromSnapshot(snap_a, options).value();
+  EXPECT_EQ(engine->active_backend(), BackendKind::kSnapshot);
+
+  // Queriers hammer batched and async paths while the main thread flips
+  // between the generations. Every answer must be internally consistent:
+  // status ok and a probability distribution — a swap must never surface a
+  // half-state (e.g. generation-B candidates scored with generation-A
+  // records, which would break the sum).
+  std::atomic<bool> stop{false};
+  std::atomic<int> batches{0};
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < 2; ++t) {
+    queriers.emplace_back([&, t] {
+      Rng qrng(100 + t);
+      while (!stop.load()) {
+        std::vector<geom::Point> queries;
+        for (int i = 0; i < 32; ++i) {
+          // Half clustered at the probe point (shared candidate sets keep
+          // the grouped sweep busy), half uniform.
+          if (i % 2 == 0) {
+            queries.push_back(geom::Point{500 + qrng.NextUniform(-2, 2),
+                                          500 + qrng.NextUniform(-2, 2)});
+          } else {
+            queries.push_back(geom::Point{qrng.NextUniform(0, 1000),
+                                          qrng.NextUniform(0, 1000)});
+          }
+        }
+        const auto answers = engine->ExecuteBatch(queries);
+        if (answers.size() != queries.size()) {
+          ADD_FAILURE() << "lost answers";
+          return;
+        }
+        for (const auto& a : answers) {
+          if (!a.status.ok()) {
+            ADD_FAILURE() << a.status.ToString();
+            return;
+          }
+          if (!a.results.empty()) {
+            double total = 0;
+            for (const auto& r : a.results) total += r.probability;
+            if (std::abs(total - 1.0) > 1e-6) {
+              ADD_FAILURE() << "probabilities sum to " << total;
+              return;
+            }
+          }
+        }
+        batches.fetch_add(1);
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const Status adopted =
+        engine->AdoptSnapshot(cycle % 2 == 0 ? snap_b : snap_a);
+    if (!adopted.ok()) {
+      ADD_FAILURE() << adopted.ToString();
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // Let at least a few batches land across the swaps before stopping — but
+  // never spin forever: a querier that bailed via ADD_FAILURE stops
+  // incrementing, and a deadline turns that into a failed test instead of
+  // a hung job.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (batches.load() < 8 && !::testing::Test::HasFailure() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(batches.load(), 1) << "no batch completed across the swaps";
+  stop.store(true);
+  for (auto& t : queriers) t.join();
+
+  // Settle on generation B and check the swap actually took effect, with
+  // bit-identical answers to the sealed snapshot's own pipeline.
+  ASSERT_TRUE(engine->AdoptSnapshot(snap_b).ok());
+  EXPECT_EQ(engine->snapshot(), snap_b);
+  const geom::Point probe{500, 500};
+  const PnnAnswer served = engine->Submit(probe).get();
+  ASSERT_TRUE(served.status.ok());
+  const bool extra_answers =
+      std::any_of(served.results.begin(), served.results.end(),
+                  [&](const pv::PnnResult& r) { return r.id == extra_id; });
+  EXPECT_TRUE(extra_answers) << "generation B must serve the new object";
+
+  pv::PnnStep2Evaluator step2(snap_b.get());
+  const auto expected_step1 = snap_b->QueryPossibleNN(probe).value();
+  const auto expected = step2.Evaluate(probe, expected_step1);
+  ASSERT_EQ(served.results.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(served.results[i].id, expected[i].id);
+    EXPECT_EQ(served.results[i].probability, expected[i].probability);
+  }
 }
 
 }  // namespace

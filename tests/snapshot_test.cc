@@ -1,0 +1,566 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Snapshot lifecycle tests: the storage container (writer/reader round
+// trip, header and section checksums), corrupt-input hardening (truncated
+// file, bad magic, wrong version, checksum mismatch — all descriptive
+// Status, never a crash), and the Build → Seal → Save → Open round trip —
+// property-tested over randomized datasets (incl. degenerate pdfs) for
+// bit-identical answers between the live index and the opened snapshot,
+// across Seal()/Open() and batch_step2 on/off.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/pv/index_snapshot.h"
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/service/query_engine.h"
+#include "src/storage/snapshot_file.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "pvdb_" + name + "_" +
+         std::to_string(::getpid()) + ".snap";
+}
+
+/// RAII temp file cleanup.
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// ---------------------------------------------------------------------------
+// storage::SnapshotWriter / SnapshotReader (container level)
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return b; }
+
+TEST(SnapshotFileTest, SectionsRoundTripThroughImageAndFile) {
+  storage::SnapshotWriter writer;
+  writer.AddSection(1, Bytes({1, 2, 3}));
+  writer.AddSection(7, Bytes({}));
+  writer.AddSection(2, Bytes({9, 8, 7, 6, 5}));
+  const std::vector<uint8_t> image = writer.Finish();
+
+  auto check = [](const storage::SnapshotReader& r) {
+    auto s1 = r.Section(1);
+    ASSERT_TRUE(s1.ok());
+    EXPECT_EQ(std::vector<uint8_t>(s1.value().begin(), s1.value().end()),
+              Bytes({1, 2, 3}));
+    auto s7 = r.Section(7);
+    ASSERT_TRUE(s7.ok());
+    EXPECT_TRUE(s7.value().empty());
+    auto s2 = r.Section(2);
+    ASSERT_TRUE(s2.ok());
+    EXPECT_EQ(s2.value().size(), 5u);
+    EXPECT_EQ(r.Section(3).status().code(), StatusCode::kNotFound);
+    EXPECT_TRUE(r.VerifyAllSections().ok());
+  };
+
+  auto from_image = storage::SnapshotReader::FromImage(image);
+  ASSERT_TRUE(from_image.ok()) << from_image.status().ToString();
+  EXPECT_FALSE(from_image.value()->mapped());
+  check(*from_image.value());
+
+  TempFile file(TempPath("container"));
+  ASSERT_TRUE(storage::SnapshotWriter::WriteFile(file.path, image).ok());
+  auto from_file = storage::SnapshotReader::OpenFile(file.path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  EXPECT_TRUE(from_file.value()->mapped());
+  EXPECT_EQ(from_file.value()->file_bytes(), image.size());
+  check(*from_file.value());
+}
+
+TEST(SnapshotFileTest, MissingFileIsIOError) {
+  auto r = storage::SnapshotReader::OpenFile("/nonexistent/pv.snap");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotFileTest, RejectsTruncatedImage) {
+  storage::SnapshotWriter writer;
+  writer.AddSection(1, Bytes({1, 2, 3, 4}));
+  std::vector<uint8_t> image = writer.Finish();
+
+  // Below the superblock.
+  auto tiny = storage::SnapshotReader::FromImage(
+      std::vector<uint8_t>(image.begin(), image.begin() + 8));
+  EXPECT_EQ(tiny.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(tiny.status().message().find("truncated"), std::string::npos);
+
+  // Superblock intact but payload cut off: declared size disagrees.
+  std::vector<uint8_t> cut(image.begin(), image.end() - 4);
+  auto r = storage::SnapshotReader::FromImage(cut);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(SnapshotFileTest, RejectsBadMagic) {
+  storage::SnapshotWriter writer;
+  writer.AddSection(1, Bytes({1}));
+  std::vector<uint8_t> image = writer.Finish();
+  image[0] ^= 0xFF;
+  auto r = storage::SnapshotReader::FromImage(image);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotFileTest, RejectsWrongVersion) {
+  storage::SnapshotWriter writer;
+  writer.AddSection(1, Bytes({1}));
+  std::vector<uint8_t> image = writer.Finish();
+  image[8] += 1;  // version field (little-endian u32 at offset 8)
+  auto r = storage::SnapshotReader::FromImage(image);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotFileTest, DetectsHeaderAndSectionCorruption) {
+  storage::SnapshotWriter writer;
+  writer.AddSection(1, Bytes({1, 2, 3, 4, 5, 6, 7, 8}));
+  const std::vector<uint8_t> image = writer.Finish();
+
+  // Flip a byte in the section table: caught at open (header checksum).
+  std::vector<uint8_t> bad_table = image;
+  bad_table[40] ^= 0x01;
+  auto r1 = storage::SnapshotReader::FromImage(bad_table);
+  EXPECT_EQ(r1.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r1.status().message().find("checksum"), std::string::npos);
+
+  // Flip a byte in the payload: caught by section verification.
+  std::vector<uint8_t> bad_payload = image;
+  bad_payload.back() ^= 0x01;
+  auto r2 = storage::SnapshotReader::FromImage(bad_payload);
+  ASSERT_TRUE(r2.ok()) << "payload is not covered by the header checksum";
+  EXPECT_EQ(r2.value()->VerifySection(1).code(), StatusCode::kCorruption);
+  EXPECT_EQ(r2.value()->VerifyAllSections().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// PvIndexBuilder → IndexSnapshot round trip
+// ---------------------------------------------------------------------------
+
+/// A randomized database with adversarial shapes mixed in: degenerate
+/// (point) uncertainty regions with single-instance pdfs, and duplicate
+/// positions.
+uncertain::Dataset RandomDatabase(uint64_t seed, int dim, size_t count) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = dim;
+  synth.count = count;
+  synth.samples_per_object = 16;
+  synth.max_region_extent = 400.0;
+  synth.domain_hi = 1000.0;
+  synth.seed = seed;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  // Degenerate pdfs: a handful of point objects (region collapsed to one
+  // coordinate, pdf of a single certain instance).
+  for (int k = 0; k < 8; ++k) {
+    geom::Point p(dim);
+    for (int d = 0; d < dim; ++d) p[d] = rng.NextUniform(0, 1000);
+    const uncertain::ObjectId id = 900000 + static_cast<uint64_t>(k);
+    EXPECT_TRUE(db.Add(uncertain::UncertainObject(
+                           id, geom::Rect::FromPoint(p),
+                           {uncertain::Instance{p, 1.0}}))
+                    .ok());
+  }
+  return db;
+}
+
+std::vector<geom::Point> RandomQueries(uint64_t seed, int dim, size_t n,
+                                       double lo, double hi) {
+  Rng rng(seed);
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    geom::Point q(dim);
+    for (int d = 0; d < dim; ++d) q[d] = rng.NextUniform(lo, hi);
+    out.push_back(q);
+  }
+  return out;
+}
+
+void ExpectSameObject(const uncertain::UncertainObject& a,
+                      const uncertain::UncertainObject& b) {
+  ASSERT_EQ(a.id(), b.id());
+  ASSERT_EQ(a.region(), b.region());
+  ASSERT_EQ(a.pdf().size(), b.pdf().size());
+  for (size_t i = 0; i < a.pdf().size(); ++i) {
+    EXPECT_EQ(a.pdf()[i].position, b.pdf()[i].position);
+    EXPECT_EQ(a.pdf()[i].probability, b.pdf()[i].probability);
+  }
+}
+
+TEST(SnapshotRoundTripTest, SealedAndOpenedAnswersBitIdenticalToLiveIndex) {
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (const int dim : {2, 3}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " dim " +
+                   std::to_string(dim));
+      uncertain::Dataset db = RandomDatabase(seed, dim, 200);
+      auto builder = pv::PvIndexBuilder::Build(db);
+      ASSERT_TRUE(builder.ok()) << builder.status().ToString();
+      const pv::PvIndex& index = builder.value()->index();
+
+      // Both arrival paths: in-memory seal and file round trip (mmap).
+      auto sealed = builder.value()->Seal();
+      ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+      TempFile file(TempPath("roundtrip"));
+      ASSERT_TRUE(builder.value()->Save(file.path).ok());
+      auto opened =
+          pv::IndexSnapshot::Open(file.path, {.verify_payload = true});
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      EXPECT_TRUE(opened.value()->mapped());
+      EXPECT_FALSE(sealed.value()->mapped());
+      EXPECT_EQ(opened.value()->object_count(), db.size());
+
+      // Step-1 and Step-2 parity per query, against the library pipeline.
+      pv::PnnStep2Evaluator live_step2(&db);
+      const auto queries = RandomQueries(seed * 7, dim, 64, 0, 1000);
+      for (const auto& q : queries) {
+        const auto expected = index.QueryPossibleNN(q).value();
+        for (const auto& snap : {sealed.value(), opened.value()}) {
+          const auto got = snap->QueryPossibleNN(q).value();
+          ASSERT_EQ(got, expected);
+          // Step 2 off the snapshot's records, bit-identical to Step 2 off
+          // the dataset.
+          pv::PnnStep2Evaluator snap_step2(snap.get());
+          const auto live = live_step2.Evaluate(q, expected);
+          const auto from_snap = snap_step2.Evaluate(q, got);
+          ASSERT_EQ(live.size(), from_snap.size());
+          for (size_t i = 0; i < live.size(); ++i) {
+            EXPECT_EQ(live[i].id, from_snap[i].id);
+            EXPECT_EQ(live[i].probability, from_snap[i].probability);
+          }
+        }
+      }
+
+      // Record round trip: every stored object is byte-faithful.
+      for (const auto& o : db.objects()) {
+        auto copy = opened.value()->GetObject(o.id());
+        ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+        ExpectSameObject(o, copy.value());
+        ASSERT_NE(opened.value()->FindObject(o.id()), nullptr);
+        EXPECT_EQ(opened.value()->GetUbr(o.id()).value(),
+                  index.GetUbr(o.id()).value());
+      }
+      EXPECT_EQ(opened.value()->FindObject(123456789), nullptr);
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
+  for (const bool batch_step2 : {true, false}) {
+    SCOPED_TRACE(batch_step2 ? "batch_step2 on" : "batch_step2 off");
+    uncertain::Dataset db = RandomDatabase(77, 3, 300);
+    auto builder = pv::PvIndexBuilder::Build(db);
+    ASSERT_TRUE(builder.ok());
+
+    service::QueryEngineOptions options;
+    options.threads = 2;
+    options.batch_step2 = batch_step2;
+    service::EngineBackends pv_backends;
+    pv_backends.pv = &builder.value()->index();
+    auto pv_engine = service::QueryEngine::Create(&db, pv_backends, options);
+    ASSERT_TRUE(pv_engine.ok());
+
+    TempFile file(TempPath("engine"));
+    ASSERT_TRUE(builder.value()->Save(file.path).ok());
+    auto snapshot = pv::IndexSnapshot::Open(file.path);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    auto snap_engine =
+        service::QueryEngine::CreateFromSnapshot(snapshot.value(), options);
+    ASSERT_TRUE(snap_engine.ok()) << snap_engine.status().ToString();
+    EXPECT_EQ(snap_engine.value()->active_backend(),
+              service::BackendKind::kSnapshot);
+
+    // Clustered queries so the grouped path actually sweeps groups.
+    Rng rng(5);
+    std::vector<geom::Point> queries;
+    for (int c = 0; c < 6; ++c) {
+      geom::Point anchor{rng.NextUniform(50, 950), rng.NextUniform(50, 950),
+                         rng.NextUniform(50, 950)};
+      for (int i = 0; i < 12; ++i) {
+        geom::Point q = anchor;
+        for (int d = 0; d < 3; ++d) q[d] += rng.NextUniform(-1, 1);
+        queries.push_back(q);
+      }
+    }
+    const auto expected = pv_engine.value()->ExecuteBatch(queries);
+    const auto got = snap_engine.value()->ExecuteBatch(queries);
+    ASSERT_EQ(expected.size(), got.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SCOPED_TRACE("query " + std::to_string(i));
+      ASSERT_TRUE(expected[i].status.ok());
+      ASSERT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+      ASSERT_EQ(expected[i].results.size(), got[i].results.size());
+      for (size_t j = 0; j < expected[i].results.size(); ++j) {
+        EXPECT_EQ(expected[i].results[j].id, got[i].results[j].id);
+        EXPECT_EQ(expected[i].results[j].probability,
+                  got[i].results[j].probability);
+      }
+    }
+    // Warm re-run through the snapshot engine's leaf cache stays identical.
+    const auto warm = snap_engine.value()->ExecuteBatch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(warm[i].results.size(), got[i].results.size());
+      for (size_t j = 0; j < warm[i].results.size(); ++j) {
+        EXPECT_EQ(warm[i].results[j].probability,
+                  got[i].results[j].probability);
+      }
+    }
+    EXPECT_GT(snap_engine.value()->cache()->hits(), 0);
+  }
+}
+
+TEST(SnapshotRoundTripTest, ResealAfterBuilderMutationsReflectsUpdates) {
+  uncertain::Dataset db = RandomDatabase(5, 2, 150);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+  auto before = builder.value()->Seal();
+  ASSERT_TRUE(before.ok());
+
+  // Mutate through the builder: one insert, one delete.
+  Rng rng(123);
+  const uncertain::ObjectId new_id = 555555;
+  ASSERT_TRUE(db.Add(uncertain::UncertainObject::UniformSampled(
+                         new_id, geom::Rect(geom::Point{400, 400},
+                                            geom::Point{420, 420}),
+                         10, &rng))
+                  .ok());
+  ASSERT_TRUE(builder.value()->Insert(db, new_id).ok());
+  const uncertain::UncertainObject removed = *db.Find(db.objects()[0].id());
+  ASSERT_TRUE(db.Remove(removed.id()).ok());
+  ASSERT_TRUE(builder.value()->Delete(db, removed).ok());
+
+  auto after = builder.value()->Seal();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value()->object_count(), after.value()->object_count());
+  EXPECT_NE(before.value()->FindObject(removed.id()), nullptr);
+  EXPECT_EQ(after.value()->FindObject(removed.id()), nullptr);
+  EXPECT_NE(after.value()->FindObject(new_id), nullptr);
+
+  // The re-sealed snapshot answers like the mutated live index.
+  const auto queries = RandomQueries(99, 2, 32, 0, 1000);
+  for (const auto& q : queries) {
+    EXPECT_EQ(after.value()->QueryPossibleNN(q).value(),
+              builder.value()->index().QueryPossibleNN(q).value());
+  }
+}
+
+TEST(SnapshotRoundTripTest, EmptyDatabaseSealsAndServes) {
+  uncertain::Dataset db(geom::Rect::Cube(2, 0, 100));
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok()) << builder.status().ToString();
+  auto snap = builder.value()->Seal();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value()->object_count(), 0u);
+  const auto step1 =
+      snap.value()->QueryPossibleNN(geom::Point{50, 50});
+  ASSERT_TRUE(step1.ok());
+  EXPECT_TRUE(step1.value().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt snapshot hardening (pv layer)
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    uncertain::Dataset db = RandomDatabase(3, 2, 60);
+    auto builder = pv::PvIndexBuilder::Build(db);
+    ASSERT_TRUE(builder.ok());
+    auto image = builder.value()->SealImage();
+    ASSERT_TRUE(image.ok());
+    image_ = std::move(image).value();
+  }
+
+  /// Opens a mutated copy of the image through a real file (the mmap path).
+  Result<std::shared_ptr<const pv::IndexSnapshot>> OpenMutated(
+      size_t flip_offset, const pv::SnapshotOpenOptions& options = {},
+      size_t truncate_to = 0) {
+    std::vector<uint8_t> bytes = image_;
+    if (truncate_to > 0) bytes.resize(truncate_to);
+    if (flip_offset != 0) bytes[flip_offset] ^= 0x01;
+    TempFile file(TempPath("corrupt"));
+    PVDB_RETURN_NOT_OK(storage::SnapshotWriter::WriteFile(
+        file.path, std::span<const uint8_t>(bytes.data(), bytes.size())));
+    return pv::IndexSnapshot::Open(file.path, options);
+  }
+
+  std::vector<uint8_t> image_;
+};
+
+TEST_F(SnapshotCorruptionTest, IntactImageOpens) {
+  auto snap = OpenMutated(0, {.verify_payload = true});
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationIsDetected) {
+  auto snap = OpenMutated(0, {}, image_.size() / 2);
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(snap.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagicIsDetected) {
+  auto snap = OpenMutated(3);
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(snap.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, WrongVersionIsDetected) {
+  std::vector<uint8_t> bytes = image_;
+  bytes[8] = 0x2A;  // version u32 at offset 8 → 42
+  auto reader = storage::SnapshotReader::FromImage(bytes);
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(reader.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, StructuralChecksumMismatchFailsOpen) {
+  // Flip one byte inside the nodes section: the default Open verifies the
+  // structural sections it descends through, so this must fail even
+  // without verify_payload. The section's position in the image comes from
+  // a container read of the intact copy (pointer offset from image start).
+  auto reader = storage::SnapshotReader::FromImage(image_);
+  ASSERT_TRUE(reader.ok());
+  auto meta = reader.value()->Section(pv::SnapshotSections::kMeta);
+  auto nodes = reader.value()->Section(pv::SnapshotSections::kNodes);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_FALSE(nodes.value().empty());
+  // FromImage owns a copy whose layout equals image_; the distance between
+  // section starts equals the distance from the image start.
+  const size_t meta_offset = 32 + 6 * 32;  // superblock + 6 table entries
+  const size_t nodes_offset =
+      meta_offset +
+      static_cast<size_t>(nodes.value().data() - meta.value().data());
+  auto snap = OpenMutated(nodes_offset + 4);
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption)
+      << snap.status().ToString();
+  EXPECT_NE(snap.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, DamagedRecordFramingFailsQueriesNotProcess) {
+  // Break one record's framing (dim byte → 255) under a lazy open: the
+  // snapshot opens, FindObject on the damaged id degrades to nullptr, and a
+  // served query over it returns a Corruption status — the process must
+  // never abort on a flipped payload bit.
+  auto reader = storage::SnapshotReader::FromImage(image_);
+  ASSERT_TRUE(reader.ok());
+  auto meta = reader.value()->Section(pv::SnapshotSections::kMeta).value();
+  auto dir = reader.value()->Section(pv::SnapshotSections::kObjectDir).value();
+  auto records =
+      reader.value()->Section(pv::SnapshotSections::kObjectRecords).value();
+  const size_t records_offset = (32 + 6 * 32) +
+      static_cast<size_t>(records.data() - meta.data());
+  uint64_t victim_id;
+  std::memcpy(&victim_id, dir.data(), sizeof(victim_id));
+  uint64_t victim_off;
+  std::memcpy(&victim_off, dir.data() + 8, sizeof(victim_off));
+  // Record layout (dim = 2): UBR 32 bytes, object id u64, then dim u32.
+  const size_t dim_field = records_offset + victim_off + 32 + 8;
+
+  // A query at the victim's uncertainty-region center always keeps it as a
+  // Step-1 candidate (MinDist = 0); fetch the region from the intact image.
+  auto intact = pv::IndexSnapshot::FromImage(image_);
+  ASSERT_TRUE(intact.ok());
+  const geom::Point probe =
+      intact.value()->GetObject(victim_id).value().region().Center();
+
+  std::vector<uint8_t> bytes = image_;
+  bytes[dim_field] = 0xFF;
+  auto snap = pv::IndexSnapshot::FromImage(bytes);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value()->FindObject(victim_id), nullptr);
+  EXPECT_EQ(snap.value()->GetObject(victim_id).status().code(),
+            StatusCode::kCorruption);
+
+  // Library level: the evaluator surfaces the corruption per call.
+  pv::PnnStep2Evaluator step2(snap.value().get());
+  pv::QueryScratch scratch;
+  Status step2_status;
+  const std::vector<uncertain::ObjectId> candidates{victim_id};
+  const auto results =
+      step2.Evaluate(probe, candidates, &scratch, nullptr, 0.0, &step2_status);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(step2_status.code(), StatusCode::kCorruption);
+
+  // Serving level: a query whose candidates include the damaged record
+  // fails that answer only; the engine (and process) live on.
+  auto engine = service::QueryEngine::CreateFromSnapshot(snap.value(), {});
+  ASSERT_TRUE(engine.ok());
+  const auto answer = engine.value()->Submit(probe).get();
+  EXPECT_EQ(answer.status.code(), StatusCode::kCorruption)
+      << answer.status.ToString();
+  // And a batch containing the poisoned probe plus clean queries fails only
+  // the poisoned answers.
+  const std::vector<geom::Point> batch{probe, probe};
+  const auto answers = engine.value()->ExecuteBatch(batch);
+  for (const auto& a : answers) {
+    EXPECT_EQ(a.status.code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadChecksumMismatchCaughtWithVerify) {
+  // Flip the last byte — inside the records section (it is the final one).
+  const size_t off = image_.size() - 1;
+  auto lazy = OpenMutated(off);
+  ASSERT_TRUE(lazy.ok())
+      << "default open must not read the records payload: "
+      << lazy.status().ToString();
+  EXPECT_EQ(lazy.value()->VerifyPayload().code(), StatusCode::kCorruption);
+  auto verified = OpenMutated(off, {.verify_payload = true});
+  EXPECT_EQ(verified.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(verified.status().message().find("checksum"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AdoptSnapshot preconditions (the hot-swap stress lives in service_test)
+// ---------------------------------------------------------------------------
+
+TEST(AdoptSnapshotTest, RequiresSnapshotServingAndMatchingDim) {
+  uncertain::Dataset db = RandomDatabase(8, 2, 80);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+  auto snap2d = builder.value()->Seal();
+  ASSERT_TRUE(snap2d.ok());
+
+  // Borrowed-index engine: adoption is rejected.
+  service::EngineBackends borrowed;
+  borrowed.pv = &builder.value()->index();
+  auto legacy = service::QueryEngine::Create(&db, borrowed, {});
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value()->AdoptSnapshot(snap2d.value()).code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(legacy.value()->snapshot(), nullptr);
+
+  // Snapshot engine: null and dimension-mismatched snapshots are rejected.
+  auto engine = service::QueryEngine::CreateFromSnapshot(snap2d.value(), {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->snapshot(), snap2d.value());
+  EXPECT_EQ(engine.value()->AdoptSnapshot(nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  uncertain::Dataset db3 = RandomDatabase(9, 3, 80);
+  auto builder3 = pv::PvIndexBuilder::Build(db3);
+  ASSERT_TRUE(builder3.ok());
+  auto snap3d = builder3.value()->Seal();
+  ASSERT_TRUE(snap3d.ok());
+  EXPECT_EQ(engine.value()->AdoptSnapshot(snap3d.value()).code(),
+            StatusCode::kInvalidArgument);
+
+  // A matching snapshot is adopted and served.
+  EXPECT_TRUE(engine.value()->AdoptSnapshot(snap2d.value()).ok());
+}
+
+}  // namespace
+}  // namespace pvdb
