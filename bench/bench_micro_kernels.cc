@@ -9,10 +9,19 @@
 //
 //   $ ./bench_micro_kernels                  # google-benchmark suite
 //   $ ./bench_micro_kernels --hotpath_json   # scalar-vs-batched JSON only
+//   $ ./bench_micro_kernels --simd_json      # per-SIMD-level JSON + gate
 //
 // --hotpath_json prints a machine-readable comparison of the scalar
 // Step1PruneMinMax baseline against the SoA block kernel (the
 // BENCH_hotpath.json source of truth) and exits.
+//
+// --simd_json sweeps every usable dispatch level (geom::ForceSimdLevel) over
+// the fused Step-1 distance kernel and the full block prune, printing one
+// machine-readable line per (level, leaf size) with the kernel width (the
+// BENCH_simd.json source of truth; CI appends it to the hotpath artifact).
+// Exit status doubles as a smoke regression gate: nonzero when the
+// CPUID-dispatched kernel is slower than the forced scalar reference beyond
+// a generous noise threshold at every leaf size.
 
 #include <benchmark/benchmark.h>
 
@@ -246,11 +255,96 @@ int RunHotpathJson() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --simd_json: per-dispatch-level timing of the Step-1 kernels + smoke gate
+// ---------------------------------------------------------------------------
+
+int RunSimdJson() {
+  const int dim = 3;
+  const size_t sizes[] = {64, 256, 1024};
+  const geom::SimdLevel levels[] = {
+      geom::SimdLevel::kScalar, geom::SimdLevel::kSse2,
+      geom::SimdLevel::kAvx2, geom::SimdLevel::kAvx512};
+  const geom::SimdLevel dispatched = geom::MaxUsableSimdLevel();
+
+  // ns per call of the fused distance kernel, [level][size index]; NaN for
+  // levels this build+CPU can't run (emitted as absent, gated as absent).
+  double fused_ns[4][3];
+  std::printf("[\n");
+  bool first = true;
+  for (const geom::SimdLevel level : levels) {
+    const auto li = static_cast<size_t>(level);
+    for (size_t si = 0; si < 3; ++si) fused_ns[li][si] = -1.0;
+    if (level > dispatched) continue;
+    if (!geom::ForceSimdLevel(level)) continue;
+    for (size_t si = 0; si < 3; ++si) {
+      const size_t n = sizes[si];
+      Step1Fixture fx(dim, n);
+      geom::RectSoA soa(dim);
+      soa.Reserve(n);
+      for (const auto& e : fx.entries) soa.PushBack(e.region);
+      std::vector<double> mn(n), mx(n);
+      const int reps = static_cast<int>(8u * 1024u * 1024u / n);
+      size_t qi = 0;
+      const double kernel_ns = TimeNsPerOp(
+          [&] {
+            geom::MinMaxDistSqBatch(soa, fx.queries[qi++ & 63], mn, mx);
+            benchmark::DoNotOptimize(mn.data());
+            benchmark::DoNotOptimize(mx.data());
+          },
+          reps);
+      fused_ns[li][si] = kernel_ns;
+      pv::QueryScratch scratch;
+      const double prune_ns = TimeNsPerOp(
+          [&] {
+            benchmark::DoNotOptimize(
+                pv::Step1PruneMinMax(fx.block, fx.queries[qi++ & 63],
+                                     &scratch));
+          },
+          reps);
+      const double scalar_kernel_ns =
+          fused_ns[static_cast<size_t>(geom::SimdLevel::kScalar)][si];
+      std::printf(
+          "%s  {\"kernel\": \"step1_simd_level\", \"simd_level\": \"%s\", "
+          "\"kernel_width_doubles\": %d, \"dispatched\": %s, \"dim\": %d, "
+          "\"leaf_entries\": %zu, \"min_max_dist_sq_batch_ns\": %.1f, "
+          "\"step1_prune_block_ns\": %.1f, \"kernel_speedup_vs_scalar\": "
+          "%.2f}",
+          first ? "" : ",\n", geom::SimdLevelName(level),
+          geom::SimdLaneWidthDoubles(level),
+          level == dispatched ? "true" : "false", dim, n, kernel_ns, prune_ns,
+          scalar_kernel_ns / kernel_ns);
+      first = false;
+    }
+  }
+  std::printf("\n]\n");
+
+  // Smoke gate: the level CPUID dispatch would pick must not lose to the
+  // scalar reference at every size (generous 1.25x bound — this catches a
+  // miscompiled or misdispatched kernel, not a 5% regression).
+  constexpr double kSlack = 1.25;
+  bool gate_ok = false;
+  for (size_t si = 0; si < 3; ++si) {
+    const double scalar =
+        fused_ns[static_cast<size_t>(geom::SimdLevel::kScalar)][si];
+    const double active = fused_ns[static_cast<size_t>(dispatched)][si];
+    if (scalar > 0.0 && active > 0.0 && active <= scalar * kSlack) {
+      gate_ok = true;
+    }
+  }
+  std::fprintf(stderr, "simd gate: dispatched=%s %s\n",
+               geom::SimdLevelName(dispatched),
+               gate_ok ? "ok (within 1.25x of scalar at >=1 size)"
+                       : "FAIL (slower than 1.25x scalar at every size)");
+  return gate_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hotpath_json") == 0) return RunHotpathJson();
+    if (std::strcmp(argv[i], "--simd_json") == 0) return RunSimdJson();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

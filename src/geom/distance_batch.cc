@@ -5,23 +5,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/geom/distance_batch_isa.h"
+#include "src/geom/simd_dispatch.h"
+
 namespace pvdb::geom {
 
-// Both kernels accumulate out[i] across dimensions in ascending dimension
-// order — the same sequence of partial sums the scalar functions produce for
-// one rectangle — so results match bit for bit. The inner loops are
-// branch-free (max/abs select instead of compare-and-jump) and read nothing
-// but the two contiguous bound arrays of the current dimension.
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (simd::kScalarTable). These are the semantics
+// every explicit-SIMD level must reproduce bit for bit: out[i] accumulates
+// across dimensions in ascending dimension order — the same sequence of
+// partial sums the per-Rect scalar functions in distance.h produce — and
+// the inner loops are branch-free (max/abs select instead of
+// compare-and-jump) so GCC's autovectorizer still turns them into 16-byte
+// SSE2 at -O3. "Scalar" in the dispatch sense means no explicit intrinsics,
+// not necessarily scalar instructions.
+// ---------------------------------------------------------------------------
 
-void MinDistSqBatch(const RectSoA& rects, const Point& q,
-                    std::span<double> out) {
-  PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
-  const size_t n = rects.size();
-  PVDB_DCHECK(out.size() >= n);
-  double* o = out.data();
-  for (int d = 0; d < rects.dim(); ++d) {
-    const double* lo = rects.lo(d).data();
-    const double* hi = rects.hi(d).data();
+namespace simd {
+
+void MinDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
     const double p = q[d];
     if (d == 0) {
       // First dimension writes instead of accumulating — saves a zeroing
@@ -31,22 +37,122 @@ void MinDistSqBatch(const RectSoA& rects, const Point& q,
         // branch exactly (lo <= hi, so at most one difference is positive).
         // Plain ternaries (not std::max's reference form) so GCC
         // if-converts and vectorizes.
-        const double below = lo[i] - p;
-        const double above = p - hi[i];
-        const double big = below > above ? below : above;
-        const double dist = big > 0.0 ? big : 0.0;
-        o[i] = dist * dist;
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
       }
     } else {
       for (size_t i = 0; i < n; ++i) {
-        const double below = lo[i] - p;
-        const double above = p - hi[i];
-        const double big = below > above ? below : above;
-        const double dist = big > 0.0 ? big : 0.0;
-        o[i] += dist * dist;
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
       }
     }
   }
+}
+
+void MaxDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    if (d == 0) {
+      for (size_t i = 0; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MinMaxDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                             const double* q, int dim, size_t n,
+                             double* min_out, double* max_out) {
+  // restrict: every array is a distinct vector allocation, so the
+  // vectorizer can skip runtime alias-check versioning.
+  double* __restrict__ mn = min_out;
+  double* __restrict__ mx = max_out;
+  for (int d = 0; d < dim; ++d) {
+    const double* __restrict__ lod = lo[d];
+    const double* __restrict__ hid = hi[d];
+    const double p = q[d];
+    if (d == 0) {
+      for (size_t i = 0; i < n; ++i) {
+        const double min_d = ScalarMinDist(lod[i], hid[i], p);
+        const double max_d = ScalarMaxDist(lod[i], hid[i], p);
+        mn[i] = min_d * min_d;
+        mx[i] = max_d * max_d;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double min_d = ScalarMinDist(lod[i], hid[i], p);
+        const double max_d = ScalarMaxDist(lod[i], hid[i], p);
+        mn[i] += min_d * min_d;
+        mx[i] += max_d * max_d;
+      }
+    }
+  }
+}
+
+size_t CompressIdsLeScalar(const double* keys, size_t n, double threshold,
+                           const uint64_t* ids, uint64_t* out) {
+  // Branchless compaction: unconditional store + predicated advance. The
+  // cursor never outruns the read index, so out[count] stays in the first
+  // n slots the contract reserves.
+  size_t count = 0;
+  for (size_t k = 0; k < n; ++k) {
+    out[count] = ids[k];
+    count += keys[k] <= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+const KernelTable kScalarTable = {
+    MinDistSqBatchScalar,    MaxDistSqBatchScalar, MinMaxDistSqBatchScalar,
+    CompressIdsLeScalar,     SimdLevel::kScalar,   /*width_doubles=*/1,
+    "scalar",
+};
+
+}  // namespace simd
+
+// ---------------------------------------------------------------------------
+// Public entry points: validate, gather the per-dimension raw pointers and
+// dispatch through the active kernel table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-dimension pointer gather for one RectSoA + query (the raw shape the
+/// per-ISA kernels consume; see distance_batch_isa.h for why raw).
+struct SoAView {
+  const double* lo[kMaxDim];
+  const double* hi[kMaxDim];
+  double q[kMaxDim];
+  int dim;
+
+  SoAView(const RectSoA& rects, const Point& point) : dim(rects.dim()) {
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = rects.lo(d).data();
+      hi[d] = rects.hi(d).data();
+      q[d] = point[d];
+    }
+  }
+};
+
+}  // namespace
+
+void MinDistSqBatch(const RectSoA& rects, const Point& q,
+                    std::span<double> out) {
+  PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
+  const size_t n = rects.size();
+  PVDB_DCHECK(out.size() >= n);
+  if (n == 0) return;
+  const SoAView v(rects, q);
+  simd::ActiveTable().min_dist(v.lo, v.hi, v.q, v.dim, n, out.data());
 }
 
 void MaxDistSqBatch(const RectSoA& rects, const Point& q,
@@ -54,27 +160,9 @@ void MaxDistSqBatch(const RectSoA& rects, const Point& q,
   PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
   const size_t n = rects.size();
   PVDB_DCHECK(out.size() >= n);
-  double* o = out.data();
-  for (int d = 0; d < rects.dim(); ++d) {
-    const double* lo = rects.lo(d).data();
-    const double* hi = rects.hi(d).data();
-    const double p = q[d];
-    if (d == 0) {
-      for (size_t i = 0; i < n; ++i) {
-        const double dlo = std::abs(p - lo[i]);
-        const double dhi = std::abs(p - hi[i]);
-        const double dist = std::max(dlo, dhi);
-        o[i] = dist * dist;
-      }
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        const double dlo = std::abs(p - lo[i]);
-        const double dhi = std::abs(p - hi[i]);
-        const double dist = std::max(dlo, dhi);
-        o[i] += dist * dist;
-      }
-    }
-  }
+  if (n == 0) return;
+  const SoAView v(rects, q);
+  simd::ActiveTable().max_dist(v.lo, v.hi, v.q, v.dim, n, out.data());
 }
 
 void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
@@ -82,40 +170,15 @@ void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
   PVDB_DCHECK(rects.empty() || rects.dim() == q.dim());
   const size_t n = rects.size();
   PVDB_DCHECK(min_out.size() >= n && max_out.size() >= n);
-  // restrict: every array is a distinct vector allocation, so the
-  // vectorizer can skip runtime alias-check versioning.
-  double* __restrict__ mn = min_out.data();
-  double* __restrict__ mx = max_out.data();
-  for (int d = 0; d < rects.dim(); ++d) {
-    const double* __restrict__ lo = rects.lo(d).data();
-    const double* __restrict__ hi = rects.hi(d).data();
-    const double p = q[d];
-    if (d == 0) {
-      for (size_t i = 0; i < n; ++i) {
-        const double below = lo[i] - p;
-        const double above = p - hi[i];
-        const double big = below > above ? below : above;
-        const double min_d = big > 0.0 ? big : 0.0;
-        const double dlo = std::abs(p - lo[i]);
-        const double dhi = std::abs(p - hi[i]);
-        const double max_d = dlo > dhi ? dlo : dhi;
-        mn[i] = min_d * min_d;
-        mx[i] = max_d * max_d;
-      }
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        const double below = lo[i] - p;
-        const double above = p - hi[i];
-        const double big = below > above ? below : above;
-        const double min_d = big > 0.0 ? big : 0.0;
-        const double dlo = std::abs(p - lo[i]);
-        const double dhi = std::abs(p - hi[i]);
-        const double max_d = dlo > dhi ? dlo : dhi;
-        mn[i] += min_d * min_d;
-        mx[i] += max_d * max_d;
-      }
-    }
-  }
+  if (n == 0) return;
+  const SoAView v(rects, q);
+  simd::ActiveTable().min_max(v.lo, v.hi, v.q, v.dim, n, min_out.data(),
+                              max_out.data());
+}
+
+size_t CompressIdsLe(const double* keys, size_t n, double threshold,
+                     const uint64_t* ids, uint64_t* out) {
+  return simd::ActiveTable().compress_ids_le(keys, n, threshold, ids, out);
 }
 
 }  // namespace pvdb::geom

@@ -6,19 +6,28 @@
 // the vectorizer. These kernels take per-dimension contiguous lo/hi spans
 // and run dimension-outer, branch-free inner loops over them, so a leaf's
 // worth of MinDistSq/MaxDistSq values is computed in a handful of streaming
-// passes. Results are bit-identical to calling the scalar functions entry by
-// entry: every per-element operation and accumulation order is preserved
-// (asserted by tests/hotpath_test.cc); the scalar functions remain the
-// reference implementation.
+// passes.
+//
+// Every entry point below is runtime-dispatched (simd_dispatch.h) over
+// explicit SSE2 / AVX2 / AVX-512 implementations compiled in per-ISA
+// translation units, selected once by CPUID and overridable with
+// PVDB_SIMD_LEVEL or geom::ForceSimdLevel. Results are bit-identical to
+// calling the scalar functions entry by entry AT EVERY LEVEL: identical
+// per-element IEEE operations in identical accumulation order, scalar tail
+// lanes, no FMA (asserted per level by tests/simd_dispatch_test.cc and
+// tests/hotpath_test.cc); the scalar functions remain the reference
+// implementation.
 
 #ifndef PVDB_GEOM_DISTANCE_BATCH_H_
 #define PVDB_GEOM_DISTANCE_BATCH_H_
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "src/geom/rect.h"
+#include "src/geom/simd_dispatch.h"
 
 namespace pvdb::geom {
 
@@ -114,6 +123,17 @@ void MaxDistSqBatch(const RectSoA& rects, const Point& q,
 /// what the Step-1 block prune calls.
 void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
                        std::span<double> min_out, std::span<double> max_out);
+
+/// Ordered masked compress — the Step-1 candidate-compaction kernel
+/// (pv::Step1PruneMinMax): out[j] = ids[k] for the j-th k, ascending, with
+/// keys[k] <= threshold; returns the count kept. The kept id sequence is
+/// identical at every dispatch level (AVX-512 vcompressq-style masked
+/// compress-store, AVX2 4-lane shuffle table, scalar predicated loop).
+/// `out` must have room for n entries and must not alias keys/ids: the
+/// vector paths store a full vector at the write cursor and advance it by
+/// popcount, so slots at and past the returned count are scratch.
+size_t CompressIdsLe(const double* keys, size_t n, double threshold,
+                     const uint64_t* ids, uint64_t* out);
 
 }  // namespace pvdb::geom
 

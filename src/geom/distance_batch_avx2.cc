@@ -1,0 +1,223 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Explicit 4-lane AVX2 batch kernels (simd::kAvx2Table), compiled with
+// -mavx2 -ffp-contract=off and ONLY ever entered through the dispatch table
+// after a CPUID probe. Per-lane operation order matches the scalar
+// reference exactly (see distance_batch_isa.h): sub / MAXPD-select / abs /
+// mul / add, tails scalar, no FMA — forced levels are bit-identical.
+//
+// CompressIdsLeAvx2 is the AVX2 stand-in for AVX-512's vpcompressq: a
+// 16-entry shuffle table keyed by the 4-bit comparison movemask permutes
+// the kept 64-bit ids to the vector front (as two 32-bit lanes each via
+// vpermd, which crosses 128-bit lanes; there is no 64-bit cross-lane
+// permute in AVX2), then one unconditional store + popcount advance.
+
+#include "src/geom/distance_batch_isa.h"
+
+#if defined(PVDB_SIMD_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+namespace pvdb::geom::simd {
+
+namespace {
+
+inline __m256d MinDistLanes(__m256d lo, __m256d hi, __m256d p) {
+  const __m256d below = _mm256_sub_pd(lo, p);
+  const __m256d above = _mm256_sub_pd(p, hi);
+  // MAXPD(a, b) = a > b ? a : b, ties/NaN to b — the scalar ternary.
+  const __m256d big = _mm256_max_pd(below, above);
+  return _mm256_max_pd(big, _mm256_setzero_pd());
+}
+
+inline __m256d MaxDistLanes(__m256d lo, __m256d hi, __m256d p) {
+  const __m256d sign =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(static_cast<int64_t>(1) << 63));
+  const __m256d dlo = _mm256_andnot_pd(sign, _mm256_sub_pd(p, lo));
+  const __m256d dhi = _mm256_andnot_pd(sign, _mm256_sub_pd(p, hi));
+  return _mm256_max_pd(dlo, dhi);
+}
+
+/// vpermd index table: row m compacts the 64-bit lanes whose mask bits are
+/// set (each as its two 32-bit halves) to the front, in ascending lane
+/// order — compress must preserve the input sequence. Tail rows repeat
+/// lane 0; those slots land at or past the write cursor's advance and are
+/// scratch by the CompressIdsLe contract.
+struct CompressTable {
+  alignas(32) uint32_t perm[16][8];
+};
+
+constexpr CompressTable MakeCompressTable() {
+  CompressTable t{};
+  for (int m = 0; m < 16; ++m) {
+    int out = 0;
+    for (int b = 0; b < 4; ++b) {
+      if ((m >> b) & 1) {
+        t.perm[m][2 * out] = static_cast<uint32_t>(2 * b);
+        t.perm[m][2 * out + 1] = static_cast<uint32_t>(2 * b + 1);
+        ++out;
+      }
+    }
+    for (; out < 4; ++out) {
+      t.perm[m][2 * out] = 0;
+      t.perm[m][2 * out + 1] = 1;
+    }
+  }
+  return t;
+}
+
+constexpr CompressTable kCompressTable = MakeCompressTable();
+
+}  // namespace
+
+void MinDistSqBatchAvx2(const double* const* lo, const double* const* hi,
+                        const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m256d pv = _mm256_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d dist =
+            MinDistLanes(_mm256_loadu_pd(lod + i), _mm256_loadu_pd(hid + i),
+                         pv);
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d dist =
+            MinDistLanes(_mm256_loadu_pd(lod + i), _mm256_loadu_pd(hid + i),
+                         pv);
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i),
+                                                _mm256_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MaxDistSqBatchAvx2(const double* const* lo, const double* const* hi,
+                        const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m256d pv = _mm256_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d dist =
+            MaxDistLanes(_mm256_loadu_pd(lod + i), _mm256_loadu_pd(hid + i),
+                         pv);
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d dist =
+            MaxDistLanes(_mm256_loadu_pd(lod + i), _mm256_loadu_pd(hid + i),
+                         pv);
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i),
+                                                _mm256_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MinMaxDistSqBatchAvx2(const double* const* lo, const double* const* hi,
+                           const double* q, int dim, size_t n, double* min_out,
+                           double* max_out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m256d pv = _mm256_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d lov = _mm256_loadu_pd(lod + i);
+        const __m256d hiv = _mm256_loadu_pd(hid + i);
+        const __m256d mind = MinDistLanes(lov, hiv, pv);
+        const __m256d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm256_storeu_pd(min_out + i, _mm256_mul_pd(mind, mind));
+        _mm256_storeu_pd(max_out + i, _mm256_mul_pd(maxd, maxd));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] = mind * mind;
+        max_out[i] = maxd * maxd;
+      }
+    } else {
+      for (; i + 4 <= n; i += 4) {
+        const __m256d lov = _mm256_loadu_pd(lod + i);
+        const __m256d hiv = _mm256_loadu_pd(hid + i);
+        const __m256d mind = MinDistLanes(lov, hiv, pv);
+        const __m256d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm256_storeu_pd(min_out + i, _mm256_add_pd(_mm256_loadu_pd(min_out + i),
+                                                    _mm256_mul_pd(mind, mind)));
+        _mm256_storeu_pd(max_out + i, _mm256_add_pd(_mm256_loadu_pd(max_out + i),
+                                                    _mm256_mul_pd(maxd, maxd)));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] += mind * mind;
+        max_out[i] += maxd * maxd;
+      }
+    }
+  }
+}
+
+size_t CompressIdsLeAvx2(const double* keys, size_t n, double threshold,
+                         const uint64_t* ids, uint64_t* out) {
+  const __m256d tv = _mm256_set1_pd(threshold);
+  size_t count = 0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // LE_OQ == the scalar `<=` (ordered, false on NaN).
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(keys + k), tv, _CMP_LE_OQ));
+    const __m256i id4 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + k));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kCompressTable.perm[m]));
+    // Full-vector store: count <= k here, so out[count .. count+3] stays
+    // inside the n slots the contract reserves; popcount advances past
+    // only the kept lanes.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count),
+                        _mm256_permutevar8x32_epi32(id4, perm));
+    count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; k < n; ++k) {
+    out[count] = ids[k];
+    count += keys[k] <= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+const KernelTable kAvx2Table = {
+    MinDistSqBatchAvx2,  MaxDistSqBatchAvx2, MinMaxDistSqBatchAvx2,
+    CompressIdsLeAvx2,   SimdLevel::kAvx2,   /*width_doubles=*/4,
+    "avx2",
+};
+
+}  // namespace pvdb::geom::simd
+
+#endif  // PVDB_SIMD_COMPILE_AVX2

@@ -1,0 +1,191 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Explicit 8-lane AVX-512 batch kernels (simd::kAvx512Table), compiled with
+// -mavx512f -mavx512dq -mavx512vl -ffp-contract=off and ONLY ever entered
+// through the dispatch table after a CPUID probe of F+DQ+VL. Per-lane
+// operation order matches the scalar reference exactly (see
+// distance_batch_isa.h): sub / MAXPD-select / abs / mul / add, tails
+// scalar, no FMA — forced levels are bit-identical.
+//
+// CompressIdsLeAvx512 is the real thing the AVX2 shuffle table imitates:
+// vcmppd to a mask register, then vpcompressq's memory form
+// (_mm512_mask_compressstoreu_epi64) writes exactly the kept ids, packed,
+// in lane order.
+
+#include "src/geom/distance_batch_isa.h"
+
+#if defined(PVDB_SIMD_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+namespace pvdb::geom::simd {
+
+namespace {
+
+inline __m512d MinDistLanes(__m512d lo, __m512d hi, __m512d p) {
+  const __m512d below = _mm512_sub_pd(lo, p);
+  const __m512d above = _mm512_sub_pd(p, hi);
+  // MAXPD(a, b) = a > b ? a : b, ties/NaN to b — the scalar ternary.
+  const __m512d big = _mm512_max_pd(below, above);
+  return _mm512_max_pd(big, _mm512_setzero_pd());
+}
+
+inline __m512d MaxDistLanes(__m512d lo, __m512d hi, __m512d p) {
+  // and_pd is the AVX512DQ bit the CPUID probe demands.
+  const __m512d sign =
+      _mm512_castsi512_pd(_mm512_set1_epi64(static_cast<int64_t>(1) << 63));
+  const __m512d dlo = _mm512_andnot_pd(sign, _mm512_sub_pd(p, lo));
+  const __m512d dhi = _mm512_andnot_pd(sign, _mm512_sub_pd(p, hi));
+  return _mm512_max_pd(dlo, dhi);
+}
+
+}  // namespace
+
+void MinDistSqBatchAvx512(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m512d pv = _mm512_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d dist =
+            MinDistLanes(_mm512_loadu_pd(lod + i), _mm512_loadu_pd(hid + i),
+                         pv);
+        _mm512_storeu_pd(out + i, _mm512_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d dist =
+            MinDistLanes(_mm512_loadu_pd(lod + i), _mm512_loadu_pd(hid + i),
+                         pv);
+        _mm512_storeu_pd(out + i, _mm512_add_pd(_mm512_loadu_pd(out + i),
+                                                _mm512_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MaxDistSqBatchAvx512(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m512d pv = _mm512_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d dist =
+            MaxDistLanes(_mm512_loadu_pd(lod + i), _mm512_loadu_pd(hid + i),
+                         pv);
+        _mm512_storeu_pd(out + i, _mm512_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d dist =
+            MaxDistLanes(_mm512_loadu_pd(lod + i), _mm512_loadu_pd(hid + i),
+                         pv);
+        _mm512_storeu_pd(out + i, _mm512_add_pd(_mm512_loadu_pd(out + i),
+                                                _mm512_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MinMaxDistSqBatchAvx512(const double* const* lo, const double* const* hi,
+                             const double* q, int dim, size_t n,
+                             double* min_out, double* max_out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m512d pv = _mm512_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d lov = _mm512_loadu_pd(lod + i);
+        const __m512d hiv = _mm512_loadu_pd(hid + i);
+        const __m512d mind = MinDistLanes(lov, hiv, pv);
+        const __m512d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm512_storeu_pd(min_out + i, _mm512_mul_pd(mind, mind));
+        _mm512_storeu_pd(max_out + i, _mm512_mul_pd(maxd, maxd));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] = mind * mind;
+        max_out[i] = maxd * maxd;
+      }
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        const __m512d lov = _mm512_loadu_pd(lod + i);
+        const __m512d hiv = _mm512_loadu_pd(hid + i);
+        const __m512d mind = MinDistLanes(lov, hiv, pv);
+        const __m512d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm512_storeu_pd(min_out + i,
+                         _mm512_add_pd(_mm512_loadu_pd(min_out + i),
+                                       _mm512_mul_pd(mind, mind)));
+        _mm512_storeu_pd(max_out + i,
+                         _mm512_add_pd(_mm512_loadu_pd(max_out + i),
+                                       _mm512_mul_pd(maxd, maxd)));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] += mind * mind;
+        max_out[i] += maxd * maxd;
+      }
+    }
+  }
+}
+
+size_t CompressIdsLeAvx512(const double* keys, size_t n, double threshold,
+                           const uint64_t* ids, uint64_t* out) {
+  const __m512d tv = _mm512_set1_pd(threshold);
+  size_t count = 0;
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    // LE_OQ == the scalar `<=` (ordered, false on NaN).
+    const __mmask8 m =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(keys + k), tv, _CMP_LE_OQ);
+    // Masked compress-store writes exactly popcount(m) ids, packed in lane
+    // order — never past the slots the contract reserves.
+    _mm512_mask_compressstoreu_epi64(out + count, m,
+                                     _mm512_loadu_si512(ids + k));
+    count += static_cast<size_t>(__builtin_popcount(m));
+  }
+  for (; k < n; ++k) {
+    out[count] = ids[k];
+    count += keys[k] <= threshold ? 1 : 0;
+  }
+  return count;
+}
+
+const KernelTable kAvx512Table = {
+    MinDistSqBatchAvx512, MaxDistSqBatchAvx512, MinMaxDistSqBatchAvx512,
+    CompressIdsLeAvx512,  SimdLevel::kAvx512,   /*width_doubles=*/8,
+    "avx512",
+};
+
+}  // namespace pvdb::geom::simd
+
+#endif  // PVDB_SIMD_COMPILE_AVX512

@@ -1,0 +1,116 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Internal seam between the dispatched batch-kernel wrappers
+// (distance_batch.cc), the resolver (simd_dispatch.cc) and the per-ISA
+// kernel translation units (distance_batch_{sse2,avx2,avx512}.cc). Not part
+// of the public API.
+//
+// Everything here is raw-pointer shaped on purpose: the per-ISA TUs compile
+// with -mavx2/-mavx512* flags, and any header-defined inline function they
+// instantiate could be emitted as a linker-shared comdat containing wide
+// (VEX/EVEX) encodings that the linker may then pick for *baseline* callers
+// — an illegal-instruction fault on older CPUs. So this header includes no
+// geom types, and the only inline helpers are `static` (internal linkage:
+// each TU keeps its own copy, nothing is shared through the linker).
+//
+// Kernel contract (identical at every level, bit for bit):
+//   - lo/hi are `dim` per-dimension pointers to n contiguous doubles each
+//     (the RectSoA arrays); q is the query point's first `dim` coords.
+//   - Accumulation runs dimension-outer in ascending d: out[i] is written
+//     at d == 0 and summed into for d > 0 — the scalar reference's exact
+//     partial-sum sequence per element.
+//   - Per-lane ops are sub, max-select (a > b ? a : b, ties and NaN
+//     resolving to b — MAXPD semantics), abs (sign-bit clear), mul, add.
+//     All are exactly-rounded IEEE double ops, so equal inputs give equal
+//     bytes at every width. No FMA, no reassociation.
+//   - Tail lanes (n % width) run the scalar helpers below.
+
+#ifndef PVDB_GEOM_DISTANCE_BATCH_ISA_H_
+#define PVDB_GEOM_DISTANCE_BATCH_ISA_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/geom/simd_dispatch.h"
+
+namespace pvdb::geom::simd {
+
+/// out[i] = sum over d of the per-dimension min/max distance contribution.
+using BatchDistFn = void (*)(const double* const* lo, const double* const* hi,
+                             const double* q, int dim, size_t n, double* out);
+
+/// Fused form writing both bounds per element in one traversal.
+using BatchMinMaxFn = void (*)(const double* const* lo,
+                               const double* const* hi, const double* q,
+                               int dim, size_t n, double* min_out,
+                               double* max_out);
+
+/// Ordered masked compress; see geom::CompressIdsLe for the contract.
+using CompressIdsFn = size_t (*)(const double* keys, size_t n,
+                                 double threshold, const uint64_t* ids,
+                                 uint64_t* out);
+
+/// One ISA level's kernel set. Tables are immutable statics defined in the
+/// TU that owns the level's kernels, so a table exists iff its code was
+/// compiled.
+struct KernelTable {
+  BatchDistFn min_dist;
+  BatchDistFn max_dist;
+  BatchMinMaxFn min_max;
+  CompressIdsFn compress_ids_le;
+  SimdLevel level;
+  int width_doubles;
+  const char* name;
+};
+
+/// The table dispatch currently points at (resolving it on first use).
+const KernelTable& ActiveTable();
+
+// Scalar per-element reference ops, shared source of truth for every TU's
+// tail lanes and for the scalar kernels themselves. `static`: see header
+// comment — compiled per-TU, never linker-shared across ISA boundaries.
+
+/// max(lo - p, p - hi, 0): distance from p to [lo, hi] on one axis. The
+/// ternaries match MAXPD exactly (ties and the -0.0/+0.0 cases resolve to
+/// the second operand).
+static inline double ScalarMinDist(double lo, double hi, double p) {
+  const double below = lo - p;
+  const double above = p - hi;
+  const double big = below > above ? below : above;
+  return big > 0.0 ? big : 0.0;
+}
+
+/// max(|p - lo|, |p - hi|): farthest-corner distance on one axis.
+static inline double ScalarMaxDist(double lo, double hi, double p) {
+  const double dlo = std::abs(p - lo);
+  const double dhi = std::abs(p - hi);
+  return dlo > dhi ? dlo : dhi;
+}
+
+// Scalar kernels (distance_batch.cc, baseline codegen) — kScalarTable's
+// entries, and the compress fallback for levels without a native one.
+void MinDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out);
+void MaxDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                          const double* q, int dim, size_t n, double* out);
+void MinMaxDistSqBatchScalar(const double* const* lo, const double* const* hi,
+                             const double* q, int dim, size_t n,
+                             double* min_out, double* max_out);
+size_t CompressIdsLeScalar(const double* keys, size_t n, double threshold,
+                           const uint64_t* ids, uint64_t* out);
+
+extern const KernelTable kScalarTable;
+#if defined(PVDB_SIMD_X86)
+extern const KernelTable kSse2Table;
+#endif
+#if defined(PVDB_SIMD_COMPILE_AVX2)
+extern const KernelTable kAvx2Table;
+#endif
+#if defined(PVDB_SIMD_COMPILE_AVX512)
+extern const KernelTable kAvx512Table;
+#endif
+
+}  // namespace pvdb::geom::simd
+
+#endif  // PVDB_GEOM_DISTANCE_BATCH_ISA_H_

@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Explicit 2-lane SSE2 batch kernels (simd::kSse2Table). SSE2 is the x86-64
+// baseline, so this TU needs no -m flags — it exists so the "sse2" dispatch
+// level is a fixed, hand-written artifact rather than whatever the
+// autovectorizer happened to emit, giving the parity tests a stable rung
+// between scalar and AVX2. Per-lane operation order matches the scalar
+// reference exactly (see distance_batch_isa.h); compiled -ffp-contract=off.
+
+#include "src/geom/distance_batch_isa.h"
+
+#if defined(PVDB_SIMD_X86)
+
+#include <emmintrin.h>
+
+namespace pvdb::geom::simd {
+
+namespace {
+
+// MAXPD(a, b) = a > b ? a : b with ties and NaN resolving to b — the exact
+// ternary ScalarMinDist/ScalarMaxDist use, so each lane reproduces the
+// scalar reference bit for bit.
+
+inline __m128d MinDistLanes(__m128d lo, __m128d hi, __m128d p) {
+  const __m128d below = _mm_sub_pd(lo, p);
+  const __m128d above = _mm_sub_pd(p, hi);
+  const __m128d big = _mm_max_pd(below, above);
+  return _mm_max_pd(big, _mm_setzero_pd());
+}
+
+inline __m128d MaxDistLanes(__m128d lo, __m128d hi, __m128d p) {
+  // abs = clear the sign bit, exactly std::abs.
+  const __m128d sign =
+      _mm_castsi128_pd(_mm_set1_epi64x(static_cast<int64_t>(1) << 63));
+  const __m128d dlo = _mm_andnot_pd(sign, _mm_sub_pd(p, lo));
+  const __m128d dhi = _mm_andnot_pd(sign, _mm_sub_pd(p, hi));
+  return _mm_max_pd(dlo, dhi);
+}
+
+}  // namespace
+
+void MinDistSqBatchSse2(const double* const* lo, const double* const* hi,
+                        const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m128d pv = _mm_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d dist =
+            MinDistLanes(_mm_loadu_pd(lod + i), _mm_loadu_pd(hid + i), pv);
+        _mm_storeu_pd(out + i, _mm_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d dist =
+            MinDistLanes(_mm_loadu_pd(lod + i), _mm_loadu_pd(hid + i), pv);
+        _mm_storeu_pd(out + i,
+                      _mm_add_pd(_mm_loadu_pd(out + i), _mm_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMinDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MaxDistSqBatchSse2(const double* const* lo, const double* const* hi,
+                        const double* q, int dim, size_t n, double* out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m128d pv = _mm_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d dist =
+            MaxDistLanes(_mm_loadu_pd(lod + i), _mm_loadu_pd(hid + i), pv);
+        _mm_storeu_pd(out + i, _mm_mul_pd(dist, dist));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] = dist * dist;
+      }
+    } else {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d dist =
+            MaxDistLanes(_mm_loadu_pd(lod + i), _mm_loadu_pd(hid + i), pv);
+        _mm_storeu_pd(out + i,
+                      _mm_add_pd(_mm_loadu_pd(out + i), _mm_mul_pd(dist, dist)));
+      }
+      for (; i < n; ++i) {
+        const double dist = ScalarMaxDist(lod[i], hid[i], p);
+        out[i] += dist * dist;
+      }
+    }
+  }
+}
+
+void MinMaxDistSqBatchSse2(const double* const* lo, const double* const* hi,
+                           const double* q, int dim, size_t n, double* min_out,
+                           double* max_out) {
+  for (int d = 0; d < dim; ++d) {
+    const double* lod = lo[d];
+    const double* hid = hi[d];
+    const double p = q[d];
+    const __m128d pv = _mm_set1_pd(p);
+    size_t i = 0;
+    if (d == 0) {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d lov = _mm_loadu_pd(lod + i);
+        const __m128d hiv = _mm_loadu_pd(hid + i);
+        const __m128d mind = MinDistLanes(lov, hiv, pv);
+        const __m128d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm_storeu_pd(min_out + i, _mm_mul_pd(mind, mind));
+        _mm_storeu_pd(max_out + i, _mm_mul_pd(maxd, maxd));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] = mind * mind;
+        max_out[i] = maxd * maxd;
+      }
+    } else {
+      for (; i + 2 <= n; i += 2) {
+        const __m128d lov = _mm_loadu_pd(lod + i);
+        const __m128d hiv = _mm_loadu_pd(hid + i);
+        const __m128d mind = MinDistLanes(lov, hiv, pv);
+        const __m128d maxd = MaxDistLanes(lov, hiv, pv);
+        _mm_storeu_pd(min_out + i, _mm_add_pd(_mm_loadu_pd(min_out + i),
+                                              _mm_mul_pd(mind, mind)));
+        _mm_storeu_pd(max_out + i, _mm_add_pd(_mm_loadu_pd(max_out + i),
+                                              _mm_mul_pd(maxd, maxd)));
+      }
+      for (; i < n; ++i) {
+        const double mind = ScalarMinDist(lod[i], hid[i], p);
+        const double maxd = ScalarMaxDist(lod[i], hid[i], p);
+        min_out[i] += mind * mind;
+        max_out[i] += maxd * maxd;
+      }
+    }
+  }
+}
+
+const KernelTable kSse2Table = {
+    MinDistSqBatchSse2,
+    MaxDistSqBatchSse2,
+    MinMaxDistSqBatchSse2,
+    // 2-lane compress would spend more on mask plumbing than the predicated
+    // loop costs; SSE2 keeps the scalar compaction.
+    CompressIdsLeScalar,
+    SimdLevel::kSse2,
+    /*width_doubles=*/2,
+    "sse2",
+};
+
+}  // namespace pvdb::geom::simd
+
+#endif  // PVDB_SIMD_X86

@@ -1,0 +1,174 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/geom/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/geom/distance_batch_isa.h"
+
+namespace pvdb::geom {
+
+namespace simd {
+namespace {
+
+/// The published table. Null until first resolution; ForceSimdLevel stores
+/// directly. Acquire/release so a reader that sees the pointer sees the
+/// (immutable, statically initialized) table behind it.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+/// Maps a level to its table, falling back down the ladder for levels the
+/// build did not produce (callers guard with MaxUsableSimdLevel, so the
+/// fallthroughs only matter as belt-and-braces).
+const KernelTable* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+#if defined(PVDB_SIMD_COMPILE_AVX512)
+      return &kAvx512Table;
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kAvx2:
+#if defined(PVDB_SIMD_COMPILE_AVX2)
+      return &kAvx2Table;
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kSse2:
+#if defined(PVDB_SIMD_X86)
+      return &kSse2Table;
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kScalar:
+      return &kScalarTable;
+  }
+  return &kScalarTable;
+}
+
+/// Startup resolution: usable ceiling, then the PVDB_SIMD_LEVEL override.
+/// Runs once (function-local static in ActiveTable); an unparseable value
+/// or one above the ceiling is reported and clamped, never trusted — a
+/// stale deploy config must not select a faulting path.
+const KernelTable* ResolveStartupTable() {
+  SimdLevel level = MaxUsableSimdLevel();
+  if (const char* env = std::getenv("PVDB_SIMD_LEVEL")) {
+    SimdLevel parsed;
+    if (!ParseSimdLevel(env, &parsed)) {
+      PVDB_LOG(kWarn) << "PVDB_SIMD_LEVEL='" << env
+                      << "' is not one of scalar/sse2/avx2/avx512; keeping "
+                      << SimdLevelName(level);
+    } else if (parsed > level) {
+      PVDB_LOG(kWarn) << "PVDB_SIMD_LEVEL=" << SimdLevelName(parsed)
+                      << " exceeds this "
+                      << (parsed > MaxCompiledSimdLevel() ? "build" : "CPU")
+                      << "'s ceiling; clamping to " << SimdLevelName(level);
+    } else {
+      level = parsed;
+    }
+  }
+  return TableFor(level);
+}
+
+}  // namespace
+
+const KernelTable& ActiveTable() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    static const KernelTable* const startup = ResolveStartupTable();
+    // Publish only if nothing (a concurrent ForceSimdLevel) beat us to it.
+    const KernelTable* expected = nullptr;
+    g_active.compare_exchange_strong(expected, startup,
+                                     std::memory_order_acq_rel);
+    t = g_active.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+}  // namespace simd
+
+SimdLevel MaxCompiledSimdLevel() {
+#if defined(PVDB_SIMD_COMPILE_AVX512)
+  return SimdLevel::kAvx512;
+#elif defined(PVDB_SIMD_COMPILE_AVX2)
+  return SimdLevel::kAvx2;
+#elif defined(PVDB_SIMD_X86)
+  return SimdLevel::kSse2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel DetectCpuSimdLevel() {
+#if defined(PVDB_SIMD_X86)
+  // F+DQ+VL together cover everything the AVX-512 kernels emit (512-bit
+  // math + and_pd from DQ; VL demanded so downclocking-era partial
+  // implementations without it stay on AVX2).
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;  // x86-64 baseline
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel MaxUsableSimdLevel() {
+  const SimdLevel compiled = MaxCompiledSimdLevel();
+  const SimdLevel cpu = DetectCpuSimdLevel();
+  return compiled < cpu ? compiled : cpu;
+}
+
+SimdLevel ActiveSimdLevel() { return simd::ActiveTable().level; }
+
+bool ForceSimdLevel(SimdLevel level) {
+  if (level < SimdLevel::kScalar || level > SimdLevel::kAvx512) return false;
+  if (level > MaxUsableSimdLevel()) return false;
+  simd::g_active.store(simd::TableFor(level), std::memory_order_release);
+  return true;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(std::string_view text, SimdLevel* out) {
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse2,
+                          SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (text == SimdLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+int SimdLaneWidthDoubles(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 1;
+    case SimdLevel::kSse2:
+      return 2;
+    case SimdLevel::kAvx2:
+      return 4;
+    case SimdLevel::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+}  // namespace pvdb::geom

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Runtime SIMD dispatch for the batched distance kernels
+// (geom::MinDistSqBatch / MaxDistSqBatch / MinMaxDistSqBatch /
+// CompressIdsLe). The kernels exist in up to four implementations — the
+// portable scalar reference plus explicit SSE2, AVX2 and AVX-512 intrinsic
+// versions, each compiled in its own translation unit with its own -m
+// flags — and all public entry points route through one function-pointer
+// table resolved exactly once:
+//
+//   1. compile-time ceiling: the highest level the build produced
+//      (MaxCompiledSimdLevel; non-x86 builds contain only the scalar TU),
+//   2. runtime ceiling: the highest level this CPU reports via CPUID
+//      (DetectCpuSimdLevel; AVX-512 requires F+DQ+VL),
+//   3. optional override: the PVDB_SIMD_LEVEL environment variable
+//      ("scalar" / "sse2" / "avx2" / "avx512"), read at first kernel use.
+//      Values above the usable ceiling are clamped with a warning, never
+//      trusted.
+//
+// Every level is bit-identical to the scalar reference: identical
+// per-lane operations in identical order (sub / max-select / abs / mul /
+// add — all exactly-rounded IEEE ops), tails handled by the scalar code,
+// and no FMA contraction anywhere (the per-ISA TUs compile with
+// -ffp-contract=off and without -mfma). Forcing any two levels on the same
+// input yields the same bytes; tests/simd_dispatch_test.cc asserts this
+// property per level, including every tail-lane remainder.
+
+#ifndef PVDB_GEOM_SIMD_DISPATCH_H_
+#define PVDB_GEOM_SIMD_DISPATCH_H_
+
+#include <string_view>
+
+namespace pvdb::geom {
+
+/// Kernel implementation tiers, ordered: a level implies the ones below it.
+/// kScalar is the reference C++ loops (the compiler may still autovectorize
+/// them to 16-byte SSE2 at -O3 — "scalar" means no explicit intrinsics);
+/// kSse2/kAvx2/kAvx512 are the hand-written 2/4/8-lane double kernels.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Highest level this binary contains kernels for (build-time ceiling).
+SimdLevel MaxCompiledSimdLevel();
+
+/// Highest level this CPU supports (CPUID; AVX-512 requires F+DQ+VL).
+/// Independent of what the build compiled in.
+SimdLevel DetectCpuSimdLevel();
+
+/// min(MaxCompiledSimdLevel, DetectCpuSimdLevel) — the dispatch ceiling.
+SimdLevel MaxUsableSimdLevel();
+
+/// The level the batched kernels currently dispatch to. Resolved at first
+/// kernel use (or first call here) from the usable ceiling and the
+/// PVDB_SIMD_LEVEL override.
+SimdLevel ActiveSimdLevel();
+
+/// Re-points dispatch at `level`'s kernels. Returns false (and changes
+/// nothing) when `level` exceeds MaxUsableSimdLevel — callers must not be
+/// able to force a path the CPU would fault on. Takes effect for subsequent
+/// kernel calls; intended for tests and benchmarks (flip between queries,
+/// not concurrently with them).
+bool ForceSimdLevel(SimdLevel level);
+
+/// Stable lowercase name: "scalar" / "sse2" / "avx2" / "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a SimdLevelName (case-sensitive, exact). Returns false on
+/// anything else; *out is untouched then.
+bool ParseSimdLevel(std::string_view text, SimdLevel* out);
+
+/// Vector width of a level's kernels in doubles: 1 / 2 / 4 / 8.
+int SimdLaneWidthDoubles(SimdLevel level);
+
+}  // namespace pvdb::geom
+
+#endif  // PVDB_GEOM_SIMD_DISPATCH_H_

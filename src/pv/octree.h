@@ -52,7 +52,9 @@ inline constexpr uint64_t kNoLeafId = 0;
 
 /// Structure-of-arrays mirror of a leaf's entry list: ids plus per-dimension
 /// contiguous lo/hi spans, the input format of the batched distance kernels
-/// (geom::MinDistSqBatch / MaxDistSqBatch). Position i is the same entry in
+/// (geom::MinDistSqBatch / MaxDistSqBatch — runtime-dispatched to the
+/// widest SIMD level the CPU offers; see geom/simd_dispatch.h). Position i
+/// is the same entry in
 /// both views — block order is the page-chain order, identical to the
 /// std::vector<LeafEntry> the row-wise readers return. This is the serving
 /// path's leaf currency: leaf reads decode pages straight into a LeafBlock,

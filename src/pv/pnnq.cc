@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <type_traits>
 
 #include "src/common/random.h"
 #include "src/storage/record_store.h"
@@ -97,16 +98,17 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlock& block,
   for (; i < n; ++i) t0 = std::min(t0, max_d[i]);
   const double tau_sq = std::min(std::min(t0, t1), std::min(t2, t3));
 
-  // Pass 2: keep entries with MinDistSq <= τ², preserving block order.
-  // Branchless compaction into the scratch staging buffer (unconditional
-  // store + predicated advance), then one exact-size copy out.
+  // Pass 2: keep entries with MinDistSq <= τ², preserving block order —
+  // the dispatched compress kernel (AVX-512 masked compress-store, AVX2
+  // shuffle table, scalar predicated loop; geom::CompressIdsLe) staged into
+  // the scratch buffer, then one exact-size copy out. The kept sequence is
+  // identical at every SIMD level.
+  static_assert(std::is_same_v<uncertain::ObjectId, uint64_t>,
+                "compress kernel carries ids as uint64_t lanes");
   s->candidate_ids.resize(n);
   uncertain::ObjectId* staged = s->candidate_ids.data();
-  size_t count = 0;
-  for (size_t k = 0; k < n; ++k) {
-    staged[count] = block.ids[k];
-    count += min_d[k] <= tau_sq ? 1 : 0;
-  }
+  const size_t count =
+      geom::CompressIdsLe(min_d.data(), n, tau_sq, block.ids.data(), staged);
   out.assign(staged, staged + count);
   return out;
 }

@@ -112,11 +112,13 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(
     std::span<const LeafEntry> entries, const geom::Point& q);
 
 /// Block form of the same pruning: two passes of the batched kernels (min
-/// over MaxDistSq fixes the threshold, then a MinDistSq filter) over the SoA
-/// leaf block. Candidate set and order are bit-identical to the scalar
-/// entry-list overload above, which remains the reference implementation.
-/// `scratch` pools the batched distance buffer; pass nullptr to allocate
-/// locally.
+/// over MaxDistSq fixes the threshold, then a MinDistSq filter compacted by
+/// geom::CompressIdsLe) over the SoA leaf block. Both passes run the
+/// runtime-dispatched SIMD kernels (geom::ActiveSimdLevel — SSE2/AVX2/
+/// AVX-512 per CPUID, PVDB_SIMD_LEVEL to force). Candidate set and order
+/// are bit-identical to the scalar entry-list overload above at every
+/// level; that overload remains the reference implementation. `scratch`
+/// pools the batched distance buffer; pass nullptr to allocate locally.
 std::vector<uncertain::ObjectId> Step1PruneMinMax(
     const LeafBlock& block, const geom::Point& q,
     QueryScratch* scratch = nullptr);

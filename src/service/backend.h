@@ -90,7 +90,9 @@ class Backend {
   }
 
   /// Derives the Step-1 answer from a (possibly cached) leaf block via the
-  /// batched minmax kernels. Must equal Step1(q) for the leaf containing q.
+  /// batched minmax kernels (SIMD-dispatched per CPU — geom/simd_dispatch.h;
+  /// answers are level-independent). Must equal Step1(q) for the leaf
+  /// containing q.
   virtual std::vector<uncertain::ObjectId> PruneLeafBlock(
       const pv::LeafBlock& block, const geom::Point& q,
       pv::QueryScratch* scratch) const {

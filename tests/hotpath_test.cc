@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "src/common/stats.h"
 #include "src/geom/distance.h"
 #include "src/geom/distance_batch.h"
+#include "src/geom/simd_dispatch.h"
 #include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
 #include "src/rtree/rstar_tree.h"
@@ -28,6 +30,30 @@
 
 namespace pvdb {
 namespace {
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch: the env override must actually take. The CI simd-dispatch
+// job reruns this whole binary with PVDB_SIMD_LEVEL forced to each level —
+// every batch-kernel comparison below then exercises that level's code —
+// and this test is the proof the forcing worked (a typo'd level name or a
+// broken resolver would otherwise fall back silently and the matrix would
+// go green without testing anything).
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchEnvTest, EnvForcedLevelIsActive) {
+  const char* env = std::getenv("PVDB_SIMD_LEVEL");
+  if (env == nullptr) {
+    GTEST_SKIP() << "PVDB_SIMD_LEVEL not set; active level is "
+                 << geom::SimdLevelName(geom::ActiveSimdLevel());
+  }
+  geom::SimdLevel parsed;
+  ASSERT_TRUE(geom::ParseSimdLevel(env, &parsed))
+      << "PVDB_SIMD_LEVEL='" << env << "' is not a level name";
+  ASSERT_LE(parsed, geom::MaxUsableSimdLevel())
+      << "CI must CPUID-gate levels the runner can't execute, not pass them "
+         "through to be clamped";
+  EXPECT_EQ(geom::ActiveSimdLevel(), parsed);
+}
 
 // ---------------------------------------------------------------------------
 // Randomized and degenerate rect generators

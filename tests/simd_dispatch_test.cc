@@ -1,0 +1,334 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Forced-level parity net for the runtime-dispatched SIMD kernels
+// (geom::simd_dispatch.h): every level this build+CPU can run is forced in
+// turn and required to reproduce the scalar reference BIT-IDENTICALLY —
+// randomized rects, degenerate rects (zero-extent slabs, point rects,
+// probes inside and exactly on boundaries), every tail-lane remainder
+// length 1..width-1, and the ordered compress kernel over every lane mask
+// pattern. Plus the dispatch controls themselves: level ordering, name
+// round-trips, unsupported-level rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/geom/distance.h"
+#include "src/geom/distance_batch.h"
+#include "src/geom/simd_dispatch.h"
+#include "src/pv/pnnq.h"
+
+namespace pvdb {
+namespace {
+
+constexpr geom::SimdLevel kAllLevels[] = {
+    geom::SimdLevel::kScalar, geom::SimdLevel::kSse2, geom::SimdLevel::kAvx2,
+    geom::SimdLevel::kAvx512};
+
+/// Restores the entry level on scope exit so tests don't leak a forced
+/// level into each other (or into the PVDB_SIMD_LEVEL the CI job set).
+class ScopedSimdLevel {
+ public:
+  ScopedSimdLevel() : saved_(geom::ActiveSimdLevel()) {}
+  ~ScopedSimdLevel() { geom::ForceSimdLevel(saved_); }
+
+ private:
+  geom::SimdLevel saved_;
+};
+
+/// Runs `body` once per level this build+CPU supports, forced.
+template <typename Body>
+void ForEachUsableLevel(const Body& body) {
+  ScopedSimdLevel restore;
+  for (geom::SimdLevel level : kAllLevels) {
+    if (level > geom::MaxUsableSimdLevel()) continue;
+    ASSERT_TRUE(geom::ForceSimdLevel(level)) << geom::SimdLevelName(level);
+    ASSERT_EQ(geom::ActiveSimdLevel(), level);
+    body(level);
+  }
+}
+
+geom::Rect RandomRect(Rng* rng, int dim, double domain, double max_extent) {
+  geom::Point lo(dim), hi(dim);
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = rng->NextUniform(0.0, domain - max_extent);
+    hi[d] = lo[d] + rng->NextUniform(0.0, max_extent);
+  }
+  return geom::Rect(lo, hi);
+}
+
+geom::Point RandomPoint(Rng* rng, int dim, double domain) {
+  geom::Point p(dim);
+  for (int d = 0; d < dim; ++d) p[d] = rng->NextUniform(0.0, domain);
+  return p;
+}
+
+/// Batched kernels at the active (forced) level vs the per-Rect scalar
+/// functions — the dispatch-independent reference. EXPECT_EQ: bit-identical.
+void ExpectBatchMatchesScalar(const std::vector<geom::Rect>& rects,
+                              const geom::Point& q, const char* level_name) {
+  ASSERT_FALSE(rects.empty());
+  geom::RectSoA soa(rects[0].dim());
+  soa.Reserve(rects.size());
+  for (const geom::Rect& r : rects) soa.PushBack(r);
+
+  std::vector<double> min_out(rects.size()), max_out(rects.size());
+  std::vector<double> fused_min(rects.size()), fused_max(rects.size());
+  geom::MinDistSqBatch(soa, q, min_out);
+  geom::MaxDistSqBatch(soa, q, max_out);
+  geom::MinMaxDistSqBatch(soa, q, fused_min, fused_max);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_EQ(min_out[i], geom::MinDistSq(rects[i], q))
+        << level_name << " rect " << i;
+    EXPECT_EQ(max_out[i], geom::MaxDistSq(rects[i], q))
+        << level_name << " rect " << i;
+    EXPECT_EQ(fused_min[i], min_out[i]) << level_name << " rect " << i;
+    EXPECT_EQ(fused_max[i], max_out[i]) << level_name << " rect " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch controls
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, LevelLadderIsConsistent) {
+  EXPECT_LE(geom::MaxUsableSimdLevel(), geom::MaxCompiledSimdLevel());
+  EXPECT_LE(geom::MaxUsableSimdLevel(), geom::DetectCpuSimdLevel());
+  EXPECT_LE(geom::ActiveSimdLevel(), geom::MaxUsableSimdLevel());
+  EXPECT_EQ(geom::SimdLaneWidthDoubles(geom::SimdLevel::kScalar), 1);
+  EXPECT_EQ(geom::SimdLaneWidthDoubles(geom::SimdLevel::kSse2), 2);
+  EXPECT_EQ(geom::SimdLaneWidthDoubles(geom::SimdLevel::kAvx2), 4);
+  EXPECT_EQ(geom::SimdLaneWidthDoubles(geom::SimdLevel::kAvx512), 8);
+}
+
+TEST(SimdDispatchTest, NamesRoundTrip) {
+  for (geom::SimdLevel level : kAllLevels) {
+    geom::SimdLevel parsed;
+    ASSERT_TRUE(geom::ParseSimdLevel(geom::SimdLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  geom::SimdLevel unused;
+  EXPECT_FALSE(geom::ParseSimdLevel("", &unused));
+  EXPECT_FALSE(geom::ParseSimdLevel("AVX2", &unused)) << "case-sensitive";
+  EXPECT_FALSE(geom::ParseSimdLevel("avx", &unused));
+  EXPECT_FALSE(geom::ParseSimdLevel("avx512vl", &unused));
+}
+
+TEST(SimdDispatchTest, ForceRejectsUnsupportedLevels) {
+  ScopedSimdLevel restore;
+  const geom::SimdLevel before = geom::ActiveSimdLevel();
+  for (geom::SimdLevel level : kAllLevels) {
+    if (level <= geom::MaxUsableSimdLevel()) {
+      EXPECT_TRUE(geom::ForceSimdLevel(level));
+      EXPECT_EQ(geom::ActiveSimdLevel(), level);
+      ASSERT_TRUE(geom::ForceSimdLevel(before));
+    } else {
+      EXPECT_FALSE(geom::ForceSimdLevel(level))
+          << geom::SimdLevelName(level) << " exceeds the usable ceiling";
+      EXPECT_EQ(geom::ActiveSimdLevel(), before) << "rejected force mutated";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distance kernels: forced-level bit-identity vs the scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelParityTest, RandomRectsEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(101);
+    for (int dim : {2, 3, 5, geom::kMaxDim}) {
+      for (int round = 0; round < 10; ++round) {
+        std::vector<geom::Rect> rects;
+        for (int i = 0; i < 67; ++i) {  // odd count: tail lanes included
+          rects.push_back(RandomRect(&rng, dim, 1000.0, 120.0));
+        }
+        ExpectBatchMatchesScalar(rects, RandomPoint(&rng, dim, 1000.0),
+                                 geom::SimdLevelName(level));
+      }
+    }
+  });
+}
+
+TEST(SimdKernelParityTest, EveryTailRemainderEveryLevel) {
+  // n = 1 .. 2*width+3 covers every remainder length 1..width-1 of the
+  // widest kernel (8 lanes), both with and without a preceding full vector.
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(103);
+    const int width = geom::SimdLaneWidthDoubles(level);
+    for (size_t n = 1; n <= static_cast<size_t>(2 * width + 3); ++n) {
+      std::vector<geom::Rect> rects;
+      for (size_t i = 0; i < n; ++i) {
+        rects.push_back(RandomRect(&rng, 3, 1000.0, 100.0));
+      }
+      for (int round = 0; round < 8; ++round) {
+        ExpectBatchMatchesScalar(rects, RandomPoint(&rng, 3, 1000.0),
+                                 geom::SimdLevelName(level));
+      }
+    }
+  });
+}
+
+TEST(SimdKernelParityTest, DegenerateRectsEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(107);
+    for (int dim : {2, 3, 5}) {
+      std::vector<geom::Rect> rects;
+      // Zero-extent in 1..dim dimensions (slabs down to exact points).
+      for (int flat = 1; flat <= dim; ++flat) {
+        for (int i = 0; i < 9; ++i) {
+          geom::Rect r = RandomRect(&rng, dim, 1000.0, 100.0);
+          for (int k = 0; k < flat; ++k) {
+            const int d = static_cast<int>(rng.NextUniform(0, dim)) % dim;
+            r.set_hi(d, r.lo(d));
+          }
+          rects.push_back(r);
+        }
+      }
+      // Probes: random, strictly inside, lo/hi corners, on one face.
+      std::vector<geom::Point> probes;
+      for (int i = 0; i < 6; ++i) {
+        probes.push_back(RandomPoint(&rng, dim, 1000.0));
+      }
+      probes.push_back(rects[0].Center());
+      probes.push_back(rects[1].lo());
+      probes.push_back(rects[2].hi());
+      geom::Point face = rects[3].Center();
+      face[0] = rects[3].lo(0);
+      probes.push_back(face);
+      for (const geom::Point& q : probes) {
+        ExpectBatchMatchesScalar(rects, q, geom::SimdLevelName(level));
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Compress kernel: forced-level identity vs a straightforward filter
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> CompressReference(const std::vector<double>& keys,
+                                        double threshold,
+                                        const std::vector<uint64_t>& ids) {
+  std::vector<uint64_t> kept;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (keys[k] <= threshold) kept.push_back(ids[k]);
+  }
+  return kept;
+}
+
+void ExpectCompressMatches(const std::vector<double>& keys, double threshold,
+                           const char* level_name) {
+  std::vector<uint64_t> ids(keys.size());
+  for (size_t k = 0; k < ids.size(); ++k) ids[k] = 1000 + k;
+  std::vector<uint64_t> out(keys.size(), ~uint64_t{0});
+  const size_t count = geom::CompressIdsLe(keys.data(), keys.size(), threshold,
+                                           ids.data(), out.data());
+  const std::vector<uint64_t> expected =
+      CompressReference(keys, threshold, ids);
+  ASSERT_EQ(count, expected.size()) << level_name << " n=" << keys.size();
+  EXPECT_EQ(std::vector<uint64_t>(out.begin(), out.begin() + count), expected)
+      << level_name << " n=" << keys.size();
+}
+
+TEST(CompressIdsLeTest, EveryMaskPatternEveryLevel) {
+  // First 8 slots enumerate all 256 keep/drop patterns — every movemask /
+  // __mmask8 value an 8-lane vector can see, and every 4-bit AVX2 shuffle
+  // row twice over.
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    for (int pattern = 0; pattern < 256; ++pattern) {
+      std::vector<double> keys(8);
+      for (int b = 0; b < 8; ++b) {
+        keys[b] = ((pattern >> b) & 1) ? 0.5 : 2.0;  // keep iff bit set
+      }
+      ExpectCompressMatches(keys, 1.0, geom::SimdLevelName(level));
+    }
+  });
+}
+
+TEST(CompressIdsLeTest, RandomKeysAllLengthsEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(109);
+    for (size_t n = 1; n <= 36; ++n) {  // tails of every width, multi-vector
+      for (int round = 0; round < 6; ++round) {
+        std::vector<double> keys(n);
+        for (double& k : keys) k = rng.NextUniform(0.0, 1.0);
+        // Thresholds: none kept, all kept, ~half kept, exact-tie boundary.
+        ExpectCompressMatches(keys, -1.0, geom::SimdLevelName(level));
+        ExpectCompressMatches(keys, 2.0, geom::SimdLevelName(level));
+        ExpectCompressMatches(keys, 0.5, geom::SimdLevelName(level));
+        ExpectCompressMatches(keys, keys[n / 2], geom::SimdLevelName(level));
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Step-1 block prune end to end: every level = scalar entry-list overload
+// ---------------------------------------------------------------------------
+
+TEST(Step1PruneSimdTest, BlockPruneMatchesScalarEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(113);
+    pv::QueryScratch scratch;
+    for (int dim : {2, 3, 5}) {
+      for (size_t n : {1u, 3u, 9u, 65u, 130u}) {
+        std::vector<pv::LeafEntry> entries;
+        entries.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          entries.push_back(
+              pv::LeafEntry{2000 + i, RandomRect(&rng, dim, 1000.0, 90.0)});
+        }
+        const auto block = pv::LeafBlock::FromEntries(entries, dim);
+        for (int round = 0; round < 6; ++round) {
+          const geom::Point q = RandomPoint(&rng, dim, 1000.0);
+          EXPECT_EQ(pv::Step1PruneMinMax(block, q, &scratch),
+                    pv::Step1PruneMinMax(entries, q))
+              << geom::SimdLevelName(level) << " dim=" << dim << " n=" << n;
+        }
+      }
+    }
+  });
+}
+
+TEST(Step1PruneSimdTest, LevelsAgreeWithEachOtherOnSharedInput) {
+  // Cross-level determinism without the scalar oracle in the loop: run the
+  // identical block+query at every level and require identical bytes.
+  Rng rng(127);
+  const size_t n = 77;
+  std::vector<pv::LeafEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back(pv::LeafEntry{i, RandomRect(&rng, 3, 1000.0, 200.0)});
+  }
+  const auto block = pv::LeafBlock::FromEntries(entries, 3);
+  geom::RectSoA soa(3);
+  for (const auto& e : entries) soa.PushBack(e.region);
+
+  std::vector<std::vector<uncertain::ObjectId>> pruned;
+  std::vector<std::vector<double>> mins, maxs;
+  ForEachUsableLevel([&](geom::SimdLevel) {
+    pv::QueryScratch scratch;
+    Rng probe_rng(131);  // same probes at every level
+    std::vector<uncertain::ObjectId> ids;
+    std::vector<double> mn(n), mx(n);
+    for (int round = 0; round < 10; ++round) {
+      const geom::Point q = RandomPoint(&probe_rng, 3, 1000.0);
+      auto r = pv::Step1PruneMinMax(block, q, &scratch);
+      ids.insert(ids.end(), r.begin(), r.end());
+      geom::MinMaxDistSqBatch(soa, q, mn, mx);
+    }
+    pruned.push_back(std::move(ids));
+    mins.push_back(mn);
+    maxs.push_back(mx);
+  });
+  for (size_t i = 1; i < pruned.size(); ++i) {
+    EXPECT_EQ(pruned[i], pruned[0]);
+    EXPECT_EQ(mins[i], mins[0]);
+    EXPECT_EQ(maxs[i], maxs[0]);
+  }
+}
+
+}  // namespace
+}  // namespace pvdb
