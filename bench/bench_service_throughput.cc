@@ -15,12 +15,22 @@
 //     (QueryPointBlock + batched block prune + QueryScratch Evaluate), one
 //     thread, same queries, with the end-to-end speedup.
 //
-//   $ ./bench_service_throughput [--smoke] [--step2_json]
+//   $ ./bench_service_throughput [--smoke] [--step2_json] [--stage_json]
+//                                [--overhead_json]
 //
 // --smoke shrinks the dataset and query count for CI bitrot checks.
 // --step2_json switches to the Step-2-only scalar-vs-batched comparison on
 // the 10k shared-leaf workload and emits BENCH_step2.json-shaped output
 // (schema matching BENCH_hotpath.json) instead of the serving sweep.
+// --stage_json runs the serving engine with per-stage timing on and emits
+// the stage breakdown (p50/p90/p99 per pipeline stage from the answers'
+// nanosecond attribution, plus each stage's share of total attributed
+// time) — the BENCH_observability.json baseline.
+// --overhead_json is the observability overhead guard: best-of-5
+// alternating runs of the engine with all instrumentation off vs stage
+// timing + enabled-but-unsampled tracing, asserting the instrumented
+// build keeps >= 98% of baseline throughput (exit 1 on regression — wired
+// into CI's bench job as a gate).
 
 #include <algorithm>
 #include <cstdio>
@@ -33,8 +43,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/histogram.h"
 #include "src/common/random.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 #include "src/pv/pv_index.h"
 #include "src/service/query_engine.h"
 #include "src/storage/pager.h"
@@ -369,16 +381,239 @@ int RunStep2Json(bool smoke) {
   return 0;
 }
 
+/// The standard serving world (10k objects, 3D, Morton bulk build) shared
+/// by the stage-breakdown and overhead modes.
+struct ServingWorld {
+  explicit ServingWorld(bool smoke) {
+    synth.dim = 3;
+    synth.count = smoke ? 2000 : 10000;
+    synth.samples_per_object = smoke ? 50 : 200;
+    synth.seed = 42;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+    pv::PvIndexOptions index_options;
+    index_options.build_order = pv::BuildOrder::kMorton;
+    index_options.bulk_primary = true;
+    auto built = pv::PvIndex::Build(*db, &pager, index_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::exit(1);
+    }
+    index = std::move(built).value();
+
+    const size_t query_count = smoke ? 512 : 4096;
+    Rng rng(7);
+    queries.reserve(query_count);
+    for (size_t i = 0; i < query_count; ++i) {
+      geom::Point q(synth.dim);
+      for (int d = 0; d < synth.dim; ++d) {
+        q[d] = rng.NextUniform(synth.domain_lo, synth.domain_hi);
+      }
+      queries.push_back(q);
+    }
+  }
+
+  uncertain::SyntheticOptions synth;
+  std::unique_ptr<uncertain::Dataset> db;
+  storage::InMemoryPager pager;
+  std::unique_ptr<pv::PvIndex> index;
+  std::vector<geom::Point> queries;
+};
+
+void PrintJsonHeader(const char* benchmark, const char* description) {
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"%s\",\n", benchmark);
+  std::printf("  \"description\": \"%s\",\n", description);
+  std::printf("  \"date\": \"%s\",\n", date);
+  std::printf("  \"machine\": {\n");
+  std::printf("    \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("    \"compiler\": \"%s\",\n", __VERSION__);
+  std::printf("    \"build\": \"Release/RelWithDebInfo (kernels -O3)\"\n");
+  std::printf("  },\n");
+}
+
+/// One timed pass of the whole query list through `engine`, batch 64.
+/// Returns qps; accumulates answers into `stage_hists` when given.
+double OneEnginePass(service::QueryEngine* engine,
+                     const std::vector<geom::Point>& queries,
+                     std::vector<HistogramData>* stage_hists,
+                     double* latency_p99_ms) {
+  constexpr size_t kBatch = 64;
+  HistogramData latency;
+  StopWatch wall;
+  for (size_t pos = 0; pos < queries.size(); pos += kBatch) {
+    const size_t n = std::min(kBatch, queries.size() - pos);
+    const auto answers = engine->ExecuteBatch(
+        std::span<const geom::Point>(queries.data() + pos, n));
+    for (const auto& a : answers) {
+      if (!a.status.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     a.status.ToString().c_str());
+        std::exit(1);
+      }
+      if (stage_hists != nullptr) {
+        for (int s = 0; s < kNumQueryStages; ++s) {
+          (*stage_hists)[static_cast<size_t>(s)].Record(
+              a.stage_ns[static_cast<size_t>(s)]);
+        }
+        latency.Record(static_cast<int64_t>(a.latency_ms * 1e6));
+      }
+    }
+  }
+  const double wall_s = wall.ElapsedSeconds();
+  if (latency_p99_ms != nullptr) {
+    *latency_p99_ms = static_cast<double>(latency.Percentile(99.0)) / 1e6;
+  }
+  return wall_s > 0 ? static_cast<double>(queries.size()) / wall_s : 0.0;
+}
+
+int RunStageJson(bool smoke) {
+  ServingWorld world(smoke);
+
+  service::QueryEngineOptions options;
+  options.threads = 4;
+  options.backend_override = service::BackendKind::kPvIndex;
+  options.stage_timing = true;
+  service::EngineBackends backends;
+  backends.pv = world.index.get();
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), backends, options).value();
+
+  // Warmup pass fills the leaf cache; the measured pass is steady state.
+  (void)OneEnginePass(engine.get(), world.queries, nullptr, nullptr);
+  std::vector<HistogramData> stage_hists(kNumQueryStages);
+  double p99_ms = 0.0;
+  const double qps =
+      OneEnginePass(engine.get(), world.queries, &stage_hists, &p99_ms);
+
+  double total_ms = 0.0;
+  for (const auto& h : stage_hists) {
+    total_ms += static_cast<double>(h.sum()) / 1e6;
+  }
+
+  PrintJsonHeader(
+      "stage_breakdown",
+      "Per-stage latency decomposition of the serving engine (plan / "
+      "leaf_cache / step1_prune / step2 / merge), recorded per query by "
+      "nanosecond stage timers threaded through QueryScratch, batch 64, "
+      "4 threads, warm cache. share = stage total / sum of stage totals.");
+  std::printf("  \"workload\": {\"dim\": %d, \"objects\": %zu, "
+              "\"samples_per_object\": %d, \"queries\": %zu, \"batch\": 64, "
+              "\"threads\": %d},\n",
+              world.synth.dim, world.db->size(),
+              world.synth.samples_per_object, world.queries.size(),
+              options.threads);
+  std::printf("  \"stages\": [\n");
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    const HistogramData& h = stage_hists[static_cast<size_t>(s)];
+    const double stage_ms = static_cast<double>(h.sum()) / 1e6;
+    std::printf("    {\"stage\": \"%s\", \"p50_us\": %.2f, \"p90_us\": %.2f, "
+                "\"p99_us\": %.2f, \"total_ms\": %.2f, \"share\": %.4f}%s\n",
+                QueryStageName(static_cast<QueryStage>(s)),
+                static_cast<double>(h.Percentile(50.0)) / 1e3,
+                static_cast<double>(h.Percentile(90.0)) / 1e3,
+                static_cast<double>(h.Percentile(99.0)) / 1e3, stage_ms,
+                total_ms > 0 ? stage_ms / total_ms : 0.0,
+                s + 1 < kNumQueryStages ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"latency\": {\"qps\": %.1f, \"p99_ms\": %.4f}\n}\n", qps,
+              p99_ms);
+  std::fprintf(stderr, "# stage breakdown: %.1f qps, p99 %.3f ms\n", qps,
+               p99_ms);
+  return 0;
+}
+
+int RunOverheadJson(bool smoke) {
+  ServingWorld world(smoke);
+  service::EngineBackends backends;
+  backends.pv = world.index.get();
+
+  // Baseline: every observability knob off (no stage clocks, no tracer).
+  service::QueryEngineOptions base_options;
+  base_options.threads = 4;
+  base_options.backend_override = service::BackendKind::kPvIndex;
+  base_options.stage_timing = false;
+  auto base_engine =
+      service::QueryEngine::Create(world.db.get(), backends, base_options)
+          .value();
+
+  // Instrumented: stage timing on plus an enabled-but-unsampled tracer —
+  // the production posture (collection always on, emission ~never).
+  service::QueryEngineOptions inst_options = base_options;
+  inst_options.stage_timing = true;
+  inst_options.trace.enabled = true;
+  inst_options.trace.sample_every_n = 1u << 31;
+  inst_options.trace.sink = [](const std::string&) {};
+  auto inst_engine =
+      service::QueryEngine::Create(world.db.get(), backends, inst_options)
+          .value();
+
+  // Warm both caches, then best-of-5 alternating passes: the max filters
+  // scheduler noise, alternation cancels thermal/clock drift bias.
+  (void)OneEnginePass(base_engine.get(), world.queries, nullptr, nullptr);
+  (void)OneEnginePass(inst_engine.get(), world.queries, nullptr, nullptr);
+  constexpr int kReps = 5;
+  double base_qps = 0.0;
+  double inst_qps = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    base_qps = std::max(
+        base_qps,
+        OneEnginePass(base_engine.get(), world.queries, nullptr, nullptr));
+    inst_qps = std::max(
+        inst_qps,
+        OneEnginePass(inst_engine.get(), world.queries, nullptr, nullptr));
+  }
+
+  constexpr double kGatePct = 2.0;
+  const double overhead_pct =
+      base_qps > 0 ? (1.0 - inst_qps / base_qps) * 100.0 : 0.0;
+  const bool pass = overhead_pct < kGatePct;
+
+  PrintJsonHeader(
+      "observability_overhead",
+      "Overhead guard: serving throughput with all instrumentation off vs "
+      "stage timing + enabled-but-unsampled tracing (the always-on "
+      "production posture). best-of-5 alternating passes, batch 64, 4 "
+      "threads, warm cache. Gate: overhead_pct < 2.");
+  std::printf("  \"workload\": {\"dim\": %d, \"objects\": %zu, "
+              "\"queries\": %zu, \"batch\": 64, \"threads\": %d, "
+              "\"reps\": %d},\n",
+              world.synth.dim, world.db->size(), world.queries.size(),
+              base_options.threads, kReps);
+  std::printf("  \"baseline_qps\": %.1f,\n", base_qps);
+  std::printf("  \"instrumented_qps\": %.1f,\n", inst_qps);
+  std::printf("  \"overhead_pct\": %.2f,\n", overhead_pct);
+  std::printf("  \"gate_pct\": %.1f,\n", kGatePct);
+  std::printf("  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fprintf(stderr,
+               "# observability overhead: %.2f%% (baseline %.1f qps, "
+               "instrumented %.1f qps) — %s\n",
+               overhead_pct, base_qps, inst_qps, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool step2_json = false;
+  bool stage_json = false;
+  bool overhead_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--step2_json") == 0) step2_json = true;
+    if (std::strcmp(argv[i], "--stage_json") == 0) stage_json = true;
+    if (std::strcmp(argv[i], "--overhead_json") == 0) overhead_json = true;
   }
   if (step2_json) return RunStep2Json(smoke);
+  if (stage_json) return RunStageJson(smoke);
+  if (overhead_json) return RunOverheadJson(smoke);
 
   uncertain::SyntheticOptions synth;
   synth.dim = 3;

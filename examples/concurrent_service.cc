@@ -3,11 +3,14 @@
 // Concurrent serving walkthrough: build a PV-index, stand up the
 // QueryEngine (thread pool + backend planner + leaf-result cache), answer a
 // batch of PNNQs in parallel, re-run it warm to show the cache working,
-// fire an async single query, and interleave an insert with live queries.
+// fire an async single query, interleave an insert with live queries, and
+// finish with an excerpt of the engine's metrics export.
 //
 //   $ ./concurrent_service
 
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/pvdb.h"
@@ -85,5 +88,18 @@ int main() {
           100, &rng));
   std::printf("insert: %s; cache now holds %zu leaves\n",
               status.ToString().c_str(), engine.value()->cache()->size());
+
+  // 7. Everything above also landed in the engine's metric registry —
+  //    counters, gauges, and per-stage latency histograms, exportable as
+  //    Prometheus text or JSON without touching the serving path. Print the
+  //    engine-level excerpt of the Prometheus exposition.
+  std::istringstream lines(engine.value()->metrics().ExportPrometheusText());
+  std::printf("metrics excerpt (pvdb_engine_*):\n");
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("pvdb_engine_", 0) == 0 &&
+        line.find("stage") == std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
   return 0;
 }

@@ -9,9 +9,19 @@
 //   $ ./snapshot_serving                      # build + save + open + serve
 //   $ ./snapshot_serving --save  pv.snap      # writer process
 //   $ ./snapshot_serving --serve pv.snap      # fresh serving process
+//
+// The serving side doubles as the observability walkthrough — optional
+// sinks expose the engine's metric registry and query traces:
+//
+//   --metrics_prom PATH   write a final Prometheus text exposition
+//   --metrics_json PATH   periodic JSON-line metric reports (plus a final
+//                         one at shutdown)
+//   --trace_log PATH      sampled + slow-query trace JSON lines
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +30,26 @@
 namespace {
 
 using namespace pvdb;
+
+struct ObservabilityPaths {
+  std::string metrics_prom;
+  std::string metrics_json;
+  std::string trace_log;
+};
+
+// A line sink appending to `path`, shareable by copy into std::function
+// callbacks that may run on reporter/worker threads.
+std::function<void(const std::string&)> MakeLineSink(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return nullptr;
+  std::shared_ptr<FILE> file(f, [](FILE* fp) { std::fclose(fp); });
+  auto mu = std::make_shared<std::mutex>();
+  return [file, mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*mu);
+    std::fprintf(file.get(), "%s\n", line.c_str());
+    std::fflush(file.get());
+  };
+}
 
 uncertain::Dataset MakeDatabase() {
   uncertain::SyntheticOptions options;
@@ -52,7 +82,7 @@ int SaveSnapshot(const std::string& path) {
   return 0;
 }
 
-int ServeSnapshot(const std::string& path) {
+int ServeSnapshot(const std::string& path, const ObservabilityPaths& obs) {
   // Serving side: no dataset, no rebuild — the snapshot is mmap'd and is
   // both the Step-1 index and the Step-2 record source.
   StopWatch open_watch;
@@ -72,6 +102,18 @@ int ServeSnapshot(const std::string& path) {
 
   service::QueryEngineOptions engine_options;
   engine_options.threads = 4;
+  if (!obs.trace_log.empty()) {
+    engine_options.trace.enabled = true;
+    // 1-in-16 sampling plus every query at or above 1 ms, so the log shows
+    // both emission reasons on a workload this small.
+    engine_options.trace.sample_every_n = 16;
+    engine_options.trace.slow_query_ms = 1.0;
+    engine_options.trace.sink = MakeLineSink(obs.trace_log);
+    if (engine_options.trace.sink == nullptr) {
+      std::printf("cannot open trace log %s\n", obs.trace_log.c_str());
+      return 1;
+    }
+  }
   auto engine =
       service::QueryEngine::CreateFromSnapshot(snapshot.value(),
                                                engine_options);
@@ -82,6 +124,23 @@ int ServeSnapshot(const std::string& path) {
   std::printf("engine: backend=%s (%s)\n",
               service::BackendKindName(engine.value()->active_backend()),
               engine.value()->plan_reason().c_str());
+
+  // Periodic JSON metric reports while serving; Stop() below always flushes
+  // one final report, so even a short run publishes its numbers.
+  std::unique_ptr<StatsReporter> reporter;
+  if (!obs.metrics_json.empty()) {
+    StatsReporterOptions reporter_options;
+    reporter_options.interval = std::chrono::milliseconds(100);
+    reporter_options.format = StatsReporterOptions::Format::kJson;
+    reporter_options.sink = MakeLineSink(obs.metrics_json);
+    if (reporter_options.sink == nullptr) {
+      std::printf("cannot open metrics log %s\n", obs.metrics_json.c_str());
+      return 1;
+    }
+    reporter = std::make_unique<StatsReporter>(&engine.value()->metrics(),
+                                               reporter_options);
+    reporter->Start();
+  }
 
   Rng rng(9);
   std::vector<geom::Point> queries;
@@ -108,6 +167,36 @@ int ServeSnapshot(const std::string& path) {
       "p99 %.3f ms, %zu answers\n",
       static_cast<long long>(stats.queries), stats.throughput_qps,
       stats.p50_latency_ms, stats.p99_latency_ms, answered);
+  std::printf(
+      "stage time over batch (ms): plan %.2f, leaf_cache %.2f, "
+      "step1_prune %.2f, step2 %.2f, merge %.2f\n",
+      stats.stage_ms[0], stats.stage_ms[1], stats.stage_ms[2],
+      stats.stage_ms[3], stats.stage_ms[4]);
+
+  if (reporter != nullptr) {
+    reporter->Stop();
+    std::printf("metrics: %lld JSON reports appended to %s\n",
+                static_cast<long long>(reporter->reports()),
+                obs.metrics_json.c_str());
+  }
+  if (!obs.metrics_prom.empty()) {
+    const std::string text = engine.value()->metrics().ExportPrometheusText();
+    FILE* f = std::fopen(obs.metrics_prom.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot open %s\n", obs.metrics_prom.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::printf("metrics: Prometheus exposition (%zu bytes) written to %s\n",
+                text.size(), obs.metrics_prom.c_str());
+  }
+  if (!obs.trace_log.empty()) {
+    std::printf("traces: %lld lines emitted (%lld slow) to %s\n",
+                static_cast<long long>(engine.value()->tracer().emitted()),
+                static_cast<long long>(engine.value()->tracer().slow_count()),
+                obs.trace_log.c_str());
+  }
   return 0;
 }
 
@@ -116,14 +205,22 @@ int ServeSnapshot(const std::string& path) {
 int main(int argc, char** argv) {
   std::string save_path;
   std::string serve_path;
+  ObservabilityPaths obs;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--save") == 0) save_path = argv[i + 1];
     if (std::strcmp(argv[i], "--serve") == 0) serve_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics_prom") == 0) {
+      obs.metrics_prom = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--metrics_json") == 0) {
+      obs.metrics_json = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--trace_log") == 0) obs.trace_log = argv[i + 1];
   }
   if (!save_path.empty()) return SaveSnapshot(save_path);
-  if (!serve_path.empty()) return ServeSnapshot(serve_path);
+  if (!serve_path.empty()) return ServeSnapshot(serve_path, obs);
   const std::string path = "/tmp/pvdb_snapshot_example.snap";
   const int saved = SaveSnapshot(path);
   if (saved != 0) return saved;
-  return ServeSnapshot(path);
+  return ServeSnapshot(path, obs);
 }

@@ -1,0 +1,147 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pvdb {
+
+int HistogramData::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) {
+    return value < 0 ? 0 : static_cast<int>(value);
+  }
+  // msb >= kSubBucketBits; offset spreads [2^msb, 2^(msb+1)) over
+  // kSubBuckets linear cells of width 2^(msb - kSubBucketBits).
+  const int msb = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int64_t offset =
+      (value - (int64_t{1} << msb)) >> (msb - kSubBucketBits);
+  return static_cast<int>(kSubBuckets +
+                          int64_t{msb - kSubBucketBits} * kSubBuckets + offset);
+}
+
+int64_t HistogramData::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int r = index - static_cast<int>(kSubBuckets);
+  const int msb = kSubBucketBits + r / static_cast<int>(kSubBuckets);
+  const int64_t offset = r % kSubBuckets;
+  const int64_t width = int64_t{1} << (msb - kSubBucketBits);
+  return (int64_t{1} << msb) + (offset + 1) * width - 1;
+}
+
+void HistogramData::Record(int64_t value) {
+  if (value < 0) value = 0;
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t HistogramData::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Closest-rank over the cumulative bucket counts; the reported value is
+  // the rank's bucket upper bound clamped into the exact observed range.
+  const auto target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= target) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram::Histogram() {
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<uint64_t>[]>(
+        static_cast<size_t>(HistogramData::kBucketCount));
+    for (int i = 0; i < HistogramData::kBucketCount; ++i) {
+      s.buckets[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Shard& Histogram::ThisThreadShard() {
+  // Round-robin shard assignment at first touch spreads threads evenly
+  // regardless of thread-id hashing quality; a thread keeps its shard for
+  // its lifetime, so its increments stay on warm lines.
+  static std::atomic<uint32_t> next_slot{0};
+  static thread_local uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return shards_[slot & (kShards - 1)];
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  Shard& s = ThisThreadShard();
+  s.buckets[static_cast<size_t>(HistogramData::BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = s.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !s.min.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = s.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !s.max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData out;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Shard& s : shards_) {
+    const int64_t shard_count = s.count.load(std::memory_order_relaxed);
+    if (shard_count == 0) continue;
+    out.count_ += shard_count;
+    out.sum_ += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    max = std::max(max, s.max.load(std::memory_order_relaxed));
+    for (int i = 0; i < HistogramData::kBucketCount; ++i) {
+      out.buckets_[static_cast<size_t>(i)] +=
+          s.buckets[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count_ > 0) {
+    out.min_ = min;
+    out.max_ = max;
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(INT64_MAX, std::memory_order_relaxed);
+    s.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (int i = 0; i < HistogramData::kBucketCount; ++i) {
+      s.buckets[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace pvdb

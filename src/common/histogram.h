@@ -1,0 +1,130 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Mergeable log-linear (HDR-style) latency histogram for the serving path.
+// Values are non-negative int64 counts of some unit (the engine records
+// nanoseconds). Each power-of-two range [2^k, 2^(k+1)) is split into
+// kSubBuckets linear sub-buckets, so any recorded value lands in a bucket
+// whose width is at most value / kSubBuckets — quantile estimates carry a
+// bounded relative error of 1/kSubBuckets (3.125%) and extraction walks the
+// bucket array instead of copy-sorting a sample vector.
+//
+// Two layers:
+//   * Histogram — the concurrent recorder. Record() is lock-free: threads
+//     are spread over cacheline-padded shards of relaxed atomic bucket
+//     counters, so concurrent workers recording the same histogram never
+//     contend on a line. Snapshot() folds the shards into a plain
+//     HistogramData.
+//   * HistogramData — the plain (single-threaded) form: per-batch local
+//     accumulation, shard folding, cross-histogram Merge, and percentile /
+//     mean extraction. Same bucket layout everywhere, so any two of them
+//     merge by bucketwise addition.
+
+#ifndef PVDB_COMMON_HISTOGRAM_H_
+#define PVDB_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pvdb {
+
+/// Plain bucket-array histogram: single-threaded recording and all
+/// read-side math (percentiles, mean, merge). Histogram::Snapshot()
+/// produces one; batch-local latency stats build one directly.
+class HistogramData {
+ public:
+  /// Linear sub-buckets per power-of-two range; bounds the relative error
+  /// of any percentile estimate by 1 / kSubBuckets.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int64_t kSubBuckets = int64_t{1} << kSubBucketBits;
+  /// Values in [0, kSubBuckets) are exact; ranges [2^k, 2^(k+1)) for
+  /// k in [kSubBucketBits, 62] get kSubBuckets buckets each.
+  static constexpr int kBucketCount =
+      static_cast<int>(kSubBuckets) +
+      (62 - kSubBucketBits + 1) * static_cast<int>(kSubBuckets);
+
+  /// The bucket index of `value` (negatives clamp to 0).
+  static int BucketIndex(int64_t value);
+  /// Inclusive upper bound of bucket `index` — the value a percentile
+  /// estimate reports for ranks landing in that bucket (never under the
+  /// true value, at most 1/kSubBuckets above it).
+  static int64_t BucketUpperBound(int index);
+
+  HistogramData() : buckets_(kBucketCount, 0) {}
+
+  /// Adds one observation (not thread-safe; use Histogram for that).
+  void Record(int64_t value);
+
+  /// Adds another histogram's observations (bucketwise; exact).
+  void Merge(const HistogramData& other);
+
+  /// The p-th percentile (p in [0, 100]) by cumulative bucket walk, clamped
+  /// to the exact observed [min, max]. 0 when empty. No sorting.
+  int64_t Percentile(double p) const;
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+ private:
+  friend class Histogram;
+
+  std::vector<uint64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// The concurrent recorder: lock-free Record(), snapshot-based reads.
+class Histogram {
+ public:
+  Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Adds one observation. Lock-free and wait-free apart from the min/max
+  /// CAS refresh (which almost always succeeds first try at steady state):
+  /// the calling thread picks its shard once (thread-local round-robin) and
+  /// then only issues relaxed fetch_adds on that shard's cachelines.
+  void Record(int64_t value);
+
+  /// Folds every shard into one consistent-enough view. Concurrent
+  /// recorders may land between the per-shard reads; each observation is
+  /// counted at most once (relaxed snapshot semantics, standard for
+  /// monitoring reads).
+  HistogramData Snapshot() const;
+
+  /// Resets every bucket to zero (concurrent Records may survive the wipe;
+  /// harness-style use resets between phases, not under load).
+  void Reset();
+
+ private:
+  /// Shards are padded to cachelines so two workers on different shards
+  /// never false-share a counter line.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+  };
+
+  static constexpr int kShardBits = 3;
+  static constexpr int kShards = 1 << kShardBits;  // 8
+
+  Shard& ThisThreadShard();
+
+  Shard shards_[kShards];
+};
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_HISTOGRAM_H_

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <iterator>
 
 namespace pvdb {
 
@@ -15,14 +18,16 @@ void Summary::Add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
-  sum_ += x;
-  sum_sq_ += x * x;
+  // Welford: both updates use the deviation from the running mean, so the
+  // accumulator stays on the scale of the variance, not of x².
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
 }
 
 double Summary::stddev() const {
   if (count_ < 2) return 0.0;
-  const double n = static_cast<double>(count_);
-  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  const double var = m2_ / static_cast<double>(count_ - 1);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -34,20 +39,31 @@ void Summary::Merge(const Summary& other) {
   }
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  // Chan et al. pairwise combine: the cross term accounts for the two
+  // streams' mean offset.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   count_ += other.count_;
-  sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
 }
 
 MetricRegistry::MetricRegistry(MetricRegistry&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  callback_gauges_ = std::move(other.callback_gauges_);
+  histograms_ = std::move(other.histograms_);
 }
 
 MetricRegistry& MetricRegistry::operator=(MetricRegistry&& other) noexcept {
   if (this == &other) return *this;
   std::scoped_lock lock(mu_, other.mu_);
   counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  callback_gauges_ = std::move(other.callback_gauges_);
+  histograms_ = std::move(other.histograms_);
   return *this;
 }
 
@@ -66,15 +82,49 @@ MetricRegistry::Counter* MetricRegistry::Register(const std::string& name) {
   return FindOrCreateLocked(name);
 }
 
+MetricRegistry::Gauge* MetricRegistry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+void MetricRegistry::RegisterCallbackGauge(const std::string& name,
+                                           std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_[name] = std::move(fn);
+}
+
+Histogram* MetricRegistry::RegisterHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
 void MetricRegistry::Increment(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   FindOrCreateLocked(name)->Increment(delta);
 }
 
 int64_t MetricRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value();
+  std::function<int64_t()> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second->value();
+    auto git = gauges_.find(name);
+    if (git != gauges_.end()) return git->second->value();
+    auto cit = callback_gauges_.find(name);
+    if (cit == callback_gauges_.end()) return 0;
+    callback = cit->second;
+  }
+  // Invoked outside the lock: a callback is free to read other metrics.
+  return callback();
 }
 
 void MetricRegistry::Reset() {
@@ -82,12 +132,141 @@ void MetricRegistry::Reset() {
   for (auto& [_, c] : counters_) {
     c->value_.store(0, std::memory_order_relaxed);
   }
+  for (auto& [_, g] : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [_, h] : histograms_) h->Reset();
 }
 
 std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; pvdb names use '.' and '-'
+/// as separators. "pager.page_reads" → "pvdb_pager_page_reads".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "pvdb_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+constexpr double kQuantiles[] = {50.0, 90.0, 99.0, 99.9};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+constexpr const char* kQuantileJsonKeys[] = {"p50", "p90", "p99", "p999"};
+
+}  // namespace
+
+std::string MetricRegistry::ExportPrometheusText() const {
+  // Copy the callback map, run the callbacks unlocked (they may read other
+  // registries or this one), then render under the lock.
+  std::map<std::string, std::function<int64_t()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks = callback_gauges_;
+  }
+  std::map<std::string, int64_t> callback_values;
+  for (const auto& [name, fn] : callbacks) callback_values[name] = fn();
+
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s counter\n%s %lld\n", pn.c_str(), pn.c_str(),
+            static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s %lld\n", pn.c_str(), pn.c_str(),
+            static_cast<long long>(g->value()));
+  }
+  for (const auto& [name, value] : callback_values) {
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s %lld\n", pn.c_str(), pn.c_str(),
+            static_cast<long long>(value));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = PrometheusName(name);
+    const HistogramData data = h->Snapshot();
+    AppendF(&out, "# TYPE %s summary\n", pn.c_str());
+    for (size_t q = 0; q < std::size(kQuantiles); ++q) {
+      AppendF(&out, "%s{quantile=\"%s\"} %lld\n", pn.c_str(),
+              kQuantileLabels[q],
+              static_cast<long long>(data.Percentile(kQuantiles[q])));
+    }
+    AppendF(&out, "%s_sum %lld\n%s_count %lld\n", pn.c_str(),
+            static_cast<long long>(data.sum()), pn.c_str(),
+            static_cast<long long>(data.count()));
+  }
+  return out;
+}
+
+std::string MetricRegistry::ExportJson() const {
+  std::map<std::string, std::function<int64_t()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks = callback_gauges_;
+  }
+  std::map<std::string, int64_t> callback_values;
+  for (const auto& [name, fn] : callbacks) callback_values[name] = fn();
+
+  std::string out = "{\"counters\":{";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    AppendF(&out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(c->value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    AppendF(&out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(g->value()));
+    first = false;
+  }
+  for (const auto& [name, value] : callback_values) {
+    AppendF(&out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(value));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramData data = h->Snapshot();
+    AppendF(&out,
+            "%s\"%s\":{\"count\":%lld,\"sum\":%lld,\"min\":%lld,"
+            "\"max\":%lld,\"mean\":%.2f",
+            first ? "" : ",", name.c_str(),
+            static_cast<long long>(data.count()),
+            static_cast<long long>(data.sum()),
+            static_cast<long long>(data.min()),
+            static_cast<long long>(data.max()), data.mean());
+    for (size_t q = 0; q < std::size(kQuantiles); ++q) {
+      AppendF(&out, ",\"%s\":%lld", kQuantileJsonKeys[q],
+              static_cast<long long>(data.Percentile(kQuantiles[q])));
+    }
+    out += "}";
+    first = false;
+  }
+  out += "}}";
   return out;
 }
 

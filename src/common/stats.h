@@ -1,13 +1,17 @@
 // Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
 //
-// Lightweight metric counters and summary statistics. The experiment harness
-// snapshots counters (e.g. page reads) around each query to attribute I/O.
+// Metric primitives and the registry that exports them. The experiment
+// harness snapshots counters (e.g. page reads) around each query to
+// attribute I/O; the serving engine additionally registers gauges and
+// log-linear latency histograms and exposes everything through
+// ExportPrometheusText() / ExportJson() for scraping.
 
 #ifndef PVDB_COMMON_STATS_H_
 #define PVDB_COMMON_STATS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,47 +19,55 @@
 #include <string>
 #include <vector>
 
+#include "src/common/histogram.h"
+
 namespace pvdb {
 
 /// Running summary of a sample stream: count / mean / min / max / stddev.
+/// Variance uses Welford's online recurrence (and Chan's pairwise merge),
+/// so large counts of large near-equal values don't cancel catastrophically
+/// the way a sum-of-squares accumulator does.
 class Summary {
  public:
   /// Adds one observation.
   void Add(double x);
 
   int64_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return sum_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
   /// Sample standard deviation (0 when fewer than two observations).
   double stddev() const;
 
-  /// Merges another summary into this one.
+  /// Merges another summary into this one (Chan's parallel combine; the
+  /// result matches a single summary fed both streams).
   void Merge(const Summary& other);
 
  private:
   int64_t count_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  /// Sum of squared deviations from the running mean (Welford's M2).
+  double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
 
-/// Named monotonic counters, grouped per component instance.
+/// Named metrics, grouped per component instance: monotonic counters,
+/// settable gauges (direct or callback-sampled at export time), and
+/// thread-sharded latency histograms.
 ///
-/// Counter values are atomics. By-name Increment takes the registry mutex to
-/// find (or create) the counter; hot paths pre-resolve a Counter* handle
-/// with Register() once and then increment lock-free, so concurrent workers
-/// charging the same counter never serialize on the registry. Name lookups
-/// and handle increments address the same underlying value.
+/// Counter and gauge values are atomics. By-name Increment takes the
+/// registry mutex to find (or create) the metric; hot paths pre-resolve a
+/// handle with Register*() once and then update lock-free, so concurrent
+/// workers charging the same metric never serialize on the registry.
 /// Single-threaded experiments keep the paper's semantics: counter deltas
 /// around a query are exact when no other thread touches the same component
 /// instance.
 class MetricRegistry {
  public:
   /// A pre-registered counter: wait-free increments, no name lookup. Handles
-  /// stay valid for the registry's lifetime (counters are never removed).
+  /// stay valid for the registry's lifetime (metrics are never removed).
   class Counter {
    public:
     void Increment(int64_t delta = 1) {
@@ -69,6 +81,23 @@ class MetricRegistry {
     std::atomic<int64_t> value_{0};
   };
 
+  /// A pre-registered gauge: a point-in-time level (queue depth, generation
+  /// number) rather than a monotonic count. Same handle semantics as
+  /// Counter.
+  class Gauge {
+   public:
+    void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+    void Add(int64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class MetricRegistry;
+    Gauge() = default;
+    std::atomic<int64_t> value_{0};
+  };
+
   MetricRegistry() = default;
   MetricRegistry(MetricRegistry&& other) noexcept;
   MetricRegistry& operator=(MetricRegistry&& other) noexcept;
@@ -77,25 +106,55 @@ class MetricRegistry {
   /// always yields the same handle.
   Counter* Register(const std::string& name);
 
+  /// The handle for gauge `name`, creating it at zero.
+  Gauge* RegisterGauge(const std::string& name);
+
+  /// Registers a gauge whose value is computed by `fn` at export/Get time
+  /// (e.g. cache size, snapshot age). `fn` must stay callable for the
+  /// registry's lifetime and be safe to invoke from any exporting thread.
+  /// Re-registering a name replaces its callback.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<int64_t()> fn);
+
+  /// The handle for histogram `name`, creating it empty. Histograms record
+  /// lock-free (thread-sharded) and export sort-free percentiles.
+  Histogram* RegisterHistogram(const std::string& name);
+
   /// Adds `delta` to counter `name` (creating it at zero).
   void Increment(const std::string& name, int64_t delta = 1);
 
-  /// Current value of `name` (0 when absent).
+  /// Current value of counter, gauge, or callback gauge `name`, in that
+  /// lookup order (0 when absent).
   int64_t Get(const std::string& name) const;
 
-  /// Resets every counter to zero.
+  /// Resets every counter, gauge, and histogram to zero (callback gauges
+  /// are computed, not stored, and are unaffected).
   void Reset();
 
   /// Stable snapshot of all counters.
   std::map<std::string, int64_t> Snapshot() const;
 
+  /// Everything in Prometheus text exposition format. Metric names are
+  /// sanitized ('.' and '-' become '_') and prefixed "pvdb_"; histograms
+  /// export as summaries (quantile 0.5/0.9/0.99/0.999 plus _sum/_count) in
+  /// the recorded unit.
+  std::string ExportPrometheusText() const;
+
+  /// Everything as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,mean,p50,p90,p99,p999}}}
+  std::string ExportJson() const;
+
  private:
   Counter* FindOrCreateLocked(const std::string& name);
 
   mutable std::mutex mu_;
-  // unique_ptr values: Counter addresses survive map growth, so Register()'d
-  // handles (and moves of the whole registry) never dangle.
+  // unique_ptr values: metric addresses survive map growth, so handles (and
+  // moves of the whole registry) never dangle.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::function<int64_t()>> callback_gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// The p-th percentile (p in [0, 100]) of an ascending-sorted sample span
@@ -103,8 +162,9 @@ class MetricRegistry {
 /// extracting several percentiles sort once and call this repeatedly.
 double PercentileSorted(std::span<const double> sorted, double p);
 
-/// Convenience over unsorted samples: copies, sorts, delegates. Used by the
-/// serving path for p50/p99 latency reporting.
+/// Convenience over unsorted samples: copies, sorts, delegates. Offline
+/// analysis only — the serving path extracts percentiles from histograms
+/// without copying or sorting.
 double Percentile(std::vector<double> samples, double p);
 
 }  // namespace pvdb

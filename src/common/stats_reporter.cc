@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/common/stats_reporter.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace pvdb {
+
+StatsReporter::StatsReporter(const MetricRegistry* registry,
+                             StatsReporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  PVDB_CHECK(registry_ != nullptr);
+  if (options_.sink == nullptr) {
+    options_.sink = [](const std::string& text) {
+      std::fprintf(stderr, "%s\n", text.c_str());
+    };
+  }
+  if (options_.interval.count() <= 0) {
+    options_.interval = std::chrono::milliseconds(1000);
+  }
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  // The final export: a process stopping right after its last tick still
+  // publishes everything recorded since then.
+  EmitOnce();
+}
+
+void StatsReporter::EmitOnce() {
+  const std::string text =
+      options_.format == StatsReporterOptions::Format::kPrometheus
+          ? registry_->ExportPrometheusText()
+          : registry_->ExportJson();
+  options_.sink(text);
+  reports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    EmitOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace pvdb

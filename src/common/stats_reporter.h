@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Periodic metrics exporter: a background thread that renders a
+// MetricRegistry (Prometheus text or one JSON line) on a fixed interval and
+// hands it to a sink. The examples append the lines to a file; a future RPC
+// front end serves the same strings from a /metrics handler. Stop() (and
+// destruction) always emits one final export, so short-lived processes
+// still publish their numbers.
+
+#ifndef PVDB_COMMON_STATS_REPORTER_H_
+#define PVDB_COMMON_STATS_REPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/stats.h"
+
+namespace pvdb {
+
+struct StatsReporterOptions {
+  enum class Format { kJson, kPrometheus };
+
+  std::chrono::milliseconds interval{1000};
+  Format format = Format::kJson;
+  /// Receives one rendered export per tick (and one final export at Stop).
+  /// Called from the reporter thread; must be thread-safe with respect to
+  /// the caller's own use of the sink target.
+  std::function<void(const std::string&)> sink;
+};
+
+/// Owns the reporting thread. Start() is idempotent; Stop() (idempotent,
+/// also run by the destructor) joins the thread after a final export. The
+/// registry is borrowed and must outlive the reporter.
+class StatsReporter {
+ public:
+  StatsReporter(const MetricRegistry* registry, StatsReporterOptions options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Start();
+  void Stop();
+
+  int64_t reports() const { return reports_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  const MetricRegistry* registry_;
+  StatsReporterOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::atomic<int64_t> reports_{0};
+  std::thread thread_;
+};
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_STATS_REPORTER_H_

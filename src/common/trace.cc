@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/common/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pvdb {
+
+const char* QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kPlan:
+      return "plan";
+    case QueryStage::kLeafCache:
+      return "leaf_cache";
+    case QueryStage::kStep1Prune:
+      return "step1_prune";
+    case QueryStage::kStep2:
+      return "step2";
+    case QueryStage::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(TraceOptions options) : options_(std::move(options)) {
+  if (options_.sink == nullptr) {
+    options_.sink = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+}
+
+bool Tracer::SampleNext() {
+  if (!options_.enabled) return false;
+  if (options_.sample_every_n <= 1) return true;
+  return sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+             options_.sample_every_n ==
+         0;
+}
+
+std::string Tracer::FormatLine(const QueryTraceInfo& info, bool sampled,
+                               bool slow) {
+  char buf[512];
+  std::string line;
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"query_trace\",\"seq\":%llu,\"sampled\":%s,"
+                "\"slow\":%s,\"backend\":\"%s\",\"ok\":%s,\"cache_hit\":%s,"
+                "\"results\":%zu,\"latency_ms\":%.4f,\"stages_us\":{",
+                static_cast<unsigned long long>(info.seq),
+                sampled ? "true" : "false", slow ? "true" : "false",
+                info.backend, info.ok ? "true" : "false",
+                info.cache_hit ? "true" : "false", info.results,
+                info.latency_ms);
+  line += buf;
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.1f", s == 0 ? "" : ",",
+                  QueryStageName(static_cast<QueryStage>(s)),
+                  static_cast<double>(info.stages.ns[static_cast<size_t>(s)]) *
+                      1e-3);
+    line += buf;
+  }
+  line += "}}";
+  return line;
+}
+
+Tracer::EmitDecision Tracer::Decide(double latency_ms) {
+  EmitDecision d;
+  if (!options_.enabled) return d;
+  d.slow = latency_ms >= options_.slow_query_ms;
+  d.sampled = SampleNext();
+  if (d.slow) slow_.fetch_add(1, std::memory_order_relaxed);
+  d.emit = d.sampled || d.slow;
+  return d;
+}
+
+void Tracer::EmitDecided(const QueryTraceInfo& info,
+                         const EmitDecision& decision) {
+  if (!decision.emit) return;
+  options_.sink(FormatLine(info, decision.sampled, decision.slow));
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Tracer::MaybeEmit(const QueryTraceInfo& info) {
+  const EmitDecision d = Decide(info.latency_ms);
+  EmitDecided(info, d);
+  return d.emit;
+}
+
+}  // namespace pvdb

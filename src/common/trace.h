@@ -1,0 +1,199 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Per-query trace spans for the serving engine: nanosecond stage timers
+// over the pipeline the paper's cost model decomposes (plan / Step-1 prune /
+// leaf-cache / Step-2 sweep / result merge), plus a Tracer that turns
+// completed traces into structured JSON lines under 1-in-N sampling and a
+// slow-query latency threshold.
+//
+// The timing side is built to be left on in production: a ScopedStageTimer
+// holding a null sink reads no clock at all, and an active one costs two
+// steady_clock reads per stage. The engine threads the active StageTimings
+// through pv::QueryScratch so library-level code (the Step-2 evaluator)
+// attributes its own time without the engine guessing at call sites.
+
+#ifndef PVDB_COMMON_TRACE_H_
+#define PVDB_COMMON_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace pvdb {
+
+/// The serving pipeline's stages, in execution order. Indexes StageTimings
+/// and the engine's per-stage histograms.
+enum class QueryStage : int {
+  /// Leaf location / backend planning (FindLeaf descent; on the batched
+  /// path also the group's candidate-record resolution).
+  kPlan = 0,
+  /// Leaf-cache lookup, miss-path leaf block read, and insertion.
+  kLeafCache = 1,
+  /// Step-1 minmax pruning (block kernels or the backend's full Step 1).
+  kStep1Prune = 2,
+  /// Step-2 probability evaluation (per-query or group sweep; charged by
+  /// the evaluator itself through QueryScratch).
+  kStep2 = 3,
+  /// Answer assembly: distributing group results / finalizing statuses.
+  kMerge = 4,
+};
+
+inline constexpr int kNumQueryStages = 5;
+
+/// Stable lowercase stage name ("plan", "leaf_cache", ...).
+const char* QueryStageName(QueryStage stage);
+
+/// One query's (or one group sweep's) per-stage nanosecond attribution.
+struct StageTimings {
+  std::array<int64_t, kNumQueryStages> ns{};
+
+  void Add(QueryStage stage, int64_t nanos) {
+    ns[static_cast<size_t>(stage)] += nanos;
+  }
+  int64_t total_ns() const {
+    int64_t t = 0;
+    for (int64_t v : ns) t += v;
+    return t;
+  }
+  void MergeFrom(const StageTimings& other) {
+    for (size_t i = 0; i < ns.size(); ++i) ns[i] += other.ns[i];
+  }
+};
+
+/// Monotonic now() in nanoseconds (steady_clock; vDSO-fast on Linux).
+inline int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Charges its lifetime to one stage of `sink`; a null sink disables the
+/// timer entirely (no clock reads — the disabled-tracing fast path).
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimings* sink, QueryStage stage)
+      : sink_(sink), stage_(stage), start_(sink ? TraceNowNs() : 0) {}
+  ~ScopedStageTimer() {
+    if (sink_ != nullptr) sink_->Add(stage_, TraceNowNs() - start_);
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimings* sink_;
+  QueryStage stage_;
+  int64_t start_;
+};
+
+/// Sequential stage attribution with one clock read per boundary — half
+/// the reads of back-to-back ScopedStageTimers when stages run strictly in
+/// sequence (each Lap's start is the previous Lap's end). A null sink
+/// reads no clock at all.
+class StageLap {
+ public:
+  explicit StageLap(StageTimings* sink)
+      : sink_(sink), last_(sink ? TraceNowNs() : 0) {}
+
+  /// Charges the time since construction (or since the previous Lap) to
+  /// `stage`.
+  void Lap(QueryStage stage) {
+    if (sink_ == nullptr) return;
+    const int64_t now = TraceNowNs();
+    sink_->Add(stage, now - last_);
+    last_ = now;
+  }
+
+ private:
+  StageTimings* sink_;
+  int64_t last_;
+};
+
+/// Trace emission tunables (QueryEngineOptions::trace).
+struct TraceOptions {
+  /// Master switch for JSON-line emission. Stage timing itself is governed
+  /// by QueryEngineOptions::stage_timing — traces need it on to carry data.
+  bool enabled = false;
+  /// Emit every N-th completed query trace (deterministic: the k-th
+  /// completed trace is sampled iff k % N == 0). 0 and 1 both mean every
+  /// query.
+  uint32_t sample_every_n = 64;
+  /// Queries at or above this end-to-end latency are emitted regardless of
+  /// sampling, tagged "slow": true. Default: never.
+  double slow_query_ms = std::numeric_limits<double>::infinity();
+  /// Receives each emitted line (no trailing newline). Must be thread-safe:
+  /// per-query-path traces emit from pool workers. Default: stderr, one
+  /// line per call.
+  std::function<void(const std::string&)> sink;
+};
+
+/// What a completed query hands the Tracer.
+struct QueryTraceInfo {
+  uint64_t seq = 0;
+  double latency_ms = 0.0;
+  StageTimings stages;
+  bool cache_hit = false;
+  bool ok = true;
+  size_t results = 0;
+  const char* backend = "";
+};
+
+/// Decides which completed traces to emit and renders them as one JSON
+/// object per line:
+///
+///   {"type":"query_trace","seq":64,"sampled":true,"slow":false,
+///    "backend":"snapshot","ok":true,"cache_hit":true,"results":3,
+///    "latency_ms":1.234,"stages_us":{"plan":12.4,"leaf_cache":6.0,
+///    "step1_prune":4.1,"step2":980.2,"merge":0.3}}
+///
+/// Thread-safe; the sampling counter is shared so a multi-worker engine
+/// still emits exactly 1-in-N of its completed traces.
+class Tracer {
+ public:
+  explicit Tracer(TraceOptions options);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Deterministic sampling decision for the next completed trace.
+  bool SampleNext();
+
+  /// Hot-path split of MaybeEmit: consumes one sampling slot, counts slow
+  /// queries, and says whether a line will be written — so callers skip
+  /// assembling QueryTraceInfo entirely for the common silent case.
+  struct EmitDecision {
+    bool sampled = false;
+    bool slow = false;
+    bool emit = false;
+  };
+  EmitDecision Decide(double latency_ms);
+
+  /// Writes the line for a Decide() that returned emit. Must be paired
+  /// with exactly that decision (Decide already did the bookkeeping).
+  void EmitDecided(const QueryTraceInfo& info, const EmitDecision& decision);
+
+  /// Emits `info` when sampled or slow; returns whether a line was written.
+  bool MaybeEmit(const QueryTraceInfo& info);
+
+  /// The JSON line for `info` (exposed for golden-format tests).
+  static std::string FormatLine(const QueryTraceInfo& info, bool sampled,
+                                bool slow);
+
+  int64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  int64_t slow_count() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TraceOptions options_;
+  std::atomic<uint64_t> sample_counter_{0};
+  std::atomic<int64_t> emitted_{0};
+  std::atomic<int64_t> slow_{0};
+};
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_TRACE_H_

@@ -192,6 +192,7 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
     QueryScratch* scratch, MetricRegistry::Counter* io,
     double min_probability, Status* status) const {
   PVDB_CHECK(scratch != nullptr);
+  ScopedStageTimer stage_timer(scratch->timings, QueryStage::kStep2);
   if (status != nullptr) *status = Status::OK();
 
   auto& objs = scratch->objs;
@@ -289,6 +290,7 @@ std::vector<std::vector<PnnResult>> PnnStep2Evaluator::EvaluateGroup(
     MetricRegistry::Counter* io, const Step2GroupOptions& options,
     Step2BatchStats* stats, Status* status) const {
   PVDB_CHECK(scratch != nullptr);
+  ScopedStageTimer stage_timer(scratch->timings, QueryStage::kStep2);
   if (status != nullptr) *status = Status::OK();
   const size_t nq = queries.size();
   const size_t nc = candidates.size();

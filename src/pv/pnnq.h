@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/geom/distance.h"
 #include "src/geom/distance_batch.h"
 #include "src/pv/octree.h"
@@ -71,6 +72,13 @@ struct QueryScratch {
   std::vector<uint8_t> batch_alive;
   /// Alive candidates left per query.
   std::vector<uint32_t> batch_alive_left;
+
+  /// Serving-path trace hook: when non-null, the Step-2 evaluator charges
+  /// its elapsed time here (QueryStage::kStep2). The engine points this at
+  /// the active query's (or group sweep's) StageTimings around each
+  /// evaluation; library callers leave it null and pay no clock reads.
+  /// Borrowed, never owned — users must clear it before the pointee dies.
+  StageTimings* timings = nullptr;
 
   /// Heap bytes currently reserved across every pooled buffer (capacities,
   /// not sizes — the number ShrinkToFit compares against its bound).

@@ -32,8 +32,10 @@
 #include "src/common/logging.h"    // IWYU pragma: export
 #include "src/common/random.h"     // IWYU pragma: export
 #include "src/common/stats.h"      // IWYU pragma: export
+#include "src/common/stats_reporter.h"  // IWYU pragma: export
 #include "src/common/status.h"     // IWYU pragma: export
 #include "src/common/timer.h"      // IWYU pragma: export
+#include "src/common/trace.h"      // IWYU pragma: export
 #include "src/eval/experiments.h"  // IWYU pragma: export
 #include "src/eval/params.h"       // IWYU pragma: export
 #include "src/eval/report.h"       // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include "src/service/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 #include <utility>
 
@@ -31,12 +32,18 @@ Status ValidateQueryEngineOptions(const QueryEngineOptions& options) {
         "min_probability must lie in [0, 1); qualification probabilities "
         "never exceed 1");
   }
+  // NaN (!(x >= 0)) and negative thresholds would tag every query slow.
+  if (options.trace.enabled && !(options.trace.slow_query_ms >= 0.0)) {
+    return Status::InvalidArgument(
+        "trace.slow_query_ms must be a non-negative latency threshold "
+        "(use infinity to disable the slow-query log)");
+  }
   return Status::OK();
 }
 
 QueryEngine::QueryEngine(uncertain::Dataset* db,
                          const QueryEngineOptions& options)
-    : db_(db), options_(options) {}
+    : db_(db), options_(options), tracer_(options.trace) {}
 
 QueryEngine::~QueryEngine() {
   // Join workers first so no task touches the engine during teardown, then
@@ -117,8 +124,58 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     engine->state_.store(std::move(state), std::memory_order_release);
   }
 
+  engine->backend_name_ = BackendKindName(plan.backend);
   engine->step2_pages_ =
       engine->metrics_.Register(pv::PnnCounters::kPdfPagesRead);
+  engine->queries_total_ = engine->metrics_.Register("engine.queries");
+  engine->query_failures_ =
+      engine->metrics_.Register("engine.query_failures");
+  engine->batches_total_ = engine->metrics_.Register("engine.batches");
+  engine->leaf_block_reads_ =
+      engine->metrics_.Register("engine.leaf_block_reads");
+  engine->latency_hist_ =
+      engine->metrics_.RegisterHistogram("engine.latency_ns");
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    engine->stage_hists_[static_cast<size_t>(s)] =
+        engine->metrics_.RegisterHistogram(
+            std::string("engine.stage.") +
+            QueryStageName(static_cast<QueryStage>(s)) + "_ns");
+  }
+  engine->queue_wait_hist_ =
+      engine->metrics_.RegisterHistogram("engine.pool.queue_wait_ns");
+  engine->snapshot_generation_ =
+      engine->metrics_.RegisterGauge("engine.snapshot.generation");
+  if (plan.backend == BackendKind::kSnapshot) {
+    engine->snapshot_adopt_ns_.store(TraceNowNs(),
+                                     std::memory_order_relaxed);
+  }
+  // Callback gauges: levels sampled at export time through the live
+  // engine. Safe because the registry is an engine member — an export can
+  // only run while the engine (and thus the pool and serving state) is
+  // alive.
+  QueryEngine* eng = engine.get();
+  engine->metrics_.RegisterCallbackGauge(
+      "engine.pool.queue_depth",
+      [eng] { return static_cast<int64_t>(eng->pool_->QueueDepth()); });
+  engine->metrics_.RegisterCallbackGauge("engine.cache.hits", [eng] {
+    const StatePtr s = eng->CurrentState();
+    return s != nullptr && s->cache != nullptr ? s->cache->hits() : 0;
+  });
+  engine->metrics_.RegisterCallbackGauge("engine.cache.misses", [eng] {
+    const StatePtr s = eng->CurrentState();
+    return s != nullptr && s->cache != nullptr ? s->cache->misses() : 0;
+  });
+  engine->metrics_.RegisterCallbackGauge("engine.cache.size", [eng] {
+    const StatePtr s = eng->CurrentState();
+    return s != nullptr && s->cache != nullptr
+               ? static_cast<int64_t>(s->cache->size())
+               : 0;
+  });
+  engine->metrics_.RegisterCallbackGauge("engine.snapshot.age_seconds", [eng] {
+    const int64_t t0 =
+        eng->snapshot_adopt_ns_.load(std::memory_order_relaxed);
+    return t0 == 0 ? 0 : (TraceNowNs() - t0) / 1'000'000'000;
+  });
   if (backends.pv != nullptr) {
     engine->pv_index_ = backends.pv;
     // Invalidation hook: any PV-index mutation flushes its cached leaves
@@ -132,6 +189,7 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     });
   }
   engine->pool_ = std::make_unique<ThreadPool>(options.threads);
+  engine->pool_->SetQueueWaitHistogram(engine->queue_wait_hist_);
   return engine;
 }
 
@@ -162,7 +220,8 @@ pv::QueryScratch& WorkerScratch() {
 QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
                                                 const geom::Point& q,
                                                 pv::QueryScratch* scratch,
-                                                bool want_grouping) const {
+                                                bool want_grouping,
+                                                StageTimings* timings) const {
   Step1Outcome out;
   out.state = state;
   out.epoch = epoch_.load(std::memory_order_relaxed);
@@ -175,8 +234,13 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
       cache != nullptr ||
       (want_grouping && options_.batch_step2 &&
        active->SupportsLeafGrouping());
+  // Lap attribution: the stages here run strictly in sequence, so each
+  // boundary needs only one clock read (vs two per ScopedStageTimer).
+  StageLap lap(timings);
   if (want_leaf) {
-    auto ref_or = active->FindLeaf(q);
+    Result<std::optional<pv::OctreePrimary::LeafRef>> ref_or =
+        active->FindLeaf(q);
+    lap.Lap(QueryStage::kPlan);
     if (!ref_or.ok()) {
       out.status = ref_or.status();
       return out;
@@ -197,19 +261,24 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
         } else {
           auto read = active->ReadLeafBlock(ref);
           if (!read.ok()) {
+            lap.Lap(QueryStage::kLeafCache);
             out.status = read.status();
             return out;
           }
-          block = cache->Insert(active->kind(), ref.id,
-                                std::move(read).value());
+          leaf_block_reads_->Increment();
+          block =
+              cache->Insert(active->kind(), ref.id, std::move(read).value());
         }
+        lap.Lap(QueryStage::kLeafCache);
         out.candidates = active->PruneLeafBlock(*block, q, scratch);
+        lap.Lap(QueryStage::kStep1Prune);
         out.block = std::move(block);
         return out;
       }
     }
   }
   auto step1 = active->Step1(q, scratch);
+  lap.Lap(QueryStage::kStep1Prune);
   if (!step1.ok()) {
     out.status = step1.status();
     return out;
@@ -224,6 +293,10 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
   PnnAnswer ans = AnswerOneLocked(q);
   // Latency includes the wait for the shared lock (a writer may hold it).
   ans.latency_ms = watch.ElapsedMillis();
+  // The per-query serving paths (Submit futures, per-query batches) account
+  // here; the grouped batch path records in one pass after its sweep and
+  // calls AnswerOneLocked directly, so nothing double-counts.
+  RecordAnswer(ans);
   return ans;
 }
 
@@ -232,22 +305,58 @@ PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
   StopWatch watch;
   const StatePtr state = CurrentState();
   pv::QueryScratch& scratch = WorkerScratch();
-  Step1Outcome s1 = Step1One(state, q, &scratch, /*want_grouping=*/false);
+  StageTimings timings;
+  StageTimings* t = options_.stage_timing ? &timings : nullptr;
+  Step1Outcome s1 =
+      Step1One(state, q, &scratch, /*want_grouping=*/false, t);
   ans.cache_hit = s1.cache_hit;
   if (!s1.status.ok()) {
     ans.status = s1.status;
     ans.latency_ms = watch.ElapsedMillis();
+    ans.stage_ns = timings.ns;
     return ans;
   }
+  // The evaluator charges kStep2 itself through the scratch hook; cleared
+  // right after because the scratch is thread_local and `timings` is not.
+  scratch.timings = t;
   ans.results =
       state->step2->Evaluate(q, s1.candidates, &scratch,
                              options_.charge_step2_io ? step2_pages_ : nullptr,
                              options_.min_probability, &ans.status);
+  scratch.timings = nullptr;
   ans.latency_ms = watch.ElapsedMillis();
+  ans.stage_ns = timings.ns;
   if (options_.scratch_max_bytes > 0) {
     scratch.ShrinkToFit(options_.scratch_max_bytes);
   }
   return ans;
+}
+
+void QueryEngine::RecordAnswer(const PnnAnswer& ans) const {
+  queries_total_->Increment();
+  if (!ans.status.ok()) query_failures_->Increment();
+  latency_hist_->Record(std::llround(ans.latency_ms * 1e6));
+  if (options_.stage_timing) {
+    for (size_t i = 0; i < stage_hists_.size(); ++i) {
+      stage_hists_[i]->Record(ans.stage_ns[i]);
+    }
+  }
+  if (!tracer_.enabled()) return;
+  // The sequence number counts every completed query (so sampled traces
+  // carry their true position in the stream), but the trace payload is only
+  // assembled for the 1-in-N (or slow) queries that actually emit.
+  const uint64_t seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  const Tracer::EmitDecision decision = tracer_.Decide(ans.latency_ms);
+  if (!decision.emit) return;
+  QueryTraceInfo info;
+  info.seq = seq;
+  info.latency_ms = ans.latency_ms;
+  info.stages.ns = ans.stage_ns;
+  info.cache_hit = ans.cache_hit;
+  info.ok = ans.status.ok();
+  info.results = ans.results.size();
+  info.backend = backend_name_;
+  tracer_.EmitDecided(info, decision);
 }
 
 std::vector<PnnAnswer> QueryEngine::ExecutePerQuery(
@@ -269,12 +378,15 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
   // barrier), and records the serving state and mutation epoch it observed.
   pool_->ParallelFor(queries.size(), [this, &queries, &answers, &s1](size_t i) {
     StopWatch watch;
+    StageTimings timings;
+    StageTimings* t = options_.stage_timing ? &timings : nullptr;
     std::shared_lock<std::shared_mutex> lock(mu_);
     s1[i] = Step1One(CurrentState(), queries[i], &WorkerScratch(),
-                     /*want_grouping=*/true);
+                     /*want_grouping=*/true, t);
     answers[i].status = s1[i].status;
     answers[i].cache_hit = s1[i].cache_hit;
     answers[i].latency_ms = watch.ElapsedMillis();
+    answers[i].stage_ns = timings.ns;
   });
 
   // Plan — group successful queries by identical surviving candidate sets.
@@ -313,19 +425,33 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
     if (stale) {
       for (uint32_t qi : g.queries) {
         const double step1_ms = answers[qi].latency_ms;
+        const std::array<int64_t, kNumQueryStages> step1_ns =
+            answers[qi].stage_ns;
         answers[qi] = AnswerOneLocked(queries[qi]);
         // Keep the phase-1 work (and inter-phase wait) in the total.
         answers[qi].latency_ms += step1_ms;
+        for (size_t st = 0; st < step1_ns.size(); ++st) {
+          answers[qi].stage_ns[st] += step1_ns[st];
+        }
       }
       return;
     }
     const ServingState& gstate = *first.state;
     MetricRegistry::Counter* io =
         options_.charge_step2_io ? step2_pages_ : nullptr;
+    // Group-level attribution, merged into every member below — the same
+    // semantics as latency_ms, which charges the whole sweep to each
+    // member because no answer was ready before the group finished.
+    StageTimings gtimings;
+    StageTimings* gt = options_.stage_timing ? &gtimings : nullptr;
     if (g.queries.size() >= options_.step2_min_group_size &&
         !g.candidates.empty()) {
-      const std::vector<const uncertain::UncertainObject*> resolved =
-          ResolveGroup(g, first);
+      std::vector<const uncertain::UncertainObject*> resolved;
+      {
+        // Candidate-record resolution is planning work, not evaluation.
+        ScopedStageTimer plan_timer(gt, QueryStage::kPlan);
+        resolved = ResolveGroup(g, first);
+      }
       pv::Step2GroupOptions gopts;
       gopts.min_probability = options_.min_probability;
       gopts.max_scratch_bytes = options_.scratch_max_bytes;
@@ -335,15 +461,25 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
       group_queries.reserve(g.queries.size());
       for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
       Status group_status;
+      scratch.timings = gt;  // EvaluateGroup charges kStep2 itself
       auto results =
           gstate.step2->EvaluateGroup(group_queries, g.candidates, &scratch,
                                       io, gopts, &bstats, &group_status);
+      scratch.timings = nullptr;
+      {
+        ScopedStageTimer merge_timer(gt, QueryStage::kMerge);
+        for (size_t t = 0; t < g.queries.size(); ++t) {
+          answers[g.queries[t]].status = group_status;
+          answers[g.queries[t]].results = std::move(results[t]);
+        }
+      }
       const double group_ms = group_watch.ElapsedMillis();
-      for (size_t t = 0; t < g.queries.size(); ++t) {
-        answers[g.queries[t]].status = group_status;
-        answers[g.queries[t]].results = std::move(results[t]);
+      for (uint32_t qi : g.queries) {
         // The answer was not ready until its whole group swept.
-        answers[g.queries[t]].latency_ms += group_ms;
+        answers[qi].latency_ms += group_ms;
+        for (size_t st = 0; st < gtimings.ns.size(); ++st) {
+          answers[qi].stage_ns[st] += gtimings.ns[st];
+        }
       }
       groups_swept.fetch_add(1, std::memory_order_relaxed);
       queries_swept.fetch_add(static_cast<int64_t>(g.queries.size()),
@@ -351,18 +487,33 @@ std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
       pairs_pruned.fetch_add(bstats.pairs_pruned, std::memory_order_relaxed);
     } else {
       for (uint32_t qi : g.queries) {
+        // The stopwatch here spans exactly the Evaluate call, which is
+        // exactly what the kStep2 scratch hook would measure — so reuse its
+        // two clock reads for the stage attribution instead of arming the
+        // hook and paying two more.
         StopWatch watch;
         answers[qi].results =
             gstate.step2->Evaluate(queries[qi], g.candidates, &scratch, io,
                                    options_.min_probability,
                                    &answers[qi].status);
-        answers[qi].latency_ms += watch.ElapsedMillis();
+        const double step2_ms = watch.ElapsedMillis();
+        answers[qi].latency_ms += step2_ms;
+        if (options_.stage_timing) {
+          answers[qi].stage_ns[static_cast<size_t>(QueryStage::kStep2)] +=
+              std::llround(step2_ms * 1e6);
+        }
       }
     }
     if (options_.scratch_max_bytes > 0) {
       scratch.ShrinkToFit(options_.scratch_max_bytes);
     }
   });
+
+  // One deterministic accounting pass in the calling thread: histograms,
+  // counters and (when tracing) the sampled/slow JSON lines for every
+  // answer — emission order and sampling sequence stay stable regardless
+  // of how the pool interleaved the groups.
+  for (const PnnAnswer& a : answers) RecordAnswer(a);
 
   if (stats != nullptr) {
     stats->step2_groups = groups_swept.load();
@@ -425,6 +576,7 @@ std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
                                        ? ExecuteGrouped(queries, stats)
                                        : ExecutePerQuery(queries);
   const double wall_ms = wall.ElapsedMillis();
+  batches_total_->Increment();
 
   if (stats != nullptr) {
     stats->queries = static_cast<int64_t>(queries.size());
@@ -433,15 +585,22 @@ std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
     stats->throughput_qps =
         wall_ms > 0.0 ? static_cast<double>(queries.size()) / (wall_ms / 1e3)
                       : 0.0;
-    std::vector<double> latencies;
-    latencies.reserve(answers.size());
+    // Percentiles from a batch-local log-linear histogram: one pass, no
+    // copy, no sort — bounded by the histogram's 1/32 relative resolution
+    // instead of exact ranks, which is what serving dashboards consume
+    // anyway. The Summary still carries exact count/mean/min/max.
+    HistogramData lat;
     for (const PnnAnswer& a : answers) {
-      latencies.push_back(a.latency_ms);
       stats->latency_ms.Add(a.latency_ms);
+      lat.Record(std::llround(a.latency_ms * 1e6));
+      for (size_t st = 0; st < a.stage_ns.size(); ++st) {
+        stats->stage_ms[st] += static_cast<double>(a.stage_ns[st]) / 1e6;
+      }
     }
-    std::sort(latencies.begin(), latencies.end());
-    stats->p50_latency_ms = PercentileSorted(latencies, 50.0);
-    stats->p99_latency_ms = PercentileSorted(latencies, 99.0);
+    stats->p50_latency_ms =
+        static_cast<double>(lat.Percentile(50.0)) / 1e6;
+    stats->p99_latency_ms =
+        static_cast<double>(lat.Percentile(99.0)) / 1e6;
     // Hit/miss deltas over the entry state's cache. A snapshot swap landing
     // mid-batch moves later queries onto the new state's fresh cache; the
     // deltas then cover only the pre-swap portion, which is the best
@@ -537,6 +696,8 @@ Status QueryEngine::AdoptSnapshot(
   // bundle (alive via their shared_ptr), loads after it serve the new one.
   state_.store(MakeSnapshotState(std::move(snapshot)),
                std::memory_order_release);
+  snapshot_generation_->Add(1);
+  snapshot_adopt_ns_.store(TraceNowNs(), std::memory_order_relaxed);
   return Status::OK();
 }
 

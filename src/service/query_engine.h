@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/pv/index_snapshot.h"
 #include "src/pv/pnnq.h"
 #include "src/pv/pv_index.h"
@@ -82,6 +83,16 @@ struct QueryEngineOptions {
   /// memory for the worker's lifetime. Also caps the batch-table chunk size
   /// inside EvaluateGroup. 0 never shrinks (and leaves groups unchunked).
   size_t scratch_max_bytes = 64u << 20;
+  /// Per-stage nanosecond timing (plan / leaf-cache / Step-1 prune /
+  /// Step-2 / merge): populates PnnAnswer::stage_ns, ServiceStats::stage_ms
+  /// and the engine's per-stage histograms. Costs two steady_clock reads
+  /// per stage per query; false performs no clock reads at all (stage
+  /// histograms stay empty and traces carry zero stage attribution).
+  bool stage_timing = true;
+  /// Sampled query tracing and the slow-query log: 1-in-N completed
+  /// queries (and every query at or above trace.slow_query_ms) emit one
+  /// JSON line through trace.sink. Off by default; see TraceOptions.
+  TraceOptions trace;
 };
 
 /// Validates engine tunables at construction time: non-positive (or absurd)
@@ -100,6 +111,11 @@ struct PnnAnswer {
   bool cache_hit = false;
   /// End-to-end latency of this query in milliseconds.
   double latency_ms = 0.0;
+  /// Per-stage nanosecond attribution (indexed by QueryStage); all zero
+  /// when stage_timing is off. Grouped Step-2 charges the whole group
+  /// sweep to every member — consistent with latency_ms, which also
+  /// counts the group's wall time for each member.
+  std::array<int64_t, kNumQueryStages> stage_ns{};
 };
 
 /// Aggregate statistics of one ExecuteBatch call.
@@ -122,6 +138,9 @@ struct ServiceStats {
   int64_t step2_groups = 0;
   int64_t step2_grouped_queries = 0;
   int64_t step2_pairs_pruned = 0;
+  /// Total milliseconds spent per pipeline stage over the batch (indexed
+  /// by QueryStage; all zero when stage_timing is off).
+  std::array<double, kNumQueryStages> stage_ms{};
 };
 
 /// The indexes an engine may serve from. The borrowed pointers (pv/uv/
@@ -212,8 +231,15 @@ class QueryEngine {
   /// possible AdoptSnapshot (introspection accessor, not a serving API).
   const ResultCache* cache() const;
 
-  /// Engine-level counters (Step-2 pdf page charges).
+  /// Engine-level metrics: counters (queries, failures, Step-2 pdf page
+  /// charges, leaf block reads), gauges (snapshot generation/age, pool
+  /// queue depth, cache occupancy) and histograms (end-to-end latency,
+  /// per-stage latency, pool queue wait) — all exportable through
+  /// MetricRegistry::ExportPrometheusText() / ExportJson().
   const MetricRegistry& metrics() const { return metrics_; }
+
+  /// The engine's tracer (emission counts for tests/monitoring).
+  const Tracer& tracer() const { return tracer_; }
 
  private:
   /// Everything one query needs to be answered consistently, bundled and
@@ -275,9 +301,18 @@ class QueryEngine {
   /// the caller holds the shared lock. `want_grouping` is true only on the
   /// grouped batch path, which consumes the leaf key / block / plan — the
   /// per-query path skips that extra work (no off-cache block snapshot, no
-  /// plan lookup).
+  /// plan lookup). `timings` (nullable) receives per-stage attribution:
+  /// leaf location → kPlan, cache traffic → kLeafCache, pruning → kStep1.
   Step1Outcome Step1One(const StatePtr& state, const geom::Point& q,
-                        pv::QueryScratch* scratch, bool want_grouping) const;
+                        pv::QueryScratch* scratch, bool want_grouping,
+                        StageTimings* timings) const;
+
+  /// Post-completion accounting for one answered query: engine counters,
+  /// the end-to-end and per-stage histograms, and (when tracing is on) the
+  /// sampled / slow-query JSON line. Called once per answer — by the
+  /// serving thread on the per-query path, and by the batch caller in one
+  /// deterministic pass on the grouped path.
+  void RecordAnswer(const PnnAnswer& ans) const;
 
   /// Candidate records of `group` via the cached per-leaf plan (building
   /// and attaching it on first use); empty when the backend's pruning does
@@ -299,9 +334,27 @@ class QueryEngine {
   pv::PvIndex* pv_index_ = nullptr;
   int pv_listener_id_ = -1;
   mutable MetricRegistry metrics_;
-  // Pre-registered Step-2 I/O counter: workers charge it lock-free instead
-  // of taking the registry mutex per candidate.
+  // Pre-registered handles: workers charge them lock-free instead of
+  // taking the registry mutex per event.
   MetricRegistry::Counter* step2_pages_ = nullptr;
+  MetricRegistry::Counter* queries_total_ = nullptr;
+  MetricRegistry::Counter* query_failures_ = nullptr;
+  MetricRegistry::Counter* batches_total_ = nullptr;
+  MetricRegistry::Counter* leaf_block_reads_ = nullptr;
+  MetricRegistry::Gauge* snapshot_generation_ = nullptr;
+  Histogram* latency_hist_ = nullptr;
+  std::array<Histogram*, kNumQueryStages> stage_hists_{};
+  Histogram* queue_wait_hist_ = nullptr;
+  // Sampled/slow-query trace emission (thread-safe, shared counter).
+  mutable Tracer tracer_;
+  // The planned backend's stable name, cached for trace lines: the kind
+  // never changes after Create (AdoptSnapshot swaps snapshots, not kinds),
+  // and resolving it per query would cost an atomic shared_ptr load.
+  const char* backend_name_ = "";
+  mutable std::atomic<uint64_t> query_seq_{0};
+  // TraceNowNs() when the serving snapshot was installed (feeds the
+  // engine.snapshot.age_seconds callback gauge); 0 in borrowed-index mode.
+  std::atomic<int64_t> snapshot_adopt_ns_{0};
   // The serving state, swapped atomically by AdoptSnapshot. Queries load it
   // once and serve consistently from the loaded bundle.
   std::atomic<StatePtr> state_;

@@ -3,10 +3,10 @@
 #include "src/service/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/common/trace.h"
 
 namespace pvdb::service {
 
@@ -29,25 +29,39 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   PVDB_CHECK(task != nullptr);
+  Task t;
+  t.fn = std::move(task);
+  if (queue_wait_.load(std::memory_order_acquire) != nullptr) {
+    t.enqueue_ns = TraceNowNs();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     PVDB_CHECK(!stop_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(t));
+    // Under the lock so depth can never transiently read below zero: a
+    // worker (spuriously) waking and popping first would otherwise
+    // decrement before this increment and wrap the unsigned gauge.
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
-    task();
+    Histogram* wait_hist = queue_wait_.load(std::memory_order_acquire);
+    if (wait_hist != nullptr && task.enqueue_ns != 0) {
+      wait_hist->Record(TraceNowNs() - task.enqueue_ns);
+    }
+    task.fn();
   }
 }
 

@@ -4,17 +4,24 @@
 // queue, no external dependencies) for the query-serving engine. Tasks are
 // opaque closures; ParallelFor adds the engine's sharding pattern — a shared
 // atomic cursor so workers self-balance across uneven per-query costs
-// (Step-2 time varies with candidate-set size).
+// (Step-2 time varies with candidate-set size). The pool exposes its queue
+// depth as a gauge-ready atomic and, when given a histogram, records every
+// task's enqueue→dequeue wait so saturation shows up as queue-wait tail
+// latency rather than silent qps loss.
 
 #ifndef PVDB_SERVICE_THREAD_POOL_H_
 #define PVDB_SERVICE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/histogram.h"
 
 namespace pvdb::service {
 
@@ -32,6 +39,19 @@ class ThreadPool {
   /// Number of worker threads.
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks currently queued (not yet picked up by a worker). A sustained
+  /// non-zero depth means the pool is saturated.
+  size_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Records every subsequent task's queue wait (enqueue→dequeue, in
+  /// nanoseconds) into `h`. Borrowed; the caller keeps it alive for the
+  /// pool's lifetime. nullptr (the default) skips the clock reads.
+  void SetQueueWaitHistogram(Histogram* h) {
+    queue_wait_.store(h, std::memory_order_release);
+  }
+
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
@@ -43,12 +63,20 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// TraceNowNs() at enqueue when the wait histogram is set; 0 otherwise.
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<Histogram*> queue_wait_{nullptr};
   bool stop_ = false;
 };
 

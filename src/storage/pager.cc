@@ -11,7 +11,7 @@ namespace pvdb::storage {
 // ---------------------------------------------------------------------------
 
 Result<PageId> InMemoryPager::Allocate() {
-  metrics_.Increment(PagerCounters::kAllocs);
+  allocs_->Increment();
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -35,21 +35,21 @@ Status InMemoryPager::CheckId(PageId id) const {
 
 Status InMemoryPager::Read(PageId id, Page* out) {
   PVDB_RETURN_NOT_OK(CheckId(id));
-  metrics_.Increment(PagerCounters::kReads);
+  reads_->Increment();
   *out = *pages_[id];
   return Status::OK();
 }
 
 Status InMemoryPager::Write(PageId id, const Page& page) {
   PVDB_RETURN_NOT_OK(CheckId(id));
-  metrics_.Increment(PagerCounters::kWrites);
+  writes_->Increment();
   *pages_[id] = page;
   return Status::OK();
 }
 
 Status InMemoryPager::Free(PageId id) {
   PVDB_RETURN_NOT_OK(CheckId(id));
-  metrics_.Increment(PagerCounters::kFrees);
+  frees_->Increment();
   live_[id] = false;
   free_list_.push_back(id);
   return Status::OK();
@@ -79,7 +79,7 @@ FilePager::~FilePager() {
 
 Result<PageId> FilePager::Allocate() {
   std::lock_guard<std::mutex> lock(io_mu_);
-  metrics_.Increment(PagerCounters::kAllocs);
+  allocs_->Increment();
   Page zero;
   PageId id;
   if (!free_list_.empty()) {
@@ -105,7 +105,7 @@ Status FilePager::Read(PageId id, Page* out) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
   }
-  metrics_.Increment(PagerCounters::kReads);
+  reads_->Increment();
   if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
       std::fread(out->bytes.data(), 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("short read on page " + std::to_string(id));
@@ -119,7 +119,7 @@ Status FilePager::Write(PageId id, const Page& page) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
   }
-  metrics_.Increment(PagerCounters::kWrites);
+  writes_->Increment();
   if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0 ||
       std::fwrite(page.bytes.data(), 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("short write on page " + std::to_string(id));
@@ -134,7 +134,7 @@ Status FilePager::Free(PageId id) {
     return Status::InvalidArgument("invalid or freed page id " +
                                    std::to_string(id));
   }
-  metrics_.Increment(PagerCounters::kFrees);
+  frees_->Increment();
   live_[id] = false;
   free_list_.push_back(id);
   return Status::OK();

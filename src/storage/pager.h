@@ -55,7 +55,19 @@ class Pager {
   const MetricRegistry& metrics() const { return metrics_; }
 
  protected:
+  Pager()
+      : reads_(metrics_.Register(PagerCounters::kReads)),
+        writes_(metrics_.Register(PagerCounters::kWrites)),
+        allocs_(metrics_.Register(PagerCounters::kAllocs)),
+        frees_(metrics_.Register(PagerCounters::kFrees)) {}
+
   MetricRegistry metrics_;
+  // Pre-registered handles: page charges on the serving path are one
+  // relaxed fetch_add instead of a registry mutex + name lookup per page.
+  MetricRegistry::Counter* reads_;
+  MetricRegistry::Counter* writes_;
+  MetricRegistry::Counter* allocs_;
+  MetricRegistry::Counter* frees_;
 };
 
 /// Heap-backed pager. Page content lives in RAM; reads/writes only bump

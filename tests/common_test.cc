@@ -227,6 +227,26 @@ TEST(SummaryTest, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(SummaryTest, VarianceResistsCatastrophicCancellation) {
+  // Large offset, tiny spread: a sum-of-squares accumulator computes
+  // E[x²] - E[x]² ≈ 1e18 - 1e18 and loses every significant digit (the
+  // classic failure this regression guards against). Welford's recurrence
+  // stays on the scale of the variance itself.
+  Summary s;
+  for (double x : {1e9, 1e9 + 1.0, 1e9 + 2.0}) s.Add(x);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e9 + 1.0);
+
+  // The same property must survive Chan's merge path.
+  Summary a, b;
+  for (int i = 0; i < 500; ++i) a.Add(1e9 + (i % 2));
+  for (int i = 0; i < 500; ++i) b.Add(1e9 + (i % 2));
+  a.Merge(b);
+  // 1000 samples alternating 1e9 and 1e9+1: variance = 0.25 * n/(n-1).
+  const double expected = std::sqrt(0.25 * 1000.0 / 999.0);
+  EXPECT_NEAR(a.stddev(), expected, 1e-9);
+}
+
 TEST(MetricRegistryTest, IncrementAndSnapshot) {
   MetricRegistry m;
   EXPECT_EQ(m.Get("x"), 0);

@@ -1,0 +1,699 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Observability-surface tests: the log-linear histogram (bucket round-trip,
+// percentile error bounded by the 1/32 resolution, concurrent multi-shard
+// recording, merge semantics), metric registry gauges and the Prometheus /
+// JSON exports (golden formats), the tracer (deterministic 1-in-N sampling,
+// slow-query threshold, golden JSON line), the StatsReporter lifecycle, the
+// thread pool's queue instrumentation, and the engine end to end: per-stage
+// histograms populated by ExecuteBatch and the sampled slow-query log.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/stats_reporter.h"
+#include "src/common/trace.h"
+#include "src/pv/pv_index.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/service/query_engine.h"
+#include "src/storage/pager.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HistogramData: bucket layout and percentile error bounds
+// ---------------------------------------------------------------------------
+
+TEST(HistogramDataTest, BucketRoundTripBoundsEveryValue) {
+  std::vector<int64_t> probes;
+  for (int64_t v = 0; v <= 2000; ++v) probes.push_back(v);
+  for (int k = 5; k <= 62; ++k) {
+    const int64_t p = int64_t{1} << k;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+  }
+  probes.push_back(std::numeric_limits<int64_t>::max() / 2);
+  for (int64_t v : probes) {
+    const int idx = HistogramData::BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, HistogramData::kBucketCount);
+    const int64_t ub = HistogramData::BucketUpperBound(idx);
+    // The bucket's upper bound never under-reports its members and is at
+    // most 1/kSubBuckets above them (exact below kSubBuckets).
+    EXPECT_GE(ub, v);
+    if (v < HistogramData::kSubBuckets) {
+      EXPECT_EQ(ub, v);
+    } else {
+      EXPECT_LE(ub, v + v / HistogramData::kSubBuckets);
+    }
+  }
+}
+
+TEST(HistogramDataTest, BucketIndexIsMonotoneAcrossBoundaries) {
+  int prev = HistogramData::BucketIndex(0);
+  for (int64_t v = 1; v < 5000; ++v) {
+    const int idx = HistogramData::BucketIndex(v);
+    EXPECT_GE(idx, prev) << "bucket index regressed at " << v;
+    prev = idx;
+  }
+}
+
+TEST(HistogramDataTest, PercentileErrorBoundedByResolution) {
+  // A wide, skewed sample (three decades) — the regime the engine records
+  // (nanosecond latencies). The histogram's estimate must sit within one
+  // sub-bucket of the exact closest-rank percentile.
+  Rng rng(7);
+  HistogramData h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextUniform(3.0, 7.0);  // log10 in [1e3, 1e7]
+    const auto v = static_cast<int64_t>(std::pow(10.0, u));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    const int64_t exact = values[rank - 1];
+    const int64_t got = h.Percentile(p);
+    EXPECT_GE(got, exact) << "p" << p;
+    EXPECT_LE(got, exact + exact / HistogramData::kSubBuckets + 1)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramDataTest, SmallValuesAreExact) {
+  HistogramData h;
+  for (int64_t v = 0; v < HistogramData::kSubBuckets; ++v) h.Record(v);
+  // Every value below kSubBuckets has its own bucket: percentiles are exact
+  // closest-rank values, not approximations.
+  const auto n = static_cast<double>(HistogramData::kSubBuckets);
+  for (int64_t v = 1; v < HistogramData::kSubBuckets; ++v) {
+    // Mid-rank p: ceil(p/100 * n) == v + 1 with slack against FP rounding.
+    const double p = 100.0 * (static_cast<double>(v) + 0.5) / n;
+    EXPECT_EQ(h.Percentile(p), v);
+  }
+}
+
+TEST(HistogramDataTest, EdgeCasesAndClamping) {
+  HistogramData empty;
+  EXPECT_EQ(empty.Percentile(50.0), 0);
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(empty.min(), 0);
+  EXPECT_EQ(empty.max(), 0);
+  EXPECT_EQ(empty.mean(), 0.0);
+
+  HistogramData h;
+  h.Record(-5);  // negatives clamp to 0
+  h.Record(1000);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  // The observed max clamps the report: the bucket holding 1000 spans up to
+  // 1023, but no recorded value exceeds 1000.
+  EXPECT_EQ(h.Percentile(100.0), 1000);
+  EXPECT_LE(h.Percentile(99.0), 1000);
+}
+
+TEST(HistogramDataTest, MergeMatchesCombinedStream) {
+  Rng rng(11);
+  HistogramData a;
+  HistogramData b;
+  HistogramData combined;
+  for (int i = 0; i < 4000; ++i) {
+    const auto v = static_cast<int64_t>(rng.NextUniform(0, 1e6));
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: concurrent sharded recording
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramData data = h.Snapshot();
+  const int64_t n = int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(data.count(), n);
+  EXPECT_EQ(data.sum(), n * (n + 1) / 2);  // values are exactly 1..n
+  EXPECT_EQ(data.min(), 1);
+  EXPECT_EQ(data.max(), n);
+  // Uniform 1..n: p50 within one sub-bucket of n/2.
+  const int64_t p50 = data.Percentile(50.0);
+  EXPECT_GE(p50, n / 2);
+  EXPECT_LE(p50, n / 2 + n / 2 / HistogramData::kSubBuckets + 1);
+}
+
+TEST(HistogramTest, SnapshotsFromDistinctHistogramsMerge) {
+  Histogram h1;
+  Histogram h2;
+  std::thread t1([&h1] {
+    for (int i = 1; i <= 1000; ++i) h1.Record(i);
+  });
+  std::thread t2([&h2] {
+    for (int i = 1001; i <= 2000; ++i) h2.Record(i);
+  });
+  t1.join();
+  t2.join();
+  HistogramData merged = h1.Snapshot();
+  merged.Merge(h2.Snapshot());
+  EXPECT_EQ(merged.count(), 2000);
+  EXPECT_EQ(merged.min(), 1);
+  EXPECT_EQ(merged.max(), 2000);
+  EXPECT_EQ(merged.sum(), int64_t{2000} * 2001 / 2);
+}
+
+TEST(HistogramTest, ResetClearsEveryShard) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 100; ++i) h.Record(42);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(h.Snapshot().count(), 400);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count(), 0);
+  EXPECT_EQ(h.Snapshot().sum(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry: gauges and export goldens
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryGaugeTest, GaugeSetAddAndGet) {
+  MetricRegistry reg;
+  MetricRegistry::Gauge* g = reg.RegisterGauge("engine.snapshot.generation");
+  g->Set(3);
+  EXPECT_EQ(reg.Get("engine.snapshot.generation"), 3);
+  g->Add(2);
+  EXPECT_EQ(reg.Get("engine.snapshot.generation"), 5);
+  EXPECT_EQ(reg.RegisterGauge("engine.snapshot.generation"), g);
+  reg.Reset();
+  EXPECT_EQ(reg.Get("engine.snapshot.generation"), 0);
+}
+
+TEST(MetricRegistryGaugeTest, CallbackGaugeSamplesAtReadTime) {
+  MetricRegistry reg;
+  std::atomic<int64_t> depth{7};
+  reg.RegisterCallbackGauge("pool.queue_depth",
+                            [&depth] { return depth.load(); });
+  EXPECT_EQ(reg.Get("pool.queue_depth"), 7);
+  depth.store(11);
+  EXPECT_EQ(reg.Get("pool.queue_depth"), 11);
+  // Callback gauges are computed, not stored: Reset leaves them intact.
+  reg.Reset();
+  EXPECT_EQ(reg.Get("pool.queue_depth"), 11);
+}
+
+TEST(MetricRegistryExportTest, PrometheusTextGolden) {
+  MetricRegistry reg;
+  reg.Register("pager.page_reads")->Increment(3);
+  reg.RegisterGauge("engine.snapshot.generation")->Set(2);
+  reg.RegisterCallbackGauge("engine.pool.queue_depth", [] { return 4; });
+  Histogram* h = reg.RegisterHistogram("engine.latency_ns");
+  h->Record(100);
+  h->Record(200);
+  h->Record(300);
+
+  const std::string text = reg.ExportPrometheusText();
+  EXPECT_EQ(text,
+            "# TYPE pvdb_pager_page_reads counter\n"
+            "pvdb_pager_page_reads 3\n"
+            "# TYPE pvdb_engine_snapshot_generation gauge\n"
+            "pvdb_engine_snapshot_generation 2\n"
+            "# TYPE pvdb_engine_pool_queue_depth gauge\n"
+            "pvdb_engine_pool_queue_depth 4\n"
+            "# TYPE pvdb_engine_latency_ns summary\n"
+            "pvdb_engine_latency_ns{quantile=\"0.5\"} 203\n"
+            "pvdb_engine_latency_ns{quantile=\"0.9\"} 300\n"
+            "pvdb_engine_latency_ns{quantile=\"0.99\"} 300\n"
+            "pvdb_engine_latency_ns{quantile=\"0.999\"} 300\n"
+            "pvdb_engine_latency_ns_sum 600\n"
+            "pvdb_engine_latency_ns_count 3\n");
+}
+
+TEST(MetricRegistryExportTest, JsonGolden) {
+  MetricRegistry reg;
+  reg.Register("engine.queries")->Increment(5);
+  reg.RegisterGauge("engine.snapshot.generation")->Set(1);
+  Histogram* h = reg.RegisterHistogram("engine.latency_ns");
+  h->Record(100);
+  h->Record(200);
+  h->Record(300);
+
+  const std::string json = reg.ExportJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"engine.queries\":5},"
+            "\"gauges\":{\"engine.snapshot.generation\":1},"
+            "\"histograms\":{\"engine.latency_ns\":{\"count\":3,"
+            "\"sum\":600,\"min\":100,\"max\":300,\"mean\":200.00,"
+            "\"p50\":203,\"p90\":300,\"p99\":300,\"p999\":300}}}");
+}
+
+TEST(MetricRegistryExportTest, EmptyRegistryExportsValidShapes) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.ExportPrometheusText(), "");
+  EXPECT_EQ(reg.ExportJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: sampling determinism, slow threshold, golden line
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, FormatLineGolden) {
+  QueryTraceInfo info;
+  info.seq = 7;
+  info.latency_ms = 1.5;
+  info.stages.ns = {1000, 2000, 3000, 4000, 5000};
+  info.cache_hit = true;
+  info.ok = true;
+  info.results = 2;
+  info.backend = "snapshot";
+  EXPECT_EQ(Tracer::FormatLine(info, /*sampled=*/true, /*slow=*/false),
+            "{\"type\":\"query_trace\",\"seq\":7,\"sampled\":true,"
+            "\"slow\":false,\"backend\":\"snapshot\",\"ok\":true,"
+            "\"cache_hit\":true,\"results\":2,\"latency_ms\":1.5000,"
+            "\"stages_us\":{\"plan\":1.0,\"leaf_cache\":2.0,"
+            "\"step1_prune\":3.0,\"step2\":4.0,\"merge\":5.0}}");
+}
+
+TEST(TracerTest, SamplingIsDeterministicOneInN) {
+  TraceOptions opts;
+  opts.enabled = true;
+  opts.sample_every_n = 4;
+  std::vector<std::string> lines;
+  opts.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  Tracer tracer(opts);
+  QueryTraceInfo info;
+  for (uint64_t i = 0; i < 12; ++i) {
+    info.seq = i;
+    tracer.MaybeEmit(info);
+  }
+  // The k-th completed trace is emitted iff k % 4 == 0: exactly 0, 4, 8.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"seq\":0,"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":4,"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"seq\":8,"), std::string::npos);
+  EXPECT_EQ(tracer.emitted(), 3);
+  EXPECT_EQ(tracer.slow_count(), 0);
+}
+
+TEST(TracerTest, SlowQueriesBypassSampling) {
+  TraceOptions opts;
+  opts.enabled = true;
+  opts.sample_every_n = 1000000;  // effectively only the very first sample
+  opts.slow_query_ms = 5.0;
+  std::vector<std::string> lines;
+  opts.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  Tracer tracer(opts);
+  QueryTraceInfo fast;
+  fast.latency_ms = 1.0;
+  QueryTraceInfo slow;
+  slow.latency_ms = 9.0;
+  tracer.MaybeEmit(fast);  // k=0: sampled
+  tracer.MaybeEmit(fast);  // dropped
+  tracer.MaybeEmit(slow);  // slow: emitted despite sampling
+  tracer.MaybeEmit(fast);  // dropped
+  tracer.MaybeEmit(slow);  // slow: emitted
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"slow\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"slow\":true"), std::string::npos);
+  EXPECT_EQ(tracer.slow_count(), 2);
+}
+
+TEST(TracerTest, DisabledTracerEmitsNothing) {
+  TraceOptions opts;  // enabled = false
+  opts.sink = [](const std::string&) { FAIL() << "must not emit"; };
+  Tracer tracer(opts);
+  QueryTraceInfo info;
+  info.latency_ms = 1e9;  // would be "slow" under any threshold
+  EXPECT_FALSE(tracer.MaybeEmit(info));
+  EXPECT_EQ(tracer.emitted(), 0);
+}
+
+TEST(ScopedStageTimerTest, NullSinkReadsNoClockAndRecordsNothing) {
+  StageTimings timings;
+  {
+    ScopedStageTimer t(nullptr, QueryStage::kStep2);
+  }
+  { ScopedStageTimer t(&timings, QueryStage::kStep2); }
+  // The active timer recorded a (tiny, possibly zero) non-negative span.
+  EXPECT_GE(timings.ns[static_cast<size_t>(QueryStage::kStep2)], 0);
+  EXPECT_EQ(timings.ns[static_cast<size_t>(QueryStage::kPlan)], 0);
+}
+
+TEST(StageTimingsTest, MergeAndTotal) {
+  StageTimings a;
+  a.Add(QueryStage::kPlan, 10);
+  a.Add(QueryStage::kStep2, 30);
+  StageTimings b;
+  b.Add(QueryStage::kStep2, 5);
+  b.Add(QueryStage::kMerge, 7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.ns[static_cast<size_t>(QueryStage::kPlan)], 10);
+  EXPECT_EQ(a.ns[static_cast<size_t>(QueryStage::kStep2)], 35);
+  EXPECT_EQ(a.ns[static_cast<size_t>(QueryStage::kMerge)], 7);
+  EXPECT_EQ(a.total_ns(), 52);
+}
+
+// ---------------------------------------------------------------------------
+// StatsReporter
+// ---------------------------------------------------------------------------
+
+TEST(StatsReporterTest, StopFlushesOneFinalReport) {
+  MetricRegistry reg;
+  reg.Register("engine.queries")->Increment(9);
+  StatsReporterOptions opts;
+  opts.interval = std::chrono::milliseconds(60000);  // never fires on time
+  opts.format = StatsReporterOptions::Format::kJson;
+  std::mutex mu;
+  std::vector<std::string> reports;
+  opts.sink = [&](const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(body);
+  };
+  StatsReporter reporter(&reg, opts);
+  reporter.Start();
+  reporter.Stop();
+  ASSERT_GE(reports.size(), 1u);
+  EXPECT_NE(reports.back().find("\"engine.queries\":9"), std::string::npos);
+  EXPECT_EQ(reporter.reports(), static_cast<int64_t>(reports.size()));
+}
+
+TEST(StatsReporterTest, PeriodicReportsCarryCurrentValues) {
+  MetricRegistry reg;
+  MetricRegistry::Counter* c = reg.Register("engine.queries");
+  StatsReporterOptions opts;
+  opts.interval = std::chrono::milliseconds(5);
+  std::mutex mu;
+  std::vector<std::string> reports;
+  opts.sink = [&](const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(body);
+  };
+  StatsReporter reporter(&reg, opts);
+  reporter.Start();
+  c->Increment(42);
+  // Wait until at least two periodic reports landed (bounded spin).
+  for (int i = 0; i < 1000 && reporter.reports() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  reporter.Stop();
+  ASSERT_GE(reports.size(), 2u);
+  EXPECT_NE(reports.back().find("\"engine.queries\":42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool queue instrumentation
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolObservabilityTest, QueueWaitRecordedPerTask) {
+  service::ThreadPool pool(2);
+  Histogram wait;
+  pool.SetQueueWaitHistogram(&wait);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  std::promise<void> all_done;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  const HistogramData data = wait.Snapshot();
+  EXPECT_EQ(data.count(), kTasks);
+  EXPECT_GE(data.min(), 0);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolObservabilityTest, NoHistogramMeansNoRecording) {
+  service::ThreadPool pool(2);
+  std::promise<void> ran;
+  pool.Submit([&ran] { ran.set_value(); });
+  ran.get_future().wait();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine end to end: stage histograms, traces, export surface
+// ---------------------------------------------------------------------------
+
+/// A small PV-served world (the paper's primary backend) for engine-level
+/// observability assertions.
+struct ObsWorld {
+  ObsWorld() {
+    uncertain::SyntheticOptions synth;
+    synth.dim = 2;
+    synth.count = 300;
+    synth.samples_per_object = 20;
+    synth.max_region_extent = 150;
+    synth.domain_hi = 1000;
+    synth.seed = 17;
+    db = std::make_unique<uncertain::Dataset>(
+        uncertain::GenerateSynthetic(synth));
+    pv = pv::PvIndex::Build(*db, &pager, {}).value();
+  }
+
+  service::EngineBackends Backends() {
+    service::EngineBackends b;
+    b.pv = pv.get();
+    return b;
+  }
+
+  std::vector<geom::Point> Queries(size_t n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<geom::Point> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(
+          geom::Point{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)});
+    }
+    return out;
+  }
+
+  std::unique_ptr<uncertain::Dataset> db;
+  storage::InMemoryPager pager;
+  std::unique_ptr<pv::PvIndex> pv;
+};
+
+TEST(QueryEngineObservabilityTest, BatchPopulatesStageHistograms) {
+  ObsWorld world;
+  service::QueryEngineOptions options;
+  options.threads = 4;
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), world.Backends(), options)
+          .value();
+
+  const auto queries = world.Queries(64, 5);
+  service::ServiceStats stats;
+  const auto answers = engine->ExecuteBatch(queries, &stats);
+  ASSERT_EQ(answers.size(), queries.size());
+
+  // Counters: every query accounted, none failed.
+  EXPECT_EQ(engine->metrics().Get("engine.queries"), 64);
+  EXPECT_EQ(engine->metrics().Get("engine.query_failures"), 0);
+  EXPECT_EQ(engine->metrics().Get("engine.batches"), 1);
+
+  // Per-stage histograms: one record per query per stage, and real time
+  // attributed to Step 2 (the dominant stage on this workload).
+  const std::string json = engine->metrics().ExportJson();
+  for (const char* stage :
+       {"plan", "leaf_cache", "step1_prune", "step2", "merge"}) {
+    const std::string key =
+        std::string("\"engine.stage.") + stage + "_ns\":{\"count\":64";
+    EXPECT_NE(json.find(key), std::string::npos)
+        << "missing " << key << " in " << json;
+  }
+  // Batch-level stage attribution mirrors the histograms.
+  EXPECT_GT(stats.stage_ms[static_cast<size_t>(QueryStage::kStep2)], 0.0);
+  // Per-answer attribution: some stage time on every successful answer.
+  for (const auto& a : answers) {
+    ASSERT_TRUE(a.status.ok());
+    int64_t total = 0;
+    for (int64_t ns : a.stage_ns) total += ns;
+    EXPECT_GT(total, 0);
+  }
+  // Percentiles come from the histogram now: present, ordered, positive.
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+  EXPECT_LE(stats.p99_latency_ms,
+            stats.latency_ms.max() * (1.0 + 1.0 / 32.0) + 1e-3);
+}
+
+TEST(QueryEngineObservabilityTest, StageTimingOffRecordsNothing) {
+  ObsWorld world;
+  service::QueryEngineOptions options;
+  options.threads = 2;
+  options.stage_timing = false;
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), world.Backends(), options)
+          .value();
+  const auto queries = world.Queries(32, 6);
+  const auto answers = engine->ExecuteBatch(queries);
+  for (const auto& a : answers) {
+    for (int64_t ns : a.stage_ns) EXPECT_EQ(ns, 0);
+  }
+  // The end-to-end latency histogram still records; stage histograms stay
+  // empty.
+  const std::string json = engine->metrics().ExportJson();
+  EXPECT_NE(json.find("\"engine.latency_ns\":{\"count\":32"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"engine.stage.step2_ns\":{\"count\":0"),
+            std::string::npos);
+}
+
+TEST(QueryEngineObservabilityTest, TraceSamplingDeterministicAcrossBatch) {
+  ObsWorld world;
+  service::QueryEngineOptions options;
+  options.threads = 4;
+  options.trace.enabled = true;
+  options.trace.sample_every_n = 8;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  options.trace.sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), world.Backends(), options)
+          .value();
+  const auto queries = world.Queries(64, 7);
+  (void)engine->ExecuteBatch(queries);
+  // The grouped batch records its answers in one deterministic pass, so a
+  // 64-query batch with 1-in-8 sampling emits exactly 8 lines, seq 0,8,...
+  ASSERT_EQ(lines.size(), 8u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("\"type\":\"query_trace\""), std::string::npos);
+    EXPECT_NE(lines[i].find("\"stages_us\":{"), std::string::npos);
+    const std::string seq = "\"seq\":" + std::to_string(i * 8) + ",";
+    EXPECT_NE(lines[i].find(seq), std::string::npos) << lines[i];
+  }
+  EXPECT_EQ(engine->tracer().emitted(), 8);
+}
+
+TEST(QueryEngineObservabilityTest, SlowQueryLogCatchesEveryQuery) {
+  ObsWorld world;
+  service::QueryEngineOptions options;
+  options.threads = 2;
+  options.trace.enabled = true;
+  options.trace.sample_every_n = 1 << 30;  // sampling effectively off
+  options.trace.slow_query_ms = 0.0;       // every query is "slow"
+  std::mutex mu;
+  int64_t slow_lines = 0;
+  options.trace.sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (line.find("\"slow\":true") != std::string::npos) ++slow_lines;
+  };
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), world.Backends(), options)
+          .value();
+  const auto queries = world.Queries(16, 8);
+  (void)engine->ExecuteBatch(queries);
+  EXPECT_EQ(slow_lines, 16);
+  EXPECT_EQ(engine->tracer().slow_count(), 16);
+}
+
+TEST(QueryEngineObservabilityTest, PrometheusExportCoversEngineSurface) {
+  ObsWorld world;
+  service::QueryEngineOptions options;
+  options.threads = 2;
+  auto engine =
+      service::QueryEngine::Create(world.db.get(), world.Backends(), options)
+          .value();
+  (void)engine->ExecuteBatch(world.Queries(16, 9));
+  const std::string text = engine->metrics().ExportPrometheusText();
+  for (const char* needle : {
+           "# TYPE pvdb_engine_queries counter",
+           "# TYPE pvdb_engine_latency_ns summary",
+           "pvdb_engine_latency_ns{quantile=\"0.99\"}",
+           "pvdb_engine_latency_ns_count 16",
+           "# TYPE pvdb_engine_stage_step2_ns summary",
+           "# TYPE pvdb_engine_pool_queue_depth gauge",
+           "# TYPE pvdb_engine_cache_hits gauge",
+           "# TYPE pvdb_engine_snapshot_generation gauge",
+       }) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n"
+        << text;
+  }
+}
+
+TEST(QueryEngineObservabilityTest, SnapshotGenerationAndAgeGauges) {
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = 200;
+  synth.samples_per_object = 20;
+  synth.max_region_extent = 150;
+  synth.domain_hi = 1000;
+  synth.seed = 23;
+  uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+  auto builder = pv::PvIndexBuilder::Build(db).value();
+  auto snap_a = builder->Seal().value();
+  auto snap_b = builder->Seal().value();
+
+  service::QueryEngineOptions options;
+  options.threads = 2;
+  auto engine =
+      service::QueryEngine::CreateFromSnapshot(snap_a, options).value();
+  EXPECT_EQ(engine->metrics().Get("engine.snapshot.generation"), 0);
+  EXPECT_GE(engine->metrics().Get("engine.snapshot.age_seconds"), 0);
+  ASSERT_TRUE(engine->AdoptSnapshot(snap_b).ok());
+  EXPECT_EQ(engine->metrics().Get("engine.snapshot.generation"), 1);
+}
+
+TEST(QueryEngineObservabilityTest, InvalidTraceOptionsRejected) {
+  service::QueryEngineOptions options;
+  options.trace.enabled = true;
+  options.trace.slow_query_ms = -1.0;
+  EXPECT_FALSE(service::ValidateQueryEngineOptions(options).ok());
+  options.trace.slow_query_ms = std::nan("");
+  EXPECT_FALSE(service::ValidateQueryEngineOptions(options).ok());
+  options.trace.slow_query_ms = 0.0;
+  EXPECT_TRUE(service::ValidateQueryEngineOptions(options).ok());
+}
+
+}  // namespace
+}  // namespace pvdb
