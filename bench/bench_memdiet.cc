@@ -1,0 +1,328 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Snapshot memory/bandwidth diet benchmark: what format v2 buys on the
+// standard 10k x 200 d=3 workload. Emits one JSON object
+// (BENCH_memdiet.json schema):
+//   file_bytes            v1 / v2 raw / v2 lossless-packed / v2 f32-packed
+//                         images of the same index (+ savings vs v1)
+//   rss                   resident set before serving, after zero-copy
+//                         serving, then after decode-path serving of the
+//                         same traffic. Zero-copy runs first, so its delta
+//                         is the faulted file mapping (shared, evictable
+//                         pages both modes need); the decode phase's delta
+//                         on top of that is the private block-cache heap
+//                         only the decode path pays for.
+//   step1_leaf_scan       uncached leaf read + minmax prune throughput:
+//                         v1 decode (page decode into an owned block) vs
+//                         v2 zero-copy view (prune straight off the
+//                         mapping) — identical candidate output required
+//   engine                warm single-thread QPS, zero-copy vs forced
+//                         decode (use_leaf_views = false)
+//
+// Exits non-zero when the zero-copy leaf scan is SLOWER than the decode
+// path — the regression gate CI enforces.
+//
+//   $ ./bench_memdiet [--smoke]
+
+#include <unistd.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pvdb.h"
+
+namespace {
+
+using namespace pvdb;
+
+/// Current resident set, not the process-lifetime peak: the build/seal phase
+/// would otherwise dominate ru_maxrss and hide what serving actually holds.
+double CurrentRssMiB() {
+  long pages = 0, resident = 0;
+  if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+    if (std::fscanf(f, "%ld %ld", &pages, &resident) != 2) resident = 0;
+    std::fclose(f);
+  }
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = smoke ? 2000 : 10000;
+  synth.samples_per_object = smoke ? 50 : 200;
+  synth.seed = 42;
+  std::optional<uncertain::Dataset> db(uncertain::GenerateSynthetic(synth));
+  const size_t object_count = db->size();
+
+  pv::PvIndexOptions index_options;
+  index_options.build_order = pv::BuildOrder::kMorton;
+  index_options.bulk_primary = true;
+  auto builder = pv::PvIndexBuilder::Build(*db, index_options);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 builder.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- File sizes: same index, four storage policies. -----------------
+  auto image_size = [&](const pv::SealOptions& opts) -> size_t {
+    auto image = builder.value()->SealImage(opts);
+    if (!image.ok()) {
+      std::fprintf(stderr, "seal failed: %s\n",
+                   image.status().ToString().c_str());
+      std::exit(1);
+    }
+    return image.value().size();
+  };
+  const size_t v1_bytes = image_size({.format_version = 1});
+  const size_t v2_raw_bytes = image_size({});
+  const size_t v2_lossless_bytes =
+      image_size({.pack = uncertain::RecordPack::kLossless});
+  const size_t v2_f32_bytes =
+      image_size({.pack = uncertain::RecordPack::kFloat32});
+  const double f32_savings_pct =
+      100.0 * (1.0 - static_cast<double>(v2_f32_bytes) /
+                         static_cast<double>(v1_bytes));
+  const double lossless_savings_pct =
+      100.0 * (1.0 - static_cast<double>(v2_lossless_bytes) /
+                         static_cast<double>(v1_bytes));
+
+  // --- Serving surfaces: a v2 file (zero-copy) and a v1 file (decode). -
+  const std::string dir = "/tmp/";
+  const std::string v2_path =
+      dir + (smoke ? "pvdb_memdiet_v2_smoke.snap" : "pvdb_memdiet_v2.snap");
+  const std::string v1_path =
+      dir + (smoke ? "pvdb_memdiet_v1_smoke.snap" : "pvdb_memdiet_v1.snap");
+  if (!builder.value()
+           ->Save(v2_path, {.pack = uncertain::RecordPack::kLossless})
+           .ok() ||
+      !builder.value()->Save(v1_path, {.format_version = 1}).ok()) {
+    std::fprintf(stderr, "save failed\n");
+    return 1;
+  }
+  // Serving holds only the mappings from here on — drop the builder and the
+  // raw dataset so RSS readings measure the serving surface, not leftovers.
+  builder.value().reset();
+  db.reset();
+#if defined(__GLIBC__)
+  malloc_trim(0);  // return the freed build/seal heap to the OS
+#endif
+  auto v2 = pv::IndexSnapshot::Open(v2_path);
+  auto v1 = pv::IndexSnapshot::Open(v1_path);
+  if (!v2.ok() || !v1.ok()) {
+    std::fprintf(stderr, "open failed\n");
+    return 1;
+  }
+  const double rss_baseline_mib = CurrentRssMiB();
+
+  Rng rng(7);
+  const geom::Rect& domain = v2.value()->domain();
+  auto random_query = [&] {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    return q;
+  };
+  const size_t query_count = smoke ? 256 : 2048;
+  std::vector<geom::Point> queries;
+  queries.reserve(query_count);
+  for (size_t i = 0; i < query_count; ++i) queries.push_back(random_query());
+
+  // --- Phase 1 (RSS order matters): zero-copy serving. -----------------
+  service::QueryEngineOptions view_options;
+  view_options.threads = 1;
+  auto view_engine =
+      service::QueryEngine::CreateFromSnapshot(v2.value(), view_options);
+  if (!view_engine.ok()) {
+    std::fprintf(stderr, "engine failed\n");
+    return 1;
+  }
+  service::ServiceStats view_stats;
+  auto view_answers = view_engine.value()->ExecuteBatch(queries, &view_stats);
+  view_engine.value()->ExecuteBatch(queries, &view_stats);  // warm pass
+  const double rss_after_zero_copy_mib = CurrentRssMiB();
+
+  // --- Step-1 leaf-scan microbench: uncached read + prune per query. ---
+  // Bytes scanned per entry: 2*dim bound doubles + one u64 id.
+  const double bytes_per_entry =
+      static_cast<double>(2 * synth.dim) * sizeof(double) + sizeof(uint64_t);
+  const int reps = smoke ? 4 : 16;
+  pv::QueryScratch scratch;
+  uint64_t view_entries = 0;
+  size_t view_candidates = 0;
+  StopWatch view_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& q : queries) {
+      auto ref = v2.value()->FindLeaf(q);
+      if (!ref.ok()) continue;
+      auto view = v2.value()->ReadLeafBlockView(ref.value().id);
+      if (!view.ok()) {
+        std::fprintf(stderr, "view failed: %s\n",
+                     view.status().ToString().c_str());
+        return 1;
+      }
+      view_entries += view.value().count;
+      view_candidates +=
+          pv::Step1PruneMinMax(view.value(), q, &scratch).size();
+    }
+  }
+  const double view_s = view_watch.ElapsedMillis() / 1e3;
+
+  uint64_t decode_entries = 0;
+  size_t decode_candidates = 0;
+  StopWatch decode_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& q : queries) {
+      auto ref = v1.value()->FindLeaf(q);
+      if (!ref.ok()) continue;
+      auto block = v1.value()->ReadLeafBlock(ref.value().id);
+      if (!block.ok()) {
+        std::fprintf(stderr, "decode failed: %s\n",
+                     block.status().ToString().c_str());
+        return 1;
+      }
+      decode_entries += block.value().size();
+      decode_candidates +=
+          pv::Step1PruneMinMax(block.value(), q, &scratch).size();
+    }
+  }
+  const double decode_s = decode_watch.ElapsedMillis() / 1e3;
+  if (view_candidates != decode_candidates ||
+      view_entries != decode_entries) {
+    std::fprintf(stderr,
+                 "answer divergence: view %zu/%llu vs decode %zu/%llu\n",
+                 view_candidates,
+                 static_cast<unsigned long long>(view_entries),
+                 decode_candidates,
+                 static_cast<unsigned long long>(decode_entries));
+    return 1;
+  }
+  const double view_gbps =
+      static_cast<double>(view_entries) * bytes_per_entry / view_s / 1e9;
+  const double decode_gbps =
+      static_cast<double>(decode_entries) * bytes_per_entry / decode_s / 1e9;
+  const double zero_copy_speedup = decode_s > 0 ? decode_s / view_s : 0.0;
+
+  // --- Phase 2: decode-path serving of the same traffic (block cache
+  // copies land on top of the zero-copy peak). -------------------------
+  // Re-baseline: the leaf-scan loops above faulted in the v1 mapping, which
+  // is not part of the decode engine's cost.
+  const double rss_before_decode_mib = CurrentRssMiB();
+  service::QueryEngineOptions decode_options = view_options;
+  decode_options.use_leaf_views = false;
+  auto decode_engine =
+      service::QueryEngine::CreateFromSnapshot(v2.value(), decode_options);
+  if (!decode_engine.ok()) {
+    std::fprintf(stderr, "decode engine failed\n");
+    return 1;
+  }
+  service::ServiceStats decode_stats;
+  auto decode_answers =
+      decode_engine.value()->ExecuteBatch(queries, &decode_stats);
+  decode_engine.value()->ExecuteBatch(queries, &decode_stats);  // warm pass
+  const double rss_after_decode_mib = CurrentRssMiB();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (view_answers[i].results.size() != decode_answers[i].results.size()) {
+      std::fprintf(stderr, "engine answer divergence at query %zu\n", i);
+      return 1;
+    }
+  }
+  const double cache_bytes_mib =
+      static_cast<double>(decode_engine.value()->cache()->bytes()) /
+      (1024.0 * 1024.0);
+
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"snapshot_memdiet\",\n");
+  std::printf(
+      "  \"description\": \"Snapshot memory/bandwidth diet: v2 SoA leaf "
+      "sections served zero-copy (LeafBlockView straight into the mmap) vs "
+      "the v1 decode path, and packed pdf records (lossless elisions / "
+      "float32 deltas) vs raw v1 bodies. Candidates are bit-identical "
+      "across every mode (tests/snapshot_test.cc).\",\n");
+  std::printf("  \"date\": \"%s\",\n", date);
+  std::printf("  \"machine\": {\n");
+  std::printf("    \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("    \"compiler\": \"%s\",\n", __VERSION__);
+  std::printf("    \"simd_level\": \"%s\"\n  },\n",
+              geom::SimdLevelName(geom::ActiveSimdLevel()));
+  std::printf("  \"workload\": {\n");
+  std::printf("    \"objects\": %zu,\n", object_count);
+  std::printf("    \"dim\": %d,\n", synth.dim);
+  std::printf("    \"samples_per_object\": %d,\n", synth.samples_per_object);
+  std::printf("    \"queries\": %zu,\n", query_count);
+  std::printf("    \"leaf_scan_reps\": %d\n  },\n", reps);
+  std::printf("  \"results\": {\n");
+  std::printf("    \"file_bytes\": {\n");
+  std::printf("      \"v1_raw\": %zu,\n", v1_bytes);
+  std::printf("      \"v2_raw\": %zu,\n", v2_raw_bytes);
+  std::printf("      \"v2_lossless_packed\": %zu,\n", v2_lossless_bytes);
+  std::printf("      \"v2_float32_packed\": %zu,\n", v2_f32_bytes);
+  std::printf("      \"lossless_savings_vs_v1_pct\": %.1f,\n",
+              lossless_savings_pct);
+  std::printf("      \"float32_savings_vs_v1_pct\": %.1f\n    },\n",
+              f32_savings_pct);
+  std::printf("    \"rss\": {\n");
+  std::printf("      \"serving_baseline_mib\": %.1f,\n", rss_baseline_mib);
+  std::printf("      \"after_zero_copy_serving_mib\": %.1f,\n",
+              rss_after_zero_copy_mib);
+  std::printf("      \"after_decode_serving_mib\": %.1f,\n",
+              rss_after_decode_mib);
+  std::printf("      \"faulted_mapping_mib\": %.1f,\n",
+              rss_after_zero_copy_mib - rss_baseline_mib);
+  std::printf("      \"decode_private_heap_mib\": %.1f,\n",
+              rss_after_decode_mib - rss_before_decode_mib);
+  std::printf("      \"decode_block_cache_mib\": %.1f\n    },\n",
+              cache_bytes_mib);
+  std::printf("    \"step1_leaf_scan\": {\n");
+  std::printf("      \"v2_view_gbps\": %.2f,\n", view_gbps);
+  std::printf("      \"v1_decode_gbps\": %.2f,\n", decode_gbps);
+  std::printf("      \"zero_copy_speedup\": %.2f\n    },\n",
+              zero_copy_speedup);
+  std::printf("    \"engine\": {\n");
+  std::printf("      \"zero_copy_qps\": %.1f,\n", view_stats.throughput_qps);
+  std::printf("      \"decode_qps\": %.1f\n    }\n",
+              decode_stats.throughput_qps);
+  std::printf("  }\n}\n");
+
+  std::fprintf(stderr,
+               "# memdiet: f32 file %.1f%% smaller than v1; zero-copy leaf "
+               "scan %.2fx decode (%.2f vs %.2f GB/s); decode path adds "
+               "+%.1f MiB private heap over the shared mapping\n",
+               f32_savings_pct, zero_copy_speedup, view_gbps, decode_gbps,
+               rss_after_decode_mib - rss_before_decode_mib);
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+
+  if (zero_copy_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: zero-copy leaf scan slower than the decode path "
+                 "(%.2fx)\n",
+                 zero_copy_speedup);
+    return 2;
+  }
+  return 0;
+}

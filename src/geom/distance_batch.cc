@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/geom/distance_batch_isa.h"
 #include "src/geom/simd_dispatch.h"
@@ -111,9 +112,42 @@ size_t CompressIdsLeScalar(const double* keys, size_t n, double threshold,
   return count;
 }
 
+double MinReduceScalar(const double* x, size_t n) {
+  // Four independent chains break the serial min dependency so the
+  // autovectorizer (and the OoO core) can overlap them. Inputs are ordered
+  // non-negatives, so the combining order cannot change the result.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double t0 = kInf, t1 = kInf, t2 = kInf, t3 = kInf;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 = x[i] < t0 ? x[i] : t0;
+    t1 = x[i + 1] < t1 ? x[i + 1] : t1;
+    t2 = x[i + 2] < t2 ? x[i + 2] : t2;
+    t3 = x[i + 3] < t3 ? x[i + 3] : t3;
+  }
+  for (; i < n; ++i) t0 = x[i] < t0 ? x[i] : t0;
+  const double a = t0 < t1 ? t0 : t1;
+  const double b = t2 < t3 ? t2 : t3;
+  return a < b ? a : b;
+}
+
+void PointDistBatchScalar(const double* base, size_t stride_doubles,
+                          const double* q, int dim, size_t n, double* out) {
+  for (size_t k = 0; k < n; ++k) {
+    const double* p = base + k * stride_doubles;
+    double s = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = p[d] - q[d];
+      s += diff * diff;
+    }
+    out[k] = std::sqrt(s);
+  }
+}
+
 const KernelTable kScalarTable = {
     MinDistSqBatchScalar,    MaxDistSqBatchScalar, MinMaxDistSqBatchScalar,
-    CompressIdsLeScalar,     SimdLevel::kScalar,   /*width_doubles=*/1,
+    CompressIdsLeScalar,     MinReduceScalar,      PointDistBatchScalar,
+    SimdLevel::kScalar,      /*width_doubles=*/1,
     "scalar",
 };
 
@@ -174,6 +208,28 @@ void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
   const SoAView v(rects, q);
   simd::ActiveTable().min_max(v.lo, v.hi, v.q, v.dim, n, min_out.data(),
                               max_out.data());
+}
+
+void MinMaxDistSqBatch(const double* const* lo, const double* const* hi,
+                       const Point& q, int dim, size_t n, double* min_out,
+                       double* max_out) {
+  PVDB_DCHECK(n == 0 || dim == q.dim());
+  if (n == 0) return;
+  double qc[kMaxDim];
+  for (int d = 0; d < dim; ++d) qc[d] = q[d];
+  simd::ActiveTable().min_max(lo, hi, qc, dim, n, min_out, max_out);
+}
+
+double MinReduce(const double* x, size_t n) {
+  return simd::ActiveTable().min_reduce(x, n);
+}
+
+void PointDistBatch(const double* base, size_t stride_doubles, const Point& q,
+                    size_t n, double* out) {
+  if (n == 0) return;
+  double qc[kMaxDim];
+  for (int d = 0; d < q.dim(); ++d) qc[d] = q[d];
+  simd::ActiveTable().point_dist(base, stride_doubles, qc, q.dim(), n, out);
 }
 
 size_t CompressIdsLe(const double* keys, size_t n, double threshold,

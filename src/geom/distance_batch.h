@@ -90,6 +90,15 @@ class RectSoA {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Heap bytes held by the bound arrays (cache budget accounting).
+  size_t ApproxBytes() const {
+    size_t bytes = 0;
+    for (int d = 0; d < dim_; ++d) {
+      bytes += (lo_[d].capacity() + hi_[d].capacity()) * sizeof(double);
+    }
+    return bytes;
+  }
+
   /// Contiguous per-dimension bound arrays, size() doubles each.
   std::span<const double> lo(int d) const {
     PVDB_DCHECK(d >= 0 && d < dim_);
@@ -123,6 +132,32 @@ void MaxDistSqBatch(const RectSoA& rects, const Point& q,
 /// what the Step-1 block prune calls.
 void MinMaxDistSqBatch(const RectSoA& rects, const Point& q,
                        std::span<double> min_out, std::span<double> max_out);
+
+/// Raw-pointer form of the fused kernel for non-owning SoA views
+/// (pv::LeafBlockView — per-dimension bound planes living in an mmap'd
+/// snapshot section instead of RectSoA vectors). `lo`/`hi` are `dim`
+/// pointers to n contiguous doubles each. Dispatches identically to the
+/// RectSoA overload, so view-based and block-based Step-1 pruning are
+/// bit-identical by construction.
+void MinMaxDistSqBatch(const double* const* lo, const double* const* hi,
+                       const Point& q, int dim, size_t n, double* min_out,
+                       double* max_out);
+
+/// Horizontal minimum of x[0..n); +inf for n == 0. Requires ordered
+/// non-negative inputs (no NaN, no -0.0) — squared distances — which makes
+/// the minimum order-insensitive and therefore bit-identical at every
+/// dispatch width. This is Step-1's τ² = min(MaxDistSq) reduce.
+double MinReduce(const double* x, size_t n);
+
+/// out[k] = Point::DistanceTo(q) of the k-th point in an array-of-structs
+/// layout: coordinates of point k start at base[k * stride_doubles] (the
+/// Step-2 pdf Instance array: coords at offset 0, stride
+/// sizeof(Instance) / sizeof(double)). Bit-identical to calling
+/// Point::DistanceTo per element at every dispatch level: ascending-d
+/// accumulation, no FMA, exactly-rounded sqrt. The AVX-512 level uses
+/// hardware gathers for the strided lanes.
+void PointDistBatch(const double* base, size_t stride_doubles, const Point& q,
+                    size_t n, double* out);
 
 /// Ordered masked compress — the Step-1 candidate-compaction kernel
 /// (pv::Step1PruneMinMax): out[j] = ids[k] for the j-th k, ascending, with

@@ -212,9 +212,50 @@ size_t CompressIdsLeAvx2(const double* keys, size_t n, double threshold,
   return count;
 }
 
+double MinReduceAvx2(const double* x, size_t n) {
+  // MINPD over 4 lanes; ordered non-negative inputs make the combining
+  // order irrelevant to the resulting bits.
+  __m256d acc = _mm256_set1_pd(HUGE_VAL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_min_pd(acc, _mm256_loadu_pd(x + i));
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  const double a = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  const double b = lanes[2] < lanes[3] ? lanes[2] : lanes[3];
+  double m = a < b ? a : b;
+  for (; i < n; ++i) m = x[i] < m ? x[i] : m;
+  return m;
+}
+
+void PointDistBatchAvx2(const double* base, size_t stride_doubles,
+                        const double* q, int dim, size_t n, double* out) {
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const double* p0 = base + k * stride_doubles;
+    const double* p1 = p0 + stride_doubles;
+    const double* p2 = p1 + stride_doubles;
+    const double* p3 = p2 + stride_doubles;
+    __m256d s = _mm256_setzero_pd();
+    for (int d = 0; d < dim; ++d) {
+      // Strided lane loads assembled scalar-wise (AVX2 gathers lose to
+      // plain loads at this stride); AVX-512 uses real gathers.
+      const __m256d xv = _mm256_set_pd(p3[d], p2[d], p1[d], p0[d]);
+      const __m256d diff = _mm256_sub_pd(xv, _mm256_set1_pd(q[d]));
+      s = _mm256_add_pd(s, _mm256_mul_pd(diff, diff));
+    }
+    // VSQRTPD is exactly rounded — bit-identical to std::sqrt per lane.
+    _mm256_storeu_pd(out + k, _mm256_sqrt_pd(s));
+  }
+  if (k < n) {
+    PointDistBatchScalar(base + k * stride_doubles, stride_doubles, q, dim,
+                         n - k, out + k);
+  }
+}
+
 const KernelTable kAvx2Table = {
     MinDistSqBatchAvx2,  MaxDistSqBatchAvx2, MinMaxDistSqBatchAvx2,
-    CompressIdsLeAvx2,   SimdLevel::kAvx2,   /*width_doubles=*/4,
+    CompressIdsLeAvx2,   MinReduceAvx2,      PointDistBatchAvx2,
+    SimdLevel::kAvx2,    /*width_doubles=*/4,
     "avx2",
 };
 

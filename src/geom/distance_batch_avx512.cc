@@ -180,9 +180,50 @@ size_t CompressIdsLeAvx512(const double* keys, size_t n, double threshold,
   return count;
 }
 
+double MinReduceAvx512(const double* x, size_t n) {
+  // MINPD over 8 lanes; ordered non-negative inputs make the combining
+  // order irrelevant to the resulting bits.
+  __m512d acc = _mm512_set1_pd(HUGE_VAL);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_min_pd(acc, _mm512_loadu_pd(x + i));
+  }
+  double m = _mm512_reduce_min_pd(acc);
+  for (; i < n; ++i) m = x[i] < m ? x[i] : m;
+  return m;
+}
+
+void PointDistBatchAvx512(const double* base, size_t stride_doubles,
+                          const double* q, int dim, size_t n, double* out) {
+  // 8 lanes = 8 strided points; the per-dimension lane loads are hardware
+  // gathers (VGATHERQPD) off a precomputed index vector — the d >= 6 AoS
+  // case is where assembling lanes scalar-wise stops fitting in the
+  // shuffle ports and gathers pull ahead.
+  const __m512i idx = _mm512_mullo_epi64(
+      _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0),
+      _mm512_set1_epi64(static_cast<long long>(stride_doubles)));
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const double* p = base + k * stride_doubles;
+    __m512d s = _mm512_setzero_pd();
+    for (int d = 0; d < dim; ++d) {
+      const __m512d xv = _mm512_i64gather_pd(idx, p + d, 8);
+      const __m512d diff = _mm512_sub_pd(xv, _mm512_set1_pd(q[d]));
+      s = _mm512_add_pd(s, _mm512_mul_pd(diff, diff));
+    }
+    // VSQRTPD is exactly rounded — bit-identical to std::sqrt per lane.
+    _mm512_storeu_pd(out + k, _mm512_sqrt_pd(s));
+  }
+  if (k < n) {
+    PointDistBatchScalar(base + k * stride_doubles, stride_doubles, q, dim,
+                         n - k, out + k);
+  }
+}
+
 const KernelTable kAvx512Table = {
     MinDistSqBatchAvx512, MaxDistSqBatchAvx512, MinMaxDistSqBatchAvx512,
-    CompressIdsLeAvx512,  SimdLevel::kAvx512,   /*width_doubles=*/8,
+    CompressIdsLeAvx512,  MinReduceAvx512,      PointDistBatchAvx512,
+    SimdLevel::kAvx512,   /*width_doubles=*/8,
     "avx512",
 };
 

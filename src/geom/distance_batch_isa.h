@@ -51,6 +51,21 @@ using CompressIdsFn = size_t (*)(const double* keys, size_t n,
                                  double threshold, const uint64_t* ids,
                                  uint64_t* out);
 
+/// Horizontal minimum of x[0..n); +inf for n == 0. Inputs must be ordered
+/// non-negatives (no NaN, no -0.0) — what squared distances are — so the
+/// minimum is a unique bit pattern regardless of comparison order and every
+/// width reduces to identical bytes. The Step-1 τ² reduce.
+using MinReduceFn = double (*)(const double* x, size_t n);
+
+/// out[k] = sqrt(sum over d of (base[k*stride + d] - q[d])^2), the sum
+/// accumulated in ascending d — Point::DistanceTo's exact op sequence, and
+/// sqrt is exactly rounded, so every lane reproduces the scalar reference
+/// bit for bit. `base`/`stride` describe an array-of-structs point layout
+/// (the Step-2 pdf Instance array: coords at struct offset 0, stride
+/// sizeof(Instance)/8 doubles); the wide levels gather the strided lanes.
+using PointDistFn = void (*)(const double* base, size_t stride_doubles,
+                             const double* q, int dim, size_t n, double* out);
+
 /// One ISA level's kernel set. Tables are immutable statics defined in the
 /// TU that owns the level's kernels, so a table exists iff its code was
 /// compiled.
@@ -59,6 +74,8 @@ struct KernelTable {
   BatchDistFn max_dist;
   BatchMinMaxFn min_max;
   CompressIdsFn compress_ids_le;
+  MinReduceFn min_reduce;
+  PointDistFn point_dist;
   SimdLevel level;
   int width_doubles;
   const char* name;
@@ -99,6 +116,9 @@ void MinMaxDistSqBatchScalar(const double* const* lo, const double* const* hi,
                              double* min_out, double* max_out);
 size_t CompressIdsLeScalar(const double* keys, size_t n, double threshold,
                            const uint64_t* ids, uint64_t* out);
+double MinReduceScalar(const double* x, size_t n);
+void PointDistBatchScalar(const double* base, size_t stride_doubles,
+                          const double* q, int dim, size_t n, double* out);
 
 extern const KernelTable kScalarTable;
 #if defined(PVDB_SIMD_X86)

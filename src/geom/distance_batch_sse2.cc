@@ -150,6 +150,40 @@ void MinMaxDistSqBatchSse2(const double* const* lo, const double* const* hi,
   }
 }
 
+double MinReduceSse2(const double* x, size_t n) {
+  // MINPD per pair of lanes; the inputs are ordered non-negatives, so any
+  // combining order yields the same bits.
+  __m128d acc = _mm_set1_pd(HUGE_VAL);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) acc = _mm_min_pd(acc, _mm_loadu_pd(x + i));
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double m = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  for (; i < n; ++i) m = x[i] < m ? x[i] : m;
+  return m;
+}
+
+void PointDistBatchSse2(const double* base, size_t stride_doubles,
+                        const double* q, int dim, size_t n, double* out) {
+  size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const double* p0 = base + k * stride_doubles;
+    const double* p1 = p0 + stride_doubles;
+    __m128d s = _mm_setzero_pd();
+    for (int d = 0; d < dim; ++d) {
+      const __m128d xv = _mm_set_pd(p1[d], p0[d]);
+      const __m128d diff = _mm_sub_pd(xv, _mm_set1_pd(q[d]));
+      s = _mm_add_pd(s, _mm_mul_pd(diff, diff));
+    }
+    // SQRTPD is exactly rounded — bit-identical to std::sqrt per lane.
+    _mm_storeu_pd(out + k, _mm_sqrt_pd(s));
+  }
+  if (k < n) {
+    PointDistBatchScalar(base + k * stride_doubles, stride_doubles, q, dim,
+                         n - k, out + k);
+  }
+}
+
 const KernelTable kSse2Table = {
     MinDistSqBatchSse2,
     MaxDistSqBatchSse2,
@@ -157,6 +191,8 @@ const KernelTable kSse2Table = {
     // 2-lane compress would spend more on mask plumbing than the predicated
     // loop costs; SSE2 keeps the scalar compaction.
     CompressIdsLeScalar,
+    MinReduceSse2,
+    PointDistBatchSse2,
     SimdLevel::kSse2,
     /*width_doubles=*/2,
     "sse2",

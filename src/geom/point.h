@@ -50,6 +50,12 @@ class Point {
     return coords_[i];
   }
 
+  /// Raw coordinate storage (dim() live doubles at the front). Coordinates
+  /// sit at offset 0 of the object, which is what lets batched kernels
+  /// treat an array of Point-headed structs as strided coordinate rows
+  /// (geom::PointDistBatch).
+  const double* data() const { return coords_.data(); }
+
   bool operator==(const Point& o) const {
     if (dim_ != o.dim_) return false;
     for (int i = 0; i < dim_; ++i)

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "src/uncertain/record_codec.h"
+
 namespace pvdb::pv {
 
 namespace {
@@ -80,10 +82,13 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
   // Structural sections are always checksum-verified: Open touches them
   // anyway (descent structure, directory) and they are small next to the
   // records payload, which stays lazy unless verify_payload asks.
+  const bool soa_leaves = r.version() >= 2;
   PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kMeta));
   PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kDomain));
   PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kNodes));
-  PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kLeafEntries));
+  PVDB_RETURN_NOT_OK(r.VerifySection(soa_leaves
+                                         ? SnapshotSections::kLeafSoA
+                                         : SnapshotSections::kLeafEntries));
   PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kObjectDir));
   if (options.verify_payload) {
     PVDB_RETURN_NOT_OK(r.VerifySection(SnapshotSections::kObjectRecords));
@@ -100,6 +105,17 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
                               std::to_string(dim));
   }
   snap->dim_ = static_cast<int>(dim);
+  snap->meta_flags_ = ReadField<uint32_t>(meta, 4);
+  if ((snap->meta_flags_ & ~SnapshotMetaFlags::kKnownMask) != 0) {
+    return Status::NotSupported(
+        "snapshot meta carries unknown format flags 0x" +
+        std::to_string(snap->meta_flags_) +
+        "; this build cannot decode them (re-seal or upgrade the reader)");
+  }
+  if (snap->packed_records() && !soa_leaves) {
+    return Status::Corruption(
+        "v1 snapshot claims packed records (flag requires format v2)");
+  }
   snap->object_count_ = ReadField<uint64_t>(meta, 8);
   snap->node_count_ = ReadField<uint64_t>(meta, 16);
   snap->leaf_count_ = ReadField<uint64_t>(meta, 24);
@@ -129,12 +145,17 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
       snap->node_count_ != snap->nodes_.size() / kNodeBytes) {
     return Status::Corruption("snapshot node section size mismatch");
   }
-  PVDB_ASSIGN_OR_RETURN(snap->entries_,
-                        r.Section(SnapshotSections::kLeafEntries));
-  const size_t entry_stride = 8 + 2 * sizeof(double) * dim;
-  if (snap->entries_.size() % entry_stride != 0 ||
-      snap->entry_count_ != snap->entries_.size() / entry_stride) {
-    return Status::Corruption("snapshot leaf-entry section size mismatch");
+  if (soa_leaves) {
+    PVDB_ASSIGN_OR_RETURN(snap->leaf_soa_,
+                          r.Section(SnapshotSections::kLeafSoA));
+  } else {
+    PVDB_ASSIGN_OR_RETURN(snap->entries_,
+                          r.Section(SnapshotSections::kLeafEntries));
+    const size_t entry_stride = 8 + 2 * sizeof(double) * dim;
+    if (snap->entries_.size() % entry_stride != 0 ||
+        snap->entry_count_ != snap->entries_.size() / entry_stride) {
+      return Status::Corruption("snapshot leaf-entry section size mismatch");
+    }
   }
 
   // Structural validation of the flat tree: child ranges in bounds and
@@ -148,6 +169,11 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
     return Status::Corruption("snapshot declares more leaves than nodes");
   }
   uint64_t leaves_seen = 0;
+  // v2: recompute every leaf's SoA offset by the builder's deterministic
+  // walk (flat-node order, 64-byte-aligned planes), bounds-checking the
+  // cursor as it goes — a view handed out later never leaves the section.
+  uint64_t soa_cursor = 0;
+  const size_t plane_count = 2 * static_cast<size_t>(dim) + 1;
   snap->leaf_index_.reserve(snap->leaf_count_);
   for (uint64_t i = 0; i < snap->node_count_; ++i) {
     const NodeView n = ReadNode(snap->nodes_, i);
@@ -161,7 +187,22 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
         return Status::Corruption(
             "snapshot leaf entry slice lies outside the entry array");
       }
-      if (!snap->leaf_index_.emplace(n.leaf_id, i).second) {
+      uint64_t soa_offset = 0;
+      if (soa_leaves) {
+        const uint64_t base = (soa_cursor + 63) & ~uint64_t{63};
+        const uint64_t plane_stride =
+            (uint64_t{n.entry_count} * sizeof(double) + 63) & ~uint64_t{63};
+        const uint64_t leaf_bytes = plane_count * plane_stride;
+        if (base > snap->leaf_soa_.size() ||
+            leaf_bytes > snap->leaf_soa_.size() - base) {
+          return Status::Corruption(
+              "snapshot SoA leaf section is too small for its leaves");
+        }
+        soa_offset = base;
+        soa_cursor = base + leaf_bytes;
+      }
+      if (!snap->leaf_index_.emplace(n.leaf_id, LeafLoc{i, soa_offset})
+               .second) {
         return Status::Corruption("duplicate snapshot leaf id " +
                                   std::to_string(n.leaf_id));
       }
@@ -175,6 +216,9 @@ Result<std::shared_ptr<const IndexSnapshot>> IndexSnapshot::Build(
   }
   if (leaves_seen != snap->leaf_count_) {
     return Status::Corruption("snapshot leaf count mismatch");
+  }
+  if (soa_leaves && soa_cursor != snap->leaf_soa_.size()) {
+    return Status::Corruption("snapshot SoA leaf section size mismatch");
   }
 
   PVDB_ASSIGN_OR_RETURN(snap->dir_, r.Section(SnapshotSections::kObjectDir));
@@ -252,10 +296,27 @@ Result<LeafBlock> IndexSnapshot::ReadLeafBlock(uint64_t leaf_id) const {
     return Status::NotFound("snapshot has no leaf with id " +
                             std::to_string(leaf_id));
   }
-  const NodeView node = ReadNode(nodes_, it->second);
+  const NodeView node = ReadNode(nodes_, it->second.node_index);
   LeafBlock block;
   block.Reset(dim_);
   block.Reserve(node.entry_count);
+  if (has_leaf_soa()) {
+    // Decode fallback: reconstitute the owned block from the SoA planes.
+    // Entry order is plane order, which the builder wrote in the v1
+    // entry order — identical blocks either way.
+    PVDB_ASSIGN_OR_RETURN(LeafBlockView view, ReadLeafBlockView(leaf_id));
+    double lo[geom::kMaxDim];
+    double hi[geom::kMaxDim];
+    for (size_t k = 0; k < view.count; ++k) {
+      block.ids.push_back(view.ids[k]);
+      for (int d = 0; d < dim_; ++d) {
+        lo[d] = view.lo[d][k];
+        hi[d] = view.hi[d][k];
+      }
+      block.rects.PushBackBounds(lo, hi);
+    }
+    return block;
+  }
   const size_t entry_stride = 8 + 2 * sizeof(double) * dim_;
   size_t off = static_cast<size_t>(node.entry_begin) * entry_stride;
   double lo[geom::kMaxDim];
@@ -274,9 +335,43 @@ Result<LeafBlock> IndexSnapshot::ReadLeafBlock(uint64_t leaf_id) const {
   return block;
 }
 
+Result<LeafBlockView> IndexSnapshot::ReadLeafBlockView(uint64_t leaf_id) const {
+  if (!has_leaf_soa()) {
+    return Status::NotSupported(
+        "snapshot format v1 has no SoA leaf section; use ReadLeafBlock "
+        "(re-seal with the current builder for zero-copy serving)");
+  }
+  const auto it = leaf_index_.find(leaf_id);
+  if (it == leaf_index_.end()) {
+    return Status::NotFound("snapshot has no leaf with id " +
+                            std::to_string(leaf_id));
+  }
+  const NodeView node = ReadNode(nodes_, it->second.node_index);
+  const size_t n = node.entry_count;
+  const size_t plane_stride = (n * sizeof(double) + 63) & ~size_t{63};
+  const uint8_t* base = leaf_soa_.data() + it->second.soa_offset;
+  LeafBlockView view;
+  view.count = n;
+  view.dim = dim_;
+  for (int d = 0; d < dim_; ++d) {
+    view.lo[d] = reinterpret_cast<const double*>(
+        base + (2 * static_cast<size_t>(d)) * plane_stride);
+    view.hi[d] = reinterpret_cast<const double*>(
+        base + (2 * static_cast<size_t>(d) + 1) * plane_stride);
+  }
+  view.ids = reinterpret_cast<const uncertain::ObjectId*>(
+      base + 2 * static_cast<size_t>(dim_) * plane_stride);
+  return view;
+}
+
 Result<std::vector<uncertain::ObjectId>> IndexSnapshot::QueryPossibleNN(
     const geom::Point& q, QueryScratch* scratch) const {
   PVDB_ASSIGN_OR_RETURN(OctreePrimary::LeafRef ref, FindLeaf(q));
+  if (has_leaf_soa()) {
+    // Zero-copy Step 1: prune straight off the mmap'd SoA planes.
+    PVDB_ASSIGN_OR_RETURN(LeafBlockView view, ReadLeafBlockView(ref.id));
+    return Step1PruneMinMax(view, q, scratch);
+  }
   PVDB_ASSIGN_OR_RETURN(LeafBlock block, ReadLeafBlock(ref.id));
   return Step1PruneMinMax(block, q, scratch);
 }
@@ -313,10 +408,29 @@ Result<uncertain::UncertainObject> IndexSnapshot::ParseRecord(
     size_t slot) const {
   const std::span<const uint8_t> record = RecordAt(slot);
   // Record layout: UBR doubles first (GetUbr's one-field read), then the
-  // serialized object.
+  // serialized object — raw (AppendTo) or packed per the meta flag.
   size_t offset = 2 * sizeof(double) * static_cast<size_t>(dim_);
-  PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
-                        uncertain::UncertainObject::ParseFrom(record, &offset));
+  Result<uncertain::UncertainObject> parsed = [&] {
+    if (!packed_records()) {
+      return uncertain::UncertainObject::ParseFrom(record, &offset);
+    }
+    // The packed body delta-encodes against the UBR, so read and validate
+    // it before handing it to the codec (Rect construction requires
+    // lo <= hi; the bytes are unverified by default).
+    geom::Point lo(dim_), hi(dim_);
+    for (int i = 0; i < dim_; ++i) {
+      lo[i] = ReadField<double>(record, static_cast<size_t>(i) * 16);
+      hi[i] = ReadField<double>(record, static_cast<size_t>(i) * 16 + 8);
+      if (!(lo[i] <= hi[i])) {
+        return Result<uncertain::UncertainObject>(
+            Status::Corruption("snapshot UBR is not a valid rectangle"));
+      }
+    }
+    return uncertain::DecodePackedObject(record, &offset,
+                                         geom::Rect(lo, hi));
+  }();
+  PVDB_RETURN_NOT_OK(parsed.status());
+  uncertain::UncertainObject object = std::move(parsed).value();
   if (object.id() != ReadDirId(dir_, slot) || object.dim() != dim_) {
     return Status::Corruption("snapshot object record does not match its "
                               "directory entry");

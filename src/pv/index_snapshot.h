@@ -46,7 +46,10 @@
 
 namespace pvdb::pv {
 
-/// Section kinds of the PV snapshot format.
+/// Section kinds of the PV snapshot format. A file carries exactly one
+/// leaf section: kLeafEntries (v1, interleaved per-entry records) or
+/// kLeafSoA (v2, 64-byte-aligned per-dimension bound planes + id plane per
+/// leaf, in flat-node order — the shape LeafBlockView serves zero-copy).
 struct SnapshotSections {
   static constexpr uint32_t kMeta = 1;
   static constexpr uint32_t kDomain = 2;
@@ -54,6 +57,17 @@ struct SnapshotSections {
   static constexpr uint32_t kLeafEntries = 4;
   static constexpr uint32_t kObjectDir = 5;
   static constexpr uint32_t kObjectRecords = 6;
+  static constexpr uint32_t kLeafSoA = 7;
+};
+
+/// Meta-section flag bits (u32 at offset 4; reserved-zero in v1 files).
+struct SnapshotMetaFlags {
+  /// Pdf record bodies are packed (uncertain/record_codec.h) instead of
+  /// raw UncertainObject::AppendTo images.
+  static constexpr uint32_t kPackedRecords = 1u << 0;
+  /// Any bit outside this mask fails Open: flags change decoding, so an
+  /// unknown one cannot be skipped safely.
+  static constexpr uint32_t kKnownMask = kPackedRecords;
 };
 
 struct SnapshotOpenOptions {
@@ -95,6 +109,15 @@ class IndexSnapshot final : public uncertain::ObjectSource {
   /// True when served from an mmap'd file (false for FromImage).
   bool mapped() const { return reader_->mapped(); }
   size_t file_bytes() const { return reader_->file_bytes(); }
+  /// Container format version of the underlying file (1 or 2).
+  uint32_t format_version() const { return reader_->version(); }
+  /// True when the leaf payload is the v2 SoA section, i.e.
+  /// ReadLeafBlockView serves Step 1 zero-copy.
+  bool has_leaf_soa() const { return reader_->version() >= 2; }
+  /// True when pdf record bodies are packed (record_codec.h).
+  bool packed_records() const {
+    return (meta_flags_ & SnapshotMetaFlags::kPackedRecords) != 0;
+  }
 
   /// Locates the unique leaf containing `q` by descending the flat node
   /// image — same arithmetic as OctreePrimary::FindLeaf, no page access.
@@ -103,8 +126,17 @@ class IndexSnapshot final : public uncertain::ObjectSource {
   Result<OctreePrimary::LeafRef> FindLeaf(const geom::Point& q) const;
 
   /// Decodes one leaf's entries into the SoA block the Step-1 kernels
-  /// consume; entry order is the original page-chain order.
+  /// consume; entry order is the original page-chain order. For v2 files
+  /// this copies out of the SoA section (the decode fallback); prefer
+  /// ReadLeafBlockView on the serving path.
   Result<LeafBlock> ReadLeafBlock(uint64_t leaf_id) const;
+
+  /// Zero-copy view of one leaf: per-dimension bound-plane and id pointers
+  /// straight into the mmap'd (or owned) v2 SoA section — no bytes copied
+  /// or decoded. The view borrows the snapshot's memory: it is valid only
+  /// while this snapshot is alive. NotSupported on v1 files (use
+  /// ReadLeafBlock); entry order is identical to ReadLeafBlock's.
+  Result<LeafBlockView> ReadLeafBlockView(uint64_t leaf_id) const;
 
   /// PNNQ Step 1, bit-identical to PvIndex::QueryPossibleNN on the sealed
   /// state: descent + block decode + batched minmax prune.
@@ -145,17 +177,26 @@ class IndexSnapshot final : public uncertain::ObjectSource {
 
   std::shared_ptr<const storage::SnapshotReader> reader_;
   int dim_ = 0;
+  uint32_t meta_flags_ = 0;
   geom::Rect domain_{1};
   uint64_t object_count_ = 0;
   uint64_t node_count_ = 0;
   uint64_t leaf_count_ = 0;
   uint64_t entry_count_ = 0;
   std::span<const uint8_t> nodes_;
-  std::span<const uint8_t> entries_;
+  std::span<const uint8_t> entries_;   // v1 leaf payload (empty in v2)
+  std::span<const uint8_t> leaf_soa_;  // v2 leaf payload (empty in v1)
   std::span<const uint8_t> dir_;
   std::span<const uint8_t> records_;
-  /// leaf id -> flat node index, built once at open.
-  std::unordered_map<uint64_t, uint64_t> leaf_index_;
+  /// Where a leaf lives: its flat-node index and (v2) its byte offset into
+  /// the SoA section. Offsets are recomputed at open by the same
+  /// deterministic walk the builder serialized with.
+  struct LeafLoc {
+    uint64_t node_index;
+    uint64_t soa_offset;
+  };
+  /// leaf id -> location, built once at open.
+  std::unordered_map<uint64_t, LeafLoc> leaf_index_;
   /// Lazily parsed records, one slot per directory entry.
   std::unique_ptr<std::atomic<const uncertain::UncertainObject*>[]> objects_;
 };

@@ -60,12 +60,22 @@ inline constexpr uint64_t kNoLeafId = 0;
 /// path's leaf currency: leaf reads decode pages straight into a LeafBlock,
 /// the service layer caches LeafBlock snapshots, and Step-1 pruning runs the
 /// two-pass block kernel over it.
+struct LeafBlockView;
+
 struct LeafBlock {
   std::vector<uncertain::ObjectId> ids;
   geom::RectSoA rects;
 
   size_t size() const { return ids.size(); }
   bool empty() const { return ids.empty(); }
+
+  /// Heap bytes held by this block (cache budget accounting).
+  size_t ApproxBytes() const {
+    return ids.capacity() * sizeof(uncertain::ObjectId) + rects.ApproxBytes();
+  }
+
+  /// Non-owning view over this block's arrays; valid while the block is.
+  LeafBlockView View() const;
 
   /// Drops all entries and fixes the dimensionality.
   void Reset(int dim) {
@@ -95,6 +105,50 @@ struct LeafBlock {
     return block;
   }
 };
+
+/// Non-owning SoA view of a leaf's entries: the same positional layout as
+/// LeafBlock (index i across ids and every per-dimension bound plane is one
+/// entry), but as raw pointers instead of owned vectors. This is the
+/// zero-copy serving currency: a v2 snapshot stores leaf sections
+/// pre-swizzled in exactly this shape, so IndexSnapshot::ReadLeafBlockView
+/// points straight into the mmap'd pages and Step-1 pruning runs the
+/// batched kernels over the file's own bytes — no decode, no heap block,
+/// no duplicate cache copy. Views borrow their storage: from a snapshot
+/// they live as long as the snapshot mapping; from LeafBlock::View() as
+/// long as the block.
+struct LeafBlockView {
+  const uncertain::ObjectId* ids = nullptr;
+  const double* lo[geom::kMaxDim] = {};
+  const double* hi[geom::kMaxDim] = {};
+  size_t count = 0;
+  int dim = 0;
+
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+
+  /// Reconstitutes entry i (tests and slow paths).
+  LeafEntry At(size_t i) const {
+    PVDB_DCHECK(i < count);
+    geom::Point plo(dim), phi(dim);
+    for (int d = 0; d < dim; ++d) {
+      plo[d] = lo[d][i];
+      phi[d] = hi[d][i];
+    }
+    return LeafEntry{ids[i], geom::Rect(plo, phi)};
+  }
+};
+
+inline LeafBlockView LeafBlock::View() const {
+  LeafBlockView v;
+  v.ids = ids.data();
+  v.count = ids.size();
+  v.dim = rects.dim();
+  for (int d = 0; d < v.dim; ++d) {
+    v.lo[d] = rects.lo(d).data();
+    v.hi[d] = rects.hi(d).data();
+  }
+  return v;
+}
 
 /// The primary index. Pages are owned by the supplied pager; node headers
 /// are owned in memory by this object.

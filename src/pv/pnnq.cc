@@ -72,31 +72,30 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(
 std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlock& block,
                                                   const geom::Point& q,
                                                   QueryScratch* scratch) {
+  // The view is a positional mirror of the block's RectSoA/id arrays, so
+  // delegating makes block- and view-based pruning bit-identical by
+  // construction.
+  return Step1PruneMinMax(block.View(), q, scratch);
+}
+
+std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlockView& view,
+                                                  const geom::Point& q,
+                                                  QueryScratch* scratch) {
   std::vector<uncertain::ObjectId> out;
-  const size_t n = block.size();
+  const size_t n = view.count;
   if (n == 0) return out;
   QueryScratch local;
   QueryScratch* s = scratch != nullptr ? scratch : &local;
   s->min_dist_sq.resize(n);
   s->max_dist_sq.resize(n);
-  const std::span<double> min_d(s->min_dist_sq.data(), n);
-  const std::span<double> max_d(s->max_dist_sq.data(), n);
-  geom::MinMaxDistSqBatch(block.rects, q, min_d, max_d);
+  double* min_d = s->min_dist_sq.data();
+  double* max_d = s->max_dist_sq.data();
+  geom::MinMaxDistSqBatch(view.lo, view.hi, q, view.dim, n, min_d, max_d);
 
-  // Pass 1: τ² = min over entries of MaxDistSq. min is order-insensitive,
-  // so four independent accumulator chains (ILP) give the exact value the
-  // scalar loop's sequential reduce produces.
-  double t0 = std::numeric_limits<double>::infinity();
-  double t1 = t0, t2 = t0, t3 = t0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    t0 = std::min(t0, max_d[i]);
-    t1 = std::min(t1, max_d[i + 1]);
-    t2 = std::min(t2, max_d[i + 2]);
-    t3 = std::min(t3, max_d[i + 3]);
-  }
-  for (; i < n; ++i) t0 = std::min(t0, max_d[i]);
-  const double tau_sq = std::min(std::min(t0, t1), std::min(t2, t3));
+  // Pass 1: τ² = min over entries of MaxDistSq — the dispatched horizontal
+  // reduce. Squared distances are ordered non-negatives, so the reduce is
+  // order-insensitive and bit-identical at every SIMD width.
+  const double tau_sq = geom::MinReduce(max_d, n);
 
   // Pass 2: keep entries with MinDistSq <= τ², preserving block order —
   // the dispatched compress kernel (AVX-512 masked compress-store, AVX2
@@ -108,7 +107,7 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(const LeafBlock& block,
   s->candidate_ids.resize(n);
   uncertain::ObjectId* staged = s->candidate_ids.data();
   const size_t count =
-      geom::CompressIdsLe(min_d.data(), n, tau_sq, block.ids.data(), staged);
+      geom::CompressIdsLe(min_d, n, tau_sq, view.ids, staged);
   out.assign(staged, staged + count);
   return out;
 }
@@ -169,6 +168,24 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
 }
 
 namespace {
+
+// A pdf is an AoS uncertain::Instance array whose Point coordinates sit at
+// offset 0 of each record — a strided coordinate matrix the dispatched
+// geom::PointDistBatch consumes directly (bit-identical to per-element
+// Point::DistanceTo). The stride must be whole doubles and the coords must
+// lead the record; both are layout facts the asserts pin down.
+static_assert(sizeof(uncertain::Instance) % sizeof(double) == 0,
+              "Instance stride must be a whole number of doubles");
+constexpr size_t kInstanceStrideDoubles =
+    sizeof(uncertain::Instance) / sizeof(double);
+
+const double* InstanceCoordBase(const std::vector<uncertain::Instance>& pdf) {
+  if (pdf.empty()) return nullptr;
+  const double* base = pdf.front().position.data();
+  PVDB_DCHECK(static_cast<const void*>(base) ==
+              static_cast<const void*>(pdf.data()));
+  return base;
+}
 
 /// Shared miss handling for candidate-record resolution: with a status
 /// channel the miss becomes a Corruption (damaged snapshot record); without
@@ -234,12 +251,12 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
   for (size_t i = 0; i < objs.size(); ++i) {
     const auto& pdf = objs[i]->pdf();
     const size_t base = offsets[i];
+    geom::PointDistBatch(InstanceCoordBase(pdf), kInstanceStrideDoubles, q,
+                         pdf.size(), inst_dist.data() + base);
     pairs.clear();
     pairs.reserve(pdf.size());
     for (size_t k = 0; k < pdf.size(); ++k) {
-      const double d = pdf[k].position.DistanceTo(q);
-      inst_dist[base + k] = d;
-      pairs.emplace_back(d, pdf[k].probability);
+      pairs.emplace_back(inst_dist[base + k], pdf[k].probability);
     }
     std::sort(pairs.begin(), pairs.end());
     double run = 0.0;
@@ -382,10 +399,9 @@ void PnnStep2Evaluator::EvaluateGroupChunk(
       const geom::Point& q = queries[qi];
       const size_t off = qi * total + base;
       double* w = scratch->batch_w.data() + off;
-      for (size_t k = 0; k < m; ++k) {
-        inst[k] = pdf[k].position.DistanceTo(q);
-        w[k] = pdf[k].probability;
-      }
+      geom::PointDistBatch(InstanceCoordBase(pdf), kInstanceStrideDoubles, q,
+                           m, inst.data());
+      for (size_t k = 0; k < m; ++k) w[k] = pdf[k].probability;
       uint32_t* perm = scratch->batch_perm.data() + off;
       // Group members are near each other, so the previous query's sort
       // order usually still holds — seed from it and verify in O(m),

@@ -131,6 +131,18 @@ std::vector<uncertain::ObjectId> Step1PruneMinMax(
     const LeafBlock& block, const geom::Point& q,
     QueryScratch* scratch = nullptr);
 
+/// Zero-copy form of the block prune: the same two passes run directly on a
+/// non-owning LeafBlockView — per-dimension bound planes and the id array
+/// living wherever the view points, typically an mmap'd v2 snapshot's SoA
+/// leaf section — with τ² reduced by the dispatched geom::MinReduce. No leaf
+/// bytes are copied or decoded. This is the core implementation; the
+/// LeafBlock overload above delegates here through LeafBlock::View(), so
+/// view-based and block-based pruning are bit-identical by construction at
+/// every SIMD level.
+std::vector<uncertain::ObjectId> Step1PruneMinMax(
+    const LeafBlockView& view, const geom::Point& q,
+    QueryScratch* scratch = nullptr);
+
 /// Batched-Step-2 plan: an engine batch's queries grouped by identical
 /// surviving candidate sets. Queries landing in the same octree leaf tend to
 /// survive the same minmax prune, so a serving batch collapses into few

@@ -19,6 +19,45 @@ void Append(std::vector<uint8_t>* out, T v) {
   AppendRaw(out, &v, sizeof(T));
 }
 
+size_t AlignUp64(size_t n) { return (n + 63) & ~static_cast<size_t>(63); }
+
+/// Serializes the v2 SoA leaf section: leaves in flat-node (BFS) order,
+/// each leaf a run of 64-byte-aligned per-dimension bound planes
+/// (lo0, hi0, lo1, hi1, ...) followed by the id plane — exactly the shape
+/// pv::LeafBlockView points into, so the serving path maps it zero-copy.
+/// The layout is deterministic in (nodes, dim): readers recompute every
+/// leaf's offset by the same walk, nothing position-bearing is stored.
+std::vector<uint8_t> BuildLeafSoA(
+    const std::vector<OctreePrimary::FlatNode>& nodes,
+    const std::vector<LeafEntry>& entries, int dim) {
+  std::vector<uint8_t> soa;
+  for (const auto& node : nodes) {
+    if (!node.is_leaf) continue;
+    const size_t n = node.entry_count;
+    const size_t base = AlignUp64(soa.size());
+    const size_t plane_stride = AlignUp64(n * sizeof(double));
+    const size_t planes = 2 * static_cast<size_t>(dim) + 1;
+    soa.resize(base + planes * plane_stride, 0);
+    for (size_t k = 0; k < n; ++k) {
+      const LeafEntry& e = entries[static_cast<size_t>(node.entry_begin) + k];
+      for (int d = 0; d < dim; ++d) {
+        const double lo = e.region.lo(d);
+        const double hi = e.region.hi(d);
+        std::memcpy(soa.data() + base + (2 * static_cast<size_t>(d)) * plane_stride +
+                        k * sizeof(double),
+                    &lo, sizeof(double));
+        std::memcpy(soa.data() + base + (2 * static_cast<size_t>(d) + 1) * plane_stride +
+                        k * sizeof(double),
+                    &hi, sizeof(double));
+      }
+      std::memcpy(soa.data() + base + 2 * static_cast<size_t>(dim) * plane_stride +
+                      k * sizeof(uint64_t),
+                  &e.id, sizeof(uint64_t));
+    }
+  }
+  return soa;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PvIndexBuilder>> PvIndexBuilder::Build(
@@ -43,7 +82,22 @@ Status PvIndexBuilder::Delete(const uncertain::Dataset& db_after,
   return index_->DeleteObject(db_after, removed, stats);
 }
 
-Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
+Result<std::vector<uint8_t>> PvIndexBuilder::SealImage(
+    const SealOptions& options) const {
+  if (options.format_version < storage::kMinSnapshotFormatVersion ||
+      options.format_version > storage::kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "cannot seal snapshot format version " +
+        std::to_string(options.format_version) + "; this build writes " +
+        std::to_string(storage::kMinSnapshotFormatVersion) + ".." +
+        std::to_string(storage::kSnapshotFormatVersion));
+  }
+  if (options.format_version < 2 &&
+      options.pack != uncertain::RecordPack::kRaw) {
+    return Status::InvalidArgument(
+        "packed pdf records require snapshot format version 2 (v1 readers "
+        "only understand raw record bodies)");
+  }
   const int dim = index_->primary().dim();
 
   // Flatten the octree: BFS nodes + every leaf's entries in page-chain
@@ -63,9 +117,13 @@ Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 
+  // Meta word 1 (reserved in v1, always written 0 there) carries the v2
+  // format flags; bit 0 marks packed record bodies.
+  const uint32_t meta_flags =
+      options.pack != uncertain::RecordPack::kRaw ? 1u : 0u;
   std::vector<uint8_t> meta;
   Append<uint32_t>(&meta, static_cast<uint32_t>(dim));
-  Append<uint32_t>(&meta, 0);  // reserved
+  Append<uint32_t>(&meta, meta_flags);
   Append<uint64_t>(&meta, ids.size());
   Append<uint64_t>(&meta, nodes.size());
   Append<uint64_t>(&meta, leaf_count);
@@ -87,13 +145,19 @@ Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
     Append<uint32_t>(&node_bytes, n.is_leaf);
   }
 
+  // Leaf payload: v2 stores pre-swizzled SoA planes served zero-copy; v1
+  // keeps the interleaved per-entry records older readers decode.
   std::vector<uint8_t> entry_bytes;
-  entry_bytes.reserve(entries.size() * (8 + 2 * sizeof(double) * dim));
-  for (const LeafEntry& e : entries) {
-    Append<uint64_t>(&entry_bytes, e.id);
-    for (int i = 0; i < dim; ++i) {
-      Append<double>(&entry_bytes, e.region.lo(i));
-      Append<double>(&entry_bytes, e.region.hi(i));
+  if (options.format_version >= 2) {
+    entry_bytes = BuildLeafSoA(nodes, entries, dim);
+  } else {
+    entry_bytes.reserve(entries.size() * (8 + 2 * sizeof(double) * dim));
+    for (const LeafEntry& e : entries) {
+      Append<uint64_t>(&entry_bytes, e.id);
+      for (int i = 0; i < dim; ++i) {
+        Append<double>(&entry_bytes, e.region.lo(i));
+        Append<double>(&entry_bytes, e.region.hi(i));
+      }
     }
   }
 
@@ -105,11 +169,17 @@ Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
     PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
                           index_->GetObject(id));
     const uint64_t offset = record_bytes.size();
+    // The UBR stays raw doubles in every mode: GetUbr is a one-field read
+    // and the packed body delta-encodes against exactly these bounds.
     for (int i = 0; i < dim; ++i) {
       Append<double>(&record_bytes, ubr.lo(i));
       Append<double>(&record_bytes, ubr.hi(i));
     }
-    object.AppendTo(&record_bytes);
+    if (options.pack == uncertain::RecordPack::kRaw) {
+      object.AppendTo(&record_bytes);
+    } else {
+      uncertain::EncodePackedObject(object, ubr, options.pack, &record_bytes);
+    }
     Append<uint64_t>(&dir_bytes, id);
     Append<uint64_t>(&dir_bytes, offset);
     Append<uint64_t>(&dir_bytes, record_bytes.size() - offset);
@@ -119,20 +189,29 @@ Result<std::vector<uint8_t>> PvIndexBuilder::SealImage() const {
   writer.AddSection(SnapshotSections::kMeta, std::move(meta));
   writer.AddSection(SnapshotSections::kDomain, std::move(domain));
   writer.AddSection(SnapshotSections::kNodes, std::move(node_bytes));
-  writer.AddSection(SnapshotSections::kLeafEntries, std::move(entry_bytes));
+  if (options.format_version >= 2) {
+    // 64-byte section alignment keeps every SoA plane cache-line-aligned
+    // in the file (plane strides are 64-byte multiples within the section).
+    writer.AddSection(SnapshotSections::kLeafSoA, std::move(entry_bytes),
+                      /*alignment=*/64);
+  } else {
+    writer.AddSection(SnapshotSections::kLeafEntries, std::move(entry_bytes));
+  }
   writer.AddSection(SnapshotSections::kObjectDir, std::move(dir_bytes));
   writer.AddSection(SnapshotSections::kObjectRecords,
                     std::move(record_bytes));
-  return writer.Finish();
+  return writer.Finish(options.format_version);
 }
 
-Result<std::shared_ptr<const IndexSnapshot>> PvIndexBuilder::Seal() const {
-  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage());
+Result<std::shared_ptr<const IndexSnapshot>> PvIndexBuilder::Seal(
+    const SealOptions& options) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage(options));
   return IndexSnapshot::FromImage(std::move(image));
 }
 
-Status PvIndexBuilder::Save(const std::string& path) const {
-  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage());
+Status PvIndexBuilder::Save(const std::string& path,
+                            const SealOptions& options) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage(options));
   return storage::SnapshotWriter::WriteFile(
       path, std::span<const uint8_t>(image.data(), image.size()));
 }

@@ -28,8 +28,23 @@
 #include "src/pv/index_snapshot.h"
 #include "src/pv/pv_index.h"
 #include "src/storage/pager.h"
+#include "src/storage/snapshot_file.h"
+#include "src/uncertain/record_codec.h"
 
 namespace pvdb::pv {
+
+/// Seal-time knobs: which on-disk format to emit and how to store the pdf
+/// records. Defaults produce the current format (v2: 64-byte-aligned SoA
+/// leaf planes the serving path maps zero-copy) with raw v1 record bodies;
+/// set `pack` to shrink the records section (kLossless decodes
+/// bit-identically, kFloat32 trades a documented coordinate ulp for ~60%
+/// smaller records — see uncertain/record_codec.h). format_version = 1
+/// emits the exact legacy layout older readers expect; packing requires
+/// v2 (v1 readers cannot decode packed bodies).
+struct SealOptions {
+  uint32_t format_version = storage::kSnapshotFormatVersion;
+  uncertain::RecordPack pack = uncertain::RecordPack::kRaw;
+};
 
 /// Owns pager + live PV-index; produces sealed snapshots.
 class PvIndexBuilder {
@@ -49,13 +64,14 @@ class PvIndexBuilder {
 
   /// Serializes the current state into a snapshot image (the on-disk byte
   /// layout, checksums included).
-  Result<std::vector<uint8_t>> SealImage() const;
+  Result<std::vector<uint8_t>> SealImage(const SealOptions& options = {}) const;
 
   /// Seals the current state into an immutable in-memory snapshot.
-  Result<std::shared_ptr<const IndexSnapshot>> Seal() const;
+  Result<std::shared_ptr<const IndexSnapshot>> Seal(
+      const SealOptions& options = {}) const;
 
   /// Writes the sealed image to `path` (temp file + rename).
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path, const SealOptions& options = {}) const;
 
   /// The live index (library-level queries, tests, benchmarks).
   PvIndex& index() { return *index_; }

@@ -151,6 +151,21 @@ class SnapshotBackend final : public Backend {
     return pv::Step1PruneMinMax(block, q, scratch);
   }
 
+  // v2 snapshots carry the SoA leaf section LeafBlockView points into; v1
+  // files keep the decode path above.
+  bool ServesLeafViews() const override { return snapshot_->has_leaf_soa(); }
+
+  Result<pv::LeafBlockView> ReadLeafBlockView(
+      const pv::OctreePrimary::LeafRef& ref) const override {
+    return snapshot_->ReadLeafBlockView(ref.id);
+  }
+
+  std::vector<uncertain::ObjectId> PruneLeafBlockView(
+      const pv::LeafBlockView& view, const geom::Point& q,
+      pv::QueryScratch* scratch) const override {
+    return pv::Step1PruneMinMax(view, q, scratch);
+  }
+
  private:
   std::shared_ptr<const pv::IndexSnapshot> snapshot_;
 };

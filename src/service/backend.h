@@ -101,6 +101,34 @@ class Backend {
     (void)scratch;
     return {};
   }
+
+  /// True when leaves are served as zero-copy views over immutable storage
+  /// (a v2-SoA snapshot): ReadLeafBlockView points straight into the
+  /// backend's own memory, so the engine skips block reads and block
+  /// caching entirely — the mapping is its own cache — and caches only the
+  /// resolved Step-2 plans.
+  virtual bool ServesLeafViews() const { return false; }
+
+  /// Zero-copy counterpart of ReadLeafBlock: per-dimension bound-plane and
+  /// id pointers into the backend's storage, no bytes copied. The view
+  /// borrows the backend's memory (valid while the backend's index/snapshot
+  /// is). Only meaningful when ServesLeafViews() is true.
+  virtual Result<pv::LeafBlockView> ReadLeafBlockView(
+      const pv::OctreePrimary::LeafRef& ref) const {
+    (void)ref;
+    return Status::NotSupported("backend does not serve leaf views");
+  }
+
+  /// View counterpart of PruneLeafBlock; must equal Step1(q) for the leaf
+  /// containing q, bit for bit (same batched kernels, same entry order).
+  virtual std::vector<uncertain::ObjectId> PruneLeafBlockView(
+      const pv::LeafBlockView& view, const geom::Point& q,
+      pv::QueryScratch* scratch) const {
+    (void)view;
+    (void)q;
+    (void)scratch;
+    return {};
+  }
 };
 
 /// PV-index backend. Non-const: PvIndex mutations route through the engine,

@@ -66,7 +66,8 @@ QueryEngine::StatePtr QueryEngine::MakeSnapshotState(
     // A fresh cache per adopted snapshot: entries of the old snapshot die
     // with its state, so an in-flight query on the old state can never
     // publish a stale leaf into the new serving surface.
-    state->cache = std::make_unique<ResultCache>(options_.cache_capacity);
+    state->cache = std::make_unique<ResultCache>(options_.cache_capacity,
+                                                 options_.cache_max_bytes);
   }
   return state;
 }
@@ -119,7 +120,8 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     state->objects = db;
     state->step2 = std::make_unique<pv::PnnStep2Evaluator>(db);
     if (options.cache_capacity > 0) {
-      state->cache = std::make_unique<ResultCache>(options.cache_capacity);
+      state->cache = std::make_unique<ResultCache>(options.cache_capacity,
+                                                   options.cache_max_bytes);
     }
     engine->state_.store(std::move(state), std::memory_order_release);
   }
@@ -169,6 +171,12 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     const StatePtr s = eng->CurrentState();
     return s != nullptr && s->cache != nullptr
                ? static_cast<int64_t>(s->cache->size())
+               : 0;
+  });
+  engine->metrics_.RegisterCallbackGauge("engine.cache.bytes", [eng] {
+    const StatePtr s = eng->CurrentState();
+    return s != nullptr && s->cache != nullptr
+               ? static_cast<int64_t>(s->cache->bytes())
                : 0;
   });
   engine->metrics_.RegisterCallbackGauge("engine.snapshot.age_seconds", [eng] {
@@ -248,6 +256,28 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
     if (ref_or.value().has_value()) {
       const pv::OctreePrimary::LeafRef ref = *ref_or.value();
       out.leaf_key = ref.id;
+      // Zero-copy serving: prune straight off the backend's own mapped
+      // bytes. No block read, no block copy into the cache (the mapping is
+      // its own cache — leaf_block_reads and block hit/miss counters stay
+      // untouched); the cache carries only resolved Step-2 plans, looked up
+      // here so the grouped path can skip re-resolution.
+      if (options_.use_leaf_views && active->ServesLeafViews()) {
+        Result<pv::LeafBlockView> view_or = active->ReadLeafBlockView(ref);
+        if (!view_or.ok()) {
+          lap.Lap(QueryStage::kLeafCache);
+          out.status = view_or.status();
+          return out;
+        }
+        out.view = view_or.value();
+        out.has_view = true;
+        if (want_grouping && cache != nullptr) {
+          out.plan = cache->LookupPlan(active->kind(), ref.id);
+        }
+        lap.Lap(QueryStage::kLeafCache);
+        out.candidates = active->PruneLeafBlockView(out.view, q, scratch);
+        lap.Lap(QueryStage::kStep1Prune);
+        return out;
+      }
       // With the cache off there is no snapshot to fill or reuse: keep the
       // grouping key and fall through to Step1, which prunes straight from
       // the worker scratch (same page reads, no per-query block copy).
@@ -527,16 +557,28 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
     const pv::Step2Batch::Group& group, const Step1Outcome& first) const {
   std::vector<const uncertain::UncertainObject*> resolved;
   const ServingState& state = *first.state;
-  if (state.cache == nullptr || first.block == nullptr ||
+  // Leaf entries the candidates were pruned from: a cached block snapshot
+  // or, on the zero-copy path, the snapshot's own id plane (borrowed
+  // memory, kept alive by first.state).
+  const uncertain::ObjectId* ids = nullptr;
+  size_t id_count = 0;
+  if (first.has_view) {
+    ids = first.view.ids;
+    id_count = first.view.count;
+  } else if (first.block != nullptr) {
+    ids = first.block->ids.data();
+    id_count = first.block->size();
+  }
+  if (state.cache == nullptr || ids == nullptr ||
       first.leaf_key == pv::kNoLeafId || !state.active->PruneKeepsLeafOrder()) {
     return resolved;
   }
   ResultCache::PlanPtr plan = first.plan;
   if (plan == nullptr) {
     ResultCache::Step2LeafPlan fresh;
-    fresh.objs.reserve(first.block->size());
-    for (uncertain::ObjectId id : first.block->ids) {
-      const uncertain::UncertainObject* o = state.objects->FindObject(id);
+    fresh.objs.reserve(id_count);
+    for (size_t i = 0; i < id_count; ++i) {
+      const uncertain::UncertainObject* o = state.objects->FindObject(ids[i]);
       if (o == nullptr) return resolved;  // fall back to per-id lookup
       fresh.objs.push_back(o);
     }
@@ -547,10 +589,9 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
   // one lockstep walk.
   resolved.reserve(group.candidates.size());
   size_t bi = 0;
-  const auto& ids = first.block->ids;
   for (uncertain::ObjectId id : group.candidates) {
-    while (bi < ids.size() && ids[bi] != id) ++bi;
-    if (bi == ids.size()) {
+    while (bi < id_count && ids[bi] != id) ++bi;
+    if (bi == id_count) {
       resolved.clear();  // order mismatch; fall back to per-id lookup
       return resolved;
     }

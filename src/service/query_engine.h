@@ -57,6 +57,18 @@ struct QueryEngineOptions {
   int threads = 4;
   /// Leaf-result cache capacity in leaves; 0 disables caching.
   size_t cache_capacity = 4096;
+  /// Byte budget for the leaf-result cache's payload (blocks + resolved
+  /// Step-2 plans, ApproxBytes accounting; exported as the
+  /// engine.cache.bytes gauge). When exceeded, least-recently-used leaves
+  /// are evicted past the entry-count capacity above. 0 = unbounded bytes.
+  size_t cache_max_bytes = 0;
+  /// Serve Step 1 from zero-copy leaf views when the backend offers them
+  /// (v2-SoA snapshots): pruning runs over the snapshot's own mapped bytes,
+  /// no block decode, no block copy in the cache — the cache then memoizes
+  /// only resolved Step-2 plans. False forces the decode-and-cache block
+  /// path even on view-capable backends (the measured baseline in
+  /// bench_memdiet; answers are bit-identical either way).
+  bool use_leaf_views = true;
   /// Forces a Step-1 backend instead of the planner's heuristic choice.
   std::optional<BackendKind> backend_override;
   /// Step-2 answers with probability <= this are dropped (paper: > 0).
@@ -270,8 +282,13 @@ class QueryEngine {
     Status status = Status::OK();
     std::vector<uncertain::ObjectId> candidates;
     uint64_t leaf_key = pv::kNoLeafId;
-    /// Leaf block the candidates were pruned from (nullptr off-leaf).
+    /// Leaf block the candidates were pruned from (nullptr off-leaf and on
+    /// the zero-copy path, which never materializes blocks).
     ResultCache::BlockPtr block;
+    /// Zero-copy path: the view the candidates were pruned from. Borrows
+    /// the serving snapshot's memory — `state` below keeps it alive.
+    pv::LeafBlockView view;
+    bool has_view = false;
     /// Cached per-leaf object plan, when one already existed.
     ResultCache::PlanPtr plan;
     bool cache_hit = false;

@@ -8,7 +8,8 @@
 
 namespace pvdb::service {
 
-ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
+ResultCache::ResultCache(size_t capacity, size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {
   PVDB_CHECK(capacity >= 1);
 }
 
@@ -19,12 +20,38 @@ uint64_t ResultCache::PackKey(BackendKind backend, uint64_t leaf_id) {
   return (static_cast<uint64_t>(backend) << 56) | leaf_id;
 }
 
+size_t ResultCache::EntryBytes(const Entry& e) {
+  size_t bytes = 0;
+  if (e.block != nullptr) bytes += e.block->ApproxBytes();
+  if (e.plan != nullptr) {
+    bytes += e.plan->objs.capacity() *
+             sizeof(const uncertain::UncertainObject*);
+  }
+  return bytes;
+}
+
+void ResultCache::EvictTailLocked() {
+  auto it = map_.find(lru_.back());
+  PVDB_DCHECK(it != map_.end());
+  bytes_ -= it->second.bytes;
+  map_.erase(it);
+  lru_.pop_back();
+}
+
+void ResultCache::EnforceBytesLocked(uint64_t keep) {
+  if (max_bytes_ == 0) return;
+  // Never evict `keep`: an oversized single leaf must still serve, so the
+  // budget bounds residency beyond the newest entry rather than gating
+  // admission.
+  while (bytes_ > max_bytes_ && lru_.back() != keep) EvictTailLocked();
+}
+
 ResultCache::BlockPtr ResultCache::Lookup(BackendKind backend,
                                           uint64_t leaf_id) {
   const uint64_t key = PackKey(backend, leaf_id);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
-  if (it == map_.end()) {
+  if (it == map_.end() || it->second.block == nullptr) {
     ++misses_;
     return nullptr;
   }
@@ -41,17 +68,22 @@ ResultCache::BlockPtr ResultCache::Insert(BackendKind backend,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
+    bytes_ -= it->second.bytes;
     it->second.block = snapshot;
     it->second.plan = nullptr;  // new entries invalidate the resolved plan
+    it->second.bytes = EntryBytes(it->second);
+    bytes_ += it->second.bytes;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    EnforceBytesLocked(key);
     return snapshot;
   }
-  while (map_.size() >= capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
-  }
+  while (map_.size() >= capacity_) EvictTailLocked();
   lru_.push_front(key);
-  map_.emplace(key, Entry{snapshot, nullptr, lru_.begin()});
+  Entry entry{snapshot, nullptr, lru_.begin(), 0};
+  entry.bytes = EntryBytes(entry);
+  bytes_ += entry.bytes;
+  map_.emplace(key, std::move(entry));
+  EnforceBytesLocked(key);
   return snapshot;
 }
 
@@ -60,7 +92,9 @@ ResultCache::PlanPtr ResultCache::LookupPlan(BackendKind backend,
   const uint64_t key = PackKey(backend, leaf_id);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
-  return it == map_.end() ? nullptr : it->second.plan;
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.plan;
 }
 
 ResultCache::PlanPtr ResultCache::AttachPlan(BackendKind backend,
@@ -70,7 +104,23 @@ ResultCache::PlanPtr ResultCache::AttachPlan(BackendKind backend,
   auto snapshot = std::make_shared<const Step2LeafPlan>(std::move(plan));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
-  if (it != map_.end()) it->second.plan = snapshot;
+  if (it == map_.end()) {
+    // Plan-only entry: the zero-copy serving path never materializes
+    // blocks, so resolved plans are its whole cache payload.
+    while (map_.size() >= capacity_) EvictTailLocked();
+    lru_.push_front(key);
+    Entry entry{nullptr, snapshot, lru_.begin(), 0};
+    entry.bytes = EntryBytes(entry);
+    bytes_ += entry.bytes;
+    map_.emplace(key, std::move(entry));
+    EnforceBytesLocked(key);
+    return snapshot;
+  }
+  bytes_ -= it->second.bytes;
+  it->second.plan = snapshot;
+  it->second.bytes = EntryBytes(it->second);
+  bytes_ += it->second.bytes;
+  EnforceBytesLocked(key);
   return snapshot;
 }
 
@@ -78,6 +128,7 @@ void ResultCache::Invalidate(BackendKind backend) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if ((it->first >> 56) == static_cast<uint64_t>(backend)) {
+      bytes_ -= it->second.bytes;
       lru_.erase(it->second.lru_it);
       it = map_.erase(it);
     } else {
@@ -90,11 +141,17 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   lru_.clear();
+  bytes_ = 0;
 }
 
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 int64_t ResultCache::hits() const {

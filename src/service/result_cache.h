@@ -48,11 +48,18 @@ class ResultCache {
   };
   using PlanPtr = std::shared_ptr<const Step2LeafPlan>;
 
-  /// Cache holding at most `capacity` leaves (capacity >= 1).
-  explicit ResultCache(size_t capacity);
+  /// Cache holding at most `capacity` leaves (capacity >= 1) and, when
+  /// `max_bytes` > 0, at most ~max_bytes of cached payload (blocks + plans,
+  /// ApproxBytes accounting). Byte evictions drop least-recently-used
+  /// entries until the budget holds again; the most recent entry is never
+  /// evicted, so one oversized leaf still serves (the budget is a resident
+  /// bound, not an admission filter). 0 = unbounded bytes (entry count
+  /// still caps residency).
+  explicit ResultCache(size_t capacity, size_t max_bytes = 0);
 
   /// The cached block of (backend, leaf), or nullptr on miss. Counts one
-  /// hit or miss and refreshes recency on hit.
+  /// hit or miss and refreshes recency on hit. A plan-only entry (zero-copy
+  /// serving caches plans without blocks) is a miss for block purposes.
   BlockPtr Lookup(BackendKind backend, uint64_t leaf_id);
 
   /// Inserts (or replaces) the block of (backend, leaf), evicting the
@@ -60,14 +67,16 @@ class ResultCache {
   /// Replacement drops any attached Step-2 plan (new entries, stale plan).
   BlockPtr Insert(BackendKind backend, uint64_t leaf_id, pv::LeafBlock block);
 
-  /// The Step-2 plan attached to (backend, leaf), or nullptr. Does not
-  /// count hits/misses or refresh recency — the block lookup that precedes
-  /// it already did.
+  /// The Step-2 plan attached to (backend, leaf), or nullptr. Refreshes
+  /// recency when the entry exists (on the zero-copy path the plan lookup
+  /// is the entry's only traffic) but does not count hits/misses — those
+  /// meter block reuse only.
   PlanPtr LookupPlan(BackendKind backend, uint64_t leaf_id);
 
-  /// Attaches a Step-2 plan to the cached (backend, leaf) entry. Returns
-  /// the stored snapshot; when the leaf is no longer cached the plan is
-  /// returned un-stored, still usable for the caller's current group.
+  /// Attaches a Step-2 plan to the (backend, leaf) entry, creating a
+  /// plan-only entry (no block) when the leaf is not cached — the zero-copy
+  /// serving path memoizes resolved plans without ever materializing
+  /// blocks. Returns the stored snapshot.
   PlanPtr AttachPlan(BackendKind backend, uint64_t leaf_id,
                      Step2LeafPlan plan);
 
@@ -79,6 +88,9 @@ class ResultCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  /// Approximate bytes of cached payload (blocks + plans) resident now.
+  size_t bytes() const;
+  size_t max_bytes() const { return max_bytes_; }
   int64_t hits() const;
   int64_t misses() const;
 
@@ -90,12 +102,24 @@ class ResultCache {
     BlockPtr block;
     PlanPtr plan;
     std::list<uint64_t>::iterator lru_it;
+    /// ApproxBytes of block + plan at storage time (bytes_ bookkeeping).
+    size_t bytes = 0;
   };
+
+  /// ApproxBytes of an entry's current payload.
+  static size_t EntryBytes(const Entry& e);
+  /// Removes the LRU tail entry (caller holds mu_, map non-empty).
+  void EvictTailLocked();
+  /// Byte-budget eviction: drops LRU entries while over max_bytes_, never
+  /// touching `keep` (the entry just stored).
+  void EnforceBytesLocked(uint64_t keep);
 
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t max_bytes_;
   std::list<uint64_t> lru_;  // front = most recently used
   std::unordered_map<uint64_t, Entry> map_;
+  size_t bytes_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

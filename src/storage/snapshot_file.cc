@@ -29,8 +29,9 @@ constexpr size_t kHeaderChecksumOffset = 24;
 constexpr size_t kSuperblockBytes = 32;
 // Section table entry layout (32 bytes).
 constexpr size_t kTableEntryBytes = 32;
-// Payload sections start 8-byte aligned and are padded to 8 bytes.
-constexpr size_t kSectionAlign = 8;
+// Payload sections start at least 8-byte aligned and are padded to 8 bytes
+// (individual sections may request a stricter power-of-two alignment).
+constexpr size_t kSectionAlign = kSnapshotSectionAlign;
 
 // Bound on section_count: the table must fit a sane header. Generous — the
 // pv snapshot uses six sections.
@@ -48,8 +49,8 @@ void WriteField(uint8_t* base, size_t off, T v) {
   std::memcpy(base + off, &v, sizeof(T));
 }
 
-size_t AlignUp(size_t n) {
-  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+size_t AlignUp(size_t n, size_t alignment = kSectionAlign) {
+  return (n + alignment - 1) / alignment * alignment;
 }
 
 constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
@@ -81,18 +82,24 @@ uint64_t SnapshotChecksum(const void* data, size_t len) {
   return FnvMix(kFnvOffsetBasis, static_cast<const uint8_t*>(data), len);
 }
 
-void SnapshotWriter::AddSection(uint32_t kind, std::vector<uint8_t> bytes) {
+void SnapshotWriter::AddSection(uint32_t kind, std::vector<uint8_t> bytes,
+                                size_t alignment) {
   for (const PendingSection& s : sections_) PVDB_CHECK(s.kind != kind);
-  sections_.push_back(PendingSection{kind, std::move(bytes)});
+  PVDB_CHECK(alignment >= kSectionAlign &&
+             (alignment & (alignment - 1)) == 0);
+  sections_.push_back(PendingSection{kind, std::move(bytes), alignment});
 }
 
-std::vector<uint8_t> SnapshotWriter::Finish() const {
+std::vector<uint8_t> SnapshotWriter::Finish(uint32_t version) const {
+  PVDB_CHECK(version >= kMinSnapshotFormatVersion &&
+             version <= kSnapshotFormatVersion);
   const size_t header_bytes =
       kSuperblockBytes + sections_.size() * kTableEntryBytes;
   size_t total = AlignUp(header_bytes);
   std::vector<uint64_t> offsets;
   offsets.reserve(sections_.size());
   for (const PendingSection& s : sections_) {
+    total = AlignUp(total, s.alignment);
     offsets.push_back(total);
     total = AlignUp(total + s.bytes.size());
   }
@@ -100,7 +107,7 @@ std::vector<uint8_t> SnapshotWriter::Finish() const {
   std::vector<uint8_t> image(total, 0);
   std::memcpy(image.data() + kMagicOffset, kSnapshotMagic,
               sizeof(kSnapshotMagic));
-  WriteField<uint32_t>(image.data(), kVersionOffset, kSnapshotFormatVersion);
+  WriteField<uint32_t>(image.data(), kVersionOffset, version);
   WriteField<uint32_t>(image.data(), kSectionCountOffset,
                        static_cast<uint32_t>(sections_.size()));
   WriteField<uint64_t>(image.data(), kFileBytesOffset, total);
@@ -209,10 +216,12 @@ Status SnapshotReader::Init() {
     return Status::Corruption("bad snapshot magic: not a pvdb snapshot file");
   }
   version_ = ReadField<uint32_t>(data_, kVersionOffset);
-  if (version_ != kSnapshotFormatVersion) {
+  if (version_ < kMinSnapshotFormatVersion ||
+      version_ > kSnapshotFormatVersion) {
     return Status::NotSupported(
         "unsupported snapshot format version " + std::to_string(version_) +
-        "; this build reads version " +
+        "; this build reads versions " +
+        std::to_string(kMinSnapshotFormatVersion) + ".." +
         std::to_string(kSnapshotFormatVersion) +
         " (re-seal the snapshot from the builder)");
   }

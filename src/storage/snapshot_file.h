@@ -40,10 +40,18 @@ namespace pvdb::storage {
 inline constexpr char kSnapshotMagic[8] = {'P', 'V', 'D', 'B',
                                            'S', 'N', 'A', 'P'};
 
-/// Current container format version. Readers reject any other value with a
-/// descriptive NotSupported status (versioning policy: bump on any layout
-/// change; no in-place migration — re-seal from the builder).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Current container format version. Readers accept the closed range
+/// [kMinSnapshotFormatVersion, kSnapshotFormatVersion] and reject anything
+/// else with a descriptive NotSupported status BEFORE any checksum is
+/// consulted — a future-format file must never masquerade as corruption.
+/// (Versioning policy: bump on any layout change; no in-place migration —
+/// re-seal from the builder. v1 = AoS leaf entries + raw records; v2 adds
+/// 64-byte-aligned SoA leaf planes and optional packed pdf records.)
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
+
+/// Default (and minimum) payload alignment inside the file.
+inline constexpr size_t kSnapshotSectionAlign = 8;
 
 /// FNV-1a 64-bit over a byte range (the container's checksum function).
 uint64_t SnapshotChecksum(const void* data, size_t len);
@@ -51,11 +59,19 @@ uint64_t SnapshotChecksum(const void* data, size_t len);
 /// Accumulates named sections and emits the complete file image.
 class SnapshotWriter {
  public:
-  /// Appends one section; kinds must be unique within a file.
-  void AddSection(uint32_t kind, std::vector<uint8_t> bytes);
+  /// Appends one section; kinds must be unique within a file. `alignment`
+  /// is the file offset alignment of the payload (power of two >= 8). It is
+  /// not recorded in the table — the writer simply places the payload on
+  /// that boundary, so an mmap (page-aligned base) sees the same alignment
+  /// in memory. The SoA leaf section uses 64 for cache-line-aligned planes.
+  void AddSection(uint32_t kind, std::vector<uint8_t> bytes,
+                  size_t alignment = kSnapshotSectionAlign);
 
   /// Assembles superblock + table + payloads with all checksums filled in.
-  std::vector<uint8_t> Finish() const;
+  /// `version` lets a builder emit the older layout for compatibility
+  /// fixtures; payload layout inside the sections is the caller's business.
+  std::vector<uint8_t> Finish(
+      uint32_t version = kSnapshotFormatVersion) const;
 
   /// Writes `image` to `path` via a temp file + rename, so a crashed save
   /// never leaves a half-written snapshot at the target path.
@@ -66,6 +82,7 @@ class SnapshotWriter {
   struct PendingSection {
     uint32_t kind;
     std::vector<uint8_t> bytes;
+    size_t alignment;
   };
   std::vector<PendingSection> sections_;
 };

@@ -1,0 +1,214 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/uncertain/record_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvdb::uncertain {
+
+namespace {
+
+// Packed-record flag bits. Unknown bits are a decode error, so a future
+// extension of this layout fails loud instead of misparsing.
+constexpr uint32_t kUniformWeights = 1u << 0;  // weights elided, all 1/n
+constexpr uint32_t kF32Positions = 1u << 1;    // f32 deltas from region lo
+constexpr uint32_t kRegionIsUbr = 1u << 2;     // region doubles elided
+constexpr uint32_t kF32Weights = 1u << 3;      // weights stored as f32
+constexpr uint32_t kKnownFlags =
+    kUniformWeights | kF32Positions | kRegionIsUbr | kF32Weights;
+
+void Push(std::vector<uint8_t>* out, const void* src, size_t len) {
+  const auto* b = static_cast<const uint8_t*>(src);
+  out->insert(out->end(), b, b + len);
+}
+
+bool Pull(std::span<const uint8_t> bytes, size_t* offset, void* dst,
+          size_t len) {
+  if (len > bytes.size() - *offset || *offset > bytes.size()) return false;
+  std::memcpy(dst, bytes.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+}  // namespace
+
+void EncodePackedObject(const UncertainObject& o, const geom::Rect& ubr,
+                        RecordPack mode, std::vector<uint8_t>* out) {
+  PVDB_CHECK(mode == RecordPack::kLossless || mode == RecordPack::kFloat32);
+  const int dim = o.dim();
+  const size_t n = o.pdf().size();
+
+  uint32_t flags = 0;
+  if (o.region() == ubr) flags |= kRegionIsUbr;
+  if (n > 0) {
+    const double uniform = 1.0 / static_cast<double>(n);
+    bool all_uniform = true;
+    for (const Instance& inst : o.pdf()) {
+      if (inst.probability != uniform) {
+        all_uniform = false;
+        break;
+      }
+    }
+    if (all_uniform) flags |= kUniformWeights;
+  }
+  if (mode == RecordPack::kFloat32) {
+    flags |= kF32Positions;
+    if ((flags & kUniformWeights) == 0) flags |= kF32Weights;
+  }
+
+  const uint64_t id = o.id();
+  const uint32_t dim32 = static_cast<uint32_t>(dim);
+  const uint32_t n32 = static_cast<uint32_t>(n);
+  const uint32_t reserved = 0;
+  Push(out, &id, sizeof(id));
+  Push(out, &dim32, sizeof(dim32));
+  Push(out, &n32, sizeof(n32));
+  Push(out, &flags, sizeof(flags));
+  Push(out, &reserved, sizeof(reserved));
+
+  if ((flags & kRegionIsUbr) == 0) {
+    for (int d = 0; d < dim; ++d) {
+      const double lo = o.region().lo(d), hi = o.region().hi(d);
+      Push(out, &lo, sizeof(lo));
+      Push(out, &hi, sizeof(hi));
+    }
+  }
+  if (flags & kF32Positions) {
+    for (const Instance& inst : o.pdf()) {
+      for (int d = 0; d < dim; ++d) {
+        const float delta =
+            static_cast<float>(inst.position[d] - o.region().lo(d));
+        Push(out, &delta, sizeof(delta));
+      }
+    }
+  } else {
+    for (const Instance& inst : o.pdf()) {
+      for (int d = 0; d < dim; ++d) {
+        const double c = inst.position[d];
+        Push(out, &c, sizeof(c));
+      }
+    }
+  }
+  if ((flags & kUniformWeights) == 0) {
+    if (flags & kF32Weights) {
+      for (const Instance& inst : o.pdf()) {
+        const float w = static_cast<float>(inst.probability);
+        Push(out, &w, sizeof(w));
+      }
+    } else {
+      for (const Instance& inst : o.pdf()) {
+        Push(out, &inst.probability, sizeof(inst.probability));
+      }
+    }
+  }
+}
+
+Result<UncertainObject> DecodePackedObject(std::span<const uint8_t> bytes,
+                                           size_t* offset,
+                                           const geom::Rect& ubr) {
+  uint64_t id;
+  uint32_t dim, n, flags, reserved;
+  if (!Pull(bytes, offset, &id, sizeof(id)) ||
+      !Pull(bytes, offset, &dim, sizeof(dim)) ||
+      !Pull(bytes, offset, &n, sizeof(n)) ||
+      !Pull(bytes, offset, &flags, sizeof(flags)) ||
+      !Pull(bytes, offset, &reserved, sizeof(reserved))) {
+    return Status::Corruption("packed record header truncated");
+  }
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("packed record has invalid dimension");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return Status::Corruption("packed record has unknown flags " +
+                              std::to_string(flags));
+  }
+  if (static_cast<int>(dim) != ubr.dim()) {
+    return Status::Corruption("packed record dimension disagrees with UBR");
+  }
+
+  geom::Rect region(static_cast<int>(dim));
+  if (flags & kRegionIsUbr) {
+    // The UBR comes from raw (possibly damaged) snapshot bytes; an inverted
+    // interval would make the clamp below undefined.
+    for (uint32_t d = 0; d < dim; ++d) {
+      const int di = static_cast<int>(d);
+      if (!(ubr.lo(di) <= ubr.hi(di))) {
+        return Status::Corruption("packed record UBR is inverted");
+      }
+    }
+    region = ubr;
+  } else {
+    geom::Point lo(static_cast<int>(dim)), hi(static_cast<int>(dim));
+    for (uint32_t d = 0; d < dim; ++d) {
+      double l, h;
+      if (!Pull(bytes, offset, &l, sizeof(l)) ||
+          !Pull(bytes, offset, &h, sizeof(h))) {
+        return Status::Corruption("packed record region truncated");
+      }
+      if (!(l <= h)) {
+        return Status::Corruption("packed record region is inverted");
+      }
+      lo[static_cast<int>(d)] = l;
+      hi[static_cast<int>(d)] = h;
+    }
+    region = geom::Rect(lo, hi);
+  }
+
+  std::vector<Instance> pdf;
+  pdf.reserve(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    geom::Point x(static_cast<int>(dim));
+    if (flags & kF32Positions) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        float delta;
+        if (!Pull(bytes, offset, &delta, sizeof(delta))) {
+          return Status::Corruption("packed record pdf truncated");
+        }
+        const int di = static_cast<int>(d);
+        // The quantized coordinate may land one ulp outside the region;
+        // clamp to keep the support invariant the constructor checks.
+        x[di] = std::clamp(region.lo(di) + static_cast<double>(delta),
+                           region.lo(di), region.hi(di));
+      }
+    } else {
+      for (uint32_t d = 0; d < dim; ++d) {
+        double c;
+        if (!Pull(bytes, offset, &c, sizeof(c))) {
+          return Status::Corruption("packed record pdf truncated");
+        }
+        x[static_cast<int>(d)] = c;
+      }
+    }
+    pdf.push_back({x, 0.0});
+  }
+  if (flags & kUniformWeights) {
+    const double p = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+    for (Instance& inst : pdf) inst.probability = p;
+  } else if (flags & kF32Weights) {
+    for (Instance& inst : pdf) {
+      float w;
+      if (!Pull(bytes, offset, &w, sizeof(w))) {
+        return Status::Corruption("packed record weights truncated");
+      }
+      if (!(w >= 0.0f)) {
+        return Status::Corruption("packed record weight is negative");
+      }
+      inst.probability = static_cast<double>(w);
+    }
+  } else {
+    for (Instance& inst : pdf) {
+      double w;
+      if (!Pull(bytes, offset, &w, sizeof(w))) {
+        return Status::Corruption("packed record weights truncated");
+      }
+      if (!(w >= 0.0)) {
+        return Status::Corruption("packed record weight is negative");
+      }
+      inst.probability = w;
+    }
+  }
+  return UncertainObject(id, std::move(region), std::move(pdf));
+}
+
+}  // namespace pvdb::uncertain

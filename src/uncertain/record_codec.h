@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Packed pdf-record codec for snapshot format v2. The v1 record body
+// (UncertainObject::AppendTo) spends 8 bytes per coordinate and 8 per
+// weight on data that is dominated by two redundancies: the uncertainty
+// region usually IS the UBR the record is framed under, and synthetic /
+// sampled pdfs carry the uniform weight 1/n on every instance. The packed
+// form elides both and can additionally store coordinates as float32
+// deltas against the region origin:
+//
+//   id u64 | dim u32 | n u32 | flags u32 | reserved u32
+//   [region lo/hi f64 pairs]        absent when flags.kRegionIsUbr
+//   positions                       n*dim f32 deltas (flags.kF32Positions)
+//                                   or n*dim raw f64
+//   weights                         absent (flags.kUniformWeights),
+//                                   n f32 (flags.kF32Weights), or n f64
+//
+// kLossless keeps raw f64 positions/weights and only applies the elisions,
+// so decode is bit-identical to the original object. kFloat32 quantizes:
+// decoded coordinates satisfy |x' - x| <= side_d * 2^-23 (one float ulp at
+// the region extent) and are clamped back into the region; weights satisfy
+// |w' - w| <= w * 2^-23. Note a pdf whose weights are exactly 1/n — every
+// sampled dataset in this repo — round-trips bit-identically even under
+// kFloat32, because both elided fields are reconstructed, not stored.
+//
+// The codec is UBR-relative: the caller (pv snapshot layer) passes the
+// record's UBR, which it stores separately as raw doubles.
+
+#ifndef PVDB_UNCERTAIN_RECORD_CODEC_H_
+#define PVDB_UNCERTAIN_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::uncertain {
+
+/// How Seal() stores pdf records.
+enum class RecordPack : uint32_t {
+  kRaw = 0,       ///< v1 body (AppendTo), no packing.
+  kLossless = 1,  ///< elisions only; decode bit-identical.
+  kFloat32 = 2,   ///< f32 delta coordinates + f32 weights (documented ulp
+                  ///< tolerance above); elisions still apply.
+};
+
+/// Serializes `o` in the packed form, choosing elisions per `mode`.
+/// `ubr` must be the UBR the enclosing record stores for this object.
+/// `mode` must be kLossless or kFloat32 (kRaw is the v1 AppendTo path).
+void EncodePackedObject(const UncertainObject& o, const geom::Rect& ubr,
+                        RecordPack mode, std::vector<uint8_t>* out);
+
+/// Inverse of EncodePackedObject; advances `*offset` past the consumed
+/// bytes. All reads are bounds-checked — truncated or malformed input
+/// returns Corruption, never crashes. `ubr` reconstructs an elided region.
+Result<UncertainObject> DecodePackedObject(std::span<const uint8_t> bytes,
+                                           size_t* offset,
+                                           const geom::Rect& ubr);
+
+}  // namespace pvdb::uncertain
+
+#endif  // PVDB_UNCERTAIN_RECORD_CODEC_H_

@@ -1,0 +1,263 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Packed pdf-record codec tests (uncertain/record_codec.h): lossless mode
+// decodes bit-identically, float32 mode stays inside its documented
+// coordinate/weight tolerances (and uniform weights still round-trip
+// bit-identically), and every malformed input — truncation at any prefix,
+// unknown flags, inverted regions, negative weights — is a descriptive
+// Corruption status, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/uncertain/record_codec.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb {
+namespace {
+
+using uncertain::Instance;
+using uncertain::RecordPack;
+using uncertain::UncertainObject;
+
+geom::Rect RandomRegion(Rng* rng, int dim) {
+  geom::Point lo(dim), hi(dim);
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = rng->NextUniform(0.0, 900.0);
+    hi[d] = lo[d] + rng->NextUniform(1.0, 100.0);
+  }
+  return geom::Rect(lo, hi);
+}
+
+/// An object with non-uniform (normalized random) weights — the shape that
+/// cannot elide its weight array.
+UncertainObject SkewedObject(Rng* rng, uint64_t id, int dim, int n) {
+  const geom::Rect region = RandomRegion(rng, dim);
+  std::vector<Instance> pdf;
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    w[k] = rng->NextUniform(0.1, 1.0);
+    total += w[k];
+  }
+  for (int k = 0; k < n; ++k) {
+    geom::Point p(dim);
+    for (int d = 0; d < dim; ++d) {
+      p[d] = rng->NextUniform(region.lo(d), region.hi(d));
+    }
+    pdf.push_back(Instance{p, w[k] / total});
+  }
+  return UncertainObject(id, region, std::move(pdf));
+}
+
+void ExpectBitIdentical(const UncertainObject& a, const UncertainObject& b) {
+  ASSERT_EQ(a.id(), b.id());
+  ASSERT_EQ(a.region(), b.region());
+  ASSERT_EQ(a.pdf().size(), b.pdf().size());
+  for (size_t i = 0; i < a.pdf().size(); ++i) {
+    EXPECT_EQ(a.pdf()[i].position, b.pdf()[i].position) << "instance " << i;
+    EXPECT_EQ(a.pdf()[i].probability, b.pdf()[i].probability)
+        << "instance " << i;
+  }
+}
+
+TEST(RecordCodecTest, LosslessRoundTripIsBitIdentical) {
+  Rng rng(21);
+  for (int dim : {1, 2, 3, 5, geom::kMaxDim}) {
+    for (int n : {1, 2, 7, 40}) {
+      // Uniform weights (elided) and skewed weights (stored raw).
+      const geom::Rect region = RandomRegion(&rng, dim);
+      std::vector<UncertainObject> objects;
+      objects.push_back(
+          UncertainObject::UniformSampled(1, region, n, &rng));
+      objects.push_back(SkewedObject(&rng, 2, dim, n));
+      for (const UncertainObject& o : objects) {
+        // UBR == region (both elisions) and UBR != region (region stored).
+        geom::Point wide_hi = o.region().hi();
+        wide_hi[0] += 5.0;
+        for (const geom::Rect& ubr :
+             {o.region(), geom::Rect(o.region().lo(), wide_hi)}) {
+          std::vector<uint8_t> bytes;
+          uncertain::EncodePackedObject(o, ubr, RecordPack::kLossless,
+                                        &bytes);
+          size_t offset = 0;
+          auto back = uncertain::DecodePackedObject(bytes, &offset, ubr);
+          ASSERT_TRUE(back.ok()) << back.status().ToString();
+          EXPECT_EQ(offset, bytes.size());
+          ExpectBitIdentical(o, back.value());
+        }
+      }
+    }
+  }
+}
+
+TEST(RecordCodecTest, Float32StaysWithinDocumentedTolerance) {
+  Rng rng(22);
+  for (int dim : {2, 3, 6}) {
+    for (int round = 0; round < 20; ++round) {
+      const UncertainObject o = SkewedObject(&rng, 7, dim, 12);
+      std::vector<uint8_t> bytes;
+      uncertain::EncodePackedObject(o, o.region(), RecordPack::kFloat32,
+                                    &bytes);
+      size_t offset = 0;
+      auto back =
+          uncertain::DecodePackedObject(bytes, &offset, o.region());
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      ASSERT_EQ(back.value().pdf().size(), o.pdf().size());
+      for (size_t i = 0; i < o.pdf().size(); ++i) {
+        const geom::Point& x = o.pdf()[i].position;
+        const geom::Point& x2 = back.value().pdf()[i].position;
+        for (int d = 0; d < dim; ++d) {
+          const double side = o.region().hi(d) - o.region().lo(d);
+          EXPECT_LE(std::abs(x2[d] - x[d]), side * 0x1p-23)
+              << "instance " << i << " dim " << d;
+          // Clamped back into the region: the support invariant holds.
+          EXPECT_GE(x2[d], o.region().lo(d));
+          EXPECT_LE(x2[d], o.region().hi(d));
+        }
+        const double w = o.pdf()[i].probability;
+        EXPECT_LE(std::abs(back.value().pdf()[i].probability - w),
+                  w * 0x1p-23)
+            << "instance " << i;
+      }
+    }
+  }
+}
+
+TEST(RecordCodecTest, Float32UniformWeightsRoundTripBitIdentically) {
+  // Elided fields are reconstructed, not quantized: exactly-1/n weights
+  // come back as exactly 1/n even in the lossy mode.
+  Rng rng(23);
+  for (int n : {1, 3, 16, 101}) {
+    const UncertainObject o =
+        UncertainObject::UniformSampled(9, RandomRegion(&rng, 3), n, &rng);
+    std::vector<uint8_t> bytes;
+    uncertain::EncodePackedObject(o, o.region(), RecordPack::kFloat32,
+                                  &bytes);
+    size_t offset = 0;
+    auto back = uncertain::DecodePackedObject(bytes, &offset, o.region());
+    ASSERT_TRUE(back.ok());
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (const Instance& inst : back.value().pdf()) {
+      EXPECT_EQ(inst.probability, uniform);
+    }
+  }
+}
+
+TEST(RecordCodecTest, Float32ExpectedDistanceAgreesMonteCarlo) {
+  // Downstream agreement of the lossy mode: the pdf-expected distance to a
+  // probe — the quantity Step 2 integrates — moves by at most the
+  // coordinate quantization error (|Δx| <= sum_d side_d * 2^-23 per
+  // instance, weights exact here up to w * 2^-23).
+  Rng rng(24);
+  for (int round = 0; round < 30; ++round) {
+    const int dim = 3;
+    const UncertainObject o = SkewedObject(&rng, 11, dim, 64);
+    std::vector<uint8_t> bytes;
+    uncertain::EncodePackedObject(o, o.region(), RecordPack::kFloat32,
+                                  &bytes);
+    size_t offset = 0;
+    auto back = uncertain::DecodePackedObject(bytes, &offset, o.region());
+    ASSERT_TRUE(back.ok());
+    geom::Point probe(dim);
+    for (int d = 0; d < dim; ++d) probe[d] = rng.NextUniform(0.0, 1000.0);
+    double expected = 0.0, got = 0.0, bound = 0.0;
+    double max_side = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      max_side = std::max(max_side, o.region().hi(d) - o.region().lo(d));
+    }
+    for (size_t i = 0; i < o.pdf().size(); ++i) {
+      expected += o.pdf()[i].probability *
+                  o.pdf()[i].position.DistanceTo(probe);
+      got += back.value().pdf()[i].probability *
+             back.value().pdf()[i].position.DistanceTo(probe);
+      // |dist(x') - dist(x)| <= |x' - x| <= sqrt(dim) * max_side * 2^-23,
+      // plus the weight wobble on a distance bounded by the domain diagonal.
+      bound += o.pdf()[i].probability * std::sqrt(3.0) * max_side * 0x1p-23 +
+               o.pdf()[i].probability * 0x1p-23 * 2000.0;
+    }
+    EXPECT_NEAR(got, expected, bound + 1e-12);
+  }
+}
+
+TEST(RecordCodecTest, TruncationAtEveryPrefixIsCorruption) {
+  Rng rng(25);
+  const UncertainObject o = SkewedObject(&rng, 13, 2, 5);
+  geom::Point wide_hi = o.region().hi();
+  wide_hi[0] += 2.0;
+  const geom::Rect ubr(o.region().lo(), wide_hi);  // region stored explicitly
+  for (RecordPack mode : {RecordPack::kLossless, RecordPack::kFloat32}) {
+    std::vector<uint8_t> bytes;
+    uncertain::EncodePackedObject(o, ubr, mode, &bytes);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::span<const uint8_t> prefix(bytes.data(), cut);
+      size_t offset = 0;
+      auto r = uncertain::DecodePackedObject(prefix, &offset, ubr);
+      EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(RecordCodecTest, UnknownFlagsAreRejected) {
+  Rng rng(26);
+  const UncertainObject o =
+      UncertainObject::UniformSampled(15, RandomRegion(&rng, 2), 4, &rng);
+  std::vector<uint8_t> bytes;
+  uncertain::EncodePackedObject(o, o.region(), RecordPack::kLossless, &bytes);
+  // flags u32 sits after id u64 + dim u32 + n u32.
+  bytes[16] |= 1u << 4;
+  size_t offset = 0;
+  auto r = uncertain::DecodePackedObject(bytes, &offset, o.region());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("flags"), std::string::npos);
+}
+
+TEST(RecordCodecTest, InvertedRegionsAreRejected) {
+  Rng rng(27);
+  const UncertainObject o =
+      UncertainObject::UniformSampled(17, RandomRegion(&rng, 2), 4, &rng);
+
+  // Stored region: patch its first interval to lo > hi. (The elided-region
+  // variant — an inverted UBR — is covered at the snapshot layer, which
+  // validates raw UBR bytes before Rect construction.)
+  geom::Point wide_hi = o.region().hi();
+  wide_hi[0] += 2.0;
+  const geom::Rect ubr(o.region().lo(), wide_hi);
+  std::vector<uint8_t> stored;
+  uncertain::EncodePackedObject(o, ubr, RecordPack::kLossless, &stored);
+  // Header is 24 bytes; region doubles follow (lo0, hi0, ...). Set hi0 to
+  // lo0 - 1.
+  double lo0;
+  std::memcpy(&lo0, stored.data() + 24, sizeof(lo0));
+  const double bad_hi = lo0 - 1.0;
+  std::memcpy(stored.data() + 32, &bad_hi, sizeof(bad_hi));
+  size_t offset = 0;
+  auto r = uncertain::DecodePackedObject(stored, &offset, ubr);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(RecordCodecTest, NegativeWeightsAreRejected) {
+  Rng rng(28);
+  const UncertainObject o = SkewedObject(&rng, 19, 2, 3);  // weights stored
+  std::vector<uint8_t> bytes;
+  uncertain::EncodePackedObject(o, o.region(), RecordPack::kLossless, &bytes);
+  // Layout with both elisions off the table: header 24 B, region elided
+  // (ubr == region), positions 3*2*8 B, then f64 weights. Flip the sign bit
+  // of the first weight (IEEE-754 little-endian: top bit of byte 7).
+  const size_t weight0 = 24 + 3 * 2 * 8;
+  ASSERT_LT(weight0 + 8, bytes.size() + 1);
+  bytes[weight0 + 7] |= 0x80;
+  size_t offset = 0;
+  auto r = uncertain::DecodePackedObject(bytes, &offset, o.region());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("weight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvdb

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/common/random.h"
@@ -201,6 +202,107 @@ TEST(SimdKernelParityTest, DegenerateRectsEveryLevel) {
       for (const geom::Point& q : probes) {
         ExpectBatchMatchesScalar(rects, q, geom::SimdLevelName(level));
       }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MinReduce: forced-level bit-identity vs a plain sequential minimum
+// ---------------------------------------------------------------------------
+
+TEST(MinReduceParityTest, RandomAndTiedInputsEveryLengthEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(137);
+    const char* name = geom::SimdLevelName(level);
+    EXPECT_EQ(geom::MinReduce(nullptr, 0),
+              std::numeric_limits<double>::infinity())
+        << name;
+    // Lengths cover every tail remainder of the widest (8-lane) kernel,
+    // with and without preceding full vectors.
+    for (size_t n = 1; n <= 19; ++n) {
+      for (int round = 0; round < 8; ++round) {
+        std::vector<double> x(n);
+        for (double& v : x) v = rng.NextUniform(0.0, 1e6);
+        // Exact ties in random slots: the min is tie-insensitive.
+        if (n > 2) x[n / 2] = x[0];
+        double expected = x[0];
+        for (double v : x) expected = v < expected ? v : expected;
+        EXPECT_EQ(geom::MinReduce(x.data(), n), expected)
+            << name << " n=" << n;
+      }
+      // Degenerate: all equal, zeros, the minimum in every position.
+      std::vector<double> flat(n, 3.25);
+      EXPECT_EQ(geom::MinReduce(flat.data(), n), 3.25) << name;
+      std::vector<double> zeros(n, 0.0);
+      EXPECT_EQ(geom::MinReduce(zeros.data(), n), 0.0) << name;
+      for (size_t pos = 0; pos < n; ++pos) {
+        std::vector<double> v(n, 100.0);
+        v[pos] = 1.0;
+        EXPECT_EQ(geom::MinReduce(v.data(), n), 1.0)
+            << name << " n=" << n << " pos=" << pos;
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// PointDistBatch: forced-level bit-identity vs Point::DistanceTo
+// ---------------------------------------------------------------------------
+
+TEST(PointDistBatchParityTest, StridedLayoutEveryDimEveryLevel) {
+  // dim >= 6 exercises the AVX-512 gather path; the stride mimics the
+  // Step-2 Instance layout (coords at offset 0, trailing payload doubles).
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    Rng rng(139);
+    const char* name = geom::SimdLevelName(level);
+    for (int dim : {1, 2, 3, 5, 6, 7, geom::kMaxDim}) {
+      for (size_t stride :
+           {static_cast<size_t>(dim), static_cast<size_t>(dim) + 2,
+            static_cast<size_t>(10)}) {
+        if (stride < static_cast<size_t>(dim)) continue;
+        // Every tail remainder of the widest (8-lane) kernel.
+        for (size_t n = 0; n <= 19; ++n) {
+          std::vector<double> base(n * stride);
+          for (double& v : base) v = rng.NextUniform(-500.0, 500.0);
+          const geom::Point q = RandomPoint(&rng, dim, 1000.0);
+          std::vector<double> out(n, -1.0);
+          geom::PointDistBatch(base.data(), stride, q, n, out.data());
+          for (size_t k = 0; k < n; ++k) {
+            geom::Point p(dim);
+            for (int d = 0; d < dim; ++d) p[d] = base[k * stride + d];
+            EXPECT_EQ(out[k], p.DistanceTo(q))
+                << name << " dim=" << dim << " stride=" << stride
+                << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(PointDistBatchParityTest, CoincidentAndAxisAlignedPointsEveryLevel) {
+  ForEachUsableLevel([](geom::SimdLevel level) {
+    const char* name = geom::SimdLevelName(level);
+    const int dim = 3;
+    const size_t n = 11;
+    const size_t stride = 10;
+    std::vector<double> base(n * stride, 0.0);
+    geom::Point q(dim);
+    q[0] = 1.0;
+    q[1] = -2.0;
+    q[2] = 0.5;
+    // Point 0 coincides with q (distance exactly 0); the rest differ in one
+    // axis only (exact representable distances).
+    for (int d = 0; d < dim; ++d) base[d] = q[d];
+    for (size_t k = 1; k < n; ++k) {
+      for (int d = 0; d < dim; ++d) base[k * stride + d] = q[d];
+      base[k * stride + (k % dim)] += static_cast<double>(k);
+    }
+    std::vector<double> out(n, -1.0);
+    geom::PointDistBatch(base.data(), stride, q, n, out.data());
+    EXPECT_EQ(out[0], 0.0) << name;
+    for (size_t k = 1; k < n; ++k) {
+      EXPECT_EQ(out[k], static_cast<double>(k)) << name << " k=" << k;
     }
   });
 }

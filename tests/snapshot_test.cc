@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -317,7 +318,38 @@ TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
                   got[i].results[j].probability);
       }
     }
-    EXPECT_GT(snap_engine.value()->cache()->hits(), 0);
+    // Zero-copy serving (v2 snapshots) never materializes leaf blocks, so
+    // the block hit/miss meters stay untouched — the mmap is its own cache.
+    // With grouping on the cache still earns its keep memoizing resolved
+    // Step-2 plans (plan-only entries with real byte accounting).
+    EXPECT_EQ(snap_engine.value()->cache()->hits(), 0);
+    EXPECT_EQ(snap_engine.value()->cache()->misses(), 0);
+    if (batch_step2) {
+      EXPECT_GT(snap_engine.value()->cache()->size(), 0u);
+      EXPECT_GT(snap_engine.value()->cache()->bytes(), 0u);
+    }
+
+    // The decode-and-cache block path stays available behind the toggle and
+    // answers bit-identically to the zero-copy path.
+    service::QueryEngineOptions decode_options = options;
+    decode_options.use_leaf_views = false;
+    auto decode_engine = service::QueryEngine::CreateFromSnapshot(
+        snapshot.value(), decode_options);
+    ASSERT_TRUE(decode_engine.ok());
+    const auto decoded = decode_engine.value()->ExecuteBatch(queries);
+    ASSERT_EQ(decoded.size(), got.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(decoded[i].results.size(), got[i].results.size());
+      for (size_t j = 0; j < decoded[i].results.size(); ++j) {
+        EXPECT_EQ(decoded[i].results[j].id, got[i].results[j].id);
+        EXPECT_EQ(decoded[i].results[j].probability,
+                  got[i].results[j].probability);
+      }
+    }
+    // Block caching is live on the decode path: a warm re-run hits.
+    decode_engine.value()->ExecuteBatch(queries);
+    EXPECT_GT(decode_engine.value()->cache()->hits(), 0);
+    EXPECT_GT(decode_engine.value()->cache()->bytes(), 0u);
   }
 }
 
@@ -367,6 +399,201 @@ TEST(SnapshotRoundTripTest, EmptyDatabaseSealsAndServes) {
       snap.value()->QueryPossibleNN(geom::Point{50, 50});
   ASSERT_TRUE(step1.ok());
   EXPECT_TRUE(step1.value().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: version compatibility, SoA views, packed records
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFormatV2Test, V1SealStillOpensAndAnswersIdentically) {
+  // Backward compat: the current builder can emit the exact legacy layout,
+  // and the current reader serves it (through the decode path) with answers
+  // bit-identical to the default v2 seal.
+  uncertain::Dataset db = RandomDatabase(41, 3, 150);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+
+  TempFile v1_file(TempPath("v1"));
+  TempFile v2_file(TempPath("v2"));
+  ASSERT_TRUE(builder.value()->Save(v1_file.path, {.format_version = 1}).ok());
+  ASSERT_TRUE(builder.value()->Save(v2_file.path).ok());
+
+  auto v1 = pv::IndexSnapshot::Open(v1_file.path, {.verify_payload = true});
+  auto v2 = pv::IndexSnapshot::Open(v2_file.path, {.verify_payload = true});
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v1.value()->format_version(), 1u);
+  EXPECT_EQ(v2.value()->format_version(), 2u);
+  EXPECT_FALSE(v1.value()->has_leaf_soa());
+  EXPECT_TRUE(v2.value()->has_leaf_soa());
+
+  // v1 has no zero-copy views, and says so descriptively.
+  const auto probe = RandomQueries(43, 3, 1, 0, 1000)[0];
+  const auto leaf = v1.value()->FindLeaf(probe);
+  ASSERT_TRUE(leaf.ok());
+  const auto view = v1.value()->ReadLeafBlockView(leaf.value().id);
+  EXPECT_EQ(view.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(view.status().message().find("re-seal"), std::string::npos);
+
+  // Decoded v1 serving == zero-copy v2 serving, bit for bit — the
+  // view-prune vs decode-prune property at the file level.
+  for (const auto& q : RandomQueries(44, 3, 128, -50, 1050)) {
+    const auto a = v1.value()->QueryPossibleNN(q);
+    const auto b = v2.value()->QueryPossibleNN(q);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) EXPECT_EQ(a.value(), b.value());
+  }
+
+  // And per leaf: the v2 view enumerates exactly the entries the v1 decode
+  // produces, in the same order.
+  for (const auto& q : RandomQueries(45, 3, 16, 0, 1000)) {
+    const auto ref1 = v1.value()->FindLeaf(q);
+    const auto ref2 = v2.value()->FindLeaf(q);
+    ASSERT_TRUE(ref1.ok() && ref2.ok());
+    ASSERT_EQ(ref1.value().id, ref2.value().id);
+    const auto block = v1.value()->ReadLeafBlock(ref1.value().id);
+    const auto v = v2.value()->ReadLeafBlockView(ref2.value().id);
+    ASSERT_TRUE(block.ok() && v.ok());
+    ASSERT_EQ(v.value().count, block.value().size());
+    ASSERT_EQ(v.value().dim, 3);
+    for (size_t i = 0; i < v.value().count; ++i) {
+      const pv::LeafEntry a = block.value().At(i);
+      const pv::LeafEntry b = v.value().At(i);
+      EXPECT_EQ(a.id, b.id);
+      EXPECT_EQ(a.region, b.region);
+    }
+  }
+}
+
+TEST(SnapshotFormatV2Test, SealRejectsUnwritableVersionsAndV1Packing) {
+  uncertain::Dataset db = RandomDatabase(46, 2, 40);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+
+  auto future = builder.value()->SealImage({.format_version = 3});
+  EXPECT_EQ(future.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(future.status().message().find("version"), std::string::npos);
+
+  auto packed_v1 = builder.value()->SealImage(
+      {.format_version = 1, .pack = uncertain::RecordPack::kLossless});
+  EXPECT_EQ(packed_v1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(packed_v1.status().message().find("version 2"),
+            std::string::npos);
+}
+
+TEST(SnapshotFormatV2Test, FutureVersionOpenIsDescriptiveNotChecksum) {
+  // Forward compat: a file stamped with a future format version must fail
+  // with a version message — the version gate runs before any checksum
+  // comparison, so the caller learns to upgrade, not to suspect bit rot.
+  uncertain::Dataset db = RandomDatabase(47, 2, 40);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+  auto image = builder.value()->SealImage();
+  ASSERT_TRUE(image.ok());
+  std::vector<uint8_t> bytes = std::move(image).value();
+  bytes[8] = 9;  // version u32 at superblock offset 8
+  auto snap = pv::IndexSnapshot::FromImage(bytes);
+  EXPECT_EQ(snap.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(snap.status().message().find("version"), std::string::npos);
+  EXPECT_EQ(snap.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotFormatV2Test, PackedRecordsRoundTripThroughSnapshot) {
+  Rng rng(48);
+  uncertain::Dataset db = RandomDatabase(49, 3, 120);
+  // Mix in objects with non-uniform weights so the weight array is
+  // actually exercised (RandomDatabase emits uniform-sampled pdfs).
+  for (int k = 0; k < 10; ++k) {
+    geom::Point lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = rng.NextUniform(0, 900);
+      hi[d] = lo[d] + rng.NextUniform(1, 80);
+    }
+    const geom::Rect region(lo, hi);
+    std::vector<uncertain::Instance> pdf;
+    double total = 0;
+    std::vector<double> w;
+    for (int i = 0; i < 9; ++i) {
+      w.push_back(rng.NextUniform(0.1, 1.0));
+      total += w.back();
+    }
+    for (int i = 0; i < 9; ++i) {
+      geom::Point p(3);
+      for (int d = 0; d < 3; ++d) {
+        p[d] = rng.NextUniform(region.lo(d), region.hi(d));
+      }
+      pdf.push_back(uncertain::Instance{p, w[i] / total});
+    }
+    ASSERT_TRUE(db.Add(uncertain::UncertainObject(
+                           800000 + static_cast<uint64_t>(k), region,
+                           std::move(pdf)))
+                    .ok());
+  }
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+
+  // Lossless: every record decodes bit-identically to the raw seal.
+  TempFile lossless_file(TempPath("packed_lossless"));
+  ASSERT_TRUE(builder.value()
+                  ->Save(lossless_file.path,
+                         {.pack = uncertain::RecordPack::kLossless})
+                  .ok());
+  auto lossless =
+      pv::IndexSnapshot::Open(lossless_file.path, {.verify_payload = true});
+  ASSERT_TRUE(lossless.ok()) << lossless.status().ToString();
+  EXPECT_TRUE(lossless.value()->packed_records());
+  for (const auto& o : db.objects()) {
+    auto copy = lossless.value()->GetObject(o.id());
+    ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+    ExpectSameObject(o, copy.value());
+    ASSERT_NE(lossless.value()->FindObject(o.id()), nullptr);
+  }
+
+  // Lossless packing leaves every query answer bit-identical (Step 1 reads
+  // leaf sections, Step 2 reads the decoded records).
+  auto raw = builder.value()->Seal();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_FALSE(raw.value()->packed_records());
+  pv::PnnStep2Evaluator raw_step2(raw.value().get());
+  pv::PnnStep2Evaluator packed_step2(lossless.value().get());
+  for (const auto& q : RandomQueries(50, 3, 48, 0, 1000)) {
+    const auto cands = raw.value()->QueryPossibleNN(q).value();
+    ASSERT_EQ(lossless.value()->QueryPossibleNN(q).value(), cands);
+    const auto a = raw_step2.Evaluate(q, cands);
+    const auto b = packed_step2.Evaluate(q, cands);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].probability, b[i].probability);
+    }
+  }
+
+  // Float32: coordinates within the documented ulp bound, uniform weights
+  // exact, and the file strictly smaller than both raw and lossless.
+  TempFile f32_file(TempPath("packed_f32"));
+  ASSERT_TRUE(builder.value()
+                  ->Save(f32_file.path,
+                         {.pack = uncertain::RecordPack::kFloat32})
+                  .ok());
+  auto f32 = pv::IndexSnapshot::Open(f32_file.path, {.verify_payload = true});
+  ASSERT_TRUE(f32.ok()) << f32.status().ToString();
+  for (const auto& o : db.objects()) {
+    auto copy = f32.value()->GetObject(o.id());
+    ASSERT_TRUE(copy.ok());
+    ASSERT_EQ(copy.value().pdf().size(), o.pdf().size());
+    EXPECT_EQ(copy.value().region(), o.region());
+    for (size_t i = 0; i < o.pdf().size(); ++i) {
+      for (int d = 0; d < 3; ++d) {
+        const double side = o.region().hi(d) - o.region().lo(d);
+        EXPECT_LE(std::abs(copy.value().pdf()[i].position[d] -
+                           o.pdf()[i].position[d]),
+                  side * 0x1p-23);
+      }
+    }
+  }
+  const size_t raw_bytes = lossless.value()->file_bytes();
+  EXPECT_LT(f32.value()->file_bytes(), raw_bytes);
+  EXPECT_LT(raw_bytes, builder.value()->SealImage().value().size());
 }
 
 // ---------------------------------------------------------------------------
