@@ -10,6 +10,18 @@
 //   $ ./snapshot_serving --save  pv.snap      # writer process
 //   $ ./snapshot_serving --serve pv.snap      # fresh serving process
 //
+// The durable live-update pipeline (pv::LiveIndex) gets the same
+// two-process treatment — and a crash-recovery drill on top. The ingest
+// process applies a DETERMINISTIC mutation stream, so a later process can
+// reconstruct the exact reference state for any acknowledged prefix:
+//
+//   $ ./snapshot_serving --live pv.live --ops 400          # ingest + serve
+//   $ ./snapshot_serving --live pv.live --ops 400 --kill_after 250
+//                                             # SIGKILL itself mid-ingest
+//   $ ./snapshot_serving --recover pv.live --expect 250
+//                # fresh process: recover, verify bit-identity against the
+//                # reference rebuilt from the first 250 ops, then serve
+//
 // The serving side doubles as the observability walkthrough — optional
 // sinks expose the engine's metric registry and query traces:
 //
@@ -18,8 +30,11 @@
 //                         one at shutdown)
 //   --trace_log PATH      sampled + slow-query trace JSON lines
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -200,15 +215,309 @@ int ServeSnapshot(const std::string& path, const ObservabilityPaths& obs) {
   return 0;
 }
 
+// --- durable live-update pipeline --------------------------------------
+
+uncertain::Dataset MakeLiveBase() {
+  uncertain::SyntheticOptions options;
+  options.dim = 3;
+  options.count = 2000;
+  options.samples_per_object = 50;
+  options.seed = 21;
+  return uncertain::GenerateSynthetic(options);
+}
+
+struct LiveOp {
+  bool is_insert;
+  uncertain::UncertainObject object;  // insert payload
+  uncertain::ObjectId id;             // delete target
+};
+
+// The deterministic mutation stream both the ingest and the recovery
+// process derive from the same seed: op i is identical in every process,
+// which is what lets --recover rebuild the reference state for exactly the
+// acknowledged prefix.
+std::vector<LiveOp> MakeLiveOps(const uncertain::Dataset& base, int n) {
+  Rng rng(4242);
+  std::vector<uncertain::ObjectId> live = base.Ids();
+  std::vector<LiveOp> ops;
+  ops.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i % 5 == 4 && !live.empty()) {
+      const size_t pick = static_cast<size_t>(rng.NextBounded(live.size()));
+      const uncertain::ObjectId id = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      ops.push_back(LiveOp{false,
+                           uncertain::UncertainObject(id, geom::Rect(3), {}),
+                           id});
+      continue;
+    }
+    const uncertain::ObjectId id = 1000000 + static_cast<uint64_t>(i);
+    geom::Point center(3);
+    geom::Point half(3);
+    for (int d = 0; d < 3; ++d) {
+      center[d] = rng.NextUniform(100.0, 9900.0);
+      half[d] = rng.NextUniform(1.0, 20.0);
+    }
+    const geom::Rect region = geom::Rect::FromCenterHalfWidths(center, half);
+    ops.push_back(LiveOp{
+        true, uncertain::UncertainObject::UniformSampled(id, region, 50, &rng),
+        id});
+    live.push_back(id);
+  }
+  return ops;
+}
+
+pv::LiveIndexOptions MakeLiveOptions() {
+  pv::LiveIndexOptions options;
+  options.wal.sync_every_n = 1;  // every acknowledged mutation is durable
+  options.delta_seal_every_n = 64;
+  options.background_compaction = true;
+  options.compact_after_records = 192;
+  return options;
+}
+
+int RunLive(const std::string& dir, int op_count, int kill_after) {
+  const uncertain::Dataset base = MakeLiveBase();
+  const std::vector<LiveOp> ops = MakeLiveOps(base, op_count);
+
+  // Live serving: each published generation (the recovered/bootstrapped
+  // base, then every compaction) flips the engine's traffic wait-free.
+  std::unique_ptr<service::QueryEngine> engine;
+  std::mutex engine_mu;
+  pv::LiveIndexOptions options = MakeLiveOptions();
+  options.publish = [&](std::shared_ptr<const pv::IndexSnapshot> snap) {
+    std::lock_guard<std::mutex> lock(engine_mu);
+    if (engine == nullptr) {
+      service::QueryEngineOptions engine_options;
+      engine_options.threads = 2;
+      auto created =
+          service::QueryEngine::CreateFromSnapshot(std::move(snap),
+                                                   engine_options);
+      if (created.ok()) engine = std::move(created).value();
+      return;
+    }
+    const Status adopted = engine->AdoptSnapshot(std::move(snap));
+    if (!adopted.ok()) {
+      std::printf("adopt failed: %s\n", adopted.ToString().c_str());
+    }
+  };
+
+  StopWatch open_watch;
+  auto live = pv::LiveIndex::Open(storage::Env::Default(), dir, base, options);
+  if (!live.ok()) {
+    std::printf("live open failed: %s\n", live.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("live index up in %.1f ms: gen %llu, %zu objects, WAL floor "
+              "%llu\n",
+              open_watch.ElapsedMillis(),
+              static_cast<unsigned long long>(live.value()->generation()),
+              live.value()->db().size(),
+              static_cast<unsigned long long>(
+                  live.value()->wal_synced_records()));
+
+  StopWatch ingest_watch;
+  for (int i = 0; i < op_count; ++i) {
+    const LiveOp& op = ops[i];
+    const Status st = op.is_insert ? live.value()->Insert(op.object)
+                                   : live.value()->Delete(op.id);
+    if (!st.ok()) {
+      std::printf("op %d failed: %s\n", i, st.ToString().c_str());
+      return 1;
+    }
+    if (kill_after > 0 && i + 1 == kill_after) {
+      // The crash drill: die WITHOUT any shutdown path — no WAL close, no
+      // compactor join, possibly mid-seal or mid-compaction. Flush stdout
+      // first so the CI log shows how far we got.
+      std::printf("SIGKILLing self after %d acknowledged ops (gen %llu, "
+                  "delta %llu)\n",
+                  kill_after,
+                  static_cast<unsigned long long>(live.value()->generation()),
+                  static_cast<unsigned long long>(live.value()->delta_seq()));
+      std::fflush(stdout);
+      ::raise(SIGKILL);
+    }
+  }
+  const double ingest_ms = ingest_watch.ElapsedMillis();
+
+  const Status compacted = live.value()->WaitForCompaction();
+  if (!compacted.ok()) {
+    std::printf("compaction failed: %s\n", compacted.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %d ops in %.1f ms (%.0f ops/s, every ack fsync'd): "
+              "gen %llu, %llu since checkpoint\n",
+              op_count, ingest_ms, 1000.0 * op_count / ingest_ms,
+              static_cast<unsigned long long>(live.value()->generation()),
+              static_cast<unsigned long long>(
+                  live.value()->records_since_checkpoint()));
+
+  // A batch through the adopted generation proves the serving wiring.
+  std::lock_guard<std::mutex> lock(engine_mu);
+  if (engine == nullptr) {
+    std::printf("no engine was published\n");
+    return 1;
+  }
+  Rng rng(9);
+  const geom::Rect& domain = live.value()->db().domain();
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 64; ++i) {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    queries.push_back(q);
+  }
+  service::ServiceStats stats;
+  const auto answers = engine->ExecuteBatch(queries, &stats);
+  for (const auto& a : answers) {
+    if (!a.status.ok()) {
+      std::printf("query failed: %s\n", a.status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("served %lld queries off the live generation: %.0f q/s\n",
+              static_cast<long long>(stats.queries), stats.throughput_qps);
+  return 0;
+}
+
+int RunRecover(const std::string& dir, int expect_ops) {
+  const uncertain::Dataset base = MakeLiveBase();
+  const std::vector<LiveOp> ops = MakeLiveOps(base, expect_ops);
+
+  StopWatch recover_watch;
+  pv::LiveRecoveryStats stats;
+  auto live = pv::LiveIndex::Open(storage::Env::Default(), dir, base,
+                                  MakeLiveOptions(), &stats);
+  if (!live.ok()) {
+    std::printf("recovery failed: %s\n", live.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recovered in %.1f ms: base %llu objects, delta %llu upserts / "
+              "%llu deletes, WAL %llu applied + %llu skipped, %llu tail "
+              "bytes dropped%s\n",
+              recover_watch.ElapsedMillis(),
+              static_cast<unsigned long long>(stats.base_objects),
+              static_cast<unsigned long long>(stats.delta_upserts),
+              static_cast<unsigned long long>(stats.delta_deletes),
+              static_cast<unsigned long long>(stats.wal_records_applied),
+              static_cast<unsigned long long>(stats.wal_records_skipped),
+              static_cast<unsigned long long>(stats.wal_bytes_dropped),
+              stats.wal_tail_corrupt
+                  ? (" (" + stats.wal_tail_detail + ")").c_str()
+                  : "");
+  if (!stats.recovered) {
+    std::printf("FAIL: directory was bootstrapped fresh, nothing recovered\n");
+    return 1;
+  }
+  if (live.value()->last_seq() != static_cast<uint64_t>(expect_ops)) {
+    std::printf("FAIL: recovered seq %llu, expected %d (every ack was "
+                "fsync'd before the kill)\n",
+                static_cast<unsigned long long>(live.value()->last_seq()),
+                expect_ops);
+    return 1;
+  }
+
+  // Bit-identity against the reference: replay the same deterministic ops
+  // onto a plain dataset and compare ids + serialized object bytes.
+  uncertain::Dataset reference = base;
+  for (const LiveOp& op : ops) {
+    const Status st = op.is_insert ? reference.Add(op.object)
+                                   : reference.Remove(op.id);
+    if (!st.ok()) {
+      std::printf("reference replay failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<uncertain::ObjectId> got = live.value()->db().Ids();
+  std::vector<uncertain::ObjectId> want = reference.Ids();
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  if (got != want) {
+    std::printf("FAIL: recovered %zu object ids, reference has %zu\n",
+                got.size(), want.size());
+    return 1;
+  }
+  for (uncertain::ObjectId id : want) {
+    std::vector<uint8_t> a;
+    std::vector<uint8_t> b;
+    live.value()->db().Find(id)->AppendTo(&a);
+    reference.Find(id)->AppendTo(&b);
+    if (a != b) {
+      std::printf("FAIL: object %llu differs from the reference bytes\n",
+                  static_cast<unsigned long long>(id));
+      return 1;
+    }
+  }
+  std::printf("verified: %zu objects bit-identical to the reference rebuilt "
+              "from the %d acknowledged ops\n",
+              got.size(), expect_ops);
+
+  // The recovered index keeps going: compact into a fresh generation and
+  // serve a batch from it.
+  const Status compacted = live.value()->Compact();
+  if (!compacted.ok()) {
+    std::printf("post-recovery compaction failed: %s\n",
+                compacted.ToString().c_str());
+    return 1;
+  }
+  service::QueryEngineOptions engine_options;
+  engine_options.threads = 2;
+  auto engine = service::QueryEngine::CreateFromSnapshot(
+      live.value()->CurrentSnapshot(), engine_options);
+  if (!engine.ok()) {
+    std::printf("engine failed: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(9);
+  const geom::Rect& domain = live.value()->db().domain();
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 64; ++i) {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    queries.push_back(q);
+  }
+  service::ServiceStats service_stats;
+  const auto answers = engine.value()->ExecuteBatch(queries, &service_stats);
+  for (const auto& a : answers) {
+    if (!a.status.ok()) {
+      std::printf("query failed: %s\n", a.status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("served %lld queries off the recovered gen-%llu snapshot: "
+              "%.0f q/s\n",
+              static_cast<long long>(service_stats.queries),
+              static_cast<unsigned long long>(live.value()->generation()),
+              service_stats.throughput_qps);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string save_path;
   std::string serve_path;
+  std::string live_dir;
+  std::string recover_dir;
+  int op_count = 400;
+  int kill_after = 0;
+  int expect_ops = -1;
   ObservabilityPaths obs;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--save") == 0) save_path = argv[i + 1];
     if (std::strcmp(argv[i], "--serve") == 0) serve_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--live") == 0) live_dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--recover") == 0) recover_dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--ops") == 0) op_count = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--kill_after") == 0) {
+      kill_after = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--expect") == 0) {
+      expect_ops = std::atoi(argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--metrics_prom") == 0) {
       obs.metrics_prom = argv[i + 1];
     }
@@ -216,6 +525,10 @@ int main(int argc, char** argv) {
       obs.metrics_json = argv[i + 1];
     }
     if (std::strcmp(argv[i], "--trace_log") == 0) obs.trace_log = argv[i + 1];
+  }
+  if (!live_dir.empty()) return RunLive(live_dir, op_count, kill_after);
+  if (!recover_dir.empty()) {
+    return RunRecover(recover_dir, expect_ops >= 0 ? expect_ops : op_count);
   }
   if (!save_path.empty()) return SaveSnapshot(save_path);
   if (!serve_path.empty()) return ServeSnapshot(serve_path, obs);

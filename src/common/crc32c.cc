@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace pvdb {
+
+namespace {
+
+/// The reflected CRC-32C table, generated at static-init time (256 entries,
+/// 1 KiB — cheaper to compute once than to paste and review).
+std::array<uint32_t, 256> MakeTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace pvdb

@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// per-record checksum of the write-ahead log. Chosen over the snapshot
+// container's FNV-1a because a log record's failure mode is different from
+// a section's: WAL corruption is dominated by torn tails and single-burst
+// media errors, exactly the classes CRC-32C detects with guarantees (all
+// burst errors up to 32 bits, all odd-bit-count errors) where FNV offers
+// only probabilistic coverage. Software slice-by-one table implementation —
+// the WAL appends records of a few hundred bytes, so checksum cost is noise
+// against the fsync that follows.
+
+#ifndef PVDB_COMMON_CRC32C_H_
+#define PVDB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pvdb {
+
+/// Extends `crc` with `data[0, n)`. Pass 0 to start a fresh checksum over
+/// the first chunk; feed chunks in order to checksum a logical record that
+/// is not contiguous in memory.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace pvdb
+
+#endif  // PVDB_COMMON_CRC32C_H_

@@ -1,0 +1,710 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/pv/live_index.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace pvdb::pv {
+
+namespace {
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::string FormatManifest(uint64_t gen, uint64_t delta, uint64_t seq,
+                           uint64_t wal_seg) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "gen %" PRIu64 " delta %" PRIu64 " seq %" PRIu64
+                " wal %" PRIu64 "\n",
+                gen, delta, seq, wal_seg);
+  return buf;
+}
+
+bool ParseManifest(const std::string& text, uint64_t* gen, uint64_t* delta,
+                   uint64_t* seq, uint64_t* wal_seg) {
+  return std::sscanf(text.c_str(),
+                     "gen %" SCNu64 " delta %" SCNu64 " seq %" SCNu64
+                     " wal %" SCNu64,
+                     gen, delta, seq, wal_seg) == 4;
+}
+
+}  // namespace
+
+LiveIndex::LiveIndex(storage::Env* env, std::string dir,
+                     LiveIndexOptions options)
+    : env_(env), dir_(std::move(dir)), options_(std::move(options)) {}
+
+std::string LiveIndex::BasePath(uint64_t gen) const {
+  return dir_ + "/base-" + std::to_string(gen) + ".snap";
+}
+
+std::string LiveIndex::DeltaPath(uint64_t gen, uint64_t delta) const {
+  return dir_ + "/delta-" + std::to_string(gen) + "-" +
+         std::to_string(delta) + ".snap";
+}
+
+std::string LiveIndex::WalPath(uint64_t wal_seg) const {
+  return dir_ + "/wal-" + std::to_string(wal_seg) + ".log";
+}
+
+std::string LiveIndex::CurrentPath() const { return dir_ + "/CURRENT"; }
+
+Status LiveIndex::WriteManifest(uint64_t gen, uint64_t delta, uint64_t seq,
+                                uint64_t wal_seg) {
+  const std::string text = FormatManifest(gen, delta, seq, wal_seg);
+  return storage::WriteFileAtomic(
+      env_, CurrentPath(),
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+int LiveIndex::ProbeManifest(uint64_t gen, uint64_t delta, uint64_t seq,
+                             uint64_t wal_seg) {
+  std::vector<uint8_t> bytes;
+  if (!env_->ReadFile(CurrentPath(), &bytes).ok()) return -1;
+  uint64_t g, d, s, w;
+  if (!ParseManifest(std::string(bytes.begin(), bytes.end()), &g, &d, &s, &w)) {
+    return -1;
+  }
+  return (g == gen && d == delta && s == seq && w == wal_seg) ? 1 : 0;
+}
+
+Result<std::unique_ptr<LiveIndex>> LiveIndex::Open(
+    storage::Env* env, std::string dir, const uncertain::Dataset& bootstrap,
+    LiveIndexOptions options, LiveRecoveryStats* recovery) {
+  LiveRecoveryStats local;
+  if (recovery == nullptr) recovery = &local;
+  *recovery = LiveRecoveryStats{};
+
+  PVDB_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  auto li = std::unique_ptr<LiveIndex>(
+      new LiveIndex(env, std::move(dir), std::move(options)));
+  if (env->FileExists(li->CurrentPath())) {
+    PVDB_RETURN_NOT_OK(li->Recover(recovery));
+  } else {
+    PVDB_RETURN_NOT_OK(li->Bootstrap(bootstrap));
+  }
+  {
+    std::lock_guard<std::mutex> lock(li->mu_);
+    li->GarbageCollectLocked();
+  }
+  if (li->options_.publish) li->options_.publish(li->current_snapshot_);
+  if (li->options_.background_compaction) {
+    li->compactor_ = std::thread(&LiveIndex::CompactorLoop, li.get());
+  }
+  return li;
+}
+
+Status LiveIndex::Bootstrap(const uncertain::Dataset& bootstrap) {
+  db_ = std::make_unique<uncertain::Dataset>(bootstrap);
+  PVDB_ASSIGN_OR_RETURN(builder_, PvIndexBuilder::Build(*db_, options_.index));
+  gen_ = 1;
+  delta_ = 0;
+  seq_ = 0;
+  checkpoint_seq_ = 0;
+  base_seq_ = 0;
+  wal_seg_ = 1;
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image,
+                        builder_->SealImage(options_.seal));
+  PVDB_RETURN_NOT_OK(storage::WriteFileAtomic(
+      env_, BasePath(gen_),
+      std::span<const uint8_t>(image.data(), image.size())));
+  PVDB_ASSIGN_OR_RETURN(wal_,
+                        storage::WalWriter::Open(env_, WalPath(wal_seg_),
+                                                 options_.wal));
+  PVDB_RETURN_NOT_OK(env_->SyncDir(dir_));
+  // CURRENT last: until it exists, the directory reads as "not bootstrapped"
+  // and the next Open simply bootstraps again over the stray files.
+  PVDB_RETURN_NOT_OK(WriteManifest(gen_, delta_, seq_, wal_seg_));
+  PVDB_ASSIGN_OR_RETURN(current_snapshot_, IndexSnapshot::Open(BasePath(gen_)));
+  return Status::OK();
+}
+
+Status LiveIndex::Recover(LiveRecoveryStats* stats) {
+  std::vector<uint8_t> bytes;
+  PVDB_RETURN_NOT_OK(env_->ReadFile(CurrentPath(), &bytes));
+  const std::string text(bytes.begin(), bytes.end());
+  if (!ParseManifest(text, &gen_, &delta_, &checkpoint_seq_, &wal_seg_)) {
+    return Status::Corruption("CURRENT manifest unparseable: \"" + text +
+                              "\"");
+  }
+  seq_ = checkpoint_seq_;
+  base_seq_ = checkpoint_seq_;
+
+  // Base: mmap the sealed snapshot and rebuild the mutable dataset from its
+  // object records (ids ascending; full payload verification is implied by
+  // GetObject's bounds-checked parse plus the structural checksums at open).
+  PVDB_ASSIGN_OR_RETURN(std::shared_ptr<const IndexSnapshot> base,
+                        IndexSnapshot::Open(BasePath(gen_)));
+  db_ = std::make_unique<uncertain::Dataset>(base->domain());
+  for (uncertain::ObjectId id : base->ObjectIds()) {
+    PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
+                          base->GetObject(id));
+    PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
+  }
+  stats->base_objects = db_->size();
+
+  // Delta: cumulative changes since the base — deletes first, then upserts
+  // (an upsert may replace a base object that was deleted and re-inserted).
+  if (delta_ > 0) {
+    PVDB_ASSIGN_OR_RETURN(
+        std::shared_ptr<const storage::SnapshotReader> reader,
+        storage::SnapshotReader::OpenFile(DeltaPath(gen_, delta_)));
+    PVDB_RETURN_NOT_OK(reader->VerifyAllSections());
+    PVDB_ASSIGN_OR_RETURN(std::span<const uint8_t> meta,
+                          reader->Section(DeltaSections::kMeta));
+    if (meta.size() != 48) {
+      return Status::Corruption("delta meta section malformed");
+    }
+    const uint32_t dim = ReadU32(meta.data());
+    const uint64_t base_gen = ReadU64(meta.data() + 8);
+    const uint64_t file_delta = ReadU64(meta.data() + 16);
+    const uint64_t applied_seq = ReadU64(meta.data() + 24);
+    const uint64_t n_deletes = ReadU64(meta.data() + 32);
+    const uint64_t n_upserts = ReadU64(meta.data() + 40);
+    if (dim != static_cast<uint32_t>(db_->dim()) || base_gen != gen_ ||
+        file_delta != delta_ || applied_seq != checkpoint_seq_) {
+      return Status::Corruption(
+          "delta file disagrees with the CURRENT manifest (base gen " +
+          std::to_string(base_gen) + " delta " + std::to_string(file_delta) +
+          " seq " + std::to_string(applied_seq) + ")");
+    }
+    PVDB_ASSIGN_OR_RETURN(std::span<const uint8_t> del_bytes,
+                          reader->Section(DeltaSections::kDeletes));
+    if (del_bytes.size() != n_deletes * sizeof(uint64_t)) {
+      return Status::Corruption("delta deletes section malformed");
+    }
+    for (uint64_t i = 0; i < n_deletes; ++i) {
+      const uncertain::ObjectId id = ReadU64(del_bytes.data() + i * 8);
+      if (db_->Find(id) != nullptr) PVDB_RETURN_NOT_OK(db_->Remove(id));
+      delta_deletes_.insert(id);
+    }
+    PVDB_ASSIGN_OR_RETURN(std::span<const uint8_t> up_bytes,
+                          reader->Section(DeltaSections::kUpserts));
+    size_t off = 0;
+    for (uint64_t i = 0; i < n_upserts; ++i) {
+      PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
+                            uncertain::UncertainObject::ParseFrom(up_bytes,
+                                                                  &off));
+      const uncertain::ObjectId id = object.id();
+      if (db_->Find(id) != nullptr) PVDB_RETURN_NOT_OK(db_->Remove(id));
+      PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
+      delta_upserts_.insert(id);
+    }
+    if (off != up_bytes.size()) {
+      return Status::Corruption("delta upserts section has trailing bytes");
+    }
+    stats->delta_deletes = n_deletes;
+    stats->delta_upserts = n_upserts;
+  }
+
+  PVDB_ASSIGN_OR_RETURN(builder_, PvIndexBuilder::Build(*db_, options_.index));
+
+  // WAL suffix: apply records past the checkpoint, stop at a torn tail.
+  storage::WalReplayStats wal_stats;
+  uint64_t prev_seq = 0;
+  bool seen_record = false;
+  Status replay = storage::WalReplay(
+      env_, WalPath(wal_seg_),
+      [&](uint8_t type, std::span<const uint8_t> payload) -> Status {
+        if (payload.size() < sizeof(uint64_t)) {
+          return Status::Corruption("WAL record too short for its seq");
+        }
+        const uint64_t rec_seq = ReadU64(payload.data());
+        if (seen_record && rec_seq <= prev_seq) {
+          return Status::Corruption(
+              "WAL seq not strictly increasing (" +
+              std::to_string(prev_seq) + " then " + std::to_string(rec_seq) +
+              ")");
+        }
+        prev_seq = rec_seq;
+        seen_record = true;
+        if (rec_seq <= checkpoint_seq_) {
+          ++stats->wal_records_skipped;
+          return Status::OK();
+        }
+        PVDB_RETURN_NOT_OK(
+            ApplyWalRecord(type, payload.subspan(sizeof(uint64_t)), rec_seq));
+        seq_ = rec_seq;
+        ++stats->wal_records_applied;
+        return Status::OK();
+      },
+      &wal_stats);
+  if (replay.code() == StatusCode::kNotFound) {
+    // The protocol creates + dir-syncs a WAL segment before any manifest
+    // references it, so a missing segment is real damage, not a crash.
+    return Status::Corruption("CURRENT references missing WAL segment " +
+                              WalPath(wal_seg_));
+  }
+  PVDB_RETURN_NOT_OK(replay);
+  stats->wal_bytes_dropped = wal_stats.bytes_dropped;
+  stats->wal_tail_corrupt = wal_stats.tail_corrupt;
+  stats->wal_tail_detail = wal_stats.tail_detail;
+
+  // Reopen for appending (truncates the torn tail the scan just reported).
+  PVDB_ASSIGN_OR_RETURN(wal_,
+                        storage::WalWriter::Open(env_, WalPath(wal_seg_),
+                                                 options_.wal));
+  current_snapshot_ = std::move(base);
+  stats->recovered = true;
+  return Status::OK();
+}
+
+Status LiveIndex::ApplyWalRecord(uint8_t type,
+                                 std::span<const uint8_t> payload,
+                                 uint64_t seq) {
+  switch (type) {
+    case LiveWalRecord::kInsert: {
+      size_t off = 0;
+      PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject object,
+                            uncertain::UncertainObject::ParseFrom(payload,
+                                                                  &off));
+      if (off != payload.size()) {
+        return Status::Corruption("WAL insert record (seq " +
+                                  std::to_string(seq) +
+                                  ") has trailing bytes");
+      }
+      const uncertain::ObjectId id = object.id();
+      if (db_->Find(id) != nullptr) {
+        return Status::Corruption("WAL insert (seq " + std::to_string(seq) +
+                                  ") replays over existing object id " +
+                                  std::to_string(id));
+      }
+      PVDB_RETURN_NOT_OK(db_->Add(std::move(object)));
+      PVDB_RETURN_NOT_OK(builder_->Insert(*db_, id));
+      delta_deletes_.erase(id);
+      delta_upserts_.insert(id);
+      return Status::OK();
+    }
+    case LiveWalRecord::kDelete: {
+      if (payload.size() != sizeof(uint64_t)) {
+        return Status::Corruption("WAL delete record (seq " +
+                                  std::to_string(seq) + ") malformed");
+      }
+      const uncertain::ObjectId id = ReadU64(payload.data());
+      const uncertain::UncertainObject* found = db_->Find(id);
+      if (found == nullptr) {
+        return Status::Corruption("WAL delete (seq " + std::to_string(seq) +
+                                  ") of unknown object id " +
+                                  std::to_string(id));
+      }
+      uncertain::UncertainObject removed = *found;
+      PVDB_RETURN_NOT_OK(db_->Remove(id));
+      PVDB_RETURN_NOT_OK(builder_->Delete(*db_, removed));
+      delta_upserts_.erase(id);
+      delta_deletes_.insert(id);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown WAL record type " +
+                                std::to_string(type) + " (seq " +
+                                std::to_string(seq) + ")");
+  }
+}
+
+Status LiveIndex::Insert(uncertain::UncertainObject object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PVDB_RETURN_NOT_OK(broken_);
+  // Validate up front (mirroring Dataset::Add) so bad input is rejected
+  // BEFORE it reaches the log: the WAL must replay cleanly by construction.
+  if (object.dim() != db_->dim()) {
+    return Status::InvalidArgument("object dimensionality mismatch");
+  }
+  if (!db_->domain().ContainsRect(object.region())) {
+    return Status::InvalidArgument("object region escapes the domain");
+  }
+  if (db_->Find(object.id()) != nullptr) {
+    return Status::AlreadyExists("object id " + std::to_string(object.id()));
+  }
+
+  const uint64_t seq = seq_ + 1;
+  std::vector<uint8_t> payload;
+  AppendU64(&payload, seq);
+  object.AppendTo(&payload);
+  PVDB_RETURN_NOT_OK(wal_->Append(LiveWalRecord::kInsert, payload));
+  seq_ = seq;
+
+  const uncertain::ObjectId id = object.id();
+  Status st = db_->Add(std::move(object));
+  if (st.ok()) st = builder_->Insert(*db_, id);
+  if (!st.ok()) {
+    broken_ = Status::Internal(
+        "live index diverged from its WAL (reopen to replay): " +
+        st.message());
+    return broken_;
+  }
+  delta_deletes_.erase(id);
+  delta_upserts_.insert(id);
+  MaybeCheckpointLocked();
+  return Status::OK();
+}
+
+Status LiveIndex::Delete(uncertain::ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PVDB_RETURN_NOT_OK(broken_);
+  const uncertain::UncertainObject* found = db_->Find(id);
+  if (found == nullptr) {
+    return Status::NotFound("object id " + std::to_string(id));
+  }
+
+  const uint64_t seq = seq_ + 1;
+  std::vector<uint8_t> payload;
+  AppendU64(&payload, seq);
+  AppendU64(&payload, id);
+  PVDB_RETURN_NOT_OK(wal_->Append(LiveWalRecord::kDelete, payload));
+  seq_ = seq;
+
+  uncertain::UncertainObject removed = *found;
+  Status st = db_->Remove(id);
+  if (st.ok()) st = builder_->Delete(*db_, removed);
+  if (!st.ok()) {
+    broken_ = Status::Internal(
+        "live index diverged from its WAL (reopen to replay): " +
+        st.message());
+    return broken_;
+  }
+  delta_upserts_.erase(id);
+  delta_deletes_.insert(id);
+  MaybeCheckpointLocked();
+  return Status::OK();
+}
+
+void LiveIndex::MaybeCheckpointLocked() {
+  if (options_.delta_seal_every_n > 0 && !compacting_ &&
+      seq_ - checkpoint_seq_ >= options_.delta_seal_every_n) {
+    // Graceful degradation: a failed auto-seal never fails the mutation —
+    // the WAL still holds everything, the log just keeps growing until a
+    // later seal succeeds. The outcome is visible via last_seal_status().
+    last_seal_status_ = SealDeltaLocked();
+  }
+  if (options_.background_compaction && options_.compact_after_records > 0 &&
+      seq_ - base_seq_ >= options_.compact_after_records && !compacting_ &&
+      !compact_requested_) {
+    compact_requested_ = true;
+    compact_cv_.notify_all();
+  }
+}
+
+Result<std::vector<uint8_t>> LiveIndex::BuildDeltaImage(
+    uint64_t delta_seq) const {
+  std::vector<uint8_t> meta;
+  AppendU32(&meta, static_cast<uint32_t>(db_->dim()));
+  AppendU32(&meta, 0);  // pad
+  AppendU64(&meta, gen_);
+  AppendU64(&meta, delta_seq);
+  AppendU64(&meta, seq_);
+  AppendU64(&meta, delta_deletes_.size());
+  AppendU64(&meta, delta_upserts_.size());
+
+  std::vector<uint8_t> deletes;
+  deletes.reserve(delta_deletes_.size() * sizeof(uint64_t));
+  for (uncertain::ObjectId id : delta_deletes_) AppendU64(&deletes, id);
+
+  std::vector<uint8_t> upserts;
+  for (uncertain::ObjectId id : delta_upserts_) {
+    const uncertain::UncertainObject* object = db_->Find(id);
+    if (object == nullptr) {
+      return Status::Internal("delta upsert id " + std::to_string(id) +
+                              " missing from the live dataset");
+    }
+    object->AppendTo(&upserts);
+  }
+
+  storage::SnapshotWriter writer;
+  writer.AddSection(DeltaSections::kMeta, std::move(meta));
+  writer.AddSection(DeltaSections::kDeletes, std::move(deletes));
+  writer.AddSection(DeltaSections::kUpserts, std::move(upserts));
+  return writer.Finish();
+}
+
+Status LiveIndex::SealDelta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PVDB_RETURN_NOT_OK(broken_);
+  return SealDeltaLocked();
+}
+
+Status LiveIndex::SealDeltaLocked() {
+  if (compacting_) {
+    return Status::ResourceExhausted(
+        "delta seal refused: a compaction is in flight");
+  }
+  if (seq_ == checkpoint_seq_) return Status::OK();
+
+  const uint64_t new_delta = delta_ + 1;
+  const uint64_t new_seg = wal_seg_ + 1;
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image,
+                        BuildDeltaImage(new_delta));
+  PVDB_RETURN_NOT_OK(storage::WriteFileAtomic(
+      env_, DeltaPath(gen_, new_delta),
+      std::span<const uint8_t>(image.data(), image.size())));
+
+  // Rotate: the fresh segment must exist durably before CURRENT names it.
+  auto wal_or =
+      storage::WalWriter::Open(env_, WalPath(new_seg), options_.wal);
+  Status st = wal_or.ok() ? env_->SyncDir(dir_) : wal_or.status();
+  if (st.ok()) st = WriteManifest(gen_, new_delta, seq_, new_seg);
+  if (!st.ok()) {
+    if (ProbeManifest(gen_, new_delta, seq_, new_seg) == 0) {
+      // The old manifest survived intact: roll the attempt back fully.
+      env_->DeleteFile(DeltaPath(gen_, new_delta));
+      if (wal_or.ok()) {
+        wal_or.value()->Close();
+        env_->DeleteFile(WalPath(new_seg));
+      }
+      return st;
+    }
+    // The rename may have happened but its durability is unknown: a crash
+    // could resurface either manifest. Keep BOTH file chains (each one is
+    // self-consistent: records <= seq_ live in both the old segment and the
+    // new delta) and stop acknowledging — only a reopen can re-establish a
+    // single authoritative state.
+    broken_ = Status::Internal(
+        "delta seal left the manifest in an unknown state: " + st.message());
+    return broken_;
+  }
+
+  wal_->Close();  // old segment is fully covered by the delta; drop it
+  wal_ = std::move(wal_or).value();
+  env_->DeleteFile(WalPath(wal_seg_));
+  if (delta_ > 0) env_->DeleteFile(DeltaPath(gen_, delta_));
+  wal_seg_ = new_seg;
+  delta_ = new_delta;
+  checkpoint_seq_ = seq_;
+  return Status::OK();
+}
+
+Status LiveIndex::Compact() {
+  if (options_.background_compaction) {
+    TriggerCompaction();
+    return WaitForCompaction();
+  }
+  return CompactImpl();
+}
+
+void LiveIndex::TriggerCompaction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.background_compaction) return;
+  compact_requested_ = true;
+  compact_cv_.notify_all();
+}
+
+Status LiveIndex::WaitForCompaction() {
+  std::unique_lock<std::mutex> lock(mu_);
+  compact_cv_.wait(lock, [&] {
+    return !compact_requested_ && !compact_running_ && !compacting_;
+  });
+  return last_compaction_status_;
+}
+
+Status LiveIndex::CompactImpl() {
+  // Phase 1 (locked): freeze the image + seal point, adopt empty delta sets
+  // so mutations landing during the file write accumulate relative to the
+  // new base.
+  std::vector<uint8_t> image;
+  uint64_t snap_seq = 0;
+  uint64_t new_gen = 0;
+  std::set<uncertain::ObjectId> saved_upserts;
+  std::set<uncertain::ObjectId> saved_deletes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!broken_.ok()) {
+      last_compaction_status_ = broken_;
+      compact_cv_.notify_all();
+      return broken_;
+    }
+    if (compacting_) {
+      return Status::ResourceExhausted("compaction already in flight");
+    }
+    auto image_or = builder_->SealImage(options_.seal);
+    if (!image_or.ok()) {
+      last_compaction_status_ = image_or.status();
+      compact_cv_.notify_all();
+      return image_or.status();
+    }
+    image = std::move(image_or).value();
+    snap_seq = seq_;
+    new_gen = gen_ + 1;
+    saved_upserts.swap(delta_upserts_);
+    saved_deletes.swap(delta_deletes_);
+    compacting_ = true;
+  }
+
+  // Phase 2 (unlocked): the heavy file write; ingest keeps running.
+  Status st = storage::WriteFileAtomic(
+      env_, BasePath(new_gen),
+      std::span<const uint8_t>(image.data(), image.size()));
+  std::shared_ptr<const IndexSnapshot> snap;
+  if (st.ok()) {
+    auto snap_or = IndexSnapshot::Open(BasePath(new_gen));
+    if (snap_or.ok()) {
+      snap = std::move(snap_or).value();
+    } else {
+      st = snap_or.status();
+    }
+  }
+
+  // Phase 3 (locked): publish or roll back.
+  std::shared_ptr<const IndexSnapshot> to_publish;
+  Status ret;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    compacting_ = false;
+    auto restore_sets = [&] {
+      // The saved sets are OLDER than whatever accumulated during phase 2;
+      // a later mutation on the same id wins.
+      for (uncertain::ObjectId id : saved_upserts) {
+        if (delta_deletes_.count(id) == 0) delta_upserts_.insert(id);
+      }
+      for (uncertain::ObjectId id : saved_deletes) {
+        if (delta_upserts_.count(id) == 0) delta_deletes_.insert(id);
+      }
+    };
+    if (!st.ok()) {
+      restore_sets();
+      env_->DeleteFile(BasePath(new_gen));
+      last_compaction_status_ = st;
+      ret = st;
+    } else {
+      Status mst = WriteManifest(new_gen, 0, snap_seq, wal_seg_);
+      if (mst.ok()) {
+        gen_ = new_gen;
+        delta_ = 0;
+        checkpoint_seq_ = snap_seq;
+        base_seq_ = snap_seq;
+        current_snapshot_ = snap;
+        to_publish = snap;
+        GarbageCollectLocked();
+        last_compaction_status_ = Status::OK();
+        ret = Status::OK();
+      } else if (ProbeManifest(new_gen, 0, snap_seq, wal_seg_) == 0) {
+        // Old manifest intact: clean rollback, previous generation serves.
+        restore_sets();
+        env_->DeleteFile(BasePath(new_gen));
+        last_compaction_status_ = mst;
+        ret = mst;
+      } else {
+        // Manifest state unknown on disk (see SealDeltaLocked): keep both
+        // generations' files, stop acknowledging, require a reopen.
+        broken_ = Status::Internal(
+            "compaction left the manifest in an unknown state: " +
+            mst.message());
+        last_compaction_status_ = mst;
+        ret = broken_;
+      }
+    }
+    compact_cv_.notify_all();
+  }
+  if (to_publish && options_.publish) options_.publish(to_publish);
+  return ret;
+}
+
+void LiveIndex::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    compact_cv_.wait(lock, [&] { return shutdown_ || compact_requested_; });
+    if (shutdown_) return;
+    compact_requested_ = false;
+    compact_running_ = true;
+    lock.unlock();
+    CompactImpl();  // takes its own locks, notifies waiters
+    lock.lock();
+    compact_running_ = false;
+    compact_cv_.notify_all();
+  }
+}
+
+void LiveIndex::GarbageCollectLocked() {
+  auto children_or = env_->GetChildren(dir_);
+  if (!children_or.ok()) return;  // best-effort; retried at the next Open
+  const std::string keep_base = "base-" + std::to_string(gen_) + ".snap";
+  const std::string keep_delta = "delta-" + std::to_string(gen_) + "-" +
+                                 std::to_string(delta_) + ".snap";
+  const std::string keep_wal = "wal-" + std::to_string(wal_seg_) + ".log";
+  for (const std::string& name : children_or.value()) {
+    const bool ours = name.rfind("base-", 0) == 0 ||
+                      name.rfind("delta-", 0) == 0 ||
+                      name.rfind("wal-", 0) == 0 ||
+                      (name.size() > 4 &&
+                       name.compare(name.size() - 4, 4, ".tmp") == 0);
+    if (!ours) continue;
+    if (name == keep_base || name == keep_wal) continue;
+    if (delta_ > 0 && name == keep_delta) continue;
+    env_->DeleteFile(dir_ + "/" + name);
+  }
+}
+
+std::shared_ptr<const IndexSnapshot> LiveIndex::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_snapshot_;
+}
+
+uint64_t LiveIndex::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gen_;
+}
+
+uint64_t LiveIndex::delta_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_;
+}
+
+uint64_t LiveIndex::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t LiveIndex::records_since_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_ - checkpoint_seq_;
+}
+
+uint64_t LiveIndex::wal_synced_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ ? wal_->synced_records() : 0;
+}
+
+Status LiveIndex::last_seal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seal_status_;
+}
+
+Status LiveIndex::last_compaction_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_compaction_status_;
+}
+
+LiveIndex::~LiveIndex() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    compact_cv_.notify_all();
+  }
+  if (compactor_.joinable()) compactor_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_) wal_->Close();
+}
+
+}  // namespace pvdb::pv

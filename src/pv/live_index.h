@@ -1,0 +1,275 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// LiveIndex: the durable, continuously-ingesting PV-index. It closes the
+// gap between the read-only snapshot replica (PR 4) and a production
+// writer: every Insert/Delete is written ahead to a CRC-checked WAL before
+// it touches the in-memory index, periodic *delta seals* checkpoint the
+// accumulated changes and truncate the log, and a (optionally background)
+// compactor merges everything into a fresh full base snapshot that is
+// published to serving through the wait-free QueryEngine::AdoptSnapshot
+// hook. A crash at ANY point recovers to exactly the acknowledged-durable
+// prefix of the mutation stream — the property tests/crash_recovery_test.cc
+// proves across a matrix of injected crash points.
+//
+// On-disk layout of a LiveIndex directory (all writes through storage::Env):
+//
+//   CURRENT             "gen <G> delta <D> seq <S> wal <W>\n" — the
+//                       manifest, replaced atomically (tmp + rename + dir
+//                       fsync). Everything else is discovered through it.
+//   base-<G>.snap       full sealed snapshot (the PR 4 format, mmap-able)
+//   delta-<G>-<D>.snap  cumulative changes since base G (same checksummed
+//                       section container; recovery-only, not served)
+//   wal-<W>.log         mutations after checkpoint seq S (storage/wal.h)
+//
+// Mutation protocol (the write-ahead invariant):
+//   1. validate against the live dataset (bad input never reaches the log);
+//   2. append {seq, object image} to the WAL — group-commit fsync per
+//      WalOptions; a failure here returns the error with NO state change;
+//   3. apply to the dataset + PV-index builder.
+// An acknowledged (OK) mutation is durable once the WAL policy synced it:
+// with sync_every_n = 1 every ack is durable; with group commit a crash
+// loses at most the last n-1 acknowledged records — never a middle record,
+// never a torn half-apply.
+//
+// Checkpoint chain: recovery opens base-G.snap, applies delta-G-D.snap,
+// rebuilds the mutable index, then replays wal-W.log skipping records with
+// seq <= S (already inside the checkpoint) and stopping cleanly at a torn
+// or corrupt tail. Delta seals rotate + truncate the WAL; compaction
+// replaces the whole chain with a new base. Failures degrade gracefully:
+// a failed seal or compaction leaves the previous generation serving and
+// the WAL growing, and is retried later — ingest never stops, queries
+// never see a partial generation.
+
+#ifndef PVDB_PV_LIVE_INDEX_H_
+#define PVDB_PV_LIVE_INDEX_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pv/index_snapshot.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/storage/env.h"
+#include "src/storage/wal.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::pv {
+
+/// WAL record types of the live-update pipeline (payloads are
+/// little-endian, always prefixed by the record's u64 sequence number).
+struct LiveWalRecord {
+  /// seq u64 | UncertainObject::AppendTo image.
+  static constexpr uint8_t kInsert = 1;
+  /// seq u64 | object id u64.
+  static constexpr uint8_t kDelete = 2;
+};
+
+/// Section kinds of a delta-seal file (disjoint from SnapshotSections so a
+/// delta can never be mistaken for a serveable base image).
+struct DeltaSections {
+  /// dim u32 | pad u32 | base_gen u64 | delta_seq u64 | applied_seq u64 |
+  /// n_deletes u64 | n_upserts u64.
+  static constexpr uint32_t kMeta = 32;
+  /// n_deletes object ids (u64 each), ascending.
+  static constexpr uint32_t kDeletes = 33;
+  /// n_upserts UncertainObject::AppendTo images, ascending id.
+  static constexpr uint32_t kUpserts = 34;
+};
+
+struct LiveIndexOptions {
+  /// Group-commit policy of the WAL (see storage/wal.h).
+  storage::WalOptions wal;
+  /// Options for the underlying PV-index (rebuilds + recovery rebuilds).
+  PvIndexOptions index;
+  /// Format/packing of sealed base snapshots.
+  SealOptions seal;
+  /// Automatically SealDelta() after this many acknowledged mutations
+  /// since the last checkpoint (0 = manual seals only).
+  uint64_t delta_seal_every_n = 0;
+  /// With background_compaction, trigger a compaction once this many
+  /// mutations accumulated since the current base (0 = manual only).
+  uint64_t compact_after_records = 0;
+  /// Run compactions on a background thread (TriggerCompaction /
+  /// compact_after_records). Ingest continues during the file write; only
+  /// the in-memory seal serializes briefly with mutations.
+  bool background_compaction = false;
+  /// Called with each newly published serving snapshot: the recovered base
+  /// at Open, then every compacted generation. Wire this to
+  /// QueryEngine::AdoptSnapshot for live serving. Invoked without internal
+  /// locks held (from Open/Compact callers or the compactor thread).
+  std::function<void(std::shared_ptr<const IndexSnapshot>)> publish;
+};
+
+/// What Open() found and did (observability + test assertions).
+struct LiveRecoveryStats {
+  /// False when the directory was empty and the bootstrap dataset seeded it.
+  bool recovered = false;
+  uint64_t base_objects = 0;
+  uint64_t delta_upserts = 0;
+  uint64_t delta_deletes = 0;
+  /// WAL records applied (seq beyond the checkpoint).
+  uint64_t wal_records_applied = 0;
+  /// WAL records skipped because the checkpoint already contained them.
+  uint64_t wal_records_skipped = 0;
+  /// Torn/corrupt tail bytes dropped from the WAL (crash signature).
+  uint64_t wal_bytes_dropped = 0;
+  bool wal_tail_corrupt = false;
+  std::string wal_tail_detail;
+};
+
+/// The durable live-update pipeline. Thread-safe: Insert/Delete/SealDelta/
+/// Compact may be called from any thread; mutations are serialized
+/// internally (the WAL is an ordered log).
+class LiveIndex {
+ public:
+  /// Opens (recovering) or bootstraps (from `bootstrap`, used only when the
+  /// directory has no CURRENT manifest) a LiveIndex in `dir`. A fresh
+  /// bootstrap immediately seals base-1 so the durability floor exists
+  /// before the first mutation is acknowledged.
+  static Result<std::unique_ptr<LiveIndex>> Open(
+      storage::Env* env, std::string dir, const uncertain::Dataset& bootstrap,
+      LiveIndexOptions options = {}, LiveRecoveryStats* recovery = nullptr);
+
+  /// Stops the compactor and syncs + closes the WAL.
+  ~LiveIndex();
+
+  LiveIndex(const LiveIndex&) = delete;
+  LiveIndex& operator=(const LiveIndex&) = delete;
+
+  /// Adds `object`: WAL append first, then dataset + index apply. On a
+  /// non-OK return nothing was acknowledged (a WAL-side failure leaves no
+  /// state change; validation failures never reach the log).
+  Status Insert(uncertain::UncertainObject object);
+
+  /// Removes the object with `id`, same write-ahead contract.
+  Status Delete(uncertain::ObjectId id);
+
+  /// Checkpoints the cumulative changes since the current base into a new
+  /// delta file, rotates the WAL and truncates the old segment. Cheap:
+  /// proportional to the changed-object set, not the database.
+  Status SealDelta();
+
+  /// Seals a full new base snapshot, publishes it (options.publish),
+  /// updates CURRENT and garbage-collects the old generation. With
+  /// background_compaction, prefer TriggerCompaction().
+  Status Compact();
+
+  /// Nudges the background compactor (no-op without background_compaction).
+  void TriggerCompaction();
+
+  /// Blocks until no compaction is in flight and returns the status of the
+  /// last one that ran (OK when none ever did).
+  Status WaitForCompaction();
+
+  /// The most recently published serving snapshot (recovered base at Open,
+  /// then each compacted generation). Never nullptr after a successful
+  /// Open.
+  std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const;
+
+  /// The live dataset / index (library-level queries and tests; answers
+  /// include every acknowledged mutation, ahead of CurrentSnapshot()).
+  const uncertain::Dataset& db() const { return *db_; }
+  const PvIndex& index() const { return builder_->index(); }
+
+  uint64_t generation() const;
+  uint64_t delta_seq() const;
+  /// Sequence number of the last acknowledged mutation.
+  uint64_t last_seq() const;
+  /// Mutations acknowledged but not yet covered by a delta seal/compaction.
+  uint64_t records_since_checkpoint() const;
+  /// Durable floor of the WAL (see WalWriter::synced_records()).
+  uint64_t wal_synced_records() const;
+  /// Outcome of the most recent automatic delta seal (degradation is
+  /// graceful: a failed auto-seal never fails the mutation that tripped it,
+  /// the WAL simply keeps growing — this is where the failure is visible).
+  Status last_seal_status() const;
+  /// Outcome of the most recent compaction (OK when none ran yet).
+  Status last_compaction_status() const;
+
+ private:
+  LiveIndex(storage::Env* env, std::string dir, LiveIndexOptions options);
+
+  /// First open of an empty directory: seed from the bootstrap dataset and
+  /// seal base-1 before acknowledging anything.
+  Status Bootstrap(const uncertain::Dataset& bootstrap);
+  /// Open of an existing directory: CURRENT -> base -> delta -> WAL suffix.
+  Status Recover(LiveRecoveryStats* stats);
+
+  std::string BasePath(uint64_t gen) const;
+  std::string DeltaPath(uint64_t gen, uint64_t delta) const;
+  std::string WalPath(uint64_t wal_seg) const;
+  std::string CurrentPath() const;
+
+  /// Writes the CURRENT manifest atomically for the given state.
+  Status WriteManifest(uint64_t gen, uint64_t delta, uint64_t seq,
+                       uint64_t wal_seg);
+
+  /// After a failed manifest write: does the on-disk CURRENT show the given
+  /// state? 1 = yes (the rename happened before the failure), 0 = no (the
+  /// old manifest survived intact), -1 = unreadable.
+  int ProbeManifest(uint64_t gen, uint64_t delta, uint64_t seq,
+                    uint64_t wal_seg);
+
+  /// Auto delta seal / compaction trigger after an acknowledged mutation.
+  void MaybeCheckpointLocked();
+
+  /// Applies one replayed WAL record to dataset + builder + delta sets.
+  Status ApplyWalRecord(uint8_t type, std::span<const uint8_t> payload,
+                        uint64_t seq);
+
+  /// Serializes the cumulative delta sets into a delta-file image.
+  Result<std::vector<uint8_t>> BuildDeltaImage(uint64_t delta_seq) const;
+
+  /// Deletes files in dir_ that the manifest no longer references
+  /// (best-effort; leftovers are re-collected at the next Open).
+  void GarbageCollectLocked();
+
+  Status SealDeltaLocked();
+  Status CompactImpl();
+  void CompactorLoop();
+
+  storage::Env* env_;
+  const std::string dir_;
+  LiveIndexOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<uncertain::Dataset> db_;
+  std::unique_ptr<PvIndexBuilder> builder_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  /// First non-OK apply after a successful WAL append poisons the instance:
+  /// memory and log have diverged, only a re-Open (replay) reconciles them.
+  Status broken_ = Status::OK();
+
+  uint64_t gen_ = 0;        // current base generation
+  uint64_t delta_ = 0;      // current delta seq within the generation
+  uint64_t seq_ = 0;        // last acknowledged mutation seq
+  uint64_t checkpoint_seq_ = 0;  // seq covered by base + delta chain
+  uint64_t base_seq_ = 0;        // seq covered by the base alone
+  uint64_t wal_seg_ = 0;    // current WAL segment number
+
+  /// Net changed-object sets since the current base (what a delta stores).
+  std::set<uncertain::ObjectId> delta_upserts_;
+  std::set<uncertain::ObjectId> delta_deletes_;
+
+  std::shared_ptr<const IndexSnapshot> current_snapshot_;
+
+  Status last_seal_status_ = Status::OK();
+
+  // Background compactor.
+  std::condition_variable compact_cv_;
+  bool compacting_ = false;       // phase 1..3 of a CompactImpl in flight
+  bool compact_requested_ = false;
+  bool compact_running_ = false;  // the compactor thread is inside a run
+  bool shutdown_ = false;
+  Status last_compaction_status_ = Status::OK();
+  std::thread compactor_;
+};
+
+}  // namespace pvdb::pv
+
+#endif  // PVDB_PV_LIVE_INDEX_H_

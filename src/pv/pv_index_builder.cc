@@ -210,10 +210,12 @@ Result<std::shared_ptr<const IndexSnapshot>> PvIndexBuilder::Seal(
 }
 
 Status PvIndexBuilder::Save(const std::string& path,
-                            const SealOptions& options) const {
+                            const SealOptions& options,
+                            storage::Env* env) const {
   PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage(options));
   return storage::SnapshotWriter::WriteFile(
-      path, std::span<const uint8_t>(image.data(), image.size()));
+      env != nullptr ? env : storage::Env::Default(), path,
+      std::span<const uint8_t>(image.data(), image.size()));
 }
 
 }  // namespace pvdb::pv

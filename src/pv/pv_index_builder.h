@@ -70,8 +70,10 @@ class PvIndexBuilder {
   Result<std::shared_ptr<const IndexSnapshot>> Seal(
       const SealOptions& options = {}) const;
 
-  /// Writes the sealed image to `path` (temp file + rename).
-  Status Save(const std::string& path, const SealOptions& options = {}) const;
+  /// Writes the sealed image to `path` (temp file + fsync + rename +
+  /// directory fsync, through `env` — nullptr means storage::Env::Default()).
+  Status Save(const std::string& path, const SealOptions& options = {},
+              storage::Env* env = nullptr) const;
 
   /// The live index (library-level queries, tests, benchmarks).
   PvIndex& index() { return *index_; }

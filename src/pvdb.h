@@ -47,6 +47,7 @@
 #include "src/geom/region_partition.h"  // IWYU pragma: export
 #include "src/pv/cset.h"           // IWYU pragma: export
 #include "src/pv/index_snapshot.h"  // IWYU pragma: export
+#include "src/pv/live_index.h"     // IWYU pragma: export
 #include "src/pv/octree.h"         // IWYU pragma: export
 #include "src/pv/pnnq.h"           // IWYU pragma: export
 #include "src/pv/pv_index.h"       // IWYU pragma: export
@@ -61,10 +62,13 @@
 #include "src/service/query_engine.h"  // IWYU pragma: export
 #include "src/service/result_cache.h"  // IWYU pragma: export
 #include "src/service/thread_pool.h"   // IWYU pragma: export
+#include "src/storage/env.h"       // IWYU pragma: export
 #include "src/storage/extendible_hash.h"  // IWYU pragma: export
+#include "src/storage/fault_env.h"  // IWYU pragma: export
 #include "src/storage/pager.h"     // IWYU pragma: export
 #include "src/storage/record_store.h"  // IWYU pragma: export
 #include "src/storage/snapshot_file.h"  // IWYU pragma: export
+#include "src/storage/wal.h"       // IWYU pragma: export
 #include "src/uncertain/datagen.h"  // IWYU pragma: export
 #include "src/uncertain/dataset.h"  // IWYU pragma: export
 #include "src/uv/uv_cell.h"        // IWYU pragma: export

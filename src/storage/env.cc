@@ -1,0 +1,227 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/env.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace pvdb::storage {
+
+namespace {
+
+/// "<what> <path>: <strerror>" — every POSIX failure reports its cause.
+Status PosixError(const std::string& what, const std::string& path,
+                  int err) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(err));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(std::span<const uint8_t> data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file " + path_);
+    const uint8_t* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write failed:", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return PosixError("fsync failed:", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close failed:", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Result<size_t> Read(size_t n, uint8_t* scratch) override {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd_, scratch + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("read failed:", path_, errno);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    return got;
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags =
+        O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return PosixError("cannot create file", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("cannot open file", path, errno);
+    return std::unique_ptr<SequentialFile>(
+        std::make_unique<PosixSequentialFile>(fd, path));
+  }
+
+  Status ReadFile(const std::string& path,
+                  std::vector<uint8_t>* out) override {
+    out->clear();
+    PVDB_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                          NewSequentialFile(path));
+    uint8_t buf[1 << 16];
+    while (true) {
+      PVDB_ASSIGN_OR_RETURN(const size_t got, file->Read(sizeof(buf), buf));
+      if (got == 0) break;
+      out->insert(out->end(), buf, buf + got);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return PosixError("cannot stat", path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return PosixError("cannot open directory", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return PosixError("cannot create directory", dir, errno);
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return PosixError("cannot delete", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("cannot rename " + from + " to", to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError("cannot truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("cannot open directory for sync", dir, errno);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) return PosixError("directory fsync failed:", dir, err);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::span<const uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(tmp));
+  Status st = file->Append(data);
+  // fsync before the rename: without it a crash after the rename could
+  // leave a torn file at the final path — the exact outcome the temp
+  // file exists to prevent.
+  if (st.ok()) st = file->Sync();
+  const Status closed = file->Close();
+  if (st.ok()) st = closed;
+  if (st.ok()) st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    // Never leave a stale temp behind a failed save (best-effort: the
+    // original error is the one worth reporting).
+    if (env->FileExists(tmp)) env->DeleteFile(tmp);
+    return st;
+  }
+  // fsync the parent directory: the rename itself is a directory-entry
+  // update and is not durable until the directory's metadata is — a crash
+  // here could otherwise forget the file ever appeared at `path`.
+  return env->SyncDir(ParentDir(path));
+}
+
+}  // namespace pvdb::storage

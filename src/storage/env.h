@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// storage::Env: the filesystem seam every durable-path byte goes through.
+// The snapshot save path and the write-ahead log do all of their file I/O
+// via this interface (never raw POSIX calls), for the same reason the page
+// layer routes through Pager: a fault-injection wrapper
+// (storage/fault_env.h) can then drop unsynced writes, tear tails, fail the
+// Nth syscall and revert un-fsynced renames — turning "crash safety" from a
+// comment into a tested property. The default implementation
+// (Env::Default()) is plain POSIX with unbuffered writes.
+//
+// Durability contract the implementations honor:
+//   * WritableFile::Append hands bytes to the OS; they are NOT durable.
+//   * WritableFile::Sync makes every appended byte durable (fsync).
+//   * Env::SyncDir makes directory entries (creates, renames) durable —
+//     a rename without a parent-directory fsync can be lost by a crash
+//     even when the file's own bytes were synced.
+//
+// Every error Status carries errno/strerror detail: the message says what
+// failed AND why ("open failed: ... : No space left on device"), because a
+// durability failure report without the cause is undebuggable in the field.
+
+#ifndef PVDB_STORAGE_ENV_H_
+#define PVDB_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pvdb::storage {
+
+/// Append-only file handle. Not thread-safe; one writer owns it.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file (buffered by the OS, not
+  /// durable until Sync).
+  virtual Status Append(std::span<const uint8_t> data) = 0;
+
+  /// fsync: on OK return every appended byte is on durable storage.
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor; further calls fail. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Forward-only read handle (the WAL replay path).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; returns the count actually read
+  /// (0 at end of file). Short reads before EOF are retried internally.
+  virtual Result<size_t> Read(size_t n, uint8_t* scratch) = 0;
+};
+
+/// The filesystem interface. Implementations are thread-safe at the Env
+/// level (file handles themselves are single-owner).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Creates (or truncates, when `truncate`) `path` for appending.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate = true) = 0;
+
+  /// Opens `path` for sequential reading.
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole of `path` into `*out` (small control files: CURRENT,
+  /// WAL scans in tests — snapshots stay on the mmap path).
+  virtual Status ReadFile(const std::string& path,
+                          std::vector<uint8_t>* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of `dir`, excluding "." / "..".
+  virtual Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`. Durable only after
+  /// SyncDir(parent of `to`).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes (WAL torn-tail repair).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// fsyncs the directory itself, making its entry changes (creates,
+  /// deletes, renames) durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// Writes `data` to `path` atomically and durably: temp file + Append +
+/// Sync + rename + parent-directory Sync. A crash at any point leaves
+/// either the old file or the new one, never a torn or vanished entry; a
+/// failed rename removes the stale temp file. This is THE way control and
+/// image files reach disk (snapshot save, CURRENT manifest, delta seals).
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::span<const uint8_t> data);
+
+/// The directory component of `path` ("." when there is none).
+std::string ParentDir(const std::string& path);
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_ENV_H_

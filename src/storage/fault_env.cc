@@ -1,0 +1,309 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pvdb::storage {
+
+namespace {
+
+/// A writable file that reports every append/sync back to the env so crash
+/// simulation knows which bytes are durable. Fault checks happen here too:
+/// the op budget covers per-write syscalls, not just file opens.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base,
+                    std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::span<const uint8_t> data) override {
+    PVDB_RETURN_NOT_OK(env_->Spend("write", path_));
+    PVDB_RETURN_NOT_OK(base_->Append(data));
+    env_->RecordAppend(path_, data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    PVDB_RETURN_NOT_OK(env_->Spend("fsync", path_));
+    PVDB_RETURN_NOT_OK(base_->Sync());
+    env_->RecordSync(path_);
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+class FaultSequentialFile final : public SequentialFile {
+ public:
+  FaultSequentialFile(FaultInjectionEnv* env,
+                      std::unique_ptr<SequentialFile> base, std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Result<size_t> Read(size_t n, uint8_t* scratch) override {
+    PVDB_RETURN_NOT_OK(env_->Spend("read", path_));
+    return base_->Read(n, scratch);
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<SequentialFile> base_;
+  std::string path_;
+};
+
+}  // namespace
+
+void FaultInjectionEnv::SetOpBudget(int64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget;
+  used_ = 0;
+}
+
+int64_t FaultInjectionEnv::ops_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+void FaultInjectionEnv::ClearOpBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = -1;
+}
+
+Status FaultInjectionEnv::Spend(const std::string& what,
+                                const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++used_;
+  if (budget_ >= 0 && used_ > budget_) {
+    return Status::IOError("injected fault (env op " + std::to_string(used_) +
+                           "): " + what + " " + path);
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::RecordAppend(const std::string& path, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].length += n;
+}
+
+void FaultInjectionEnv::RecordSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) it->second.synced_bytes = it->second.length;
+}
+
+Status FaultInjectionEnv::DropUnsyncedFileData() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    if (state.length == state.synced_bytes) continue;
+    if (!base_->FileExists(path)) continue;  // already reverted/deleted
+    PVDB_RETURN_NOT_OK(base_->TruncateFile(path, state.synced_bytes));
+    state.length = state.synced_bytes;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DropUnsyncedMetadata() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Newest first: a rename layered over a create must be reverted before
+  // the create is deleted.
+  for (auto it = pending_meta_.rbegin(); it != pending_meta_.rend(); ++it) {
+    if (it->kind == PendingMeta::kRename) {
+      if (base_->FileExists(it->path)) {
+        PVDB_RETURN_NOT_OK(base_->RenameFile(it->path, it->from));
+        auto node = files_.extract(it->path);
+        if (!node.empty()) {
+          node.key() = it->from;
+          files_.insert(std::move(node));
+        }
+      }
+    } else {
+      if (base_->FileExists(it->path)) {
+        PVDB_RETURN_NOT_OK(base_->DeleteFile(it->path));
+      }
+      files_.erase(it->path);
+    }
+    if (it->had_old) {
+      // The entry replaced an existing file: a real crash keeps the OLD
+      // file (its dirent was durable), so put its content back.
+      PVDB_RETURN_NOT_OK(RestoreBytes(it->path, it->old_bytes));
+    }
+  }
+  pending_meta_.clear();
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RestoreBytes(const std::string& path,
+                                       const std::vector<uint8_t>& bytes) {
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                        base_->NewWritableFile(path, /*truncate=*/true));
+  PVDB_RETURN_NOT_OK(f->Append(bytes));
+  PVDB_RETURN_NOT_OK(f->Sync());
+  return f->Close();
+}
+
+Status FaultInjectionEnv::SimulateCrash() {
+  PVDB_RETURN_NOT_OK(DropUnsyncedFileData());
+  PVDB_RETURN_NOT_OK(DropUnsyncedMetadata());
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FlipByte(const std::string& path, uint64_t offset) {
+  std::vector<uint8_t> bytes;
+  PVDB_RETURN_NOT_OK(base_->ReadFile(path, &bytes));
+  if (offset >= bytes.size()) {
+    return Status::OutOfRange("flip offset " + std::to_string(offset) +
+                              " beyond " + path);
+  }
+  bytes[offset] ^= 0xFFu;
+  // Rewrite in place through the base env: corruption is not a tracked
+  // mutation (the bytes are "on disk", just wrong).
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                        base_->NewWritableFile(path, /*truncate=*/true));
+  PVDB_RETURN_NOT_OK(f->Append(bytes));
+  PVDB_RETURN_NOT_OK(f->Sync());
+  return f->Close();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  PVDB_RETURN_NOT_OK(Spend("open for write", path));
+  const bool existed = base_->FileExists(path);
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        base_->NewWritableFile(path, truncate));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (truncate || it == files_.end()) {
+      uint64_t size = 0;
+      if (!truncate && existed) {
+        size = base_->GetFileSize(path).value_or(0);
+      }
+      // Reopening an untracked existing file: its current bytes were
+      // written by an earlier (synced or crashed-and-recovered) life and
+      // count as durable.
+      files_[path] = FileState{size, size};
+    }
+    if (!existed) {
+      pending_meta_.push_back(
+          PendingMeta{PendingMeta::kCreate, path, "", false, {}});
+    }
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(file), path));
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultInjectionEnv::NewSequentialFile(
+    const std::string& path) {
+  PVDB_RETURN_NOT_OK(Spend("open for read", path));
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                        base_->NewSequentialFile(path));
+  return std::unique_ptr<SequentialFile>(
+      std::make_unique<FaultSequentialFile>(this, std::move(file), path));
+}
+
+Status FaultInjectionEnv::ReadFile(const std::string& path,
+                                   std::vector<uint8_t>* out) {
+  PVDB_RETURN_NOT_OK(Spend("read", path));
+  return base_->ReadFile(path, out);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::GetChildren(
+    const std::string& dir) {
+  return base_->GetChildren(dir);
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& dir) {
+  PVDB_RETURN_NOT_OK(Spend("create directory", dir));
+  return base_->CreateDirIfMissing(dir);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  PVDB_RETURN_NOT_OK(Spend("delete", path));
+  PVDB_RETURN_NOT_OK(base_->DeleteFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  std::erase_if(pending_meta_, [&](const PendingMeta& m) {
+    return m.kind == PendingMeta::kCreate && m.path == path;
+  });
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  PVDB_RETURN_NOT_OK(Spend("rename", from));
+  // A rename over an existing `to` (the atomic-replace pattern) must be
+  // revertible to the OLD content: a crash before the directory sync keeps
+  // the old dirent, it does not vanish the file. Capture the bytes first.
+  std::vector<uint8_t> old_bytes;
+  const bool clobbers = base_->FileExists(to);
+  if (clobbers) PVDB_RETURN_NOT_OK(base_->ReadFile(to, &old_bytes));
+  PVDB_RETURN_NOT_OK(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = files_.extract(from);
+  if (!node.empty()) {
+    files_.erase(to);
+    node.key() = to;
+    files_.insert(std::move(node));
+  }
+  // If the source was itself an unsynced creation, the pending entry
+  // follows the bytes: reverting becomes "delete `to`" (then restore the
+  // clobbered content, if any) — what a crash before any directory sync
+  // would leave.
+  bool was_pending_create = false;
+  for (auto& m : pending_meta_) {
+    if (m.kind == PendingMeta::kCreate && m.path == from) {
+      m.path = to;
+      if (clobbers && !m.had_old) {
+        m.had_old = true;
+        m.old_bytes = old_bytes;
+      }
+      was_pending_create = true;
+    }
+  }
+  if (!was_pending_create) {
+    pending_meta_.push_back(PendingMeta{PendingMeta::kRename, to, from,
+                                        clobbers, std::move(old_bytes)});
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  PVDB_RETURN_NOT_OK(Spend("truncate", path));
+  PVDB_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.length = size;
+    it->second.synced_bytes = std::min(it->second.synced_bytes, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  PVDB_RETURN_NOT_OK(Spend("directory fsync", dir));
+  PVDB_RETURN_NOT_OK(base_->SyncDir(dir));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(pending_meta_, [&](const PendingMeta& m) {
+    return ParentDir(m.path) == dir;
+  });
+  return Status::OK();
+}
+
+}  // namespace pvdb::storage

@@ -1,0 +1,131 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// FaultInjectionEnv: the filesystem-layer sibling of the FlakyPager in
+// tests/fault_injection_test.cc. It delegates to a real Env (the files are
+// really written, so mmap-based readers see them) while tracking exactly
+// which bytes and which directory entries a crash would preserve:
+//
+//   * file data appended but not Sync'd        → DropUnsyncedFileData()
+//     truncates each file back to its last synced size (the classic
+//     lost-page-cache crash, including torn mid-record tails);
+//   * creates/renames not covered by SyncDir() → DropUnsyncedMetadata()
+//     deletes the created files and reverts the renames (the crash that
+//     "forgets" a rename whose parent directory was never fsync'd);
+//   * SimulateCrash()                          → both, metadata first
+//     (power loss: the page cache and the unjournaled dirents go together).
+//
+// Plus the FlakyPager-style op budget: after `SetOpBudget(n)` the (n+1)-th
+// counted operation — and every one after it — fails with an injected
+// IOError naming the op, so a test can sweep a failure through every
+// stage of a save, a WAL append or a compaction and assert the layer above
+// degrades instead of crashing or lying.
+//
+// Counted ops: NewWritableFile, NewSequentialFile, Append, Sync, Read,
+// RenameFile, DeleteFile, TruncateFile, SyncDir, CreateDirIfMissing.
+// Pure queries (FileExists, GetFileSize, GetChildren, ReadFile's open) stay
+// free so budgets are stable against incidental introspection.
+
+#ifndef PVDB_STORAGE_FAULT_ENV_H_
+#define PVDB_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/env.h"
+
+namespace pvdb::storage {
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `base` (borrowed; typically Env::Default() over a temp dir).
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // --- fault controls -----------------------------------------------------
+
+  /// Counted ops beyond `budget` fail with an injected IOError; negative =
+  /// unlimited. The failure is sticky: once the budget is exhausted every
+  /// later op fails too (a dead disk does not come back mid-sequence).
+  void SetOpBudget(int64_t budget);
+  /// Counted ops performed so far (to size budgets, FlakyPager-style).
+  int64_t ops_used() const;
+  /// Removes the op budget (the disk recovers).
+  void ClearOpBudget();
+
+  /// Truncates every tracked file to its last synced length — everything
+  /// appended since the last Sync() vanishes, mid-record tears included.
+  Status DropUnsyncedFileData();
+
+  /// Deletes created-but-unsynced files and reverts renamed-but-unsynced
+  /// entries (newest first), simulating a crash before the parent
+  /// directory's fsync made them durable.
+  Status DropUnsyncedMetadata();
+
+  /// Power loss: drop unsynced file data, then unsynced metadata, then
+  /// forget all tracking state (the next process starts from the disk).
+  Status SimulateCrash();
+
+  /// Flips one byte of `path` in place (media corruption / bit rot).
+  Status FlipByte(const std::string& path, uint64_t offset);
+
+  // --- Env ----------------------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  Status ReadFile(const std::string& path, std::vector<uint8_t>* out) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  // --- implementation detail (used by the file-handle wrappers) -----------
+
+  /// Charges one counted op; non-OK = the injected failure to return.
+  Status Spend(const std::string& what, const std::string& path);
+
+  void RecordAppend(const std::string& path, size_t n);
+  void RecordSync(const std::string& path);
+
+ private:
+  struct PendingMeta {
+    enum Kind { kCreate, kRename } kind;
+    std::string path;  // created path / rename destination
+    std::string from;  // rename source (kRename only)
+    /// When the rename clobbered an existing `path` (the CURRENT-manifest
+    /// replace pattern), its prior content — a crash before the directory
+    /// sync leaves the OLD file, it does not delete the entry.
+    bool had_old = false;
+    std::vector<uint8_t> old_bytes;
+  };
+
+  /// Rewrites `path` with `bytes` through the base env (revert machinery;
+  /// not a tracked mutation). Caller holds mu_.
+  Status RestoreBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  int64_t budget_ = -1;
+  int64_t used_ = 0;
+  /// path -> {durable bytes, current bytes} for every file written through
+  /// this env (files only read or pre-existing are not tracked).
+  struct FileState {
+    uint64_t synced_bytes = 0;
+    uint64_t length = 0;
+  };
+  std::map<std::string, FileState> files_;
+  std::vector<PendingMeta> pending_meta_;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_FAULT_ENV_H_

@@ -3,6 +3,7 @@
 #include "src/storage/snapshot_file.h"
 
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -10,6 +11,8 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "src/storage/env.h"
 
 namespace pvdb::storage {
 
@@ -131,28 +134,18 @@ std::vector<uint8_t> SnapshotWriter::Finish(uint32_t version) const {
 
 Status SnapshotWriter::WriteFile(const std::string& path,
                                  std::span<const uint8_t> image) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot create snapshot file: " + tmp);
-  }
-  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
-  // fflush pushes stdio buffers to the kernel; fsync pushes the kernel's
-  // to the device — without it, a crash after the rename below could leave
-  // a torn file at the final path, the exact outcome rename is there to
-  // prevent.
-  const bool flushed =
-      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  if (written != image.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write saving snapshot to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename snapshot into place: " + path);
-  }
-  return Status::OK();
+  return WriteFile(Env::Default(), path, image);
+}
+
+Status SnapshotWriter::WriteFile(Env* env, const std::string& path,
+                                 std::span<const uint8_t> image) {
+  // Temp file + data fsync + rename + PARENT DIRECTORY fsync, all through
+  // the Env seam. The directory fsync is what makes the rename itself
+  // durable: without it a crash can forget the snapshot ever appeared at
+  // `path` even though its bytes were synced — proven (not assumed) by the
+  // FaultInjectionEnv metadata-drop tests in tests/wal_test.cc. A failed
+  // save removes the stale temp file and reports the errno cause.
+  return WriteFileAtomic(env, path, image);
 }
 
 SnapshotReader::~SnapshotReader() {
@@ -165,12 +158,15 @@ Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::OpenFile(
     const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    return Status::IOError("cannot open snapshot file: " + path);
+    return Status::IOError("cannot open snapshot file " + path + ": " +
+                           std::strerror(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
+    const int err = errno;
     ::close(fd);
-    return Status::IOError("cannot stat snapshot file: " + path);
+    return Status::IOError("cannot stat snapshot file " + path + ": " +
+                           std::strerror(err));
   }
   const size_t size = static_cast<size_t>(st.st_size);
   if (size < kSuperblockBytes) {
@@ -181,9 +177,11 @@ Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::OpenFile(
         std::to_string(kSuperblockBytes));
   }
   void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
   ::close(fd);
   if (map == MAP_FAILED) {
-    return Status::IOError("mmap failed for snapshot file: " + path);
+    return Status::IOError("mmap failed for snapshot file " + path + ": " +
+                           std::strerror(map_err));
   }
   auto reader = std::shared_ptr<SnapshotReader>(new SnapshotReader());
   reader->data_ = static_cast<const uint8_t*>(map);

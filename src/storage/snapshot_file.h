@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/storage/env.h"
 
 namespace pvdb::storage {
 
@@ -73,8 +74,16 @@ class SnapshotWriter {
   std::vector<uint8_t> Finish(
       uint32_t version = kSnapshotFormatVersion) const;
 
-  /// Writes `image` to `path` via a temp file + rename, so a crashed save
-  /// never leaves a half-written snapshot at the target path.
+  /// Writes `image` to `path` via a temp file + data fsync + rename +
+  /// parent-directory fsync (all through `env`), so a crashed save never
+  /// leaves a half-written snapshot at the target path AND the rename
+  /// itself survives the crash — a rename is a directory-entry update that
+  /// is not durable until the directory's metadata is. A failed save
+  /// removes the stale temp file; every IOError carries errno detail.
+  static Status WriteFile(Env* env, const std::string& path,
+                          std::span<const uint8_t> image);
+
+  /// Same over Env::Default() (plain POSIX).
   static Status WriteFile(const std::string& path,
                           std::span<const uint8_t> image);
 

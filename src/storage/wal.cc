@@ -1,0 +1,186 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/storage/wal.h"
+
+#include <cstring>
+
+#include "src/common/crc32c.h"
+
+namespace pvdb::storage {
+
+namespace {
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status WalReplay(Env* env, const std::string& path, const WalApplyFn& apply,
+                 WalReplayStats* stats) {
+  WalReplayStats local;
+  WalReplayStats& out = stats != nullptr ? *stats : local;
+  out = WalReplayStats{};
+
+  if (!env->FileExists(path)) {
+    return Status::NotFound("WAL file missing: " + path);
+  }
+  std::vector<uint8_t> bytes;
+  PVDB_RETURN_NOT_OK(env->ReadFile(path, &bytes));
+
+  // A file too short for the magic is a crash during creation (nothing was
+  // ever acknowledged from it); a full-size wrong magic is a foreign file.
+  if (bytes.size() < kWalFileHeaderBytes) {
+    out.tail_corrupt = bytes.size() != 0;
+    out.bytes_dropped = bytes.size();
+    if (out.tail_corrupt) out.tail_detail = "file header torn";
+    return Status::OK();
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad WAL magic: not a pvdb WAL file: " + path);
+  }
+
+  size_t off = kWalFileHeaderBytes;
+  auto stop = [&](std::string why) {
+    out.tail_corrupt = true;
+    out.tail_detail = std::move(why);
+  };
+  while (off < bytes.size()) {
+    const size_t remaining = bytes.size() - off;
+    if (remaining < kWalRecordHeaderBytes) {
+      stop("record header torn (" + std::to_string(remaining) +
+           " bytes at offset " + std::to_string(off) + ")");
+      break;
+    }
+    const uint32_t len = ReadU32(bytes.data() + off);
+    if (len > kMaxWalRecordBytes) {
+      stop("implausible record length " + std::to_string(len) +
+           " at offset " + std::to_string(off));
+      break;
+    }
+    if (remaining < kWalRecordHeaderBytes + len) {
+      stop("record body torn (" + std::to_string(len) +
+           " bytes declared, " +
+           std::to_string(remaining - kWalRecordHeaderBytes) +
+           " present at offset " + std::to_string(off) + ")");
+      break;
+    }
+    const uint32_t crc = ReadU32(bytes.data() + off + 4);
+    // crc covers type byte + payload as one contiguous range.
+    if (Crc32c(bytes.data() + off + 8, 1 + len) != crc) {
+      stop("record checksum mismatch at offset " + std::to_string(off));
+      break;
+    }
+    if (apply != nullptr) {
+      const uint8_t type = bytes[off + 8];
+      PVDB_RETURN_NOT_OK(
+          apply(type, std::span<const uint8_t>(
+                          bytes.data() + off + kWalRecordHeaderBytes, len)));
+    }
+    off += kWalRecordHeaderBytes + len;
+    ++out.records_applied;
+  }
+  out.valid_bytes = off;
+  out.bytes_dropped = bytes.size() - off;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
+                                                   const WalOptions& options,
+                                                   WalReplayStats* repair) {
+  auto writer =
+      std::unique_ptr<WalWriter>(new WalWriter(env, std::move(path), options));
+  WalReplayStats scan;
+  if (env->FileExists(writer->path_)) {
+    // Validate the existing log and chop any torn tail BEFORE appending:
+    // new records behind dead bytes would be unreachable to every replay.
+    PVDB_RETURN_NOT_OK(WalReplay(env, writer->path_, nullptr, &scan));
+    if (scan.bytes_dropped > 0) {
+      PVDB_RETURN_NOT_OK(env->TruncateFile(writer->path_, scan.valid_bytes));
+    }
+    if (scan.valid_bytes < kWalFileHeaderBytes) {
+      // Creation itself was torn; start the file over.
+      PVDB_ASSIGN_OR_RETURN(writer->file_,
+                            env->NewWritableFile(writer->path_,
+                                                 /*truncate=*/true));
+      PVDB_RETURN_NOT_OK(writer->file_->Append(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(kWalMagic), sizeof(kWalMagic))));
+      PVDB_RETURN_NOT_OK(writer->file_->Sync());
+      writer->file_bytes_ = kWalFileHeaderBytes;
+    } else {
+      PVDB_ASSIGN_OR_RETURN(writer->file_,
+                            env->NewWritableFile(writer->path_,
+                                                 /*truncate=*/false));
+      writer->file_bytes_ = scan.valid_bytes;
+    }
+    writer->appended_records_ = scan.records_applied;
+    writer->synced_records_ = scan.records_applied;
+  } else {
+    PVDB_ASSIGN_OR_RETURN(writer->file_, env->NewWritableFile(writer->path_,
+                                                              /*truncate=*/true));
+    PVDB_RETURN_NOT_OK(writer->file_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(kWalMagic), sizeof(kWalMagic))));
+    PVDB_RETURN_NOT_OK(writer->file_->Sync());
+    writer->file_bytes_ = kWalFileHeaderBytes;
+  }
+  if (repair != nullptr) *repair = scan;
+  return writer;
+}
+
+Status WalWriter::Append(uint8_t type, std::span<const uint8_t> payload) {
+  if (file_ == nullptr) {
+    return Status::IOError("append to closed WAL " + path_);
+  }
+  if (payload.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument(
+        "WAL record payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxWalRecordBytes) +
+        "-byte bound");
+  }
+  // One buffer, one write syscall per record: a torn append can only tear
+  // the record's own tail, never interleave with a neighbor.
+  std::vector<uint8_t> rec(kWalRecordHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(rec.data(), &len, sizeof(len));
+  rec[8] = type;
+  if (!payload.empty()) {
+    std::memcpy(rec.data() + kWalRecordHeaderBytes, payload.data(),
+                payload.size());
+  }
+  const uint32_t crc = Crc32c(rec.data() + 8, 1 + payload.size());
+  std::memcpy(rec.data() + 4, &crc, sizeof(crc));
+
+  PVDB_RETURN_NOT_OK(file_->Append(rec));
+  file_bytes_ += rec.size();
+  ++appended_records_;
+
+  const bool by_count =
+      options_.sync_every_n != 0 &&
+      appended_records_ - synced_records_ >= options_.sync_every_n;
+  const bool by_timer =
+      options_.sync_interval_ms > 0.0 &&
+      since_last_sync_.ElapsedMillis() >= options_.sync_interval_ms;
+  if (by_count || by_timer) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IOError("sync of closed WAL " + path_);
+  PVDB_RETURN_NOT_OK(file_->Sync());
+  synced_records_ = appended_records_;
+  since_last_sync_ = StopWatch();
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = Status::OK();
+  if (appended_records_ != synced_records_) st = Sync();
+  const Status closed = file_->Close();
+  file_.reset();
+  return st.ok() ? closed : st;
+}
+
+}  // namespace pvdb::storage

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The write-ahead log: a length-prefixed, CRC-per-record append log that
+// sits in front of the sealed snapshot image and makes mutations durable
+// before they are applied. All I/O goes through storage::Env, so every
+// claim below is exercised under FaultInjectionEnv, not just argued.
+//
+// File layout (little-endian):
+//
+//   [0] magic "PVDBWAL1" (8 bytes)
+//   [8] records, back to back:
+//         payload_len u32 | crc u32 | type u8 | payload[payload_len]
+//
+// crc is CRC-32C over (type byte || payload) — the length field is
+// implicitly validated by the crc landing on a record boundary. Record
+// semantics (the type byte and payload encoding) belong to the layer
+// above (pv::LiveIndex); the log stores bytes.
+//
+// Durability / acknowledgment contract:
+//   * Append returning OK means the record was handed to the OS. It is
+//     durable once covered by a Sync — which Append itself issues per the
+//     group-commit policy (every record at sync_every_n = 1; every n-th
+//     record and/or every sync_interval_ms otherwise).
+//   * A crash can therefore lose at most the unsynced tail: with
+//     sync_every_n = n, up to n-1 acknowledged records (bounded-loss group
+//     commit). synced_records() is the durable floor at any moment.
+//
+// Recovery contract:
+//   * WalReplay applies records in order and STOPS CLEANLY at the first
+//     torn or checksum-failing record: everything before it is recovered,
+//     everything from it on is reported dropped (records_applied /
+//     bytes_dropped / tail_detail in WalReplayStats). A torn tail is the
+//     expected signature of a crash mid-append and is NOT an error; only
+//     real I/O failures and apply-callback failures propagate.
+//   * WalWriter::Open on an existing log scans the same way and truncates
+//     the file back to the valid prefix before appending — a torn tail is
+//     repaired, never buried under fresh records.
+
+#ifndef PVDB_STORAGE_WAL_H_
+#define PVDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/timer.h"
+#include "src/storage/env.h"
+
+namespace pvdb::storage {
+
+/// First 8 bytes of every pvdb WAL file.
+inline constexpr char kWalMagic[8] = {'P', 'V', 'D', 'B', 'W', 'A', 'L', '1'};
+inline constexpr size_t kWalFileHeaderBytes = sizeof(kWalMagic);
+/// Bytes of framing before each payload (payload_len u32, crc u32, type u8).
+inline constexpr size_t kWalRecordHeaderBytes = 9;
+/// Sanity bound on one record's payload; a length field beyond it is read
+/// as tail corruption, not an allocation request.
+inline constexpr uint32_t kMaxWalRecordBytes = 64u << 20;
+
+/// Group-commit policy.
+struct WalOptions {
+  /// Sync after every n-th appended record. 1 = sync every append (ack =
+  /// durable); 0 = never sync on append (caller drives Sync explicitly).
+  uint32_t sync_every_n = 1;
+  /// Also sync when this many milliseconds passed since the last sync
+  /// (checked at append time). 0 disables the timer.
+  double sync_interval_ms = 0.0;
+};
+
+/// What a replay (or an open-time scan) found.
+struct WalReplayStats {
+  /// Records applied (valid prefix).
+  uint64_t records_applied = 0;
+  /// Bytes of the valid prefix, file header included.
+  uint64_t valid_bytes = 0;
+  /// Bytes past the valid prefix (torn/corrupt tail), dropped.
+  uint64_t bytes_dropped = 0;
+  /// True when a torn or checksum-failing tail stopped the replay early.
+  bool tail_corrupt = false;
+  /// Human-readable reason the replay stopped ("" when the log was clean).
+  std::string tail_detail;
+};
+
+using WalApplyFn =
+    std::function<Status(uint8_t type, std::span<const uint8_t> payload)>;
+
+/// Replays `path` through `apply` per the recovery contract above.
+/// NotFound when the file does not exist (a missing log is the caller's
+/// "empty" case, distinct from an unreadable one). `apply` may be null
+/// (pure validation scan). `stats` may be null.
+Status WalReplay(Env* env, const std::string& path, const WalApplyFn& apply,
+                 WalReplayStats* stats);
+
+/// The appender. Single-owner (the ingest path serializes mutations); all
+/// methods report injected or real I/O failures as Status.
+class WalWriter {
+ public:
+  /// Creates `path` (writing the magic, synced) or opens an existing log,
+  /// repairing a torn tail by truncation first. `repair` (nullable)
+  /// receives the open-time scan: how many records the log held and
+  /// whether a tail was dropped.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env, std::string path,
+                                                 const WalOptions& options,
+                                                 WalReplayStats* repair =
+                                                     nullptr);
+
+  /// Appends one record and applies the group-commit policy. On OK the
+  /// record is acknowledged (durable iff the policy synced, see
+  /// synced_records()).
+  Status Append(uint8_t type, std::span<const uint8_t> payload);
+
+  /// Forces the durable floor up to everything appended.
+  Status Sync();
+
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_records() const { return appended_records_; }
+  /// Records covered by a sync — the crash-survivable floor.
+  uint64_t synced_records() const { return synced_records_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  WalWriter(Env* env, std::string path, const WalOptions& options)
+      : env_(env), path_(std::move(path)), options_(options) {}
+
+  Env* env_;
+  std::string path_;
+  WalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t appended_records_ = 0;
+  uint64_t synced_records_ = 0;
+  uint64_t file_bytes_ = 0;
+  StopWatch since_last_sync_;
+};
+
+}  // namespace pvdb::storage
+
+#endif  // PVDB_STORAGE_WAL_H_

@@ -1,0 +1,668 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The crash-safety property of pv::LiveIndex, proven rather than argued:
+// for every crash point — after each acknowledged mutation, mid-record in
+// the WAL tail, mid-seal, mid-manifest-replace — the recovered index is
+// BIT-IDENTICAL to a reference index rebuilt from exactly the
+// acknowledged-durable prefix of the mutation stream. "Bit-identical" means
+// the same object ids, the same serialized object bytes, and the same
+// PNNQ Step-1 answers over a panel of probe points.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/pv/live_index.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/service/query_engine.h"
+#include "src/storage/env.h"
+#include "src/storage/fault_env.h"
+#include "src/storage/wal.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb {
+namespace {
+
+using pv::LiveIndex;
+using pv::LiveIndexOptions;
+using pv::LiveRecoveryStats;
+using storage::Env;
+using storage::FaultInjectionEnv;
+using uncertain::Dataset;
+using uncertain::ObjectId;
+using uncertain::UncertainObject;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(::testing::TempDir() + "pvdb_" + name + "_" +
+             std::to_string(::getpid())) {
+    RemoveAll();
+    PVDB_CHECK(Env::Default()->CreateDirIfMissing(path).ok());
+  }
+  ~ScratchDir() { RemoveAll(); }
+  void RemoveAll() {
+    auto children = Env::Default()->GetChildren(path);
+    if (children.ok()) {
+      for (const std::string& name : children.value()) {
+        std::remove((path + "/" + name).c_str());
+      }
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string path;
+};
+
+Dataset BaseDataset() {
+  uncertain::SyntheticOptions opts;
+  opts.dim = 2;
+  opts.count = 24;
+  opts.samples_per_object = 6;
+  opts.seed = 42;
+  return uncertain::GenerateSynthetic(opts);
+}
+
+/// One acknowledged mutation of the deterministic workload.
+struct Op {
+  bool is_insert;
+  UncertainObject object;  // is_insert only
+  ObjectId id;             // delete target (== object.id() for inserts)
+};
+
+/// A deterministic interleaving of inserts (fresh ids from 100000) and
+/// deletes (of ids live at that point), seeded so every test and its
+/// reference replay the exact same stream.
+std::vector<Op> MakeOps(const Dataset& base, int n) {
+  Rng rng(1234);
+  std::vector<ObjectId> live = base.Ids();
+  std::vector<Op> ops;
+  for (int i = 0; i < n; ++i) {
+    const bool do_delete = (i % 4 == 3) && !live.empty();
+    if (do_delete) {
+      const size_t pick = static_cast<size_t>(rng.NextBounded(live.size()));
+      const ObjectId id = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      ops.push_back(Op{false, UncertainObject(id, geom::Rect(2), {}), id});
+    } else {
+      const ObjectId id = 100000 + static_cast<ObjectId>(i);
+      geom::Point center{rng.NextUniform(100.0, 9900.0),
+                         rng.NextUniform(100.0, 9900.0)};
+      geom::Point half{rng.NextUniform(1.0, 15.0), rng.NextUniform(1.0, 15.0)};
+      const geom::Rect region = geom::Rect::FromCenterHalfWidths(center, half);
+      ops.push_back(Op{true, UncertainObject::UniformSampled(id, region,
+                                                             /*n=*/6, &rng),
+                       id});
+      live.push_back(id);
+    }
+  }
+  return ops;
+}
+
+/// The reference: the first `k` ops applied directly to a plain Dataset.
+Dataset ReferenceAfter(const Dataset& base, const std::vector<Op>& ops,
+                       size_t k) {
+  Dataset db = base;
+  for (size_t i = 0; i < k; ++i) {
+    if (ops[i].is_insert) {
+      PVDB_CHECK(db.Add(ops[i].object).ok());
+    } else {
+      PVDB_CHECK(db.Remove(ops[i].id).ok());
+    }
+  }
+  return db;
+}
+
+std::vector<geom::Point> ProbePoints() {
+  Rng rng(777);
+  std::vector<geom::Point> probes;
+  for (int i = 0; i < 16; ++i) {
+    probes.push_back(geom::Point{rng.NextUniform(0.0, 10000.0),
+                                 rng.NextUniform(0.0, 10000.0)});
+  }
+  return probes;
+}
+
+std::vector<uint8_t> ObjectBytes(const UncertainObject& o) {
+  std::vector<uint8_t> bytes;
+  o.AppendTo(&bytes);
+  return bytes;
+}
+
+/// The bit-identity check: `live` must hold exactly the objects of
+/// `expected` (same bytes) and answer PNNQ Step 1 identically to a fresh
+/// index built over `expected`.
+void ExpectEquivalent(const LiveIndex& live, const Dataset& expected,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  std::vector<ObjectId> live_ids = live.db().Ids();
+  std::vector<ObjectId> want_ids = expected.Ids();
+  std::sort(live_ids.begin(), live_ids.end());
+  std::sort(want_ids.begin(), want_ids.end());
+  ASSERT_EQ(live_ids, want_ids);
+  for (ObjectId id : want_ids) {
+    const UncertainObject* got = live.db().Find(id);
+    const UncertainObject* want = expected.Find(id);
+    ASSERT_NE(got, nullptr);
+    ASSERT_NE(want, nullptr);
+    EXPECT_EQ(ObjectBytes(*got), ObjectBytes(*want)) << "id=" << id;
+  }
+  auto reference = pv::PvIndexBuilder::Build(expected);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const geom::Point& q : ProbePoints()) {
+    auto got = live.index().QueryPossibleNN(q);
+    auto want = reference.value()->index().QueryPossibleNN(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    std::vector<ObjectId> g = got.value();
+    std::vector<ObjectId> w = want.value();
+    std::sort(g.begin(), g.end());
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(g, w) << "probe " << q.ToString();
+  }
+}
+
+Status ApplyOp(LiveIndex* live, const Op& op) {
+  return op.is_insert ? live->Insert(op.object) : live->Delete(op.id);
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap + clean restart
+// ---------------------------------------------------------------------------
+
+TEST(LiveIndexTest, BootstrapThenCleanReopen) {
+  ScratchDir dir("live_bootstrap");
+  const Dataset base = BaseDataset();
+  LiveRecoveryStats stats;
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    EXPECT_FALSE(stats.recovered);
+    EXPECT_NE(live.value()->CurrentSnapshot(), nullptr);
+    EXPECT_EQ(live.value()->generation(), 1u);
+    ExpectEquivalent(*live.value(), base, "freshly bootstrapped");
+  }
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_EQ(stats.base_objects, base.size());
+  EXPECT_EQ(stats.wal_records_applied, 0u);
+  ExpectEquivalent(*live.value(), base, "reopened untouched");
+}
+
+TEST(LiveIndexTest, MutationsSurviveCleanClose) {
+  ScratchDir dir("live_clean");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 12);
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base).value();
+    for (const Op& op : ops) {
+      ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+    }
+    EXPECT_EQ(live->last_seq(), ops.size());
+    ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                     "before close");
+  }
+  LiveRecoveryStats stats;
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_EQ(stats.wal_records_applied, ops.size());
+  EXPECT_FALSE(stats.wal_tail_corrupt);
+  ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, ops.size()),
+                   "after clean reopen");
+}
+
+TEST(LiveIndexTest, ValidationFailuresNeverReachTheLog) {
+  ScratchDir dir("live_validation");
+  const Dataset base = BaseDataset();
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base).value();
+  // Duplicate id: rejected before the WAL.
+  EXPECT_FALSE(live->Insert(base.objects()[0]).ok());
+  // Out-of-domain region: rejected before the WAL.
+  const geom::Rect escaped = geom::Rect(geom::Point{-50.0, 0.0},
+                                        geom::Point{10.0, 10.0});
+  Rng rng(5);
+  EXPECT_FALSE(
+      live->Insert(UncertainObject::UniformSampled(200000, escaped, 4, &rng))
+          .ok());
+  // Unknown delete id: rejected before the WAL.
+  EXPECT_FALSE(live->Delete(999999).ok());
+  // Nothing was acknowledged, so nothing replays.
+  EXPECT_EQ(live->last_seq(), 0u);
+  ExpectEquivalent(*live, base, "after rejected mutations");
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: power loss after every acknowledged mutation
+// ---------------------------------------------------------------------------
+
+TEST(LiveIndexTest, CrashAfterEveryAckedMutationRecoversExactly) {
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 10);
+  for (size_t k = 0; k <= ops.size(); ++k) {
+    ScratchDir dir("live_crash_k" + std::to_string(k));
+    FaultInjectionEnv fenv(Env::Default());
+    LiveIndexOptions opts;
+    opts.wal.sync_every_n = 1;  // every ack is durable
+    {
+      auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_TRUE(ApplyOp(live.get(), ops[i]).ok());
+      }
+      // Power loss NOW: unsynced data and un-fsync'd dirents vanish. The
+      // destructor afterwards models the dead process's fds going away.
+      ASSERT_TRUE(fenv.SimulateCrash().ok());
+    }
+    LiveRecoveryStats stats;
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+    ASSERT_TRUE(live.ok()) << "k=" << k << ": " << live.status().ToString();
+    EXPECT_TRUE(stats.recovered) << "k=" << k;
+    EXPECT_EQ(stats.wal_records_applied, k) << "k=" << k;
+    ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, k),
+                     "crash after op " + std::to_string(k));
+  }
+}
+
+TEST(LiveIndexTest, GroupCommitCrashLosesAtMostTheUnsyncedTail) {
+  ScratchDir dir("live_group");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 10);
+  FaultInjectionEnv fenv(Env::Default());
+  LiveIndexOptions opts;
+  opts.wal.sync_every_n = 4;
+  uint64_t durable = 0;
+  {
+    auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+    for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+    durable = live->wal_synced_records();
+    EXPECT_EQ(durable, 8u);  // 10 acked, floor at the last group of 4
+    ASSERT_TRUE(fenv.SimulateCrash().ok());
+  }
+  LiveRecoveryStats stats;
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  // Exactly the durable floor survived: a whole-record prefix, never a
+  // torn half-apply.
+  EXPECT_EQ(stats.wal_records_applied, durable);
+  EXPECT_FALSE(stats.wal_tail_corrupt);
+  ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, durable),
+                   "group-commit crash");
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: torn WAL tails at arbitrary byte offsets
+// ---------------------------------------------------------------------------
+
+TEST(LiveIndexTest, TornWalTailRecoversTheWholeRecordPrefix) {
+  ScratchDir dir("live_torn_src");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 6);
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base).value();
+    for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+  }
+  // Scan the closed log for its record boundaries.
+  const std::string wal_path = dir.path + "/wal-1.log";
+  std::vector<uint8_t> wal_bytes;
+  ASSERT_TRUE(Env::Default()->ReadFile(wal_path, &wal_bytes).ok());
+  std::vector<size_t> boundaries = {storage::kWalFileHeaderBytes};
+  {
+    size_t off = storage::kWalFileHeaderBytes;
+    while (off < wal_bytes.size()) {
+      uint32_t len = 0;
+      std::memcpy(&len, wal_bytes.data() + off, sizeof(len));
+      off += storage::kWalRecordHeaderBytes + len;
+      boundaries.push_back(off);
+    }
+    ASSERT_EQ(boundaries.size(), ops.size() + 1);
+    ASSERT_EQ(boundaries.back(), wal_bytes.size());
+  }
+
+  // For every record: cut exactly at its start, one byte in, mid-payload,
+  // and one byte short of its end — a power loss tearing that append.
+  Env* env = Env::Default();
+  for (size_t r = 0; r < ops.size(); ++r) {
+    const size_t lo = boundaries[r];
+    const size_t hi = boundaries[r + 1];
+    for (size_t cut : {lo, lo + 1, (lo + hi) / 2, hi - 1}) {
+      ScratchDir crash_dir("live_torn_cut" + std::to_string(cut));
+      auto children = env->GetChildren(dir.path);
+      ASSERT_TRUE(children.ok()) << children.status().ToString();
+      for (const std::string& name : children.value()) {
+        std::vector<uint8_t> bytes;
+        ASSERT_TRUE(env->ReadFile(dir.path + "/" + name, &bytes).ok());
+        ASSERT_TRUE(storage::WriteFileAtomic(env, crash_dir.path + "/" + name,
+                                             bytes)
+                        .ok());
+      }
+      ASSERT_TRUE(
+          env->TruncateFile(crash_dir.path + "/wal-1.log", cut).ok());
+
+      LiveRecoveryStats stats;
+      auto live = LiveIndex::Open(env, crash_dir.path, base, {}, &stats);
+      ASSERT_TRUE(live.ok())
+          << "cut=" << cut << ": " << live.status().ToString();
+      EXPECT_EQ(stats.wal_records_applied, r) << "cut=" << cut;
+      EXPECT_EQ(stats.wal_tail_corrupt, cut != lo) << "cut=" << cut;
+      if (cut != lo) {
+        EXPECT_EQ(stats.wal_bytes_dropped, cut - lo) << "cut=" << cut;
+        EXPECT_FALSE(stats.wal_tail_detail.empty()) << "cut=" << cut;
+      }
+      ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, r),
+                       "torn tail at byte " + std::to_string(cut));
+
+      // The recovered index keeps working: it repaired the tail and can
+      // acknowledge new mutations on top of the surviving prefix.
+      ASSERT_TRUE(live.value()->Delete(base.Ids()[0]).ok());
+    }
+  }
+}
+
+TEST(LiveIndexTest, FlippedWalByteStopsReplayBeforeTheLie) {
+  ScratchDir dir("live_flip");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 5);
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base).value();
+    for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+  }
+  // Corrupt one payload byte of the 3rd record (media error, not a tear).
+  const std::string wal_path = dir.path + "/wal-1.log";
+  std::vector<uint8_t> wal_bytes;
+  ASSERT_TRUE(Env::Default()->ReadFile(wal_path, &wal_bytes).ok());
+  size_t off = storage::kWalFileHeaderBytes;
+  for (int r = 0; r < 2; ++r) {
+    uint32_t len = 0;
+    std::memcpy(&len, wal_bytes.data() + off, sizeof(len));
+    off += storage::kWalRecordHeaderBytes + len;
+  }
+  FaultInjectionEnv fenv(Env::Default());
+  ASSERT_TRUE(
+      fenv.FlipByte(wal_path, off + storage::kWalRecordHeaderBytes + 3).ok());
+
+  LiveRecoveryStats stats;
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(stats.wal_records_applied, 2u);
+  EXPECT_TRUE(stats.wal_tail_corrupt);
+  ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, 2),
+                   "bit flip in record 3");
+}
+
+// ---------------------------------------------------------------------------
+// Delta seals + compaction
+// ---------------------------------------------------------------------------
+
+TEST(LiveIndexTest, AutoSealsCheckpointAndTruncateTheWal) {
+  ScratchDir dir("live_seal");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 17);
+  LiveIndexOptions opts;
+  opts.delta_seal_every_n = 5;
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts).value();
+    for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+    EXPECT_TRUE(live->last_seal_status().ok())
+        << live->last_seal_status().ToString();
+    EXPECT_EQ(live->delta_seq(), 3u);  // seals at 5, 10, 15
+    EXPECT_EQ(live->records_since_checkpoint(), 2u);
+    ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                     "after auto seals");
+  }
+  // Recovery path: base + delta + WAL suffix, not a full log replay.
+  LiveRecoveryStats stats;
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts, &stats);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_GT(stats.delta_upserts + stats.delta_deletes, 0u);
+  EXPECT_EQ(stats.wal_records_applied, 2u);  // only the post-seal suffix
+  ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, ops.size()),
+                   "recovered through delta");
+}
+
+TEST(LiveIndexTest, CrashBetweenSealsRecoversAckedPrefix) {
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 13);
+  for (size_t k : {5u, 6u, 11u, 13u}) {
+    ScratchDir dir("live_sealcrash_k" + std::to_string(k));
+    FaultInjectionEnv fenv(Env::Default());
+    LiveIndexOptions opts;
+    opts.wal.sync_every_n = 1;
+    opts.delta_seal_every_n = 5;
+    {
+      auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_TRUE(ApplyOp(live.get(), ops[i]).ok());
+      }
+      ASSERT_TRUE(fenv.SimulateCrash().ok());
+    }
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts);
+    ASSERT_TRUE(live.ok()) << "k=" << k << ": " << live.status().ToString();
+    ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, k),
+                     "crash between seals, k=" + std::to_string(k));
+  }
+}
+
+TEST(LiveIndexTest, CompactionPublishesANewGeneration) {
+  ScratchDir dir("live_compact");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 12);
+  std::vector<std::shared_ptr<const pv::IndexSnapshot>> published;
+  LiveIndexOptions opts;
+  opts.publish = [&](std::shared_ptr<const pv::IndexSnapshot> snap) {
+    published.push_back(std::move(snap));
+  };
+  {
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts).value();
+    ASSERT_EQ(published.size(), 1u);  // the bootstrap base
+    for (size_t i = 0; i < 7; ++i) {
+      ASSERT_TRUE(ApplyOp(live.get(), ops[i]).ok());
+    }
+    ASSERT_TRUE(live->Compact().ok());
+    EXPECT_EQ(live->generation(), 2u);
+    EXPECT_EQ(live->records_since_checkpoint(), 0u);
+    ASSERT_EQ(published.size(), 2u);
+    // The published snapshot covers exactly the compacted state.
+    EXPECT_EQ(published[1]->object_count(),
+              ReferenceAfter(base, ops, 7).size());
+    // Ingest continues on top of the new generation.
+    for (size_t i = 7; i < ops.size(); ++i) {
+      ASSERT_TRUE(ApplyOp(live.get(), ops[i]).ok());
+    }
+    ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                     "after compaction + more ops");
+    // The old generation's files are gone.
+    EXPECT_FALSE(Env::Default()->FileExists(dir.path + "/base-1.snap"));
+  }
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(live.value()->generation(), 2u);
+  ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, ops.size()),
+                   "reopened after compaction");
+}
+
+TEST(LiveIndexTest, BackgroundCompactionAdoptsIntoQueryEngine) {
+  ScratchDir dir("live_bg");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 20);
+  std::unique_ptr<service::QueryEngine> engine;
+  std::mutex adopt_mu;
+  LiveIndexOptions opts;
+  opts.background_compaction = true;
+  opts.compact_after_records = 8;
+  opts.publish = [&](std::shared_ptr<const pv::IndexSnapshot> snap) {
+    // The live-serving wiring the header documents: each published
+    // generation flips serving traffic without draining queries.
+    std::lock_guard<std::mutex> lock(adopt_mu);
+    if (engine == nullptr) {
+      engine = service::QueryEngine::CreateFromSnapshot(
+                   std::move(snap), service::QueryEngineOptions{.threads = 2})
+                   .value();
+    } else {
+      PVDB_CHECK(engine->AdoptSnapshot(std::move(snap)).ok());
+    }
+  };
+  auto live = LiveIndex::Open(Env::Default(), dir.path, base, opts).value();
+  ASSERT_NE(engine, nullptr);
+  for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+  ASSERT_TRUE(live->WaitForCompaction().ok())
+      << live->WaitForCompaction().ToString();
+  EXPECT_GE(live->generation(), 2u);
+  ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                   "after background compactions");
+  // The engine serves the latest adopted generation; every Step-2 answer
+  // it produces comes from that snapshot's Step-1 candidate set.
+  auto snap = engine->snapshot();
+  ASSERT_NE(snap, nullptr);
+  const geom::Point q = ProbePoints()[0];
+  auto candidates = snap->QueryPossibleNN(q);
+  ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+  auto batch = engine->ExecuteBatch(std::span<const geom::Point>(&q, 1));
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(batch[0].status.ok()) << batch[0].status.ToString();
+  EXPECT_FALSE(batch[0].results.empty());
+  for (const pv::PnnResult& r : batch[0].results) {
+    EXPECT_NE(std::find(candidates.value().begin(), candidates.value().end(),
+                        r.id),
+              candidates.value().end())
+        << "answered id " << r.id << " is not a Step-1 candidate";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation + the seal/compaction failure matrix
+// ---------------------------------------------------------------------------
+
+TEST(LiveIndexTest, FailedSealDegradesWithoutStateChange) {
+  ScratchDir dir("live_sealfail");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 6);
+  FaultInjectionEnv fenv(Env::Default());
+  auto live = LiveIndex::Open(&fenv, dir.path, base).value();
+  for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+
+  // The disk dies at the seal's FIRST write (the delta temp file): the
+  // seal fails before any rotation, leaving the index fully serviceable.
+  fenv.SetOpBudget(0);
+  const Status seal = live->SealDelta();
+  ASSERT_FALSE(seal.ok());
+  EXPECT_NE(seal.message().find("injected fault"), std::string::npos)
+      << seal.ToString();
+  EXPECT_EQ(live->delta_seq(), 0u);
+  EXPECT_EQ(live->records_since_checkpoint(), ops.size());
+  ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                   "after failed seal");
+
+  // While the disk is dead, mutations fail WITHOUT state change (the WAL
+  // append is refused, so nothing is acknowledged).
+  const size_t before = live->db().size();
+  EXPECT_FALSE(live->Delete(base.Ids()[0]).ok());
+  EXPECT_EQ(live->db().size(), before);
+  EXPECT_EQ(live->last_seq(), ops.size());
+
+  // The disk recovers: the retried seal succeeds and ingest resumes.
+  fenv.ClearOpBudget();
+  ASSERT_TRUE(live->SealDelta().ok());
+  EXPECT_EQ(live->delta_seq(), 1u);
+  EXPECT_EQ(live->records_since_checkpoint(), 0u);
+  ASSERT_TRUE(live->Delete(base.Ids()[0]).ok());
+}
+
+TEST(LiveIndexTest, FailedCompactionKeepsServingTheOldGeneration) {
+  ScratchDir dir("live_compactfail");
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 6);
+  FaultInjectionEnv fenv(Env::Default());
+  int published = 0;
+  LiveIndexOptions opts;
+  opts.publish = [&](std::shared_ptr<const pv::IndexSnapshot>) {
+    ++published;
+  };
+  auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+  for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+  const auto serving_before = live->CurrentSnapshot();
+  ASSERT_EQ(published, 1);
+
+  fenv.SetOpBudget(0);  // the base-2 write fails immediately
+  const Status st = live->Compact();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(live->generation(), 1u);
+  EXPECT_EQ(live->CurrentSnapshot(), serving_before);  // still gen 1
+  EXPECT_EQ(published, 1);
+  ExpectEquivalent(*live, ReferenceAfter(base, ops, ops.size()),
+                   "after failed compaction");
+
+  fenv.ClearOpBudget();
+  ASSERT_TRUE(live->Compact().ok());
+  EXPECT_EQ(live->generation(), 2u);
+  EXPECT_EQ(published, 2);
+}
+
+TEST(LiveIndexTest, SealFailureAtEverySyscallNeverLosesAckedData) {
+  // The mid-manifest crash matrix: sweep an injected sticky disk failure
+  // through EVERY syscall of a delta seal (delta write, WAL rotation,
+  // CURRENT replace), then power-cycle. Whatever the failure point — clean
+  // rollback, poisoned instance, or torn manifest replace — reopening must
+  // recover every acknowledged mutation.
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 8);
+  for (int64_t extra = 0; extra < 18; ++extra) {
+    ScratchDir dir("live_sealsweep_" + std::to_string(extra));
+    FaultInjectionEnv fenv(Env::Default());
+    LiveIndexOptions opts;
+    opts.wal.sync_every_n = 1;
+    bool sealed = false;
+    {
+      auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+      for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+      fenv.SetOpBudget(extra);
+      sealed = live->SealDelta().ok();
+      ASSERT_TRUE(fenv.SimulateCrash().ok());
+    }
+    fenv.ClearOpBudget();
+    LiveRecoveryStats stats;
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, {}, &stats);
+    ASSERT_TRUE(live.ok()) << "extra=" << extra << " sealed=" << sealed
+                           << ": " << live.status().ToString();
+    ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, ops.size()),
+                     "seal failure sweep, extra=" + std::to_string(extra));
+  }
+}
+
+TEST(LiveIndexTest, CompactionFailureAtEverySyscallNeverLosesAckedData) {
+  const Dataset base = BaseDataset();
+  const std::vector<Op> ops = MakeOps(base, 8);
+  for (int64_t extra = 0; extra < 18; ++extra) {
+    ScratchDir dir("live_compactsweep_" + std::to_string(extra));
+    FaultInjectionEnv fenv(Env::Default());
+    LiveIndexOptions opts;
+    opts.wal.sync_every_n = 1;
+    bool compacted = false;
+    {
+      auto live = LiveIndex::Open(&fenv, dir.path, base, opts).value();
+      for (const Op& op : ops) ASSERT_TRUE(ApplyOp(live.get(), op).ok());
+      fenv.SetOpBudget(extra);
+      compacted = live->Compact().ok();
+      ASSERT_TRUE(fenv.SimulateCrash().ok());
+    }
+    fenv.ClearOpBudget();
+    auto live = LiveIndex::Open(Env::Default(), dir.path, base, {});
+    ASSERT_TRUE(live.ok()) << "extra=" << extra << " compacted=" << compacted
+                           << ": " << live.status().ToString();
+    ExpectEquivalent(*live.value(), ReferenceAfter(base, ops, ops.size()),
+                     "compaction failure sweep, extra=" +
+                         std::to_string(extra));
+  }
+}
+
+}  // namespace
+}  // namespace pvdb

@@ -1,0 +1,629 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Storage-layer durability tests: the Env seam (atomic writes, errno
+// detail), the FaultInjectionEnv itself (unsynced-data drops, metadata
+// reverts, op budgets), the CRC-32C kernel, and the WAL (round trip, group
+// commit, torn tails at every cut point, bit flips, fail-the-Nth-syscall
+// sweeps) — plus the snapshot-save durability proofs: the parent-directory
+// fsync after rename is demonstrated to MATTER by dropping unsynced
+// metadata with and without it.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/crc32c.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/storage/env.h"
+#include "src/storage/fault_env.h"
+#include "src/storage/snapshot_file.h"
+#include "src/storage/wal.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb {
+namespace {
+
+using storage::Env;
+using storage::FaultInjectionEnv;
+using storage::WalOptions;
+using storage::WalReplay;
+using storage::WalReplayStats;
+using storage::WalWriter;
+
+std::string TempDirPath(const std::string& name) {
+  return ::testing::TempDir() + "pvdb_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+/// Fresh scratch directory, recursively removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name) : path(TempDirPath(name)) {
+    RemoveAll();
+    PVDB_CHECK(Env::Default()->CreateDirIfMissing(path).ok());
+  }
+  ~ScratchDir() { RemoveAll(); }
+  void RemoveAll() {
+    auto children = Env::Default()->GetChildren(path);
+    if (children.ok()) {
+      for (const std::string& name : children.value()) {
+        std::remove((path + "/" + name).c_str());
+      }
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string path;
+};
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return b; }
+
+std::span<const uint8_t> AsSpan(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+std::string ReadAll(Env* env, const std::string& path) {
+  std::vector<uint8_t> bytes;
+  PVDB_CHECK(env->ReadFile(path, &bytes).ok());
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical check value: CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // RFC 3720 (iSCSI) appendix vectors.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const char* data = "hello, write-ahead world";
+  const size_t n = std::strlen(data);
+  const uint32_t whole = Crc32c(data, n);
+  uint32_t piecewise = Crc32cExtend(0, data, 5);
+  piecewise = Crc32cExtend(piecewise, data + 5, n - 5);
+  EXPECT_EQ(piecewise, whole);
+  EXPECT_NE(Crc32c(data, n - 1), whole);
+}
+
+// ---------------------------------------------------------------------------
+// Env / WriteFileAtomic
+// ---------------------------------------------------------------------------
+
+TEST(EnvTest, ParentDir) {
+  EXPECT_EQ(storage::ParentDir("/a/b/c.snap"), "/a/b");
+  EXPECT_EQ(storage::ParentDir("/top"), "/");
+  EXPECT_EQ(storage::ParentDir("bare.snap"), ".");
+}
+
+TEST(EnvTest, WriteFileAtomicRoundTripLeavesNoTemp) {
+  ScratchDir dir("env_atomic");
+  const std::string path = dir.path + "/file.bin";
+  ASSERT_TRUE(storage::WriteFileAtomic(Env::Default(), path,
+                                       AsSpan("payload"))
+                  .ok());
+  EXPECT_EQ(ReadAll(Env::Default(), path), "payload");
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+
+  // Replace: the old content is swapped atomically.
+  ASSERT_TRUE(
+      storage::WriteFileAtomic(Env::Default(), path, AsSpan("v2")).ok());
+  EXPECT_EQ(ReadAll(Env::Default(), path), "v2");
+}
+
+TEST(EnvTest, ErrorsCarryErrnoDetail) {
+  auto file = Env::Default()->NewWritableFile("/no/such/dir/x.bin");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIOError);
+  EXPECT_NE(file.status().message().find("No such file or directory"),
+            std::string::npos)
+      << file.status().ToString();
+}
+
+TEST(EnvTest, FailedAtomicWriteRemovesStaleTemp) {
+  ScratchDir dir("env_failed_atomic");
+  // The destination is a DIRECTORY: the final rename must fail after the
+  // temp file was fully written — exactly the stale-temp window.
+  const std::string target = dir.path + "/subdir";
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(target).ok());
+  const Status st =
+      storage::WriteFileAtomic(Env::Default(), target, AsSpan("doomed"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("rename"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(Env::Default()->FileExists(target + ".tmp"));
+  ::rmdir(target.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvTest, DropUnsyncedFileDataTruncatesToSyncedFloor) {
+  ScratchDir dir("fenv_data");
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string path = dir.path + "/f.bin";
+  auto file = fenv.NewWritableFile(path, true).value();
+  ASSERT_TRUE(file->Append(AsSpan("durable")).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append(AsSpan("-volatile")).ok());
+  ASSERT_TRUE(fenv.DropUnsyncedFileData().ok());
+  EXPECT_EQ(ReadAll(&fenv, path), "durable");
+}
+
+TEST(FaultEnvTest, DropUnsyncedMetadataDeletesUnsyncedCreate) {
+  ScratchDir dir("fenv_meta");
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string synced = dir.path + "/synced.bin";
+  const std::string unsynced = dir.path + "/unsynced.bin";
+  {
+    auto f = fenv.NewWritableFile(synced, true).value();
+    ASSERT_TRUE(f->Append(AsSpan("a")).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(fenv.SyncDir(dir.path).ok());
+  {
+    auto f = fenv.NewWritableFile(unsynced, true).value();
+    ASSERT_TRUE(f->Append(AsSpan("b")).ok());
+    ASSERT_TRUE(f->Sync().ok());  // file DATA synced; the dirent is not
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(fenv.DropUnsyncedMetadata().ok());
+  EXPECT_TRUE(fenv.FileExists(synced));
+  EXPECT_FALSE(fenv.FileExists(unsynced));
+}
+
+TEST(FaultEnvTest, RenameOverExistingRevertsToOldContent) {
+  ScratchDir dir("fenv_replace");
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string current = dir.path + "/CURRENT";
+  ASSERT_TRUE(storage::WriteFileAtomic(&fenv, current, AsSpan("gen 1")).ok());
+  // Replace WITHOUT the directory sync: tmp -> rename only.
+  {
+    auto f = fenv.NewWritableFile(current + ".tmp", true).value();
+    ASSERT_TRUE(f->Append(AsSpan("gen 2")).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(fenv.RenameFile(current + ".tmp", current).ok());
+  EXPECT_EQ(ReadAll(&fenv, current), "gen 2");
+  // The crash keeps the OLD manifest — the new dirent was never durable.
+  ASSERT_TRUE(fenv.DropUnsyncedMetadata().ok());
+  EXPECT_EQ(ReadAll(&fenv, current), "gen 1");
+}
+
+TEST(FaultEnvTest, OpBudgetIsStickyAndNamesTheOp) {
+  ScratchDir dir("fenv_budget");
+  FaultInjectionEnv fenv(Env::Default());
+  fenv.SetOpBudget(1);  // the open succeeds, everything after fails
+  auto file = fenv.NewWritableFile(dir.path + "/f.bin", true);
+  ASSERT_TRUE(file.ok());
+  Status st = file.value()->Append(AsSpan("x"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected fault"), std::string::npos);
+  EXPECT_NE(st.message().find("write"), std::string::npos);
+  // Sticky: the disk does not come back.
+  EXPECT_FALSE(file.value()->Sync().ok());
+  EXPECT_FALSE(fenv.SyncDir(dir.path).ok());
+  fenv.ClearOpBudget();
+  EXPECT_TRUE(file.value()->Append(AsSpan("y")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// WAL: round trip + group commit
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, RoundTripPreservesOrderTypesAndPayloads) {
+  ScratchDir dir("wal_roundtrip");
+  const std::string path = dir.path + "/wal.log";
+  std::vector<std::pair<uint8_t, std::vector<uint8_t>>> records = {
+      {1, Bytes({1, 2, 3})},
+      {2, Bytes({})},  // empty payload is legal
+      {1, std::vector<uint8_t>(1000, 0xAB)},
+      {7, Bytes({0xFF})},
+  };
+  {
+    auto wal = WalWriter::Open(Env::Default(), path, WalOptions{}).value();
+    for (const auto& [type, payload] : records) {
+      ASSERT_TRUE(wal->Append(type, payload).ok());
+    }
+    EXPECT_EQ(wal->appended_records(), records.size());
+    EXPECT_EQ(wal->synced_records(), records.size());  // sync_every_n = 1
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  std::vector<std::pair<uint8_t, std::vector<uint8_t>>> replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(WalReplay(Env::Default(), path,
+                        [&](uint8_t type, std::span<const uint8_t> payload) {
+                          replayed.emplace_back(
+                              type, std::vector<uint8_t>(payload.begin(),
+                                                         payload.end()));
+                          return Status::OK();
+                        },
+                        &stats)
+                  .ok());
+  EXPECT_EQ(replayed, records);
+  EXPECT_EQ(stats.records_applied, records.size());
+  EXPECT_EQ(stats.bytes_dropped, 0u);
+  EXPECT_FALSE(stats.tail_corrupt);
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  ScratchDir dir("wal_missing");
+  EXPECT_EQ(WalReplay(Env::Default(), dir.path + "/absent.log", nullptr,
+                      nullptr)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WalTest, GroupCommitSyncsEveryNth) {
+  ScratchDir dir("wal_group");
+  auto wal = WalWriter::Open(Env::Default(), dir.path + "/wal.log",
+                             WalOptions{.sync_every_n = 4})
+                 .value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal->Append(1, Bytes({1})).ok());
+  }
+  EXPECT_EQ(wal->synced_records(), 0u);  // below the group threshold
+  ASSERT_TRUE(wal->Append(1, Bytes({1})).ok());
+  EXPECT_EQ(wal->synced_records(), 4u);  // the 4th append synced the group
+  ASSERT_TRUE(wal->Append(1, Bytes({1})).ok());
+  EXPECT_EQ(wal->synced_records(), 4u);
+  ASSERT_TRUE(wal->Sync().ok());  // explicit sync raises the floor
+  EXPECT_EQ(wal->synced_records(), 5u);
+}
+
+TEST(WalTest, SyncEveryZeroNeverSyncsOnAppend) {
+  ScratchDir dir("wal_nosync");
+  auto wal = WalWriter::Open(Env::Default(), dir.path + "/wal.log",
+                             WalOptions{.sync_every_n = 0})
+                 .value();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(wal->Append(1, Bytes({9})).ok());
+  }
+  EXPECT_EQ(wal->synced_records(), 0u);
+  // Close syncs the pending tail (a clean shutdown loses nothing).
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST(WalTest, BoundedLossUnderGroupCommitCrash) {
+  ScratchDir dir("wal_bounded");
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string path = dir.path + "/wal.log";
+  auto wal =
+      WalWriter::Open(&fenv, path, WalOptions{.sync_every_n = 4}).value();
+  // The caller's half of the durability protocol (as LiveIndex does it):
+  // fsync the directory so the new log's dirent survives the crash.
+  ASSERT_TRUE(fenv.SyncDir(dir.path).ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(wal->Append(1, Bytes({static_cast<uint8_t>(i)})).ok());
+  }
+  EXPECT_EQ(wal->synced_records(), 4u);
+  // Power loss: the 3 unsynced acks vanish — never more than n-1, and never
+  // a record in the middle.
+  ASSERT_TRUE(fenv.SimulateCrash().ok());
+  WalReplayStats stats;
+  std::vector<uint8_t> seen;
+  ASSERT_TRUE(WalReplay(Env::Default(), path,
+                        [&](uint8_t, std::span<const uint8_t> p) {
+                          seen.push_back(p[0]);
+                          return Status::OK();
+                        },
+                        &stats)
+                  .ok());
+  EXPECT_EQ(seen, Bytes({0, 1, 2, 3}));
+  EXPECT_FALSE(stats.tail_corrupt);  // truncation landed on a boundary
+}
+
+// ---------------------------------------------------------------------------
+// WAL: torn tails, bit flips, repair
+// ---------------------------------------------------------------------------
+
+/// Writes `n` one-byte-payload records and returns the record boundaries
+/// (file offsets after the header and after each record).
+std::vector<size_t> WriteSmallWal(const std::string& path, int n) {
+  auto wal = WalWriter::Open(Env::Default(), path, WalOptions{}).value();
+  std::vector<size_t> boundaries = {storage::kWalFileHeaderBytes};
+  for (int i = 0; i < n; ++i) {
+    PVDB_CHECK(wal->Append(1, Bytes({static_cast<uint8_t>(i)})).ok());
+    boundaries.push_back(wal->file_bytes());
+  }
+  PVDB_CHECK(wal->Close().ok());
+  return boundaries;
+}
+
+TEST(WalTest, TornTailAtEveryCutPointRecoversThePrefix) {
+  ScratchDir dir("wal_torn");
+  const std::string path = dir.path + "/wal.log";
+  const std::vector<size_t> boundaries = WriteSmallWal(path, 5);
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(Env::Default()->ReadFile(path, &full).ok());
+
+  const std::string cut_path = dir.path + "/cut.log";
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    // A copy truncated to `cut` bytes = power loss mid-write at that point.
+    ASSERT_TRUE(storage::WriteFileAtomic(
+                    Env::Default(), cut_path,
+                    std::span<const uint8_t>(full.data(), cut))
+                    .ok());
+    size_t whole = 0;  // records fully contained in the cut prefix
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= cut) {
+      ++whole;
+    }
+    WalReplayStats stats;
+    uint64_t applied = 0;
+    const Status st = WalReplay(Env::Default(), cut_path,
+                                [&](uint8_t, std::span<const uint8_t>) {
+                                  ++applied;
+                                  return Status::OK();
+                                },
+                                &stats);
+    ASSERT_TRUE(st.ok()) << "cut=" << cut << ": " << st.ToString();
+    EXPECT_EQ(applied, whole) << "cut=" << cut;
+    if (cut < storage::kWalFileHeaderBytes) {
+      // Torn creation: nothing recoverable, flagged unless empty.
+      EXPECT_EQ(stats.tail_corrupt, cut != 0) << "cut=" << cut;
+    } else {
+      EXPECT_EQ(stats.valid_bytes, boundaries[whole]) << "cut=" << cut;
+      EXPECT_EQ(stats.bytes_dropped, cut - boundaries[whole])
+          << "cut=" << cut;
+      EXPECT_EQ(stats.tail_corrupt, cut != boundaries[whole])
+          << "cut=" << cut;
+      if (stats.tail_corrupt) {
+        EXPECT_FALSE(stats.tail_detail.empty()) << "cut=" << cut;
+      }
+    }
+  }
+}
+
+TEST(WalTest, OpenRepairsTornTailBeforeAppending) {
+  ScratchDir dir("wal_repair");
+  const std::string path = dir.path + "/wal.log";
+  const std::vector<size_t> boundaries = WriteSmallWal(path, 3);
+  // Tear the last record in half.
+  const size_t cut = (boundaries[2] + boundaries[3]) / 2;
+  ASSERT_TRUE(Env::Default()->TruncateFile(path, cut).ok());
+
+  WalReplayStats repair;
+  auto wal = WalWriter::Open(Env::Default(), path, WalOptions{}, &repair);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(repair.tail_corrupt);
+  EXPECT_EQ(repair.records_applied, 2u);
+  EXPECT_EQ(repair.bytes_dropped, cut - boundaries[2]);
+  // New records land behind the repaired prefix and are reachable.
+  ASSERT_TRUE(wal.value()->Append(1, Bytes({0xEE})).ok());
+  ASSERT_TRUE(wal.value()->Close().ok());
+
+  std::vector<uint8_t> seen;
+  WalReplayStats stats;
+  ASSERT_TRUE(WalReplay(Env::Default(), path,
+                        [&](uint8_t, std::span<const uint8_t> p) {
+                          seen.push_back(p[0]);
+                          return Status::OK();
+                        },
+                        &stats)
+                  .ok());
+  EXPECT_EQ(seen, Bytes({0, 1, 0xEE}));
+  EXPECT_FALSE(stats.tail_corrupt);
+}
+
+TEST(WalTest, BitFlipStopsReplayAtTheFlippedRecord) {
+  ScratchDir dir("wal_flip");
+  const std::string path = dir.path + "/wal.log";
+  const std::vector<size_t> boundaries = WriteSmallWal(path, 4);
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(Env::Default()->ReadFile(path, &full).ok());
+
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string flip_path = dir.path + "/flip.log";
+  // Flip every byte position of record 3 (header fields and payload alike):
+  // replay must always deliver records 1-2 and never a corrupted record 3.
+  for (size_t off = boundaries[2]; off < boundaries[3]; ++off) {
+    ASSERT_TRUE(storage::WriteFileAtomic(Env::Default(), flip_path, full)
+                    .ok());
+    ASSERT_TRUE(fenv.FlipByte(flip_path, off).ok());
+    WalReplayStats stats;
+    std::vector<uint8_t> seen;
+    const Status st = WalReplay(Env::Default(), flip_path,
+                                [&](uint8_t, std::span<const uint8_t> p) {
+                                  seen.push_back(p[0]);
+                                  return Status::OK();
+                                },
+                                &stats);
+    ASSERT_TRUE(st.ok()) << "off=" << off << ": " << st.ToString();
+    EXPECT_EQ(seen, Bytes({0, 1})) << "off=" << off;
+    EXPECT_TRUE(stats.tail_corrupt) << "off=" << off;
+    EXPECT_EQ(stats.valid_bytes, boundaries[2]) << "off=" << off;
+  }
+}
+
+TEST(WalTest, ForeignMagicIsCorruption) {
+  ScratchDir dir("wal_magic");
+  const std::string path = dir.path + "/wal.log";
+  ASSERT_TRUE(storage::WriteFileAtomic(Env::Default(), path,
+                                       AsSpan("NOTAWAL0morebytes"))
+                  .ok());
+  EXPECT_EQ(WalReplay(Env::Default(), path, nullptr, nullptr).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WalTest, ImplausibleLengthReadsAsTornTail) {
+  ScratchDir dir("wal_len");
+  const std::string path = dir.path + "/wal.log";
+  WriteSmallWal(path, 1);
+  std::vector<uint8_t> full;
+  ASSERT_TRUE(Env::Default()->ReadFile(path, &full).ok());
+  // Append a record header whose length field is absurd.
+  const uint32_t bogus_len = storage::kMaxWalRecordBytes + 1;
+  full.resize(full.size() + storage::kWalRecordHeaderBytes, 0);
+  std::memcpy(full.data() + full.size() - storage::kWalRecordHeaderBytes,
+              &bogus_len, sizeof(bogus_len));
+  ASSERT_TRUE(storage::WriteFileAtomic(Env::Default(), path, full).ok());
+
+  WalReplayStats stats;
+  ASSERT_TRUE(WalReplay(Env::Default(), path, nullptr, &stats).ok());
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_TRUE(stats.tail_corrupt);
+  EXPECT_NE(stats.tail_detail.find("implausible"), std::string::npos);
+}
+
+TEST(WalTest, OversizedAppendIsRejectedUpFront) {
+  ScratchDir dir("wal_big");
+  auto wal = WalWriter::Open(Env::Default(), dir.path + "/wal.log",
+                             WalOptions{})
+                 .value();
+  std::vector<uint8_t> huge(storage::kMaxWalRecordBytes + 1);
+  EXPECT_EQ(wal->Append(1, huge).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(wal->appended_records(), 0u);
+}
+
+TEST(WalTest, FailNthSyscallSweepNeverCorruptsThePrefix) {
+  ScratchDir dir("wal_sweep");
+  // For every budget: open a log on a healthy disk (dirent made durable,
+  // as LiveIndex does), then run 6 appends + close against a disk that
+  // dies at the Nth syscall, crash, and recover with a healthy one.
+  // Whatever was acknowledged before the failure must replay; the log must
+  // never be unreadable.
+  for (int64_t budget = 0; budget < 16; ++budget) {
+    const std::string path =
+        dir.path + "/wal_" + std::to_string(budget) + ".log";
+    FaultInjectionEnv fenv(Env::Default());
+    uint64_t acked = 0;
+    bool failed = false;
+    {
+      auto wal = WalWriter::Open(&fenv, path, WalOptions{}).value();
+      ASSERT_TRUE(fenv.SyncDir(dir.path).ok());
+      fenv.SetOpBudget(budget);
+      for (int i = 0; i < 6; ++i) {
+        const Status st = wal->Append(1, Bytes({static_cast<uint8_t>(i)}));
+        if (!st.ok()) {
+          EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+              << st.ToString();
+          failed = true;
+          break;
+        }
+        ++acked;
+      }
+      if (!failed) failed = !wal->Close().ok();
+    }
+    fenv.ClearOpBudget();
+    ASSERT_TRUE(fenv.SimulateCrash().ok());
+    ASSERT_TRUE(fenv.FileExists(path)) << "budget=" << budget;
+
+    WalReplayStats stats;
+    std::vector<uint8_t> seen;
+    const Status replay = WalReplay(Env::Default(), path,
+                                    [&](uint8_t, std::span<const uint8_t> p) {
+                                      seen.push_back(p[0]);
+                                      return Status::OK();
+                                    },
+                                    &stats);
+    ASSERT_TRUE(replay.ok()) << "budget=" << budget << ": "
+                             << replay.ToString();
+    // The recovered log is a clean prefix of the acked stream; with
+    // sync_every_n = 1 every ack survived the crash.
+    ASSERT_LE(seen.size(), 6u);
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], static_cast<uint8_t>(i)) << "budget=" << budget;
+    }
+    if (!failed) {
+      EXPECT_EQ(seen.size(), acked) << "budget=" << budget;
+    } else {
+      EXPECT_GE(seen.size(), acked) << "budget=" << budget;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save durability (the satellite fixes, proven under injection)
+// ---------------------------------------------------------------------------
+
+uncertain::Dataset SmallDataset() {
+  uncertain::SyntheticOptions opts;
+  opts.dim = 2;
+  opts.count = 32;
+  opts.samples_per_object = 8;
+  opts.seed = 99;
+  return uncertain::GenerateSynthetic(opts);
+}
+
+TEST(SnapshotDurabilityTest, SaveSurvivesMetadataDropBecauseOfDirSync) {
+  ScratchDir dir("snap_dirsync");
+  FaultInjectionEnv fenv(Env::Default());
+  const uncertain::Dataset db = SmallDataset();
+  auto builder = pv::PvIndexBuilder::Build(db).value();
+  const std::string path = dir.path + "/pv.snap";
+  ASSERT_TRUE(builder->Save(path, {}, &fenv).ok());
+  // Crash right after Save returned: the snapshot must still be there —
+  // Save's parent-directory fsync made the rename durable.
+  ASSERT_TRUE(fenv.SimulateCrash().ok());
+  ASSERT_TRUE(fenv.FileExists(path));
+  auto snap = pv::IndexSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value()->object_count(), db.size());
+}
+
+TEST(SnapshotDurabilityTest, RenameWithoutDirSyncIsLostInACrash) {
+  // The control experiment for the test above: the exact same write WITHOUT
+  // the final directory fsync vanishes — proving the fsync in
+  // SnapshotWriter::WriteFile is load-bearing, not ceremony.
+  ScratchDir dir("snap_nodirsync");
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string path = dir.path + "/pv.snap";
+  {
+    auto f = fenv.NewWritableFile(path + ".tmp", true).value();
+    ASSERT_TRUE(f->Append(AsSpan("fully synced bytes")).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(fenv.RenameFile(path + ".tmp", path).ok());
+  ASSERT_TRUE(fenv.FileExists(path));
+  ASSERT_TRUE(fenv.SimulateCrash().ok());  // no SyncDir happened
+  EXPECT_FALSE(fenv.FileExists(path));
+}
+
+TEST(SnapshotDurabilityTest, FailedSaveRollsBackAndReportsCause) {
+  ScratchDir dir("snap_fail");
+  const uncertain::Dataset db = SmallDataset();
+  auto builder = pv::PvIndexBuilder::Build(db).value();
+  // Sweep an injected failure through every syscall of a save; whatever the
+  // failing op, the final path never holds a torn file.
+  const std::string path = dir.path + "/pv.snap";
+  for (int64_t budget = 0; budget < 8; ++budget) {
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.SetOpBudget(budget);
+    const Status st = builder->Save(path, {}, &fenv);
+    fenv.ClearOpBudget();
+    if (st.ok()) break;  // the save got through within this budget
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+        << st.ToString();
+    // No torn artifact at the destination: either absent or fully valid.
+    if (fenv.FileExists(path)) {
+      EXPECT_TRUE(pv::IndexSnapshot::Open(path).ok()) << "budget=" << budget;
+    }
+  }
+}
+
+TEST(SnapshotDurabilityTest, OpenErrorsCarryErrnoDetail) {
+  auto missing = storage::SnapshotReader::OpenFile("/no/such/pv.snap");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+  EXPECT_NE(missing.status().message().find("No such file or directory"),
+            std::string::npos)
+      << missing.status().ToString();
+}
+
+}  // namespace
+}  // namespace pvdb
