@@ -1,0 +1,258 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Sharded-serving benchmark at the socket: partitions one synthetic
+// database into K ∈ {1, 2, 4} shards, serves every shard behind its own
+// TCP ShardServer, fronts them with a RouterServer, and drives the
+// open-loop load generator (src/net/loadgen.h) against the router's query
+// endpoint. Two measurements per K:
+//
+//   * peak_qps — the generator scheduled far past the server's capacity,
+//     so the connection runs closed-loop back-to-back and achieved_qps is
+//     the saturation throughput of the full partition → scatter → merge →
+//     Step-2 pipeline over loopback.
+//   * open_loop — a second run offered at ~60% of the measured peak, with
+//     latency charged from each request's SCHEDULED arrival (coordinated
+//     omission accounted), reporting p50/p99/p999 at that load.
+//
+// Emits one JSON object (BENCH_shard.json):
+//   "configs" — [{shards, ghosts, peak_qps, open_loop: {target_qps,
+//                 achieved_qps, p50_ms, p99_ms, p999_ms, failed}}]
+//   "hardware_threads" — std::thread::hardware_concurrency(); on a
+//     single-core container every shard server, the router, and the
+//     generator timeshare one CPU, so qps is NOT expected to scale with K
+//     there — the interesting signals are the fan-out overhead (K=1 vs
+//     K>1 peak) and the tail under offered load.
+//
+//   $ ./bench_shard [--smoke]
+//
+// --smoke shrinks the dataset and request counts for CI bitrot checks.
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/net/loadgen.h"
+#include "src/net/server.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/shard_service.h"
+#include "src/uncertain/datagen.h"
+
+namespace {
+
+using namespace pvdb;
+
+struct OpenLoopResult {
+  double target_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  int64_t failed = 0;
+};
+
+struct ConfigResult {
+  int shards = 0;
+  size_t ghosts = 0;
+  double partition_ms = 0.0;
+  double peak_qps = 0.0;
+  OpenLoopResult open_loop;
+};
+
+// The serving stack for one K: shard servers, remote connections, router
+// server. Held together so teardown order is right (router first).
+struct Deployment {
+  std::vector<std::unique_ptr<shard::ShardServer>> shard_servers;
+  std::unique_ptr<shard::RouterServer> router_server;
+
+  ~Deployment() {
+    if (router_server != nullptr) router_server->Stop();
+    for (auto& s : shard_servers) s->Stop();
+  }
+};
+
+std::unique_ptr<Deployment> Deploy(const std::string& dir) {
+  auto set = shard::OpenShardDir(dir);
+  if (!set.ok()) {
+    std::fprintf(stderr, "open shard dir: %s\n",
+                 set.status().ToString().c_str());
+    return nullptr;
+  }
+  auto deployment = std::make_unique<Deployment>();
+  shard::RouterOptions router_options;
+  router_options.deadline_ms = 5000.0;
+  std::vector<std::shared_ptr<shard::ShardConnection>> connections;
+  for (const auto& snapshot : set.value().snapshots) {
+    auto server = shard::ShardServer::Start(snapshot, net::TcpServerOptions{});
+    if (!server.ok()) {
+      std::fprintf(stderr, "shard server: %s\n",
+                   server.status().ToString().c_str());
+      return nullptr;
+    }
+    connections.push_back(std::make_shared<shard::RemoteShardConnection>(
+        server.value()->port(), router_options.deadline_ms));
+    deployment->shard_servers.push_back(std::move(server).value());
+  }
+  auto router = shard::ShardRouter::Create(set.value().map,
+                                           std::move(connections),
+                                           router_options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "router: %s\n", router.status().ToString().c_str());
+    return nullptr;
+  }
+  auto server = shard::RouterServer::Start(std::move(router).value(),
+                                           net::TcpServerOptions{});
+  if (!server.ok()) {
+    std::fprintf(stderr, "router server: %s\n",
+                 server.status().ToString().c_str());
+    return nullptr;
+  }
+  deployment->router_server = std::move(server).value();
+  return deployment;
+}
+
+OpenLoopResult ReportToResult(const net::LoadGenReport& report,
+                              double target_qps) {
+  OpenLoopResult r;
+  r.target_qps = target_qps;
+  r.achieved_qps = report.achieved_qps;
+  r.p50_ms = static_cast<double>(report.latency_us.Percentile(50.0)) / 1000.0;
+  r.p99_ms = static_cast<double>(report.latency_us.Percentile(99.0)) / 1000.0;
+  r.p999_ms =
+      static_cast<double>(report.latency_us.Percentile(99.9)) / 1000.0;
+  r.failed = report.failed + report.answer_errors;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  uncertain::SyntheticOptions synth;
+  synth.dim = 2;
+  synth.count = smoke ? 400 : 4000;
+  synth.samples_per_object = 60;
+  synth.seed = 7;
+  const uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+
+  Rng rng(11);
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 512; ++i) {
+    geom::Point q(db.domain().dim());
+    for (int d = 0; d < db.domain().dim(); ++d) {
+      q[d] = rng.NextUniform(db.domain().lo(d), db.domain().hi(d));
+    }
+    queries.push_back(q);
+  }
+
+  const int peak_requests = smoke ? 80 : 600;
+  const int open_loop_requests = smoke ? 80 : 800;
+
+  std::vector<ConfigResult> results;
+  for (int k : {1, 2, 4}) {
+    const std::string dir =
+        std::string("/tmp/pvdb_bench_shard_k") + std::to_string(k);
+    shard::PartitionOptions options;
+    options.shard_count = k;
+    StopWatch partition_watch;
+    auto map = shard::BuildShardSnapshots(db, options, dir);
+    if (!map.ok()) {
+      std::fprintf(stderr, "partition K=%d: %s\n", k,
+                   map.status().ToString().c_str());
+      return 1;
+    }
+    ConfigResult config;
+    config.shards = k;
+    config.partition_ms = partition_watch.ElapsedMillis();
+    for (const shard::ShardInfo& s : map.value().shards) {
+      config.ghosts += s.ghost_ids.size();
+    }
+
+    auto deployment = Deploy(dir);
+    if (deployment == nullptr) return 1;
+    const int port = deployment->router_server->port();
+
+    // Saturation pass: offer far beyond capacity so the single connection
+    // degenerates to closed-loop back-to-back requests.
+    net::LoadGenOptions peak_options;
+    peak_options.target_qps = 1e6;
+    peak_options.total_requests = peak_requests;
+    peak_options.deadline_ms = 10000.0;
+    peak_options.seed = 21;
+    auto peak = net::RunLoadGen(port, queries, peak_options);
+    if (!peak.ok()) {
+      std::fprintf(stderr, "peak loadgen K=%d: %s\n", k,
+                   peak.status().ToString().c_str());
+      return 1;
+    }
+    if (peak.value().failed + peak.value().answer_errors > 0) {
+      std::fprintf(stderr, "peak loadgen K=%d: %lld failures\n", k,
+                   static_cast<long long>(peak.value().failed +
+                                          peak.value().answer_errors));
+      return 1;
+    }
+    config.peak_qps = peak.value().achieved_qps;
+
+    // Tail pass: Poisson arrivals at ~60% of the measured peak.
+    net::LoadGenOptions tail_options;
+    tail_options.target_qps = config.peak_qps * 0.6;
+    tail_options.total_requests = open_loop_requests;
+    tail_options.deadline_ms = 10000.0;
+    tail_options.seed = 22;
+    auto tail = net::RunLoadGen(port, queries, tail_options);
+    if (!tail.ok()) {
+      std::fprintf(stderr, "tail loadgen K=%d: %s\n", k,
+                   tail.status().ToString().c_str());
+      return 1;
+    }
+    config.open_loop = ReportToResult(tail.value(), tail_options.target_qps);
+    results.push_back(config);
+
+    std::fprintf(stderr,
+                 "K=%d: partition %.0f ms (%zu ghosts), peak %.0f q/s, "
+                 "open-loop @%.0f q/s p50 %.2f ms p99 %.2f ms\n",
+                 k, config.partition_ms, config.ghosts, config.peak_qps,
+                 config.open_loop.target_qps, config.open_loop.p50_ms,
+                 config.open_loop.p99_ms);
+  }
+
+  char stamp[32];
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  std::printf("{\n");
+  std::printf("  \"bench\": \"shard\",\n");
+  std::printf("  \"timestamp\": \"%s\",\n", stamp);
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"dataset\": {\"objects\": %zu, \"dim\": %d, "
+              "\"samples_per_object\": %d},\n",
+              db.size(), synth.dim, synth.samples_per_object);
+  std::printf("  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& c = results[i];
+    std::printf("    {\"shards\": %d, \"ghosts\": %zu, "
+                "\"partition_ms\": %.1f, \"peak_qps\": %.1f,\n"
+                "     \"open_loop\": {\"target_qps\": %.1f, "
+                "\"achieved_qps\": %.1f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f, \"p999_ms\": %.3f, \"failed\": %lld}}%s\n",
+                c.shards, c.ghosts, c.partition_ms, c.peak_qps,
+                c.open_loop.target_qps, c.open_loop.achieved_qps,
+                c.open_loop.p50_ms, c.open_loop.p99_ms, c.open_loop.p999_ms,
+                static_cast<long long>(c.open_loop.failed),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

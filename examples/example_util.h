@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Setup shared by the serving examples (snapshot_serving.cc modes, the
+// sharded-serving walkthrough): the deterministic demo dataset, domain
+// query sampling, and the engine-over-snapshot boilerplate. Every mode —
+// save, serve, partition, shard-serve, router — derives the SAME dataset
+// from the same seed, which is what lets a fresh process verify another
+// process's answers bit-for-bit without shipping the data.
+
+#ifndef PVDB_EXAMPLES_EXAMPLE_UTIL_H_
+#define PVDB_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/pvdb.h"
+
+namespace pvdb::examples {
+
+/// The demo dataset every serving mode shares: 3-d, 5000 objects, 100
+/// samples each, seed 1. Deterministic — any process can rebuild it.
+inline uncertain::Dataset MakeServingDataset() {
+  uncertain::SyntheticOptions options;
+  options.dim = 3;
+  options.count = 5000;
+  options.samples_per_object = 100;
+  options.seed = 1;
+  return uncertain::GenerateSynthetic(options);
+}
+
+/// `count` uniform query points over `domain`, deterministic in `seed`.
+inline std::vector<geom::Point> MakeDomainQueries(const geom::Rect& domain,
+                                                  int count,
+                                                  uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<geom::Point> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// Engine over a snapshot with the example defaults; prints the failure
+/// and returns nullptr on error (example-style error handling).
+inline std::unique_ptr<service::QueryEngine> MakeSnapshotEngine(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot, int threads = 4,
+    bool canonical_candidates = false) {
+  service::QueryEngineOptions options;
+  options.threads = threads;
+  options.canonical_candidates = canonical_candidates;
+  auto engine =
+      service::QueryEngine::CreateFromSnapshot(std::move(snapshot), options);
+  if (!engine.ok()) {
+    std::printf("engine failed: %s\n", engine.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(engine).value();
+}
+
+/// Runs the batch and fails loudly on any per-query error. Returns the
+/// answers (empty on failure, with `*ok` false).
+inline std::vector<service::PnnAnswer> ServeBatchOrFail(
+    service::QueryEngine* engine, const std::vector<geom::Point>& queries,
+    service::ServiceStats* stats, bool* ok) {
+  std::vector<service::PnnAnswer> answers =
+      engine->ExecuteBatch(queries, stats);
+  for (const auto& a : answers) {
+    if (!a.status.ok()) {
+      std::printf("query failed: %s\n", a.status.ToString().c_str());
+      *ok = false;
+      return {};
+    }
+  }
+  *ok = true;
+  return answers;
+}
+
+}  // namespace pvdb::examples
+
+#endif  // PVDB_EXAMPLES_EXAMPLE_UTIL_H_

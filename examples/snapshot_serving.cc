@@ -29,7 +29,26 @@
 //   --metrics_json PATH   periodic JSON-line metric reports (plus a final
 //                         one at shutdown)
 //   --trace_log PATH      sampled + slow-query trace JSON lines
+//
+// Sharded serving (src/shard/ + src/net/) splits the same walkthrough
+// across processes — every mode regenerates the SAME deterministic
+// dataset, so the probe can verify remote answers bit-for-bit:
+//
+//   $ ./snapshot_serving --partition DIR --shards 4        # build K shards
+//   $ ./snapshot_serving --shard_serve DIR --shard 0 --port 7601 &
+//   $ ./snapshot_serving --router_serve DIR --shard_ports 7601,7602,... \
+//                        --port 7600 &                     # scatter-gather
+//   $ ./snapshot_serving --verify_router DIR               # in-process
+//                # partition + router vs one engine, bit-identity check
+//   $ ./snapshot_serving --probe 7600                      # cross-process
+//                # bit-identity probe against the router's socket
+//   $ ./snapshot_serving --probe 7600 --expect_unavailable
+//                # degradation drill: a shard was SIGKILLed; every answer
+//                # must arrive (no hang), the poisoned ones as Unavailable
+//                # and the rest still bit-identical
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,14 +56,21 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "examples/example_util.h"
 #include "src/pvdb.h"
 
 namespace {
 
 using namespace pvdb;
+
+// Serving modes park here until the harness tears them down.
+std::atomic<bool> g_stop{false};
+void HandleTerm(int) { g_stop.store(true); }
 
 struct ObservabilityPaths {
   std::string metrics_prom;
@@ -66,19 +92,10 @@ std::function<void(const std::string&)> MakeLineSink(const std::string& path) {
   };
 }
 
-uncertain::Dataset MakeDatabase() {
-  uncertain::SyntheticOptions options;
-  options.dim = 3;
-  options.count = 5000;
-  options.samples_per_object = 100;
-  options.seed = 1;
-  return uncertain::GenerateSynthetic(options);
-}
-
 int SaveSnapshot(const std::string& path) {
   // Writer side: the mutable half of the lifecycle. The builder owns the
   // pager and the live PV-index; the dataset is only needed here.
-  const uncertain::Dataset db = MakeDatabase();
+  const uncertain::Dataset db = examples::MakeServingDataset();
   StopWatch build_watch;
   auto builder = pv::PvIndexBuilder::Build(db);
   if (!builder.ok()) {
@@ -157,26 +174,16 @@ int ServeSnapshot(const std::string& path, const ObservabilityPaths& obs) {
     reporter->Start();
   }
 
-  Rng rng(9);
-  std::vector<geom::Point> queries;
-  const geom::Rect& domain = snapshot.value()->domain();
-  for (int i = 0; i < 256; ++i) {
-    geom::Point q(domain.dim());
-    for (int d = 0; d < domain.dim(); ++d) {
-      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
-    }
-    queries.push_back(q);
-  }
+  const std::vector<geom::Point> queries =
+      examples::MakeDomainQueries(snapshot.value()->domain(), 256);
   service::ServiceStats stats;
-  const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+  bool batch_ok = false;
+  const auto answers =
+      examples::ServeBatchOrFail(engine.value().get(), queries, &stats,
+                                 &batch_ok);
+  if (!batch_ok) return 1;
   size_t answered = 0;
-  for (const auto& a : answers) {
-    if (!a.status.ok()) {
-      std::printf("query failed: %s\n", a.status.ToString().c_str());
-      return 1;
-    }
-    answered += a.results.size();
-  }
+  for (const auto& a : answers) answered += a.results.size();
   std::printf(
       "served %lld queries from the mapping: %.0f q/s, p50 %.3f ms, "
       "p99 %.3f ms, %zu answers\n",
@@ -358,24 +365,12 @@ int RunLive(const std::string& dir, int op_count, int kill_after) {
     std::printf("no engine was published\n");
     return 1;
   }
-  Rng rng(9);
-  const geom::Rect& domain = live.value()->db().domain();
-  std::vector<geom::Point> queries;
-  for (int i = 0; i < 64; ++i) {
-    geom::Point q(domain.dim());
-    for (int d = 0; d < domain.dim(); ++d) {
-      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
-    }
-    queries.push_back(q);
-  }
+  const std::vector<geom::Point> queries =
+      examples::MakeDomainQueries(live.value()->db().domain(), 64);
   service::ServiceStats stats;
-  const auto answers = engine->ExecuteBatch(queries, &stats);
-  for (const auto& a : answers) {
-    if (!a.status.ok()) {
-      std::printf("query failed: %s\n", a.status.ToString().c_str());
-      return 1;
-    }
-  }
+  bool batch_ok = false;
+  examples::ServeBatchOrFail(engine.get(), queries, &stats, &batch_ok);
+  if (!batch_ok) return 1;
   std::printf("served %lld queries off the live generation: %.0f q/s\n",
               static_cast<long long>(stats.queries), stats.throughput_qps);
   return 0;
@@ -461,37 +456,315 @@ int RunRecover(const std::string& dir, int expect_ops) {
                 compacted.ToString().c_str());
     return 1;
   }
-  service::QueryEngineOptions engine_options;
-  engine_options.threads = 2;
-  auto engine = service::QueryEngine::CreateFromSnapshot(
-      live.value()->CurrentSnapshot(), engine_options);
-  if (!engine.ok()) {
-    std::printf("engine failed: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
-  Rng rng(9);
-  const geom::Rect& domain = live.value()->db().domain();
-  std::vector<geom::Point> queries;
-  for (int i = 0; i < 64; ++i) {
-    geom::Point q(domain.dim());
-    for (int d = 0; d < domain.dim(); ++d) {
-      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
-    }
-    queries.push_back(q);
-  }
+  auto engine =
+      examples::MakeSnapshotEngine(live.value()->CurrentSnapshot(),
+                                   /*threads=*/2);
+  if (engine == nullptr) return 1;
+  const std::vector<geom::Point> queries =
+      examples::MakeDomainQueries(live.value()->db().domain(), 64);
   service::ServiceStats service_stats;
-  const auto answers = engine.value()->ExecuteBatch(queries, &service_stats);
-  for (const auto& a : answers) {
-    if (!a.status.ok()) {
-      std::printf("query failed: %s\n", a.status.ToString().c_str());
-      return 1;
-    }
-  }
+  bool batch_ok = false;
+  examples::ServeBatchOrFail(engine.get(), queries, &service_stats,
+                             &batch_ok);
+  if (!batch_ok) return 1;
   std::printf("served %lld queries off the recovered gen-%llu snapshot: "
               "%.0f q/s\n",
               static_cast<long long>(service_stats.queries),
               static_cast<unsigned long long>(live.value()->generation()),
               service_stats.throughput_qps);
+  return 0;
+}
+
+// --- sharded serving ----------------------------------------------------
+
+// The union-reference answers every sharded mode verifies against: one
+// canonical-order engine over the full dataset, sealed in memory.
+std::vector<service::PnnAnswer> ComputeReferenceAnswers(
+    const uncertain::Dataset& db, const std::vector<geom::Point>& queries) {
+  auto builder = pv::PvIndexBuilder::Build(db);
+  if (!builder.ok()) {
+    std::printf("reference build failed: %s\n",
+                builder.status().ToString().c_str());
+    return {};
+  }
+  auto snapshot = builder.value()->Seal();
+  if (!snapshot.ok()) {
+    std::printf("reference seal failed: %s\n",
+                snapshot.status().ToString().c_str());
+    return {};
+  }
+  auto engine = examples::MakeSnapshotEngine(snapshot.value(), /*threads=*/2,
+                                             /*canonical_candidates=*/true);
+  if (engine == nullptr) return {};
+  return engine->ExecuteBatch(queries);
+}
+
+// Bitwise probability comparison — the acceptance bar is bit-identity,
+// not epsilon closeness.
+bool AnswerBitIdentical(const service::PnnAnswer& got,
+                        const service::PnnAnswer& want) {
+  if (got.results.size() != want.results.size()) return false;
+  for (size_t i = 0; i < got.results.size(); ++i) {
+    if (got.results[i].id != want.results[i].id) return false;
+    if (std::memcmp(&got.results[i].probability,
+                    &want.results[i].probability, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int PartitionMode(const std::string& dir, int shards,
+                  const std::string& strategy) {
+  const uncertain::Dataset db = examples::MakeServingDataset();
+  shard::PartitionOptions options;
+  options.shard_count = shards;
+  options.strategy = strategy == "morton" ? shard::SplitStrategy::kMortonRange
+                                          : shard::SplitStrategy::kPlane;
+  StopWatch watch;
+  auto map = shard::BuildShardSnapshots(db, options, dir);
+  if (!map.ok()) {
+    std::printf("partition failed: %s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  size_t ghosts = 0;
+  for (const shard::ShardInfo& s : map.value().shards) {
+    ghosts += s.ghost_ids.size();
+  }
+  std::printf("partitioned %zu objects into %d %s shards in %.0f ms "
+              "(%zu ghost replicas); manifest %s/%s\n",
+              db.size(), shards, strategy.c_str(), watch.ElapsedMillis(),
+              ghosts, dir.c_str(), shard::kShardMapFileName);
+  return 0;
+}
+
+int ShardServeMode(const std::string& dir, int index, int port) {
+  auto set = shard::OpenShardDir(dir);
+  if (!set.ok()) {
+    std::printf("open shard dir failed: %s\n",
+                set.status().ToString().c_str());
+    return 1;
+  }
+  if (index < 0 || static_cast<size_t>(index) >= set.value().snapshots.size()) {
+    std::printf("shard index %d out of range (map has %zu shards)\n", index,
+                set.value().snapshots.size());
+    return 1;
+  }
+  net::TcpServerOptions options;
+  options.port = port;
+  auto server = shard::ShardServer::Start(set.value().snapshots[
+                                              static_cast<size_t>(index)],
+                                          options);
+  if (!server.ok()) {
+    std::printf("shard server failed: %s\n",
+                server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shard %d serving %llu objects on 127.0.0.1:%d "
+              "(GET /metrics for the engine registry)\n",
+              index,
+              static_cast<unsigned long long>(
+                  set.value().snapshots[static_cast<size_t>(index)]
+                      ->object_count()),
+              server.value()->port());
+  std::fflush(stdout);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.value()->Stop();
+  return 0;
+}
+
+int RouterServeMode(const std::string& dir, const std::string& ports_csv,
+                    int port, double deadline_ms, int retries) {
+  auto map = shard::LoadShardMap(dir);
+  if (!map.ok()) {
+    std::printf("load shard map failed: %s\n",
+                map.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> shard_ports;
+  std::string token;
+  for (size_t i = 0; i <= ports_csv.size(); ++i) {
+    if (i == ports_csv.size() || ports_csv[i] == ',') {
+      if (!token.empty()) shard_ports.push_back(std::atoi(token.c_str()));
+      token.clear();
+    } else {
+      token += ports_csv[i];
+    }
+  }
+  if (shard_ports.size() != map.value().shard_count()) {
+    std::printf("--shard_ports lists %zu ports but the map has %zu shards\n",
+                shard_ports.size(), map.value().shard_count());
+    return 1;
+  }
+  shard::RouterOptions router_options;
+  router_options.deadline_ms = deadline_ms;
+  router_options.max_retries = retries;
+  std::vector<std::shared_ptr<shard::ShardConnection>> connections;
+  for (int p : shard_ports) {
+    connections.push_back(std::make_shared<shard::RemoteShardConnection>(
+        p, router_options.deadline_ms));
+  }
+  auto router = shard::ShardRouter::Create(std::move(map).value(),
+                                           std::move(connections),
+                                           router_options);
+  if (!router.ok()) {
+    std::printf("router failed: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
+  net::TcpServerOptions server_options;
+  server_options.port = port;
+  auto server = shard::RouterServer::Start(std::move(router).value(),
+                                           server_options);
+  if (!server.ok()) {
+    std::printf("router server failed: %s\n",
+                server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("router serving %zu shards on 127.0.0.1:%d "
+              "(deadline %.0f ms, %d retries)\n",
+              shard_ports.size(), server.value()->port(), deadline_ms,
+              retries);
+  std::fflush(stdout);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.value()->Stop();
+  return 0;
+}
+
+int VerifyRouterMode(const std::string& dir, int shards,
+                     const std::string& strategy) {
+  // One process, both sides: partition into `dir`, open the shards through
+  // the real manifest + snapshot files, and compare the router's merged
+  // answers against the single-engine reference bit for bit.
+  const int build_rc = PartitionMode(dir, shards, strategy);
+  if (build_rc != 0) return build_rc;
+  const uncertain::Dataset db = examples::MakeServingDataset();
+  const std::vector<geom::Point> queries =
+      examples::MakeDomainQueries(db.domain(), 256);
+  const std::vector<service::PnnAnswer> reference =
+      ComputeReferenceAnswers(db, queries);
+  if (reference.empty()) return 1;
+
+  auto set = shard::OpenShardDir(dir);
+  if (!set.ok()) {
+    std::printf("open shard dir failed: %s\n",
+                set.status().ToString().c_str());
+    return 1;
+  }
+  auto router = shard::ShardRouter::Create(set.value().map,
+                                           set.value().connections, {});
+  if (!router.ok()) {
+    std::printf("router failed: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
+  shard::RouterStats stats;
+  const std::vector<service::PnnAnswer> got =
+      router.value()->ExecuteBatch(queries, &stats);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!got[i].status.ok()) {
+      std::printf("FAIL: query %zu: %s\n", i,
+                  got[i].status.ToString().c_str());
+      return 1;
+    }
+    if (!AnswerBitIdentical(got[i], reference[i])) {
+      std::printf("FAIL: query %zu differs from the single-engine answer\n",
+                  i);
+      return 1;
+    }
+  }
+  std::printf("verified: %zu router answers bit-identical to one engine "
+              "(%lld fanouts, %lld shards pruned, %lld ghosts dropped, "
+              "%lld records fetched)\n",
+              queries.size(), static_cast<long long>(stats.shard_fanouts),
+              static_cast<long long>(stats.shards_pruned),
+              static_cast<long long>(stats.ghosts_dropped),
+              static_cast<long long>(stats.records_fetched));
+  return 0;
+}
+
+int ProbeMode(int router_port, bool expect_unavailable) {
+  const uncertain::Dataset db = examples::MakeServingDataset();
+  const std::vector<geom::Point> queries =
+      examples::MakeDomainQueries(db.domain(), 256);
+  const std::vector<service::PnnAnswer> reference =
+      ComputeReferenceAnswers(db, queries);
+  if (reference.empty()) return 1;
+
+  // Wait for the router socket (the harness starts it concurrently).
+  std::unique_ptr<net::FrameClient> client;
+  for (int attempt = 0; attempt < 150; ++attempt) {
+    auto connected = net::FrameClient::Connect(router_port, 200.0);
+    if (connected.ok()) {
+      client = std::move(connected).value();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (client == nullptr) {
+    std::printf("router on port %d never became reachable\n", router_port);
+    return 1;
+  }
+
+  size_t matched = 0;
+  size_t unavailable = 0;
+  const size_t batch = 32;
+  for (size_t begin = 0; begin < queries.size(); begin += batch) {
+    const size_t n = std::min(batch, queries.size() - begin);
+    const std::span<const geom::Point> slice(queries.data() + begin, n);
+    auto response = client->Call(net::MessageType::kQueryBatch,
+                                 net::EncodeQueryBatchRequest(slice),
+                                 /*deadline_ms=*/10000.0);
+    if (!response.ok()) {
+      std::printf("probe batch at %zu failed: %s\n", begin,
+                  response.status().ToString().c_str());
+      return 1;
+    }
+    auto answers = net::DecodeQueryBatchResponse(response.value().second);
+    if (!answers.ok() || answers.value().size() != n) {
+      std::printf("probe batch at %zu: bad response\n", begin);
+      return 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const net::WireAnswer& a = answers.value()[i];
+      if (!a.status.ok()) {
+        if (a.status.code() != StatusCode::kUnavailable) {
+          std::printf("FAIL: query %zu failed with non-Unavailable status: "
+                      "%s\n",
+                      begin + i, a.status.ToString().c_str());
+          return 1;
+        }
+        unavailable++;
+        continue;
+      }
+      service::PnnAnswer got;
+      got.results = a.results;
+      if (!AnswerBitIdentical(got, reference[begin + i])) {
+        std::printf("FAIL: query %zu differs from the local reference\n",
+                    begin + i);
+        return 1;
+      }
+      matched++;
+    }
+  }
+  std::printf("probe: %zu/%zu answers bit-identical to the local engine, "
+              "%zu Unavailable\n",
+              matched, queries.size(), unavailable);
+  if (expect_unavailable) {
+    if (unavailable == 0) {
+      std::printf("FAIL: expected degraded answers after the shard kill, "
+                  "got none\n");
+      return 1;
+    }
+    std::printf("degradation verified: every answer arrived, the poisoned "
+                "ones as per-answer Unavailable\n");
+  } else if (unavailable != 0) {
+    std::printf("FAIL: %zu answers Unavailable with all shards up\n",
+                unavailable);
+    return 1;
+  }
   return 0;
 }
 
@@ -502,11 +775,55 @@ int main(int argc, char** argv) {
   std::string serve_path;
   std::string live_dir;
   std::string recover_dir;
+  std::string partition_dir;
+  std::string shard_serve_dir;
+  std::string router_serve_dir;
+  std::string verify_router_dir;
+  std::string shard_ports;
+  std::string strategy = "plane";
+  int shards = 4;
+  int shard_index = 0;
+  int port = 0;
+  int probe_port = 0;
+  bool expect_unavailable = false;
+  double deadline_ms = 1000.0;
+  int retries = 1;
   int op_count = 400;
   int kill_after = 0;
   int expect_ops = -1;
   ObservabilityPaths obs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect_unavailable") == 0) {
+      expect_unavailable = true;
+    }
+  }
   for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--partition") == 0) partition_dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--shard_serve") == 0) {
+      shard_serve_dir = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--router_serve") == 0) {
+      router_serve_dir = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--verify_router") == 0) {
+      verify_router_dir = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--shard_ports") == 0) shard_ports = argv[i + 1];
+    if (std::strcmp(argv[i], "--strategy") == 0) strategy = argv[i + 1];
+    if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--shard") == 0) {
+      shard_index = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--port") == 0) port = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--probe") == 0) {
+      probe_port = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--deadline_ms") == 0) {
+      deadline_ms = std::atof(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--retries") == 0) {
+      retries = std::atoi(argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--save") == 0) save_path = argv[i + 1];
     if (std::strcmp(argv[i], "--serve") == 0) serve_path = argv[i + 1];
     if (std::strcmp(argv[i], "--live") == 0) live_dir = argv[i + 1];
@@ -526,6 +843,22 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--trace_log") == 0) obs.trace_log = argv[i + 1];
   }
+  std::signal(SIGTERM, HandleTerm);
+  std::signal(SIGINT, HandleTerm);
+  if (!partition_dir.empty()) {
+    return PartitionMode(partition_dir, shards, strategy);
+  }
+  if (!shard_serve_dir.empty()) {
+    return ShardServeMode(shard_serve_dir, shard_index, port);
+  }
+  if (!router_serve_dir.empty()) {
+    return RouterServeMode(router_serve_dir, shard_ports, port, deadline_ms,
+                           retries);
+  }
+  if (!verify_router_dir.empty()) {
+    return VerifyRouterMode(verify_router_dir, shards, strategy);
+  }
+  if (probe_port != 0) return ProbeMode(probe_port, expect_unavailable);
   if (!live_dir.empty()) return RunLive(live_dir, op_count, kill_after);
   if (!recover_dir.empty()) {
     return RunRecover(recover_dir, expect_ops >= 0 ? expect_ops : op_count);

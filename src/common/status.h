@@ -29,6 +29,11 @@ enum class StatusCode : int {
   kCorruption = 7,
   kNotSupported = 8,
   kInternal = 9,
+  /// A dependency (a shard server, a network peer) could not be reached
+  /// within the caller's deadline/retry budget. Distinct from kIOError:
+  /// the operation is safe to retry and other answers in the same batch
+  /// may still be served.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +79,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,185 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/net/wire.h"
+
+namespace pvdb::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+Status Timeout(const char* what) {
+  return Status::Unavailable(std::string(what) +
+                             " timed out (deadline exceeded)");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FrameClient>> FrameClient::Connect(int port,
+                                                          double deadline_ms) {
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("client port must be in [1, 65535], got " +
+                                   std::to_string(port));
+  }
+  if (!(deadline_ms > 0.0)) {
+    return Status::InvalidArgument("client deadline_ms must be > 0");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const Status st = Status::Unavailable(
+          "connect to 127.0.0.1:" + std::to_string(port) + " failed: " +
+          std::strerror(errno));
+      close(fd);
+      return st;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    const int r = poll(&p, 1, static_cast<int>(deadline_ms));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (r <= 0 || err != 0) {
+      close(fd);
+      return Status::Unavailable(
+          "connect to 127.0.0.1:" + std::to_string(port) + " failed: " +
+          (r <= 0 ? "deadline exceeded" : std::strerror(err)));
+    }
+  }
+  auto client = std::unique_ptr<FrameClient>(new FrameClient());
+  client->fd_ = fd;
+  return client;
+}
+
+FrameClient::~FrameClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status FrameClient::WriteAll(std::span<const uint8_t> data,
+                             double deadline_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             deadline_ms));
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd_, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Status::Unavailable(std::string("request write failed: ") +
+                                 std::strerror(errno));
+    }
+    const double left = RemainingMs(deadline);
+    if (left <= 0.0) return Timeout("request write");
+    pollfd p{fd_, POLLOUT, 0};
+    if (poll(&p, 1, static_cast<int>(left) + 1) < 0) {
+      return Status::Unavailable(std::string("poll failed: ") +
+                                 std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status FrameClient::ReadExact(uint8_t* out, size_t n, double deadline_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             deadline_ms));
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = read(fd_, out + off, n - off);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return Status::Unavailable("connection closed by server mid-response");
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Status::Unavailable(std::string("response read failed: ") +
+                                 std::strerror(errno));
+    }
+    const double left = RemainingMs(deadline);
+    if (left <= 0.0) return Timeout("response read");
+    pollfd p{fd_, POLLIN, 0};
+    if (poll(&p, 1, static_cast<int>(left) + 1) < 0) {
+      return Status::Unavailable(std::string("poll failed: ") +
+                                 std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::pair<MessageType, std::vector<uint8_t>>> FrameClient::Call(
+    MessageType type, std::span<const uint8_t> payload, double deadline_ms) {
+  if (!(deadline_ms > 0.0)) {
+    return Status::InvalidArgument("call deadline_ms must be > 0");
+  }
+  if (broken_) {
+    return Status::Unavailable(
+        "connection desynced by an earlier timeout; reconnect");
+  }
+  Status st = WriteAll(EncodeFrame(type, payload), deadline_ms);
+  if (!st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  uint8_t header_bytes[kFrameHeaderBytes];
+  st = ReadExact(header_bytes, sizeof(header_bytes), deadline_ms);
+  if (!st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  auto header_or = DecodeFrameHeader(header_bytes);
+  if (!header_or.ok()) {
+    broken_ = true;
+    return header_or.status();
+  }
+  const FrameHeader header = header_or.value();
+  std::vector<uint8_t> body(header.payload_len);
+  st = ReadExact(body.data(), body.size(), deadline_ms);
+  if (!st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  PVDB_RETURN_NOT_OK(VerifyFramePayload(header, body));
+  if (header.type == MessageType::kError) {
+    return DecodeErrorResponse(body);
+  }
+  return std::make_pair(header.type, std::move(body));
+}
+
+}  // namespace pvdb::net

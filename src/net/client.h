@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Blocking framed-protocol client with hard deadlines. Every operation —
+// connect, request write, response read — polls with the remaining slice
+// of the caller's deadline, so a dead or wedged server yields
+// kUnavailable after deadline_ms, never a hang. A kError response frame
+// decodes back into the Status the server raised.
+
+#ifndef PVDB_NET_CLIENT_H_
+#define PVDB_NET_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/frame.h"
+
+namespace pvdb::net {
+
+class FrameClient {
+ public:
+  /// Connects to 127.0.0.1:<port> (loopback only — matching the server)
+  /// within `deadline_ms`. kUnavailable on refusal or timeout.
+  static Result<std::unique_ptr<FrameClient>> Connect(int port,
+                                                      double deadline_ms);
+
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  /// One request/response exchange within `deadline_ms`. Returns the
+  /// response (type, payload); a kError frame is decoded and returned as
+  /// its carried Status. Timeouts and connection loss are kUnavailable;
+  /// after either, the stream is desynced and every further Call fails.
+  Result<std::pair<MessageType, std::vector<uint8_t>>> Call(
+      MessageType type, std::span<const uint8_t> payload,
+      double deadline_ms);
+
+ private:
+  FrameClient() = default;
+
+  Status WriteAll(std::span<const uint8_t> data, double deadline_ms);
+  Status ReadExact(uint8_t* out, size_t n, double deadline_ms);
+
+  int fd_ = -1;
+  bool broken_ = false;
+};
+
+}  // namespace pvdb::net
+
+#endif  // PVDB_NET_CLIENT_H_

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/common/crc32c.h"
+
+namespace pvdb::net {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'V', 'D', 'F'};
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::span<const uint8_t> payload) {
+  PVDB_CHECK(payload.size() <= kMaxFramePayload);
+  std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
+  std::memcpy(out.data(), kMagic, 4);
+  out[4] = kFrameVersion;
+  out[5] = static_cast<uint8_t>(type);
+  out[6] = 0;
+  out[7] = 0;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  std::memcpy(out.data() + 8, &len, 4);
+  std::memcpy(out.data() + 12, &crc, 4);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> header) {
+  if (header.size() < kFrameHeaderBytes) {
+    return Status::Corruption("frame: truncated header (" +
+                              std::to_string(header.size()) + " of " +
+                              std::to_string(kFrameHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(header.data(), kMagic, 4) != 0) {
+    return Status::Corruption("frame: bad magic (not a pvdb frame)");
+  }
+  FrameHeader h;
+  h.version = header[4];
+  if (h.version != kFrameVersion) {
+    return Status::NotSupported(
+        "frame: protocol version " + std::to_string(h.version) +
+        " (this build speaks version " + std::to_string(kFrameVersion) + ")");
+  }
+  uint16_t flags;
+  std::memcpy(&flags, header.data() + 6, 2);
+  if (flags != 0) {
+    return Status::Corruption("frame: nonzero flags " +
+                              std::to_string(flags) +
+                              " (reserved in version 1)");
+  }
+  h.type = static_cast<MessageType>(header[5]);
+  std::memcpy(&h.payload_len, header.data() + 8, 4);
+  std::memcpy(&h.payload_crc, header.data() + 12, 4);
+  if (h.payload_len > kMaxFramePayload) {
+    return Status::Corruption("frame: payload length " +
+                              std::to_string(h.payload_len) +
+                              " exceeds the " +
+                              std::to_string(kMaxFramePayload) +
+                              "-byte frame bound");
+  }
+  return h;
+}
+
+Status VerifyFramePayload(const FrameHeader& header,
+                          std::span<const uint8_t> payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::Corruption("frame: payload is " +
+                              std::to_string(payload.size()) +
+                              " bytes, header promised " +
+                              std::to_string(header.payload_len));
+  }
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  if (crc != header.payload_crc) {
+    return Status::Corruption("frame: payload CRC-32C mismatch (stored " +
+                              std::to_string(header.payload_crc) +
+                              ", computed " + std::to_string(crc) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace pvdb::net

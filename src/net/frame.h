@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The wire frame: every pvdb RPC travels as one length-prefixed binary
+// frame with a versioned 16-byte header and a CRC-32C over the payload.
+//
+//   offset  size  field
+//   0       4     magic "PVDF"
+//   4       1     protocol version (kFrameVersion)
+//   5       1     message type (net::MessageType)
+//   6       2     flags (must be zero in this version)
+//   8       4     payload length in bytes (little-endian)
+//   12      4     CRC-32C of the payload bytes
+//   16      —     payload
+//
+// The first magic byte 'P' differs from HTTP's "GET " / "POST", which is
+// how the server tells a binary peer from a browser asking /metrics on
+// the same port. Torn, truncated, oversized and bit-flipped frames all
+// decode to a descriptive Corruption status — never a crash, never a
+// silently wrong payload.
+
+#ifndef PVDB_NET_FRAME_H_
+#define PVDB_NET_FRAME_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pvdb::net {
+
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on one frame's payload: a batch of a million 8-dim queries
+/// fits; anything bigger is a corrupt length field or an abusive peer.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Message types carried in the header's type byte.
+enum class MessageType : uint8_t {
+  /// Request: empty. Response: InfoResponse (wire.h).
+  kInfo = 1,
+  /// Request: QueryBatchRequest. Response: QueryBatchResponse — full PNN
+  /// answers evaluated by the serving side.
+  kQueryBatch = 2,
+  /// Request: QueryBatchRequest. Response: Step1BatchResponse — Step-1
+  /// candidates + distances only (the router's scatter leg).
+  kStep1Batch = 3,
+  /// Request: FetchRecordsRequest. Response: FetchRecordsResponse.
+  kFetchRecords = 4,
+  /// Response-only: ErrorResponse payload carrying a Status.
+  kError = 255,
+};
+
+struct FrameHeader {
+  uint8_t version = kFrameVersion;
+  MessageType type = MessageType::kError;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// One encoded frame: header + payload, ready to write to a socket.
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::span<const uint8_t> payload);
+
+/// Parses and validates the 16 header bytes (magic, version, flags, length
+/// bound). The payload CRC is NOT checked here — the caller reads
+/// `payload_len` more bytes and calls VerifyFramePayload.
+Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> header);
+
+/// Checks `payload` against the header's CRC-32C.
+Status VerifyFramePayload(const FrameHeader& header,
+                          std::span<const uint8_t> payload);
+
+}  // namespace pvdb::net
+
+#endif  // PVDB_NET_FRAME_H_

@@ -1,0 +1,154 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/net/loadgen.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "src/common/random.h"
+#include "src/net/client.h"
+#include "src/net/wire.h"
+
+namespace pvdb::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The full arrival offset schedule (seconds from run start), drawn before
+/// the run so server behavior cannot perturb the offered load.
+std::vector<double> DrawSchedule(const LoadGenOptions& options, Rng* rng) {
+  std::vector<double> offsets(static_cast<size_t>(options.total_requests));
+  const double mean_gap = 1.0 / options.target_qps;
+  double t = 0.0;
+  for (double& offset : offsets) {
+    double gap = 0.0;
+    if (options.heavy_tailed) {
+      // Pareto with shape a, scaled so the mean a*m/(a-1) equals mean_gap.
+      const double a = options.pareto_alpha;
+      const double scale = mean_gap * (a - 1.0) / a;
+      const double u = 1.0 - rng->NextDouble();  // (0, 1]
+      gap = scale / std::pow(u, 1.0 / a);
+    } else {
+      // Exponential: -mean * ln(U), U in (0, 1].
+      gap = -mean_gap * std::log(1.0 - rng->NextDouble());
+    }
+    t += gap;
+    offset = t;
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Status ValidateLoadGenOptions(const LoadGenOptions& options) {
+  if (!(options.target_qps > 0.0)) {
+    return Status::InvalidArgument("loadgen target_qps must be > 0, got " +
+                                   std::to_string(options.target_qps));
+  }
+  if (options.total_requests < 1) {
+    return Status::InvalidArgument(
+        "loadgen total_requests must be >= 1, got " +
+        std::to_string(options.total_requests));
+  }
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("loadgen batch_size must be >= 1, got " +
+                                   std::to_string(options.batch_size));
+  }
+  if (options.heavy_tailed && !(options.pareto_alpha > 1.0)) {
+    return Status::InvalidArgument(
+        "loadgen pareto_alpha must be > 1 (finite mean), got " +
+        std::to_string(options.pareto_alpha));
+  }
+  if (!(options.deadline_ms > 0.0)) {
+    return Status::InvalidArgument("loadgen deadline_ms must be > 0, got " +
+                                   std::to_string(options.deadline_ms));
+  }
+  return Status::OK();
+}
+
+Result<LoadGenReport> RunLoadGen(int port,
+                                 const std::vector<geom::Point>& queries,
+                                 const LoadGenOptions& options) {
+  PVDB_RETURN_NOT_OK(ValidateLoadGenOptions(options));
+  if (queries.empty()) {
+    return Status::InvalidArgument("loadgen needs a non-empty query pool");
+  }
+  Rng rng(options.seed);
+  const std::vector<double> schedule = DrawSchedule(options, &rng);
+
+  // Pre-encode every request frame payload: the send loop must not spend
+  // scheduled time on serialization.
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(schedule.size());
+  std::vector<geom::Point> batch;
+  size_t next_query = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    batch.clear();
+    for (int j = 0; j < options.batch_size; ++j) {
+      batch.push_back(queries[next_query]);
+      next_query = (next_query + 1) % queries.size();
+    }
+    payloads.push_back(EncodeQueryBatchRequest(batch));
+  }
+
+  PVDB_ASSIGN_OR_RETURN(std::unique_ptr<FrameClient> client,
+                        FrameClient::Connect(port, options.deadline_ms));
+
+  LoadGenReport report;
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Clock::time_point scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(schedule[i]));
+    // Open loop: wait out an early slot, never stretch a late one.
+    std::this_thread::sleep_until(scheduled);
+
+    report.sent++;
+    if (client == nullptr) {
+      auto reconnect = FrameClient::Connect(port, options.deadline_ms);
+      if (!reconnect.ok()) {
+        report.failed++;
+        continue;
+      }
+      client = std::move(reconnect).value();
+    }
+    auto response =
+        client->Call(MessageType::kQueryBatch, payloads[i],
+                     options.deadline_ms);
+    const Clock::time_point done = Clock::now();
+    // Latency from the SCHEDULED arrival, not the actual send: queueing
+    // delay behind a slow previous response is the server's fault and must
+    // show up in the tail.
+    const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           done - scheduled)
+                           .count();
+    if (!response.ok()) {
+      report.failed++;
+      report.latency_us.Record(us);
+      client.reset();  // desynced; reconnect on the next slot
+      continue;
+    }
+    auto answers_or = DecodeQueryBatchResponse(response.value().second);
+    if (!answers_or.ok()) {
+      report.failed++;
+      report.latency_us.Record(us);
+      continue;
+    }
+    report.ok++;
+    report.latency_us.Record(us);
+    for (const WireAnswer& a : answers_or.value()) {
+      if (!a.status.ok()) report.answer_errors++;
+    }
+  }
+  report.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.achieved_qps =
+      report.wall_s > 0.0 ? static_cast<double>(report.sent) / report.wall_s
+                          : 0.0;
+  return report;
+}
+
+}  // namespace pvdb::net

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Open-loop load generator for the framed query protocol. Arrivals follow
+// a precomputed schedule (Poisson by default, optionally heavy-tailed
+// Pareto inter-arrivals) fixed BEFORE the run starts, and every request's
+// latency is measured from its SCHEDULED send time — so a stalled server
+// inflates the tail instead of silently slowing the request rate
+// (coordinated omission, the classic closed-loop benchmark lie).
+//
+// The generator drives one connection synchronously: a request whose
+// scheduled slot arrives while the previous one is still in flight is sent
+// late, and the queueing delay it suffered is charged to its latency.
+// Microsecond latencies land in a PR-6 HistogramData for p50/p99/p999
+// extraction; per-answer failures are counted, not retried (an open-loop
+// client does not resubmit — the next arrival is already scheduled).
+
+#ifndef PVDB_NET_LOADGEN_H_
+#define PVDB_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/geom/point.h"
+
+namespace pvdb::net {
+
+struct LoadGenOptions {
+  /// Target offered load in requests/second. Must be > 0.
+  double target_qps = 100.0;
+  /// Number of requests to schedule. Must be >= 1.
+  int total_requests = 1000;
+  /// Queries per request frame. Must be >= 1.
+  int batch_size = 1;
+  /// false: exponential inter-arrivals (Poisson process). true: Pareto
+  /// inter-arrivals with shape `pareto_alpha` and the same mean — bursty
+  /// heavy-tailed arrivals that stress queueing at the same offered load.
+  bool heavy_tailed = false;
+  /// Pareto shape; must be > 1 (finite mean). 1.5 is a hard burst profile.
+  double pareto_alpha = 1.5;
+  /// Per-request deadline handed to the frame client. Must be > 0.
+  double deadline_ms = 1000.0;
+  /// Seed for the arrival schedule and query sampling.
+  uint64_t seed = 42;
+};
+
+/// InvalidArgument naming the offending field, or OK.
+Status ValidateLoadGenOptions(const LoadGenOptions& options);
+
+struct LoadGenReport {
+  /// Requests sent / answered OK / failed (transport or per-answer error).
+  int64_t sent = 0;
+  int64_t ok = 0;
+  int64_t failed = 0;
+  /// Individual query answers with non-OK status inside OK responses.
+  int64_t answer_errors = 0;
+  /// Wall-clock of the whole run, first scheduled arrival to last response.
+  double wall_s = 0.0;
+  /// Achieved request rate (sent / wall_s).
+  double achieved_qps = 0.0;
+  /// Per-request latency in MICROSECONDS from scheduled arrival to
+  /// response decode (includes any open-loop queueing delay).
+  HistogramData latency_us;
+};
+
+/// Runs the open-loop schedule against the query endpoint at
+/// 127.0.0.1:<port>, sampling query points uniformly from `queries`
+/// (cycled in schedule order). Transport loss mid-run reconnects and keeps
+/// going — dropped requests count as failed, the schedule never pauses.
+Result<LoadGenReport> RunLoadGen(int port,
+                                 const std::vector<geom::Point>& queries,
+                                 const LoadGenOptions& options);
+
+}  // namespace pvdb::net
+
+#endif  // PVDB_NET_LOADGEN_H_

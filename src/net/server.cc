@@ -1,0 +1,259 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/net/wire.h"
+
+namespace pvdb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Status ValidateTcpServerOptions(const TcpServerOptions& options) {
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("server port must be in [0, 65535], got " +
+                                   std::to_string(options.port));
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument(
+        "server max_connections must be >= 1, got " +
+        std::to_string(options.max_connections));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    const TcpServerOptions& options, FrameHandler handler,
+    MetricsProvider metrics) {
+  PVDB_RETURN_NOT_OK(ValidateTcpServerOptions(options));
+  if (handler == nullptr) {
+    return Status::InvalidArgument("server needs a frame handler");
+  }
+  auto server = std::unique_ptr<TcpServer>(new TcpServer());
+  server->handler_ = std::move(handler);
+  server->metrics_ = std::move(metrics);
+  server->max_connections_ = options.max_connections;
+
+  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) return Errno("socket failed");
+  const int one = 1;
+  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Errno("bind to 127.0.0.1:" + std::to_string(options.port) +
+                 " failed");
+  }
+  if (listen(server->listen_fd_, 64) != 0) return Errno("listen failed");
+  socklen_t len = sizeof(addr);
+  if (getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &len) != 0) {
+    return Errno("getsockname failed");
+  }
+  server->port_ = ntohs(addr.sin_port);
+  SetNonBlocking(server->listen_fd_);
+  if (pipe(server->wake_fds_) != 0) return Errno("pipe failed");
+  SetNonBlocking(server->wake_fds_[0]);
+  server->thread_ = std::thread([s = server.get()] { s->Loop(); });
+  return server;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  const uint8_t b = 1;
+  // Best-effort wake; the loop also times out of poll on its own.
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  for (Connection& c : conns_) close(c.fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+void TcpServer::Loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Connection& c : conns_) fds.push_back({c.fd, POLLIN, 0});
+    const int ready = poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (conns_.size() >= static_cast<size_t>(max_connections_)) {
+          close(fd);
+          continue;
+        }
+        SetNonBlocking(fd);
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns_.push_back({fd, {}});
+      }
+    }
+    // Walk backwards so closing connection i cannot shift unvisited slots.
+    for (size_t i = conns_.size(); i-- > 0;) {
+      // fds: [listen, wake, conns...]; the conns_ vector may have grown
+      // after the poll, so only slots that were polled are checked.
+      const size_t slot = 2 + i;
+      if (slot >= fds.size()) continue;
+      if (fds[slot].revents & (POLLIN | POLLERR | POLLHUP)) {
+        if (!ServeConnection(i)) {
+          close(conns_[i].fd);
+          conns_.erase(conns_.begin() + static_cast<long>(i));
+        }
+      }
+    }
+  }
+}
+
+bool TcpServer::ServeConnection(size_t index) {
+  Connection& c = conns_[index];
+  uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = read(c.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      c.buf.insert(c.buf.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  // Serve every complete request currently buffered.
+  for (;;) {
+    if (conns_[index].buf.size() < 4) return true;
+    const uint8_t* head = conns_[index].buf.data();
+    if (std::memcmp(head, "PVDF", 4) == 0) {
+      const size_t before = conns_[index].buf.size();
+      if (!HandleFrame(index)) return false;
+      if (conns_[index].buf.size() == before) return true;  // incomplete
+    } else if (std::memcmp(head, "GET ", 4) == 0) {
+      return HandleHttp(index);
+    } else {
+      const auto err = EncodeErrorResponse(Status::InvalidArgument(
+          "unrecognized protocol preamble (expected a pvdb frame or HTTP "
+          "GET)"));
+      WriteAll(conns_[index].fd, EncodeFrame(MessageType::kError, err));
+      return false;
+    }
+  }
+}
+
+bool TcpServer::HandleFrame(size_t index) {
+  Connection& c = conns_[index];
+  if (c.buf.size() < kFrameHeaderBytes) return true;
+  auto header_or = DecodeFrameHeader(
+      std::span<const uint8_t>(c.buf.data(), kFrameHeaderBytes));
+  if (!header_or.ok()) {
+    // A malformed header leaves no way to resync the stream: report and
+    // drop the connection.
+    const auto err = EncodeErrorResponse(header_or.status());
+    WriteAll(c.fd, EncodeFrame(MessageType::kError, err));
+    return false;
+  }
+  const FrameHeader header = header_or.value();
+  if (c.buf.size() < kFrameHeaderBytes + header.payload_len) return true;
+  const std::span<const uint8_t> payload(c.buf.data() + kFrameHeaderBytes,
+                                         header.payload_len);
+  std::vector<uint8_t> response;
+  const Status crc = VerifyFramePayload(header, payload);
+  if (!crc.ok()) {
+    response = EncodeFrame(MessageType::kError, EncodeErrorResponse(crc));
+  } else {
+    auto result = handler_(header.type, payload);
+    if (result.ok()) {
+      response = EncodeFrame(result.value().first, result.value().second);
+    } else {
+      response = EncodeFrame(MessageType::kError,
+                             EncodeErrorResponse(result.status()));
+    }
+  }
+  c.buf.erase(c.buf.begin(),
+              c.buf.begin() +
+                  static_cast<long>(kFrameHeaderBytes + header.payload_len));
+  // A bad CRC is a transport fault (bit flip, desynced peer): answer, then
+  // close — the stream cannot be trusted for framing anymore.
+  if (!WriteAll(c.fd, response)) return false;
+  return crc.ok();
+}
+
+bool TcpServer::HandleHttp(size_t index) {
+  Connection& c = conns_[index];
+  const std::string req(reinterpret_cast<const char*>(c.buf.data()),
+                        c.buf.size());
+  if (req.find("\r\n\r\n") == std::string::npos) {
+    return req.size() <= 8192;  // keep reading, bounded
+  }
+  std::string body, status_line = "HTTP/1.1 404 Not Found";
+  const bool is_metrics = req.rfind("GET /metrics", 0) == 0;
+  if (is_metrics && metrics_ != nullptr) {
+    body = metrics_();
+    status_line = "HTTP/1.1 200 OK";
+  } else {
+    body = "not found\n";
+  }
+  std::string resp = status_line +
+                     "\r\nContent-Type: text/plain; version=0.0.4" +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  WriteAll(c.fd, std::span<const uint8_t>(
+                     reinterpret_cast<const uint8_t*>(resp.data()),
+                     resp.size()));
+  return false;  // HTTP: one response per connection
+}
+
+bool TcpServer::WriteAll(int fd, std::span<const uint8_t> data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (poll(&p, 1, /*timeout_ms=*/1000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pvdb::net

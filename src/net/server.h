@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// A small poll()-based TCP front end for the framed protocol (frame.h).
+// One background thread multiplexes a loopback listener and its accepted
+// connections; requests are dispatched inline to a caller-supplied handler
+// (the serving work — Step-1 pruning, Step-2 evaluation — is cheap enough
+// per frame that a handler thread pool would only add latency at the
+// scales this PR measures; the QueryEngine behind the handler has its own
+// pool for intra-batch parallelism).
+//
+// The same port speaks two protocols, told apart by the first four bytes:
+//   "PVDF"  — a binary frame peer (query / step1 / records RPCs);
+//   "GET "  — an HTTP browser or scraper. Only `GET /metrics` is served
+//             (the registry's Prometheus text export); everything else is
+//             404. HTTP connections close after one response.
+// A peer whose first bytes are neither gets a kError frame and the boot.
+//
+// Handler errors never kill the server or the connection silently: every
+// failure travels back as a kError frame carrying the Status, so the
+// client can map it to a per-call Status (client.h).
+
+#ifndef PVDB_NET_SERVER_H_
+#define PVDB_NET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/frame.h"
+
+namespace pvdb::net {
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// with port()). Must be in [0, 65535].
+  int port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 64;
+};
+
+/// InvalidArgument naming the offending field, or OK.
+Status ValidateTcpServerOptions(const TcpServerOptions& options);
+
+/// Request dispatch: (type, payload) in, (response type, response payload)
+/// out. Returning a non-OK status sends a kError frame instead.
+using FrameHandler =
+    std::function<Result<std::pair<MessageType, std::vector<uint8_t>>>(
+        MessageType, std::span<const uint8_t>)>;
+
+/// Body of `GET /metrics` (Prometheus text format). Empty function = 404.
+using MetricsProvider = std::function<std::string()>;
+
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:<port>, starts the poll loop thread.
+  static Result<std::unique_ptr<TcpServer>> Start(
+      const TcpServerOptions& options, FrameHandler handler,
+      MetricsProvider metrics = nullptr);
+
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (the ephemeral pick when options.port was 0).
+  int port() const { return port_; }
+
+  /// Stops accepting, closes every connection, joins the thread.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  TcpServer() = default;
+
+  void Loop();
+  /// Drains one connection's readable bytes and serves any complete
+  /// requests. Returns false when the connection must close.
+  bool ServeConnection(size_t index);
+  bool HandleFrame(size_t index);
+  bool HandleHttp(size_t index);
+  /// Writes all of `data` to fd (poll-on-writable); false on peer loss.
+  bool WriteAll(int fd, std::span<const uint8_t> data);
+
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> buf;
+  };
+
+  FrameHandler handler_;
+  MetricsProvider metrics_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+  int port_ = 0;
+  int max_connections_ = 0;
+  std::vector<Connection> conns_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace pvdb::net
+
+#endif  // PVDB_NET_SERVER_H_

@@ -1,0 +1,358 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/net/wire.h"
+
+#include <cstring>
+
+namespace pvdb::net {
+
+namespace {
+
+/// Batch-size sanity bounds: counts above these are corrupt length fields
+/// (the 64 MiB frame bound could never carry them anyway).
+constexpr uint32_t kMaxBatch = 1u << 20;
+constexpr uint32_t kMaxCandidates = 16u << 20;
+constexpr uint32_t kMaxStatusMsg = 64u << 10;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendF64(std::vector<uint8_t>* out, double v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendStatus(std::vector<uint8_t>* out, const Status& st) {
+  AppendU32(out, static_cast<uint32_t>(st.code()));
+  AppendU32(out, static_cast<uint32_t>(st.message().size()));
+  out->insert(out->end(), st.message().begin(), st.message().end());
+}
+
+/// Bounds-checked little-endian payload reader (Corruption on truncation).
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* v) { return ReadRaw(v); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v); }
+  Status ReadF64(double* v) { return ReadRaw(v); }
+
+  Status ReadString(size_t n, std::string* out) {
+    if (remaining() < n) return Truncated();
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadSpan(size_t n, std::span<const uint8_t>* out) {
+    if (remaining() < n) return Truncated();
+    *out = data_.subspan(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadStatus(Status* out) {
+    uint32_t code = 0, len = 0;
+    PVDB_RETURN_NOT_OK(ReadU32(&code));
+    PVDB_RETURN_NOT_OK(ReadU32(&len));
+    if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+      return Status::Corruption("wire: unknown status code " +
+                                std::to_string(code));
+    }
+    if (len > kMaxStatusMsg) {
+      return Status::Corruption("wire: status message length " +
+                                std::to_string(len) + " implausible");
+    }
+    std::string msg;
+    PVDB_RETURN_NOT_OK(ReadString(len, &msg));
+    *out = Status(static_cast<StatusCode>(code), std::move(msg));
+    return Status::OK();
+  }
+
+  Status Done() const {
+    if (remaining() != 0) {
+      return Status::Corruption("wire: " + std::to_string(remaining()) +
+                                " trailing bytes after message");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Status ReadRaw(T* v) {
+    if (remaining() < sizeof(T)) return Truncated();
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status Truncated() const {
+    return Status::Corruption("wire: message truncated at offset " +
+                              std::to_string(pos_) + " of " +
+                              std::to_string(data_.size()));
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryBatchRequest(
+    std::span<const geom::Point> queries) {
+  std::vector<uint8_t> out;
+  const int dim = queries.empty() ? 1 : queries[0].dim();
+  AppendU32(&out, static_cast<uint32_t>(dim));
+  AppendU32(&out, static_cast<uint32_t>(queries.size()));
+  for (const geom::Point& q : queries) {
+    PVDB_CHECK(q.dim() == dim);
+    for (int i = 0; i < dim; ++i) AppendF64(&out, q[i]);
+  }
+  return out;
+}
+
+Result<std::vector<geom::Point>> DecodeQueryBatchRequest(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t dim = 0, count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&dim));
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("wire: query dim " + std::to_string(dim) +
+                              " out of range [1, " +
+                              std::to_string(geom::kMaxDim) + "]");
+  }
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: query batch count " +
+                              std::to_string(count) + " exceeds " +
+                              std::to_string(kMaxBatch));
+  }
+  std::vector<geom::Point> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    geom::Point p(static_cast<int>(dim));
+    for (uint32_t d = 0; d < dim; ++d) {
+      PVDB_RETURN_NOT_OK(r.ReadF64(&p[static_cast<int>(d)]));
+    }
+    out.push_back(std::move(p));
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeQueryBatchResponse(
+    std::span<const WireAnswer> answers) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(answers.size()));
+  for (const WireAnswer& a : answers) {
+    AppendStatus(&out, a.status);
+    AppendU32(&out, static_cast<uint32_t>(a.results.size()));
+    for (const pv::PnnResult& r : a.results) {
+      AppendU64(&out, r.id);
+      AppendF64(&out, r.probability);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<WireAnswer>> DecodeQueryBatchResponse(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: answer count " + std::to_string(count) +
+                              " exceeds " + std::to_string(kMaxBatch));
+  }
+  std::vector<WireAnswer> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PVDB_RETURN_NOT_OK(r.ReadStatus(&out[i].status));
+    uint32_t n = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&n));
+    if (static_cast<size_t>(n) * 16 > r.remaining()) {
+      return Status::Corruption(
+          "wire: answer " + std::to_string(i) + " claims " +
+          std::to_string(n) + " results beyond the payload");
+    }
+    out[i].results.resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      PVDB_RETURN_NOT_OK(r.ReadU64(&out[i].results[j].id));
+      PVDB_RETURN_NOT_OK(r.ReadF64(&out[i].results[j].probability));
+    }
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeStep1BatchResponse(
+    std::span<const shard::ShardStep1Answer> answers) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(answers.size()));
+  for (const shard::ShardStep1Answer& a : answers) {
+    AppendStatus(&out, a.status);
+    AppendU32(&out, static_cast<uint32_t>(a.candidates.size()));
+    for (const shard::ShardCandidate& c : a.candidates) {
+      AppendU64(&out, c.id);
+      AppendF64(&out, c.min_dist_sq);
+      AppendF64(&out, c.max_dist_sq);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<shard::ShardStep1Answer>> DecodeStep1BatchResponse(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: step1 answer count " +
+                              std::to_string(count) + " exceeds " +
+                              std::to_string(kMaxBatch));
+  }
+  std::vector<shard::ShardStep1Answer> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PVDB_RETURN_NOT_OK(r.ReadStatus(&out[i].status));
+    uint32_t n = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&n));
+    if (n > kMaxCandidates ||
+        static_cast<size_t>(n) * 24 > r.remaining()) {
+      return Status::Corruption(
+          "wire: step1 answer " + std::to_string(i) + " claims " +
+          std::to_string(n) + " candidates beyond the payload");
+    }
+    out[i].candidates.resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      shard::ShardCandidate& c = out[i].candidates[j];
+      PVDB_RETURN_NOT_OK(r.ReadU64(&c.id));
+      PVDB_RETURN_NOT_OK(r.ReadF64(&c.min_dist_sq));
+      PVDB_RETURN_NOT_OK(r.ReadF64(&c.max_dist_sq));
+    }
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeFetchRecordsRequest(
+    std::span<const uncertain::ObjectId> ids) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(ids.size()));
+  for (uncertain::ObjectId id : ids) AppendU64(&out, id);
+  return out;
+}
+
+Result<std::vector<uncertain::ObjectId>> DecodeFetchRecordsRequest(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (static_cast<size_t>(count) * 8 > r.remaining()) {
+    return Status::Corruption("wire: record request claims " +
+                              std::to_string(count) +
+                              " ids beyond the payload");
+  }
+  std::vector<uncertain::ObjectId> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PVDB_RETURN_NOT_OK(r.ReadU64(&out[i]));
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeFetchRecordsResponse(
+    std::span<const uncertain::UncertainObject> records) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(records.size()));
+  std::vector<uint8_t> body;
+  for (const uncertain::UncertainObject& o : records) {
+    body.clear();
+    o.AppendTo(&body);
+    AppendU32(&out, static_cast<uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+  }
+  return out;
+}
+
+Result<std::vector<uncertain::UncertainObject>> DecodeFetchRecordsResponse(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: record count " + std::to_string(count) +
+                              " exceeds " + std::to_string(kMaxBatch));
+  }
+  std::vector<uncertain::UncertainObject> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&len));
+    std::span<const uint8_t> body;
+    PVDB_RETURN_NOT_OK(r.ReadSpan(len, &body));
+    size_t offset = 0;
+    PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject o,
+                          uncertain::UncertainObject::ParseFrom(body,
+                                                                &offset));
+    if (offset != body.size()) {
+      return Status::Corruption("wire: record " + std::to_string(i) +
+                                " has " +
+                                std::to_string(body.size() - offset) +
+                                " trailing bytes");
+    }
+    out.push_back(std::move(o));
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeInfoResponse(const WireInfo& info) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(info.dim));
+  AppendU64(&out, info.object_count);
+  return out;
+}
+
+Result<WireInfo> DecodeInfoResponse(std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t dim = 0;
+  WireInfo info;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&dim));
+  PVDB_RETURN_NOT_OK(r.ReadU64(&info.object_count));
+  PVDB_RETURN_NOT_OK(r.Done());
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("wire: info dim " + std::to_string(dim) +
+                              " out of range");
+  }
+  info.dim = static_cast<int>(dim);
+  return info;
+}
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  std::vector<uint8_t> out;
+  AppendStatus(&out, status);
+  return out;
+}
+
+Status DecodeErrorResponse(std::span<const uint8_t> payload) {
+  Reader r(payload);
+  Status carried;
+  Status decode = r.ReadStatus(&carried);
+  if (!decode.ok()) return decode;
+  decode = r.Done();
+  if (!decode.ok()) return decode;
+  if (carried.ok()) {
+    return Status::Corruption("wire: error frame carrying an OK status");
+  }
+  return carried;
+}
+
+}  // namespace pvdb::net

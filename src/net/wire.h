@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Message payload codecs for the framed protocol (frame.h). Each message
+// is a little-endian packed payload carried inside one frame; every
+// decoder is bounds-checked and returns descriptive Corruption on any
+// malformed input (truncation, count/length fields walking past the
+// buffer, out-of-range dimensionality), never a crash.
+//
+// Status values cross the wire as (code u32, message) pairs and come back
+// as the same Status — which is how a shard-side error (or a router-side
+// kUnavailable) reaches the client as a per-answer status instead of a
+// dropped connection.
+
+#ifndef PVDB_NET_WIRE_H_
+#define PVDB_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/point.h"
+#include "src/pv/pnnq.h"
+#include "src/shard/router.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::net {
+
+/// kQueryBatch / kStep1Batch request: a batch of query points.
+///   dim u32 | count u32 | count × dim f64
+std::vector<uint8_t> EncodeQueryBatchRequest(
+    std::span<const geom::Point> queries);
+Result<std::vector<geom::Point>> DecodeQueryBatchRequest(
+    std::span<const uint8_t> payload);
+
+/// One full PNN answer on the wire (status + results; transport-side
+/// latency is measured by the client, not shipped).
+struct WireAnswer {
+  Status status = Status::OK();
+  std::vector<pv::PnnResult> results;
+};
+
+/// kQueryBatch response:
+///   count u32 | per answer: status u32 | msg len u32 | msg |
+///   result count u32 | results × (id u64, probability f64)
+std::vector<uint8_t> EncodeQueryBatchResponse(
+    std::span<const WireAnswer> answers);
+Result<std::vector<WireAnswer>> DecodeQueryBatchResponse(
+    std::span<const uint8_t> payload);
+
+/// kStep1Batch response:
+///   count u32 | per answer: status u32 | msg len u32 | msg |
+///   candidate count u32 | candidates × (id u64, min f64, max f64)
+std::vector<uint8_t> EncodeStep1BatchResponse(
+    std::span<const shard::ShardStep1Answer> answers);
+Result<std::vector<shard::ShardStep1Answer>> DecodeStep1BatchResponse(
+    std::span<const uint8_t> payload);
+
+/// kFetchRecords request: count u32 | count × id u64.
+std::vector<uint8_t> EncodeFetchRecordsRequest(
+    std::span<const uncertain::ObjectId> ids);
+Result<std::vector<uncertain::ObjectId>> DecodeFetchRecordsRequest(
+    std::span<const uint8_t> payload);
+
+/// kFetchRecords response: count u32 | count × (len u32 |
+/// UncertainObject::AppendTo image). Decoding re-parses each record with
+/// the bounds-checked ParseFrom.
+std::vector<uint8_t> EncodeFetchRecordsResponse(
+    std::span<const uncertain::UncertainObject> records);
+Result<std::vector<uncertain::UncertainObject>> DecodeFetchRecordsResponse(
+    std::span<const uint8_t> payload);
+
+/// kInfo response: dim u32 | object count u64.
+struct WireInfo {
+  int dim = 0;
+  uint64_t object_count = 0;
+};
+std::vector<uint8_t> EncodeInfoResponse(const WireInfo& info);
+Result<WireInfo> DecodeInfoResponse(std::span<const uint8_t> payload);
+
+/// kError payload: status code u32 | message. Decode returns the carried
+/// Status itself (never OK — an OK error frame decodes as Corruption).
+std::vector<uint8_t> EncodeErrorResponse(const Status& status);
+Status DecodeErrorResponse(std::span<const uint8_t> payload);
+
+}  // namespace pvdb::net
+
+#endif  // PVDB_NET_WIRE_H_

@@ -84,6 +84,20 @@ Status PvIndexBuilder::Delete(const uncertain::Dataset& db_after,
 
 Result<std::vector<uint8_t>> PvIndexBuilder::SealImage(
     const SealOptions& options) const {
+  return SealImageInternal(options, nullptr);
+}
+
+Result<std::vector<uint8_t>> PvIndexBuilder::SealFilteredImage(
+    std::span<const uncertain::ObjectId> keep,
+    const SealOptions& options) const {
+  const std::unordered_set<uncertain::ObjectId> keep_set(keep.begin(),
+                                                         keep.end());
+  return SealImageInternal(options, &keep_set);
+}
+
+Result<std::vector<uint8_t>> PvIndexBuilder::SealImageInternal(
+    const SealOptions& options,
+    const std::unordered_set<uncertain::ObjectId>* keep) const {
   if (options.format_version < storage::kMinSnapshotFormatVersion ||
       options.format_version > storage::kSnapshotFormatVersion) {
     return Status::InvalidArgument(
@@ -105,6 +119,26 @@ Result<std::vector<uint8_t>> PvIndexBuilder::SealImage(
   std::vector<OctreePrimary::FlatNode> nodes;
   std::vector<LeafEntry> entries;
   PVDB_RETURN_NOT_OK(index_->primary().ExportFlat(&nodes, &entries));
+  if (keep != nullptr) {
+    // Filtered seal: drop non-member entries leaf by leaf, preserving the
+    // node structure and within-leaf entry order. Emptied leaves stay
+    // (they serialize as zero-length SoA runs), so FindLeaf still resolves
+    // every in-domain point to the same cell the full index uses.
+    std::vector<LeafEntry> filtered;
+    filtered.reserve(entries.size());
+    for (auto& n : nodes) {
+      if (!n.is_leaf) continue;
+      const uint64_t begin = filtered.size();
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        const LeafEntry& e =
+            entries[static_cast<size_t>(n.entry_begin) + k];
+        if (keep->contains(e.id)) filtered.push_back(e);
+      }
+      n.entry_begin = begin;
+      n.entry_count = static_cast<uint32_t>(filtered.size() - begin);
+    }
+    entries = std::move(filtered);
+  }
   uint64_t leaf_count = 0;
   for (const auto& n : nodes) leaf_count += n.is_leaf;
 
@@ -213,6 +247,17 @@ Status PvIndexBuilder::Save(const std::string& path,
                             const SealOptions& options,
                             storage::Env* env) const {
   PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SealImage(options));
+  return storage::SnapshotWriter::WriteFile(
+      env != nullptr ? env : storage::Env::Default(), path,
+      std::span<const uint8_t>(image.data(), image.size()));
+}
+
+Status PvIndexBuilder::SaveFiltered(const std::string& path,
+                                    std::span<const uncertain::ObjectId> keep,
+                                    const SealOptions& options,
+                                    storage::Env* env) const {
+  PVDB_ASSIGN_OR_RETURN(std::vector<uint8_t> image,
+                        SealFilteredImage(keep, options));
   return storage::SnapshotWriter::WriteFile(
       env != nullptr ? env : storage::Env::Default(), path,
       std::span<const uint8_t>(image.data(), image.size()));

@@ -22,7 +22,9 @@
 #define PVDB_PV_PV_INDEX_BUILDER_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/pv/index_snapshot.h"
@@ -66,6 +68,25 @@ class PvIndexBuilder {
   /// layout, checksums included).
   Result<std::vector<uint8_t>> SealImage(const SealOptions& options = {}) const;
 
+  /// Serializes the current state restricted to `keep`: the snapshot keeps
+  /// the SAME octree structure and the SAME (SE-tightened) UBRs as
+  /// SealImage, but each leaf's entry list and the record section carry
+  /// only ids in `keep`. Step-1 over the filtered snapshot is therefore
+  /// exactly the full index's Step-1 restricted to `keep` — same cell for
+  /// any query point, same per-entry distances, same τ semantics over the
+  /// surviving subset. This is the carrier for shard snapshots whose
+  /// merged answers must be bit-identical to the union index
+  /// (src/shard/partitioner.h).
+  Result<std::vector<uint8_t>> SealFilteredImage(
+      std::span<const uncertain::ObjectId> keep,
+      const SealOptions& options = {}) const;
+
+  /// SealFilteredImage through the same durable write path as Save.
+  Status SaveFiltered(const std::string& path,
+                      std::span<const uncertain::ObjectId> keep,
+                      const SealOptions& options = {},
+                      storage::Env* env = nullptr) const;
+
   /// Seals the current state into an immutable in-memory snapshot.
   Result<std::shared_ptr<const IndexSnapshot>> Seal(
       const SealOptions& options = {}) const;
@@ -82,6 +103,11 @@ class PvIndexBuilder {
 
  private:
   PvIndexBuilder() = default;
+
+  /// Shared seal body; `keep == nullptr` serializes everything.
+  Result<std::vector<uint8_t>> SealImageInternal(
+      const SealOptions& options,
+      const std::unordered_set<uncertain::ObjectId>* keep) const;
 
   std::unique_ptr<storage::InMemoryPager> pager_;
   std::unique_ptr<PvIndex> index_;

@@ -45,6 +45,11 @@
 #include "src/geom/point.h"        // IWYU pragma: export
 #include "src/geom/rect.h"         // IWYU pragma: export
 #include "src/geom/region_partition.h"  // IWYU pragma: export
+#include "src/net/client.h"        // IWYU pragma: export
+#include "src/net/frame.h"         // IWYU pragma: export
+#include "src/net/loadgen.h"       // IWYU pragma: export
+#include "src/net/server.h"        // IWYU pragma: export
+#include "src/net/wire.h"          // IWYU pragma: export
 #include "src/pv/cset.h"           // IWYU pragma: export
 #include "src/pv/index_snapshot.h"  // IWYU pragma: export
 #include "src/pv/live_index.h"     // IWYU pragma: export
@@ -62,6 +67,10 @@
 #include "src/service/query_engine.h"  // IWYU pragma: export
 #include "src/service/result_cache.h"  // IWYU pragma: export
 #include "src/service/thread_pool.h"   // IWYU pragma: export
+#include "src/shard/partitioner.h"  // IWYU pragma: export
+#include "src/shard/router.h"      // IWYU pragma: export
+#include "src/shard/shard_map.h"   // IWYU pragma: export
+#include "src/shard/shard_service.h"  // IWYU pragma: export
 #include "src/storage/env.h"       // IWYU pragma: export
 #include "src/storage/extendible_hash.h"  // IWYU pragma: export
 #include "src/storage/fault_env.h"  // IWYU pragma: export

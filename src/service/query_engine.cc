@@ -233,6 +233,13 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
   Step1Outcome out;
   out.state = state;
   out.epoch = epoch_.load(std::memory_order_relaxed);
+  // Canonical mode: candidates leave Step 1 sorted by id, so Step-2's
+  // survival products multiply in an order determined by the candidate SET
+  // alone (not the backend's leaf-entry order). Applied at every candidate
+  // exit below.
+  const auto finish = [this](std::vector<uncertain::ObjectId>* c) {
+    if (options_.canonical_candidates) std::sort(c->begin(), c->end());
+  };
   ResultCache* cache = state->cache.get();
   const Backend* active = state->active;
   // Leaf location feeds the result cache and, on the grouped batch path,
@@ -275,6 +282,7 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
         }
         lap.Lap(QueryStage::kLeafCache);
         out.candidates = active->PruneLeafBlockView(out.view, q, scratch);
+        finish(&out.candidates);
         lap.Lap(QueryStage::kStep1Prune);
         return out;
       }
@@ -301,6 +309,7 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
         }
         lap.Lap(QueryStage::kLeafCache);
         out.candidates = active->PruneLeafBlock(*block, q, scratch);
+        finish(&out.candidates);
         lap.Lap(QueryStage::kStep1Prune);
         out.block = std::move(block);
         return out;
@@ -314,6 +323,7 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
     return out;
   }
   out.candidates = std::move(step1).value();
+  finish(&out.candidates);
   return out;
 }
 
@@ -569,8 +579,12 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
     ids = first.block->ids.data();
     id_count = first.block->size();
   }
+  // Canonical candidate ordering is id order, not leaf order — the
+  // lockstep walk below would always mismatch, so skip straight to the
+  // per-id lookup fallback.
   if (state.cache == nullptr || ids == nullptr ||
-      first.leaf_key == pv::kNoLeafId || !state.active->PruneKeepsLeafOrder()) {
+      first.leaf_key == pv::kNoLeafId ||
+      !state.active->PruneKeepsLeafOrder() || options_.canonical_candidates) {
     return resolved;
   }
   ResultCache::PlanPtr plan = first.plan;

@@ -89,6 +89,17 @@ struct QueryEngineOptions {
   /// Smallest group routed through the batched evaluator; smaller groups
   /// fall back to per-query Evaluate. Must be >= 1.
   size_t step2_min_group_size = 2;
+  /// Sort every query's surviving Step-1 candidate set ascending by object
+  /// id before Step 2. Step-2 probabilities are exact either way, but their
+  /// floating-point rounding depends on the order candidates are multiplied
+  /// in — by default that is the backend's leaf-entry order, which differs
+  /// between index builds over different insertion orders. Canonical
+  /// ordering makes the bits a function of the candidate SET alone, which
+  /// is what lets a scatter-gather router (shard/router.h) merge per-shard
+  /// candidate sets and still produce answers bit-identical to this
+  /// engine over the union dataset. Costs one small sort per query and
+  /// disables the leaf-order lockstep walk in grouped resolution.
+  bool canonical_candidates = false;
   /// Bound on a worker's pooled QueryScratch arena: after any query or
   /// group that grew it past this, the worker releases the arena
   /// (QueryScratch::ShrinkToFit) so one pathological leaf doesn't pin the

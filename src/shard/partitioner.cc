@@ -1,0 +1,240 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/shard/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/geom/morton.h"
+
+namespace pvdb::shard {
+
+namespace {
+
+/// A partition cell mid-construction: its box plus the indices (into
+/// db.objects()) of the centroids it owns.
+struct Cell {
+  geom::Rect box{1};
+  std::vector<size_t> owned;
+};
+
+std::string ShardFileName(size_t i) {
+  return "shard-" + std::to_string(i) + ".snap";
+}
+
+/// Splits `cell` at the median centroid coordinate along the best
+/// dimension. Returns false when every dimension is degenerate (all
+/// centroids coincide), in which case the cell cannot be split.
+bool SplitCell(const std::vector<geom::Point>& centroids, Cell* cell,
+               Cell* right_out) {
+  const int dim = cell->box.dim();
+  // Try the longest dimension first, then the rest, so a cell whose
+  // centroids are collinear along its longest side still splits.
+  std::vector<int> dims(dim);
+  std::iota(dims.begin(), dims.end(), 0);
+  std::sort(dims.begin(), dims.end(), [&](int a, int b) {
+    return cell->box.Side(a) > cell->box.Side(b);
+  });
+  for (int d : dims) {
+    std::vector<double> coords;
+    coords.reserve(cell->owned.size());
+    for (size_t idx : cell->owned) coords.push_back(centroids[idx][d]);
+    std::sort(coords.begin(), coords.end());
+    const double split = coords[coords.size() / 2];
+    // Ownership rule: centroid coordinate < split goes left, >= split goes
+    // right. Both sides must be non-empty for this dimension to work.
+    size_t left_n = 0;
+    for (size_t idx : cell->owned) {
+      if (centroids[idx][d] < split) ++left_n;
+    }
+    if (left_n == 0 || left_n == cell->owned.size()) continue;
+
+    Cell left, right;
+    left.box = cell->box;
+    right.box = cell->box;
+    left.box.set_hi(d, split);
+    right.box.set_lo(d, split);
+    for (size_t idx : cell->owned) {
+      (centroids[idx][d] < split ? left : right).owned.push_back(idx);
+    }
+    *cell = std::move(left);
+    *right_out = std::move(right);
+    return true;
+  }
+  return false;
+}
+
+Result<PartitionPlan> PlanPlane(const uncertain::Dataset& db, int k) {
+  const auto& objects = db.objects();
+  std::vector<geom::Point> centroids;
+  centroids.reserve(objects.size());
+  for (const auto& o : objects) centroids.push_back(o.region().Center());
+
+  std::vector<Cell> cells(1);
+  cells[0].box = db.domain();
+  cells[0].owned.resize(objects.size());
+  std::iota(cells[0].owned.begin(), cells[0].owned.end(), 0);
+  while (cells.size() < static_cast<size_t>(k)) {
+    // Split the most populous cell; with K <= |db| it always has >= 2
+    // centroids while fewer than K cells exist.
+    size_t busiest = 0;
+    for (size_t i = 1; i < cells.size(); ++i) {
+      if (cells[i].owned.size() > cells[busiest].owned.size()) busiest = i;
+    }
+    Cell right;
+    if (!SplitCell(centroids, &cells[busiest], &right)) {
+      return Status::InvalidArgument(
+          "partition: cannot split into " + std::to_string(k) +
+          " shards; too many objects share one centroid");
+    }
+    cells.push_back(std::move(right));
+  }
+
+  PartitionPlan plan;
+  plan.map.dim = db.dim();
+  plan.map.domain = db.domain();
+  plan.map.shards.resize(cells.size());
+  plan.members.resize(cells.size());
+  // Owner shard per object, from the split's centroid assignment.
+  std::vector<size_t> owner(objects.size());
+  for (size_t s = 0; s < cells.size(); ++s) {
+    for (size_t idx : cells[s].owned) owner[idx] = s;
+  }
+  for (size_t s = 0; s < cells.size(); ++s) {
+    ShardInfo& info = plan.map.shards[s];
+    info.snapshot_file = ShardFileName(s);
+    info.region = cells[s].box;
+    // Membership is geometric: every shard whose cell the uncertainty
+    // region touches indexes the object, so any query's Step-1 reaches it
+    // through at least its owner shard.
+    for (size_t idx = 0; idx < objects.size(); ++idx) {
+      const geom::Rect& r = objects[idx].region();
+      if (!cells[s].box.Intersects(r) && owner[idx] != s) continue;
+      plan.members[s].push_back(objects[idx].id());
+      if (owner[idx] != s) info.ghost_ids.push_back(objects[idx].id());
+      info.bbox = info.has_bbox ? geom::Rect::Union(info.bbox, r) : r;
+      info.has_bbox = true;
+    }
+    std::sort(plan.members[s].begin(), plan.members[s].end());
+    std::sort(info.ghost_ids.begin(), info.ghost_ids.end());
+    info.object_count = plan.members[s].size();
+  }
+  return plan;
+}
+
+Result<PartitionPlan> PlanMortonRange(const uncertain::Dataset& db, int k) {
+  const auto& objects = db.objects();
+  std::vector<std::pair<uint64_t, size_t>> keyed;
+  keyed.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    keyed.emplace_back(
+        geom::MortonKey(objects[i].region().Center(), db.domain()), i);
+  }
+  // Tie-break on id so the plan is a pure function of the dataset.
+  std::sort(keyed.begin(), keyed.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return objects[a.second].id() < objects[b.second].id();
+            });
+
+  PartitionPlan plan;
+  plan.map.dim = db.dim();
+  plan.map.domain = db.domain();
+  plan.map.shards.resize(k);
+  plan.members.resize(k);
+  const size_t n = keyed.size();
+  size_t begin = 0;
+  for (int s = 0; s < k; ++s) {
+    ShardInfo& info = plan.map.shards[s];
+    info.snapshot_file = ShardFileName(s);
+    // Morton ranges are centroid-disjoint, so a shard's pruning rect is
+    // its members' bounding box; the region of responsibility is the full
+    // domain (range boundaries are not axis-parallel planes).
+    info.region = db.domain();
+    const size_t end = begin + n / k + (static_cast<size_t>(s) < n % k);
+    for (size_t j = begin; j < end; ++j) {
+      const auto& o = objects[keyed[j].second];
+      plan.members[s].push_back(o.id());
+      info.bbox = info.has_bbox ? geom::Rect::Union(info.bbox, o.region())
+                                : o.region();
+      info.has_bbox = true;
+    }
+    begin = end;
+    std::sort(plan.members[s].begin(), plan.members[s].end());
+    info.object_count = plan.members[s].size();
+  }
+  return plan;
+}
+
+}  // namespace
+
+Status ValidatePartitionOptions(const PartitionOptions& options,
+                                size_t object_count) {
+  if (options.shard_count < 1 || options.shard_count > 4096) {
+    return Status::InvalidArgument(
+        "partition: shard_count must be in [1, 4096], got " +
+        std::to_string(options.shard_count));
+  }
+  if (object_count == 0) {
+    return Status::InvalidArgument("partition: database is empty");
+  }
+  if (static_cast<size_t>(options.shard_count) > object_count) {
+    return Status::InvalidArgument(
+        "partition: shard_count " + std::to_string(options.shard_count) +
+        " exceeds object count " + std::to_string(object_count));
+  }
+  return Status::OK();
+}
+
+Result<PartitionPlan> PlanPartition(const uncertain::Dataset& db,
+                                    const PartitionOptions& options) {
+  PVDB_RETURN_NOT_OK(ValidatePartitionOptions(options, db.size()));
+  switch (options.strategy) {
+    case SplitStrategy::kPlane:
+      return PlanPlane(db, options.shard_count);
+    case SplitStrategy::kMortonRange:
+      return PlanMortonRange(db, options.shard_count);
+  }
+  return Status::InvalidArgument("partition: unknown split strategy");
+}
+
+Result<ShardMap> BuildShardSnapshots(const uncertain::Dataset& db,
+                                     const PartitionOptions& options,
+                                     const std::string& dir,
+                                     storage::Env* env) {
+  if (env == nullptr) env = storage::Env::Default();
+  PVDB_ASSIGN_OR_RETURN(PartitionPlan plan, PlanPartition(db, options));
+  PVDB_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  // ONE union build, K filtered seals. Every shard snapshot mirrors the
+  // union index — same octree cells, same SE-tightened UBRs — with leaf
+  // entries and records restricted to the shard's members. A shard's
+  // Step-1 is therefore exactly the union Step-1 restricted to its member
+  // set, which is what lets the router's merge reconstruct the union
+  // candidate set bit for bit (router.h). Re-building each shard's index
+  // from its sub-dataset would NOT work: SE tightening and octree splits
+  // depend on the whole object population, so per-shard rebuilds answer
+  // with different UBR geometry than the union engine.
+  PVDB_ASSIGN_OR_RETURN(auto builder,
+                        pv::PvIndexBuilder::Build(db, options.index));
+  for (size_t s = 0; s < plan.map.shards.size(); ++s) {
+    ShardInfo& info = plan.map.shards[s];
+    // The router prunes shards against this bbox with UBR distances, so it
+    // must cover the members' served (Voronoi) UBRs — which extend well
+    // beyond the raw uncertainty regions the planner unioned.
+    info.has_bbox = false;
+    for (uncertain::ObjectId id : plan.members[s]) {
+      PVDB_ASSIGN_OR_RETURN(geom::Rect ubr, builder->index().GetUbr(id));
+      info.bbox = info.has_bbox ? geom::Rect::Union(info.bbox, ubr) : ubr;
+      info.has_bbox = true;
+    }
+    PVDB_RETURN_NOT_OK(builder->SaveFiltered(
+        dir + "/" + info.snapshot_file, plan.members[s], options.seal, env));
+  }
+  // The manifest goes last: a crash mid-build leaves shard files but no
+  // readable SHARDMAP, so a partial directory is never served.
+  PVDB_RETURN_NOT_OK(SaveShardMap(plan.map, dir, env));
+  return std::move(plan.map);
+}
+
+}  // namespace pvdb::shard

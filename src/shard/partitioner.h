@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Domain partitioner: splits one uncertain database into K per-shard
+// snapshots plus the shard-map manifest the router serves from
+// (shard_map.h). The build runs ONE union PvIndexBuilder::Build and seals
+// each shard as a FILTERED image of it (SealFilteredImage): every shard
+// keeps the union index's octree structure and SE-tightened UBRs, with
+// leaf entries and pdf records restricted to the shard's members. That
+// mirroring is what makes the router's merged answers bit-identical to a
+// single engine over the union dataset — UBR tightening and octree splits
+// depend on the whole object population, so independently rebuilt
+// per-shard indexes would answer with different geometry.
+//
+// Two split strategies over object UBR centroids:
+//
+//   * kPlane — recursive median splits along the longest dimension of each
+//     cell (a kd-style partition). Cells are axis-parallel boxes; an object
+//     whose uncertainty region straddles a cell boundary is replicated to
+//     every cell its region intersects ("ghosts"), and the cell containing
+//     its centroid is the stable OWNER — the single shard whose instance
+//     survives the router's merge.
+//   * kMortonRange — sorts centroids by Z-order key and cuts the sorted
+//     sequence into K equal runs. Assignment is by centroid only (disjoint,
+//     no ghosts); a shard's spatial extent is its objects' bounding box,
+//     which the router prunes on exactly like a Step-1 minmax bound.
+//
+// Every shard dataset keeps the FULL domain rectangle, so each shard's
+// octree can locate any in-domain query point; only the object sets differ.
+
+#ifndef PVDB_SHARD_PARTITIONER_H_
+#define PVDB_SHARD_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pv/pv_index_builder.h"
+#include "src/shard/shard_map.h"
+#include "src/uncertain/dataset.h"
+
+namespace pvdb::shard {
+
+enum class SplitStrategy {
+  kPlane,
+  kMortonRange,
+};
+
+struct PartitionOptions {
+  /// Number of shards K. Must be in [1, 4096] and at most the object count.
+  int shard_count = 2;
+  SplitStrategy strategy = SplitStrategy::kPlane;
+  /// Forwarded to each shard's filtered seal (SaveFiltered).
+  pv::SealOptions seal;
+  /// Forwarded to the one union PvIndexBuilder::Build all shards mirror.
+  pv::PvIndexOptions index;
+};
+
+/// InvalidArgument with the offending field unless `options` is usable
+/// against a database of `object_count` objects.
+Status ValidatePartitionOptions(const PartitionOptions& options,
+                                size_t object_count);
+
+/// The in-memory result of planning a partition (before any snapshot is
+/// built): per-shard object id lists plus the ShardMap skeleton. Exposed
+/// separately from BuildShardSnapshots so tests can check the assignment
+/// properties (coverage, ownership, ghost replication) without paying for
+/// K index builds.
+struct PartitionPlan {
+  ShardMap map;
+  /// Per shard: ids of every object the shard indexes (owned + ghosts),
+  /// aligned with map.shards.
+  std::vector<std::vector<uncertain::ObjectId>> members;
+};
+
+/// Plans the partition of `db` into K shards. Pure function of (db,
+/// options); does not touch disk. Guarantees on the returned plan:
+///   * every object appears in exactly one shard as owner;
+///   * kPlane: an object is a member of shard s iff its uncertainty region
+///     intersects s's cell, and ghost_ids lists its non-owner memberships;
+///   * kMortonRange: memberships are disjoint (no ghosts);
+///   * map.shards[s].bbox is the union of members' uncertainty regions.
+Result<PartitionPlan> PlanPartition(const uncertain::Dataset& db,
+                                    const PartitionOptions& options);
+
+/// Plans, builds the union PvIndex once, saves each shard as a filtered
+/// snapshot `<dir>/shard-<i>.snap` (format-v2 seal path), and writes the
+/// checksummed `<dir>/SHARDMAP` manifest last — a crash mid-build leaves no
+/// readable manifest, so a partial shard directory is never served. The
+/// written manifest's bboxes are recomputed to cover the members' SERVED
+/// (SE-tightened Voronoi) UBRs, which the router's shard pruning reasons
+/// about; they are generally larger than the planner's uncertainty-region
+/// bboxes. Returns the manifest actually written.
+Result<ShardMap> BuildShardSnapshots(const uncertain::Dataset& db,
+                                     const PartitionOptions& options,
+                                     const std::string& dir,
+                                     storage::Env* env = nullptr);
+
+}  // namespace pvdb::shard
+
+#endif  // PVDB_SHARD_PARTITIONER_H_

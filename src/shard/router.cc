@@ -1,0 +1,447 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/shard/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/geom/distance.h"
+#include "src/geom/distance_batch.h"
+
+namespace pvdb::shard {
+
+Result<std::vector<ShardStep1Answer>> LocalShardConnection::Step1Batch(
+    std::span<const geom::Point> queries) {
+  std::vector<ShardStep1Answer> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Status status = Step1One(queries[i], &out[i]);
+    if (!status.ok()) {
+      out[i].candidates.clear();
+      out[i].status = status;
+    }
+  }
+  return out;
+}
+
+Status LocalShardConnection::Step1One(const geom::Point& q,
+                                      ShardStep1Answer* out) {
+  // Same leaf, same SoA planes, same fused kernel and τ reduce as the
+  // engine's Step-1 (pv::Step1PruneMinMax) — the reported distances are
+  // the exact doubles a union engine computes for these entries, which
+  // the router's merge relies on to reconstruct τ* bit for bit.
+  PVDB_ASSIGN_OR_RETURN(pv::OctreePrimary::LeafRef ref,
+                        snapshot_->FindLeaf(q));
+  pv::LeafBlock block;
+  pv::LeafBlockView view;
+  if (snapshot_->has_leaf_soa()) {
+    PVDB_ASSIGN_OR_RETURN(view, snapshot_->ReadLeafBlockView(ref.id));
+  } else {
+    PVDB_ASSIGN_OR_RETURN(block, snapshot_->ReadLeafBlock(ref.id));
+    view = block.View();
+  }
+  const size_t n = view.count;
+  if (n == 0) return Status::OK();  // a filtered-out leaf: no members here
+  scratch_.min_dist_sq.resize(n);
+  scratch_.max_dist_sq.resize(n);
+  double* min_d = scratch_.min_dist_sq.data();
+  double* max_d = scratch_.max_dist_sq.data();
+  geom::MinMaxDistSqBatch(view.lo, view.hi, q, view.dim, n, min_d, max_d);
+  const double tau_sq = geom::MinReduce(max_d, n);
+  out->candidates.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    if (min_d[k] <= tau_sq) {
+      out->candidates.push_back({view.ids[k], min_d[k], max_d[k]});
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uncertain::UncertainObject>>
+LocalShardConnection::FetchRecords(
+    std::span<const uncertain::ObjectId> ids) {
+  std::vector<uncertain::UncertainObject> out;
+  out.reserve(ids.size());
+  for (uncertain::ObjectId id : ids) {
+    PVDB_ASSIGN_OR_RETURN(uncertain::UncertainObject o,
+                          snapshot_->GetObject(id));
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+Status ValidateRouterOptions(const RouterOptions& options) {
+  if (!(options.deadline_ms > 0.0)) {
+    return Status::InvalidArgument(
+        "router deadline_ms must be > 0, got " +
+        std::to_string(options.deadline_ms));
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("router max_retries must be >= 0, got " +
+                                   std::to_string(options.max_retries));
+  }
+  if (!(options.min_probability >= 0.0) || options.min_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "router min_probability must lie in [0, 1)");
+  }
+  if (options.step2_min_group_size < 1) {
+    return Status::InvalidArgument(
+        "router step2_min_group_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> RelevantShards(const ShardMap& map, const geom::Point& q) {
+  // τ_map: the tightest shard-level MaxDist bound. Any shard whose bbox
+  // cannot beat it holds no possible NN (u(o) ⊆ bbox for all its objects).
+  double tau_map = std::numeric_limits<double>::infinity();
+  for (const ShardInfo& s : map.shards) {
+    if (s.has_bbox) tau_map = std::min(tau_map, geom::MaxDistSq(s.bbox, q));
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < map.shards.size(); ++i) {
+    const ShardInfo& s = map.shards[i];
+    if (s.has_bbox && geom::MinDistSq(s.bbox, q) <= tau_map) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uncertain::ObjectId> MergeShardCandidates(
+    std::span<const std::vector<ShardCandidate>> answers,
+    std::span<const size_t> shard_index,
+    const std::vector<std::unordered_set<uncertain::ObjectId>>& ghosts,
+    RouterStats* stats) {
+  // Ghost dedup: keep only owner-shard instances, so each object
+  // contributes exactly once whatever its replication factor was.
+  std::vector<ShardCandidate> merged;
+  for (size_t a = 0; a < answers.size(); ++a) {
+    const auto& ghost_set = ghosts[shard_index[a]];
+    for (const ShardCandidate& c : answers[a]) {
+      if (ghost_set.contains(c.id)) {
+        if (stats != nullptr) ++stats->ghosts_dropped;
+        continue;
+      }
+      merged.push_back(c);
+    }
+  }
+  // Global τ: the union-wide minimum MaxDistSq is attained by an object
+  // that always survives its owner shard's prune, so the min over the
+  // deduped instances is exactly the single-index τ*.
+  double tau = std::numeric_limits<double>::infinity();
+  for (const ShardCandidate& c : merged) tau = std::min(tau, c.max_dist_sq);
+  // Second pass: re-prune with the global τ (a shard's own τ_s is only an
+  // upper bound, so shard-local survivors may die globally), then sort by
+  // id — the canonical candidate order Step-2 multiplies in.
+  std::vector<uncertain::ObjectId> out;
+  out.reserve(merged.size());
+  for (const ShardCandidate& c : merged) {
+    if (c.min_dist_sq <= tau) {
+      out.push_back(c.id);
+    } else if (stats != nullptr) {
+      ++stats->repruned;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const uncertain::UncertainObject* ShardRouter::RecordStore::FindObject(
+    uncertain::ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uncertain::ObjectId> ShardRouter::RecordStore::Missing(
+    std::span<const uncertain::ObjectId> want) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uncertain::ObjectId> out;
+  for (uncertain::ObjectId id : want) {
+    if (!records_.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+void ShardRouter::RecordStore::Insert(
+    std::vector<uncertain::UncertainObject> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : records) {
+    const uncertain::ObjectId id = r.id();
+    records_.try_emplace(id,
+                         std::make_unique<uncertain::UncertainObject>(
+                             std::move(r)));
+  }
+}
+
+ShardRouter::ShardRouter(
+    ShardMap map, std::vector<std::shared_ptr<ShardConnection>> connections,
+    const RouterOptions& options)
+    : map_(std::move(map)),
+      connections_(std::move(connections)),
+      options_(options),
+      step2_(&records_) {
+  ghosts_.resize(map_.shards.size());
+  for (size_t s = 0; s < map_.shards.size(); ++s) {
+    ghosts_[s].insert(map_.shards[s].ghost_ids.begin(),
+                      map_.shards[s].ghost_ids.end());
+  }
+  queries_total_ = metrics_.Register("router.queries_total");
+  unavailable_total_ = metrics_.Register("router.unavailable_total");
+  fanouts_total_ = metrics_.Register("router.shard_fanouts_total");
+  shards_pruned_total_ = metrics_.Register("router.shards_pruned_total");
+  records_fetched_total_ = metrics_.Register("router.records_fetched_total");
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    ShardMap map, std::vector<std::shared_ptr<ShardConnection>> connections,
+    const RouterOptions& options) {
+  PVDB_RETURN_NOT_OK(ValidateRouterOptions(options));
+  if (map.shards.empty()) {
+    return Status::InvalidArgument("router: shard map has no shards");
+  }
+  if (connections.size() != map.shards.size()) {
+    return Status::InvalidArgument(
+        "router: " + std::to_string(connections.size()) +
+        " connections for " + std::to_string(map.shards.size()) + " shards");
+  }
+  for (size_t i = 0; i < connections.size(); ++i) {
+    if (connections[i] == nullptr) {
+      return Status::InvalidArgument("router: connection " +
+                                     std::to_string(i) + " is null");
+    }
+  }
+  return std::unique_ptr<ShardRouter>(
+      new ShardRouter(std::move(map), std::move(connections), options));
+}
+
+template <typename Fn>
+auto ShardRouter::WithRetries(Fn&& fn) -> decltype(fn()) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    auto r = fn();
+    if (r.ok()) return r;
+    last = r.status();
+  }
+  return Status::Unavailable("shard unreachable after " +
+                             std::to_string(1 + options_.max_retries) +
+                             " attempt(s): " + last.ToString());
+}
+
+std::vector<service::PnnAnswer> ShardRouter::ExecuteBatch(
+    std::span<const geom::Point> queries, RouterStats* stats) {
+  RouterStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = RouterStats{};
+  stats->queries = static_cast<int64_t>(queries.size());
+  queries_total_->Increment(static_cast<int64_t>(queries.size()));
+
+  std::vector<service::PnnAnswer> answers(queries.size());
+
+  // Fan-out rounds. Round 1 contacts RelevantShards (the bbox minmax
+  // prune); because a shard's bbox bound only upper-bounds τ*, each
+  // further round re-checks the still-uncontacted shards against the τ
+  // gathered so far and widens the fan-out until the needed set closes —
+  // never more than K rounds, and almost always exactly one. A shard that
+  // stays unreachable through the retry budget poisons exactly the
+  // queries that needed it — the rest of the batch still answers.
+  const size_t k = map_.shards.size();
+  std::vector<std::vector<std::vector<ShardCandidate>>> lists(queries.size());
+  std::vector<std::vector<size_t>> list_shard(queries.size());
+  std::vector<std::vector<bool>> asked(queries.size(),
+                                       std::vector<bool>(k, false));
+  std::vector<Status> failed(queries.size(), Status::OK());
+  std::vector<std::vector<size_t>> pending(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pending[i] = RelevantShards(map_, queries[i]);
+  }
+  while (true) {
+    // This round's scatter plan: (shard -> queries) for every pending,
+    // not-yet-contacted pair of a still-healthy query.
+    std::vector<std::vector<uint32_t>> shard_queries(k);
+    bool any = false;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!failed[i].ok()) continue;
+      for (size_t s : pending[i]) {
+        if (asked[i][s]) continue;
+        shard_queries[s].push_back(static_cast<uint32_t>(i));
+        any = true;
+      }
+    }
+    if (!any) break;
+    for (size_t s = 0; s < k; ++s) {
+      if (shard_queries[s].empty()) continue;
+      ++stats->shard_fanouts;
+      fanouts_total_->Increment();
+      std::vector<geom::Point> sub;
+      sub.reserve(shard_queries[s].size());
+      for (uint32_t qi : shard_queries[s]) sub.push_back(queries[qi]);
+      auto r = WithRetries(
+          [&] { return connections_[s]->Step1Batch(sub); });
+      Status shard_status = Status::OK();
+      std::vector<ShardStep1Answer> shard_answers;
+      if (!r.ok()) {
+        shard_status = Status::Unavailable(
+            "shard " + std::to_string(s) + ": " + r.status().message());
+      } else {
+        shard_answers = std::move(r).value();
+        if (shard_answers.size() != shard_queries[s].size()) {
+          shard_status = Status::Unavailable(
+              "shard " + std::to_string(s) + ": step1 answered " +
+              std::to_string(shard_answers.size()) + " of " +
+              std::to_string(shard_queries[s].size()) + " queries");
+        }
+      }
+      for (size_t p = 0; p < shard_queries[s].size(); ++p) {
+        const uint32_t qi = shard_queries[s][p];
+        asked[qi][s] = true;
+        if (!shard_status.ok()) {
+          if (failed[qi].ok()) failed[qi] = shard_status;
+          continue;
+        }
+        const ShardStep1Answer& a = shard_answers[p];
+        if (!a.status.ok()) {
+          if (failed[qi].ok()) failed[qi] = a.status;
+          continue;
+        }
+        lists[qi].push_back(a.candidates);
+        list_shard[qi].push_back(s);
+      }
+    }
+    // Next round's pending sets: τ over everything gathered so far (every
+    // instance is a union leaf entry, so this is ≥ τ* — a sound bound)
+    // versus the uncontacted shards' bbox MinDist.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      pending[i].clear();
+      if (!failed[i].ok()) continue;
+      double tau = std::numeric_limits<double>::infinity();
+      for (const auto& list : lists[i]) {
+        for (const ShardCandidate& c : list) {
+          tau = std::min(tau, c.max_dist_sq);
+        }
+      }
+      for (size_t s = 0; s < k; ++s) {
+        if (asked[i][s] || !map_.shards[s].has_bbox) continue;
+        if (geom::MinDistSq(map_.shards[s].bbox, queries[i]) <= tau) {
+          pending[i].push_back(s);
+        }
+      }
+    }
+  }
+
+  // Gather: merge each query's per-shard candidate lists, learning owner
+  // shards for the record fetch below.
+  std::vector<std::vector<uncertain::ObjectId>> candidates(queries.size());
+  std::unordered_map<uncertain::ObjectId, size_t> owner;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t s = 0; s < k; ++s) {
+      stats->shards_pruned += !asked[i][s];
+    }
+    if (!failed[i].ok()) {
+      answers[i].status = failed[i];
+      if (failed[i].code() == StatusCode::kUnavailable) {
+        ++stats->unavailable;
+        unavailable_total_->Increment();
+      }
+      continue;
+    }
+    for (size_t l = 0; l < lists[i].size(); ++l) {
+      for (const ShardCandidate& c : lists[i][l]) {
+        if (!ghosts_[list_shard[i][l]].contains(c.id)) {
+          owner.emplace(c.id, list_shard[i][l]);
+        }
+      }
+    }
+    candidates[i] =
+        MergeShardCandidates(lists[i], list_shard[i], ghosts_, stats);
+  }
+  shards_pruned_total_->Increment(stats->shards_pruned);
+
+  // Record fetch: every merged candidate's pdf record, from its owner
+  // shard, once — the store caches across batches (records are immutable
+  // per shard generation).
+  std::vector<uncertain::ObjectId> want;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!answers[i].status.ok()) continue;
+    want.insert(want.end(), candidates[i].begin(), candidates[i].end());
+  }
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  std::vector<uncertain::ObjectId> missing = records_.Missing(want);
+  std::vector<std::vector<uncertain::ObjectId>> fetch_per_shard(k);
+  for (uncertain::ObjectId id : missing) {
+    auto it = owner.find(id);
+    PVDB_CHECK(it != owner.end());  // merge keeps owner instances only
+    fetch_per_shard[it->second].push_back(id);
+  }
+  std::vector<Status> fetch_status(k, Status::OK());
+  for (size_t s = 0; s < k; ++s) {
+    if (fetch_per_shard[s].empty()) continue;
+    auto r = WithRetries(
+        [&] { return connections_[s]->FetchRecords(fetch_per_shard[s]); });
+    if (!r.ok()) {
+      fetch_status[s] = r.status().code() == StatusCode::kUnavailable
+                            ? r.status()
+                            : Status::Unavailable(
+                                  "shard " + std::to_string(s) +
+                                  " record fetch: " + r.status().message());
+      continue;
+    }
+    stats->records_fetched +=
+        static_cast<int64_t>(fetch_per_shard[s].size());
+    records_fetched_total_->Increment(
+        static_cast<int64_t>(fetch_per_shard[s].size()));
+    records_.Insert(std::move(r).value());
+  }
+  // A failed fetch poisons exactly the queries holding a candidate owned
+  // by that shard: they degrade to kUnavailable rather than evaluating
+  // with a missing record (which would abort or mis-answer).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!answers[i].status.ok()) continue;
+    for (uncertain::ObjectId id : candidates[i]) {
+      const Status& fs = fetch_status[owner.at(id)];
+      if (!fs.ok()) {
+        answers[i].status = fs;
+        ++stats->unavailable;
+        unavailable_total_->Increment();
+        break;
+      }
+    }
+  }
+
+  // Grouped Step-2, centrally, over the fetched records: identical math
+  // and candidate order to a canonical-mode engine, so probabilities are
+  // bit-identical to single-snapshot serving over the union dataset.
+  pv::Step2Batch plan;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!answers[i].status.ok()) continue;
+    plan.Add(static_cast<uint32_t>(i), pv::kNoLeafId,
+             std::move(candidates[i]));
+  }
+  for (const pv::Step2Batch::Group& g : plan.groups()) {
+    if (g.queries.size() >= options_.step2_min_group_size &&
+        !g.candidates.empty()) {
+      std::vector<geom::Point> group_queries;
+      group_queries.reserve(g.queries.size());
+      for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
+      Status group_status;
+      pv::Step2GroupOptions gopts;
+      gopts.min_probability = options_.min_probability;
+      auto results = step2_.EvaluateGroup(group_queries, g.candidates,
+                                          &scratch_, nullptr, gopts, nullptr,
+                                          &group_status);
+      for (size_t t = 0; t < g.queries.size(); ++t) {
+        answers[g.queries[t]].status = group_status;
+        answers[g.queries[t]].results = std::move(results[t]);
+      }
+    } else {
+      for (uint32_t qi : g.queries) {
+        answers[qi].results =
+            step2_.Evaluate(queries[qi], g.candidates, &scratch_, nullptr,
+                            options_.min_probability, &answers[qi].status);
+      }
+    }
+  }
+  return answers;
+}
+
+}  // namespace pvdb::shard

@@ -1,0 +1,248 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Scatter-gather PNN routing over a shard map. The router is the serving
+// half of the partitioner: it prunes the shard map with the same minmax
+// logic Step-1 applies to octree leaves, fans each query batch out only to
+// the shards whose bounding box could hold a possible NN, merges the
+// per-shard candidate sets (ghost dedup + a global τ second-pass re-prune)
+// and runs grouped Step-2 centrally over records fetched from the owner
+// shards — producing answers BIT-IDENTICAL to one QueryEngine in
+// canonical-candidate mode over the union dataset.
+//
+// Why the merge is exact (the set argument). The partitioner seals every
+// shard as a FILTERED image of ONE union index (partitioner.h): same
+// octree cells, same SE-tightened UBRs, leaf entries restricted to the
+// shard's members. Let E = the union index's leaf(q) entry set and
+// τ* = min_{e ∈ E} MaxDistSq(u(e), q); the union engine's candidate set
+// is {e ∈ E : MinDistSq(u(e), q) ≤ τ*}. Then:
+//   * Per shard, Step-1 runs over the same cell with entries E ∩ S_s and
+//     the same distance kernels, so it returns
+//     {e ∈ E ∩ S_s : MinDistSq ≤ τ_s} with τ_s = min over E ∩ S_s of
+//     MaxDistSq ≥ τ*. Every union candidate survives its OWNER shard's
+//     filter (MinDistSq ≤ τ* ≤ τ_owner), and every returned instance is
+//     a member of E.
+//   * The merged min of MaxDistSq is exactly τ*: the τ*-attaining entry
+//     survives its owner's filter (its MinDistSq ≤ τ*), and every other
+//     instance has MaxDistSq ≥ τ*. The re-prune MinDistSq ≤ τ* therefore
+//     reproduces {e ∈ E : MinDistSq ≤ τ*} after ghost dedup.
+//   * Fan-out rounds make the shard prune sound: round 1 contacts
+//     RelevantShards (bbox minmax prune); because a shard's bbox bound is
+//     only an upper bound of τ*, the router then re-checks every
+//     uncontacted shard against the gathered τ (min MaxDistSq over
+//     instances so far, which is ≥ τ*) and issues further rounds until no
+//     uncontacted shard has MinDistSq(bbox, q) ≤ τ. A union candidate's
+//     owner shard has MinDistSq(bbox, q) ≤ MinDistSq(u(o), q) ≤ τ* ≤ τ
+//     (u(o) ⊆ bbox), so it is always contacted before the loop closes;
+//     the loop terminates because the contacted set grows every round.
+// Order: merged candidates are sorted by id — the canonical order the
+// engine's canonical_candidates option applies — so Step-2's survival
+// products multiply identically and the probabilities match bit for bit.
+//
+// The merge seam (MergeShardCandidates) is query-kind-agnostic: it sees
+// only (id, MinDistSq, MaxDistSq) triples per shard, so continuous /
+// moving-query and top-k-by-probability variants fan out through the same
+// code path with their own Step-2.
+
+#ifndef PVDB_SHARD_ROUTER_H_
+#define PVDB_SHARD_ROUTER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/pv/pnnq.h"
+#include "src/service/query_engine.h"
+#include "src/shard/shard_map.h"
+
+namespace pvdb::shard {
+
+/// One shard's Step-1 verdict for one query: the surviving candidates with
+/// the two distances the router's merge needs. Candidate order within a
+/// shard answer is irrelevant (the merge re-sorts canonically).
+struct ShardCandidate {
+  uncertain::ObjectId id = 0;
+  double min_dist_sq = 0.0;
+  double max_dist_sq = 0.0;
+};
+
+struct ShardStep1Answer {
+  Status status = Status::OK();
+  std::vector<ShardCandidate> candidates;
+};
+
+/// Transport seam between the router and one shard. LocalShardConnection
+/// serves in-process from an IndexSnapshot; RemoteShardConnection
+/// (shard_service.h) speaks the framed TCP protocol. Implementations must
+/// be thread-compatible (the router serializes calls per connection) and
+/// must return kUnavailable — never hang — when the shard cannot answer
+/// within the transport's deadline.
+class ShardConnection {
+ public:
+  virtual ~ShardConnection() = default;
+
+  /// Step-1 for every query; answer i corresponds to queries[i].
+  virtual Result<std::vector<ShardStep1Answer>> Step1Batch(
+      std::span<const geom::Point> queries) = 0;
+
+  /// Full records of `ids` (owner-shard record fetch for central Step-2),
+  /// aligned with `ids`. Fails (NotFound) if any id is absent.
+  virtual Result<std::vector<uncertain::UncertainObject>> FetchRecords(
+      std::span<const uncertain::ObjectId> ids) = 0;
+};
+
+/// In-process connection over a sealed shard snapshot (the single-process
+/// serving mode, and the reference implementation tests compare against).
+/// Step-1 runs the snapshot's own SoA distance kernels, so the distances
+/// it reports are the exact doubles the union engine's prune computes.
+class LocalShardConnection : public ShardConnection {
+ public:
+  explicit LocalShardConnection(
+      std::shared_ptr<const pv::IndexSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  Result<std::vector<ShardStep1Answer>> Step1Batch(
+      std::span<const geom::Point> queries) override;
+  Result<std::vector<uncertain::UncertainObject>> FetchRecords(
+      std::span<const uncertain::ObjectId> ids) override;
+
+ private:
+  /// One query's leaf prune; fills `out->candidates` (leaves it empty for
+  /// an empty leaf).
+  Status Step1One(const geom::Point& q, ShardStep1Answer* out);
+
+  std::shared_ptr<const pv::IndexSnapshot> snapshot_;
+  pv::QueryScratch scratch_;
+};
+
+/// Router tunables. Validated by ValidateRouterOptions.
+struct RouterOptions {
+  /// Per-RPC deadline in milliseconds (remote connections; local
+  /// connections never block). Must be > 0.
+  double deadline_ms = 1000.0;
+  /// Failed shard RPCs are retried up to this many times before the
+  /// affected queries degrade to kUnavailable. Must be >= 0.
+  int max_retries = 1;
+  /// Step-2 answers with probability <= this are dropped (must be in
+  /// [0, 1), mirroring QueryEngineOptions::min_probability).
+  double min_probability = 0.0;
+  /// Groups of at least this many queries sharing a candidate set go
+  /// through the batched Step-2 sweep. Must be >= 1.
+  size_t step2_min_group_size = 2;
+};
+
+/// InvalidArgument naming the offending field, or OK.
+Status ValidateRouterOptions(const RouterOptions& options);
+
+/// Aggregate counters of one router batch.
+struct RouterStats {
+  int64_t queries = 0;
+  /// Shard Step-1 sub-batches issued (across all fan-out rounds), and
+  /// (query, shard) pairs never contacted thanks to shard-map pruning.
+  int64_t shard_fanouts = 0;
+  int64_t shards_pruned = 0;
+  /// Queries answered kUnavailable because a shard stayed unreachable
+  /// through the retry budget.
+  int64_t unavailable = 0;
+  /// Candidate instances dropped as ghosts during the merge.
+  int64_t ghosts_dropped = 0;
+  /// Candidates removed by the global-τ re-prune.
+  int64_t repruned = 0;
+  /// Owner-shard record fetches that missed the router's record cache.
+  int64_t records_fetched = 0;
+};
+
+/// Indices of the shards whose bbox could contain a possible NN of `q`:
+/// τ_map = min over shards of MaxDistSq(bbox, q), keep shards with
+/// MinDistSq(bbox, q) ≤ τ_map. This is the router's ROUND-1 contact set;
+/// ExecuteBatch re-checks the pruned shards against the gathered τ and
+/// widens the fan-out until the set closes (see file comment), so a
+/// too-aggressive bbox prune can cost a round but never a candidate.
+/// Empty-bbox shards are never contacted in round 1.
+std::vector<size_t> RelevantShards(const ShardMap& map, const geom::Point& q);
+
+/// The query-kind-agnostic merge: per-shard candidate lists in, one
+/// deduped, globally re-pruned, id-sorted candidate set out.
+/// `answers[i]` is shard `shard_index[i]`'s candidate list; `ghosts[s]`
+/// is shard s's ghost-id set (dropped so every object keeps exactly its
+/// owner instance). Stats fields ghosts_dropped / repruned are
+/// incremented when `stats` is non-null.
+std::vector<uncertain::ObjectId> MergeShardCandidates(
+    std::span<const std::vector<ShardCandidate>> answers,
+    std::span<const size_t> shard_index,
+    const std::vector<std::unordered_set<uncertain::ObjectId>>& ghosts,
+    RouterStats* stats);
+
+/// The scatter-gather router. Thread-compatible: one batch at a time.
+class ShardRouter {
+ public:
+  /// Takes the manifest plus one connection per map entry (aligned).
+  static Result<std::unique_ptr<ShardRouter>> Create(
+      ShardMap map, std::vector<std::shared_ptr<ShardConnection>> connections,
+      const RouterOptions& options);
+
+  /// Answers every query; answer i corresponds to queries[i]. Per-query
+  /// failures (unreachable shard after retries → kUnavailable, shard-side
+  /// errors forwarded) land in the answer's status and never abort the
+  /// batch or produce a wrong probability.
+  std::vector<service::PnnAnswer> ExecuteBatch(
+      std::span<const geom::Point> queries, RouterStats* stats = nullptr);
+
+  const ShardMap& map() const { return map_; }
+
+  /// Router metrics (fanout, dedup, unavailable, record-cache traffic) for
+  /// the front end's /metrics export.
+  const MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  /// The router's record store: owner-shard records fetched once, cached
+  /// for the router's lifetime (records are immutable per shard
+  /// generation), served to Step-2 through the ObjectSource seam.
+  class RecordStore : public uncertain::ObjectSource {
+   public:
+    const uncertain::UncertainObject* FindObject(
+        uncertain::ObjectId id) const override;
+    /// Ids of `want` not yet cached.
+    std::vector<uncertain::ObjectId> Missing(
+        std::span<const uncertain::ObjectId> want) const;
+    void Insert(std::vector<uncertain::UncertainObject> records);
+
+   private:
+    mutable std::mutex mu_;
+    std::unordered_map<uncertain::ObjectId,
+                       std::unique_ptr<uncertain::UncertainObject>>
+        records_;
+  };
+
+  ShardRouter(ShardMap map,
+              std::vector<std::shared_ptr<ShardConnection>> connections,
+              const RouterOptions& options);
+
+  /// Calls `fn` with up to 1 + max_retries attempts; returns the last
+  /// error (as kUnavailable) when every attempt fails.
+  template <typename Fn>
+  auto WithRetries(Fn&& fn) -> decltype(fn());
+
+  ShardMap map_;
+  std::vector<std::shared_ptr<ShardConnection>> connections_;
+  RouterOptions options_;
+  /// Per-shard ghost sets, materialized from the manifest once.
+  std::vector<std::unordered_set<uncertain::ObjectId>> ghosts_;
+  /// Owner shard of every id seen so far (learned from non-ghost shard
+  /// answers; consulted for record fetches).
+  RecordStore records_;
+  pv::PnnStep2Evaluator step2_;
+  pv::QueryScratch scratch_;
+  MetricRegistry metrics_;
+  MetricRegistry::Counter* queries_total_ = nullptr;
+  MetricRegistry::Counter* unavailable_total_ = nullptr;
+  MetricRegistry::Counter* fanouts_total_ = nullptr;
+  MetricRegistry::Counter* shards_pruned_total_ = nullptr;
+  MetricRegistry::Counter* records_fetched_total_ = nullptr;
+};
+
+}  // namespace pvdb::shard
+
+#endif  // PVDB_SHARD_ROUTER_H_

@@ -1,0 +1,240 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/shard/shard_map.h"
+
+#include <cstring>
+
+#include "src/common/crc32c.h"
+#include "src/geom/point.h"
+
+namespace pvdb::shard {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'V', 'D', 'B', 'S', 'M', 'A', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 4;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendF64(std::vector<uint8_t>* out, double v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), b, b + sizeof(v));
+}
+
+void AppendRect(std::vector<uint8_t>* out, const geom::Rect& r) {
+  for (int i = 0; i < r.dim(); ++i) AppendF64(out, r.lo(i));
+  for (int i = 0; i < r.dim(); ++i) AppendF64(out, r.hi(i));
+}
+
+/// Bounds-checked little-endian reader over the manifest payload. Every
+/// primitive read reports truncation as Corruption with the offset, so a
+/// bit-flipped length field can never walk past the buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* v) { return ReadRaw(v); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v); }
+  Status ReadF64(double* v) { return ReadRaw(v); }
+  Status ReadU8(uint8_t* v) { return ReadRaw(v); }
+
+  Status ReadString(size_t n, std::string* out) {
+    if (remaining() < n) return Truncated("string");
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadRect(int dim, geom::Rect* out) {
+    geom::Point lo(dim), hi(dim);
+    for (int i = 0; i < dim; ++i) PVDB_RETURN_NOT_OK(ReadF64(&lo[i]));
+    for (int i = 0; i < dim; ++i) PVDB_RETURN_NOT_OK(ReadF64(&hi[i]));
+    for (int i = 0; i < dim; ++i) {
+      if (!(lo[i] <= hi[i])) {
+        return Status::Corruption("shard map: rect with lo > hi in dim " +
+                                  std::to_string(i));
+      }
+    }
+    *out = geom::Rect(lo, hi);
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Status ReadRaw(T* v) {
+    if (remaining() < sizeof(T)) return Truncated("scalar");
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::Corruption("shard map: truncated payload (" +
+                              std::string(what) + " at offset " +
+                              std::to_string(pos_) + " of " +
+                              std::to_string(data_.size()) + ")");
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeShardMap(const ShardMap& map) {
+  std::vector<uint8_t> payload;
+  AppendU32(&payload, static_cast<uint32_t>(map.dim));
+  AppendU32(&payload, static_cast<uint32_t>(map.shards.size()));
+  AppendRect(&payload, map.domain);
+  for (const ShardInfo& s : map.shards) {
+    AppendU32(&payload, static_cast<uint32_t>(s.snapshot_file.size()));
+    payload.insert(payload.end(), s.snapshot_file.begin(),
+                   s.snapshot_file.end());
+    AppendRect(&payload, s.region);
+    payload.push_back(s.has_bbox ? 1 : 0);
+    if (s.has_bbox) AppendRect(&payload, s.bbox);
+    AppendU64(&payload, s.object_count);
+    AppendU64(&payload, static_cast<uint64_t>(s.ghost_ids.size()));
+    for (uncertain::ObjectId id : s.ghost_ids) AppendU64(&payload, id);
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, Crc32c(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<ShardMap> DecodeShardMap(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::Corruption("shard map: file shorter than header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("shard map: bad magic (not a shard-map file)");
+  }
+  uint32_t version = 0, payload_len = 0, crc = 0;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  std::memcpy(&payload_len, bytes.data() + 12, 4);
+  std::memcpy(&crc, bytes.data() + 16, 4);
+  if (version != kVersion) {
+    return Status::NotSupported("shard map: version " +
+                                std::to_string(version) +
+                                " (this build reads version " +
+                                std::to_string(kVersion) + ")");
+  }
+  if (bytes.size() != kHeaderBytes + payload_len) {
+    return Status::Corruption(
+        "shard map: payload length mismatch (header says " +
+        std::to_string(payload_len) + ", file has " +
+        std::to_string(bytes.size() - kHeaderBytes) + ")");
+  }
+  std::span<const uint8_t> payload = bytes.subspan(kHeaderBytes);
+  const uint32_t actual_crc = Crc32c(payload.data(), payload.size());
+  if (actual_crc != crc) {
+    return Status::Corruption("shard map: checksum mismatch (stored " +
+                              std::to_string(crc) + ", computed " +
+                              std::to_string(actual_crc) + ")");
+  }
+
+  Reader r(payload);
+  ShardMap map;
+  uint32_t dim = 0, shard_count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&dim));
+  PVDB_RETURN_NOT_OK(r.ReadU32(&shard_count));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("shard map: dim " + std::to_string(dim) +
+                              " out of range [1, " +
+                              std::to_string(geom::kMaxDim) + "]");
+  }
+  if (shard_count < 1 || shard_count > 4096) {
+    return Status::Corruption("shard map: shard count " +
+                              std::to_string(shard_count) +
+                              " out of range [1, 4096]");
+  }
+  map.dim = static_cast<int>(dim);
+  PVDB_RETURN_NOT_OK(r.ReadRect(map.dim, &map.domain));
+  map.shards.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    ShardInfo s;
+    uint32_t name_len = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&name_len));
+    if (name_len == 0 || name_len > 4096) {
+      return Status::Corruption("shard map: shard " + std::to_string(i) +
+                                " snapshot name length " +
+                                std::to_string(name_len) +
+                                " out of range [1, 4096]");
+    }
+    PVDB_RETURN_NOT_OK(r.ReadString(name_len, &s.snapshot_file));
+    PVDB_RETURN_NOT_OK(r.ReadRect(map.dim, &s.region));
+    uint8_t has_bbox = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU8(&has_bbox));
+    if (has_bbox > 1) {
+      return Status::Corruption("shard map: shard " + std::to_string(i) +
+                                " bbox flag is " + std::to_string(has_bbox) +
+                                " (expected 0 or 1)");
+    }
+    s.has_bbox = has_bbox == 1;
+    if (s.has_bbox) {
+      PVDB_RETURN_NOT_OK(r.ReadRect(map.dim, &s.bbox));
+    } else {
+      s.bbox = geom::Rect(map.dim);
+    }
+    PVDB_RETURN_NOT_OK(r.ReadU64(&s.object_count));
+    uint64_t ghost_count = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU64(&ghost_count));
+    if (ghost_count > s.object_count) {
+      return Status::Corruption("shard map: shard " + std::to_string(i) +
+                                " claims " + std::to_string(ghost_count) +
+                                " ghosts but only " +
+                                std::to_string(s.object_count) + " objects");
+    }
+    if (ghost_count * 8 > r.remaining()) {
+      return Status::Corruption("shard map: shard " + std::to_string(i) +
+                                " ghost list longer than remaining payload");
+    }
+    s.ghost_ids.reserve(ghost_count);
+    for (uint64_t g = 0; g < ghost_count; ++g) {
+      uint64_t id = 0;
+      PVDB_RETURN_NOT_OK(r.ReadU64(&id));
+      s.ghost_ids.push_back(id);
+    }
+    map.shards.push_back(std::move(s));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("shard map: " + std::to_string(r.remaining()) +
+                              " trailing bytes after last shard entry");
+  }
+  return map;
+}
+
+Status SaveShardMap(const ShardMap& map, const std::string& dir,
+                    storage::Env* env) {
+  if (env == nullptr) env = storage::Env::Default();
+  const std::vector<uint8_t> bytes = EncodeShardMap(map);
+  return storage::WriteFileAtomic(env, dir + "/" + kShardMapFileName,
+                                  std::span<const uint8_t>(bytes));
+}
+
+Result<ShardMap> LoadShardMap(const std::string& dir, storage::Env* env) {
+  if (env == nullptr) env = storage::Env::Default();
+  std::vector<uint8_t> bytes;
+  PVDB_RETURN_NOT_OK(env->ReadFile(dir + "/" + kShardMapFileName, &bytes));
+  return DecodeShardMap(std::span<const uint8_t>(bytes));
+}
+
+}  // namespace pvdb::shard

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The shard-map manifest: the small, checksummed control file that turns a
+// directory of per-shard snapshots into one logical index. The partitioner
+// writes it (atomically, through storage::Env) next to the shard snapshot
+// files; the scatter-gather router loads it to learn
+//
+//   * the common domain and dimensionality every shard serves,
+//   * each shard's snapshot file name,
+//   * each shard's spatial region of responsibility (the partition cell)
+//     and the tight bounding box of every uncertainty region it actually
+//     indexes (owned + replicated) — the rect the router's shard-level
+//     minmax pruning runs on, and
+//   * which of a shard's objects are replicas ("ghosts"): objects whose
+//     uncertainty region straddles a partition boundary are indexed by
+//     every overlapping shard but OWNED by exactly one, and the router
+//     drops ghost instances at merge so each object contributes exactly
+//     once to a candidate set.
+//
+// On-disk layout (little-endian, like every pvdb control file):
+//
+//   magic "PVDBSMAP" | version u32 | payload bytes u32 | crc32c(payload) u32
+//   payload: dim u32 | shard count u32 | domain 2·dim f64
+//            per shard: name len u32 | name bytes
+//                       region 2·dim f64 | bbox flag u8 [bbox 2·dim f64]
+//                       object count u64 | ghost count u64 | ghost ids u64…
+//
+// Every load failure (truncation, foreign magic, future version, checksum
+// mismatch, inconsistent counts) is a descriptive Status, never a crash.
+
+#ifndef PVDB_SHARD_SHARD_MAP_H_
+#define PVDB_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/rect.h"
+#include "src/storage/env.h"
+#include "src/uncertain/uncertain_object.h"
+
+namespace pvdb::shard {
+
+/// One shard's entry in the map.
+struct ShardInfo {
+  /// Snapshot file name, relative to the manifest's directory.
+  std::string snapshot_file;
+  /// The partition cell this shard is responsible for (plane splits: a box;
+  /// Morton-range splits: the whole domain).
+  geom::Rect region{1};
+  /// Tight bounding box of the uncertainty regions of every object the
+  /// shard indexes (owned and ghost). Empty (has_bbox = false) for a shard
+  /// holding no objects — the router never fans out to it.
+  geom::Rect bbox{1};
+  bool has_bbox = false;
+  /// Objects the shard indexes, ghosts included.
+  uint64_t object_count = 0;
+  /// Replicated boundary-straddlers owned by another shard. The router
+  /// drops these ids from this shard's Step-1 answers at merge.
+  std::vector<uncertain::ObjectId> ghost_ids;
+};
+
+/// The whole map: what the partitioner produced, what the router serves.
+struct ShardMap {
+  int dim = 0;
+  geom::Rect domain{1};
+  std::vector<ShardInfo> shards;
+
+  size_t shard_count() const { return shards.size(); }
+};
+
+/// Serializes `map` to the manifest byte image (header + checksummed
+/// payload).
+std::vector<uint8_t> EncodeShardMap(const ShardMap& map);
+
+/// Inverse of EncodeShardMap with full validation.
+Result<ShardMap> DecodeShardMap(std::span<const uint8_t> bytes);
+
+/// Writes the manifest atomically (temp + fsync + rename + dir fsync) as
+/// `<dir>/SHARDMAP` through `env` (nullptr = Env::Default()).
+Status SaveShardMap(const ShardMap& map, const std::string& dir,
+                    storage::Env* env = nullptr);
+
+/// Loads and validates `<dir>/SHARDMAP`.
+Result<ShardMap> LoadShardMap(const std::string& dir,
+                              storage::Env* env = nullptr);
+
+/// The manifest's file name inside a shard directory.
+inline constexpr const char* kShardMapFileName = "SHARDMAP";
+
+}  // namespace pvdb::shard
+
+#endif  // PVDB_SHARD_SHARD_MAP_H_

@@ -1,0 +1,213 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/shard/shard_service.h"
+
+#include <utility>
+
+#include "src/net/wire.h"
+#include "src/pv/index_snapshot.h"
+
+namespace pvdb::shard {
+
+Result<LocalShardSet> OpenShardDir(const std::string& dir,
+                                   storage::Env* env) {
+  PVDB_ASSIGN_OR_RETURN(ShardMap map, LoadShardMap(dir, env));
+  LocalShardSet set;
+  set.connections.reserve(map.shards.size());
+  set.snapshots.reserve(map.shards.size());
+  for (const ShardInfo& info : map.shards) {
+    PVDB_ASSIGN_OR_RETURN(
+        std::shared_ptr<const pv::IndexSnapshot> snapshot,
+        pv::IndexSnapshot::Open(dir + "/" + info.snapshot_file));
+    set.connections.push_back(
+        std::make_shared<LocalShardConnection>(snapshot));
+    set.snapshots.push_back(std::move(snapshot));
+  }
+  set.map = std::move(map);
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// ShardServer
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Start(
+    std::shared_ptr<const pv::IndexSnapshot> snapshot,
+    const net::TcpServerOptions& server_options,
+    service::QueryEngineOptions engine_options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("shard server needs a snapshot");
+  }
+  // A sharded deployment must answer identically whether a query reaches a
+  // shard directly or through the router's merge, so canonical candidate
+  // order is not optional here.
+  engine_options.canonical_candidates = true;
+  auto server = std::unique_ptr<ShardServer>(new ShardServer(snapshot));
+  PVDB_ASSIGN_OR_RETURN(
+      server->engine_,
+      service::QueryEngine::CreateFromSnapshot(snapshot, engine_options));
+  auto* raw = server.get();
+  PVDB_ASSIGN_OR_RETURN(
+      server->server_,
+      net::TcpServer::Start(
+          server_options,
+          [raw](net::MessageType type, std::span<const uint8_t> payload) {
+            return raw->Handle(type, payload);
+          },
+          [raw] { return raw->engine_->metrics().ExportPrometheusText(); }));
+  return server;
+}
+
+Result<std::pair<net::MessageType, std::vector<uint8_t>>> ShardServer::Handle(
+    net::MessageType type, std::span<const uint8_t> payload) {
+  switch (type) {
+    case net::MessageType::kInfo: {
+      net::WireInfo info;
+      info.dim = snapshot_->dim();
+      info.object_count = snapshot_->object_count();
+      return std::make_pair(net::MessageType::kInfo,
+                            net::EncodeInfoResponse(info));
+    }
+    case net::MessageType::kStep1Batch: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<geom::Point> queries,
+                            net::DecodeQueryBatchRequest(payload));
+      PVDB_ASSIGN_OR_RETURN(std::vector<ShardStep1Answer> answers,
+                            local_.Step1Batch(queries));
+      return std::make_pair(net::MessageType::kStep1Batch,
+                            net::EncodeStep1BatchResponse(answers));
+    }
+    case net::MessageType::kFetchRecords: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<uncertain::ObjectId> ids,
+                            net::DecodeFetchRecordsRequest(payload));
+      PVDB_ASSIGN_OR_RETURN(std::vector<uncertain::UncertainObject> records,
+                            local_.FetchRecords(ids));
+      return std::make_pair(net::MessageType::kFetchRecords,
+                            net::EncodeFetchRecordsResponse(records));
+    }
+    case net::MessageType::kQueryBatch: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<geom::Point> queries,
+                            net::DecodeQueryBatchRequest(payload));
+      const std::vector<service::PnnAnswer> answers =
+          engine_->ExecuteBatch(queries);
+      std::vector<net::WireAnswer> wire(answers.size());
+      for (size_t i = 0; i < answers.size(); ++i) {
+        wire[i].status = answers[i].status;
+        wire[i].results = answers[i].results;
+      }
+      return std::make_pair(net::MessageType::kQueryBatch,
+                            net::EncodeQueryBatchResponse(wire));
+    }
+    default:
+      return Status::NotSupported(
+          "shard server does not handle message type " +
+          std::to_string(static_cast<int>(type)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RouterServer
+
+Result<std::unique_ptr<RouterServer>> RouterServer::Start(
+    std::unique_ptr<ShardRouter> router,
+    const net::TcpServerOptions& server_options) {
+  if (router == nullptr) {
+    return Status::InvalidArgument("router server needs a router");
+  }
+  auto server =
+      std::unique_ptr<RouterServer>(new RouterServer(std::move(router)));
+  auto* raw = server.get();
+  PVDB_ASSIGN_OR_RETURN(
+      server->server_,
+      net::TcpServer::Start(
+          server_options,
+          [raw](net::MessageType type, std::span<const uint8_t> payload) {
+            return raw->Handle(type, payload);
+          },
+          [raw] { return raw->router_->metrics().ExportPrometheusText(); }));
+  return server;
+}
+
+Result<std::pair<net::MessageType, std::vector<uint8_t>>> RouterServer::Handle(
+    net::MessageType type, std::span<const uint8_t> payload) {
+  switch (type) {
+    case net::MessageType::kInfo: {
+      net::WireInfo info;
+      info.dim = router_->map().dim;
+      // Distinct objects across the deployment: every object counts once on
+      // its owner shard, and ghosts are the non-owner replicas.
+      for (const ShardInfo& s : router_->map().shards) {
+        info.object_count += s.object_count - s.ghost_ids.size();
+      }
+      return std::make_pair(net::MessageType::kInfo,
+                            net::EncodeInfoResponse(info));
+    }
+    case net::MessageType::kQueryBatch: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<geom::Point> queries,
+                            net::DecodeQueryBatchRequest(payload));
+      const std::vector<service::PnnAnswer> answers =
+          router_->ExecuteBatch(queries);
+      std::vector<net::WireAnswer> wire(answers.size());
+      for (size_t i = 0; i < answers.size(); ++i) {
+        wire[i].status = answers[i].status;
+        wire[i].results = answers[i].results;
+      }
+      return std::make_pair(net::MessageType::kQueryBatch,
+                            net::EncodeQueryBatchResponse(wire));
+    }
+    default:
+      return Status::NotSupported(
+          "router server does not handle message type " +
+          std::to_string(static_cast<int>(type)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteShardConnection
+
+Result<std::vector<uint8_t>> RemoteShardConnection::Exchange(
+    net::MessageType type, std::span<const uint8_t> payload,
+    net::MessageType expect) {
+  if (client_ == nullptr) {
+    auto client_or = net::FrameClient::Connect(port_, deadline_ms_);
+    if (!client_or.ok()) return client_or.status();
+    client_ = std::move(client_or).value();
+  }
+  auto response_or = client_->Call(type, payload, deadline_ms_);
+  if (!response_or.ok()) {
+    // The stream may be desynced (timeout mid-frame) or the peer gone;
+    // either way the next call starts from a fresh connection.
+    client_.reset();
+    return response_or.status();
+  }
+  auto response = std::move(response_or).value();
+  if (response.first != expect) {
+    client_.reset();
+    return Status::Corruption(
+        "shard answered with unexpected message type " +
+        std::to_string(static_cast<int>(response.first)) + " (expected " +
+        std::to_string(static_cast<int>(expect)) + ")");
+  }
+  return std::move(response.second);
+}
+
+Result<std::vector<ShardStep1Answer>> RemoteShardConnection::Step1Batch(
+    std::span<const geom::Point> queries) {
+  PVDB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      Exchange(net::MessageType::kStep1Batch,
+               net::EncodeQueryBatchRequest(queries),
+               net::MessageType::kStep1Batch));
+  return net::DecodeStep1BatchResponse(body);
+}
+
+Result<std::vector<uncertain::UncertainObject>>
+RemoteShardConnection::FetchRecords(
+    std::span<const uncertain::ObjectId> ids) {
+  PVDB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      Exchange(net::MessageType::kFetchRecords,
+               net::EncodeFetchRecordsRequest(ids),
+               net::MessageType::kFetchRecords));
+  return net::DecodeFetchRecordsResponse(body);
+}
+
+}  // namespace pvdb::shard

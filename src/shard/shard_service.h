@@ -1,0 +1,124 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Process-level glue between the shard layer and the socket layer:
+//
+//   * ShardServer — one shard snapshot behind a TCP front end. Serves the
+//     router's scatter legs (kStep1Batch, kFetchRecords), direct full
+//     queries through its own QueryEngine (kQueryBatch), kInfo, and
+//     `GET /metrics` (the engine's Prometheus export).
+//   * RouterServer — a ShardRouter behind the same front end: kQueryBatch
+//     fans out to the shards and answers with merged, bit-identical
+//     results; `GET /metrics` exports the router's registry.
+//   * RemoteShardConnection — the ShardConnection that speaks the framed
+//     protocol to a ShardServer, with the router's deadline applied to
+//     every exchange and transparent reconnect after a failure (so a
+//     restarted shard heals without rebuilding the router).
+//   * OpenShardDir — loads `<dir>/SHARDMAP` and opens every shard
+//     snapshot into LocalShardConnections (single-process serving and the
+//     reference side of the bit-identity tests).
+
+#ifndef PVDB_SHARD_SHARD_SERVICE_H_
+#define PVDB_SHARD_SHARD_SERVICE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/service/query_engine.h"
+#include "src/shard/router.h"
+#include "src/shard/shard_map.h"
+
+namespace pvdb::shard {
+
+/// A shard map plus one local connection per shard (aligned).
+struct LocalShardSet {
+  ShardMap map;
+  std::vector<std::shared_ptr<ShardConnection>> connections;
+  /// The opened snapshots, aligned with connections (borrowed by them).
+  std::vector<std::shared_ptr<const pv::IndexSnapshot>> snapshots;
+};
+
+/// Loads `<dir>/SHARDMAP` and opens every shard snapshot in-process.
+Result<LocalShardSet> OpenShardDir(const std::string& dir,
+                                   storage::Env* env = nullptr);
+
+/// One shard snapshot served over TCP.
+class ShardServer {
+ public:
+  /// Opens an engine over `snapshot` (canonical-candidate mode is forced
+  /// on: a sharded deployment's direct answers must match the router's)
+  /// and starts the front end.
+  static Result<std::unique_ptr<ShardServer>> Start(
+      std::shared_ptr<const pv::IndexSnapshot> snapshot,
+      const net::TcpServerOptions& server_options,
+      service::QueryEngineOptions engine_options = {});
+
+  int port() const { return server_->port(); }
+  void Stop() { server_->Stop(); }
+
+ private:
+  explicit ShardServer(std::shared_ptr<const pv::IndexSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)), local_(snapshot_) {}
+
+  Result<std::pair<net::MessageType, std::vector<uint8_t>>> Handle(
+      net::MessageType type, std::span<const uint8_t> payload);
+
+  std::shared_ptr<const pv::IndexSnapshot> snapshot_;
+  std::unique_ptr<service::QueryEngine> engine_;
+  LocalShardConnection local_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+/// A scatter-gather router served over TCP.
+class RouterServer {
+ public:
+  static Result<std::unique_ptr<RouterServer>> Start(
+      std::unique_ptr<ShardRouter> router,
+      const net::TcpServerOptions& server_options);
+
+  int port() const { return server_->port(); }
+  ShardRouter& router() { return *router_; }
+  void Stop() { server_->Stop(); }
+
+ private:
+  explicit RouterServer(std::unique_ptr<ShardRouter> router)
+      : router_(std::move(router)) {}
+
+  Result<std::pair<net::MessageType, std::vector<uint8_t>>> Handle(
+      net::MessageType type, std::span<const uint8_t> payload);
+
+  std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<net::TcpServer> server_;
+};
+
+/// ShardConnection over the framed TCP protocol. Connects lazily on first
+/// use and reconnects after a failed exchange; every call observes
+/// `deadline_ms`, so a SIGKILLed shard turns into kUnavailable at the
+/// router, never a hang.
+class RemoteShardConnection : public ShardConnection {
+ public:
+  RemoteShardConnection(int port, double deadline_ms)
+      : port_(port), deadline_ms_(deadline_ms) {}
+
+  Result<std::vector<ShardStep1Answer>> Step1Batch(
+      std::span<const geom::Point> queries) override;
+  Result<std::vector<uncertain::UncertainObject>> FetchRecords(
+      std::span<const uncertain::ObjectId> ids) override;
+
+ private:
+  Result<std::vector<uint8_t>> Exchange(net::MessageType type,
+                                        std::span<const uint8_t> payload,
+                                        net::MessageType expect);
+
+  int port_;
+  double deadline_ms_;
+  std::unique_ptr<net::FrameClient> client_;
+};
+
+}  // namespace pvdb::shard
+
+#endif  // PVDB_SHARD_SHARD_SERVICE_H_

@@ -1,0 +1,588 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Networking layer tests: frame encode/decode hardening (torn, truncated,
+// bad-magic, bad-CRC, future-version and oversized frames — descriptive
+// Status, never a crash), wire codec round trips and corruption bounds,
+// the poll-based TCP server + deadline client end to end (binary frames
+// and HTTP /metrics on one port), ShardServer over RemoteShardConnection,
+// dead-peer timeouts (kUnavailable, never a hang), and the open-loop load
+// generator against a live shard server.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/frame.h"
+#include "src/net/loadgen.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/shard/shard_service.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::net {
+namespace {
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> b) { return b; }
+
+// Blocking loopback socket for tests that must speak raw (corrupt) bytes
+// the deadline client would refuse to produce.
+int RawConnect(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Writes `bytes` raw, reads back one frame, expects kError and returns
+/// the carried Status (transport problems come back as kIOError, which no
+/// server-side verdict uses).
+Status SendRawFrame(int port, const std::vector<uint8_t>& bytes) {
+  const int fd = RawConnect(port);
+  if (fd < 0) return Status::IOError("raw connect failed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      close(fd);
+      return Status::IOError("raw write failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::vector<uint8_t> response;
+  uint8_t chunk[4096];
+  // The server answers then closes on a transport fault, so read-to-EOF
+  // terminates.
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.insert(response.end(), chunk, chunk + n);
+  }
+  close(fd);
+  if (response.size() < kFrameHeaderBytes) {
+    return Status::IOError("no frame came back");
+  }
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(response.data(), kFrameHeaderBytes));
+  if (!header.ok()) return header.status();
+  if (header.value().type != MessageType::kError) {
+    return Status::IOError("expected a kError response");
+  }
+  return DecodeErrorResponse(std::span<const uint8_t>(
+      response.data() + kFrameHeaderBytes, header.value().payload_len));
+}
+
+/// One blocking HTTP exchange; returns the raw response text.
+Result<std::string> HttpGet(int port, const std::string& request) {
+  const int fd = RawConnect(port);
+  if (fd < 0) return Status::IOError("raw connect failed");
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      close(fd);
+      return Status::IOError("raw write failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Frame header + CRC hardening
+// ---------------------------------------------------------------------------
+
+TEST(FrameTest, RoundTrip) {
+  const std::vector<uint8_t> payload = Payload({1, 2, 3, 4, 5});
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kQueryBatch, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame.data(), kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().type, MessageType::kQueryBatch);
+  EXPECT_EQ(header.value().payload_len, payload.size());
+  EXPECT_TRUE(VerifyFramePayload(header.value(),
+                                 std::span<const uint8_t>(
+                                     frame.data() + kFrameHeaderBytes,
+                                     payload.size()))
+                  .ok());
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  const std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes);
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().payload_len, 0u);
+  EXPECT_TRUE(VerifyFramePayload(header.value(), {}).ok());
+}
+
+TEST(FrameTest, TornHeaderIsCorruption) {
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kInfo, Payload({9}));
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    auto header =
+        DecodeFrameHeader(std::span<const uint8_t>(frame.data(), len));
+    ASSERT_FALSE(header.ok()) << "torn header of " << len << " parsed";
+    EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+    EXPECT_FALSE(header.status().ToString().empty());
+  }
+}
+
+TEST(FrameTest, BadMagicIsCorruption) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  frame[0] = 'X';
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(header.status().ToString().find("magic"), std::string::npos)
+      << header.status().ToString();
+}
+
+TEST(FrameTest, FutureVersionIsNotSupported) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  frame[4] = kFrameVersion + 1;
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(FrameTest, NonzeroFlagsAreCorruption) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  frame[6] = 0x01;
+  EXPECT_EQ(DecodeFrameHeader(frame).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FrameTest, OversizedLengthIsCorruption) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 8, &huge, sizeof(huge));
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, FlippedPayloadBitFailsCrc) {
+  std::vector<uint8_t> payload = Payload({10, 20, 30, 40});
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kQueryBatch, payload);
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame.data(), kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok());
+  payload[2] ^= 0x04;
+  const Status bad = VerifyFramePayload(header.value(), payload);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.ToString().find("CRC"), std::string::npos) << bad.ToString();
+}
+
+TEST(FrameTest, TruncatedPayloadFailsVerification) {
+  const std::vector<uint8_t> payload = Payload({1, 2, 3, 4, 5, 6});
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kQueryBatch, payload);
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame.data(), kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok());
+  const Status bad = VerifyFramePayload(
+      header.value(), std::span<const uint8_t>(payload.data(), 3));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, QueryBatchRoundTrip) {
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 5; ++i) {
+    geom::Point q(3);
+    q[0] = i * 1.5;
+    q[1] = -i;
+    q[2] = 1.0 / (i + 1);
+    queries.push_back(q);
+  }
+  auto decoded = DecodeQueryBatchRequest(EncodeQueryBatchRequest(queries));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(decoded.value()[i][d], queries[i][d]);
+    }
+  }
+}
+
+TEST(WireTest, QueryBatchTruncationIsCorruption) {
+  std::vector<geom::Point> queries(3, geom::Point(2));
+  const std::vector<uint8_t> image = EncodeQueryBatchRequest(queries);
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeQueryBatchRequest(
+        std::span<const uint8_t>(image.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " parsed";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireTest, AbsurdCountFieldIsRejectedBeforeAllocation) {
+  // dim=2, count=2^30 with a 12-byte body: the decoder must reject on the
+  // size check, not attempt a gigabyte vector.
+  std::vector<uint8_t> image(12, 0);
+  image[0] = 2;               // dim
+  image[4] = 0;
+  image[5] = 0;
+  image[6] = 0;
+  image[7] = 0x40;            // count = 1 << 30
+  auto decoded = DecodeQueryBatchRequest(image);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, Step1BatchResponseRoundTripsStatusAndCandidates) {
+  std::vector<shard::ShardStep1Answer> answers(2);
+  answers[0].candidates = {{7, 1.25, 9.5}, {9, 0.0, 2.0}};
+  answers[1].status = Status::Unavailable("shard draining");
+  auto decoded =
+      DecodeStep1BatchResponse(EncodeStep1BatchResponse(answers));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].candidates.size(), 2u);
+  EXPECT_EQ(decoded.value()[0].candidates[0].id, 7u);
+  EXPECT_EQ(decoded.value()[0].candidates[0].min_dist_sq, 1.25);
+  EXPECT_EQ(decoded.value()[1].status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(decoded.value()[1].status.ToString().find("draining"),
+            std::string::npos);
+}
+
+TEST(WireTest, FetchRecordsRoundTrip) {
+  Rng rng(3);
+  geom::Rect region(2);
+  region.set_lo(0, 1.0);
+  region.set_hi(0, 2.0);
+  region.set_lo(1, 5.0);
+  region.set_hi(1, 6.0);
+  std::vector<uncertain::UncertainObject> records;
+  records.push_back(
+      uncertain::UncertainObject::UniformSampled(42, region, 8, &rng));
+  auto decoded =
+      DecodeFetchRecordsResponse(EncodeFetchRecordsResponse(records));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 1u);
+  std::vector<uint8_t> a;
+  std::vector<uint8_t> b;
+  records[0].AppendTo(&a);
+  decoded.value()[0].AppendTo(&b);
+  EXPECT_EQ(a, b) << "record bytes changed crossing the wire";
+}
+
+TEST(WireTest, ErrorResponseCarriesStatusAndRejectsOk) {
+  const Status original = Status::NotFound("object 12 missing");
+  const Status decoded = DecodeErrorResponse(EncodeErrorResponse(original));
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_NE(decoded.ToString().find("object 12 missing"), std::string::npos);
+  // An OK travelling in an error frame is itself a protocol violation.
+  EXPECT_EQ(DecodeErrorResponse(EncodeErrorResponse(Status::OK())).code(),
+            StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer + FrameClient end to end
+// ---------------------------------------------------------------------------
+
+TEST(TcpServerTest, OptionValidation) {
+  TcpServerOptions options;
+  options.port = 70000;
+  EXPECT_EQ(ValidateTcpServerOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = TcpServerOptions{};
+  options.max_connections = 0;
+  EXPECT_EQ(ValidateTcpServerOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ValidateTcpServerOptions(TcpServerOptions{}).ok());
+  auto no_handler = TcpServer::Start(TcpServerOptions{}, nullptr);
+  EXPECT_EQ(no_handler.status().code(), StatusCode::kInvalidArgument);
+}
+
+// An echo handler: returns the payload unchanged under the same type.
+Result<std::unique_ptr<TcpServer>> StartEchoServer() {
+  return TcpServer::Start(
+      TcpServerOptions{},
+      [](MessageType type, std::span<const uint8_t> payload)
+          -> Result<std::pair<MessageType, std::vector<uint8_t>>> {
+        if (type == MessageType::kFetchRecords) {
+          return Status::NotFound("echo server holds no records");
+        }
+        return std::make_pair(
+            type, std::vector<uint8_t>(payload.begin(), payload.end()));
+      },
+      [] { return std::string("pvdb_up 1\n"); });
+}
+
+TEST(TcpServerTest, EchoRoundTripOnEphemeralPort) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_GT(server.value()->port(), 0);
+  auto client = FrameClient::Connect(server.value()->port(), 2000.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::vector<uint8_t> payload = Payload({5, 4, 3, 2, 1});
+  for (int i = 0; i < 3; ++i) {  // several calls on one connection
+    auto response =
+        client.value()->Call(MessageType::kQueryBatch, payload, 2000.0);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().first, MessageType::kQueryBatch);
+    EXPECT_EQ(response.value().second, payload);
+  }
+}
+
+TEST(TcpServerTest, HandlerErrorComesBackAsStatusAndConnectionSurvives) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok());
+  auto client = FrameClient::Connect(server.value()->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  auto err = client.value()->Call(MessageType::kFetchRecords, {}, 2000.0);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(err.status().ToString().find("no records"), std::string::npos);
+  // A handler-level error must not desync the stream.
+  auto ok = client.value()->Call(MessageType::kInfo, Payload({1}), 2000.0);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(TcpServerTest, CorruptFrameGetsErrorResponse) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok());
+  // Hand-corrupt the CRC so the server sees a transport fault; the
+  // deadline client would never produce these bytes, so speak raw.
+  std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kInfo, Payload({1, 2, 3}));
+  frame[12] ^= 0xFF;
+  const Status verdict = SendRawFrame(server.value()->port(), frame);
+  EXPECT_EQ(verdict.code(), StatusCode::kCorruption);
+  EXPECT_NE(verdict.ToString().find("CRC"), std::string::npos)
+      << verdict.ToString();
+}
+
+TEST(TcpServerTest, ForeignPreambleGetsErrorAndClose) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok());
+  const std::string garbage = "SSH-2.0-not-a-pvdb-peer\r\n";
+  const Status verdict = SendRawFrame(
+      server.value()->port(),
+      std::vector<uint8_t>(garbage.begin(), garbage.end()));
+  EXPECT_EQ(verdict.code(), StatusCode::kInvalidArgument)
+      << verdict.ToString();
+}
+
+TEST(TcpServerTest, MetricsOverHttpOnTheSamePort) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok());
+  auto response = HttpGet(server.value()->port(),
+                          "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  EXPECT_NE(response.value().find("pvdb_up 1"), std::string::npos);
+  auto missing = HttpGet(server.value()->port(),
+                         "GET /other HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing.value().find("404"), std::string::npos);
+}
+
+TEST(FrameClientTest, DeadPortIsUnavailableNotAHang) {
+  // Port 1 on loopback: nothing listens there.
+  const auto start = std::chrono::steady_clock::now();
+  auto client = FrameClient::Connect(1, 500.0);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed_ms, 5000.0) << "connect did not respect the deadline";
+}
+
+TEST(FrameClientTest, ServerGoneMidStreamIsUnavailable) {
+  auto server = StartEchoServer();
+  ASSERT_TRUE(server.ok());
+  auto client = FrameClient::Connect(server.value()->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  server.value()->Stop();
+  auto response =
+      client.value()->Call(MessageType::kInfo, Payload({1}), 500.0);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  // The stream is now marked broken; further calls fail fast.
+  auto again = client.value()->Call(MessageType::kInfo, {}, 500.0);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// ShardServer over RemoteShardConnection + load generator
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const pv::IndexSnapshot> MakeSnapshot(size_t count,
+                                                      uint64_t seed) {
+  uncertain::SyntheticOptions options;
+  options.dim = 2;
+  options.count = count;
+  options.samples_per_object = 16;
+  options.seed = seed;
+  const uncertain::Dataset db = uncertain::GenerateSynthetic(options);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  EXPECT_TRUE(builder.ok()) << builder.status().ToString();
+  auto snapshot = builder.value()->Seal();
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return snapshot.value();
+}
+
+TEST(ShardServerTest, RemoteConnectionServesStep1AndRecords) {
+  auto snapshot = MakeSnapshot(150, 21);
+  auto server = shard::ShardServer::Start(snapshot, TcpServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  shard::RemoteShardConnection remote(server.value()->port(), 2000.0);
+  shard::LocalShardConnection local(snapshot);
+  std::vector<geom::Point> queries;
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    geom::Point q(2);
+    q[0] = rng.NextUniform(0.0, 10000.0);
+    q[1] = rng.NextUniform(0.0, 10000.0);
+    queries.push_back(q);
+  }
+  auto remote_answers = remote.Step1Batch(queries);
+  auto local_answers = local.Step1Batch(queries);
+  ASSERT_TRUE(remote_answers.ok()) << remote_answers.status().ToString();
+  ASSERT_TRUE(local_answers.ok());
+  ASSERT_EQ(remote_answers.value().size(), local_answers.value().size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& r = remote_answers.value()[i].candidates;
+    const auto& l = local_answers.value()[i].candidates;
+    ASSERT_EQ(r.size(), l.size()) << "query " << i;
+    for (size_t j = 0; j < r.size(); ++j) {
+      EXPECT_EQ(r[j].id, l[j].id);
+      EXPECT_EQ(r[j].min_dist_sq, l[j].min_dist_sq);
+      EXPECT_EQ(r[j].max_dist_sq, l[j].max_dist_sq);
+    }
+  }
+
+  // Record fetch round trip: bytes identical to the snapshot's record.
+  const std::vector<uncertain::ObjectId> ids = snapshot->ObjectIds();
+  ASSERT_FALSE(ids.empty());
+  const std::vector<uncertain::ObjectId> want = {ids[0], ids[ids.size() / 2]};
+  auto records = remote.FetchRecords(want);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records.value().size(), 2u);
+  for (size_t i = 0; i < want.size(); ++i) {
+    auto direct = snapshot->GetObject(want[i]);
+    ASSERT_TRUE(direct.ok());
+    std::vector<uint8_t> a;
+    std::vector<uint8_t> b;
+    records.value()[i].AppendTo(&a);
+    direct.value().AppendTo(&b);
+    EXPECT_EQ(a, b);
+  }
+
+  // Unknown id → NotFound from the shard, carried across the wire.
+  auto missing = remote.FetchRecords(
+      std::vector<uncertain::ObjectId>{99999999});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardServerTest, RemoteConnectionReconnectsAfterServerRestart) {
+  auto snapshot = MakeSnapshot(80, 22);
+  auto first = shard::ShardServer::Start(snapshot, TcpServerOptions{});
+  ASSERT_TRUE(first.ok());
+  const int port = first.value()->port();
+  shard::RemoteShardConnection remote(port, 1000.0);
+  std::vector<geom::Point> one(1, geom::Point(2));
+  ASSERT_TRUE(remote.Step1Batch(one).ok());
+
+  first.value()->Stop();
+  auto while_down = remote.Step1Batch(one);
+  ASSERT_FALSE(while_down.ok());
+  EXPECT_EQ(while_down.status().code(), StatusCode::kUnavailable);
+
+  // Same port, new process stand-in: the connection heals by itself.
+  TcpServerOptions options;
+  options.port = port;
+  auto second = shard::ShardServer::Start(snapshot, options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto healed = remote.Step1Batch(one);
+  EXPECT_TRUE(healed.ok()) << healed.status().ToString();
+}
+
+TEST(LoadGenTest, OptionValidation) {
+  LoadGenOptions options;
+  options.target_qps = 0.0;
+  EXPECT_EQ(ValidateLoadGenOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = LoadGenOptions{};
+  options.total_requests = 0;
+  EXPECT_EQ(ValidateLoadGenOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = LoadGenOptions{};
+  options.heavy_tailed = true;
+  options.pareto_alpha = 1.0;
+  EXPECT_NE(ValidateLoadGenOptions(options).ToString().find("pareto"),
+            std::string::npos);
+  EXPECT_TRUE(ValidateLoadGenOptions(LoadGenOptions{}).ok());
+}
+
+TEST(LoadGenTest, OpenLoopRunAgainstAShardServer) {
+  auto snapshot = MakeSnapshot(120, 23);
+  auto server = shard::ShardServer::Start(snapshot, TcpServerOptions{});
+  ASSERT_TRUE(server.ok());
+  std::vector<geom::Point> queries;
+  Rng rng(6);
+  for (int i = 0; i < 16; ++i) {
+    geom::Point q(2);
+    q[0] = rng.NextUniform(0.0, 10000.0);
+    q[1] = rng.NextUniform(0.0, 10000.0);
+    queries.push_back(q);
+  }
+  LoadGenOptions options;
+  options.target_qps = 400.0;
+  options.total_requests = 60;
+  options.batch_size = 2;
+  auto report = RunLoadGen(server.value()->port(), queries, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().sent, 60);
+  EXPECT_EQ(report.value().ok, 60);
+  EXPECT_EQ(report.value().failed, 0);
+  EXPECT_EQ(report.value().answer_errors, 0);
+  EXPECT_EQ(report.value().latency_us.count(), 60);
+  EXPECT_GT(report.value().latency_us.Percentile(99.0), 0);
+  EXPECT_GT(report.value().achieved_qps, 0.0);
+}
+
+}  // namespace
+}  // namespace pvdb::net

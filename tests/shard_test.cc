@@ -1,0 +1,481 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Sharding subsystem tests: partition-plan invariants (single ownership,
+// ghost replication of boundary-straddlers, bbox coverage), shard-map
+// manifest corruption hardening (truncation, bad CRC, foreign magic,
+// future version, trailing bytes — descriptive Status, never a crash),
+// option validation, and the PR's acceptance property: a K-shard router
+// over randomized datasets — including wide, boundary-straddling UBRs —
+// answers BIT-IDENTICAL to one canonical-order engine over the union
+// dataset. Degradation: an unreachable shard poisons exactly the queries
+// that need it with kUnavailable and never aborts the batch.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/pv/pv_index_builder.h"
+#include "src/service/query_engine.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/router.h"
+#include "src/shard/shard_map.h"
+#include "src/shard/shard_service.h"
+#include "src/storage/env.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::shard {
+namespace {
+
+std::string TempDirPath(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pvdb_shard_" + name + "_" +
+                          std::to_string(::getpid());
+  (void)storage::Env::Default()->CreateDirIfMissing(dir);
+  return dir;
+}
+
+uncertain::Dataset MakeDb(int dim, size_t count, double extent,
+                          uint64_t seed) {
+  uncertain::SyntheticOptions options;
+  options.dim = dim;
+  options.count = count;
+  options.max_region_extent = extent;
+  options.samples_per_object = 24;
+  options.seed = seed;
+  return uncertain::GenerateSynthetic(options);
+}
+
+std::vector<geom::Point> MakeQueries(const geom::Rect& domain, int n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < n; ++i) {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+// The reference every router run is held against: one engine, canonical
+// candidate order, over the sealed union dataset.
+std::vector<service::PnnAnswer> ReferenceAnswers(
+    const uncertain::Dataset& db, const std::vector<geom::Point>& queries) {
+  auto builder = pv::PvIndexBuilder::Build(db);
+  EXPECT_TRUE(builder.ok()) << builder.status().ToString();
+  auto snapshot = builder.value()->Seal();
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  service::QueryEngineOptions options;
+  options.threads = 1;
+  options.canonical_candidates = true;
+  auto engine = service::QueryEngine::CreateFromSnapshot(snapshot.value(),
+                                                         options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return engine.value()->ExecuteBatch(queries);
+}
+
+void ExpectBitIdentical(const std::vector<service::PnnAnswer>& got,
+                        const std::vector<service::PnnAnswer>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].status.ok())
+        << label << " query " << i << ": " << got[i].status.ToString();
+    ASSERT_TRUE(want[i].status.ok())
+        << label << " reference query " << i << ": "
+        << want[i].status.ToString();
+    ASSERT_EQ(got[i].results.size(), want[i].results.size())
+        << label << " query " << i;
+    for (size_t j = 0; j < got[i].results.size(); ++j) {
+      EXPECT_EQ(got[i].results[j].id, want[i].results[j].id)
+          << label << " query " << i << " result " << j;
+      // Bitwise, not epsilon: the merge must reproduce the engine exactly.
+      EXPECT_EQ(std::memcmp(&got[i].results[j].probability,
+                            &want[i].results[j].probability, sizeof(double)),
+                0)
+          << label << " query " << i << " result " << j << ": "
+          << got[i].results[j].probability << " vs "
+          << want[i].results[j].probability;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partition planning invariants
+// ---------------------------------------------------------------------------
+
+TEST(PartitionPlanTest, PlaneSplitsOwnEveryObjectExactlyOnce) {
+  const uncertain::Dataset db = MakeDb(3, 500, /*extent=*/800.0, 11);
+  PartitionOptions options;
+  options.shard_count = 4;
+  options.strategy = SplitStrategy::kPlane;
+  auto plan = PlanPartition(db, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().map.shard_count(), 4u);
+
+  // Owner = member and not ghost; every object must have exactly one.
+  std::unordered_map<uncertain::ObjectId, int> owners;
+  size_t total_ghosts = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    const ShardInfo& info = plan.value().map.shards[s];
+    std::unordered_set<uncertain::ObjectId> ghosts(info.ghost_ids.begin(),
+                                                   info.ghost_ids.end());
+    total_ghosts += ghosts.size();
+    EXPECT_EQ(info.object_count, plan.value().members[s].size());
+    for (uncertain::ObjectId id : plan.value().members[s]) {
+      if (ghosts.count(id) == 0) owners[id]++;
+      // Member invariant: the object's UBR intersects the shard's cell.
+      EXPECT_TRUE(db.Find(id)->region().Intersects(info.region));
+      // bbox covers every member's UBR.
+      EXPECT_TRUE(info.has_bbox);
+      EXPECT_TRUE(info.bbox.ContainsRect(db.Find(id)->region()));
+    }
+  }
+  EXPECT_EQ(owners.size(), db.size());
+  for (const auto& [id, n] : owners) EXPECT_EQ(n, 1) << "object " << id;
+  // Wide UBRs (extent 800 on a 10k domain, 4 cells) must actually straddle.
+  EXPECT_GT(total_ghosts, 0u) << "test dataset produced no straddlers";
+}
+
+TEST(PartitionPlanTest, MortonRangeIsDisjointAndBalanced) {
+  const uncertain::Dataset db = MakeDb(2, 400, 20.0, 5);
+  PartitionOptions options;
+  options.shard_count = 5;
+  options.strategy = SplitStrategy::kMortonRange;
+  auto plan = PlanPartition(db, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  size_t total = 0;
+  for (size_t s = 0; s < 5; ++s) {
+    const ShardInfo& info = plan.value().map.shards[s];
+    EXPECT_TRUE(info.ghost_ids.empty());
+    // Balanced runs: n/k rounded either way.
+    EXPECT_GE(info.object_count, 400u / 5);
+    EXPECT_LE(info.object_count, 400u / 5 + 1);
+    total += info.object_count;
+  }
+  EXPECT_EQ(total, db.size());
+}
+
+TEST(PartitionOptionsTest, ValidationNamesTheOffendingField) {
+  PartitionOptions options;
+  options.shard_count = 0;
+  EXPECT_EQ(ValidatePartitionOptions(options, 100).code(),
+            StatusCode::kInvalidArgument);
+  options.shard_count = 5000;
+  EXPECT_NE(ValidatePartitionOptions(options, 10000).ToString().find(
+                "shard_count"),
+            std::string::npos);
+  options.shard_count = 64;
+  EXPECT_EQ(ValidatePartitionOptions(options, 10).code(),
+            StatusCode::kInvalidArgument);
+  options.shard_count = 2;
+  EXPECT_TRUE(ValidatePartitionOptions(options, 10).ok());
+}
+
+TEST(RouterOptionsTest, ValidationNamesTheOffendingField) {
+  RouterOptions options;
+  options.deadline_ms = 0.0;
+  EXPECT_NE(ValidateRouterOptions(options).ToString().find("deadline"),
+            std::string::npos);
+  options = RouterOptions{};
+  options.max_retries = -1;
+  EXPECT_EQ(ValidateRouterOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = RouterOptions{};
+  options.min_probability = 1.0;
+  EXPECT_EQ(ValidateRouterOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  options = RouterOptions{};
+  EXPECT_TRUE(ValidateRouterOptions(options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shard-map manifest: round trip + corruption hardening
+// ---------------------------------------------------------------------------
+
+ShardMap MakeMap() {
+  ShardMap map;
+  map.dim = 2;
+  map.domain = geom::Rect(2);
+  map.domain.set_lo(0, 0.0);
+  map.domain.set_hi(0, 100.0);
+  map.domain.set_lo(1, 0.0);
+  map.domain.set_hi(1, 100.0);
+  ShardInfo a;
+  a.snapshot_file = "shard-0.snap";
+  a.region = map.domain;
+  a.bbox = map.domain;
+  a.has_bbox = true;
+  a.object_count = 3;
+  a.ghost_ids = {7, 9};
+  ShardInfo b;
+  b.snapshot_file = "shard-1.snap";
+  b.region = map.domain;
+  b.has_bbox = false;
+  b.object_count = 0;
+  map.shards = {a, b};
+  return map;
+}
+
+TEST(ShardMapTest, EncodeDecodeRoundTrip) {
+  const ShardMap map = MakeMap();
+  auto decoded = DecodeShardMap(EncodeShardMap(map));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().dim, 2);
+  ASSERT_EQ(decoded.value().shard_count(), 2u);
+  EXPECT_EQ(decoded.value().shards[0].snapshot_file, "shard-0.snap");
+  EXPECT_EQ(decoded.value().shards[0].ghost_ids,
+            (std::vector<uncertain::ObjectId>{7, 9}));
+  EXPECT_FALSE(decoded.value().shards[1].has_bbox);
+  EXPECT_EQ(decoded.value().shards[1].object_count, 0u);
+}
+
+TEST(ShardMapTest, TruncationAtEveryLengthIsDescriptiveCorruption) {
+  const std::vector<uint8_t> image = EncodeShardMap(MakeMap());
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeShardMap(
+        std::span<const uint8_t>(image.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " parsed";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+        << "len " << len << ": " << decoded.status().ToString();
+    EXPECT_FALSE(decoded.status().ToString().empty());
+  }
+}
+
+TEST(ShardMapTest, EveryFlippedByteIsRejected) {
+  const std::vector<uint8_t> image = EncodeShardMap(MakeMap());
+  // Flip each byte: either the CRC catches it, or (for a flip inside the
+  // magic/header) the structural check does. Nothing may decode OK —
+  // except a flip that is itself caught as NotSupported (version byte).
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::vector<uint8_t> bad = image;
+    bad[i] ^= 0x40;
+    auto decoded = DecodeShardMap(bad);
+    ASSERT_FALSE(decoded.ok()) << "flip at " << i << " parsed";
+    EXPECT_TRUE(decoded.status().code() == StatusCode::kCorruption ||
+                decoded.status().code() == StatusCode::kNotSupported)
+        << "flip at " << i << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(ShardMapTest, TrailingBytesAreCorruption) {
+  std::vector<uint8_t> image = EncodeShardMap(MakeMap());
+  image.push_back(0);
+  auto decoded = DecodeShardMap(image);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ShardMapTest, SaveLoadRoundTripAndMissingFile) {
+  const std::string dir = TempDirPath("map");
+  ASSERT_TRUE(SaveShardMap(MakeMap(), dir).ok());
+  auto loaded = LoadShardMap(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().shard_count(), 2u);
+  auto missing = LoadShardMap(dir + "_nonexistent");
+  EXPECT_FALSE(missing.ok());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance property: K-shard bit-identity on randomized datasets
+// ---------------------------------------------------------------------------
+
+struct IdentityCase {
+  int dim;
+  size_t count;
+  double extent;  // large extents force boundary-straddling UBRs
+  int shards;
+  SplitStrategy strategy;
+  uint64_t seed;
+};
+
+class RouterIdentityTest : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(RouterIdentityTest, MatchesSingleEngineBitForBit) {
+  const IdentityCase& c = GetParam();
+  const uncertain::Dataset db = MakeDb(c.dim, c.count, c.extent, c.seed);
+  const std::vector<geom::Point> queries =
+      MakeQueries(db.domain(), 48, c.seed + 1);
+  const std::vector<service::PnnAnswer> want = ReferenceAnswers(db, queries);
+
+  const std::string dir = TempDirPath(
+      "identity_" + std::to_string(c.shards) + "_" +
+      std::to_string(c.seed) + "_" +
+      std::to_string(static_cast<int>(c.strategy)));
+  PartitionOptions options;
+  options.shard_count = c.shards;
+  options.strategy = c.strategy;
+  auto map = BuildShardSnapshots(db, options, dir);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+
+  auto set = OpenShardDir(dir);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  auto router = ShardRouter::Create(set.value().map,
+                                    set.value().connections, {});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  RouterStats stats;
+  const std::vector<service::PnnAnswer> got =
+      router.value()->ExecuteBatch(queries, &stats);
+  ExpectBitIdentical(got, want, "K=" + std::to_string(c.shards));
+  EXPECT_EQ(stats.queries, static_cast<int64_t>(queries.size()));
+  // A second batch reuses the router's record cache and must still match.
+  const std::vector<service::PnnAnswer> again =
+      router.value()->ExecuteBatch(queries, nullptr);
+  ExpectBitIdentical(again, want, "cached K=" + std::to_string(c.shards));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedDatasets, RouterIdentityTest,
+    ::testing::Values(
+        // K=1 is the degenerate identity; everything flows through the
+        // same merge code.
+        IdentityCase{3, 300, 20.0, 1, SplitStrategy::kPlane, 101},
+        IdentityCase{3, 300, 20.0, 2, SplitStrategy::kPlane, 102},
+        // Huge uncertainty regions: most objects straddle cell boundaries,
+        // so the ghost dedup path carries the test.
+        IdentityCase{3, 250, 2500.0, 4, SplitStrategy::kPlane, 103},
+        IdentityCase{2, 400, 900.0, 4, SplitStrategy::kPlane, 104},
+        IdentityCase{4, 200, 600.0, 3, SplitStrategy::kPlane, 105},
+        IdentityCase{3, 300, 400.0, 4, SplitStrategy::kMortonRange, 106},
+        IdentityCase{2, 350, 1500.0, 5, SplitStrategy::kMortonRange, 107}));
+
+// ---------------------------------------------------------------------------
+// Degradation: unreachable shard → per-answer kUnavailable, never a hang
+// ---------------------------------------------------------------------------
+
+/// A shard that always fails its RPCs — the local stand-in for a
+/// SIGKILLed remote peer (the cross-process version runs in CI).
+class DeadConnection : public ShardConnection {
+ public:
+  Result<std::vector<ShardStep1Answer>> Step1Batch(
+      std::span<const geom::Point>) override {
+    return Status::Unavailable("connection refused (peer dead)");
+  }
+  Result<std::vector<uncertain::UncertainObject>> FetchRecords(
+      std::span<const uncertain::ObjectId>) override {
+    return Status::Unavailable("connection refused (peer dead)");
+  }
+};
+
+TEST(RouterDegradationTest, DeadShardPoisonsOnlyItsQueries) {
+  const uncertain::Dataset db = MakeDb(3, 300, 40.0, 31);
+  const std::vector<geom::Point> queries = MakeQueries(db.domain(), 64, 32);
+  const std::vector<service::PnnAnswer> want = ReferenceAnswers(db, queries);
+
+  const std::string dir = TempDirPath("degrade");
+  PartitionOptions options;
+  options.shard_count = 4;
+  auto map = BuildShardSnapshots(db, options, dir);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  auto set = OpenShardDir(dir);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+
+  // Kill shard 2. Queries whose fanout includes it must degrade; everyone
+  // else must still match the reference bit for bit.
+  set.value().connections[2] = std::make_shared<DeadConnection>();
+  RouterOptions router_options;
+  router_options.max_retries = 0;
+  auto router = ShardRouter::Create(set.value().map,
+                                    set.value().connections, router_options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  RouterStats stats;
+  const std::vector<service::PnnAnswer> got =
+      router.value()->ExecuteBatch(queries, &stats);
+  ASSERT_EQ(got.size(), queries.size());
+
+  size_t unavailable = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!got[i].status.ok()) {
+      // Degradation is always the typed kUnavailable, never another code.
+      EXPECT_EQ(got[i].status.code(), StatusCode::kUnavailable)
+          << "query " << i << ": " << got[i].status.ToString();
+      unavailable++;
+      continue;
+    }
+    // A query the router answered despite the dead shard must still be
+    // bit-identical — a poisoned candidate set would show up here.
+    ASSERT_EQ(got[i].results.size(), want[i].results.size());
+    for (size_t j = 0; j < got[i].results.size(); ++j) {
+      EXPECT_EQ(got[i].results[j].id, want[i].results[j].id);
+      EXPECT_EQ(std::memcmp(&got[i].results[j].probability,
+                            &want[i].results[j].probability,
+                            sizeof(double)),
+                0);
+    }
+  }
+  // Every query whose ROUND-1 fanout includes the dead shard is poisoned
+  // (later rounds can only add more shards, never drop that need).
+  for (size_t i = 0; i < got.size(); ++i) {
+    const std::vector<size_t> fanout =
+        RelevantShards(set.value().map, queries[i]);
+    if (std::find(fanout.begin(), fanout.end(), size_t{2}) != fanout.end()) {
+      EXPECT_EQ(got[i].status.code(), StatusCode::kUnavailable)
+          << "query " << i << " fans out to the dead shard but answered: "
+          << got[i].status.ToString();
+    }
+  }
+  EXPECT_GT(unavailable, 0u) << "no query ever touched the dead shard";
+  EXPECT_EQ(stats.unavailable, static_cast<int64_t>(unavailable));
+}
+
+TEST(RouterDegradationTest, AllShardsDeadStillAnswersEveryQuery) {
+  const uncertain::Dataset db = MakeDb(2, 100, 20.0, 77);
+  const std::string dir = TempDirPath("alldead");
+  PartitionOptions options;
+  options.shard_count = 2;
+  ASSERT_TRUE(BuildShardSnapshots(db, options, dir).ok());
+  auto set = OpenShardDir(dir);
+  ASSERT_TRUE(set.ok());
+  std::vector<std::shared_ptr<ShardConnection>> dead = {
+      std::make_shared<DeadConnection>(), std::make_shared<DeadConnection>()};
+  RouterOptions router_options;
+  router_options.max_retries = 1;
+  auto router =
+      ShardRouter::Create(set.value().map, dead, router_options);
+  ASSERT_TRUE(router.ok());
+  const std::vector<geom::Point> queries = MakeQueries(db.domain(), 8, 5);
+  const auto got = router.value()->ExecuteBatch(queries, nullptr);
+  ASSERT_EQ(got.size(), queries.size());
+  for (const auto& a : got) {
+    EXPECT_EQ(a.status.code(), StatusCode::kUnavailable);
+    // The retry budget must surface in the message (it names attempts).
+    EXPECT_NE(a.status.ToString().find("attempt"), std::string::npos)
+        << a.status.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BuildShardSnapshots writes the manifest last (crash safety)
+// ---------------------------------------------------------------------------
+
+TEST(BuildShardSnapshotsTest, ManifestReferencesOpenableSnapshots) {
+  const uncertain::Dataset db = MakeDb(3, 200, 100.0, 13);
+  const std::string dir = TempDirPath("build");
+  PartitionOptions options;
+  options.shard_count = 3;
+  auto map = BuildShardSnapshots(db, options, dir);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  auto set = OpenShardDir(dir);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().snapshots.size(), 3u);
+  uint64_t total = 0;
+  for (const auto& snap : set.value().snapshots) {
+    total += snap->object_count();
+  }
+  size_t ghosts = 0;
+  for (const ShardInfo& s : map.value().shards) ghosts += s.ghost_ids.size();
+  EXPECT_EQ(total, db.size() + ghosts);
+}
+
+}  // namespace
+}  // namespace pvdb::shard
