@@ -156,8 +156,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   service::ServiceStats view_stats;
-  auto view_answers = view_engine.value()->ExecuteBatch(queries, &view_stats);
-  view_engine.value()->ExecuteBatch(queries, &view_stats);  // warm pass
+  const std::vector<service::QueryRequest> requests =
+      service::PnnRequests(queries);
+  auto view_answers = view_engine.value()->ExecuteBatch(requests, &view_stats);
+  view_engine.value()->ExecuteBatch(requests, &view_stats);  // warm pass
   const double rss_after_zero_copy_mib = CurrentRssMiB();
 
   // --- Step-1 leaf-scan microbench: uncached read + prune per query. ---
@@ -236,8 +238,8 @@ int main(int argc, char** argv) {
   }
   service::ServiceStats decode_stats;
   auto decode_answers =
-      decode_engine.value()->ExecuteBatch(queries, &decode_stats);
-  decode_engine.value()->ExecuteBatch(queries, &decode_stats);  // warm pass
+      decode_engine.value()->ExecuteBatch(requests, &decode_stats);
+  decode_engine.value()->ExecuteBatch(requests, &decode_stats);  // warm pass
   const double rss_after_decode_mib = CurrentRssMiB();
   for (size_t i = 0; i < queries.size(); ++i) {
     if (view_answers[i].results.size() != decode_answers[i].results.size()) {

@@ -1,0 +1,281 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// Query-vocabulary benchmark: per-kind throughput of the typed QueryRequest
+// API and the trajectory PNN candidate-reuse win. A trajectory request
+// chains its samples through one leaf hint — a sample strictly inside the
+// previous sample's cell skips the Step-1 descent entirely — while the
+// from-scratch baseline answers the same arc-length samples as independent
+// kPnn requests. Both sides run the same engine configuration on fresh
+// engines (no warm-cache cross-talk) and the bench exits non-zero unless
+// the incremental answers are bit-identical to the from-scratch ones.
+// Emits one JSON object (BENCH_queries.json schema):
+//   trajectory.reused_fraction   samples served off the previous leaf
+//   trajectory.speedup           from_scratch_ms / incremental_ms
+//   kinds[]                      single-thread qps per request kind
+//
+//   $ ./bench_queries [--smoke]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pvdb.h"
+
+namespace {
+
+using namespace pvdb;
+
+bool BitIdentical(const service::QueryAnswer& got,
+                  const std::vector<pv::PnnResult>& want) {
+  if (!got.status.ok() || got.results.size() != want.size()) return false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (got.results[i].id != want[i].id) return false;
+    if (std::memcmp(&got.results[i].probability, &want[i].probability,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  uncertain::SyntheticOptions synth;
+  synth.dim = 3;
+  synth.count = smoke ? 2000 : 10000;
+  synth.samples_per_object = smoke ? 50 : 100;
+  synth.seed = 42;
+  const uncertain::Dataset db = uncertain::GenerateSynthetic(synth);
+
+  auto builder = pv::PvIndexBuilder::Build(db);
+  if (!builder.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 builder.status().ToString().c_str());
+    return 1;
+  }
+  auto snapshot = builder.value()->Seal();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "seal failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  // Fresh single-thread engine per timed side: identical configuration,
+  // nothing warm from the other side's run.
+  const auto make_engine = [&] {
+    service::QueryEngineOptions options;
+    options.threads = 1;
+    auto engine =
+        service::QueryEngine::CreateFromSnapshot(snapshot.value(), options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine failed: %s\n",
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(engine).value();
+  };
+
+  const geom::Rect& domain = snapshot.value()->domain();
+  Rng rng(7);
+  const auto random_point = [&] {
+    geom::Point q(domain.dim());
+    for (int d = 0; d < domain.dim(); ++d) {
+      q[d] = rng.NextUniform(domain.lo(d), domain.hi(d));
+    }
+    return q;
+  };
+
+  // --- Trajectory PNN: incremental (leaf-hint chain) vs from-scratch. ---
+  // Short local trajectories with a fine step keep consecutive samples in
+  // the same octree cell — the workload the incremental path exists for.
+  const int trajectories = smoke ? 4 : 16;
+  const double extent = domain.hi(0) - domain.lo(0);
+  const double hop = extent / 40.0;   // waypoint-to-waypoint distance scale
+  const double step = extent / 2000.0;  // fine arc-length sampling
+  std::vector<service::QueryRequest> traj_requests;
+  std::vector<geom::Point> all_samples;
+  for (int t = 0; t < trajectories; ++t) {
+    const geom::Point anchor = random_point();
+    std::vector<geom::Point> polyline{anchor};
+    for (int w = 0; w < 2; ++w) {
+      geom::Point next = polyline.back();
+      for (int d = 0; d < domain.dim(); ++d) {
+        next[d] = std::clamp(next[d] + rng.NextUniform(-hop, hop),
+                             domain.lo(d), domain.hi(d));
+      }
+      polyline.push_back(next);
+    }
+    const std::vector<geom::Point> samples =
+        service::SampleTrajectory(polyline, step);
+    all_samples.insert(all_samples.end(), samples.begin(), samples.end());
+    traj_requests.push_back(
+        service::QueryRequest::TrajectoryPnn(polyline, step));
+  }
+
+  auto scratch_engine = make_engine();
+  StopWatch scratch_watch;
+  const std::vector<service::QueryAnswer> scratch_answers =
+      scratch_engine->ExecuteBatch(service::PnnRequests(all_samples));
+  const double from_scratch_ms = scratch_watch.ElapsedMillis();
+  for (const auto& a : scratch_answers) {
+    if (!a.status.ok()) {
+      std::fprintf(stderr, "from-scratch sample failed: %s\n",
+                   a.status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto incremental_engine = make_engine();
+  StopWatch incremental_watch;
+  const std::vector<service::QueryAnswer> traj_answers =
+      incremental_engine->ExecuteBatch(traj_requests);
+  const double incremental_ms = incremental_watch.ElapsedMillis();
+
+  // Gate: reuse must never change an answer bit, and must actually happen.
+  size_t sample_index = 0;
+  int64_t reused = 0;
+  int64_t total_steps = 0;
+  for (const service::QueryAnswer& qa : traj_answers) {
+    if (!qa.status.ok()) {
+      std::fprintf(stderr, "trajectory failed: %s\n",
+                   qa.status.ToString().c_str());
+      return 1;
+    }
+    for (const service::TrajectoryStepAnswer& stepa : qa.steps) {
+      if (!BitIdentical(scratch_answers[sample_index],
+                        stepa.results)) {
+        std::fprintf(stderr,
+                     "FAIL: incremental answer at sample %zu differs from "
+                     "the from-scratch answer\n",
+                     sample_index);
+        return 1;
+      }
+      reused += stepa.reused_step1 ? 1 : 0;
+      ++total_steps;
+      ++sample_index;
+    }
+  }
+  if (sample_index != all_samples.size()) {
+    std::fprintf(stderr, "FAIL: sample count mismatch (%zu vs %zu)\n",
+                 sample_index, all_samples.size());
+    return 1;
+  }
+  if (reused == 0) {
+    std::fprintf(stderr, "FAIL: no trajectory sample reused a leaf\n");
+    return 1;
+  }
+  const double reused_fraction =
+      static_cast<double>(reused) / static_cast<double>(total_steps);
+  const double speedup =
+      incremental_ms > 0 ? from_scratch_ms / incremental_ms : 0.0;
+
+  // --- Per-kind single-thread throughput over uniform request batches. ---
+  const int batch = smoke ? 256 : 1024;
+  std::vector<geom::Point> points;
+  for (int i = 0; i < batch; ++i) points.push_back(random_point());
+  const double rect_half = extent * 0.025;
+  struct KindRun {
+    const char* name;
+    std::vector<service::QueryRequest> requests;
+    double qps = 0.0;
+  };
+  std::vector<KindRun> kinds;
+  kinds.push_back({"pnn", service::PnnRequests(points)});
+  {
+    KindRun run{"top_k_by_prob", {}};
+    for (const geom::Point& p : points) {
+      run.requests.push_back(service::QueryRequest::TopKByProb(p, 4));
+    }
+    kinds.push_back(std::move(run));
+  }
+  {
+    KindRun run{"threshold_nn", {}};
+    for (const geom::Point& p : points) {
+      run.requests.push_back(service::QueryRequest::ThresholdNN(p, 0.1));
+    }
+    kinds.push_back(std::move(run));
+  }
+  {
+    KindRun run{"range_prob", {}};
+    for (const geom::Point& p : points) {
+      geom::Rect rect(domain.dim());
+      for (int d = 0; d < domain.dim(); ++d) {
+        rect.set_lo(d, std::max(domain.lo(d), p[d] - rect_half));
+        rect.set_hi(d, std::min(domain.hi(d), p[d] + rect_half));
+      }
+      run.requests.push_back(service::QueryRequest::RangeProb(rect, 0.3));
+    }
+    kinds.push_back(std::move(run));
+  }
+  for (KindRun& run : kinds) {
+    auto engine = make_engine();
+    service::ServiceStats stats;
+    const auto answers = engine->ExecuteBatch(run.requests, &stats);
+    for (const auto& a : answers) {
+      if (!a.status.ok()) {
+        std::fprintf(stderr, "%s request failed: %s\n", run.name,
+                     a.status.ToString().c_str());
+        return 1;
+      }
+    }
+    run.qps = stats.throughput_qps;
+  }
+
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"query_vocabulary\",\n");
+  std::printf(
+      "  \"description\": \"Typed QueryRequest serving: single-thread "
+      "throughput per request kind, and trajectory PNN answered "
+      "incrementally (consecutive samples reuse the previous sample's leaf, "
+      "skipping the Step-1 descent) vs the same arc-length samples as "
+      "independent point PNN requests. Incremental answers are checked "
+      "bit-identical to from-scratch before timing is reported.\",\n");
+  std::printf("  \"date\": \"%s\",\n", date);
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"machine\": {\n");
+  std::printf("    \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("    \"compiler\": \"%s\"\n  },\n", __VERSION__);
+  std::printf("  \"workload\": {\n");
+  std::printf("    \"objects\": %zu,\n", db.size());
+  std::printf("    \"dim\": %d,\n", synth.dim);
+  std::printf("    \"samples_per_object\": %d\n  },\n",
+              synth.samples_per_object);
+  std::printf("  \"trajectory\": {\n");
+  std::printf("    \"trajectories\": %d,\n", trajectories);
+  std::printf("    \"samples\": %lld,\n", static_cast<long long>(total_steps));
+  std::printf("    \"step\": %.3f,\n", step);
+  std::printf("    \"reused_fraction\": %.4f,\n", reused_fraction);
+  std::printf("    \"from_scratch_ms\": %.2f,\n", from_scratch_ms);
+  std::printf("    \"incremental_ms\": %.2f,\n", incremental_ms);
+  std::printf("    \"speedup\": %.3f,\n", speedup);
+  std::printf("    \"bit_identical\": true\n  },\n");
+  std::printf("  \"kinds\": [\n");
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    std::printf("    {\"kind\": \"%s\", \"batch\": %d, "
+                "\"single_thread_qps\": %.1f}%s\n",
+                kinds[i].name, batch, kinds[i].qps,
+                i + 1 < kinds.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+
+  std::fprintf(stderr,
+               "# trajectory incremental: %.1f%% of %lld samples reused the "
+               "previous leaf; %.2f ms vs %.2f ms from scratch (%.2fx)\n",
+               100.0 * reused_fraction, static_cast<long long>(total_steps),
+               incremental_ms, from_scratch_ms, speedup);
+  return 0;
+}

@@ -84,7 +84,9 @@ ConfigResult RunConfig(uncertain::Dataset* db, pv::PvIndex* index,
     const size_t n = std::min(batch, queries.size() - pos);
     service::ServiceStats stats;
     const auto answers = engine->ExecuteBatch(
-        std::span<const geom::Point>(queries.data() + pos, n), &stats);
+        service::PnnRequests(
+            std::span<const geom::Point>(queries.data() + pos, n)),
+        &stats);
     for (const auto& a : answers) {
       if (!a.status.ok()) {
         std::fprintf(stderr, "query failed: %s\n", a.status.ToString().c_str());
@@ -273,8 +275,8 @@ double RunEngineSharedLeaf(uncertain::Dataset* db, pv::PvIndex* index,
   StopWatch wall;
   for (size_t pos = 0; pos < queries.size(); pos += batch) {
     const size_t n = std::min(batch, queries.size() - pos);
-    const auto answers = engine->ExecuteBatch(
-        std::span<const geom::Point>(queries.data() + pos, n));
+    const auto answers = engine->ExecuteBatch(service::PnnRequests(
+        std::span<const geom::Point>(queries.data() + pos, n)));
     for (const auto& a : answers) {
       if (!a.status.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
@@ -364,8 +366,8 @@ int RunStep2Json(bool smoke) {
   std::printf("        \"speedup\": %.2f\n      }\n    ]\n  },\n", r.speedup);
   std::printf("  \"service_end_to_end_single_thread\": {\n");
   std::printf(
-      "    \"source\": \"QueryEngine ExecuteBatch, 1 thread, batch 64, "
-      "same shared-leaf queries\",\n");
+      "    \"source\": \"QueryEngine typed ExecuteBatch (kPnn), 1 thread, "
+      "batch 64, same shared-leaf queries\",\n");
   std::printf("    \"before\": {\"pipeline\": \"batch_step2 off (per-query "
               "AnswerOne)\", \"qps\": %.1f},\n",
               engine_off_qps);
@@ -448,8 +450,8 @@ double OneEnginePass(service::QueryEngine* engine,
   StopWatch wall;
   for (size_t pos = 0; pos < queries.size(); pos += kBatch) {
     const size_t n = std::min(kBatch, queries.size() - pos);
-    const auto answers = engine->ExecuteBatch(
-        std::span<const geom::Point>(queries.data() + pos, n));
+    const auto answers = engine->ExecuteBatch(service::PnnRequests(
+        std::span<const geom::Point>(queries.data() + pos, n)));
     for (const auto& a : answers) {
       if (!a.status.ok()) {
         std::fprintf(stderr, "query failed: %s\n",

@@ -100,7 +100,8 @@ int main(int argc, char** argv) {
   // in here. This is the serving process's true time-to-first-answer after
   // Open.
   StopWatch first_watch;
-  const service::PnnAnswer first = engine.value()->Submit(random_query()).get();
+  const service::QueryAnswer first =
+      engine.value()->Submit(service::QueryRequest::Pnn(random_query())).get();
   const double first_query_ms = first_watch.ElapsedMillis();
   if (!first.status.ok()) {
     std::fprintf(stderr, "first query failed: %s\n",
@@ -113,7 +114,8 @@ int main(int argc, char** argv) {
   queries.reserve(query_count);
   for (size_t i = 0; i < query_count; ++i) queries.push_back(random_query());
   service::ServiceStats stats;
-  const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+  const auto answers =
+      engine.value()->ExecuteBatch(service::PnnRequests(queries), &stats);
   for (const auto& a : answers) {
     if (!a.status.ok()) {
       std::fprintf(stderr, "query failed: %s\n", a.status.ToString().c_str());

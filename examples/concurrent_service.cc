@@ -2,9 +2,11 @@
 //
 // Concurrent serving walkthrough: build a PV-index, stand up the
 // QueryEngine (thread pool + backend planner + leaf-result cache), answer a
-// batch of PNNQs in parallel, re-run it warm to show the cache working,
-// fire an async single query, interleave an insert with live queries, and
-// finish with an excerpt of the engine's metrics export.
+// batch of typed PNN requests in parallel, re-run it warm to show the cache
+// working, walk the rest of the query vocabulary (top-k / threshold /
+// range / trajectory in one heterogeneous batch), fire an async single
+// query, interleave an insert with live queries, and finish with an excerpt
+// of the engine's metrics export.
 //
 //   $ ./concurrent_service
 
@@ -49,7 +51,7 @@ int main() {
               engine.value()->plan_reason().c_str(),
               engine.value()->threads());
 
-  // 3. A batch of queries, answered in parallel.
+  // 3. A batch of typed PNN requests, answered in parallel.
   Rng rng(9);
   std::vector<geom::Point> queries;
   for (int i = 0; i < 256; ++i) {
@@ -57,8 +59,10 @@ int main() {
                                   rng.NextUniform(0, 10000),
                                   rng.NextUniform(0, 10000)});
   }
+  const std::vector<service::QueryRequest> requests =
+      service::PnnRequests(queries);
   service::ServiceStats stats;
-  auto answers = engine.value()->ExecuteBatch(queries, &stats);
+  auto answers = engine.value()->ExecuteBatch(requests, &stats);
   std::printf(
       "cold batch: %lld queries in %.1f ms (%.0f q/s, p50 %.3f ms, "
       "p99 %.3f ms)\n",
@@ -66,19 +70,40 @@ int main() {
       stats.throughput_qps, stats.p50_latency_ms, stats.p99_latency_ms);
 
   // 4. Same batch again: Step-1 leaf reads come from the LRU cache.
-  answers = engine.value()->ExecuteBatch(queries, &stats);
+  answers = engine.value()->ExecuteBatch(requests, &stats);
   std::printf("warm batch: %.0f q/s, cache hits %lld / misses %lld\n",
               stats.throughput_qps, static_cast<long long>(stats.cache_hits),
               static_cast<long long>(stats.cache_misses));
 
-  // 5. Async single query.
-  auto future = engine.value()->Submit(queries[0]);
-  const service::PnnAnswer answer = future.get();
+  // 5. The rest of the query vocabulary, one heterogeneous batch: the k=3
+  //    most-probable neighbors, the objects above a probability threshold,
+  //    the objects probably inside a rectangle, and a PNN sweep along a
+  //    short trajectory — all sharing Step-1 pruning and the grouped
+  //    Step-2 sweep with the PNN requests above.
+  std::vector<service::QueryRequest> vocabulary;
+  vocabulary.push_back(service::QueryRequest::TopKByProb(queries[0], 3));
+  vocabulary.push_back(service::QueryRequest::ThresholdNN(queries[1], 0.2));
+  vocabulary.push_back(service::QueryRequest::RangeProb(
+      geom::Rect(geom::Point{4000, 4000, 4000},
+                 geom::Point{6000, 6000, 6000}),
+      0.5));
+  vocabulary.push_back(service::QueryRequest::TrajectoryPnn(
+      {queries[2], queries[3]}, /*step=*/500.0));
+  const auto typed = engine.value()->ExecuteBatch(vocabulary);
+  std::printf("vocabulary batch: top-%u -> %zu, threshold(0.2) -> %zu, "
+              "range(0.5) -> %zu, trajectory -> %zu samples\n",
+              vocabulary[0].k, typed[0].results.size(),
+              typed[1].results.size(), typed[2].results.size(),
+              typed[3].steps.size());
+
+  // 6. Async single query.
+  auto future = engine.value()->Submit(service::QueryRequest::Pnn(queries[0]));
+  const service::QueryAnswer answer = future.get();
   std::printf("async query: %zu answers, top P(nearest) = %.4f\n",
               answer.results.size(),
               answer.results.empty() ? 0.0 : answer.results[0].probability);
 
-  // 6. A live insert: takes the writer lock, updates dataset + PV-index
+  // 7. A live insert: takes the writer lock, updates dataset + PV-index
   //    incrementally (Section VI-B) and flushes the leaf cache.
   const auto status = engine.value()->Insert(
       uncertain::UncertainObject::UniformSampled(
@@ -89,7 +114,7 @@ int main() {
   std::printf("insert: %s; cache now holds %zu leaves\n",
               status.ToString().c_str(), engine.value()->cache()->size());
 
-  // 7. Everything above also landed in the engine's metric registry —
+  // 8. Everything above also landed in the engine's metric registry —
   //    counters, gauges, and per-stage latency histograms, exportable as
   //    Prometheus text or JSON without touching the serving path. Print the
   //    engine-level excerpt of the Prometheus exposition.

@@ -64,13 +64,14 @@ inline std::unique_ptr<service::QueryEngine> MakeSnapshotEngine(
   return std::move(engine).value();
 }
 
-/// Runs the batch and fails loudly on any per-query error. Returns the
-/// answers (empty on failure, with `*ok` false).
-inline std::vector<service::PnnAnswer> ServeBatchOrFail(
+/// Runs the point batch through the typed API (each point a kPnn request)
+/// and fails loudly on any per-query error. Returns the answers (empty on
+/// failure, with `*ok` false).
+inline std::vector<service::QueryAnswer> ServeBatchOrFail(
     service::QueryEngine* engine, const std::vector<geom::Point>& queries,
     service::ServiceStats* stats, bool* ok) {
-  std::vector<service::PnnAnswer> answers =
-      engine->ExecuteBatch(queries, stats);
+  std::vector<service::QueryAnswer> answers =
+      engine->ExecuteBatch(service::PnnRequests(queries), stats);
   for (const auto& a : answers) {
     if (!a.status.ok()) {
       std::printf("query failed: %s\n", a.status.ToString().c_str());

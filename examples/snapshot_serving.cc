@@ -477,37 +477,71 @@ int RunRecover(const std::string& dir, int expect_ops) {
 
 // --- sharded serving ----------------------------------------------------
 
-// The union-reference answers every sharded mode verifies against: one
+// The union-reference engine every sharded mode verifies against: one
 // canonical-order engine over the full dataset, sealed in memory.
-std::vector<service::PnnAnswer> ComputeReferenceAnswers(
-    const uncertain::Dataset& db, const std::vector<geom::Point>& queries) {
+std::unique_ptr<service::QueryEngine> MakeReferenceEngine(
+    const uncertain::Dataset& db) {
   auto builder = pv::PvIndexBuilder::Build(db);
   if (!builder.ok()) {
     std::printf("reference build failed: %s\n",
                 builder.status().ToString().c_str());
-    return {};
+    return nullptr;
   }
   auto snapshot = builder.value()->Seal();
   if (!snapshot.ok()) {
     std::printf("reference seal failed: %s\n",
                 snapshot.status().ToString().c_str());
-    return {};
+    return nullptr;
   }
-  auto engine = examples::MakeSnapshotEngine(snapshot.value(), /*threads=*/2,
-                                             /*canonical_candidates=*/true);
-  if (engine == nullptr) return {};
-  return engine->ExecuteBatch(queries);
+  return examples::MakeSnapshotEngine(snapshot.value(), /*threads=*/2,
+                                      /*canonical_candidates=*/true);
 }
 
-// Bitwise probability comparison — the acceptance bar is bit-identity,
-// not epsilon closeness.
-bool AnswerBitIdentical(const service::PnnAnswer& got,
-                        const service::PnnAnswer& want) {
-  if (got.results.size() != want.results.size()) return false;
-  for (size_t i = 0; i < got.results.size(); ++i) {
-    if (got.results[i].id != want.results[i].id) return false;
-    if (std::memcmp(&got.results[i].probability,
-                    &want.results[i].probability, sizeof(double)) != 0) {
+// One deterministic request of every typed kind over `domain` — every
+// process (probe, verifier, reference) derives the same batch from the
+// same constants, which is what makes cross-process bit-comparison valid.
+std::vector<service::QueryRequest> MakeVocabularyRequests(
+    const geom::Rect& domain) {
+  const std::vector<geom::Point> anchors =
+      examples::MakeDomainQueries(domain, 4, /*seed=*/31);
+  std::vector<service::QueryRequest> requests;
+  requests.push_back(service::QueryRequest::Pnn(anchors[0]));
+  requests.push_back(service::QueryRequest::TopKByProb(anchors[1], 4));
+  requests.push_back(service::QueryRequest::ThresholdNN(anchors[2], 0.1));
+  geom::Rect rect(domain.dim());
+  for (int d = 0; d < domain.dim(); ++d) {
+    const double extent = domain.hi(d) - domain.lo(d);
+    rect.set_lo(d, domain.lo(d) + 0.3 * extent);
+    rect.set_hi(d, domain.lo(d) + 0.6 * extent);
+  }
+  requests.push_back(service::QueryRequest::RangeProb(rect, 0.5));
+  requests.push_back(service::QueryRequest::TrajectoryPnn(
+      {anchors[2], anchors[3]},
+      /*step=*/(domain.hi(0) - domain.lo(0)) / 16.0));
+  return requests;
+}
+
+// Bitwise result comparison (point results and trajectory steps) — the
+// acceptance bar is bit-identity, not epsilon closeness.
+bool ResultsBitIdentical(const std::vector<pv::PnnResult>& got,
+                         const std::vector<pv::PnnResult>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id) return false;
+    if (std::memcmp(&got[i].probability, &want[i].probability,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AnswerBitIdentical(const service::QueryAnswer& got,
+                        const service::QueryAnswer& want) {
+  if (!ResultsBitIdentical(got.results, want.results)) return false;
+  if (got.steps.size() != want.steps.size()) return false;
+  for (size_t s = 0; s < got.steps.size(); ++s) {
+    if (!ResultsBitIdentical(got.steps[s].results, want.steps[s].results)) {
       return false;
     }
   }
@@ -642,11 +676,16 @@ int VerifyRouterMode(const std::string& dir, int shards,
   const int build_rc = PartitionMode(dir, shards, strategy);
   if (build_rc != 0) return build_rc;
   const uncertain::Dataset db = examples::MakeServingDataset();
-  const std::vector<geom::Point> queries =
-      examples::MakeDomainQueries(db.domain(), 256);
-  const std::vector<service::PnnAnswer> reference =
-      ComputeReferenceAnswers(db, queries);
-  if (reference.empty()) return 1;
+  auto reference_engine = MakeReferenceEngine(db);
+  if (reference_engine == nullptr) return 1;
+  // 256 PNN points plus one request of every typed kind, one batch.
+  std::vector<service::QueryRequest> requests = service::PnnRequests(
+      examples::MakeDomainQueries(db.domain(), 256));
+  for (service::QueryRequest& req : MakeVocabularyRequests(db.domain())) {
+    requests.push_back(std::move(req));
+  }
+  const std::vector<service::QueryAnswer> reference =
+      reference_engine->ExecuteBatch(requests);
 
   auto set = shard::OpenShardDir(dir);
   if (!set.ok()) {
@@ -661,24 +700,26 @@ int VerifyRouterMode(const std::string& dir, int shards,
     return 1;
   }
   shard::RouterStats stats;
-  const std::vector<service::PnnAnswer> got =
-      router.value()->ExecuteBatch(queries, &stats);
-  for (size_t i = 0; i < queries.size(); ++i) {
+  const std::vector<service::QueryAnswer> got =
+      router.value()->Execute(requests, &stats);
+  for (size_t i = 0; i < requests.size(); ++i) {
     if (!got[i].status.ok()) {
-      std::printf("FAIL: query %zu: %s\n", i,
+      std::printf("FAIL: %s request %zu: %s\n",
+                  service::QueryKindName(requests[i].kind), i,
                   got[i].status.ToString().c_str());
       return 1;
     }
     if (!AnswerBitIdentical(got[i], reference[i])) {
-      std::printf("FAIL: query %zu differs from the single-engine answer\n",
-                  i);
+      std::printf("FAIL: %s request %zu differs from the single-engine "
+                  "answer\n",
+                  service::QueryKindName(requests[i].kind), i);
       return 1;
     }
   }
-  std::printf("verified: %zu router answers bit-identical to one engine "
-              "(%lld fanouts, %lld shards pruned, %lld ghosts dropped, "
-              "%lld records fetched)\n",
-              queries.size(), static_cast<long long>(stats.shard_fanouts),
+  std::printf("verified: %zu router answers (every query kind) "
+              "bit-identical to one engine (%lld fanouts, %lld shards "
+              "pruned, %lld ghosts dropped, %lld records fetched)\n",
+              requests.size(), static_cast<long long>(stats.shard_fanouts),
               static_cast<long long>(stats.shards_pruned),
               static_cast<long long>(stats.ghosts_dropped),
               static_cast<long long>(stats.records_fetched));
@@ -689,9 +730,10 @@ int ProbeMode(int router_port, bool expect_unavailable) {
   const uncertain::Dataset db = examples::MakeServingDataset();
   const std::vector<geom::Point> queries =
       examples::MakeDomainQueries(db.domain(), 256);
-  const std::vector<service::PnnAnswer> reference =
-      ComputeReferenceAnswers(db, queries);
-  if (reference.empty()) return 1;
+  auto reference_engine = MakeReferenceEngine(db);
+  if (reference_engine == nullptr) return 1;
+  const std::vector<service::QueryAnswer> reference =
+      reference_engine->ExecuteBatch(service::PnnRequests(queries));
 
   // Wait for the router socket (the harness starts it concurrently).
   std::unique_ptr<net::FrameClient> client;
@@ -739,9 +781,7 @@ int ProbeMode(int router_port, bool expect_unavailable) {
         unavailable++;
         continue;
       }
-      service::PnnAnswer got;
-      got.results = a.results;
-      if (!AnswerBitIdentical(got, reference[begin + i])) {
+      if (!ResultsBitIdentical(a.results, reference[begin + i].results)) {
         std::printf("FAIL: query %zu differs from the local reference\n",
                     begin + i);
         return 1;
@@ -765,6 +805,50 @@ int ProbeMode(int router_port, bool expect_unavailable) {
                 unavailable);
     return 1;
   }
+
+  // Typed probe: one request of every query kind through the same socket
+  // (a v2 kQueryRequestBatch frame), answers compared bit-for-bit against
+  // the local reference engine.
+  const std::vector<service::QueryRequest> vocab =
+      MakeVocabularyRequests(db.domain());
+  const std::vector<service::QueryAnswer> vocab_reference =
+      reference_engine->ExecuteBatch(vocab);
+  auto typed_response = client->Call(net::MessageType::kQueryRequestBatch,
+                                     net::EncodeQueryRequestBatch(vocab),
+                                     /*deadline_ms=*/10000.0);
+  if (!typed_response.ok()) {
+    std::printf("typed probe failed: %s\n",
+                typed_response.status().ToString().c_str());
+    return 1;
+  }
+  auto typed_answers = net::DecodeQueryAnswerBatch(typed_response.value().second);
+  if (!typed_answers.ok() || typed_answers.value().size() != vocab.size()) {
+    std::printf("typed probe: bad response\n");
+    return 1;
+  }
+  size_t typed_matched = 0;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    const service::QueryAnswer& a = typed_answers.value()[i];
+    if (!a.status.ok()) {
+      if (expect_unavailable &&
+          a.status.code() == StatusCode::kUnavailable) {
+        continue;
+      }
+      std::printf("FAIL: typed %s probe failed: %s\n",
+                  service::QueryKindName(vocab[i].kind),
+                  a.status.ToString().c_str());
+      return 1;
+    }
+    if (!AnswerBitIdentical(a, vocab_reference[i])) {
+      std::printf("FAIL: typed %s probe differs from the local reference\n",
+                  service::QueryKindName(vocab[i].kind));
+      return 1;
+    }
+    typed_matched++;
+  }
+  std::printf("typed probe: %zu/%zu query kinds bit-identical to the local "
+              "engine\n",
+              typed_matched, vocab.size());
   return 0;
 }
 

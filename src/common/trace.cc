@@ -45,11 +45,12 @@ std::string Tracer::FormatLine(const QueryTraceInfo& info, bool sampled,
   std::string line;
   std::snprintf(buf, sizeof(buf),
                 "{\"type\":\"query_trace\",\"seq\":%llu,\"sampled\":%s,"
-                "\"slow\":%s,\"backend\":\"%s\",\"ok\":%s,\"cache_hit\":%s,"
+                "\"slow\":%s,\"backend\":\"%s\",\"kind\":\"%s\",\"ok\":%s,"
+                "\"cache_hit\":%s,"
                 "\"results\":%zu,\"latency_ms\":%.4f,\"stages_us\":{",
                 static_cast<unsigned long long>(info.seq),
                 sampled ? "true" : "false", slow ? "true" : "false",
-                info.backend, info.ok ? "true" : "false",
+                info.backend, info.kind, info.ok ? "true" : "false",
                 info.cache_hit ? "true" : "false", info.results,
                 info.latency_ms);
   line += buf;

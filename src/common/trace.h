@@ -140,15 +140,18 @@ struct QueryTraceInfo {
   bool ok = true;
   size_t results = 0;
   const char* backend = "";
+  /// Query kind label ("pnn", "topk", "threshold", "range", "trajectory");
+  /// trajectory queries emit one trace per path sample.
+  const char* kind = "pnn";
 };
 
 /// Decides which completed traces to emit and renders them as one JSON
 /// object per line:
 ///
 ///   {"type":"query_trace","seq":64,"sampled":true,"slow":false,
-///    "backend":"snapshot","ok":true,"cache_hit":true,"results":3,
-///    "latency_ms":1.234,"stages_us":{"plan":12.4,"leaf_cache":6.0,
-///    "step1_prune":4.1,"step2":980.2,"merge":0.3}}
+///    "backend":"snapshot","kind":"pnn","ok":true,"cache_hit":true,
+///    "results":3,"latency_ms":1.234,"stages_us":{"plan":12.4,
+///    "leaf_cache":6.0,"step1_prune":4.1,"step2":980.2,"merge":0.3}}
 ///
 /// Thread-safe; the sampling counter is shared so a multi-worker engine
 /// still emits exactly 1-in-N of its completed traces.

@@ -12,12 +12,25 @@ namespace {
 constexpr char kMagic[4] = {'P', 'V', 'D', 'F'};
 }  // namespace
 
+uint8_t FrameVersionFor(MessageType type) {
+  switch (type) {
+    case MessageType::kQueryRequestBatch:
+    case MessageType::kQueryAnswerBatch:
+    case MessageType::kRangeStep1Batch:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
 std::vector<uint8_t> EncodeFrame(MessageType type,
                                  std::span<const uint8_t> payload) {
   PVDB_CHECK(payload.size() <= kMaxFramePayload);
   std::vector<uint8_t> out(kFrameHeaderBytes + payload.size());
   std::memcpy(out.data(), kMagic, 4);
-  out[4] = kFrameVersion;
+  // Stamp the lowest version able to carry this type, not kFrameVersion:
+  // legacy messages stay decodable by v1 peers.
+  out[4] = FrameVersionFor(type);
   out[5] = static_cast<uint8_t>(type);
   out[6] = 0;
   out[7] = 0;
@@ -43,19 +56,28 @@ Result<FrameHeader> DecodeFrameHeader(std::span<const uint8_t> header) {
   }
   FrameHeader h;
   h.version = header[4];
-  if (h.version != kFrameVersion) {
+  if (h.version < kMinFrameVersion || h.version > kFrameVersion) {
     return Status::NotSupported(
         "frame: protocol version " + std::to_string(h.version) +
-        " (this build speaks version " + std::to_string(kFrameVersion) + ")");
+        " (this build speaks versions " + std::to_string(kMinFrameVersion) +
+        " through " + std::to_string(kFrameVersion) + ")");
   }
   uint16_t flags;
   std::memcpy(&flags, header.data() + 6, 2);
   if (flags != 0) {
     return Status::Corruption("frame: nonzero flags " +
                               std::to_string(flags) +
-                              " (reserved in version 1)");
+                              " (reserved through version " +
+                              std::to_string(kFrameVersion) + ")");
   }
   h.type = static_cast<MessageType>(header[5]);
+  if (h.version < FrameVersionFor(h.type)) {
+    return Status::Corruption(
+        "frame: message type " + std::to_string(header[5]) +
+        " requires protocol version " +
+        std::to_string(FrameVersionFor(h.type)) + ", frame claims version " +
+        std::to_string(h.version));
+  }
   std::memcpy(&h.payload_len, header.data() + 8, 4);
   std::memcpy(&h.payload_crc, header.data() + 12, 4);
   if (h.payload_len > kMaxFramePayload) {

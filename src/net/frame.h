@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "PVDF"
-//   4       1     protocol version (kFrameVersion)
+//   4       1     protocol version (FrameVersionFor(type), ≤ kFrameVersion)
 //   5       1     message type (net::MessageType)
 //   6       2     flags (must be zero in this version)
 //   8       4     payload length in bytes (little-endian)
@@ -29,7 +29,13 @@
 
 namespace pvdb::net {
 
-inline constexpr uint8_t kFrameVersion = 1;
+/// Highest protocol version this build speaks. Version 2 added the typed
+/// query-vocabulary messages (kQueryRequestBatch / kQueryAnswerBatch /
+/// kRangeStep1Batch); version-1 frames carrying the original message types
+/// still decode, so a v1 peer keeps working against a v2 server.
+inline constexpr uint8_t kFrameVersion = 2;
+/// Oldest protocol version this build still accepts.
+inline constexpr uint8_t kMinFrameVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Upper bound on one frame's payload: a batch of a million 8-dim queries
 /// fits; anything bigger is a corrupt length field or an abusive peer.
@@ -47,9 +53,22 @@ enum class MessageType : uint8_t {
   kStep1Batch = 3,
   /// Request: FetchRecordsRequest. Response: FetchRecordsResponse.
   kFetchRecords = 4,
+  /// Request: QueryRequestBatch (typed query vocabulary, v2). Response:
+  /// QueryAnswerBatch — per-request answers, malformed requests included as
+  /// per-answer InvalidArgument statuses.
+  kQueryRequestBatch = 5,
+  /// Response-only: QueryAnswerBatch payload (v2).
+  kQueryAnswerBatch = 6,
+  /// Request: RangeStep1Request (v2). Response: RangeStep1Response —
+  /// range-overlap candidate ids only (the router's range scatter leg).
+  kRangeStep1Batch = 7,
   /// Response-only: ErrorResponse payload carrying a Status.
   kError = 255,
 };
+
+/// Lowest frame version able to carry `type`: the typed-vocabulary messages
+/// need v2, everything else stays encodable as v1 so old peers interoperate.
+uint8_t FrameVersionFor(MessageType type);
 
 struct FrameHeader {
   uint8_t version = kFrameVersion;

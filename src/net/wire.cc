@@ -14,6 +14,8 @@ constexpr uint32_t kMaxBatch = 1u << 20;
 constexpr uint32_t kMaxCandidates = 16u << 20;
 constexpr uint32_t kMaxStatusMsg = 64u << 10;
 
+void AppendU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
 void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
   const auto* b = reinterpret_cast<const uint8_t*>(&v);
   out->insert(out->end(), b, b + sizeof(v));
@@ -42,6 +44,7 @@ class Reader {
 
   size_t remaining() const { return data_.size() - pos_; }
 
+  Status ReadU8(uint8_t* v) { return ReadRaw(v); }
   Status ReadU32(uint32_t* v) { return ReadRaw(v); }
   Status ReadU64(uint64_t* v) { return ReadRaw(v); }
   Status ReadF64(double* v) { return ReadRaw(v); }
@@ -236,6 +239,353 @@ Result<std::vector<shard::ShardStep1Answer>> DecodeStep1BatchResponse(
       PVDB_RETURN_NOT_OK(r.ReadU64(&c.id));
       PVDB_RETURN_NOT_OK(r.ReadF64(&c.min_dist_sq));
       PVDB_RETURN_NOT_OK(r.ReadF64(&c.max_dist_sq));
+    }
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+namespace {
+
+/// The dimensionality of a request's geometry (0 when it has none, e.g. an
+/// empty polyline).
+int QueryRequestDim(const service::QueryRequest& q) {
+  switch (q.kind) {
+    case service::QueryKind::kRangeProb:
+      return q.rect.dim();
+    case service::QueryKind::kTrajectoryPnn:
+      return q.polyline.empty() ? 0 : q.polyline[0].dim();
+    default:
+      return q.point.dim();
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryRequestBatch(
+    std::span<const service::QueryRequest> requests) {
+  std::vector<uint8_t> out;
+  int dim = 1;
+  for (const service::QueryRequest& q : requests) {
+    const int d = QueryRequestDim(q);
+    if (d > 0) {
+      dim = d;
+      break;
+    }
+  }
+  AppendU32(&out, static_cast<uint32_t>(dim));
+  AppendU32(&out, static_cast<uint32_t>(requests.size()));
+  const auto append_point = [&out, dim](const geom::Point& p) {
+    PVDB_CHECK(p.dim() == dim);
+    for (int i = 0; i < dim; ++i) AppendF64(&out, p[i]);
+  };
+  for (const service::QueryRequest& q : requests) {
+    AppendU8(&out, static_cast<uint8_t>(q.kind));
+    switch (q.kind) {
+      case service::QueryKind::kPnn:
+        append_point(q.point);
+        break;
+      case service::QueryKind::kTopKByProb:
+        AppendU32(&out, q.k);
+        append_point(q.point);
+        break;
+      case service::QueryKind::kThresholdNN:
+        AppendF64(&out, q.probability);
+        append_point(q.point);
+        break;
+      case service::QueryKind::kRangeProb:
+        AppendF64(&out, q.probability);
+        PVDB_CHECK(q.rect.dim() == dim);
+        for (int i = 0; i < dim; ++i) AppendF64(&out, q.rect.lo(i));
+        for (int i = 0; i < dim; ++i) AppendF64(&out, q.rect.hi(i));
+        break;
+      case service::QueryKind::kTrajectoryPnn:
+        AppendF64(&out, q.step);
+        AppendU32(&out, static_cast<uint32_t>(q.polyline.size()));
+        for (const geom::Point& v : q.polyline) append_point(v);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<service::QueryRequest>> DecodeQueryRequestBatch(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t dim = 0, count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&dim));
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("wire: request dim " + std::to_string(dim) +
+                              " out of range [1, " +
+                              std::to_string(geom::kMaxDim) + "]");
+  }
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: request batch count " +
+                              std::to_string(count) + " exceeds " +
+                              std::to_string(kMaxBatch));
+  }
+  const auto read_point = [&r, dim](geom::Point* p) -> Status {
+    for (uint32_t d = 0; d < dim; ++d) {
+      PVDB_RETURN_NOT_OK(r.ReadF64(&(*p)[static_cast<int>(d)]));
+    }
+    return Status::OK();
+  };
+  std::vector<service::QueryRequest> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU8(&kind));
+    if (kind < static_cast<uint8_t>(service::QueryKind::kPnn) ||
+        kind > static_cast<uint8_t>(service::QueryKind::kTrajectoryPnn)) {
+      return Status::Corruption("wire: request " + std::to_string(i) +
+                                " has unknown query kind " +
+                                std::to_string(kind));
+    }
+    service::QueryRequest q;
+    q.kind = static_cast<service::QueryKind>(kind);
+    switch (q.kind) {
+      case service::QueryKind::kPnn:
+        q.point = geom::Point(static_cast<int>(dim));
+        PVDB_RETURN_NOT_OK(read_point(&q.point));
+        break;
+      case service::QueryKind::kTopKByProb:
+        PVDB_RETURN_NOT_OK(r.ReadU32(&q.k));
+        q.point = geom::Point(static_cast<int>(dim));
+        PVDB_RETURN_NOT_OK(read_point(&q.point));
+        break;
+      case service::QueryKind::kThresholdNN:
+        PVDB_RETURN_NOT_OK(r.ReadF64(&q.probability));
+        q.point = geom::Point(static_cast<int>(dim));
+        PVDB_RETURN_NOT_OK(read_point(&q.point));
+        break;
+      case service::QueryKind::kRangeProb: {
+        PVDB_RETURN_NOT_OK(r.ReadF64(&q.probability));
+        // Built component-wise: a malformed lo > hi rectangle must decode
+        // (the Rect corner constructor asserts the invariant) so that
+        // server-side validation can answer it InvalidArgument.
+        geom::Rect rect(static_cast<int>(dim));
+        for (uint32_t d = 0; d < dim; ++d) {
+          double v = 0.0;
+          PVDB_RETURN_NOT_OK(r.ReadF64(&v));
+          rect.set_lo(static_cast<int>(d), v);
+        }
+        for (uint32_t d = 0; d < dim; ++d) {
+          double v = 0.0;
+          PVDB_RETURN_NOT_OK(r.ReadF64(&v));
+          rect.set_hi(static_cast<int>(d), v);
+        }
+        q.rect = rect;
+        break;
+      }
+      case service::QueryKind::kTrajectoryPnn: {
+        PVDB_RETURN_NOT_OK(r.ReadF64(&q.step));
+        uint32_t nverts = 0;
+        PVDB_RETURN_NOT_OK(r.ReadU32(&nverts));
+        if (nverts > kMaxBatch ||
+            static_cast<size_t>(nverts) * dim * 8 > r.remaining()) {
+          return Status::Corruption(
+              "wire: request " + std::to_string(i) + " claims " +
+              std::to_string(nverts) + " polyline vertices beyond the payload");
+        }
+        q.polyline.reserve(nverts);
+        for (uint32_t v = 0; v < nverts; ++v) {
+          geom::Point p(static_cast<int>(dim));
+          PVDB_RETURN_NOT_OK(read_point(&p));
+          q.polyline.push_back(std::move(p));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeQueryAnswerBatch(
+    std::span<const service::QueryAnswer> answers) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(answers.size()));
+  for (const service::QueryAnswer& a : answers) {
+    AppendStatus(&out, a.status);
+    AppendU8(&out, static_cast<uint8_t>(a.kind));
+    AppendU8(&out, a.cache_hit ? 1 : 0);
+    AppendU32(&out, static_cast<uint32_t>(a.results.size()));
+    for (const pv::PnnResult& res : a.results) {
+      AppendU64(&out, res.id);
+      AppendF64(&out, res.probability);
+    }
+    AppendU32(&out, static_cast<uint32_t>(a.steps.size()));
+    for (const service::TrajectoryStepAnswer& step : a.steps) {
+      AppendU8(&out, static_cast<uint8_t>(step.point.dim()));
+      for (int d = 0; d < step.point.dim(); ++d) {
+        AppendF64(&out, step.point[d]);
+      }
+      AppendU8(&out, step.reused_step1 ? 1 : 0);
+      AppendU32(&out, static_cast<uint32_t>(step.results.size()));
+      for (const pv::PnnResult& res : step.results) {
+        AppendU64(&out, res.id);
+        AppendF64(&out, res.probability);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<service::QueryAnswer>> DecodeQueryAnswerBatch(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: answer count " + std::to_string(count) +
+                              " exceeds " + std::to_string(kMaxBatch));
+  }
+  const auto read_results =
+      [&r](std::vector<pv::PnnResult>* results) -> Status {
+    uint32_t n = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&n));
+    if (static_cast<size_t>(n) * 16 > r.remaining()) {
+      return Status::Corruption("wire: answer claims " + std::to_string(n) +
+                                " results beyond the payload");
+    }
+    results->resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      PVDB_RETURN_NOT_OK(r.ReadU64(&(*results)[j].id));
+      PVDB_RETURN_NOT_OK(r.ReadF64(&(*results)[j].probability));
+    }
+    return Status::OK();
+  };
+  std::vector<service::QueryAnswer> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PVDB_RETURN_NOT_OK(r.ReadStatus(&out[i].status));
+    uint8_t kind = 0, cache_hit = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU8(&kind));
+    if (kind < static_cast<uint8_t>(service::QueryKind::kPnn) ||
+        kind > static_cast<uint8_t>(service::QueryKind::kTrajectoryPnn)) {
+      return Status::Corruption("wire: answer " + std::to_string(i) +
+                                " has unknown query kind " +
+                                std::to_string(kind));
+    }
+    out[i].kind = static_cast<service::QueryKind>(kind);
+    PVDB_RETURN_NOT_OK(r.ReadU8(&cache_hit));
+    out[i].cache_hit = cache_hit != 0;
+    PVDB_RETURN_NOT_OK(read_results(&out[i].results));
+    uint32_t nsteps = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&nsteps));
+    if (nsteps > kMaxBatch) {
+      return Status::Corruption("wire: answer " + std::to_string(i) +
+                                " claims " + std::to_string(nsteps) +
+                                " trajectory steps");
+    }
+    out[i].steps.resize(nsteps);
+    for (uint32_t s = 0; s < nsteps; ++s) {
+      uint8_t dim = 0, reused = 0;
+      PVDB_RETURN_NOT_OK(r.ReadU8(&dim));
+      if (dim < 1 || dim > static_cast<uint8_t>(geom::kMaxDim)) {
+        return Status::Corruption("wire: trajectory step dim " +
+                                  std::to_string(dim) + " out of range");
+      }
+      geom::Point p(dim);
+      for (uint8_t d = 0; d < dim; ++d) {
+        PVDB_RETURN_NOT_OK(r.ReadF64(&p[d]));
+      }
+      out[i].steps[s].point = std::move(p);
+      PVDB_RETURN_NOT_OK(r.ReadU8(&reused));
+      out[i].steps[s].reused_step1 = reused != 0;
+      PVDB_RETURN_NOT_OK(read_results(&out[i].steps[s].results));
+    }
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeRangeStep1Request(
+    std::span<const geom::Rect> ranges) {
+  std::vector<uint8_t> out;
+  const int dim = ranges.empty() ? 1 : ranges[0].dim();
+  AppendU32(&out, static_cast<uint32_t>(dim));
+  AppendU32(&out, static_cast<uint32_t>(ranges.size()));
+  for (const geom::Rect& rect : ranges) {
+    PVDB_CHECK(rect.dim() == dim);
+    for (int i = 0; i < dim; ++i) AppendF64(&out, rect.lo(i));
+    for (int i = 0; i < dim; ++i) AppendF64(&out, rect.hi(i));
+  }
+  return out;
+}
+
+Result<std::vector<geom::Rect>> DecodeRangeStep1Request(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t dim = 0, count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&dim));
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (dim < 1 || dim > static_cast<uint32_t>(geom::kMaxDim)) {
+    return Status::Corruption("wire: range dim " + std::to_string(dim) +
+                              " out of range [1, " +
+                              std::to_string(geom::kMaxDim) + "]");
+  }
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: range batch count " +
+                              std::to_string(count) + " exceeds " +
+                              std::to_string(kMaxBatch));
+  }
+  std::vector<geom::Rect> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    geom::Rect rect(static_cast<int>(dim));
+    for (uint32_t d = 0; d < dim; ++d) {
+      double v = 0.0;
+      PVDB_RETURN_NOT_OK(r.ReadF64(&v));
+      rect.set_lo(static_cast<int>(d), v);
+    }
+    for (uint32_t d = 0; d < dim; ++d) {
+      double v = 0.0;
+      PVDB_RETURN_NOT_OK(r.ReadF64(&v));
+      rect.set_hi(static_cast<int>(d), v);
+    }
+    out.push_back(rect);
+  }
+  PVDB_RETURN_NOT_OK(r.Done());
+  return out;
+}
+
+std::vector<uint8_t> EncodeRangeStep1Response(
+    std::span<const shard::ShardRangeAnswer> answers) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, static_cast<uint32_t>(answers.size()));
+  for (const shard::ShardRangeAnswer& a : answers) {
+    AppendStatus(&out, a.status);
+    AppendU32(&out, static_cast<uint32_t>(a.ids.size()));
+    for (uncertain::ObjectId id : a.ids) AppendU64(&out, id);
+  }
+  return out;
+}
+
+Result<std::vector<shard::ShardRangeAnswer>> DecodeRangeStep1Response(
+    std::span<const uint8_t> payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  PVDB_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > kMaxBatch) {
+    return Status::Corruption("wire: range answer count " +
+                              std::to_string(count) + " exceeds " +
+                              std::to_string(kMaxBatch));
+  }
+  std::vector<shard::ShardRangeAnswer> out(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PVDB_RETURN_NOT_OK(r.ReadStatus(&out[i].status));
+    uint32_t n = 0;
+    PVDB_RETURN_NOT_OK(r.ReadU32(&n));
+    if (n > kMaxCandidates || static_cast<size_t>(n) * 8 > r.remaining()) {
+      return Status::Corruption(
+          "wire: range answer " + std::to_string(i) + " claims " +
+          std::to_string(n) + " ids beyond the payload");
+    }
+    out[i].ids.resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      PVDB_RETURN_NOT_OK(r.ReadU64(&out[i].ids[j]));
     }
   }
   PVDB_RETURN_NOT_OK(r.Done());

@@ -20,7 +20,9 @@
 
 #include "src/common/status.h"
 #include "src/geom/point.h"
+#include "src/geom/rect.h"
 #include "src/pv/pnnq.h"
+#include "src/service/query_request.h"
 #include "src/shard/router.h"
 #include "src/uncertain/uncertain_object.h"
 
@@ -68,6 +70,51 @@ Result<std::vector<uncertain::ObjectId>> DecodeFetchRecordsRequest(
 std::vector<uint8_t> EncodeFetchRecordsResponse(
     std::span<const uncertain::UncertainObject> records);
 Result<std::vector<uncertain::UncertainObject>> DecodeFetchRecordsResponse(
+    std::span<const uint8_t> payload);
+
+/// kQueryRequestBatch request (frame v2): a batch of typed queries.
+///   dim u32 | count u32 | per request: kind u8 | kind-specific body:
+///     pnn        — point (dim × f64)
+///     topk       — k u32 | point
+///     threshold  — p f64 | point
+///     range      — p f64 | lo point | hi point
+///     trajectory — step f64 | vertex count u32 | vertices × point
+/// Decoding checks structure only (bounds, known kind); semantic validity
+/// (k ≥ 1, p ∈ [0,1], lo ≤ hi, step > 0) is the server-side
+/// ValidateQueryRequest's job, so a malformed request reaches the engine
+/// and answers per-request InvalidArgument instead of dropping the
+/// connection.
+std::vector<uint8_t> EncodeQueryRequestBatch(
+    std::span<const service::QueryRequest> requests);
+Result<std::vector<service::QueryRequest>> DecodeQueryRequestBatch(
+    std::span<const uint8_t> payload);
+
+/// kQueryAnswerBatch response (frame v2):
+///   count u32 | per answer: status u32 | msg len u32 | msg | kind u8 |
+///   cache_hit u8 | result count u32 | results × (id u64, probability f64) |
+///   step count u32 | per step: dim u8 | point | reused u8 |
+///   result count u32 | results × (id u64, probability f64)
+/// Latency and stage timing are measured client-side, not shipped.
+std::vector<uint8_t> EncodeQueryAnswerBatch(
+    std::span<const service::QueryAnswer> answers);
+Result<std::vector<service::QueryAnswer>> DecodeQueryAnswerBatch(
+    std::span<const uint8_t> payload);
+
+/// kRangeStep1Batch request (frame v2): a batch of query rectangles.
+///   dim u32 | count u32 | count × (lo dim f64, hi dim f64)
+/// Degenerate (lo > hi) rectangles decode structurally and are rejected by
+/// server-side validation.
+std::vector<uint8_t> EncodeRangeStep1Request(
+    std::span<const geom::Rect> ranges);
+Result<std::vector<geom::Rect>> DecodeRangeStep1Request(
+    std::span<const uint8_t> payload);
+
+/// kRangeStep1Batch response (frame v2):
+///   count u32 | per answer: status u32 | msg len u32 | msg |
+///   id count u32 | ids × u64
+std::vector<uint8_t> EncodeRangeStep1Response(
+    std::span<const shard::ShardRangeAnswer> answers);
+Result<std::vector<shard::ShardRangeAnswer>> DecodeRangeStep1Response(
     std::span<const uint8_t> payload);
 
 /// kInfo response: dim u32 | object count u64.

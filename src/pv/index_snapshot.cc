@@ -287,7 +287,7 @@ Result<OctreePrimary::LeafRef> IndexSnapshot::FindLeaf(
     index = node.first_child + child;
     node = ReadNode(nodes_, index);
   }
-  return OctreePrimary::LeafRef{node.leaf_id, nullptr};
+  return OctreePrimary::LeafRef{node.leaf_id, nullptr, region};
 }
 
 Result<LeafBlock> IndexSnapshot::ReadLeafBlock(uint64_t leaf_id) const {
@@ -374,6 +374,69 @@ Result<std::vector<uncertain::ObjectId>> IndexSnapshot::QueryPossibleNN(
   }
   PVDB_ASSIGN_OR_RETURN(LeafBlock block, ReadLeafBlock(ref.id));
   return Step1PruneMinMax(block, q, scratch);
+}
+
+Result<std::vector<uncertain::ObjectId>> IndexSnapshot::RangeCandidates(
+    const geom::Rect& range) const {
+  std::vector<uncertain::ObjectId> out;
+  if (!domain_.Intersects(range)) return out;
+  // Explicit-stack walk of the flat node image, carrying each node's cell.
+  // Child cells use the same midpoint arithmetic as FindLeaf, so pruning is
+  // exact against the cells the builder partitioned by.
+  struct Frame {
+    uint64_t index;
+    geom::Rect cell;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, domain_});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const NodeView node = ReadNode(nodes_, f.index);
+    if (node.is_leaf != 0) {
+      if (node.entry_count == 0) continue;
+      // Filter the leaf's entries by their stored uncertainty-region bound
+      // planes (closed-interval overlap per dimension).
+      LeafBlock owned;
+      LeafBlockView view;
+      if (has_leaf_soa()) {
+        PVDB_ASSIGN_OR_RETURN(view, ReadLeafBlockView(node.leaf_id));
+      } else {
+        PVDB_ASSIGN_OR_RETURN(owned, ReadLeafBlock(node.leaf_id));
+        view = owned.View();
+      }
+      for (size_t i = 0; i < view.count; ++i) {
+        bool overlaps = true;
+        for (int d = 0; d < dim_ && overlaps; ++d) {
+          overlaps = view.lo[d][i] <= range.hi(d) && view.hi[d][i] >= range.lo(d);
+        }
+        if (overlaps) out.push_back(view.ids[i]);
+      }
+      continue;
+    }
+    for (unsigned child = 0; child < (1u << dim_); ++child) {
+      geom::Point lo(dim_), hi(dim_);
+      bool hit = true;
+      for (int i = 0; i < dim_ && hit; ++i) {
+        const double mid = 0.5 * (f.cell.lo(i) + f.cell.hi(i));
+        if ((child >> i) & 1u) {
+          lo[i] = mid;
+          hi[i] = f.cell.hi(i);
+        } else {
+          lo[i] = f.cell.lo(i);
+          hi[i] = mid;
+        }
+        hit = lo[i] <= range.hi(i) && hi[i] >= range.lo(i);
+      }
+      if (!hit) continue;
+      stack.push_back(Frame{node.first_child + child, geom::Rect(lo, hi)});
+    }
+  }
+  // Canonical form: ascending ids, one entry per object (UBRs straddling
+  // leaf boundaries appear in several leaves).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 // ---------------------------------------------------------------------------

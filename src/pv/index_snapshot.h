@@ -143,6 +143,17 @@ class IndexSnapshot final : public uncertain::ObjectSource {
   Result<std::vector<uncertain::ObjectId>> QueryPossibleNN(
       const geom::Point& q, QueryScratch* scratch = nullptr) const;
 
+  /// Range-query Step 1: ids of every object whose indexed uncertainty
+  /// region intersects `range` (closed-box test), i.e. every object with
+  /// possibly-nonzero probability of lying inside it. Walks the flat node
+  /// image pruning subtrees whose cells miss the range, filters each
+  /// surviving leaf's entries by their stored bound planes, and returns the
+  /// ids sorted ascending and deduplicated (an object's UBR may span
+  /// several leaves) — canonical order, so the result is a pure function of
+  /// the range.
+  Result<std::vector<uncertain::ObjectId>> RangeCandidates(
+      const geom::Rect& range) const;
+
   /// ObjectSource: the record of `id`, parsed lazily out of the mapping on
   /// first access and cached for the snapshot's lifetime (lock-free CAS
   /// publication; concurrent first touches are safe). nullptr when the id

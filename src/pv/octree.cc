@@ -476,7 +476,7 @@ Result<OctreePrimary::LeafRef> OctreePrimary::FindLeaf(
     region = ChildRegion(region, child);
     node = node->children[child].get();
   }
-  return LeafRef{node->leaf_id, node};
+  return LeafRef{node->leaf_id, node, region};
 }
 
 Result<std::vector<LeafEntry>> OctreePrimary::ReadLeaf(

@@ -227,6 +227,12 @@ class OctreePrimary {
   struct LeafRef {
     uint64_t id = 0;
     const Node* node = nullptr;
+    /// The leaf's cell (the domain octant the descent ended in). A point
+    /// STRICTLY inside the cell descends to this same leaf — the descent
+    /// partitions each axis half-open at the midpoint, so only boundary
+    /// points are ambiguous. The trajectory path uses this to skip the
+    /// descent for consecutive samples sharing a cell.
+    geom::Rect cell{1};
   };
 
   /// Locates the leaf containing `q` by in-memory descent, reading no pages.

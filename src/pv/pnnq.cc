@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <queue>
 #include <type_traits>
 
 #include "src/common/random.h"
@@ -298,6 +299,188 @@ std::vector<PnnResult> PnnStep2Evaluator::Evaluate(
             [](const PnnResult& a, const PnnResult& b) {
               return a.probability > b.probability;
             });
+  return out;
+}
+
+std::vector<PnnResult> PnnStep2Evaluator::EvaluateTopK(
+    const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+    uint32_t k, QueryScratch* scratch, MetricRegistry::Counter* io,
+    double min_probability, Status* status, int64_t* early_exits) const {
+  PVDB_CHECK(scratch != nullptr);
+  PVDB_CHECK(k >= 1);
+  PVDB_CHECK(min_probability >= 0.0);
+  ScopedStageTimer stage_timer(scratch->timings, QueryStage::kStep2);
+  if (status != nullptr) *status = Status::OK();
+
+  auto& objs = scratch->objs;
+  objs.clear();
+  objs.reserve(candidates.size());
+  for (uncertain::ObjectId id : candidates) {
+    const uncertain::UncertainObject* o = objects_->FindObject(id);
+    if (o == nullptr) {
+      ReportMissingRecord(id, status);
+      return {};
+    }
+    objs.push_back(o);
+    if (io != nullptr) {
+      io->Increment(RecordPages(*o));
+    }
+  }
+
+  // The same per-candidate sorted-distance tables Evaluate builds — every
+  // candidate needs one even if its own probability is abandoned early,
+  // because it keeps competing in the other candidates' survival products.
+  auto& offsets = scratch->offsets;
+  offsets.clear();
+  offsets.reserve(objs.size() + 1);
+  size_t total = 0;
+  offsets.push_back(0);
+  for (const auto* o : objs) {
+    total += o->pdf().size();
+    offsets.push_back(total);
+  }
+  auto& inst_dist = scratch->inst_dist;
+  auto& dist = scratch->dist;
+  auto& suffix = scratch->suffix;
+  inst_dist.resize(total);
+  dist.resize(total);
+  suffix.resize(total);
+
+  auto& pairs = scratch->pairs;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t base = offsets[i];
+    geom::PointDistBatch(InstanceCoordBase(pdf), kInstanceStrideDoubles, q,
+                         pdf.size(), inst_dist.data() + base);
+    pairs.clear();
+    pairs.reserve(pdf.size());
+    for (size_t kk = 0; kk < pdf.size(); ++kk) {
+      pairs.emplace_back(inst_dist[base + kk], pdf[kk].probability);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    double run = 0.0;
+    for (size_t kk = pairs.size(); kk-- > 0;) {
+      run += pairs[kk].second;
+      dist[base + kk] = pairs[kk].first;
+      suffix[base + kk] = run;
+    }
+  }
+
+  // Remaining pdf weight per instance position, in pdf order: wsuf[base + t]
+  // = sum of pdf weights from instance t on. prob-so-far + wsuf is a true
+  // upper bound on the candidate's final probability (every future world
+  // contributes at most its bare pdf weight).
+  auto& wsuf = scratch->batch_w;
+  wsuf.resize(total);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t base = offsets[i];
+    double run = 0.0;
+    for (size_t kk = pdf.size(); kk-- > 0;) {
+      run += pdf[kk].probability;
+      wsuf[base + kk] = run;
+    }
+  }
+
+  const auto survival = [&](size_t j, double t) {
+    const double* begin = dist.data() + offsets[j];
+    const double* end = dist.data() + offsets[j + 1];
+    const double* it = std::upper_bound(begin, end, t);
+    return it == end ? 0.0 : suffix[offsets[j] + static_cast<size_t>(it - begin)];
+  };
+
+  // Same slack as EvaluateGroup's early exit: the bound and the exact
+  // accumulation round differently, so give the bound one ulp-scale nudge
+  // upward before comparing — never abandon a candidate the exact path
+  // would keep.
+  constexpr double kBoundSlack = 1e-9;
+  // Min-heap of the k highest finished probabilities; top() is the bar a
+  // candidate must still be able to reach.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> top;
+  std::vector<PnnResult> finished;
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const auto& pdf = objs[i]->pdf();
+    const size_t base = offsets[i];
+    double prob = 0.0;
+    bool abandoned = false;
+    for (size_t kk = 0; kk < pdf.size(); ++kk) {
+      const double bound = prob + wsuf[base + kk];
+      const double scaled = bound * (1.0 + kBoundSlack);
+      const bool below_floor =
+          bound == 0.0 ? 0.0 <= min_probability : scaled <= min_probability;
+      // Strict <: a candidate that can still TIE the k-th probability must
+      // finish, because the (probability desc, id asc) order may seat it.
+      const bool out_of_topk = top.size() >= k && scaled < top.top();
+      if (below_floor || out_of_topk) {
+        abandoned = true;
+        if (early_exits != nullptr) ++*early_exits;
+        break;
+      }
+      const double d = inst_dist[base + kk];
+      double world = pdf[kk].probability;
+      for (size_t j = 0; j < objs.size() && world > 0.0; ++j) {
+        if (j == i) continue;
+        world *= survival(j, d);
+      }
+      prob += world;
+    }
+    if (abandoned) continue;
+    if (prob > min_probability) {
+      finished.push_back(PnnResult{objs[i]->id(), prob});
+      if (top.size() < k) {
+        top.push(prob);
+      } else if (prob > top.top()) {
+        top.pop();
+        top.push(prob);
+      }
+    }
+  }
+
+  // Total (probability desc, id asc) order before truncating: every true
+  // top-k member finished (the bound never abandons one), so sorting the
+  // survivors and cutting to k equals sorting Evaluate's full answer.
+  std::sort(finished.begin(), finished.end(),
+            [](const PnnResult& a, const PnnResult& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.id < b.id;
+            });
+  if (finished.size() > k) finished.resize(k);
+  return finished;
+}
+
+std::vector<PnnResult> PnnStep2Evaluator::EvaluateRangeProb(
+    const geom::Rect& range, std::span<const uncertain::ObjectId> candidates,
+    MetricRegistry::Counter* io, double threshold, Status* status) const {
+  if (status != nullptr) *status = Status::OK();
+  std::vector<PnnResult> out;
+  for (uncertain::ObjectId id : candidates) {
+    const uncertain::UncertainObject* o = objects_->FindObject(id);
+    if (o == nullptr) {
+      ReportMissingRecord(id, status);
+      return {};
+    }
+    if (io != nullptr) {
+      io->Increment(RecordPages(*o));
+    }
+    // P(o inside range): pdf weights summed in pdf order (the summation
+    // order is part of the bit-identity contract).
+    double prob = 0.0;
+    for (const uncertain::Instance& inst : o->pdf()) {
+      if (range.Contains(inst.position)) prob += inst.probability;
+    }
+    if (prob > threshold) {
+      out.push_back(PnnResult{o->id(), prob});
+    }
+  }
+  // (probability desc, id asc) is total, so the answer depends only on the
+  // candidate SET — a router's merged candidate order matches by
+  // construction.
+  std::sort(out.begin(), out.end(), [](const PnnResult& a, const PnnResult& b) {
+    if (a.probability != b.probability) return a.probability > b.probability;
+    return a.id < b.id;
+  });
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "src/common/trace.h"
 #include "src/geom/distance.h"
 #include "src/geom/distance_batch.h"
+#include "src/geom/rect.h"
 #include "src/pv/octree.h"
 #include "src/uncertain/dataset.h"
 
@@ -260,6 +261,39 @@ class PnnStep2Evaluator {
       MetricRegistry::Counter* io = nullptr,
       const Step2GroupOptions& options = Step2GroupOptions(),
       Step2BatchStats* stats = nullptr, Status* status = nullptr) const;
+
+  /// Top-k-by-probability variant: the k highest qualification probabilities
+  /// at `q`, ordered (probability desc, id asc). Probabilities of returned
+  /// objects are bit-identical to Evaluate — the accumulation is the same
+  /// loop — and the answer equals sorting Evaluate's full result by
+  /// (probability desc, id asc) and truncating to k. What top-k adds is a
+  /// second early-exit: a candidate is abandoned once the sum of its partial
+  /// products plus its remaining pdf weight (a true upper bound, every
+  /// survival factor being <= 1) provably cannot reach the current k-th best
+  /// finished probability. The bound check is strict (<) so a candidate that
+  /// could tie the k-th probability — and win the id tie-break — is never
+  /// dropped. `early_exits`, when provided, accumulates abandoned
+  /// candidates (bench instrumentation). Results with probability <=
+  /// `min_probability` are dropped first, exactly as Evaluate does;
+  /// `min_probability` must be >= 0.
+  std::vector<PnnResult> EvaluateTopK(
+      const geom::Point& q, std::span<const uncertain::ObjectId> candidates,
+      uint32_t k, QueryScratch* scratch, MetricRegistry::Counter* io = nullptr,
+      double min_probability = 0.0, Status* status = nullptr,
+      int64_t* early_exits = nullptr) const;
+
+  /// Probabilistic range variant: P(o inside `range`) for each candidate —
+  /// the candidate's pdf weights summed in pdf order over instances whose
+  /// position the closed rect contains. Results with probability <=
+  /// `threshold` are dropped; survivors are ordered (probability desc,
+  /// id asc) — a total order, so the answer is a pure function of the
+  /// candidate SET (any candidate order, e.g. a router's merged set, yields
+  /// identical bits). Pdf page reads are charged per candidate as in
+  /// Evaluate; `status` follows the Evaluate contract.
+  std::vector<PnnResult> EvaluateRangeProb(
+      const geom::Rect& range, std::span<const uncertain::ObjectId> candidates,
+      MetricRegistry::Counter* io = nullptr, double threshold = 0.0,
+      Status* status = nullptr) const;
 
   /// Monte-Carlo estimator of the same probabilities by joint possible-world
   /// sampling (test oracle; `trials` independent worlds).

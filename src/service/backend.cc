@@ -25,6 +25,24 @@ const char* BackendKindName(BackendKind kind) {
 
 namespace {
 
+/// Shared octree range walk: entries of every leaf overlapping `range`,
+/// filtered by their stored uncertainty regions (closed intersect, the same
+/// test IndexSnapshot::RangeCandidates applies to its bound planes), then
+/// sorted + deduplicated into canonical order.
+Result<std::vector<uncertain::ObjectId>> RangeFromOctree(
+    const pv::OctreePrimary& primary, const geom::Rect& range) {
+  PVDB_ASSIGN_OR_RETURN(std::vector<pv::LeafEntry> entries,
+                        primary.CollectOverlapping(range));
+  std::vector<uncertain::ObjectId> out;
+  out.reserve(entries.size());
+  for (const pv::LeafEntry& e : entries) {
+    if (e.region.Intersects(range)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 class PvBackend final : public Backend {
  public:
   explicit PvBackend(pv::PvIndex* index) : index_(index) {
@@ -59,6 +77,11 @@ class PvBackend final : public Backend {
       const pv::LeafBlock& block, const geom::Point& q,
       pv::QueryScratch* scratch) const override {
     return pv::Step1PruneMinMax(block, q, scratch);
+  }
+
+  Result<std::vector<uncertain::ObjectId>> RangeCandidates(
+      const geom::Rect& range) const override {
+    return RangeFromOctree(index_->primary(), range);
   }
 
  private:
@@ -105,6 +128,11 @@ class UvBackend final : public Backend {
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
+  }
+
+  Result<std::vector<uncertain::ObjectId>> RangeCandidates(
+      const geom::Rect& range) const override {
+    return RangeFromOctree(index_->primary(), range);
   }
 
  private:
@@ -164,6 +192,11 @@ class SnapshotBackend final : public Backend {
       const pv::LeafBlockView& view, const geom::Point& q,
       pv::QueryScratch* scratch) const override {
     return pv::Step1PruneMinMax(view, q, scratch);
+  }
+
+  Result<std::vector<uncertain::ObjectId>> RangeCandidates(
+      const geom::Rect& range) const override {
+    return snapshot_->RangeCandidates(range);
   }
 
  private:

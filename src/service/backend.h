@@ -129,6 +129,18 @@ class Backend {
     (void)scratch;
     return {};
   }
+
+  /// Range-query Step 1: ids of every object whose indexed uncertainty
+  /// region intersects `range` (closed-box test), sorted ascending and
+  /// deduplicated — canonical order, a pure function of the range. The
+  /// octree-carried backends walk leaves overlapping the range; backends
+  /// without a region-addressable structure return NotSupported and the
+  /// engine falls back to a linear dataset scan.
+  virtual Result<std::vector<uncertain::ObjectId>> RangeCandidates(
+      const geom::Rect& range) const {
+    (void)range;
+    return Status::NotSupported("backend has no range-addressable structure");
+  }
 };
 
 /// PV-index backend. Non-const: PvIndex mutations route through the engine,

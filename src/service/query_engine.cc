@@ -102,6 +102,7 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   input.override = options.backend_override;
   PVDB_ASSIGN_OR_RETURN(Plan plan, PlanBackend(input));
   engine->plan_reason_ = std::move(plan.reason);
+  engine->dim_ = input.dim;
 
   if (plan.backend == BackendKind::kSnapshot) {
     engine->state_.store(engine->MakeSnapshotState(backends.snapshot),
@@ -135,6 +136,11 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   engine->batches_total_ = engine->metrics_.Register("engine.batches");
   engine->leaf_block_reads_ =
       engine->metrics_.Register("engine.leaf_block_reads");
+  for (size_t k = 0; k < engine->queries_by_kind_.size(); ++k) {
+    engine->queries_by_kind_[k] = engine->metrics_.Register(
+        std::string("engine.queries.") +
+        QueryKindName(static_cast<QueryKind>(k + 1)));
+  }
   engine->latency_hist_ =
       engine->metrics_.RegisterHistogram("engine.latency_ns");
   for (int s = 0; s < kNumQueryStages; ++s) {
@@ -223,13 +229,25 @@ pv::QueryScratch& WorkerScratch() {
   return scratch;
 }
 
+/// True when p lies strictly inside `cell` on every axis. The leaf descent
+/// partitions each axis half-open at the cell midpoint, so a strict-interior
+/// point provably descends to the same leaf — the condition under which a
+/// trajectory sample may reuse the previous sample's leaf without changing
+/// any answer bit. Boundary points (and dimension mismatches) re-descend.
+bool StrictlyInside(const geom::Rect& cell, const geom::Point& p) {
+  if (cell.dim() != p.dim()) return false;
+  for (int d = 0; d < p.dim(); ++d) {
+    if (!(cell.lo(d) < p[d] && p[d] < cell.hi(d))) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
-                                                const geom::Point& q,
-                                                pv::QueryScratch* scratch,
-                                                bool want_grouping,
-                                                StageTimings* timings) const {
+QueryEngine::Step1Outcome QueryEngine::Step1One(
+    const StatePtr& state, const geom::Point& q, pv::QueryScratch* scratch,
+    bool want_grouping, StageTimings* timings,
+    const pv::OctreePrimary::LeafRef* hint, bool want_ref) const {
   Step1Outcome out;
   out.state = state;
   out.epoch = epoch_.load(std::memory_order_relaxed);
@@ -244,25 +262,39 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
   const Backend* active = state->active;
   // Leaf location feeds the result cache and, on the grouped batch path,
   // the grouping key — there it is worth a (page-free) FindLeaf even when
-  // the cache is off.
+  // the cache is off. A trajectory caller forces it (hint / want_ref) so
+  // consecutive samples can share one descent.
   const bool want_leaf =
       cache != nullptr ||
       (want_grouping && options_.batch_step2 &&
-       active->SupportsLeafGrouping());
+       active->SupportsLeafGrouping()) ||
+      hint != nullptr || want_ref;
   // Lap attribution: the stages here run strictly in sequence, so each
   // boundary needs only one clock read (vs two per ScopedStageTimer).
   StageLap lap(timings);
   if (want_leaf) {
-    Result<std::optional<pv::OctreePrimary::LeafRef>> ref_or =
-        active->FindLeaf(q);
-    lap.Lap(QueryStage::kPlan);
-    if (!ref_or.ok()) {
-      out.status = ref_or.status();
-      return out;
+    std::optional<pv::OctreePrimary::LeafRef> located;
+    if (hint != nullptr) {
+      // Trajectory reuse: the caller proved q lies strictly inside
+      // hint->cell, so the descent would return this same leaf — skip it.
+      located = *hint;
+      out.used_hint = true;
+      lap.Lap(QueryStage::kPlan);
+    } else {
+      Result<std::optional<pv::OctreePrimary::LeafRef>> ref_or =
+          active->FindLeaf(q);
+      lap.Lap(QueryStage::kPlan);
+      if (!ref_or.ok()) {
+        out.status = ref_or.status();
+        return out;
+      }
+      located = ref_or.value();
     }
-    if (ref_or.value().has_value()) {
-      const pv::OctreePrimary::LeafRef ref = *ref_or.value();
+    if (located.has_value()) {
+      const pv::OctreePrimary::LeafRef ref = *located;
       out.leaf_key = ref.id;
+      out.ref = ref;
+      out.has_ref = true;
       // Zero-copy serving: prune straight off the backend's own mapped
       // bytes. No block read, no block copy into the cache (the mapping is
       // its own cache — leaf_block_reads and block hit/miss counters stay
@@ -316,6 +348,9 @@ QueryEngine::Step1Outcome QueryEngine::Step1One(const StatePtr& state,
       }
     }
   }
+  // Full Step 1 (the backend redoes its own descent): any leaf hint saved
+  // nothing on this path.
+  out.used_hint = false;
   auto step1 = active->Step1(q, scratch);
   lap.Lap(QueryStage::kStep1Prune);
   if (!step1.ok()) {
@@ -341,14 +376,28 @@ PnnAnswer QueryEngine::AnswerOne(const geom::Point& q) const {
 }
 
 PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
+  return AnswerPointLocked(CurrentState(), q, nullptr);
+}
+
+PnnAnswer QueryEngine::AnswerPointLocked(const StatePtr& state,
+                                         const geom::Point& q,
+                                         LeafHint* hint) const {
   PnnAnswer ans;
   StopWatch watch;
-  const StatePtr state = CurrentState();
   pv::QueryScratch& scratch = WorkerScratch();
   StageTimings timings;
   StageTimings* t = options_.stage_timing ? &timings : nullptr;
-  Step1Outcome s1 =
-      Step1One(state, q, &scratch, /*want_grouping=*/false, t);
+  const pv::OctreePrimary::LeafRef* seed =
+      hint != nullptr && hint->valid && StrictlyInside(hint->ref.cell, q)
+          ? &hint->ref
+          : nullptr;
+  Step1Outcome s1 = Step1One(state, q, &scratch, /*want_grouping=*/false, t,
+                             seed, /*want_ref=*/hint != nullptr);
+  if (hint != nullptr) {
+    hint->used = s1.used_hint;
+    hint->valid = s1.status.ok() && s1.has_ref;
+    if (hint->valid) hint->ref = s1.ref;
+  }
   ans.cache_hit = s1.cache_hit;
   if (!s1.status.ok()) {
     ans.status = s1.status;
@@ -372,8 +421,128 @@ PnnAnswer QueryEngine::AnswerOneLocked(const geom::Point& q) const {
   return ans;
 }
 
-void QueryEngine::RecordAnswer(const PnnAnswer& ans) const {
+PnnAnswer QueryEngine::AnswerRange(const QueryRequest& req) const {
+  PnnAnswer ans;
+  StopWatch watch;
+  StageTimings timings;
+  StageTimings* t = options_.stage_timing ? &timings : nullptr;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const StatePtr state = CurrentState();
+  // Range Step 1: every object whose indexed uncertainty region intersects
+  // the rect. Backends without a range-addressable structure (R-tree Step-1
+  // baseline) fall back to a linear dataset scan — same closed-box test,
+  // same canonical id order.
+  std::vector<uncertain::ObjectId> candidates;
+  {
+    StageLap lap(t);
+    Result<std::vector<uncertain::ObjectId>> cand_or =
+        state->active->RangeCandidates(req.rect);
+    if (cand_or.ok()) {
+      candidates = std::move(cand_or).value();
+    } else if (cand_or.status().code() == StatusCode::kNotSupported &&
+               db_ != nullptr) {
+      for (const auto& o : db_->objects()) {
+        if (o.region().Intersects(req.rect)) candidates.push_back(o.id());
+      }
+      std::sort(candidates.begin(), candidates.end());
+    } else {
+      lap.Lap(QueryStage::kStep1Prune);
+      ans.status = cand_or.status();
+      ans.latency_ms = watch.ElapsedMillis();
+      ans.stage_ns = timings.ns;
+      return ans;
+    }
+    lap.Lap(QueryStage::kStep1Prune);
+  }
+  {
+    ScopedStageTimer step2_timer(t, QueryStage::kStep2);
+    ans.results = state->step2->EvaluateRangeProb(
+        req.rect, candidates,
+        options_.charge_step2_io ? step2_pages_ : nullptr, req.probability,
+        &ans.status);
+  }
+  ans.latency_ms = watch.ElapsedMillis();
+  ans.stage_ns = timings.ns;
+  return ans;
+}
+
+QueryAnswer QueryEngine::AnswerRequest(const QueryRequest& req) const {
+  QueryAnswer qa;
+  qa.kind = req.kind;
+  qa.status = ValidateQueryRequest(req, dim_);
+  if (!qa.status.ok()) {
+    PnnAnswer failed;
+    failed.status = qa.status;
+    RecordAnswer(failed, req.kind);
+    return qa;
+  }
+  switch (req.kind) {
+    case QueryKind::kPnn:
+    case QueryKind::kTopKByProb:
+    case QueryKind::kThresholdNN: {
+      StopWatch watch;
+      PnnAnswer ua;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        ua = AnswerOneLocked(req.point);
+      }
+      // Latency includes the wait for the shared lock (a writer may hold
+      // it); selection runs before accounting so traces carry the final
+      // result count.
+      ua.latency_ms = watch.ElapsedMillis();
+      ua.results = SelectResults(req, std::move(ua.results));
+      RecordAnswer(ua, req.kind);
+      qa.status = std::move(ua.status);
+      qa.results = std::move(ua.results);
+      qa.cache_hit = ua.cache_hit;
+      qa.latency_ms = ua.latency_ms;
+      qa.stage_ns = ua.stage_ns;
+      return qa;
+    }
+    case QueryKind::kRangeProb: {
+      PnnAnswer ua = AnswerRange(req);
+      RecordAnswer(ua, req.kind);
+      qa.status = std::move(ua.status);
+      qa.results = std::move(ua.results);
+      qa.latency_ms = ua.latency_ms;
+      qa.stage_ns = ua.stage_ns;
+      return qa;
+    }
+    case QueryKind::kTrajectoryPnn: {
+      const std::vector<geom::Point> samples =
+          SampleTrajectory(req.polyline, req.step);
+      qa.steps.resize(samples.size());
+      // One shared lock across the whole trajectory: every sample serves
+      // from the same state, and the leaf hint stays valid between them.
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const StatePtr state = CurrentState();
+      LeafHint hint;
+      for (size_t j = 0; j < samples.size(); ++j) {
+        PnnAnswer ua = AnswerPointLocked(state, samples[j], &hint);
+        RecordAnswer(ua, req.kind);
+        qa.steps[j].point = samples[j];
+        qa.steps[j].results = std::move(ua.results);
+        qa.steps[j].reused_step1 = hint.used;
+        qa.cache_hit |= ua.cache_hit;
+        qa.latency_ms += ua.latency_ms;
+        for (size_t st = 0; st < ua.stage_ns.size(); ++st) {
+          qa.stage_ns[st] += ua.stage_ns[st];
+        }
+        if (!ua.status.ok() && qa.status.ok()) qa.status = ua.status;
+      }
+      return qa;
+    }
+  }
+  qa.status = Status::InvalidArgument("unknown query kind");
+  return qa;
+}
+
+void QueryEngine::RecordAnswer(const PnnAnswer& ans, QueryKind kind) const {
   queries_total_->Increment();
+  const size_t kind_idx = static_cast<size_t>(kind) - 1;
+  if (kind_idx < queries_by_kind_.size()) {
+    queries_by_kind_[kind_idx]->Increment();
+  }
   if (!ans.status.ok()) query_failures_->Increment();
   latency_hist_->Record(std::llround(ans.latency_ms * 1e6));
   if (options_.stage_timing) {
@@ -396,166 +565,338 @@ void QueryEngine::RecordAnswer(const PnnAnswer& ans) const {
   info.ok = ans.status.ok();
   info.results = ans.results.size();
   info.backend = backend_name_;
+  info.kind = QueryKindName(kind);
   tracer_.EmitDecided(info, decision);
 }
 
-std::vector<PnnAnswer> QueryEngine::ExecutePerQuery(
-    std::span<const geom::Point> queries) {
-  std::vector<PnnAnswer> answers(queries.size());
-  pool_->ParallelFor(queries.size(), [this, &queries, &answers](size_t i) {
-    answers[i] = AnswerOne(queries[i]);
-  });
-  return answers;
-}
+std::vector<QueryAnswer> QueryEngine::ExecuteRequests(
+    std::span<const QueryRequest> requests, ServiceStats* stats) {
+  const size_t nreq = requests.size();
+  std::vector<QueryAnswer> answers(nreq);
 
-std::vector<PnnAnswer> QueryEngine::ExecuteGrouped(
-    std::span<const geom::Point> queries, ServiceStats* stats) {
-  std::vector<PnnAnswer> answers(queries.size());
-  std::vector<Step1Outcome> s1(queries.size());
-
-  // Phase 1 — Step 1 for every query, sharded across the pool. Each task
-  // holds the shared lock only for its own duration (never across the
-  // barrier), and records the serving state and mutation epoch it observed.
-  pool_->ParallelFor(queries.size(), [this, &queries, &answers, &s1](size_t i) {
-    StopWatch watch;
-    StageTimings timings;
-    StageTimings* t = options_.stage_timing ? &timings : nullptr;
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    s1[i] = Step1One(CurrentState(), queries[i], &WorkerScratch(),
-                     /*want_grouping=*/true, t);
-    answers[i].status = s1[i].status;
-    answers[i].cache_hit = s1[i].cache_hit;
-    answers[i].latency_ms = watch.ElapsedMillis();
-    answers[i].stage_ns = timings.ns;
-  });
-
-  // Plan — group successful queries by identical surviving candidate sets.
-  pv::Step2Batch plan;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    if (!s1[i].status.ok()) continue;
-    plan.Add(static_cast<uint32_t>(i), s1[i].leaf_key,
-             std::move(s1[i].candidates));
+  // Expansion — every request becomes point-evaluation units: one for a
+  // point kind, one per arc-length sample for a trajectory, one range unit
+  // for a range request. Unit order is deterministic (requests in order,
+  // samples in path order), which fixes the accounting order below.
+  struct Unit {
+    uint32_t req = 0;
+    uint32_t step = 0;     // trajectory sample index
+    geom::Point point{1};  // evaluated point (unused for range units)
+  };
+  // Pool tasks: point and range units parallelize individually; a
+  // trajectory is one sequential task, because its samples chain the leaf
+  // hint and must share one lock hold (one consistent serving state).
+  struct Task {
+    enum Kind { kPointUnit, kTrajectory, kRangeUnit };
+    Kind kind = kPointUnit;
+    uint32_t index = 0;  // unit index, or request index for kTrajectory
+  };
+  std::vector<Unit> units;
+  std::vector<uint32_t> first_unit(nreq, 0);
+  std::vector<uint32_t> unit_count(nreq, 0);
+  std::vector<Task> tasks;
+  for (size_t ri = 0; ri < nreq; ++ri) {
+    const QueryRequest& req = requests[ri];
+    answers[ri].kind = req.kind;
+    answers[ri].status = ValidateQueryRequest(req, dim_);
+    first_unit[ri] = static_cast<uint32_t>(units.size());
+    if (!answers[ri].status.ok()) continue;
+    switch (req.kind) {
+      case QueryKind::kPnn:
+      case QueryKind::kTopKByProb:
+      case QueryKind::kThresholdNN:
+        tasks.push_back(
+            Task{Task::kPointUnit, static_cast<uint32_t>(units.size())});
+        units.push_back(Unit{static_cast<uint32_t>(ri), 0, req.point});
+        break;
+      case QueryKind::kRangeProb:
+        tasks.push_back(
+            Task{Task::kRangeUnit, static_cast<uint32_t>(units.size())});
+        units.push_back(Unit{static_cast<uint32_t>(ri), 0, geom::Point(1)});
+        break;
+      case QueryKind::kTrajectoryPnn: {
+        std::vector<geom::Point> samples =
+            SampleTrajectory(req.polyline, req.step);
+        answers[ri].steps.resize(samples.size());
+        tasks.push_back(Task{Task::kTrajectory, static_cast<uint32_t>(ri)});
+        for (size_t j = 0; j < samples.size(); ++j) {
+          answers[ri].steps[j].point = samples[j];
+          units.push_back(Unit{static_cast<uint32_t>(ri),
+                               static_cast<uint32_t>(j),
+                               std::move(samples[j])});
+        }
+        break;
+      }
+    }
+    unit_count[ri] = static_cast<uint32_t>(units.size()) - first_unit[ri];
   }
 
-  // Phase 2 — one candidate-outer sweep per group, groups sharded across
-  // the pool. A group is swept only when every member saw the same serving
-  // state (and, for the mutable borrowed-index state, the epoch is still
-  // current — a writer may have slipped between the phases). Stale or
-  // mixed groups redo their members per-query against the live state, so
-  // every answer is computed against one consistent index state. A group
-  // uniformly on an older *snapshot* state is still swept — the snapshot
-  // is immutable and its state bundle alive via the members' shared_ptr.
-  std::atomic<int64_t> groups_swept{0};
-  std::atomic<int64_t> queries_swept{0};
-  std::atomic<int64_t> pairs_pruned{0};
-  const auto& groups = plan.groups();
-  pool_->ParallelFor(groups.size(), [&](size_t gi) {
-    const pv::Step2Batch::Group& g = groups[gi];
-    pv::QueryScratch& scratch = WorkerScratch();
-    StopWatch group_watch;
+  std::vector<Step1Outcome> s1(units.size());
+  std::vector<PnnAnswer> unit_ans(units.size());
+  const bool grouped = options_.batch_step2;
+
+  // Phase 1 — tasks sharded across the pool. Each task holds the shared
+  // lock only for its own duration (never across the barrier) and records
+  // the serving state and mutation epoch it observed. Grouped mode runs
+  // only Step 1 here; ungrouped mode runs the full per-unit pipeline.
+  // Range units always complete here — they have no Step-2 group to join.
+  pool_->ParallelFor(tasks.size(), [&](size_t ti) {
+    const Task& task = tasks[ti];
+    if (task.kind == Task::kRangeUnit) {
+      unit_ans[task.index] = AnswerRange(requests[units[task.index].req]);
+      return;
+    }
+    if (task.kind == Task::kPointUnit) {
+      const size_t u = task.index;
+      StopWatch watch;
+      if (!grouped) {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        unit_ans[u] = AnswerOneLocked(units[u].point);
+        // Latency includes the wait for the shared lock (a writer may
+        // hold it).
+        unit_ans[u].latency_ms = watch.ElapsedMillis();
+        return;
+      }
+      StageTimings timings;
+      StageTimings* t = options_.stage_timing ? &timings : nullptr;
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      s1[u] = Step1One(CurrentState(), units[u].point, &WorkerScratch(),
+                       /*want_grouping=*/true, t);
+      unit_ans[u].status = s1[u].status;
+      unit_ans[u].cache_hit = s1[u].cache_hit;
+      unit_ans[u].latency_ms = watch.ElapsedMillis();
+      unit_ans[u].stage_ns = timings.ns;
+      return;
+    }
+    // Trajectory: samples run in path order under one shared lock, so
+    // every sample serves the same state and the previous sample's leaf is
+    // reusable whenever the next sample stays strictly inside its cell.
+    const uint32_t ri = task.index;
+    QueryAnswer& qa = answers[ri];
     std::shared_lock<std::shared_mutex> lock(mu_);
-    const Step1Outcome& first = s1[g.queries.front()];
-    bool stale = false;
-    for (uint32_t qi : g.queries) {
-      stale |= s1[qi].state != first.state || s1[qi].epoch != first.epoch;
-    }
-    if (!stale && first.state->snapshot == nullptr) {
-      stale |= first.epoch != epoch_.load(std::memory_order_relaxed);
-    }
-    if (stale) {
-      for (uint32_t qi : g.queries) {
-        const double step1_ms = answers[qi].latency_ms;
-        const std::array<int64_t, kNumQueryStages> step1_ns =
-            answers[qi].stage_ns;
-        answers[qi] = AnswerOneLocked(queries[qi]);
-        // Keep the phase-1 work (and inter-phase wait) in the total.
-        answers[qi].latency_ms += step1_ms;
-        for (size_t st = 0; st < step1_ns.size(); ++st) {
-          answers[qi].stage_ns[st] += step1_ns[st];
-        }
+    const StatePtr state = CurrentState();
+    if (!grouped) {
+      LeafHint hint;
+      for (uint32_t j = 0; j < unit_count[ri]; ++j) {
+        const size_t u = first_unit[ri] + j;
+        unit_ans[u] = AnswerPointLocked(state, units[u].point, &hint);
+        qa.steps[j].reused_step1 = hint.used;
       }
       return;
     }
-    const ServingState& gstate = *first.state;
-    MetricRegistry::Counter* io =
-        options_.charge_step2_io ? step2_pages_ : nullptr;
-    // Group-level attribution, merged into every member below — the same
-    // semantics as latency_ms, which charges the whole sweep to each
-    // member because no answer was ready before the group finished.
-    StageTimings gtimings;
-    StageTimings* gt = options_.stage_timing ? &gtimings : nullptr;
-    if (g.queries.size() >= options_.step2_min_group_size &&
-        !g.candidates.empty()) {
-      std::vector<const uncertain::UncertainObject*> resolved;
-      {
-        // Candidate-record resolution is planning work, not evaluation.
-        ScopedStageTimer plan_timer(gt, QueryStage::kPlan);
-        resolved = ResolveGroup(g, first);
-      }
-      pv::Step2GroupOptions gopts;
-      gopts.min_probability = options_.min_probability;
-      gopts.max_scratch_bytes = options_.scratch_max_bytes;
-      gopts.resolved = resolved;
-      pv::Step2BatchStats bstats;
-      std::vector<geom::Point> group_queries;
-      group_queries.reserve(g.queries.size());
-      for (uint32_t qi : g.queries) group_queries.push_back(queries[qi]);
-      Status group_status;
-      scratch.timings = gt;  // EvaluateGroup charges kStep2 itself
-      auto results =
-          gstate.step2->EvaluateGroup(group_queries, g.candidates, &scratch,
-                                      io, gopts, &bstats, &group_status);
-      scratch.timings = nullptr;
-      {
-        ScopedStageTimer merge_timer(gt, QueryStage::kMerge);
-        for (size_t t = 0; t < g.queries.size(); ++t) {
-          answers[g.queries[t]].status = group_status;
-          answers[g.queries[t]].results = std::move(results[t]);
-        }
-      }
-      const double group_ms = group_watch.ElapsedMillis();
-      for (uint32_t qi : g.queries) {
-        // The answer was not ready until its whole group swept.
-        answers[qi].latency_ms += group_ms;
-        for (size_t st = 0; st < gtimings.ns.size(); ++st) {
-          answers[qi].stage_ns[st] += gtimings.ns[st];
-        }
-      }
-      groups_swept.fetch_add(1, std::memory_order_relaxed);
-      queries_swept.fetch_add(static_cast<int64_t>(g.queries.size()),
-                              std::memory_order_relaxed);
-      pairs_pruned.fetch_add(bstats.pairs_pruned, std::memory_order_relaxed);
-    } else {
-      for (uint32_t qi : g.queries) {
-        // The stopwatch here spans exactly the Evaluate call, which is
-        // exactly what the kStep2 scratch hook would measure — so reuse its
-        // two clock reads for the stage attribution instead of arming the
-        // hook and paying two more.
-        StopWatch watch;
-        answers[qi].results =
-            gstate.step2->Evaluate(queries[qi], g.candidates, &scratch, io,
-                                   options_.min_probability,
-                                   &answers[qi].status);
-        const double step2_ms = watch.ElapsedMillis();
-        answers[qi].latency_ms += step2_ms;
-        if (options_.stage_timing) {
-          answers[qi].stage_ns[static_cast<size_t>(QueryStage::kStep2)] +=
-              std::llround(step2_ms * 1e6);
-        }
-      }
-    }
-    if (options_.scratch_max_bytes > 0) {
-      scratch.ShrinkToFit(options_.scratch_max_bytes);
+    const pv::OctreePrimary::LeafRef* hint = nullptr;
+    for (uint32_t j = 0; j < unit_count[ri]; ++j) {
+      const size_t u = first_unit[ri] + j;
+      StopWatch watch;
+      StageTimings timings;
+      StageTimings* t = options_.stage_timing ? &timings : nullptr;
+      const pv::OctreePrimary::LeafRef* seed =
+          hint != nullptr && StrictlyInside(hint->cell, units[u].point)
+              ? hint
+              : nullptr;
+      s1[u] = Step1One(state, units[u].point, &WorkerScratch(),
+                       /*want_grouping=*/true, t, seed, /*want_ref=*/true);
+      // s1 is sized up front, so the ref pointer stays stable.
+      hint = s1[u].status.ok() && s1[u].has_ref ? &s1[u].ref : nullptr;
+      qa.steps[j].reused_step1 = s1[u].used_hint;
+      unit_ans[u].status = s1[u].status;
+      unit_ans[u].cache_hit = s1[u].cache_hit;
+      unit_ans[u].latency_ms = watch.ElapsedMillis();
+      unit_ans[u].stage_ns = timings.ns;
     }
   });
 
-  // One deterministic accounting pass in the calling thread: histograms,
-  // counters and (when tracing) the sampled/slow JSON lines for every
-  // answer — emission order and sampling sequence stay stable regardless
-  // of how the pool interleaved the groups.
-  for (const PnnAnswer& a : answers) RecordAnswer(a);
+  std::atomic<int64_t> groups_swept{0};
+  std::atomic<int64_t> queries_swept{0};
+  std::atomic<int64_t> pairs_pruned{0};
+  if (grouped) {
+    // Plan — group successful units by identical surviving candidate sets,
+    // regardless of which request kind produced them: a top-k query and a
+    // plain PNN landing in the same leaf share one sweep. Range units have
+    // no point candidates and stay out.
+    pv::Step2Batch plan;
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (requests[units[u].req].kind == QueryKind::kRangeProb) continue;
+      if (!s1[u].status.ok()) continue;
+      plan.Add(static_cast<uint32_t>(u), s1[u].leaf_key,
+               std::move(s1[u].candidates));
+    }
+
+    // Phase 2 — one candidate-outer sweep per group, groups sharded across
+    // the pool. A group is swept only when every member saw the same
+    // serving state (and, for the mutable borrowed-index state, the epoch
+    // is still current — a writer may have slipped between the phases).
+    // Stale or mixed groups redo their members per-query against the live
+    // state, so every answer is computed against one consistent index
+    // state. A group uniformly on an older *snapshot* state is still swept
+    // — the snapshot is immutable and its state bundle alive via the
+    // members' shared_ptr.
+    const auto& groups = plan.groups();
+    pool_->ParallelFor(groups.size(), [&](size_t gi) {
+      const pv::Step2Batch::Group& g = groups[gi];
+      pv::QueryScratch& scratch = WorkerScratch();
+      StopWatch group_watch;
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const Step1Outcome& first = s1[g.queries.front()];
+      bool stale = false;
+      for (uint32_t qi : g.queries) {
+        stale |= s1[qi].state != first.state || s1[qi].epoch != first.epoch;
+      }
+      if (!stale && first.state->snapshot == nullptr) {
+        stale |= first.epoch != epoch_.load(std::memory_order_relaxed);
+      }
+      if (stale) {
+        for (uint32_t qi : g.queries) {
+          const double step1_ms = unit_ans[qi].latency_ms;
+          const std::array<int64_t, kNumQueryStages> step1_ns =
+              unit_ans[qi].stage_ns;
+          unit_ans[qi] = AnswerOneLocked(units[qi].point);
+          // Keep the phase-1 work (and inter-phase wait) in the total.
+          unit_ans[qi].latency_ms += step1_ms;
+          for (size_t st = 0; st < step1_ns.size(); ++st) {
+            unit_ans[qi].stage_ns[st] += step1_ns[st];
+          }
+        }
+        return;
+      }
+      const ServingState& gstate = *first.state;
+      MetricRegistry::Counter* io =
+          options_.charge_step2_io ? step2_pages_ : nullptr;
+      // Group-level attribution, merged into every member below — the same
+      // semantics as latency_ms, which charges the whole sweep to each
+      // member because no answer was ready before the group finished.
+      StageTimings gtimings;
+      StageTimings* gt = options_.stage_timing ? &gtimings : nullptr;
+      if (g.queries.size() >= options_.step2_min_group_size &&
+          !g.candidates.empty()) {
+        std::vector<const uncertain::UncertainObject*> resolved;
+        {
+          // Candidate-record resolution is planning work, not evaluation.
+          ScopedStageTimer plan_timer(gt, QueryStage::kPlan);
+          resolved = ResolveGroup(g, first);
+        }
+        pv::Step2GroupOptions gopts;
+        gopts.min_probability = options_.min_probability;
+        gopts.max_scratch_bytes = options_.scratch_max_bytes;
+        gopts.resolved = resolved;
+        pv::Step2BatchStats bstats;
+        std::vector<geom::Point> group_queries;
+        group_queries.reserve(g.queries.size());
+        for (uint32_t qi : g.queries) group_queries.push_back(units[qi].point);
+        Status group_status;
+        scratch.timings = gt;  // EvaluateGroup charges kStep2 itself
+        auto results =
+            gstate.step2->EvaluateGroup(group_queries, g.candidates, &scratch,
+                                        io, gopts, &bstats, &group_status);
+        scratch.timings = nullptr;
+        {
+          ScopedStageTimer merge_timer(gt, QueryStage::kMerge);
+          for (size_t t = 0; t < g.queries.size(); ++t) {
+            unit_ans[g.queries[t]].status = group_status;
+            unit_ans[g.queries[t]].results = std::move(results[t]);
+          }
+        }
+        const double group_ms = group_watch.ElapsedMillis();
+        for (uint32_t qi : g.queries) {
+          // The answer was not ready until its whole group swept.
+          unit_ans[qi].latency_ms += group_ms;
+          for (size_t st = 0; st < gtimings.ns.size(); ++st) {
+            unit_ans[qi].stage_ns[st] += gtimings.ns[st];
+          }
+        }
+        groups_swept.fetch_add(1, std::memory_order_relaxed);
+        queries_swept.fetch_add(static_cast<int64_t>(g.queries.size()),
+                                std::memory_order_relaxed);
+        pairs_pruned.fetch_add(bstats.pairs_pruned,
+                               std::memory_order_relaxed);
+      } else {
+        for (uint32_t qi : g.queries) {
+          const QueryRequest& qreq = requests[units[qi].req];
+          // The stopwatch here spans exactly the evaluation call, which is
+          // exactly what the kStep2 scratch hook would measure — so reuse
+          // its two clock reads for the stage attribution instead of
+          // arming the hook and paying two more.
+          StopWatch watch;
+          if (qreq.kind == QueryKind::kTopKByProb) {
+            // Singleton top-k: the upper-bound early exit abandons
+            // candidates that provably miss the top k. Bit-identical to
+            // Evaluate + SelectResults (the bound never drops a winner).
+            unit_ans[qi].results = gstate.step2->EvaluateTopK(
+                units[qi].point, g.candidates, qreq.k, &scratch, io,
+                options_.min_probability, &unit_ans[qi].status);
+          } else {
+            unit_ans[qi].results = gstate.step2->Evaluate(
+                units[qi].point, g.candidates, &scratch, io,
+                options_.min_probability, &unit_ans[qi].status);
+          }
+          const double step2_ms = watch.ElapsedMillis();
+          unit_ans[qi].latency_ms += step2_ms;
+          if (options_.stage_timing) {
+            unit_ans[qi].stage_ns[static_cast<size_t>(QueryStage::kStep2)] +=
+                std::llround(step2_ms * 1e6);
+          }
+        }
+      }
+      if (options_.scratch_max_bytes > 0) {
+        scratch.ShrinkToFit(options_.scratch_max_bytes);
+      }
+    });
+  }
+
+  // Phase 3 — per-kind selection, then one deterministic accounting pass in
+  // the calling thread: histograms, counters and (when tracing) the
+  // sampled/slow JSON lines for every unit — emission order and sampling
+  // sequence stay stable regardless of how the pool interleaved the work.
+  HistogramData lat;
+  const auto record = [&](const PnnAnswer& ua, QueryKind kind) {
+    RecordAnswer(ua, kind);
+    if (stats != nullptr) {
+      stats->queries += 1;
+      stats->latency_ms.Add(ua.latency_ms);
+      lat.Record(std::llround(ua.latency_ms * 1e6));
+      for (size_t st = 0; st < ua.stage_ns.size(); ++st) {
+        stats->stage_ms[st] += static_cast<double>(ua.stage_ns[st]) / 1e6;
+      }
+    }
+  };
+  for (size_t ri = 0; ri < nreq; ++ri) {
+    const QueryRequest& req = requests[ri];
+    QueryAnswer& qa = answers[ri];
+    if (!qa.status.ok() && unit_count[ri] == 0) {
+      // Failed validation: accounted as one failed unit so failure counters
+      // and traces see it.
+      PnnAnswer failed;
+      failed.status = qa.status;
+      record(failed, req.kind);
+      continue;
+    }
+    if (req.kind == QueryKind::kTrajectoryPnn) {
+      for (uint32_t j = 0; j < unit_count[ri]; ++j) {
+        PnnAnswer& ua = unit_ans[first_unit[ri] + j];
+        record(ua, req.kind);
+        qa.steps[j].results = std::move(ua.results);
+        qa.cache_hit |= ua.cache_hit;
+        qa.latency_ms += ua.latency_ms;
+        for (size_t st = 0; st < ua.stage_ns.size(); ++st) {
+          qa.stage_ns[st] += ua.stage_ns[st];
+        }
+        if (!ua.status.ok() && qa.status.ok()) qa.status = ua.status;
+      }
+      continue;
+    }
+    PnnAnswer& ua = unit_ans[first_unit[ri]];
+    ua.results = SelectResults(req, std::move(ua.results));
+    record(ua, req.kind);
+    qa.status = std::move(ua.status);
+    qa.results = std::move(ua.results);
+    qa.cache_hit = ua.cache_hit;
+    qa.latency_ms = ua.latency_ms;
+    qa.stage_ns = ua.stage_ns;
+  }
 
   if (stats != nullptr) {
+    stats->p50_latency_ms = static_cast<double>(lat.Percentile(50.0)) / 1e6;
+    stats->p99_latency_ms = static_cast<double>(lat.Percentile(99.0)) / 1e6;
     stats->step2_groups = groups_swept.load();
     stats->step2_grouped_queries = queries_swept.load();
     stats->step2_pairs_pruned = pairs_pruned.load();
@@ -614,8 +955,8 @@ std::vector<const uncertain::UncertainObject*> QueryEngine::ResolveGroup(
   return resolved;
 }
 
-std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
-    std::span<const geom::Point> queries, ServiceStats* stats) {
+std::vector<QueryAnswer> QueryEngine::ExecuteBatch(
+    std::span<const QueryRequest> requests, ServiceStats* stats) {
   // Pin the entry state for the batch's cache bookkeeping: a concurrent
   // AdoptSnapshot may retire it mid-batch, and only this shared_ptr keeps
   // the sampled cache alive until the closing reads below.
@@ -627,35 +968,22 @@ std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
 
   StopWatch wall;
   if (stats != nullptr) *stats = ServiceStats{};
-  std::vector<PnnAnswer> answers = options_.batch_step2
-                                       ? ExecuteGrouped(queries, stats)
-                                       : ExecutePerQuery(queries);
+  // Per-unit latency Summary, batch-local log-linear histogram percentiles
+  // (one pass, no copy, no sort — bounded by the histogram's 1/32 relative
+  // resolution, which is what serving dashboards consume anyway) and stage
+  // totals are all filled by ExecuteRequests' accounting pass; trajectory
+  // requests count one unit per sample there.
+  std::vector<QueryAnswer> answers = ExecuteRequests(requests, stats);
   const double wall_ms = wall.ElapsedMillis();
   batches_total_->Increment();
 
   if (stats != nullptr) {
-    stats->queries = static_cast<int64_t>(queries.size());
     stats->threads = pool_->size();
     stats->wall_ms = wall_ms;
     stats->throughput_qps =
-        wall_ms > 0.0 ? static_cast<double>(queries.size()) / (wall_ms / 1e3)
-                      : 0.0;
-    // Percentiles from a batch-local log-linear histogram: one pass, no
-    // copy, no sort — bounded by the histogram's 1/32 relative resolution
-    // instead of exact ranks, which is what serving dashboards consume
-    // anyway. The Summary still carries exact count/mean/min/max.
-    HistogramData lat;
-    for (const PnnAnswer& a : answers) {
-      stats->latency_ms.Add(a.latency_ms);
-      lat.Record(std::llround(a.latency_ms * 1e6));
-      for (size_t st = 0; st < a.stage_ns.size(); ++st) {
-        stats->stage_ms[st] += static_cast<double>(a.stage_ns[st]) / 1e6;
-      }
-    }
-    stats->p50_latency_ms =
-        static_cast<double>(lat.Percentile(50.0)) / 1e6;
-    stats->p99_latency_ms =
-        static_cast<double>(lat.Percentile(99.0)) / 1e6;
+        wall_ms > 0.0
+            ? static_cast<double>(stats->queries) / (wall_ms / 1e3)
+            : 0.0;
     // Hit/miss deltas over the entry state's cache. A snapshot swap landing
     // mid-batch moves later queries onto the new state's fresh cache; the
     // deltas then cover only the pre-swap portion, which is the best
@@ -666,6 +994,32 @@ std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
     }
   }
   return answers;
+}
+
+std::vector<PnnAnswer> QueryEngine::ExecuteBatch(
+    std::span<const geom::Point> queries, ServiceStats* stats) {
+  // Legacy shim: a point batch is a batch of kPnn requests. The typed path
+  // reproduces the old pipeline exactly for this shape (one unit per point,
+  // SelectResults is the identity for kPnn), so answers are bit-identical.
+  const std::vector<QueryRequest> requests = PnnRequests(queries);
+  std::vector<QueryAnswer> typed = ExecuteBatch(requests, stats);
+  std::vector<PnnAnswer> answers(typed.size());
+  for (size_t i = 0; i < typed.size(); ++i) {
+    answers[i].status = std::move(typed[i].status);
+    answers[i].results = std::move(typed[i].results);
+    answers[i].cache_hit = typed[i].cache_hit;
+    answers[i].latency_ms = typed[i].latency_ms;
+    answers[i].stage_ns = typed[i].stage_ns;
+  }
+  return answers;
+}
+
+std::future<QueryAnswer> QueryEngine::Submit(QueryRequest req) {
+  auto task = std::make_shared<std::packaged_task<QueryAnswer()>>(
+      [this, req = std::move(req)]() mutable { return AnswerRequest(req); });
+  std::future<QueryAnswer> future = task->get_future();
+  pool_->Submit([task] { (*task)(); });
+  return future;
 }
 
 std::future<PnnAnswer> QueryEngine::Submit(const geom::Point& q) {

@@ -44,6 +44,7 @@
 #include "src/rtree/rstar_tree.h"
 #include "src/service/backend.h"
 #include "src/service/planner.h"
+#include "src/service/query_request.h"
 #include "src/service/result_cache.h"
 #include "src/service/thread_pool.h"
 #include "src/uncertain/dataset.h"
@@ -207,16 +208,36 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Answers every query in `queries`, sharded across the pool. Answer i
-  /// corresponds to queries[i]; no answers are lost, duplicated or
-  /// reordered. Per-query failures (e.g. out-of-domain points) land in the
-  /// answer's status, never abort the batch.
+  /// The typed serving API: answers a heterogeneous batch of QueryRequests
+  /// — any mix of kPnn, kTopKByProb, kThresholdNN, kRangeProb and
+  /// kTrajectoryPnn — sharded across the pool. Answer i corresponds to
+  /// requests[i]; no answers are lost, duplicated or reordered. All kinds
+  /// share one pipeline: Step-1 pruning (with the leaf cache and, for
+  /// consecutive trajectory samples inside one leaf cell, descent reuse),
+  /// one grouped Step-2 sweep over identical candidate sets regardless of
+  /// kind, the per-worker scratch arenas, and per-kind result selection at
+  /// the end. Requests failing ValidateQueryRequest (and per-query failures
+  /// like out-of-domain points) land in the answer's status — never abort
+  /// the batch.
+  std::vector<QueryAnswer> ExecuteBatch(std::span<const QueryRequest> requests,
+                                        ServiceStats* stats = nullptr);
+
+  /// Async single-request API: enqueues `req` on the pool and returns a
+  /// future for its answer.
+  std::future<QueryAnswer> Submit(QueryRequest req);
+
+  /// Legacy point-PNN batch API: a thin shim over the typed ExecuteBatch
+  /// (each point becomes a kPnn request; answers convert field-for-field).
+  /// Answers are bit-identical to the typed form. Prefer the QueryRequest
+  /// overload in new code.
   std::vector<PnnAnswer> ExecuteBatch(std::span<const geom::Point> queries,
                                       ServiceStats* stats = nullptr);
 
-  /// Async single-query API: enqueues `q` on the pool and returns a future
-  /// for its answer.
+  /// Legacy async single-query API (kPnn shim over the typed pipeline).
   std::future<PnnAnswer> Submit(const geom::Point& q);
+
+  /// Index dimensionality this engine serves (requests must match it).
+  int dim() const { return dim_; }
 
   /// Adds `object` to the dataset and the PV-index under the writer lock
   /// (queries in flight finish first; the leaf cache is invalidated via the
@@ -303,6 +324,13 @@ class QueryEngine {
     /// Cached per-leaf object plan, when one already existed.
     ResultCache::PlanPtr plan;
     bool cache_hit = false;
+    /// The located leaf (id + cell), when the leaf path ran — the next
+    /// trajectory sample reuses it as a descent hint if it stays strictly
+    /// inside the cell.
+    pv::OctreePrimary::LeafRef ref;
+    bool has_ref = false;
+    /// True when a caller-supplied leaf hint replaced the descent.
+    bool used_hint = false;
     /// Serving state the outcome was computed against.
     StatePtr state;
     /// Engine mutation epoch the outcome was computed under.
@@ -318,12 +346,41 @@ class QueryEngine {
   StatePtr MakeSnapshotState(
       std::shared_ptr<const pv::IndexSnapshot> snapshot) const;
 
-  /// Serves one query end to end (takes the shared lock itself).
+  /// Leaf-descent hint threaded between consecutive trajectory samples:
+  /// the previous sample's leaf, reused when the next sample stays strictly
+  /// inside its cell (the descent partitions each axis half-open at the
+  /// midpoint, so a strict-interior point provably lands in the same leaf —
+  /// reuse never changes answer bits). `used` reports whether the last
+  /// sample's Step 1 actually skipped its descent.
+  struct LeafHint {
+    pv::OctreePrimary::LeafRef ref;
+    bool valid = false;
+    bool used = false;
+  };
+
+  /// Serves one point-PNN query end to end (takes the shared lock itself).
   PnnAnswer AnswerOne(const geom::Point& q) const;
 
   /// AnswerOne's body; the caller holds the shared lock. Loads the current
   /// state and answers against it.
   PnnAnswer AnswerOneLocked(const geom::Point& q) const;
+
+  /// One point evaluation (Step 1 + Step 2) against `state`; the caller
+  /// holds the shared lock. `hint`, when provided, seeds and receives the
+  /// trajectory leaf-reuse state across consecutive samples.
+  PnnAnswer AnswerPointLocked(const StatePtr& state, const geom::Point& q,
+                              LeafHint* hint) const;
+
+  /// One range-probability request end to end (takes the shared lock
+  /// itself): range Step 1 through the backend (or the linear dataset
+  /// fallback), then per-candidate containment probabilities. The returned
+  /// results are final (filtered by req.probability, ordered
+  /// probability desc / id asc).
+  PnnAnswer AnswerRange(const QueryRequest& req) const;
+
+  /// Submit()'s body: one typed request end to end, including validation,
+  /// per-kind selection and accounting.
+  QueryAnswer AnswerRequest(const QueryRequest& req) const;
 
   /// Step 1 of one query (leaf location, cache, pruning) against `state`;
   /// the caller holds the shared lock. `want_grouping` is true only on the
@@ -331,16 +388,24 @@ class QueryEngine {
   /// per-query path skips that extra work (no off-cache block snapshot, no
   /// plan lookup). `timings` (nullable) receives per-stage attribution:
   /// leaf location → kPlan, cache traffic → kLeafCache, pruning → kStep1.
+  /// `hint`, when non-null, replaces the leaf descent (the caller
+  /// guarantees `q` lies strictly inside hint->cell); `want_ref` forces
+  /// leaf location even without cache/grouping so the outcome carries a
+  /// reusable ref for the next trajectory sample.
   Step1Outcome Step1One(const StatePtr& state, const geom::Point& q,
                         pv::QueryScratch* scratch, bool want_grouping,
-                        StageTimings* timings) const;
+                        StageTimings* timings,
+                        const pv::OctreePrimary::LeafRef* hint = nullptr,
+                        bool want_ref = false) const;
 
-  /// Post-completion accounting for one answered query: engine counters,
-  /// the end-to-end and per-stage histograms, and (when tracing is on) the
-  /// sampled / slow-query JSON line. Called once per answer — by the
+  /// Post-completion accounting for one answered query unit: engine
+  /// counters (total and per kind), the end-to-end and per-stage
+  /// histograms, and (when tracing is on) the sampled / slow-query JSON
+  /// line tagged with the query kind. Called once per unit — by the
   /// serving thread on the per-query path, and by the batch caller in one
-  /// deterministic pass on the grouped path.
-  void RecordAnswer(const PnnAnswer& ans) const;
+  /// deterministic pass on the batch path.
+  void RecordAnswer(const PnnAnswer& ans,
+                    QueryKind kind = QueryKind::kPnn) const;
 
   /// Candidate records of `group` via the cached per-leaf plan (building
   /// and attaching it on first use); empty when the backend's pruning does
@@ -348,15 +413,19 @@ class QueryEngine {
   std::vector<const uncertain::UncertainObject*> ResolveGroup(
       const pv::Step2Batch::Group& group, const Step1Outcome& first) const;
 
-  /// Legacy per-query ExecuteBatch body (batch_step2 off).
-  std::vector<PnnAnswer> ExecutePerQuery(std::span<const geom::Point> queries);
-
-  /// Group-then-sweep ExecuteBatch body.
-  std::vector<PnnAnswer> ExecuteGrouped(std::span<const geom::Point> queries,
-                                        ServiceStats* stats);
+  /// The typed batch body: expands requests into point-evaluation units
+  /// (one per point query, one per trajectory sample) plus range tasks,
+  /// runs the Step-1 phase across the pool (batch_step2 off: the full
+  /// per-unit pipeline instead), sweeps grouped Step 2 over identical
+  /// candidate sets, applies per-kind selection, and does one deterministic
+  /// accounting pass. Fills the latency/stage/grouping fields of `stats`.
+  std::vector<QueryAnswer> ExecuteRequests(
+      std::span<const QueryRequest> requests, ServiceStats* stats);
 
   uncertain::Dataset* db_;
   QueryEngineOptions options_;
+  /// Index dimensionality (request validation at ingress).
+  int dim_ = 0;
   std::vector<std::unique_ptr<Backend>> backends_;  // borrowed-index mode
   std::string plan_reason_;
   pv::PvIndex* pv_index_ = nullptr;
@@ -369,6 +438,9 @@ class QueryEngine {
   MetricRegistry::Counter* query_failures_ = nullptr;
   MetricRegistry::Counter* batches_total_ = nullptr;
   MetricRegistry::Counter* leaf_block_reads_ = nullptr;
+  /// Per-kind unit counters (engine.queries.<kind>), indexed by
+  /// QueryKind value - 1.
+  std::array<MetricRegistry::Counter*, 5> queries_by_kind_{};
   MetricRegistry::Gauge* snapshot_generation_ = nullptr;
   Histogram* latency_hist_ = nullptr;
   std::array<Histogram*, kNumQueryStages> stage_hists_{};

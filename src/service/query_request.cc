@@ -1,0 +1,254 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+
+#include "src/service/query_request.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace pvdb::service {
+
+namespace {
+
+bool PointIsFinite(const geom::Point& p) {
+  for (int d = 0; d < p.dim(); ++d) {
+    if (!std::isfinite(p[d])) return false;
+  }
+  return true;
+}
+
+Status CheckQueryPoint(const geom::Point& p, int dim, const char* what) {
+  if (p.dim() != dim) {
+    return Status::InvalidArgument(std::string(what) + ": dimensionality " +
+                                   std::to_string(p.dim()) +
+                                   " does not match index dimensionality " +
+                                   std::to_string(dim));
+  }
+  if (!PointIsFinite(p)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": coordinates must be finite");
+  }
+  return Status::OK();
+}
+
+Status CheckProbability(double p, const char* what) {
+  // Written as a negated conjunction so NaN (which fails every comparison)
+  // is rejected too.
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": probability threshold must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Total polyline arc length; NaN coordinates were rejected earlier so the
+/// sum is finite unless a segment itself overflows.
+double PolylineLength(std::span<const geom::Point> polyline) {
+  double total = 0.0;
+  for (size_t i = 1; i < polyline.size(); ++i) {
+    total += polyline[i - 1].DistanceTo(polyline[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPnn:
+      return "pnn";
+    case QueryKind::kTopKByProb:
+      return "topk";
+    case QueryKind::kThresholdNN:
+      return "threshold";
+    case QueryKind::kRangeProb:
+      return "range";
+    case QueryKind::kTrajectoryPnn:
+      return "trajectory";
+  }
+  return "unknown";
+}
+
+QueryRequest QueryRequest::Pnn(const geom::Point& q) {
+  QueryRequest req;
+  req.kind = QueryKind::kPnn;
+  req.point = q;
+  return req;
+}
+
+QueryRequest QueryRequest::TopKByProb(const geom::Point& q, uint32_t k) {
+  QueryRequest req;
+  req.kind = QueryKind::kTopKByProb;
+  req.point = q;
+  req.k = k;
+  return req;
+}
+
+QueryRequest QueryRequest::ThresholdNN(const geom::Point& q, double p) {
+  QueryRequest req;
+  req.kind = QueryKind::kThresholdNN;
+  req.point = q;
+  req.probability = p;
+  return req;
+}
+
+QueryRequest QueryRequest::RangeProb(const geom::Rect& rect, double p) {
+  QueryRequest req;
+  req.kind = QueryKind::kRangeProb;
+  req.rect = rect;
+  req.probability = p;
+  return req;
+}
+
+QueryRequest QueryRequest::TrajectoryPnn(std::vector<geom::Point> polyline,
+                                         double step) {
+  QueryRequest req;
+  req.kind = QueryKind::kTrajectoryPnn;
+  req.polyline = std::move(polyline);
+  req.step = step;
+  return req;
+}
+
+Status ValidateQueryRequest(const QueryRequest& req, int dim) {
+  switch (req.kind) {
+    case QueryKind::kPnn:
+      return CheckQueryPoint(req.point, dim, "pnn query point");
+
+    case QueryKind::kTopKByProb: {
+      Status s = CheckQueryPoint(req.point, dim, "topk query point");
+      if (!s.ok()) return s;
+      if (req.k < 1) {
+        return Status::InvalidArgument("topk query: k must be >= 1");
+      }
+      return Status::OK();
+    }
+
+    case QueryKind::kThresholdNN: {
+      Status s = CheckQueryPoint(req.point, dim, "threshold query point");
+      if (!s.ok()) return s;
+      return CheckProbability(req.probability, "threshold query");
+    }
+
+    case QueryKind::kRangeProb: {
+      if (req.rect.dim() != dim) {
+        return Status::InvalidArgument(
+            "range query: rect dimensionality " +
+            std::to_string(req.rect.dim()) +
+            " does not match index dimensionality " + std::to_string(dim));
+      }
+      for (int d = 0; d < dim; ++d) {
+        // !(lo <= hi) also catches NaN bounds.
+        if (!(req.rect.lo(d) <= req.rect.hi(d)) ||
+            !std::isfinite(req.rect.lo(d)) || !std::isfinite(req.rect.hi(d))) {
+          return Status::InvalidArgument(
+              "range query: rect must have finite lo <= hi in every "
+              "dimension");
+        }
+      }
+      return CheckProbability(req.probability, "range query");
+    }
+
+    case QueryKind::kTrajectoryPnn: {
+      if (req.polyline.empty()) {
+        return Status::InvalidArgument(
+            "trajectory query: polyline needs at least one point");
+      }
+      for (const geom::Point& p : req.polyline) {
+        Status s = CheckQueryPoint(p, dim, "trajectory polyline point");
+        if (!s.ok()) return s;
+      }
+      if (!(req.step > 0.0) || !std::isfinite(req.step)) {
+        return Status::InvalidArgument(
+            "trajectory query: step must be finite and > 0");
+      }
+      const double length = PolylineLength(req.polyline);
+      if (!std::isfinite(length) ||
+          length / req.step >
+              static_cast<double>(kMaxTrajectorySamples) - 2.0) {
+        return Status::InvalidArgument(
+            "trajectory query: polyline expands to more than " +
+            std::to_string(kMaxTrajectorySamples) +
+            " samples at this step length");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("query request: unknown kind " +
+                                 std::to_string(static_cast<int>(req.kind)));
+}
+
+std::vector<QueryRequest> PnnRequests(std::span<const geom::Point> points) {
+  std::vector<QueryRequest> reqs;
+  reqs.reserve(points.size());
+  for (const geom::Point& p : points) reqs.push_back(QueryRequest::Pnn(p));
+  return reqs;
+}
+
+std::vector<geom::Point> SampleTrajectory(std::span<const geom::Point> polyline,
+                                          double step) {
+  std::vector<geom::Point> samples;
+  if (polyline.empty()) return samples;
+  samples.push_back(polyline[0]);
+  // `next` is the remaining arc length until the next sample is due; it
+  // carries across segment boundaries so spacing is uniform along the whole
+  // path, not per segment.
+  double next = step;
+  for (size_t i = 1; i < polyline.size(); ++i) {
+    const geom::Point& a = polyline[i - 1];
+    const geom::Point& b = polyline[i];
+    const double len = a.DistanceTo(b);
+    double done = 0.0;
+    while (next <= len - done) {
+      done += next;
+      const double t = done / len;
+      geom::Point s(a.dim());
+      for (int d = 0; d < a.dim(); ++d) s[d] = a[d] + t * (b[d] - a[d]);
+      samples.push_back(s);
+      next = step;
+    }
+    next -= len - done;
+  }
+  // Always evaluate the destination, unless the last spaced sample landed
+  // exactly on it.
+  const geom::Point& last = polyline[polyline.size() - 1];
+  if (!(samples.back() == last)) samples.push_back(last);
+  return samples;
+}
+
+std::vector<pv::PnnResult> SelectResults(const QueryRequest& req,
+                                         std::vector<pv::PnnResult> full) {
+  switch (req.kind) {
+    case QueryKind::kPnn:
+    case QueryKind::kTrajectoryPnn:
+    case QueryKind::kRangeProb:
+      return full;
+
+    case QueryKind::kThresholdNN: {
+      std::vector<pv::PnnResult> kept;
+      kept.reserve(full.size());
+      for (const pv::PnnResult& r : full) {
+        if (r.probability > req.probability) kept.push_back(r);
+      }
+      return kept;
+    }
+
+    case QueryKind::kTopKByProb: {
+      // Evaluate's own sort breaks probability ties arbitrarily (by
+      // candidate order); truncation needs a total order, so impose
+      // (probability desc, id asc) before cutting to k.
+      std::sort(full.begin(), full.end(),
+                [](const pv::PnnResult& a, const pv::PnnResult& b) {
+                  if (a.probability != b.probability) {
+                    return a.probability > b.probability;
+                  }
+                  return a.id < b.id;
+                });
+      if (full.size() > req.k) full.resize(req.k);
+      return full;
+    }
+  }
+  return full;
+}
+
+}  // namespace pvdb::service

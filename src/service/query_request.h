@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The typed query vocabulary: one tagged request over every query kind the
+// engine serves — single-point PNN, top-k-by-probability, probability
+// threshold, probabilistic range, and trajectory (moving-point) PNN — plus
+// the matching answer shape. The vocabulary is the serving API seam:
+// QueryEngine::ExecuteBatch, the wire codecs (net/wire.h) and the shard
+// router (shard/router.h) all speak it, so a new query kind lands once here
+// and flows end to end.
+//
+// Every kind reuses the same Step-1 minmax pruning + Step-2 qualification
+// machinery over the same index:
+//   * kPnn            — the paper's PNNQ: all objects with qualification
+//                       probability above the engine's floor.
+//   * kTopKByProb     — the k highest qualification probabilities (ties by
+//                       ascending object id).
+//   * kThresholdNN    — objects with qualification probability > p.
+//   * kRangeProb      — objects inside `rect` with probability > p
+//                       (P(o ∈ rect) summed over the discrete pdf); Step 1
+//                       becomes a bbox overlap walk instead of a point
+//                       descent.
+//   * kTrajectoryPnn  — PNN re-evaluated at arc-length samples along a
+//                       polyline; the engine reuses the previous sample's
+//                       octree leaf whenever the next sample stays strictly
+//                       inside its cell, skipping the Step-1 descent.
+//
+// Determinism contract: for a fixed candidate set in canonical (id) order,
+// every kind's answer is a pure function of the request — SelectResults
+// applies the same per-kind selection in the engine and in the router, so
+// distributed answers stay bit-identical to single-engine answers.
+
+#ifndef PVDB_SERVICE_QUERY_REQUEST_H_
+#define PVDB_SERVICE_QUERY_REQUEST_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/trace.h"
+#include "src/geom/point.h"
+#include "src/geom/rect.h"
+#include "src/pv/pnnq.h"
+
+namespace pvdb::service {
+
+/// The query kinds. Values are wire-stable (frame payloads carry them as
+/// one byte); never renumber.
+enum class QueryKind : uint8_t {
+  kPnn = 1,
+  kTopKByProb = 2,
+  kThresholdNN = 3,
+  kRangeProb = 4,
+  kTrajectoryPnn = 5,
+};
+
+/// Stable lowercase name ("pnn", "topk", "threshold", "range", "trajectory").
+const char* QueryKindName(QueryKind kind);
+
+/// Upper bound on the arc-length samples one trajectory request may expand
+/// into (ValidateQueryRequest rejects longer ones): a network peer must not
+/// be able to turn one frame into an unbounded amount of Step-1 work.
+inline constexpr size_t kMaxTrajectorySamples = 65536;
+
+/// One typed query. A tagged union in struct clothing: `kind` selects which
+/// fields are meaningful (the factories below set exactly those). Unused
+/// fields keep their defaults and are ignored by validation and execution.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kPnn;
+  /// kPnn / kTopKByProb / kThresholdNN: the query point.
+  geom::Point point{1};
+  /// kTopKByProb: how many results (>= 1).
+  uint32_t k = 1;
+  /// kThresholdNN / kRangeProb: the probability threshold p in [0, 1];
+  /// results must exceed it strictly.
+  double probability = 0.0;
+  /// kRangeProb: the query rectangle.
+  geom::Rect rect{1};
+  /// kTrajectoryPnn: the polyline waypoints (>= 1 point).
+  std::vector<geom::Point> polyline;
+  /// kTrajectoryPnn: arc-length spacing between evaluated samples (> 0).
+  double step = 0.0;
+
+  static QueryRequest Pnn(const geom::Point& q);
+  static QueryRequest TopKByProb(const geom::Point& q, uint32_t k);
+  static QueryRequest ThresholdNN(const geom::Point& q, double p);
+  static QueryRequest RangeProb(const geom::Rect& rect, double p);
+  static QueryRequest TrajectoryPnn(std::vector<geom::Point> polyline,
+                                    double step);
+};
+
+/// Request validation, shared by the engine and the network servers (both
+/// call it at ingress, so a malformed request degrades to one per-answer
+/// kInvalidArgument — never a crash, never a dropped connection). Checks:
+/// kind is known, k >= 1, p ∈ [0, 1], rect/polyline non-degenerate with
+/// finite coordinates, every dimensionality matches `dim`, and a trajectory
+/// expands to at most kMaxTrajectorySamples samples.
+Status ValidateQueryRequest(const QueryRequest& req, int dim);
+
+/// Convenience for migrated point-PNN callers: wraps each point as a kPnn
+/// request (the typed form of the legacy span<Point> batch).
+std::vector<QueryRequest> PnnRequests(std::span<const geom::Point> points);
+
+/// One trajectory sample's answer.
+struct TrajectoryStepAnswer {
+  /// The evaluated sample point (arc-length resampling of the polyline).
+  geom::Point point{1};
+  /// PNN results at this sample, same semantics as a kPnn answer.
+  std::vector<pv::PnnResult> results;
+  /// True when the engine reused the previous sample's leaf (the sample
+  /// stayed strictly inside the cached leaf cell, so the Step-1 descent was
+  /// skipped). Router-served trajectories always report false — reuse is an
+  /// engine-local optimization and never changes the answer bits.
+  bool reused_step1 = false;
+};
+
+/// One typed query's outcome. Field names mirror PnnAnswer so migrated
+/// point-PNN callers read `.results` / `.status` unchanged.
+struct QueryAnswer {
+  /// Per-request status; results are meaningful only when ok(). For a
+  /// trajectory, the first failing sample's status (its step keeps empty
+  /// results; the remaining samples still evaluate).
+  Status status = Status::OK();
+  /// Which kind this answers (echoed from the request).
+  QueryKind kind = QueryKind::kPnn;
+  /// Point-kind results (empty for kTrajectoryPnn — see `steps`).
+  std::vector<pv::PnnResult> results;
+  /// kTrajectoryPnn: one entry per arc-length sample, in path order.
+  std::vector<TrajectoryStepAnswer> steps;
+  /// True when any Step-1 candidates came from the leaf cache.
+  bool cache_hit = false;
+  /// End-to-end latency in milliseconds (a trajectory sums its samples).
+  double latency_ms = 0.0;
+  /// Per-stage nanosecond attribution (indexed by QueryStage).
+  std::array<int64_t, kNumQueryStages> stage_ns{};
+};
+
+/// Arc-length resampling of `polyline` at spacing `step`: the first
+/// waypoint, then a sample every `step` of accumulated path length, then
+/// the final waypoint (unless it coincides with the last sample). This is
+/// THE sampling rule — engine and router share it, so both evaluate the
+/// same points and trajectory answers stay comparable bit for bit.
+std::vector<geom::Point> SampleTrajectory(std::span<const geom::Point> polyline,
+                                          double step);
+
+/// Per-kind selection over a full PNN result list evaluated at the engine's
+/// probability floor (sorted descending by probability, candidates in
+/// canonical order). kPnn / kTrajectoryPnn pass through; kThresholdNN keeps
+/// probability > req.probability preserving order; kTopKByProb re-sorts by
+/// (probability desc, id asc) — a total order — and truncates to k.
+/// kRangeProb answers are produced final by EvaluateRangeProb and pass
+/// through. Engine and router both finish answers here, which is what makes
+/// every kind's distributed answer bit-identical to the single-engine one.
+std::vector<pv::PnnResult> SelectResults(const QueryRequest& req,
+                                         std::vector<pv::PnnResult> full);
+
+}  // namespace pvdb::service
+
+#endif  // PVDB_SERVICE_QUERY_REQUEST_H_

@@ -70,6 +70,20 @@ LocalShardConnection::FetchRecords(
   return out;
 }
 
+Result<std::vector<ShardRangeAnswer>> LocalShardConnection::RangeStep1Batch(
+    std::span<const geom::Rect> ranges) {
+  std::vector<ShardRangeAnswer> out(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    auto r = snapshot_->RangeCandidates(ranges[i]);
+    if (!r.ok()) {
+      out[i].status = r.status();
+      continue;
+    }
+    out[i].ids = std::move(r).value();
+  }
+  return out;
+}
+
 Status ValidateRouterOptions(const RouterOptions& options) {
   if (!(options.deadline_ms > 0.0)) {
     return Status::InvalidArgument(
@@ -225,6 +239,184 @@ auto ShardRouter::WithRetries(Fn&& fn) -> decltype(fn()) {
   return Status::Unavailable("shard unreachable after " +
                              std::to_string(1 + options_.max_retries) +
                              " attempt(s): " + last.ToString());
+}
+
+service::PnnAnswer ShardRouter::AnswerRange(const service::QueryRequest& req,
+                                            RouterStats* stats) {
+  service::PnnAnswer ans;
+  const size_t k = map_.shards.size();
+  // Scatter: every shard whose bbox intersects the rectangle. An object's
+  // uncertainty region is contained in its owner shard's bbox, so an object
+  // overlapping the range is always reported by its owner — one round, no
+  // τ to close over.
+  std::vector<uncertain::ObjectId> ids;
+  std::unordered_map<uncertain::ObjectId, size_t> owner;
+  const std::vector<geom::Rect> one{req.rect};
+  for (size_t s = 0; s < k; ++s) {
+    if (!map_.shards[s].has_bbox ||
+        !map_.shards[s].bbox.Intersects(req.rect)) {
+      ++stats->shards_pruned;
+      shards_pruned_total_->Increment();
+      continue;
+    }
+    ++stats->shard_fanouts;
+    fanouts_total_->Increment();
+    auto r = WithRetries([&] { return connections_[s]->RangeStep1Batch(one); });
+    Status shard_status = Status::OK();
+    if (!r.ok()) {
+      shard_status = Status::Unavailable("shard " + std::to_string(s) + ": " +
+                                         r.status().message());
+    } else if (r.value().size() != 1) {
+      shard_status = Status::Unavailable(
+          "shard " + std::to_string(s) + ": range step1 answered " +
+          std::to_string(r.value().size()) + " of 1 ranges");
+    } else if (!r.value()[0].status.ok()) {
+      shard_status = r.value()[0].status;
+    }
+    if (!shard_status.ok()) {
+      ans.status = shard_status;
+      if (shard_status.code() == StatusCode::kUnavailable) {
+        ++stats->unavailable;
+        unavailable_total_->Increment();
+      }
+      return ans;
+    }
+    for (uncertain::ObjectId id : r.value()[0].ids) {
+      if (ghosts_[s].contains(id)) {
+        ++stats->ghosts_dropped;
+        continue;
+      }
+      owner.emplace(id, s);
+      ids.push_back(id);
+    }
+  }
+  // Owner instances are unique per object, but canonical id order is the
+  // contract EvaluateRangeProb's answers are a pure function of.
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  // Owner-shard record fetch through the router's cache, exactly like the
+  // PNN leg.
+  const std::vector<uncertain::ObjectId> missing = records_.Missing(ids);
+  std::vector<std::vector<uncertain::ObjectId>> fetch_per_shard(k);
+  for (uncertain::ObjectId id : missing) {
+    fetch_per_shard[owner.at(id)].push_back(id);
+  }
+  for (size_t s = 0; s < k; ++s) {
+    if (fetch_per_shard[s].empty()) continue;
+    auto r = WithRetries(
+        [&] { return connections_[s]->FetchRecords(fetch_per_shard[s]); });
+    if (!r.ok()) {
+      ans.status = r.status().code() == StatusCode::kUnavailable
+                       ? r.status()
+                       : Status::Unavailable("shard " + std::to_string(s) +
+                                             " record fetch: " +
+                                             r.status().message());
+      ++stats->unavailable;
+      unavailable_total_->Increment();
+      return ans;
+    }
+    stats->records_fetched += static_cast<int64_t>(fetch_per_shard[s].size());
+    records_fetched_total_->Increment(
+        static_cast<int64_t>(fetch_per_shard[s].size()));
+    records_.Insert(std::move(r).value());
+  }
+
+  ans.results = step2_.EvaluateRangeProb(req.rect, ids, nullptr,
+                                         req.probability, &ans.status);
+  return ans;
+}
+
+std::vector<service::QueryAnswer> ShardRouter::Execute(
+    std::span<const service::QueryRequest> requests, RouterStats* stats) {
+  RouterStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  const size_t nreq = requests.size();
+  std::vector<service::QueryAnswer> answers(nreq);
+
+  // Expansion mirrors QueryEngine::ExecuteRequests: point kinds are one
+  // scatter unit, trajectories one unit per arc-length sample, range
+  // requests answer through their own scatter leg below. Validation here
+  // (at the router's dimensionality) turns malformed requests into
+  // per-answer InvalidArgument, never a dropped batch.
+  std::vector<geom::Point> points;
+  std::vector<uint32_t> first_unit(nreq, 0);
+  std::vector<uint32_t> unit_count(nreq, 0);
+  for (size_t ri = 0; ri < nreq; ++ri) {
+    const service::QueryRequest& req = requests[ri];
+    answers[ri].kind = req.kind;
+    answers[ri].status = service::ValidateQueryRequest(req, map_.dim);
+    first_unit[ri] = static_cast<uint32_t>(points.size());
+    if (!answers[ri].status.ok()) continue;
+    switch (req.kind) {
+      case service::QueryKind::kPnn:
+      case service::QueryKind::kTopKByProb:
+      case service::QueryKind::kThresholdNN:
+        points.push_back(req.point);
+        break;
+      case service::QueryKind::kRangeProb:
+        break;
+      case service::QueryKind::kTrajectoryPnn: {
+        std::vector<geom::Point> samples =
+            service::SampleTrajectory(req.polyline, req.step);
+        answers[ri].steps.resize(samples.size());
+        for (size_t j = 0; j < samples.size(); ++j) {
+          answers[ri].steps[j].point = samples[j];
+          points.push_back(std::move(samples[j]));
+        }
+        break;
+      }
+    }
+    unit_count[ri] = static_cast<uint32_t>(points.size()) - first_unit[ri];
+  }
+
+  // Point scatter through the PNN core (resets and fills *stats).
+  std::vector<service::PnnAnswer> unit_ans = ExecuteBatch(points, stats);
+
+  // Assembly: per-kind selection over the merged, canonically-ordered
+  // evaluations — the same SelectResults composition the engine applies,
+  // which is what makes router and single-engine answers bit-identical.
+  for (size_t ri = 0; ri < nreq; ++ri) {
+    const service::QueryRequest& req = requests[ri];
+    service::QueryAnswer& qa = answers[ri];
+    if (!qa.status.ok() && unit_count[ri] == 0 &&
+        req.kind != service::QueryKind::kRangeProb) {
+      ++stats->queries;
+      queries_total_->Increment();
+      continue;
+    }
+    switch (req.kind) {
+      case service::QueryKind::kRangeProb: {
+        if (!qa.status.ok()) {
+          ++stats->queries;
+          queries_total_->Increment();
+          break;
+        }
+        service::PnnAnswer ra = AnswerRange(req, stats);
+        ++stats->queries;
+        queries_total_->Increment();
+        qa.status = std::move(ra.status);
+        qa.results = std::move(ra.results);
+        break;
+      }
+      case service::QueryKind::kTrajectoryPnn: {
+        for (uint32_t j = 0; j < unit_count[ri]; ++j) {
+          service::PnnAnswer& ua = unit_ans[first_unit[ri] + j];
+          qa.steps[j].results = std::move(ua.results);
+          if (!ua.status.ok() && qa.status.ok()) qa.status = ua.status;
+        }
+        break;
+      }
+      default: {
+        service::PnnAnswer& ua = unit_ans[first_unit[ri]];
+        qa.status = std::move(ua.status);
+        qa.results = service::SelectResults(req, std::move(ua.results));
+        break;
+      }
+    }
+  }
+  return answers;
 }
 
 std::vector<service::PnnAnswer> ShardRouter::ExecuteBatch(

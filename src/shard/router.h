@@ -73,6 +73,15 @@ struct ShardStep1Answer {
   std::vector<ShardCandidate> candidates;
 };
 
+/// One shard's range-overlap verdict for one query rectangle: ids of the
+/// shard's entries whose uncertainty region intersects the rectangle,
+/// sorted ascending and deduplicated. Ghost instances are included — the
+/// router drops them during its merge, exactly like the PNN leg.
+struct ShardRangeAnswer {
+  Status status = Status::OK();
+  std::vector<uncertain::ObjectId> ids;
+};
+
 /// Transport seam between the router and one shard. LocalShardConnection
 /// serves in-process from an IndexSnapshot; RemoteShardConnection
 /// (shard_service.h) speaks the framed TCP protocol. Implementations must
@@ -91,6 +100,15 @@ class ShardConnection {
   /// aligned with `ids`. Fails (NotFound) if any id is absent.
   virtual Result<std::vector<uncertain::UncertainObject>> FetchRecords(
       std::span<const uncertain::ObjectId> ids) = 0;
+
+  /// Range-overlap Step-1 for every rectangle; answer i corresponds to
+  /// ranges[i] (the router's range-probability scatter leg). Default:
+  /// NotSupported, for connections predating the typed vocabulary.
+  virtual Result<std::vector<ShardRangeAnswer>> RangeStep1Batch(
+      std::span<const geom::Rect> ranges) {
+    (void)ranges;
+    return Status::NotSupported("shard connection has no range leg");
+  }
 };
 
 /// In-process connection over a sealed shard snapshot (the single-process
@@ -107,6 +125,8 @@ class LocalShardConnection : public ShardConnection {
       std::span<const geom::Point> queries) override;
   Result<std::vector<uncertain::UncertainObject>> FetchRecords(
       std::span<const uncertain::ObjectId> ids) override;
+  Result<std::vector<ShardRangeAnswer>> RangeStep1Batch(
+      std::span<const geom::Rect> ranges) override;
 
  private:
   /// One query's leaf prune; fills `out->candidates` (leaves it empty for
@@ -183,10 +203,25 @@ class ShardRouter {
       ShardMap map, std::vector<std::shared_ptr<ShardConnection>> connections,
       const RouterOptions& options);
 
-  /// Answers every query; answer i corresponds to queries[i]. Per-query
-  /// failures (unreachable shard after retries → kUnavailable, shard-side
-  /// errors forwarded) land in the answer's status and never abort the
-  /// batch or produce a wrong probability.
+  /// Answers every typed request; answer i corresponds to requests[i].
+  /// Point kinds (PNN / top-k / threshold) and trajectory samples scatter
+  /// through the PNN fan-out machinery and evaluate with the engine's own
+  /// per-kind selection (SelectResults at the router's min_probability), so
+  /// the answers are bit-identical to one canonical-mode QueryEngine over
+  /// the union dataset. Range-probability requests fan out to every shard
+  /// whose bbox intersects the rectangle (an object's uncertainty region is
+  /// contained in its owner's bbox, so the owner is always contacted),
+  /// ghost-dedupe + id-sort the ids, and evaluate centrally over fetched
+  /// records. Malformed requests answer per-request InvalidArgument; shard
+  /// failures degrade the affected requests to kUnavailable — the batch
+  /// never aborts.
+  std::vector<service::QueryAnswer> Execute(
+      std::span<const service::QueryRequest> requests,
+      RouterStats* stats = nullptr);
+
+  /// Legacy point-PNN surface: answers every query point; answer i
+  /// corresponds to queries[i]. Still the typed path's point-scatter core,
+  /// so both surfaces answer bit-identically.
   std::vector<service::PnnAnswer> ExecuteBatch(
       std::span<const geom::Point> queries, RouterStats* stats = nullptr);
 
@@ -224,6 +259,12 @@ class ShardRouter {
   /// error (as kUnavailable) when every attempt fails.
   template <typename Fn>
   auto WithRetries(Fn&& fn) -> decltype(fn());
+
+  /// One range-probability request: scatter to every bbox-intersecting
+  /// shard, ghost-dedupe + id-sort, fetch owner records, evaluate
+  /// P(o ∈ rect) centrally at the request's threshold.
+  service::PnnAnswer AnswerRange(const service::QueryRequest& req,
+                                 RouterStats* stats);
 
   ShardMap map_;
   std::vector<std::shared_ptr<ShardConnection>> connections_;

@@ -96,6 +96,25 @@ Result<std::pair<net::MessageType, std::vector<uint8_t>>> ShardServer::Handle(
       return std::make_pair(net::MessageType::kQueryBatch,
                             net::EncodeQueryBatchResponse(wire));
     }
+    case net::MessageType::kQueryRequestBatch: {
+      // Structural decode only; the engine validates each request at
+      // ingress, so a semantically malformed request answers per-request
+      // InvalidArgument instead of dropping the connection.
+      PVDB_ASSIGN_OR_RETURN(std::vector<service::QueryRequest> requests,
+                            net::DecodeQueryRequestBatch(payload));
+      const std::vector<service::QueryAnswer> answers =
+          engine_->ExecuteBatch(requests);
+      return std::make_pair(net::MessageType::kQueryAnswerBatch,
+                            net::EncodeQueryAnswerBatch(answers));
+    }
+    case net::MessageType::kRangeStep1Batch: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<geom::Rect> ranges,
+                            net::DecodeRangeStep1Request(payload));
+      PVDB_ASSIGN_OR_RETURN(std::vector<ShardRangeAnswer> answers,
+                            local_.RangeStep1Batch(ranges));
+      return std::make_pair(net::MessageType::kRangeStep1Batch,
+                            net::EncodeRangeStep1Response(answers));
+    }
     default:
       return Status::NotSupported(
           "shard server does not handle message type " +
@@ -153,6 +172,14 @@ Result<std::pair<net::MessageType, std::vector<uint8_t>>> RouterServer::Handle(
       return std::make_pair(net::MessageType::kQueryBatch,
                             net::EncodeQueryBatchResponse(wire));
     }
+    case net::MessageType::kQueryRequestBatch: {
+      PVDB_ASSIGN_OR_RETURN(std::vector<service::QueryRequest> requests,
+                            net::DecodeQueryRequestBatch(payload));
+      const std::vector<service::QueryAnswer> answers =
+          router_->Execute(requests);
+      return std::make_pair(net::MessageType::kQueryAnswerBatch,
+                            net::EncodeQueryAnswerBatch(answers));
+    }
     default:
       return Status::NotSupported(
           "router server does not handle message type " +
@@ -208,6 +235,16 @@ RemoteShardConnection::FetchRecords(
                net::EncodeFetchRecordsRequest(ids),
                net::MessageType::kFetchRecords));
   return net::DecodeFetchRecordsResponse(body);
+}
+
+Result<std::vector<ShardRangeAnswer>> RemoteShardConnection::RangeStep1Batch(
+    std::span<const geom::Rect> ranges) {
+  PVDB_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      Exchange(net::MessageType::kRangeStep1Batch,
+               net::EncodeRangeStep1Request(ranges),
+               net::MessageType::kRangeStep1Batch));
+  return net::DecodeRangeStep1Response(body);
 }
 
 }  // namespace pvdb::shard

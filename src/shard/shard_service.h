@@ -108,6 +108,8 @@ class RemoteShardConnection : public ShardConnection {
       std::span<const geom::Point> queries) override;
   Result<std::vector<uncertain::UncertainObject>> FetchRecords(
       std::span<const uncertain::ObjectId> ids) override;
+  Result<std::vector<ShardRangeAnswer>> RangeStep1Batch(
+      std::span<const geom::Rect> ranges) override;
 
  private:
   Result<std::vector<uint8_t>> Exchange(net::MessageType type,

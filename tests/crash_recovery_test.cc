@@ -526,7 +526,8 @@ TEST(LiveIndexTest, BackgroundCompactionAdoptsIntoQueryEngine) {
   const geom::Point q = ProbePoints()[0];
   auto candidates = snap->QueryPossibleNN(q);
   ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
-  auto batch = engine->ExecuteBatch(std::span<const geom::Point>(&q, 1));
+  auto batch = engine->ExecuteBatch(
+      service::PnnRequests(std::span<const geom::Point>(&q, 1)));
   ASSERT_EQ(batch.size(), 1u);
   ASSERT_TRUE(batch[0].status.ok()) << batch[0].status.ToString();
   EXPECT_FALSE(batch[0].results.empty());

@@ -217,6 +217,74 @@ TEST(FrameTest, TruncatedPayloadFailsVerification) {
   EXPECT_EQ(bad.code(), StatusCode::kCorruption);
 }
 
+TEST(FrameTest, LegacyTypesStillEncodeAsVersionOne) {
+  // A v2 build keeps stamping the original message types as v1 frames, so
+  // a v1 peer can keep decoding them.
+  for (MessageType type :
+       {MessageType::kInfo, MessageType::kQueryBatch, MessageType::kStep1Batch,
+        MessageType::kFetchRecords, MessageType::kError}) {
+    const std::vector<uint8_t> frame = EncodeFrame(type, {});
+    EXPECT_EQ(frame[4], 1) << "type " << static_cast<int>(type);
+    EXPECT_TRUE(DecodeFrameHeader(frame).ok());
+  }
+  for (MessageType type :
+       {MessageType::kQueryRequestBatch, MessageType::kQueryAnswerBatch,
+        MessageType::kRangeStep1Batch}) {
+    const std::vector<uint8_t> frame = EncodeFrame(type, {});
+    EXPECT_EQ(frame[4], 2) << "type " << static_cast<int>(type);
+    EXPECT_TRUE(DecodeFrameHeader(frame).ok());
+  }
+}
+
+TEST(FrameTest, GoldenVersionOneFrameStillDecodes) {
+  // Byte-for-byte v1 frame captured before the v2 protocol bump: one
+  // kQueryBatch request of a single 2-d point (1.5, -2.5). This build must
+  // keep decoding it unchanged — header, CRC and payload.
+  const std::vector<uint8_t> golden = {
+      // header: magic "PVDF", version 1, type 2, flags 0, len 24, CRC-32C
+      0x50, 0x56, 0x44, 0x46, 0x01, 0x02, 0x00, 0x00,
+      0x18, 0x00, 0x00, 0x00, 0x27, 0x1e, 0x3b, 0x3d,
+      // payload: dim=2, count=1, f64 1.5, f64 -2.5
+      0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf8, 0x3f,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0xc0};
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(golden.data(), kFrameHeaderBytes));
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().version, 1);
+  EXPECT_EQ(header.value().type, MessageType::kQueryBatch);
+  const std::span<const uint8_t> payload(golden.data() + kFrameHeaderBytes,
+                                         header.value().payload_len);
+  ASSERT_TRUE(VerifyFramePayload(header.value(), payload).ok());
+  auto queries = DecodeQueryBatchRequest(payload);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries.value().size(), 1u);
+  EXPECT_EQ(queries.value()[0][0], 1.5);
+  EXPECT_EQ(queries.value()[0][1], -2.5);
+}
+
+TEST(FrameTest, NewTypeInVersionOneFrameIsRejected) {
+  // The typed-vocabulary messages need v2; a frame claiming to carry one
+  // at v1 is corrupt (no v1 encoder ever produced it).
+  std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kQueryRequestBatch, {});
+  frame[4] = 1;
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(header.status().ToString().find("requires protocol version"),
+            std::string::npos)
+      << header.status().ToString();
+}
+
+TEST(FrameTest, LegacyTypeInVersionTwoFrameDecodes) {
+  // The accept window is [kMinFrameVersion, kFrameVersion]: a peer may
+  // stamp an old message at the newer version.
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kInfo, {});
+  frame[4] = 2;
+  EXPECT_TRUE(DecodeFrameHeader(frame).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Wire codecs
 // ---------------------------------------------------------------------------
@@ -310,6 +378,196 @@ TEST(WireTest, ErrorResponseCarriesStatusAndRejectsOk) {
   // An OK travelling in an error frame is itself a protocol violation.
   EXPECT_EQ(DecodeErrorResponse(EncodeErrorResponse(Status::OK())).code(),
             StatusCode::kCorruption);
+}
+
+// Builds one request of every typed kind over `dim` dimensions.
+std::vector<service::QueryRequest> OneRequestPerKind(int dim) {
+  geom::Point p(dim);
+  for (int d = 0; d < dim; ++d) p[d] = 0.5 + d;
+  geom::Rect rect(dim);
+  for (int d = 0; d < dim; ++d) {
+    rect.set_lo(d, -1.0 - d);
+    rect.set_hi(d, 2.0 + d);
+  }
+  geom::Point a(dim);
+  geom::Point b(dim);
+  for (int d = 0; d < dim; ++d) {
+    a[d] = -3.0 + d;
+    b[d] = 4.0 - d;
+  }
+  std::vector<service::QueryRequest> requests;
+  requests.push_back(service::QueryRequest::Pnn(p));
+  requests.push_back(service::QueryRequest::TopKByProb(p, 3));
+  requests.push_back(service::QueryRequest::ThresholdNN(p, 0.25));
+  requests.push_back(service::QueryRequest::RangeProb(rect, 0.5));
+  requests.push_back(service::QueryRequest::TrajectoryPnn({a, b}, 1.5));
+  return requests;
+}
+
+TEST(WireTest, QueryRequestBatchRoundTripsEveryKind) {
+  const std::vector<service::QueryRequest> requests = OneRequestPerKind(3);
+  auto decoded = DecodeQueryRequestBatch(EncodeQueryRequestBatch(requests));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const service::QueryRequest& in = requests[i];
+    const service::QueryRequest& out = decoded.value()[i];
+    EXPECT_EQ(out.kind, in.kind) << "request " << i;
+    EXPECT_EQ(out.k, in.k);
+    EXPECT_EQ(out.probability, in.probability);
+    EXPECT_EQ(out.step, in.step);
+    ASSERT_EQ(out.point.dim(), in.point.dim());
+    for (int d = 0; d < in.point.dim(); ++d) {
+      EXPECT_EQ(out.point[d], in.point[d]);
+    }
+    ASSERT_EQ(out.rect.dim(), in.rect.dim());
+    for (int d = 0; d < in.rect.dim(); ++d) {
+      EXPECT_EQ(out.rect.lo(d), in.rect.lo(d));
+      EXPECT_EQ(out.rect.hi(d), in.rect.hi(d));
+    }
+    ASSERT_EQ(out.polyline.size(), in.polyline.size());
+    for (size_t v = 0; v < in.polyline.size(); ++v) {
+      for (int d = 0; d < in.polyline[v].dim(); ++d) {
+        EXPECT_EQ(out.polyline[v][d], in.polyline[v][d]);
+      }
+    }
+  }
+}
+
+TEST(WireTest, QueryRequestBatchTruncationIsCorruption) {
+  const std::vector<uint8_t> image =
+      EncodeQueryRequestBatch(OneRequestPerKind(2));
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeQueryRequestBatch(
+        std::span<const uint8_t>(image.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " parsed";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireTest, QueryRequestBatchUnknownKindIsCorruption) {
+  const std::vector<service::QueryRequest> one{
+      service::QueryRequest::Pnn(geom::Point(2))};
+  std::vector<uint8_t> image = EncodeQueryRequestBatch(one);
+  // The kind byte sits right after dim u32 + count u32.
+  image[8] = 0xee;
+  auto decoded = DecodeQueryRequestBatch(image);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(decoded.status().ToString().find("kind"), std::string::npos);
+}
+
+TEST(WireTest, QueryRequestBatchMalformedRectDecodesStructurally) {
+  // lo > hi is a semantic error: it must cross the wire intact so the
+  // server can answer per-request InvalidArgument, not drop the frame.
+  geom::Rect bad(2);
+  bad.set_lo(0, 5.0);
+  bad.set_hi(0, -5.0);
+  bad.set_lo(1, 0.0);
+  bad.set_hi(1, 1.0);
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kRangeProb;
+  req.rect = bad;
+  req.probability = 0.5;
+  auto decoded = DecodeQueryRequestBatch(
+      EncodeQueryRequestBatch(std::span<const service::QueryRequest>(&req, 1)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(decoded.value()[0].rect.lo(0), 5.0);
+  EXPECT_EQ(decoded.value()[0].rect.hi(0), -5.0);
+  EXPECT_EQ(service::ValidateQueryRequest(decoded.value()[0], 2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, QueryAnswerBatchRoundTrip) {
+  std::vector<service::QueryAnswer> answers(3);
+  answers[0].kind = service::QueryKind::kTopKByProb;
+  answers[0].cache_hit = true;
+  answers[0].results = {{12, 0.75}, {9, 0.125}};
+  answers[1].kind = service::QueryKind::kTrajectoryPnn;
+  answers[1].steps.resize(2);
+  answers[1].steps[0].point = geom::Point(2);
+  answers[1].steps[0].point[0] = 1.0;
+  answers[1].steps[0].point[1] = -2.0;
+  answers[1].steps[0].results = {{4, 0.5}};
+  answers[1].steps[1].point = geom::Point(2);
+  answers[1].steps[1].point[0] = 1.5;
+  answers[1].steps[1].point[1] = -2.0;
+  answers[1].steps[1].reused_step1 = true;
+  answers[2].kind = service::QueryKind::kRangeProb;
+  answers[2].status = Status::InvalidArgument("rect lo exceeds hi");
+  auto decoded = DecodeQueryAnswerBatch(EncodeQueryAnswerBatch(answers));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 3u);
+  const auto& out = decoded.value();
+  EXPECT_EQ(out[0].kind, service::QueryKind::kTopKByProb);
+  EXPECT_TRUE(out[0].cache_hit);
+  ASSERT_EQ(out[0].results.size(), 2u);
+  EXPECT_EQ(out[0].results[0].id, 12u);
+  EXPECT_EQ(out[0].results[0].probability, 0.75);
+  ASSERT_EQ(out[1].steps.size(), 2u);
+  EXPECT_EQ(out[1].steps[0].point[1], -2.0);
+  ASSERT_EQ(out[1].steps[0].results.size(), 1u);
+  EXPECT_EQ(out[1].steps[0].results[0].probability, 0.5);
+  EXPECT_FALSE(out[1].steps[0].reused_step1);
+  EXPECT_TRUE(out[1].steps[1].reused_step1);
+  EXPECT_EQ(out[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out[2].status.ToString().find("exceeds hi"), std::string::npos);
+}
+
+TEST(WireTest, QueryAnswerBatchTruncationIsCorruption) {
+  std::vector<service::QueryAnswer> answers(1);
+  answers[0].kind = service::QueryKind::kTrajectoryPnn;
+  answers[0].steps.resize(1);
+  answers[0].steps[0].point = geom::Point(2);
+  answers[0].steps[0].results = {{1, 1.0}};
+  const std::vector<uint8_t> image = EncodeQueryAnswerBatch(answers);
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeQueryAnswerBatch(
+        std::span<const uint8_t>(image.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " parsed";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireTest, RangeStep1RoundTrip) {
+  std::vector<geom::Rect> ranges;
+  for (int i = 0; i < 3; ++i) {
+    geom::Rect r(2);
+    r.set_lo(0, i);
+    r.set_hi(0, i + 2.5);
+    r.set_lo(1, -i);
+    r.set_hi(1, i);
+    ranges.push_back(r);
+  }
+  auto decoded = DecodeRangeStep1Request(EncodeRangeStep1Request(ranges));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 3u);
+  EXPECT_EQ(decoded.value()[2].lo(0), 2.0);
+  EXPECT_EQ(decoded.value()[2].hi(0), 4.5);
+
+  std::vector<shard::ShardRangeAnswer> answers(2);
+  answers[0].ids = {3, 8, 21};
+  answers[1].status = Status::Unavailable("shard draining");
+  auto resp = DecodeRangeStep1Response(EncodeRangeStep1Response(answers));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp.value().size(), 2u);
+  EXPECT_EQ(resp.value()[0].ids, (std::vector<uncertain::ObjectId>{3, 8, 21}));
+  EXPECT_EQ(resp.value()[1].status.code(), StatusCode::kUnavailable);
+}
+
+TEST(WireTest, RangeStep1TruncationIsCorruption) {
+  geom::Rect r(2);
+  r.set_hi(0, 1.0);
+  r.set_hi(1, 1.0);
+  const std::vector<geom::Rect> ranges{r};
+  const std::vector<uint8_t> image = EncodeRangeStep1Request(ranges);
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeRangeStep1Request(
+        std::span<const uint8_t>(image.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "truncated to " << len << " parsed";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -515,6 +773,133 @@ TEST(ShardServerTest, RemoteConnectionServesStep1AndRecords) {
       std::vector<uncertain::ObjectId>{99999999});
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardServerTest, TypedQueryBatchMatchesLocalEngineBitForBit) {
+  auto snapshot = MakeSnapshot(150, 24);
+  auto server = shard::ShardServer::Start(snapshot, TcpServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // The reference: a local engine configured exactly like the server's
+  // (ShardServer forces canonical candidate order on).
+  service::QueryEngineOptions engine_options;
+  engine_options.canonical_candidates = true;
+  auto reference =
+      service::QueryEngine::CreateFromSnapshot(snapshot, engine_options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // One request of every kind, placed in the synthetic data domain.
+  geom::Point p(2);
+  p[0] = 4200.0;
+  p[1] = 5800.0;
+  geom::Rect rect(2);
+  rect.set_lo(0, 3000.0);
+  rect.set_hi(0, 7000.0);
+  rect.set_lo(1, 3000.0);
+  rect.set_hi(1, 7000.0);
+  geom::Point a(2);
+  a[0] = 2000.0;
+  a[1] = 2000.0;
+  geom::Point b(2);
+  b[0] = 8000.0;
+  b[1] = 6000.0;
+  std::vector<service::QueryRequest> requests;
+  requests.push_back(service::QueryRequest::Pnn(p));
+  requests.push_back(service::QueryRequest::TopKByProb(p, 2));
+  requests.push_back(service::QueryRequest::ThresholdNN(p, 0.05));
+  requests.push_back(service::QueryRequest::RangeProb(rect, 0.5));
+  requests.push_back(service::QueryRequest::TrajectoryPnn({a, b}, 1500.0));
+  const std::vector<service::QueryAnswer> want =
+      reference.value()->ExecuteBatch(requests);
+
+  auto client = FrameClient::Connect(server.value()->port(), 2000.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = client.value()->Call(MessageType::kQueryRequestBatch,
+                                       EncodeQueryRequestBatch(requests),
+                                       2000.0);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().first, MessageType::kQueryAnswerBatch);
+  auto got = DecodeQueryAnswerBatch(response.value().second);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_TRUE(got.value()[i].status.ok())
+        << got.value()[i].status.ToString();
+    EXPECT_EQ(got.value()[i].kind, want[i].kind);
+    ASSERT_EQ(got.value()[i].results.size(), want[i].results.size());
+    for (size_t j = 0; j < want[i].results.size(); ++j) {
+      EXPECT_EQ(got.value()[i].results[j].id, want[i].results[j].id);
+      EXPECT_EQ(got.value()[i].results[j].probability,
+                want[i].results[j].probability);
+    }
+    ASSERT_EQ(got.value()[i].steps.size(), want[i].steps.size());
+    for (size_t s = 0; s < want[i].steps.size(); ++s) {
+      const auto& gs = got.value()[i].steps[s];
+      const auto& ws = want[i].steps[s];
+      ASSERT_EQ(gs.results.size(), ws.results.size()) << "step " << s;
+      for (size_t j = 0; j < ws.results.size(); ++j) {
+        EXPECT_EQ(gs.results[j].id, ws.results[j].id);
+        EXPECT_EQ(gs.results[j].probability, ws.results[j].probability);
+      }
+    }
+  }
+  // At least one trajectory sample beyond the first should reuse its
+  // predecessor's leaf somewhere along an 1500-unit-step path... not
+  // guaranteed for every dataset, so assert only the step count matches
+  // the shared sampling rule.
+  EXPECT_EQ(want[4].steps.size(),
+            service::SampleTrajectory(requests[4].polyline, 1500.0).size());
+
+  // A semantically malformed request (k = 0) answers per-request
+  // InvalidArgument; the connection survives and sibling requests still
+  // answer.
+  std::vector<service::QueryRequest> mixed;
+  mixed.push_back(service::QueryRequest::TopKByProb(p, 0));
+  mixed.push_back(service::QueryRequest::Pnn(p));
+  auto mixed_resp = client.value()->Call(MessageType::kQueryRequestBatch,
+                                         EncodeQueryRequestBatch(mixed),
+                                         2000.0);
+  ASSERT_TRUE(mixed_resp.ok()) << mixed_resp.status().ToString();
+  auto mixed_got = DecodeQueryAnswerBatch(mixed_resp.value().second);
+  ASSERT_TRUE(mixed_got.ok());
+  ASSERT_EQ(mixed_got.value().size(), 2u);
+  EXPECT_EQ(mixed_got.value()[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mixed_got.value()[1].status.ok());
+  EXPECT_FALSE(mixed_got.value()[1].results.empty());
+}
+
+TEST(ShardServerTest, RemoteRangeLegMatchesLocalConnection) {
+  auto snapshot = MakeSnapshot(120, 25);
+  auto server = shard::ShardServer::Start(snapshot, TcpServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  shard::RemoteShardConnection remote(server.value()->port(), 2000.0);
+  shard::LocalShardConnection local(snapshot);
+
+  std::vector<geom::Rect> ranges;
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    geom::Rect r(2);
+    for (int d = 0; d < 2; ++d) {
+      const double lo = rng.NextUniform(0.0, 8000.0);
+      r.set_lo(d, lo);
+      r.set_hi(d, lo + rng.NextUniform(500.0, 4000.0));
+    }
+    ranges.push_back(r);
+  }
+  auto remote_answers = remote.RangeStep1Batch(ranges);
+  auto local_answers = local.RangeStep1Batch(ranges);
+  ASSERT_TRUE(remote_answers.ok()) << remote_answers.status().ToString();
+  ASSERT_TRUE(local_answers.ok());
+  ASSERT_EQ(remote_answers.value().size(), ranges.size());
+  size_t total = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_TRUE(remote_answers.value()[i].status.ok());
+    EXPECT_EQ(remote_answers.value()[i].ids, local_answers.value()[i].ids)
+        << "range " << i;
+    total += remote_answers.value()[i].ids.size();
+  }
+  EXPECT_GT(total, 0u) << "ranges this large should overlap some objects";
 }
 
 TEST(ShardServerTest, RemoteConnectionReconnectsAfterServerRestart) {

@@ -312,9 +312,11 @@ TEST(TracerTest, FormatLineGolden) {
   info.ok = true;
   info.results = 2;
   info.backend = "snapshot";
+  info.kind = "topk";
   EXPECT_EQ(Tracer::FormatLine(info, /*sampled=*/true, /*slow=*/false),
             "{\"type\":\"query_trace\",\"seq\":7,\"sampled\":true,"
-            "\"slow\":false,\"backend\":\"snapshot\",\"ok\":true,"
+            "\"slow\":false,\"backend\":\"snapshot\",\"kind\":\"topk\","
+            "\"ok\":true,"
             "\"cache_hit\":true,\"results\":2,\"latency_ms\":1.5000,"
             "\"stages_us\":{\"plan\":1.0,\"leaf_cache\":2.0,"
             "\"step1_prune\":3.0,\"step2\":4.0,\"merge\":5.0}}");
@@ -529,7 +531,8 @@ TEST(QueryEngineObservabilityTest, BatchPopulatesStageHistograms) {
 
   const auto queries = world.Queries(64, 5);
   service::ServiceStats stats;
-  const auto answers = engine->ExecuteBatch(queries, &stats);
+  const auto answers =
+      engine->ExecuteBatch(service::PnnRequests(queries), &stats);
   ASSERT_EQ(answers.size(), queries.size());
 
   // Counters: every query accounted, none failed.
@@ -572,7 +575,7 @@ TEST(QueryEngineObservabilityTest, StageTimingOffRecordsNothing) {
       service::QueryEngine::Create(world.db.get(), world.Backends(), options)
           .value();
   const auto queries = world.Queries(32, 6);
-  const auto answers = engine->ExecuteBatch(queries);
+  const auto answers = engine->ExecuteBatch(service::PnnRequests(queries));
   for (const auto& a : answers) {
     for (int64_t ns : a.stage_ns) EXPECT_EQ(ns, 0);
   }
@@ -601,7 +604,7 @@ TEST(QueryEngineObservabilityTest, TraceSamplingDeterministicAcrossBatch) {
       service::QueryEngine::Create(world.db.get(), world.Backends(), options)
           .value();
   const auto queries = world.Queries(64, 7);
-  (void)engine->ExecuteBatch(queries);
+  (void)engine->ExecuteBatch(service::PnnRequests(queries));
   // The grouped batch records its answers in one deterministic pass, so a
   // 64-query batch with 1-in-8 sampling emits exactly 8 lines, seq 0,8,...
   ASSERT_EQ(lines.size(), 8u);
@@ -631,7 +634,7 @@ TEST(QueryEngineObservabilityTest, SlowQueryLogCatchesEveryQuery) {
       service::QueryEngine::Create(world.db.get(), world.Backends(), options)
           .value();
   const auto queries = world.Queries(16, 8);
-  (void)engine->ExecuteBatch(queries);
+  (void)engine->ExecuteBatch(service::PnnRequests(queries));
   EXPECT_EQ(slow_lines, 16);
   EXPECT_EQ(engine->tracer().slow_count(), 16);
 }
@@ -643,7 +646,7 @@ TEST(QueryEngineObservabilityTest, PrometheusExportCoversEngineSurface) {
   auto engine =
       service::QueryEngine::Create(world.db.get(), world.Backends(), options)
           .value();
-  (void)engine->ExecuteBatch(world.Queries(16, 9));
+  (void)engine->ExecuteBatch(service::PnnRequests(world.Queries(16, 9)));
   const std::string text = engine->metrics().ExportPrometheusText();
   for (const char* needle : {
            "# TYPE pvdb_engine_queries counter",

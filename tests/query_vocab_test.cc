@@ -1,0 +1,495 @@
+// Copyright (c) 2026 The pvdb Authors. Licensed under the MIT License.
+//
+// The typed query vocabulary's acceptance properties:
+//   * ValidateQueryRequest rejects every malformed shape with a descriptive
+//     InvalidArgument, and the engine turns such requests into per-answer
+//     statuses without aborting their batch.
+//   * SampleTrajectory follows the shared arc-length rule deterministically.
+//   * EvaluateTopK is bit-identical to sorting the full evaluation by
+//     (probability desc, id asc) and truncating — the early-exit bound never
+//     changes an answer.
+//   * Top-k and threshold answers agree with the Monte-Carlo possible-world
+//     oracle; threshold answers are exactly the filtered PNN answers.
+//   * Trajectory incremental evaluation (leaf-descent reuse between
+//     consecutive samples) is bit-identical to evaluating every sample from
+//     scratch, on randomized polylines — and the reuse actually happens.
+//   * Range-probability answers equal a brute-force linear scan of the
+//     dataset's pdfs, bit for bit.
+//   * The legacy point-PNN surface (ExecuteBatch over points, Submit over a
+//     point) answers bit-identically to its typed kPnn form.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pv/pnnq.h"
+#include "src/pv/pv_index_builder.h"
+#include "src/service/query_engine.h"
+#include "src/service/query_request.h"
+#include "src/uncertain/datagen.h"
+
+namespace pvdb::service {
+namespace {
+
+uncertain::Dataset MakeDb(int dim, size_t count, double extent,
+                          uint64_t seed) {
+  uncertain::SyntheticOptions options;
+  options.dim = dim;
+  options.count = count;
+  options.max_region_extent = extent;
+  options.samples_per_object = 24;
+  options.seed = seed;
+  return uncertain::GenerateSynthetic(options);
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(const uncertain::Dataset& db,
+                                        QueryEngineOptions options = {}) {
+  auto builder = pv::PvIndexBuilder::Build(db);
+  EXPECT_TRUE(builder.ok()) << builder.status().ToString();
+  auto snapshot = builder.value()->Seal();
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  auto engine = QueryEngine::CreateFromSnapshot(snapshot.value(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+geom::Point RandomPoint(const geom::Rect& domain, Rng* rng) {
+  geom::Point q(domain.dim());
+  for (int d = 0; d < domain.dim(); ++d) {
+    q[d] = rng->NextUniform(domain.lo(d), domain.hi(d));
+  }
+  return q;
+}
+
+void ExpectResultsBitIdentical(const std::vector<pv::PnnResult>& got,
+                               const std::vector<pv::PnnResult>& want,
+                               const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].id, want[j].id) << label << " result " << j;
+    EXPECT_EQ(std::memcmp(&got[j].probability, &want[j].probability,
+                          sizeof(double)),
+              0)
+        << label << " result " << j << ": " << got[j].probability << " vs "
+        << want[j].probability;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(ValidateQueryRequestTest, AcceptsEveryWellFormedKind) {
+  geom::Point p(3);
+  geom::Rect rect(3);
+  for (int d = 0; d < 3; ++d) rect.set_hi(d, 1.0);
+  EXPECT_TRUE(ValidateQueryRequest(QueryRequest::Pnn(p), 3).ok());
+  EXPECT_TRUE(ValidateQueryRequest(QueryRequest::TopKByProb(p, 1), 3).ok());
+  EXPECT_TRUE(ValidateQueryRequest(QueryRequest::ThresholdNN(p, 0.0), 3).ok());
+  EXPECT_TRUE(ValidateQueryRequest(QueryRequest::ThresholdNN(p, 1.0), 3).ok());
+  EXPECT_TRUE(ValidateQueryRequest(QueryRequest::RangeProb(rect, 0.5), 3).ok());
+  EXPECT_TRUE(
+      ValidateQueryRequest(QueryRequest::TrajectoryPnn({p}, 2.0), 3).ok());
+}
+
+TEST(ValidateQueryRequestTest, RejectsEveryMalformedShape) {
+  geom::Point p2(2);
+  geom::Point p3(3);
+  geom::Rect rect2(2);
+  rect2.set_hi(0, 1.0);
+  rect2.set_hi(1, 1.0);
+
+  struct Case {
+    const char* label;
+    QueryRequest req;
+    const char* needle;  // must appear in the message
+  };
+  std::vector<Case> cases;
+  cases.push_back({"dim mismatch", QueryRequest::Pnn(p3), "dimensionality"});
+  {
+    geom::Point nan_p(2);
+    nan_p[0] = std::nan("");
+    cases.push_back({"nan point", QueryRequest::Pnn(nan_p), "finite"});
+  }
+  cases.push_back({"k zero", QueryRequest::TopKByProb(p2, 0), "k must be"});
+  cases.push_back(
+      {"p negative", QueryRequest::ThresholdNN(p2, -0.1), "[0, 1]"});
+  cases.push_back({"p above one", QueryRequest::ThresholdNN(p2, 1.5),
+                   "[0, 1]"});
+  cases.push_back(
+      {"p nan", QueryRequest::ThresholdNN(p2, std::nan("")), "[0, 1]"});
+  {
+    geom::Rect bad(2);
+    bad.set_lo(0, 2.0);
+    bad.set_hi(0, -2.0);
+    cases.push_back(
+        {"rect lo above hi", QueryRequest::RangeProb(bad, 0.5), "lo <= hi"});
+  }
+  {
+    geom::Rect rect3(3);
+    cases.push_back({"rect dim mismatch", QueryRequest::RangeProb(rect3, 0.5),
+                     "dimensionality"});
+  }
+  cases.push_back({"empty polyline", QueryRequest::TrajectoryPnn({}, 1.0),
+                   "at least one point"});
+  cases.push_back({"zero step", QueryRequest::TrajectoryPnn({p2}, 0.0),
+                   "step must be"});
+  cases.push_back({"negative step", QueryRequest::TrajectoryPnn({p2}, -3.0),
+                   "step must be"});
+  {
+    geom::Point far(2);
+    far[0] = 1e9;
+    cases.push_back({"too many samples",
+                     QueryRequest::TrajectoryPnn({p2, far}, 1e-3), "samples"});
+  }
+  {
+    QueryRequest unknown;
+    unknown.kind = static_cast<QueryKind>(99);
+    cases.push_back({"unknown kind", unknown, "unknown kind"});
+  }
+
+  for (const Case& c : cases) {
+    const Status s = ValidateQueryRequest(c.req, 2);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.label;
+    EXPECT_NE(s.ToString().find(c.needle), std::string::npos)
+        << c.label << ": " << s.ToString();
+  }
+}
+
+TEST(ValidateQueryRequestTest, EngineAnswersMalformedRequestsPerAnswer) {
+  const uncertain::Dataset db = MakeDb(2, 60, 200.0, 41);
+  auto engine = MakeEngine(db);
+  Rng rng(42);
+  const geom::Point good = RandomPoint(db.domain(), &rng);
+  std::vector<QueryRequest> batch;
+  batch.push_back(QueryRequest::TopKByProb(good, 0));    // malformed
+  batch.push_back(QueryRequest::Pnn(good));              // fine
+  batch.push_back(QueryRequest::ThresholdNN(good, 2.0)); // malformed
+  ServiceStats stats;
+  const std::vector<QueryAnswer> answers = engine->ExecuteBatch(batch, &stats);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_EQ(answers[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(answers[1].status.ok()) << answers[1].status.ToString();
+  EXPECT_EQ(answers[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(answers[0].results.empty());
+  EXPECT_TRUE(answers[2].results.empty());
+  EXPECT_EQ(stats.queries, 3);
+}
+
+// ---------------------------------------------------------------------------
+// SampleTrajectory
+// ---------------------------------------------------------------------------
+
+TEST(SampleTrajectoryTest, FollowsTheArcLengthRule) {
+  geom::Point a(2);
+  geom::Point b(2);
+  b[0] = 10.0;
+  geom::Point c(2);
+  c[0] = 10.0;
+  c[1] = 4.0;
+  // Path length 14, step 4: samples at arc lengths 0, 4, 8, 12, then the
+  // destination.
+  const std::vector<geom::Point> path{a, b, c};
+  const std::vector<geom::Point> samples = SampleTrajectory(path, 4.0);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0][0], 0.0);
+  EXPECT_EQ(samples[1][0], 4.0);
+  EXPECT_EQ(samples[2][0], 8.0);
+  // Arc length 12 is 2 into the second segment (which runs along dim 1).
+  EXPECT_EQ(samples[3][0], 10.0);
+  EXPECT_EQ(samples[3][1], 2.0);
+  EXPECT_EQ(samples[4][0], 10.0);
+  EXPECT_EQ(samples[4][1], 4.0);
+
+  // A single waypoint evaluates exactly once.
+  const std::vector<geom::Point> lone{a};
+  EXPECT_EQ(SampleTrajectory(lone, 1.0).size(), 1u);
+
+  // A step longer than the whole path still evaluates both endpoints.
+  const std::vector<geom::Point> pair{a, b};
+  EXPECT_EQ(SampleTrajectory(pair, 100.0).size(), 2u);
+}
+
+TEST(SampleTrajectoryTest, IsDeterministic) {
+  Rng rng(7);
+  std::vector<geom::Point> polyline;
+  for (int i = 0; i < 5; ++i) {
+    geom::Point p(3);
+    for (int d = 0; d < 3; ++d) p[d] = rng.NextUniform(-100.0, 100.0);
+    polyline.push_back(p);
+  }
+  const auto first = SampleTrajectory(polyline, 7.3);
+  const auto second = SampleTrajectory(polyline, 7.3);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      const double x = first[i][d];
+      const double y = second[i][d];
+      EXPECT_EQ(std::memcmp(&x, &y, sizeof(double)), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvaluateTopK == sort-and-truncate of the full evaluation
+// ---------------------------------------------------------------------------
+
+TEST(TopKTest, BitIdenticalToFullEvaluationSortedAndTruncated) {
+  const uncertain::Dataset db = MakeDb(2, 120, 600.0, 51);
+  pv::PnnStep2Evaluator step2(&db);
+  pv::QueryScratch scratch;
+  Rng rng(52);
+  for (int trial = 0; trial < 24; ++trial) {
+    const geom::Point q = RandomPoint(db.domain(), &rng);
+    std::vector<uncertain::ObjectId> candidates = pv::Step1BruteForce(db, q);
+    std::sort(candidates.begin(), candidates.end());  // canonical order
+    const std::vector<pv::PnnResult> full = step2.Evaluate(q, candidates);
+    for (uint32_t k : {1u, 2u, 3u, 8u, 1000u}) {
+      const std::vector<pv::PnnResult> want =
+          SelectResults(QueryRequest::TopKByProb(q, k), full);
+      const std::vector<pv::PnnResult> got =
+          step2.EvaluateTopK(q, candidates, k, &scratch);
+      ExpectResultsBitIdentical(
+          got, want, "trial " + std::to_string(trial) + " k=" +
+                         std::to_string(k));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo agreement (top-k and threshold vs possible-world sampling)
+// ---------------------------------------------------------------------------
+
+TEST(MonteCarloTest, TopKAndThresholdAgreeWithPossibleWorldSampling) {
+  // Few objects with wide, overlapping regions: qualification probabilities
+  // spread across several objects instead of collapsing to one.
+  const uncertain::Dataset db = MakeDb(2, 12, 4000.0, 61);
+  pv::PnnStep2Evaluator step2(&db);
+  QueryEngineOptions options;
+  options.canonical_candidates = true;
+  auto engine = MakeEngine(db, options);
+  Rng rng(62);
+  for (int trial = 0; trial < 6; ++trial) {
+    const geom::Point q = RandomPoint(db.domain(), &rng);
+    std::vector<uncertain::ObjectId> candidates = pv::Step1BruteForce(db, q);
+    std::sort(candidates.begin(), candidates.end());
+    const std::vector<pv::PnnResult> mc =
+        step2.EstimateByMonteCarlo(q, candidates, /*trials=*/20000,
+                                   /*seed=*/100 + trial);
+    auto mc_prob = [&mc](uncertain::ObjectId id) {
+      for (const pv::PnnResult& m : mc) {
+        if (m.id == id) return m.probability;
+      }
+      return 0.0;
+    };
+
+    std::vector<QueryRequest> batch;
+    batch.push_back(QueryRequest::TopKByProb(q, 3));
+    batch.push_back(QueryRequest::ThresholdNN(q, 0.2));
+    const std::vector<QueryAnswer> answers = engine->ExecuteBatch(batch);
+    ASSERT_TRUE(answers[0].status.ok()) << answers[0].status.ToString();
+    ASSERT_TRUE(answers[1].status.ok()) << answers[1].status.ToString();
+
+    // Every returned probability sits within sampling error of the oracle.
+    for (const QueryAnswer& ans : answers) {
+      for (const pv::PnnResult& r : ans.results) {
+        EXPECT_NEAR(r.probability, mc_prob(r.id), 0.02)
+            << "trial " << trial << " object " << r.id;
+      }
+    }
+    // Threshold semantics against the oracle, with a sampling-error margin:
+    // clearly-above objects are present, clearly-below objects are absent.
+    const std::vector<pv::PnnResult>& kept = answers[1].results;
+    auto in_answer = [&kept](uncertain::ObjectId id) {
+      for (const pv::PnnResult& r : kept) {
+        if (r.id == id) return true;
+      }
+      return false;
+    };
+    for (const pv::PnnResult& m : mc) {
+      if (m.probability > 0.25) {
+        EXPECT_TRUE(in_answer(m.id))
+            << "trial " << trial << ": object " << m.id << " (mc "
+            << m.probability << ") missing from threshold answer";
+      }
+      if (m.probability < 0.15 && in_answer(m.id)) {
+        ADD_FAILURE() << "trial " << trial << ": object " << m.id << " (mc "
+                      << m.probability << ") should be below threshold";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold == filtered PNN (engine level)
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdTest, EqualsFilteredPnnBitForBit) {
+  const uncertain::Dataset db = MakeDb(3, 200, 500.0, 71);
+  auto engine = MakeEngine(db);
+  Rng rng(72);
+  std::vector<QueryRequest> pnn;
+  std::vector<QueryRequest> threshold;
+  const double p = 0.1;
+  for (int i = 0; i < 32; ++i) {
+    const geom::Point q = RandomPoint(db.domain(), &rng);
+    pnn.push_back(QueryRequest::Pnn(q));
+    threshold.push_back(QueryRequest::ThresholdNN(q, p));
+  }
+  const std::vector<QueryAnswer> full = engine->ExecuteBatch(pnn);
+  const std::vector<QueryAnswer> got = engine->ExecuteBatch(threshold);
+  for (size_t i = 0; i < pnn.size(); ++i) {
+    ASSERT_TRUE(full[i].status.ok());
+    ASSERT_TRUE(got[i].status.ok());
+    std::vector<pv::PnnResult> want;
+    for (const pv::PnnResult& r : full[i].results) {
+      if (r.probability > p) want.push_back(r);
+    }
+    ExpectResultsBitIdentical(got[i].results, want,
+                              "query " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory: incremental == from-scratch, and the reuse actually happens
+// ---------------------------------------------------------------------------
+
+TEST(TrajectoryTest, IncrementalMatchesFromScratchOnRandomPolylines) {
+  const uncertain::Dataset db = MakeDb(2, 250, 400.0, 81);
+  auto engine = MakeEngine(db);
+  Rng rng(82);
+  size_t reused_total = 0;
+  size_t steps_total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<geom::Point> polyline;
+    const int waypoints = 2 + static_cast<int>(rng.NextUniform(0.0, 3.0));
+    for (int i = 0; i < waypoints; ++i) {
+      polyline.push_back(RandomPoint(db.domain(), &rng));
+    }
+    // A fine step keeps consecutive samples close, so most stay inside the
+    // previous sample's leaf cell — the reuse path under test.
+    const double step =
+        (db.domain().hi(0) - db.domain().lo(0)) / 256.0;
+
+    const QueryRequest req = QueryRequest::TrajectoryPnn(polyline, step);
+    std::vector<QueryAnswer> incremental = engine->ExecuteBatch(
+        std::span<const QueryRequest>(&req, 1));
+    ASSERT_EQ(incremental.size(), 1u);
+    ASSERT_TRUE(incremental[0].status.ok())
+        << incremental[0].status.ToString();
+
+    const std::vector<geom::Point> samples =
+        SampleTrajectory(polyline, step);
+    ASSERT_EQ(incremental[0].steps.size(), samples.size());
+    const std::vector<QueryAnswer> scratch =
+        engine->ExecuteBatch(PnnRequests(samples));
+    for (size_t s = 0; s < samples.size(); ++s) {
+      ASSERT_TRUE(scratch[s].status.ok());
+      const TrajectoryStepAnswer& step_ans = incremental[0].steps[s];
+      for (int d = 0; d < samples[s].dim(); ++d) {
+        EXPECT_EQ(step_ans.point[d], samples[s][d]);
+      }
+      ExpectResultsBitIdentical(
+          step_ans.results, scratch[s].results,
+          "trial " + std::to_string(trial) + " step " + std::to_string(s));
+      if (step_ans.reused_step1) reused_total++;
+    }
+    steps_total += samples.size();
+    EXPECT_FALSE(incremental[0].steps[0].reused_step1)
+        << "the first sample has no predecessor to reuse";
+  }
+  // The property the incremental path exists for: with samples this dense,
+  // a large share of descents must have been skipped.
+  EXPECT_GT(reused_total, steps_total / 4)
+      << reused_total << " of " << steps_total << " steps reused their leaf";
+}
+
+// ---------------------------------------------------------------------------
+// Range probability == brute-force pdf scan
+// ---------------------------------------------------------------------------
+
+TEST(RangeProbTest, MatchesLinearPdfScanBitForBit) {
+  const uncertain::Dataset db = MakeDb(2, 180, 900.0, 91);
+  auto engine = MakeEngine(db);
+  Rng rng(92);
+  for (int trial = 0; trial < 16; ++trial) {
+    geom::Rect rect(2);
+    for (int d = 0; d < 2; ++d) {
+      const double lo = rng.NextUniform(db.domain().lo(d),
+                                        db.domain().hi(d) * 0.7);
+      rect.set_lo(d, lo);
+      rect.set_hi(d, lo + rng.NextUniform(
+                            0.0, (db.domain().hi(d) - lo) * 0.5));
+    }
+    const double threshold = (trial % 2 == 0) ? 0.0 : 0.3;
+
+    // The oracle: every object's containment probability, summed in pdf
+    // order (the same order EvaluateRangeProb sums in).
+    std::vector<pv::PnnResult> want;
+    for (const uncertain::UncertainObject& o : db.objects()) {
+      double p = 0.0;
+      for (const uncertain::Instance& inst : o.pdf()) {
+        if (rect.Contains(inst.position)) p += inst.probability;
+      }
+      if (p > threshold) want.push_back({o.id(), p});
+    }
+    std::sort(want.begin(), want.end(),
+              [](const pv::PnnResult& a, const pv::PnnResult& b) {
+                if (a.probability != b.probability) {
+                  return a.probability > b.probability;
+                }
+                return a.id < b.id;
+              });
+
+    const QueryRequest req = QueryRequest::RangeProb(rect, threshold);
+    const std::vector<QueryAnswer> got = engine->ExecuteBatch(
+        std::span<const QueryRequest>(&req, 1));
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_TRUE(got[0].status.ok()) << got[0].status.ToString();
+    EXPECT_EQ(got[0].kind, QueryKind::kRangeProb);
+    ExpectResultsBitIdentical(got[0].results, want,
+                              "trial " + std::to_string(trial));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shim bit-identity
+// ---------------------------------------------------------------------------
+
+TEST(LegacyShimTest, PointBatchMatchesTypedPnnBitForBit) {
+  const uncertain::Dataset db = MakeDb(3, 150, 300.0, 95);
+  auto engine = MakeEngine(db);
+  Rng rng(96);
+  std::vector<geom::Point> points;
+  for (int i = 0; i < 24; ++i) points.push_back(RandomPoint(db.domain(), &rng));
+
+  const std::vector<PnnAnswer> legacy = engine->ExecuteBatch(points);
+  const std::vector<QueryAnswer> typed =
+      engine->ExecuteBatch(PnnRequests(points));
+  ASSERT_EQ(legacy.size(), typed.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_TRUE(legacy[i].status.ok());
+    ASSERT_TRUE(typed[i].status.ok());
+    EXPECT_EQ(typed[i].kind, QueryKind::kPnn);
+    ExpectResultsBitIdentical(legacy[i].results, typed[i].results,
+                              "query " + std::to_string(i));
+  }
+
+  // The async single-point shim answers identically too.
+  PnnAnswer one = engine->Submit(points[0]).get();
+  ASSERT_TRUE(one.status.ok());
+  ExpectResultsBitIdentical(one.results, typed[0].results, "submit");
+
+  QueryAnswer typed_one = engine->Submit(QueryRequest::Pnn(points[0])).get();
+  ASSERT_TRUE(typed_one.status.ok());
+  ExpectResultsBitIdentical(typed_one.results, typed[0].results,
+                            "typed submit");
+}
+
+}  // namespace
+}  // namespace pvdb::service

@@ -253,7 +253,7 @@ EngineWorld& SharedWorld() {
 }
 
 void ExpectAnswersEqual(const std::vector<pv::PnnResult>& expected,
-                        const PnnAnswer& actual) {
+                        const QueryAnswer& actual) {
   ASSERT_TRUE(actual.status.ok()) << actual.status.ToString();
   ASSERT_EQ(actual.results.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -268,7 +268,7 @@ void ExpectAnswersEqual(const std::vector<pv::PnnResult>& expected,
 /// the leaf rewrite may reorder candidates, which reorders Step-2's
 /// survival-product multiplications — same values up to FP associativity.
 void ExpectAnswersClose(const std::vector<pv::PnnResult>& expected,
-                        const PnnAnswer& actual) {
+                        const QueryAnswer& actual) {
   ASSERT_TRUE(actual.status.ok()) << actual.status.ToString();
   ASSERT_EQ(actual.results.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -294,7 +294,8 @@ TEST_P(QueryEngineBackendTest, BatchedParallelMatchesSequential) {
   // backends and must still be identical.
   for (int round = 0; round < 2; ++round) {
     ServiceStats stats;
-    const auto answers = engine.value()->ExecuteBatch(queries, &stats);
+    const auto answers =
+        engine.value()->ExecuteBatch(PnnRequests(queries), &stats);
     ASSERT_EQ(answers.size(), queries.size());
     EXPECT_EQ(stats.queries, static_cast<int64_t>(queries.size()));
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -321,7 +322,7 @@ TEST_P(QueryEngineBackendTest, ScratchPathBitIdenticalToAllocatingPath) {
       QueryEngine::Create(world.db.get(), world.All(), options).value();
 
   const auto queries = world.RandomQueries(128, 1234);
-  const auto answers = engine->ExecuteBatch(queries);
+  const auto answers = engine->ExecuteBatch(PnnRequests(queries));
   ASSERT_EQ(answers.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     SCOPED_TRACE("query " + std::to_string(i));
@@ -346,8 +347,10 @@ TEST(QueryEngineTest, AsyncSubmitMatchesSequential) {
       QueryEngine::Create(world.db.get(), world.All(), options).value();
 
   const auto queries = world.RandomQueries(16, 5);
-  std::vector<std::future<PnnAnswer>> futures;
-  for (const auto& q : queries) futures.push_back(engine->Submit(q));
+  std::vector<std::future<QueryAnswer>> futures;
+  for (const auto& q : queries) {
+    futures.push_back(engine->Submit(QueryRequest::Pnn(q)));
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     ExpectAnswersEqual(world.Sequential(BackendKind::kPvIndex, queries[i]),
                        futures[i].get());
@@ -366,7 +369,7 @@ TEST(QueryEngineTest, OutOfDomainQueryFailsOnlyThatAnswer) {
   auto engine = QueryEngine::Create(world.db.get(), world.All(), {}).value();
   std::vector<geom::Point> queries{geom::Point{500, 500},
                                    geom::Point{5000, 5000}};  // outside
-  const auto answers = engine->ExecuteBatch(queries);
+  const auto answers = engine->ExecuteBatch(PnnRequests(queries));
   ASSERT_EQ(answers.size(), 2u);
   EXPECT_TRUE(answers[0].status.ok());
   EXPECT_FALSE(answers[1].status.ok());
@@ -408,8 +411,9 @@ TEST_P(QueryEngineBackendTest, BatchedStep2BitIdenticalToPerQueryEngine) {
   }
 
   ServiceStats stats;
-  const auto batched_answers = grouped->ExecuteBatch(queries, &stats);
-  const auto per_query_answers = per_query->ExecuteBatch(queries);
+  const std::vector<QueryRequest> requests = PnnRequests(queries);
+  const auto batched_answers = grouped->ExecuteBatch(requests, &stats);
+  const auto per_query_answers = per_query->ExecuteBatch(requests);
   ASSERT_EQ(batched_answers.size(), per_query_answers.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     SCOPED_TRACE("query " + std::to_string(i));
@@ -434,7 +438,7 @@ TEST(QueryEngineTest, BatchedStep2WorksWithoutLeafCache) {
       QueryEngine::Create(world.db.get(), world.All(), options).value();
   std::vector<geom::Point> queries(24, geom::Point{500, 500});
   ServiceStats stats;
-  const auto answers = engine->ExecuteBatch(queries, &stats);
+  const auto answers = engine->ExecuteBatch(PnnRequests(queries), &stats);
   EXPECT_GT(stats.step2_groups, 0);
   const auto expected = world.Sequential(BackendKind::kPvIndex, queries[0]);
   for (size_t i = 0; i < answers.size(); ++i) {
@@ -467,13 +471,13 @@ TEST(QueryEngineTest, BatchedStep2DedupsPdfPageCharges) {
   options.backend_override = BackendKind::kPvIndex;
   auto batched =
       QueryEngine::Create(world.db.get(), world.All(), options).value();
-  batched->ExecuteBatch(queries);
+  batched->ExecuteBatch(PnnRequests(queries));
   EXPECT_EQ(batched->metrics().Get(pv::PnnCounters::kPdfPagesRead), per_group);
 
   options.batch_step2 = false;
   auto per_query =
       QueryEngine::Create(world.db.get(), world.All(), options).value();
-  per_query->ExecuteBatch(queries);
+  per_query->ExecuteBatch(PnnRequests(queries));
   EXPECT_EQ(per_query->metrics().Get(pv::PnnCounters::kPdfPagesRead),
             per_group * static_cast<int64_t>(repeats));
 }
@@ -491,10 +495,10 @@ TEST(QueryEngineTest, CacheHitThenInvalidationOnInsertAndDelete) {
       QueryEngine::Create(world.db.get(), world.All(), options).value();
 
   const std::vector<geom::Point> queries{geom::Point{500, 500}};
-  auto first = engine->ExecuteBatch(queries);
+  auto first = engine->ExecuteBatch(PnnRequests(queries));
   ASSERT_TRUE(first[0].status.ok());
   EXPECT_FALSE(first[0].cache_hit);
-  auto second = engine->ExecuteBatch(queries);
+  auto second = engine->ExecuteBatch(PnnRequests(queries));
   EXPECT_TRUE(second[0].cache_hit);
   {
     SCOPED_TRACE("second-vs-first");
@@ -514,7 +518,7 @@ TEST(QueryEngineTest, CacheHitThenInvalidationOnInsertAndDelete) {
                   .ok());
   EXPECT_EQ(engine->cache()->size(), 0u) << "insert must invalidate the cache";
 
-  auto third = engine->ExecuteBatch(queries);
+  auto third = engine->ExecuteBatch(PnnRequests(queries));
   ASSERT_TRUE(third[0].status.ok());
   EXPECT_FALSE(third[0].cache_hit);
   {
@@ -529,10 +533,10 @@ TEST(QueryEngineTest, CacheHitThenInvalidationOnInsertAndDelete) {
       << "an object overlapping the query point must be a PNNQ answer";
 
   // Delete it again: cache flushed, answers return to the original set.
-  engine->ExecuteBatch(queries);  // warm the cache once more
+  engine->ExecuteBatch(PnnRequests(queries));  // warm the cache once more
   ASSERT_TRUE(engine->Delete(new_id).ok());
   EXPECT_EQ(engine->cache()->size(), 0u) << "delete must invalidate the cache";
-  auto fourth = engine->ExecuteBatch(queries);
+  auto fourth = engine->ExecuteBatch(PnnRequests(queries));
   ExpectAnswersClose(first[0].results, fourth[0]);
 }
 
@@ -575,7 +579,7 @@ TEST(QueryEngineTest, StressNoLostOrDuplicatedAnswers) {
   std::atomic<int> failures{0};
   for (int t = 0; t < 4; ++t) {
     callers.emplace_back([&] {
-      const auto answers = engine->ExecuteBatch(queries);
+      const auto answers = engine->ExecuteBatch(PnnRequests(queries));
       if (answers.size() != queries.size()) {
         failures.fetch_add(1);
         return;
@@ -617,7 +621,7 @@ TEST(QueryEngineTest, MutationsInterleaveSafelyWithQueries) {
     Rng rng(55);
     while (!stop.load()) {
       const geom::Point q{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
-      const PnnAnswer ans = engine->Submit(q).get();
+      const QueryAnswer ans = engine->Submit(QueryRequest::Pnn(q)).get();
       if (!ans.status.ok()) {
         ADD_FAILURE() << ans.status.ToString();
         return;
@@ -754,7 +758,7 @@ TEST(QueryEngineTest, AdoptSnapshotHotSwapsUnderConcurrentQueries) {
                                           qrng.NextUniform(0, 1000)});
           }
         }
-        const auto answers = engine->ExecuteBatch(queries);
+        const auto answers = engine->ExecuteBatch(PnnRequests(queries));
         if (answers.size() != queries.size()) {
           ADD_FAILURE() << "lost answers";
           return;
@@ -806,7 +810,8 @@ TEST(QueryEngineTest, AdoptSnapshotHotSwapsUnderConcurrentQueries) {
   ASSERT_TRUE(engine->AdoptSnapshot(snap_b).ok());
   EXPECT_EQ(engine->snapshot(), snap_b);
   const geom::Point probe{500, 500};
-  const PnnAnswer served = engine->Submit(probe).get();
+  const QueryAnswer served =
+      engine->Submit(QueryRequest::Pnn(probe)).get();
   ASSERT_TRUE(served.status.ok());
   const bool extra_answers =
       std::any_of(served.results.begin(), served.results.end(),

@@ -69,7 +69,7 @@ std::vector<geom::Point> MakeQueries(const geom::Rect& domain, int n,
 
 // The reference every router run is held against: one engine, canonical
 // candidate order, over the sealed union dataset.
-std::vector<service::PnnAnswer> ReferenceAnswers(
+std::vector<service::QueryAnswer> ReferenceAnswers(
     const uncertain::Dataset& db, const std::vector<geom::Point>& queries) {
   auto builder = pv::PvIndexBuilder::Build(db);
   EXPECT_TRUE(builder.ok()) << builder.status().ToString();
@@ -81,11 +81,11 @@ std::vector<service::PnnAnswer> ReferenceAnswers(
   auto engine = service::QueryEngine::CreateFromSnapshot(snapshot.value(),
                                                          options);
   EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-  return engine.value()->ExecuteBatch(queries);
+  return engine.value()->ExecuteBatch(service::PnnRequests(queries));
 }
 
-void ExpectBitIdentical(const std::vector<service::PnnAnswer>& got,
-                        const std::vector<service::PnnAnswer>& want,
+void ExpectBitIdentical(const std::vector<service::QueryAnswer>& got,
+                        const std::vector<service::QueryAnswer>& want,
                         const std::string& label) {
   ASSERT_EQ(got.size(), want.size()) << label;
   for (size_t i = 0; i < got.size(); ++i) {
@@ -306,7 +306,7 @@ TEST_P(RouterIdentityTest, MatchesSingleEngineBitForBit) {
   const uncertain::Dataset db = MakeDb(c.dim, c.count, c.extent, c.seed);
   const std::vector<geom::Point> queries =
       MakeQueries(db.domain(), 48, c.seed + 1);
-  const std::vector<service::PnnAnswer> want = ReferenceAnswers(db, queries);
+  const std::vector<service::QueryAnswer> want = ReferenceAnswers(db, queries);
 
   const std::string dir = TempDirPath(
       "identity_" + std::to_string(c.shards) + "_" +
@@ -324,13 +324,13 @@ TEST_P(RouterIdentityTest, MatchesSingleEngineBitForBit) {
                                     set.value().connections, {});
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   RouterStats stats;
-  const std::vector<service::PnnAnswer> got =
-      router.value()->ExecuteBatch(queries, &stats);
+  const std::vector<service::QueryAnswer> got =
+      router.value()->Execute(service::PnnRequests(queries), &stats);
   ExpectBitIdentical(got, want, "K=" + std::to_string(c.shards));
   EXPECT_EQ(stats.queries, static_cast<int64_t>(queries.size()));
   // A second batch reuses the router's record cache and must still match.
-  const std::vector<service::PnnAnswer> again =
-      router.value()->ExecuteBatch(queries, nullptr);
+  const std::vector<service::QueryAnswer> again =
+      router.value()->Execute(service::PnnRequests(queries), nullptr);
   ExpectBitIdentical(again, want, "cached K=" + std::to_string(c.shards));
 }
 
@@ -348,6 +348,129 @@ INSTANTIATE_TEST_SUITE_P(
         IdentityCase{4, 200, 600.0, 3, SplitStrategy::kPlane, 105},
         IdentityCase{3, 300, 400.0, 4, SplitStrategy::kMortonRange, 106},
         IdentityCase{2, 350, 1500.0, 5, SplitStrategy::kMortonRange, 107}));
+
+// ---------------------------------------------------------------------------
+// Typed vocabulary through the router: every kind bit-identical to one
+// canonical engine over the union dataset
+// ---------------------------------------------------------------------------
+
+TEST(RouterTypedExecuteTest, EveryKindMatchesSingleEngineBitForBit) {
+  const uncertain::Dataset db = MakeDb(2, 300, 600.0, 201);
+  auto builder = pv::PvIndexBuilder::Build(db);
+  ASSERT_TRUE(builder.ok());
+  auto snapshot = builder.value()->Seal();
+  ASSERT_TRUE(snapshot.ok());
+  service::QueryEngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.canonical_candidates = true;
+  auto engine = service::QueryEngine::CreateFromSnapshot(snapshot.value(),
+                                                         engine_options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const std::string dir = TempDirPath("typed");
+  PartitionOptions options;
+  options.shard_count = 3;
+  ASSERT_TRUE(BuildShardSnapshots(db, options, dir).ok());
+  auto set = OpenShardDir(dir);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  auto router = ShardRouter::Create(set.value().map,
+                                    set.value().connections, {});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // A heterogeneous batch: several requests of every kind, randomized.
+  Rng rng(202);
+  std::vector<service::QueryRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    geom::Point q(2);
+    for (int d = 0; d < 2; ++d) {
+      q[d] = rng.NextUniform(db.domain().lo(d), db.domain().hi(d));
+    }
+    switch (i % 3) {
+      case 0:
+        requests.push_back(service::QueryRequest::Pnn(q));
+        break;
+      case 1:
+        requests.push_back(service::QueryRequest::TopKByProb(q, 1 + i));
+        break;
+      default:
+        requests.push_back(service::QueryRequest::ThresholdNN(q, 0.1));
+        break;
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    geom::Rect rect(2);
+    for (int d = 0; d < 2; ++d) {
+      const double lo =
+          rng.NextUniform(db.domain().lo(d), db.domain().hi(d) * 0.6);
+      rect.set_lo(d, lo);
+      rect.set_hi(d, lo + rng.NextUniform(0.0, db.domain().hi(d) * 0.4));
+    }
+    requests.push_back(service::QueryRequest::RangeProb(rect, i * 0.2));
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::vector<geom::Point> polyline;
+    for (int v = 0; v < 3; ++v) {
+      geom::Point p(2);
+      for (int d = 0; d < 2; ++d) {
+        p[d] = rng.NextUniform(db.domain().lo(d), db.domain().hi(d));
+      }
+      polyline.push_back(p);
+    }
+    requests.push_back(service::QueryRequest::TrajectoryPnn(
+        polyline, (db.domain().hi(0) - db.domain().lo(0)) / 16.0));
+  }
+  // One malformed request rides along: it must answer InvalidArgument on
+  // both sides, never poison its siblings.
+  requests.push_back(service::QueryRequest::TopKByProb(geom::Point(2), 0));
+
+  const std::vector<service::QueryAnswer> want =
+      engine.value()->ExecuteBatch(requests);
+  RouterStats stats;
+  const std::vector<service::QueryAnswer> got =
+      router.value()->Execute(requests, &stats);
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.size(), requests.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i) + " (" +
+                 service::QueryKindName(requests[i].kind) + ")");
+    EXPECT_EQ(got[i].status.code(), want[i].status.code());
+    EXPECT_EQ(got[i].kind, want[i].kind);
+    ASSERT_EQ(got[i].results.size(), want[i].results.size());
+    for (size_t j = 0; j < got[i].results.size(); ++j) {
+      EXPECT_EQ(got[i].results[j].id, want[i].results[j].id);
+      EXPECT_EQ(std::memcmp(&got[i].results[j].probability,
+                            &want[i].results[j].probability, sizeof(double)),
+                0)
+          << "result " << j << ": " << got[i].results[j].probability
+          << " vs " << want[i].results[j].probability;
+    }
+    ASSERT_EQ(got[i].steps.size(), want[i].steps.size());
+    for (size_t s = 0; s < got[i].steps.size(); ++s) {
+      const auto& gs = got[i].steps[s];
+      const auto& ws = want[i].steps[s];
+      ASSERT_EQ(gs.results.size(), ws.results.size()) << "step " << s;
+      for (size_t j = 0; j < ws.results.size(); ++j) {
+        EXPECT_EQ(gs.results[j].id, ws.results[j].id) << "step " << s;
+        EXPECT_EQ(std::memcmp(&gs.results[j].probability,
+                              &ws.results[j].probability, sizeof(double)),
+                  0)
+            << "step " << s << " result " << j;
+      }
+    }
+  }
+  EXPECT_EQ(got.back().status.code(), StatusCode::kInvalidArgument);
+  // Router accounting is per evaluation unit (a trajectory counts one per
+  // arc-length sample), matching the engine's ServiceStats convention.
+  int64_t units = 0;
+  for (const service::QueryRequest& req : requests) {
+    units += (req.kind == service::QueryKind::kTrajectoryPnn)
+                 ? static_cast<int64_t>(
+                       service::SampleTrajectory(req.polyline, req.step)
+                           .size())
+                 : 1;
+  }
+  EXPECT_EQ(stats.queries, units);
+}
 
 // ---------------------------------------------------------------------------
 // Degradation: unreachable shard → per-answer kUnavailable, never a hang
@@ -370,7 +493,7 @@ class DeadConnection : public ShardConnection {
 TEST(RouterDegradationTest, DeadShardPoisonsOnlyItsQueries) {
   const uncertain::Dataset db = MakeDb(3, 300, 40.0, 31);
   const std::vector<geom::Point> queries = MakeQueries(db.domain(), 64, 32);
-  const std::vector<service::PnnAnswer> want = ReferenceAnswers(db, queries);
+  const std::vector<service::QueryAnswer> want = ReferenceAnswers(db, queries);
 
   const std::string dir = TempDirPath("degrade");
   PartitionOptions options;
@@ -389,8 +512,8 @@ TEST(RouterDegradationTest, DeadShardPoisonsOnlyItsQueries) {
                                     set.value().connections, router_options);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   RouterStats stats;
-  const std::vector<service::PnnAnswer> got =
-      router.value()->ExecuteBatch(queries, &stats);
+  const std::vector<service::QueryAnswer> got =
+      router.value()->Execute(service::PnnRequests(queries), &stats);
   ASSERT_EQ(got.size(), queries.size());
 
   size_t unavailable = 0;
@@ -444,7 +567,8 @@ TEST(RouterDegradationTest, AllShardsDeadStillAnswersEveryQuery) {
       ShardRouter::Create(set.value().map, dead, router_options);
   ASSERT_TRUE(router.ok());
   const std::vector<geom::Point> queries = MakeQueries(db.domain(), 8, 5);
-  const auto got = router.value()->ExecuteBatch(queries, nullptr);
+  const auto got = router.value()->Execute(service::PnnRequests(queries),
+                                           nullptr);
   ASSERT_EQ(got.size(), queries.size());
   for (const auto& a : got) {
     EXPECT_EQ(a.status.code(), StatusCode::kUnavailable);

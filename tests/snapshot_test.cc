@@ -295,8 +295,10 @@ TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
         queries.push_back(q);
       }
     }
-    const auto expected = pv_engine.value()->ExecuteBatch(queries);
-    const auto got = snap_engine.value()->ExecuteBatch(queries);
+    const std::vector<service::QueryRequest> requests =
+        service::PnnRequests(queries);
+    const auto expected = pv_engine.value()->ExecuteBatch(requests);
+    const auto got = snap_engine.value()->ExecuteBatch(requests);
     ASSERT_EQ(expected.size(), got.size());
     for (size_t i = 0; i < queries.size(); ++i) {
       SCOPED_TRACE("query " + std::to_string(i));
@@ -310,7 +312,7 @@ TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
       }
     }
     // Warm re-run through the snapshot engine's leaf cache stays identical.
-    const auto warm = snap_engine.value()->ExecuteBatch(queries);
+    const auto warm = snap_engine.value()->ExecuteBatch(requests);
     for (size_t i = 0; i < queries.size(); ++i) {
       ASSERT_EQ(warm[i].results.size(), got[i].results.size());
       for (size_t j = 0; j < warm[i].results.size(); ++j) {
@@ -336,7 +338,7 @@ TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
     auto decode_engine = service::QueryEngine::CreateFromSnapshot(
         snapshot.value(), decode_options);
     ASSERT_TRUE(decode_engine.ok());
-    const auto decoded = decode_engine.value()->ExecuteBatch(queries);
+    const auto decoded = decode_engine.value()->ExecuteBatch(requests);
     ASSERT_EQ(decoded.size(), got.size());
     for (size_t i = 0; i < queries.size(); ++i) {
       ASSERT_EQ(decoded[i].results.size(), got[i].results.size());
@@ -347,7 +349,7 @@ TEST(SnapshotRoundTripTest, EngineOverSnapshotMatchesEngineOverPvIndex) {
       }
     }
     // Block caching is live on the decode path: a warm re-run hits.
-    decode_engine.value()->ExecuteBatch(queries);
+    decode_engine.value()->ExecuteBatch(requests);
     EXPECT_GT(decode_engine.value()->cache()->hits(), 0);
     EXPECT_GT(decode_engine.value()->cache()->bytes(), 0u);
   }
@@ -725,13 +727,14 @@ TEST_F(SnapshotCorruptionTest, DamagedRecordFramingFailsQueriesNotProcess) {
   // fails that answer only; the engine (and process) live on.
   auto engine = service::QueryEngine::CreateFromSnapshot(snap.value(), {});
   ASSERT_TRUE(engine.ok());
-  const auto answer = engine.value()->Submit(probe).get();
+  const auto answer =
+      engine.value()->Submit(service::QueryRequest::Pnn(probe)).get();
   EXPECT_EQ(answer.status.code(), StatusCode::kCorruption)
       << answer.status.ToString();
   // And a batch containing the poisoned probe plus clean queries fails only
   // the poisoned answers.
   const std::vector<geom::Point> batch{probe, probe};
-  const auto answers = engine.value()->ExecuteBatch(batch);
+  const auto answers = engine.value()->ExecuteBatch(service::PnnRequests(batch));
   for (const auto& a : answers) {
     EXPECT_EQ(a.status.code(), StatusCode::kCorruption);
   }
